@@ -1,0 +1,62 @@
+package road
+
+// One testing.B benchmark per table/figure of the paper's evaluation (§6),
+// plus the ablations DESIGN.md calls out. Each benchmark executes the full
+// experiment — building all four approaches over the synthetic networks,
+// running the workload, and printing the same rows the paper reports — so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the entire evaluation. By default NA and SF run as scaled
+// stand-ins (≈21k nodes); set ROAD_FULLSCALE=1 for the paper's node
+// counts. EXPERIMENTS.md records measured outputs for both and compares
+// them with the paper's reported trends.
+
+import (
+	"os"
+	"testing"
+
+	"road/internal/bench"
+)
+
+// runExperiment executes one registered experiment per benchmark
+// iteration, printing its table once.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	opt := bench.DefaultOptions()
+	run, ok := bench.Registry[id]
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	printed := false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl, err := run(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !printed {
+			b.StopTimer()
+			tbl.Fprint(os.Stdout)
+			printed = true
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkFig11_3NNIllustration(b *testing.B)    { runExperiment(b, "fig11") }
+func BenchmarkFig13_IndexVsObjects(b *testing.B)     { runExperiment(b, "fig13") }
+func BenchmarkFig14_IndexVsNetwork(b *testing.B)     { runExperiment(b, "fig14") }
+func BenchmarkFig15_ObjectUpdate(b *testing.B)       { runExperiment(b, "fig15") }
+func BenchmarkFig16_NetworkUpdate(b *testing.B)      { runExperiment(b, "fig16") }
+func BenchmarkFig17a_KNNVsK(b *testing.B)            { runExperiment(b, "fig17a") }
+func BenchmarkFig17b_KNNVsObjects(b *testing.B)      { runExperiment(b, "fig17b") }
+func BenchmarkFig17c_KNNVsNetwork(b *testing.B)      { runExperiment(b, "fig17c") }
+func BenchmarkFig18a_RangeVsR(b *testing.B)          { runExperiment(b, "fig18a") }
+func BenchmarkFig18b_RangeVsObjects(b *testing.B)    { runExperiment(b, "fig18b") }
+func BenchmarkFig18c_RangeVsNetwork(b *testing.B)    { runExperiment(b, "fig18c") }
+func BenchmarkFig19_LevelSweep(b *testing.B)         { runExperiment(b, "fig19") }
+func BenchmarkAblation_ShortcutPruning(b *testing.B) { runExperiment(b, "ablation-pruning") }
+func BenchmarkAblation_AbstractKind(b *testing.B)    { runExperiment(b, "ablation-abstract") }
+func BenchmarkAblation_Partitioner(b *testing.B)     { runExperiment(b, "ablation-partition") }
+func BenchmarkAblation_ObjectSkew(b *testing.B)      { runExperiment(b, "ablation-skew") }

@@ -1,0 +1,65 @@
+// Command roadbench regenerates the paper's evaluation (§6): every table
+// and figure, or a selected subset, printed as aligned text tables.
+//
+// Usage:
+//
+//	roadbench                  # run every experiment at default scale
+//	roadbench -fig fig17a      # one experiment
+//	roadbench -list            # list experiment IDs
+//	roadbench -full            # paper-scale NA/SF (slower)
+//	roadbench -queries 100 -trials 100   # the paper's workload sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"road/internal/bench"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "experiment ID to run (default: all)")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		full    = flag.Bool("full", false, "run NA/SF at full paper scale")
+		queries = flag.Int("queries", 50, "queries per data point")
+		trials  = flag.Int("trials", 20, "trials per update experiment")
+		budget  = flag.Float64("budget", 30, "soft per-approach seconds budget for update trials")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.Order {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opt := bench.DefaultOptions()
+	opt.Full = opt.Full || *full
+	opt.Queries = *queries
+	opt.Trials = *trials
+	opt.MaxApproachSeconds = *budget
+
+	ids := bench.Order
+	if *fig != "" {
+		if _, ok := bench.Registry[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "roadbench: unknown experiment %q (use -list)\n", *fig)
+			os.Exit(2)
+		}
+		ids = []string{*fig}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := bench.Registry[id](opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "roadbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		tbl.Fprint(os.Stdout)
+		fmt.Printf("[%s completed in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

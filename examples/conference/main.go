@@ -1,0 +1,96 @@
+// Conference travel planning — the paper's motivating scenario (§1):
+// a conference venue on a city road network where edge weights are walking
+// minutes, answering
+//
+//	Q1: find the nearest bus station to the conference venue
+//	Q2: find hotels within a 10-minute walk from the conference venue
+//
+// The network is a generated city; bus stations and hotels are separate
+// attribute categories mapped onto the same Route Overlay, exactly the
+// content-provider model the paper describes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"road"
+	"road/internal/dataset"
+	"road/internal/graph"
+)
+
+const (
+	busStation int32 = 1
+	hotel      int32 = 2
+)
+
+func main() {
+	// A San-Francisco-class street grid, scaled to a city district.
+	// Weights come out of the generator as distances; reinterpret them as
+	// walking minutes (the framework is metric-agnostic).
+	spec := dataset.Scaled(dataset.SF(), 0.02)
+	g := dataset.MustGenerate(spec)
+	fmt.Printf("city district: %d intersections, %d street segments\n",
+		g.NumNodes(), g.NumEdges())
+
+	objects := graph.NewObjectSet(g)
+	rng := rand.New(rand.NewSource(42))
+	place := func(n int, attr int32) {
+		for i := 0; i < n; i++ {
+			e := graph.EdgeID(rng.Intn(g.NumEdges()))
+			objects.MustAdd(e, rng.Float64()*g.Weight(e), attr)
+		}
+	}
+	place(25, busStation)
+	place(40, hotel)
+
+	db, err := road.OpenWithObjects(road.FromGraph(g), objects, road.Options{StorePaths: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The conference venue sits at a random intersection.
+	venue := dataset.RandomNodes(g, 1, 7)[0]
+	fmt.Printf("conference venue at intersection %d\n\n", venue)
+
+	// Q1: nearest bus station.
+	q1, stats := db.KNN(venue, 1, busStation)
+	if len(q1) == 0 {
+		log.Fatal("no bus station reachable")
+	}
+	fmt.Printf("Q1: nearest bus station is object %d, %.1f minutes away\n",
+		q1[0].Object.ID, q1[0].Dist)
+	fmt.Printf("    search settled %d intersections, bypassed %d regions\n",
+		stats.NodesPopped, stats.RnetsBypassed)
+	if path, _, err := db.PathTo(venue, q1[0].Object.ID); err == nil {
+		fmt.Printf("    walking route: %d intersections", len(path))
+		if len(path) > 6 {
+			fmt.Printf(" (%v ... %v)", path[:3], path[len(path)-3:])
+		} else {
+			fmt.Printf(" %v", path)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	// Q2: hotels within a 10-minute walk.
+	q2, stats := db.Within(venue, 10, hotel)
+	fmt.Printf("Q2: %d hotels within a 10-minute walk:\n", len(q2))
+	for _, hit := range q2 {
+		fmt.Printf("    hotel %d at %.1f min\n", hit.Object.ID, hit.Dist)
+	}
+	if len(q2) == 0 {
+		fmt.Println("    (none — try the 3 nearest instead)")
+		for _, hit := range first3(db, venue) {
+			fmt.Printf("    hotel %d at %.1f min\n", hit.Object.ID, hit.Dist)
+		}
+	}
+	fmt.Printf("    search settled %d intersections, bypassed %d regions\n",
+		stats.NodesPopped, stats.RnetsBypassed)
+}
+
+func first3(db *road.DB, venue road.NodeID) []road.Result {
+	res, _ := db.KNN(venue, 3, hotel)
+	return res
+}

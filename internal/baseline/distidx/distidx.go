@@ -1,0 +1,362 @@
+// Package distidx implements the Distance Index baseline ([6]; §2
+// "Solution based approaches"): every network node stores a distance
+// signature — one entry per object carrying the object's exact network
+// distance and the next-hop node toward it. Queries answer straight from
+// the signature of the query node, but signatures are bulky (O(|O|) per
+// node, O(|O|·|N|) total) and every object or network change must touch
+// signatures across the whole network: the crushing precomputation,
+// storage and maintenance costs Figure 13–16 report. Per §6, exact
+// distances are stored, giving this baseline its best-case search
+// performance.
+package distidx
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"road/internal/graph"
+	"road/internal/storage"
+)
+
+// Result is one answer object with its network distance.
+type Result struct {
+	Object graph.Object
+	Dist   float64
+}
+
+// Stats reports the cost of one query.
+type Stats struct {
+	// SignatureEntries counts signature entries scanned.
+	SignatureEntries int
+	// Hops counts next-pointer chases (0 with exact distances).
+	Hops int
+	IO   storage.Stats
+}
+
+// sigEntry is one object's entry in a node's distance signature.
+type sigEntry struct {
+	obj  graph.ObjectID
+	attr int32
+	dist float64
+	next graph.NodeID // next hop toward the object (NoNode at the object's edge)
+}
+
+// Index holds per-node distance signatures.
+type Index struct {
+	g       *graph.Graph
+	objects *graph.ObjectSet
+	sigs    [][]sigEntry // node -> signature, sorted by object ID
+	search  *graph.Search
+	store   *storage.Store
+	layout  *storage.Layout
+	genID   int64 // layout key generation (records are re-placed on growth)
+
+	BuildTime time.Duration
+}
+
+// New precomputes signatures for all objects: one whole-network Dijkstra
+// per object. store may be nil to skip I/O simulation.
+func New(g *graph.Graph, objects *graph.ObjectSet, store *storage.Store) *Index {
+	start := time.Now()
+	ix := &Index{
+		g:       g,
+		objects: objects,
+		sigs:    make([][]sigEntry, g.NumNodes()),
+		search:  graph.NewSearch(g),
+		store:   store,
+	}
+	for _, o := range objects.All() {
+		ix.addObjectEntries(o)
+	}
+	ix.rebuildLayout()
+	ix.BuildTime = time.Since(start)
+	return ix
+}
+
+// addObjectEntries runs the per-object Dijkstra and appends the object's
+// entry to every reachable node's signature.
+func (ix *Index) addObjectEntries(o graph.Object) {
+	dist, parent := ix.objectDijkstra(o)
+	for n := 0; n < ix.g.NumNodes(); n++ {
+		if math.IsInf(dist[n], 1) {
+			continue
+		}
+		ix.sigs[n] = insertSorted(ix.sigs[n], sigEntry{
+			obj:  o.ID,
+			attr: o.Attr,
+			dist: dist[n],
+			next: parent[n],
+		})
+	}
+}
+
+// objectDijkstra computes, for every node, the distance to object o and
+// the next hop toward it, by expanding from the object's two endpoint
+// nodes with their offsets as initial distances.
+func (ix *Index) objectDijkstra(o graph.Object) ([]float64, []graph.NodeID) {
+	g := ix.g
+	e := g.Edge(o.Edge)
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	parent := make([]graph.NodeID, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = graph.NoNode
+	}
+	// Multi-source expansion: temporary virtual object node feeding U and V.
+	s := ix.search
+	s.Run(e.U, graph.Options{})
+	du := make([]float64, n)
+	for i := range du {
+		du[i] = s.Dist(graph.NodeID(i))
+	}
+	pu := make([]graph.NodeID, n)
+	for i := range pu {
+		pu[i] = ix.stepToward(s, graph.NodeID(i))
+	}
+	s.Run(e.V, graph.Options{})
+	for i := 0; i < n; i++ {
+		viaU := du[i] + o.DU
+		viaV := s.Dist(graph.NodeID(i)) + o.DV
+		if viaU <= viaV {
+			dist[i] = viaU
+			parent[i] = pu[i]
+		} else {
+			dist[i] = viaV
+			parent[i] = ix.stepToward(s, graph.NodeID(i))
+		}
+	}
+	return dist, parent
+}
+
+// stepToward returns the first hop from node i back toward the last run's
+// source (the next-pointer of the signature): i's search-tree parent.
+func (ix *Index) stepToward(s *graph.Search, i graph.NodeID) graph.NodeID {
+	if !s.Reached(i) {
+		return graph.NoNode
+	}
+	return s.Parent(i)
+}
+
+func insertSorted(sig []sigEntry, e sigEntry) []sigEntry {
+	i := sort.Search(len(sig), func(i int) bool { return sig[i].obj >= e.obj })
+	if i < len(sig) && sig[i].obj == e.obj {
+		sig[i] = e
+		return sig
+	}
+	sig = append(sig, sigEntry{})
+	copy(sig[i+1:], sig[i:])
+	sig[i] = e
+	return sig
+}
+
+func removeEntry(sig []sigEntry, id graph.ObjectID) []sigEntry {
+	i := sort.Search(len(sig), func(i int) bool { return sig[i].obj >= id })
+	if i < len(sig) && sig[i].obj == id {
+		return append(sig[:i], sig[i+1:]...)
+	}
+	return sig
+}
+
+// rebuildLayout re-places all node signature records (signatures change
+// size with every object change, so records are re-laid out wholesale —
+// mirroring the massive rewrite cost the paper measures).
+func (ix *Index) rebuildLayout() {
+	if ix.store == nil {
+		return
+	}
+	ix.layout = storage.NewLayout(ix.store)
+	ix.genID++
+	for _, n := range storage.ClusterNodes(ix.g) {
+		ix.layout.Place(int64(n), 16+20*len(ix.sigs[n]))
+		ix.layout.Write(int64(n))
+	}
+}
+
+// IndexSizeBytes reports signature storage: 20 bytes per entry plus node
+// overhead — O(|O|·|N|), the explosive growth of Figure 13(b).
+func (ix *Index) IndexSizeBytes() int64 {
+	var total int64
+	for _, sig := range ix.sigs {
+		total += 16 + 20*int64(len(sig))
+	}
+	return total
+}
+
+// Store returns the simulated page store (nil when disabled).
+func (ix *Index) Store() *storage.Store { return ix.store }
+
+// KNN answers from the query node's signature: load it, filter by
+// attribute, take the k smallest distances.
+func (ix *Index) KNN(q graph.NodeID, attr int32, k int) ([]Result, Stats) {
+	var stats Stats
+	var mark storage.Stats
+	if ix.store != nil {
+		mark = ix.store.Stats()
+		ix.layout.Read(int64(q))
+	}
+	sig := ix.sigs[q]
+	stats.SignatureEntries = len(sig)
+	res := make([]Result, 0, k)
+	for _, e := range sig {
+		if attr != 0 && e.attr != attr {
+			continue
+		}
+		if o, ok := ix.objects.Get(e.obj); ok {
+			res = append(res, Result{Object: o, Dist: e.dist})
+		}
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Dist != res[j].Dist {
+			return res[i].Dist < res[j].Dist
+		}
+		return res[i].Object.ID < res[j].Object.ID
+	})
+	if len(res) > k {
+		res = res[:k]
+	}
+	for _, r := range res {
+		ix.chase(q, r.Object.ID, &stats)
+	}
+	if ix.store != nil {
+		stats.IO = ix.store.Stats().Sub(mark)
+	}
+	return res, stats
+}
+
+// chase follows the signature next-pointers from q to an answer object —
+// the precomputed-path traversal of [6] that materializes the result (and
+// its route), reading the signature record of every node on the way. This
+// is the I/O the paper's Figure 11(d) shows trailing toward the answers.
+func (ix *Index) chase(q graph.NodeID, obj graph.ObjectID, stats *Stats) {
+	n := q
+	for steps := 0; steps < ix.g.NumNodes(); steps++ {
+		next, ok := ix.NextHop(n, obj)
+		if !ok || next == graph.NoNode {
+			return
+		}
+		stats.Hops++
+		if ix.layout != nil {
+			ix.layout.Read(int64(next))
+		}
+		n = next
+	}
+}
+
+// Range answers from the query node's signature with a distance cut-off.
+func (ix *Index) Range(q graph.NodeID, attr int32, radius float64) ([]Result, Stats) {
+	var stats Stats
+	var mark storage.Stats
+	if ix.store != nil {
+		mark = ix.store.Stats()
+		ix.layout.Read(int64(q))
+	}
+	sig := ix.sigs[q]
+	stats.SignatureEntries = len(sig)
+	var res []Result
+	for _, e := range sig {
+		if e.dist > radius || (attr != 0 && e.attr != attr) {
+			continue
+		}
+		if o, ok := ix.objects.Get(e.obj); ok {
+			res = append(res, Result{Object: o, Dist: e.dist})
+		}
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Dist != res[j].Dist {
+			return res[i].Dist < res[j].Dist
+		}
+		return res[i].Object.ID < res[j].Object.ID
+	})
+	for _, r := range res {
+		ix.chase(q, r.Object.ID, &stats)
+	}
+	if ix.store != nil {
+		stats.IO = ix.store.Stats().Sub(mark)
+	}
+	return res, stats
+}
+
+// NextHop exposes the signature's next-pointer toward an object from node
+// n (the pointer-chasing mechanism of [6]).
+func (ix *Index) NextHop(n graph.NodeID, obj graph.ObjectID) (graph.NodeID, bool) {
+	sig := ix.sigs[n]
+	i := sort.Search(len(sig), func(i int) bool { return sig[i].obj >= obj })
+	if i < len(sig) && sig[i].obj == obj {
+		return sig[i].next, true
+	}
+	return graph.NoNode, false
+}
+
+// InsertObject adds an object: one whole-network Dijkstra plus a rewrite
+// of every node signature.
+func (ix *Index) InsertObject(e graph.EdgeID, du float64, attr int32) (graph.Object, error) {
+	o, err := ix.objects.Add(e, du, attr)
+	if err != nil {
+		return graph.Object{}, err
+	}
+	ix.addObjectEntries(o)
+	ix.rebuildLayout()
+	return o, nil
+}
+
+// DeleteObject removes an object's entry from every node signature.
+func (ix *Index) DeleteObject(id graph.ObjectID) bool {
+	if _, ok := ix.objects.Get(id); !ok {
+		return false
+	}
+	ix.objects.Remove(id)
+	for n := range ix.sigs {
+		ix.sigs[n] = removeEntry(ix.sigs[n], id)
+	}
+	ix.rebuildLayout()
+	return true
+}
+
+// SetEdgeWeight re-derives every object's distances from scratch — the
+// full-network reexamination the paper measures for this baseline.
+func (ix *Index) SetEdgeWeight(e graph.EdgeID, w float64) error {
+	if err := ix.g.SetWeight(e, w); err != nil {
+		return err
+	}
+	ix.recomputeAll()
+	return nil
+}
+
+// DeleteEdge removes a segment and recomputes all signatures.
+func (ix *Index) DeleteEdge(e graph.EdgeID) error {
+	for _, oid := range ix.objects.OnEdge(e) {
+		ix.objects.Remove(oid)
+	}
+	if err := ix.g.RemoveEdge(e); err != nil {
+		return err
+	}
+	ix.recomputeAll()
+	return nil
+}
+
+// RestoreEdge re-attaches a segment and recomputes all signatures.
+func (ix *Index) RestoreEdge(e graph.EdgeID) error {
+	if err := ix.g.RestoreEdge(e); err != nil {
+		return err
+	}
+	ix.recomputeAll()
+	return nil
+}
+
+func (ix *Index) recomputeAll() {
+	for n := range ix.sigs {
+		ix.sigs[n] = ix.sigs[n][:0]
+	}
+	for _, o := range ix.objects.All() {
+		ix.addObjectEntries(o)
+	}
+	ix.rebuildLayout()
+}
+
+// Graph returns the underlying network.
+func (ix *Index) Graph() *graph.Graph { return ix.g }
+
+// ObjectSet returns the mapped objects.
+func (ix *Index) ObjectSet() *graph.ObjectSet { return ix.objects }

@@ -1,0 +1,220 @@
+package distidx
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"road/internal/dataset"
+	"road/internal/graph"
+	"road/internal/storage"
+)
+
+func brute(g *graph.Graph, objects *graph.ObjectSet, q graph.NodeID, attr int32) []Result {
+	s := graph.NewSearch(g)
+	s.Run(q, graph.Options{})
+	var out []Result
+	for _, o := range objects.All() {
+		if attr != 0 && o.Attr != attr {
+			continue
+		}
+		e := g.Edge(o.Edge)
+		if e.Removed {
+			continue
+		}
+		d := math.Inf(1)
+		if du := s.Dist(e.U); !math.IsInf(du, 1) {
+			d = du + o.DU
+		}
+		if dv := s.Dist(e.V); !math.IsInf(dv, 1) && dv+o.DV < d {
+			d = dv + o.DV
+		}
+		if !math.IsInf(d, 1) {
+			out = append(out, Result{Object: o, Dist: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Object.ID < out[j].Object.ID
+	})
+	return out
+}
+
+func fixture(t *testing.T, seed int64) (*Index, *graph.Graph, *graph.ObjectSet) {
+	t.Helper()
+	g := dataset.MustGenerate(dataset.Spec{Name: "t", Nodes: 300, Edges: 350, Seed: seed})
+	objects := dataset.PlaceUniform(g, 15, seed+1, 0, 7)
+	return New(g, objects, storage.NewStore(0)), g, objects
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	ix, g, objects := fixture(t, 1)
+	for _, q := range dataset.RandomNodes(g, 30, 2) {
+		for _, k := range []int{1, 5} {
+			got, _ := ix.KNN(q, 0, k)
+			want := brute(g, objects, q, 0)
+			if len(want) > k {
+				want = want[:k]
+			}
+			if len(got) != len(want) {
+				t.Fatalf("knn: %d results, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if math.Abs(got[i].Dist-want[i].Dist) > 1e-9*math.Max(1, want[i].Dist) {
+					t.Fatalf("knn result %d dist %g, want %g", i, got[i].Dist, want[i].Dist)
+				}
+			}
+		}
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	ix, g, objects := fixture(t, 3)
+	diam := g.EstimateDiameter()
+	for _, q := range dataset.RandomNodes(g, 20, 4) {
+		r := diam * 0.1
+		got, _ := ix.Range(q, 0, r)
+		all := brute(g, objects, q, 0)
+		var want []Result
+		for _, x := range all {
+			if x.Dist <= r {
+				want = append(want, x)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("range: %d results, want %d", len(got), len(want))
+		}
+	}
+}
+
+func TestAttributeFilter(t *testing.T) {
+	ix, g, _ := fixture(t, 5)
+	for _, q := range dataset.RandomNodes(g, 10, 6) {
+		got, _ := ix.KNN(q, 7, 3)
+		for _, r := range got {
+			if r.Object.Attr != 7 {
+				t.Fatal("attribute predicate violated")
+			}
+		}
+	}
+}
+
+func TestNextHopChainReachesObject(t *testing.T) {
+	// Chasing next pointers from any node must walk a shortest path to the
+	// object's edge: distances decrease by exactly the traversed edge
+	// weight each hop.
+	ix, g, objects := fixture(t, 7)
+	o := objects.All()[0]
+	for _, start := range dataset.RandomNodes(g, 10, 8) {
+		n := start
+		steps := 0
+		for steps < g.NumNodes() {
+			next, ok := ix.NextHop(n, o.ID)
+			if !ok {
+				t.Fatalf("node %d has no signature entry for object %d", n, o.ID)
+			}
+			if next == graph.NoNode {
+				// Arrived at an endpoint of the object's edge.
+				e := g.Edge(o.Edge)
+				if n != e.U && n != e.V {
+					t.Fatalf("chain ended at %d, not an endpoint of object edge", n)
+				}
+				break
+			}
+			// The hop must shorten the remaining distance by the edge weight.
+			cur := sigDist(t, ix, n, o.ID)
+			nxt := sigDist(t, ix, next, o.ID)
+			w := g.Weight(g.EdgeBetween(n, next))
+			if math.Abs(cur-(nxt+w)) > 1e-9*math.Max(1, cur) {
+				t.Fatalf("hop %d->%d: dist %g != %g+%g", n, next, cur, nxt, w)
+			}
+			n = next
+			steps++
+		}
+	}
+}
+
+func sigDist(t *testing.T, ix *Index, n graph.NodeID, obj graph.ObjectID) float64 {
+	t.Helper()
+	for _, e := range ix.sigs[n] {
+		if e.obj == obj {
+			return e.dist
+		}
+	}
+	t.Fatalf("no signature entry at node %d for object %d", n, obj)
+	return 0
+}
+
+func TestIndexSizeGrowsLinearlyWithObjects(t *testing.T) {
+	g := dataset.MustGenerate(dataset.Spec{Name: "t", Nodes: 300, Edges: 350, Seed: 9})
+	small := New(g, dataset.PlaceUniform(g, 5, 10), nil)
+	large := New(g, dataset.PlaceUniform(g, 50, 11), nil)
+	ratio := float64(large.IndexSizeBytes()) / float64(small.IndexSizeBytes())
+	if ratio < 5 {
+		t.Fatalf("size ratio %g for 10× objects; expected near-linear growth", ratio)
+	}
+}
+
+func TestObjectInsertDelete(t *testing.T) {
+	ix, g, objects := fixture(t, 12)
+	o, err := ix.InsertObject(3, g.Weight(3)/2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ix.KNN(g.Edge(3).U, 0, 1)
+	if len(got) == 0 {
+		t.Fatal("no result after insert")
+	}
+	if !ix.DeleteObject(o.ID) {
+		t.Fatal("delete failed")
+	}
+	for _, q := range dataset.RandomNodes(g, 10, 13) {
+		got, _ := ix.KNN(q, 0, 3)
+		want := brute(g, objects, q, 0)
+		if len(want) > 3 {
+			want = want[:3]
+		}
+		if len(got) != len(want) {
+			t.Fatal("post-churn knn mismatch")
+		}
+	}
+}
+
+func TestEdgeUpdateRecomputesSignatures(t *testing.T) {
+	ix, g, objects := fixture(t, 14)
+	e := graph.EdgeID(5)
+	if err := ix.SetEdgeWeight(e, g.Weight(e)*4); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range dataset.RandomNodes(g, 15, 15) {
+		got, _ := ix.KNN(q, 0, 3)
+		want := brute(g, objects, q, 0)
+		if len(want) > 3 {
+			want = want[:3]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("post-reweight knn: %d vs %d", len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-9*math.Max(1, want[i].Dist) {
+				t.Fatalf("post-reweight dist mismatch at %d", q)
+			}
+		}
+	}
+}
+
+func TestQueryConsultsSignatureAndChasesResults(t *testing.T) {
+	// The solution-based approach answers from the query node's signature
+	// (no network expansion), then materializes each answer by chasing its
+	// precomputed next-pointers.
+	ix, g, _ := fixture(t, 16)
+	res, st := ix.KNN(dataset.RandomNodes(g, 1, 17)[0], 0, 5)
+	if st.SignatureEntries == 0 {
+		t.Fatal("signature not consulted")
+	}
+	if len(res) > 0 && st.Hops == 0 {
+		t.Fatal("results returned without chasing their precomputed paths")
+	}
+}

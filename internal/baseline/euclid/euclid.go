@@ -1,0 +1,300 @@
+// Package euclid implements the Euclidean distance-bound baseline
+// (IER, [16,19]; §2): objects are indexed in an R-tree by map position;
+// candidates are drawn in increasing Euclidean distance — a lower bound on
+// network distance — and verified with A* shortest-path searches over the
+// network. The approach suffers exactly the pathologies the paper
+// describes: false candidates whose network distance greatly exceeds their
+// Euclidean distance, and repeated A* searches over the same region.
+package euclid
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"road/internal/geom"
+	"road/internal/graph"
+	"road/internal/rtree"
+	"road/internal/storage"
+)
+
+// Result is one answer object with its network distance.
+type Result struct {
+	Object graph.Object
+	Dist   float64
+}
+
+// Stats reports the cost of one query.
+type Stats struct {
+	// Candidates counts objects drawn from the R-tree.
+	Candidates int
+	// FalseHits counts candidates that verification rejected.
+	FalseHits int
+	// NodesPopped counts network nodes settled across all A* runs.
+	NodesPopped int
+	IO          storage.Stats
+}
+
+// rtreePageBase maps R-tree node IDs into their own simulated page
+// namespace.
+const rtreePageBase = storage.PageID(-1) << 40
+
+// Index is the Euclidean-bound structure: an R-tree over object positions
+// plus the plain network for A* verification.
+type Index struct {
+	g       *graph.Graph
+	objects *graph.ObjectSet
+	rt      *rtree.Tree
+	search  *graph.Search
+	hScale  float64
+	store   *storage.Store
+	layout  *storage.Layout
+
+	BuildTime time.Duration
+}
+
+// New builds the index. store may be nil to skip I/O simulation.
+func New(g *graph.Graph, objects *graph.ObjectSet, store *storage.Store) *Index {
+	start := time.Now()
+	ix := &Index{g: g, objects: objects, store: store}
+	var entries []rtree.Entry
+	for _, o := range objects.All() {
+		entries = append(entries, rtree.Entry{P: ix.objectPos(o), ID: o.ID})
+	}
+	ix.rt = rtree.BulkLoad(entries, rtree.DefaultMaxEntries)
+	ix.search = graph.NewSearch(g)
+	ix.hScale = graph.EuclideanScale(g)
+	if store != nil {
+		ix.layout = storage.NewLayout(store)
+		for _, n := range storage.ClusterNodes(g) {
+			ix.layout.Place(int64(n), 16+12*len(g.Neighbors(n)))
+			ix.layout.Write(int64(n))
+		}
+		ix.rt.OnNodeVisit = func(id int32) { store.Read(rtreePageBase - storage.PageID(id)) }
+	}
+	ix.BuildTime = time.Since(start)
+	return ix
+}
+
+// objectPos interpolates an object's map position along its edge.
+func (ix *Index) objectPos(o graph.Object) geom.Point {
+	e := ix.g.Edge(o.Edge)
+	pu, pv := ix.g.Coord(e.U), ix.g.Coord(e.V)
+	total := o.DU + o.DV
+	t := 0.5
+	if total > 0 {
+		t = o.DU / total
+	}
+	return geom.Point{X: pu.X + (pv.X-pu.X)*t, Y: pu.Y + (pv.Y-pu.Y)*t}
+}
+
+// IndexSizeBytes reports storage: R-tree nodes plus network node records.
+func (ix *Index) IndexSizeBytes() int64 {
+	var total int64 = int64(ix.rt.Nodes()) * 512 // entries+rects per node
+	for n := 0; n < ix.g.NumNodes(); n++ {
+		total += int64(16 + 12*len(ix.g.Neighbors(graph.NodeID(n))))
+	}
+	return total
+}
+
+// Store returns the simulated page store (nil when disabled).
+func (ix *Index) Store() *storage.Store { return ix.store }
+
+// networkDist verifies one candidate: A* to each endpoint of the object's
+// edge, taking the smaller endpoint-plus-offset distance. bound prunes
+// searches that provably cannot beat the current result set (+Inf when no
+// bound is known yet).
+func (ix *Index) networkDist(q graph.NodeID, o graph.Object, bound float64, stats *Stats) float64 {
+	e := ix.g.Edge(o.Edge)
+	onSettle := func(graph.NodeID) {}
+	if ix.layout != nil {
+		onSettle = func(n graph.NodeID) { ix.layout.Read(int64(n)) }
+	}
+	du := ix.search.AStarBounded(q, e.U, ix.hScale, bound, onSettle)
+	stats.NodesPopped += ix.search.Visited
+	dv := ix.search.AStarBounded(q, e.V, ix.hScale, bound, onSettle)
+	stats.NodesPopped += ix.search.Visited
+	return math.Min(du+o.DU, dv+o.DV)
+}
+
+// KNN draws candidates in Euclidean order and verifies their network
+// distances until the Euclidean bound exceeds the k-th best verified
+// distance.
+func (ix *Index) KNN(q graph.NodeID, attr int32, k int) ([]Result, Stats) {
+	var stats Stats
+	var mark storage.Stats
+	if ix.store != nil {
+		mark = ix.store.Stats()
+	}
+	qp := ix.g.Coord(q)
+	it := ix.rt.NewNNIter(qp)
+	var best []Result // sorted ascending by Dist
+	for {
+		e, eud, ok := it.Next()
+		if !ok {
+			break
+		}
+		// hScale×Euclidean lower-bounds network distance; once it reaches
+		// the k-th best verified distance no candidate can improve.
+		if len(best) == k && ix.hScale*eud >= best[k-1].Dist {
+			break
+		}
+		o, exists := ix.objects.Get(e.ID)
+		if !exists || (attr != 0 && o.Attr != attr) {
+			continue
+		}
+		stats.Candidates++
+		bound := math.Inf(1)
+		if len(best) == k {
+			bound = best[k-1].Dist
+		}
+		nd := ix.networkDist(q, o, bound, &stats)
+		if math.IsInf(nd, 1) {
+			stats.FalseHits++
+			continue
+		}
+		best = append(best, Result{Object: o, Dist: nd})
+		sort.Slice(best, func(i, j int) bool {
+			if best[i].Dist != best[j].Dist {
+				return best[i].Dist < best[j].Dist
+			}
+			return best[i].Object.ID < best[j].Object.ID
+		})
+		if len(best) > k {
+			best = best[:k]
+			stats.FalseHits++ // the displaced candidate was a false hit
+		}
+	}
+	if ix.store != nil {
+		stats.IO = ix.store.Stats().Sub(mark)
+	}
+	return best, stats
+}
+
+// Range retrieves Euclidean candidates within radius and keeps those whose
+// verified network distance is within radius.
+func (ix *Index) Range(q graph.NodeID, attr int32, radius float64) ([]Result, Stats) {
+	var stats Stats
+	var mark storage.Stats
+	if ix.store != nil {
+		mark = ix.store.Stats()
+	}
+	qp := ix.g.Coord(q)
+	// Euclidean distance scaled by hScale lower-bounds network distance,
+	// so the candidate disc has radius radius/hScale.
+	discRadius := radius
+	if ix.hScale > 0 {
+		discRadius = radius / ix.hScale
+	}
+	var res []Result
+	for _, e := range ix.rt.WithinRadius(qp, discRadius) {
+		o, exists := ix.objects.Get(e.ID)
+		if !exists || (attr != 0 && o.Attr != attr) {
+			continue
+		}
+		stats.Candidates++
+		nd := ix.networkDist(q, o, radius, &stats)
+		if nd <= radius {
+			res = append(res, Result{Object: o, Dist: nd})
+		} else {
+			stats.FalseHits++
+		}
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Dist != res[j].Dist {
+			return res[i].Dist < res[j].Dist
+		}
+		return res[i].Object.ID < res[j].Object.ID
+	})
+	if ix.store != nil {
+		stats.IO = ix.store.Stats().Sub(mark)
+	}
+	return res, stats
+}
+
+// InsertObject adds an object to the set and the R-tree.
+func (ix *Index) InsertObject(e graph.EdgeID, du float64, attr int32) (graph.Object, error) {
+	o, err := ix.objects.Add(e, du, attr)
+	if err != nil {
+		return graph.Object{}, err
+	}
+	ix.rt.Insert(rtree.Entry{P: ix.objectPos(o), ID: o.ID})
+	if ix.store != nil {
+		ix.store.Write(rtreePageBase) // root page rewrite
+	}
+	return o, nil
+}
+
+// DeleteObject removes an object from the set and the R-tree.
+func (ix *Index) DeleteObject(id graph.ObjectID) bool {
+	o, ok := ix.objects.Get(id)
+	if !ok {
+		return false
+	}
+	ix.rt.Delete(ix.objectPos(o), id)
+	ix.objects.Remove(id)
+	if ix.store != nil {
+		ix.store.Write(rtreePageBase)
+	}
+	return true
+}
+
+// SetEdgeWeight updates a road distance. The R-tree is position-based and
+// unaffected; only the admissibility scale may need tightening.
+func (ix *Index) SetEdgeWeight(e graph.EdgeID, w float64) error {
+	if err := ix.g.SetWeight(e, w); err != nil {
+		return err
+	}
+	ix.tightenScale(e)
+	ix.writeEdgeEndpoints(e)
+	return nil
+}
+
+// DeleteEdge removes a road segment (objects on it are dropped).
+func (ix *Index) DeleteEdge(e graph.EdgeID) error {
+	for _, oid := range ix.objects.OnEdge(e) {
+		ix.DeleteObject(oid)
+	}
+	if err := ix.g.RemoveEdge(e); err != nil {
+		return err
+	}
+	ix.writeEdgeEndpoints(e)
+	return nil
+}
+
+// RestoreEdge re-attaches a removed segment.
+func (ix *Index) RestoreEdge(e graph.EdgeID) error {
+	if err := ix.g.RestoreEdge(e); err != nil {
+		return err
+	}
+	ix.tightenScale(e)
+	ix.writeEdgeEndpoints(e)
+	return nil
+}
+
+// tightenScale keeps the A* heuristic admissible after weight changes: the
+// scale only ever shrinks (a looser heuristic stays correct).
+func (ix *Index) tightenScale(e graph.EdgeID) {
+	ed := ix.g.Edge(e)
+	d := ix.g.Coord(ed.U).Dist(ix.g.Coord(ed.V))
+	if d > 0 {
+		if r := ed.Weight / d; r < ix.hScale {
+			ix.hScale = r
+		}
+	}
+}
+
+func (ix *Index) writeEdgeEndpoints(e graph.EdgeID) {
+	if ix.layout == nil {
+		return
+	}
+	ed := ix.g.Edge(e)
+	ix.layout.Write(int64(ed.U))
+	ix.layout.Write(int64(ed.V))
+}
+
+// Graph returns the underlying network.
+func (ix *Index) Graph() *graph.Graph { return ix.g }
+
+// ObjectSet returns the mapped objects.
+func (ix *Index) ObjectSet() *graph.ObjectSet { return ix.objects }

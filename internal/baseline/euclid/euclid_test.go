@@ -1,0 +1,198 @@
+package euclid
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"road/internal/dataset"
+	"road/internal/graph"
+	"road/internal/storage"
+)
+
+func brute(g *graph.Graph, objects *graph.ObjectSet, q graph.NodeID, attr int32) []Result {
+	s := graph.NewSearch(g)
+	s.Run(q, graph.Options{})
+	var out []Result
+	for _, o := range objects.All() {
+		if attr != 0 && o.Attr != attr {
+			continue
+		}
+		e := g.Edge(o.Edge)
+		if e.Removed {
+			continue
+		}
+		d := math.Inf(1)
+		if du := s.Dist(e.U); !math.IsInf(du, 1) {
+			d = du + o.DU
+		}
+		if dv := s.Dist(e.V); !math.IsInf(dv, 1) && dv+o.DV < d {
+			d = dv + o.DV
+		}
+		if !math.IsInf(d, 1) {
+			out = append(out, Result{Object: o, Dist: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Object.ID < out[j].Object.ID
+	})
+	return out
+}
+
+func fixture(t *testing.T, seed int64) (*Index, *graph.Graph, *graph.ObjectSet) {
+	t.Helper()
+	g := dataset.MustGenerate(dataset.Spec{Name: "t", Nodes: 400, Edges: 460, Seed: seed})
+	objects := dataset.PlaceUniform(g, 25, seed+1, 0, 7)
+	return New(g, objects, storage.NewStore(0)), g, objects
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	ix, g, objects := fixture(t, 1)
+	for _, q := range dataset.RandomNodes(g, 25, 2) {
+		for _, k := range []int{1, 5} {
+			got, _ := ix.KNN(q, 0, k)
+			want := brute(g, objects, q, 0)
+			if len(want) > k {
+				want = want[:k]
+			}
+			if len(got) != len(want) {
+				t.Fatalf("knn: %d results, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if math.Abs(got[i].Dist-want[i].Dist) > 1e-9*math.Max(1, want[i].Dist) {
+					t.Fatalf("knn result %d dist %g, want %g", i, got[i].Dist, want[i].Dist)
+				}
+			}
+		}
+	}
+}
+
+func TestKNNAttribute(t *testing.T) {
+	ix, g, objects := fixture(t, 3)
+	for _, q := range dataset.RandomNodes(g, 10, 4) {
+		got, _ := ix.KNN(q, 7, 3)
+		want := brute(g, objects, q, 7)
+		if len(want) > 3 {
+			want = want[:3]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("attr knn: %d results, want %d", len(got), len(want))
+		}
+		for _, r := range got {
+			if r.Object.Attr != 7 {
+				t.Fatal("attribute predicate violated")
+			}
+		}
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	ix, g, objects := fixture(t, 5)
+	diam := g.EstimateDiameter()
+	for _, q := range dataset.RandomNodes(g, 15, 6) {
+		r := diam * 0.1
+		got, _ := ix.Range(q, 0, r)
+		all := brute(g, objects, q, 0)
+		var want []Result
+		for _, x := range all {
+			if x.Dist <= r {
+				want = append(want, x)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("range: %d results, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-9*math.Max(1, want[i].Dist) {
+				t.Fatalf("range result %d dist mismatch", i)
+			}
+		}
+	}
+}
+
+func TestFalseHitsObserved(t *testing.T) {
+	// On road networks Euclidean proximity ≠ network proximity; across
+	// many queries the baseline must encounter false candidates.
+	ix, g, _ := fixture(t, 7)
+	falseHits := 0
+	for _, q := range dataset.RandomNodes(g, 30, 8) {
+		_, st := ix.KNN(q, 0, 3)
+		falseHits += st.FalseHits
+	}
+	if falseHits == 0 {
+		t.Log("warning: no false hits observed (unusually Euclidean-friendly network)")
+	}
+}
+
+func TestQueryIO(t *testing.T) {
+	ix, g, _ := fixture(t, 9)
+	ix.Store().DropCache()
+	_, st := ix.KNN(dataset.RandomNodes(g, 1, 10)[0], 0, 3)
+	if st.IO.Reads == 0 {
+		t.Fatal("no I/O recorded")
+	}
+	if st.Candidates == 0 || st.NodesPopped == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+}
+
+func TestObjectUpdates(t *testing.T) {
+	ix, g, objects := fixture(t, 11)
+	o, err := ix.InsertObject(3, g.Weight(3)/2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ix.KNN(g.Edge(3).U, 0, 1)
+	if len(got) == 0 || got[0].Dist > g.Weight(3)/2+1e-9 {
+		t.Fatalf("inserted object not found nearest: %v", got)
+	}
+	if !ix.DeleteObject(o.ID) {
+		t.Fatal("delete failed")
+	}
+	// Still consistent with brute force after churn.
+	for _, q := range dataset.RandomNodes(g, 10, 12) {
+		got, _ := ix.KNN(q, 0, 3)
+		want := brute(g, objects, q, 0)
+		if len(want) > 3 {
+			want = want[:3]
+		}
+		if len(got) != len(want) {
+			t.Fatal("post-churn knn mismatch")
+		}
+	}
+}
+
+func TestWeightDecreaseKeepsHeuristicAdmissible(t *testing.T) {
+	// Decreasing a weight can invalidate a stale heuristic scale; the
+	// index must tighten it and stay exact.
+	ix, g, objects := fixture(t, 13)
+	e := graph.EdgeID(10)
+	if err := ix.SetEdgeWeight(e, g.Weight(e)*0.05); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range dataset.RandomNodes(g, 15, 14) {
+		got, _ := ix.KNN(q, 0, 3)
+		want := brute(g, objects, q, 0)
+		if len(want) > 3 {
+			want = want[:3]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("post-decrease knn: %d vs %d results", len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-9*math.Max(1, want[i].Dist) {
+				t.Fatalf("post-decrease dist mismatch: %g vs %g", got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+}
+
+func TestIndexSize(t *testing.T) {
+	ix, _, _ := fixture(t, 15)
+	if ix.IndexSizeBytes() <= 0 {
+		t.Fatal("IndexSizeBytes = 0")
+	}
+}

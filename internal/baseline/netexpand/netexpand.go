@@ -1,0 +1,219 @@
+// Package netexpand implements the network-expansion baseline (INE, [16];
+// §2 "Network expansion based approaches"): objects are stored with the
+// network nodes (CCAM-clustered records [18]), and a query grows a
+// Dijkstra spanning tree from the query point, examining every node it
+// settles until enough objects are found. No precomputation: index
+// construction is trivial and updates are cheap, but large empty regions
+// are scanned node by node — the inefficiency ROAD's pruning removes.
+package netexpand
+
+import (
+	"time"
+
+	"road/internal/graph"
+	"road/internal/pqueue"
+	"road/internal/storage"
+)
+
+// Result is one answer object with its network distance.
+type Result struct {
+	Object graph.Object
+	Dist   float64
+}
+
+// Stats reports the cost of one query.
+type Stats struct {
+	NodesPopped int
+	IO          storage.Stats
+}
+
+// Index is the network-expansion "index": the raw network with objects
+// attached to node records.
+type Index struct {
+	g       *graph.Graph
+	objects *graph.ObjectSet
+	store   *storage.Store
+	layout  *storage.Layout
+
+	// BuildTime records construction time (essentially the layout pass).
+	BuildTime time.Duration
+}
+
+// New builds the structure. store may be nil to skip I/O simulation.
+func New(g *graph.Graph, objects *graph.ObjectSet, store *storage.Store) *Index {
+	start := time.Now()
+	ix := &Index{g: g, objects: objects, store: store}
+	if store != nil {
+		ix.layout = storage.NewLayout(store)
+		for _, n := range storage.ClusterNodes(g) {
+			ix.layout.Place(int64(n), ix.nodeRecordSize(n))
+			ix.layout.Write(int64(n))
+		}
+	}
+	ix.BuildTime = time.Since(start)
+	return ix
+}
+
+// nodeRecordSize estimates a node record: coordinates, adjacency, and the
+// objects stored with the node (those on its incident edges).
+func (ix *Index) nodeRecordSize(n graph.NodeID) int {
+	size := 16 + 12*len(ix.g.Neighbors(n))
+	for _, half := range ix.g.Neighbors(n) {
+		size += 16 * len(ix.objects.OnEdge(half.Edge))
+	}
+	return size
+}
+
+// IndexSizeBytes reports storage consumption: node records only (the
+// baseline keeps no separate object index).
+func (ix *Index) IndexSizeBytes() int64 {
+	var total int64
+	for n := 0; n < ix.g.NumNodes(); n++ {
+		total += int64(ix.nodeRecordSize(graph.NodeID(n)))
+	}
+	return total
+}
+
+// Store returns the simulated page store (nil when disabled).
+func (ix *Index) Store() *storage.Store { return ix.store }
+
+type entry struct {
+	node graph.NodeID
+	obj  graph.ObjectID // ≥ 0 marks an object entry
+}
+
+// KNN returns the k nearest objects matching attr (0 = any) by pure
+// network expansion from node q.
+func (ix *Index) KNN(q graph.NodeID, attr int32, k int) ([]Result, Stats) {
+	return ix.expand(q, attr, k, 0)
+}
+
+// Range returns all matching objects within radius of q.
+func (ix *Index) Range(q graph.NodeID, attr int32, radius float64) ([]Result, Stats) {
+	return ix.expand(q, attr, 0, radius)
+}
+
+func (ix *Index) expand(q graph.NodeID, attr int32, k int, radius float64) ([]Result, Stats) {
+	var stats Stats
+	var mark storage.Stats
+	if ix.store != nil {
+		mark = ix.store.Stats()
+	}
+	var pq pqueue.Queue
+	visited := make(map[graph.NodeID]bool)
+	seenObj := make(map[graph.ObjectID]bool)
+	var res []Result
+	pq.Push(entry{node: q, obj: -1}, 0)
+	for pq.Len() > 0 {
+		item, _ := pq.Pop()
+		en := item.Value.(entry)
+		d := item.Priority
+		if k == 0 && d > radius {
+			break
+		}
+		if en.obj >= 0 {
+			if seenObj[en.obj] {
+				continue
+			}
+			seenObj[en.obj] = true
+			if o, ok := ix.objects.Get(en.obj); ok {
+				res = append(res, Result{Object: o, Dist: d})
+			}
+			if k > 0 && len(res) >= k {
+				break
+			}
+			continue
+		}
+		n := en.node
+		if visited[n] {
+			continue
+		}
+		visited[n] = true
+		stats.NodesPopped++
+		if ix.layout != nil {
+			ix.layout.Read(int64(n))
+		}
+		for _, half := range ix.g.Neighbors(n) {
+			// Objects stored with the node: those on incident edges.
+			for _, oid := range ix.objects.OnEdge(half.Edge) {
+				o, ok := ix.objects.Get(oid)
+				if !ok || (attr != 0 && o.Attr != attr) || seenObj[oid] {
+					continue
+				}
+				pq.Push(entry{obj: oid}, d+ix.objects.NodeDist(o, n))
+			}
+			pq.Push(entry{node: half.To, obj: -1}, d+ix.g.Weight(half.Edge))
+		}
+	}
+	if ix.store != nil {
+		stats.IO = ix.store.Stats().Sub(mark)
+	}
+	return res, stats
+}
+
+// InsertObject places an object and rewrites the affected node records.
+func (ix *Index) InsertObject(e graph.EdgeID, du float64, attr int32) (graph.Object, error) {
+	o, err := ix.objects.Add(e, du, attr)
+	if err != nil {
+		return graph.Object{}, err
+	}
+	ix.writeEdgeEndpoints(e)
+	return o, nil
+}
+
+// DeleteObject removes an object and rewrites the affected node records.
+func (ix *Index) DeleteObject(id graph.ObjectID) bool {
+	o, ok := ix.objects.Get(id)
+	if !ok {
+		return false
+	}
+	ix.objects.Remove(id)
+	ix.writeEdgeEndpoints(o.Edge)
+	return true
+}
+
+// SetEdgeWeight updates a road distance; only the two endpoint records
+// change (the baseline's cheap maintenance, Figure 16).
+func (ix *Index) SetEdgeWeight(e graph.EdgeID, w float64) error {
+	if err := ix.g.SetWeight(e, w); err != nil {
+		return err
+	}
+	ix.writeEdgeEndpoints(e)
+	return nil
+}
+
+// DeleteEdge removes a road segment.
+func (ix *Index) DeleteEdge(e graph.EdgeID) error {
+	for _, oid := range ix.objects.OnEdge(e) {
+		ix.objects.Remove(oid)
+	}
+	if err := ix.g.RemoveEdge(e); err != nil {
+		return err
+	}
+	ix.writeEdgeEndpoints(e)
+	return nil
+}
+
+// RestoreEdge re-attaches a removed segment.
+func (ix *Index) RestoreEdge(e graph.EdgeID) error {
+	if err := ix.g.RestoreEdge(e); err != nil {
+		return err
+	}
+	ix.writeEdgeEndpoints(e)
+	return nil
+}
+
+func (ix *Index) writeEdgeEndpoints(e graph.EdgeID) {
+	if ix.layout == nil {
+		return
+	}
+	ed := ix.g.Edge(e)
+	ix.layout.Write(int64(ed.U))
+	ix.layout.Write(int64(ed.V))
+}
+
+// Graph returns the underlying network.
+func (ix *Index) Graph() *graph.Graph { return ix.g }
+
+// ObjectSet returns the mapped objects.
+func (ix *Index) ObjectSet() *graph.ObjectSet { return ix.objects }

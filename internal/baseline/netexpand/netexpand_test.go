@@ -1,0 +1,182 @@
+package netexpand
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"road/internal/dataset"
+	"road/internal/graph"
+	"road/internal/storage"
+)
+
+func brute(g *graph.Graph, objects *graph.ObjectSet, q graph.NodeID, attr int32) []Result {
+	s := graph.NewSearch(g)
+	s.Run(q, graph.Options{})
+	var out []Result
+	for _, o := range objects.All() {
+		if attr != 0 && o.Attr != attr {
+			continue
+		}
+		e := g.Edge(o.Edge)
+		if e.Removed {
+			continue
+		}
+		d := math.Inf(1)
+		if du := s.Dist(e.U); !math.IsInf(du, 1) {
+			d = du + o.DU
+		}
+		if dv := s.Dist(e.V); !math.IsInf(dv, 1) && dv+o.DV < d {
+			d = dv + o.DV
+		}
+		if !math.IsInf(d, 1) {
+			out = append(out, Result{Object: o, Dist: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Object.ID < out[j].Object.ID
+	})
+	return out
+}
+
+func distsMatch(t *testing.T, got, want []Result, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i].Dist-want[i].Dist) > 1e-9*math.Max(1, want[i].Dist) {
+			t.Fatalf("%s: result %d dist %g, want %g", label, i, got[i].Dist, want[i].Dist)
+		}
+	}
+}
+
+func fixture(t *testing.T, seed int64) (*Index, *graph.Graph, *graph.ObjectSet) {
+	t.Helper()
+	g := dataset.MustGenerate(dataset.Spec{Name: "t", Nodes: 400, Edges: 460, Seed: seed})
+	objects := dataset.PlaceUniform(g, 25, seed+1, 0, 7)
+	return New(g, objects, storage.NewStore(0)), g, objects
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	ix, g, objects := fixture(t, 1)
+	for _, q := range dataset.RandomNodes(g, 30, 2) {
+		for _, k := range []int{1, 5} {
+			got, _ := ix.KNN(q, 0, k)
+			want := brute(g, objects, q, 0)
+			if len(want) > k {
+				want = want[:k]
+			}
+			distsMatch(t, got, want, "knn")
+		}
+	}
+}
+
+func TestKNNAttributeFilter(t *testing.T) {
+	ix, g, objects := fixture(t, 3)
+	for _, q := range dataset.RandomNodes(g, 15, 4) {
+		got, _ := ix.KNN(q, 7, 5)
+		want := brute(g, objects, q, 7)
+		if len(want) > 5 {
+			want = want[:5]
+		}
+		distsMatch(t, got, want, "attr knn")
+		for _, r := range got {
+			if r.Object.Attr != 7 {
+				t.Fatal("attribute predicate violated")
+			}
+		}
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	ix, g, objects := fixture(t, 5)
+	diam := g.EstimateDiameter()
+	for _, q := range dataset.RandomNodes(g, 20, 6) {
+		r := diam * 0.1
+		got, _ := ix.Range(q, 0, r)
+		all := brute(g, objects, q, 0)
+		var want []Result
+		for _, x := range all {
+			if x.Dist <= r {
+				want = append(want, x)
+			}
+		}
+		distsMatch(t, got, want, "range")
+	}
+}
+
+func TestQueryIOCounted(t *testing.T) {
+	ix, g, _ := fixture(t, 7)
+	ix.Store().DropCache()
+	_, st := ix.KNN(dataset.RandomNodes(g, 1, 8)[0], 0, 5)
+	if st.IO.Reads == 0 || st.NodesPopped == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+}
+
+func TestObjectUpdates(t *testing.T) {
+	ix, g, objects := fixture(t, 9)
+	o, err := ix.InsertObject(3, g.Weight(3)/2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ix.KNN(g.Edge(3).U, 0, 1)
+	if len(got) == 0 {
+		t.Fatal("no result after insert")
+	}
+	if !ix.DeleteObject(o.ID) {
+		t.Fatal("delete failed")
+	}
+	if ix.DeleteObject(o.ID) {
+		t.Fatal("double delete succeeded")
+	}
+	_ = objects
+}
+
+func TestNetworkUpdates(t *testing.T) {
+	ix, g, objects := fixture(t, 10)
+	if err := ix.SetEdgeWeight(4, g.Weight(4)*2); err != nil {
+		t.Fatal(err)
+	}
+	// Pick a removable edge.
+	var e graph.EdgeID = graph.NoEdge
+	for i := 0; i < g.NumEdges(); i++ {
+		ed := g.Edge(graph.EdgeID(i))
+		if g.Degree(ed.U) > 1 && g.Degree(ed.V) > 1 && len(objects.OnEdge(graph.EdgeID(i))) == 0 {
+			e = graph.EdgeID(i)
+			break
+		}
+	}
+	if e == graph.NoEdge {
+		t.Skip("no removable edge")
+	}
+	if err := ix.DeleteEdge(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.RestoreEdge(e); err != nil {
+		t.Fatal(err)
+	}
+	// Queries stay exact after updates.
+	for _, q := range dataset.RandomNodes(g, 10, 11) {
+		got, _ := ix.KNN(q, 0, 3)
+		want := brute(g, objects, q, 0)
+		if len(want) > 3 {
+			want = want[:3]
+		}
+		distsMatch(t, got, want, "post-update knn")
+	}
+}
+
+func TestIndexSize(t *testing.T) {
+	ix, _, _ := fixture(t, 12)
+	if ix.IndexSizeBytes() <= 0 {
+		t.Fatal("IndexSizeBytes = 0")
+	}
+	if ix.BuildTime < 0 {
+		t.Fatal("BuildTime negative")
+	}
+}

@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"road/internal/dataset"
+	"road/internal/graph"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	// Full runs NA/SF at the paper's node counts; otherwise they are
+	// scaled to ≈21k nodes (CA is always full scale — it builds in
+	// well under a second).
+	Full bool
+	// Queries per data point (the paper uses 100).
+	Queries int
+	// Trials per update experiment (the paper uses 100).
+	Trials int
+	// MaxApproachSeconds soft-caps how long repeated update trials may run
+	// per approach; expensive baselines get fewer trials rather than
+	// stalling the harness.
+	MaxApproachSeconds float64
+}
+
+// DefaultOptions reads ROAD_FULLSCALE from the environment and picks
+// laptop-friendly trial counts.
+func DefaultOptions() Options {
+	return Options{
+		Full:               os.Getenv("ROAD_FULLSCALE") == "1",
+		Queries:            50,
+		Trials:             20,
+		MaxApproachSeconds: 30,
+	}
+}
+
+// NetworkCase pairs a dataset spec with its hierarchy depth (Table 1:
+// l = 4 for CA, 8 for NA and SF; scaled stand-ins use 6).
+type NetworkCase struct {
+	Name   string
+	Spec   dataset.Spec
+	Levels int
+}
+
+// Cases returns the evaluation's three networks.
+func Cases(full bool) []NetworkCase {
+	if full {
+		return []NetworkCase{
+			{Name: "CA", Spec: dataset.CA(), Levels: 4},
+			{Name: "NA", Spec: dataset.NA(), Levels: 8},
+			{Name: "SF", Spec: dataset.SF(), Levels: 8},
+		}
+	}
+	return []NetworkCase{
+		{Name: "CA", Spec: dataset.CA(), Levels: 4},
+		{Name: "NA~", Spec: dataset.Scaled(dataset.NA(), 0.12), Levels: 6},
+		{Name: "SF~", Spec: dataset.Scaled(dataset.SF(), 0.12), Levels: 6},
+	}
+}
+
+// Table is one experiment's output: rows of formatted cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n%s\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(fmt.Sprintf("%-*s", widths[i], cell))
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	line(t.Columns)
+	dashes := make([]string, len(t.Columns))
+	for i := range dashes {
+		dashes[i] = strings.Repeat("-", widths[i])
+	}
+	line(dashes)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1000)
+	}
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// buildAll constructs all four approaches over one network + object set.
+func buildAll(g *graph.Graph, objects *graph.ObjectSet, levels int) (map[string]Approach, error) {
+	out := make(map[string]Approach, len(ApproachNames))
+	for _, name := range ApproachNames {
+		a, err := BuildApproach(name, g, objects, levels)
+		if err != nil {
+			return nil, fmt.Errorf("building %s: %w", name, err)
+		}
+		out[name] = a
+	}
+	return out, nil
+}
+
+// checkAgreement verifies all approaches returned the same result
+// distances for the same query — a live integration check folded into
+// every query experiment.
+func checkAgreement(results map[string][]float64) error {
+	var refName string
+	var ref []float64
+	for _, name := range ApproachNames {
+		ds, ok := results[name]
+		if !ok {
+			continue
+		}
+		if ref == nil {
+			refName, ref = name, ds
+			continue
+		}
+		if len(ds) != len(ref) {
+			return fmt.Errorf("%s returned %d results, %s returned %d", name, len(ds), refName, len(ref))
+		}
+		for i := range ds {
+			if math.Abs(ds[i]-ref[i]) > 1e-6*math.Max(1, ref[i]) {
+				return fmt.Errorf("%s result %d = %g, %s = %g", name, i, ds[i], refName, ref[i])
+			}
+		}
+	}
+	return nil
+}
+
+// measureKNN times opt.Queries kNN queries (cold cache each, as in §6)
+// and returns mean latency and mean page reads per query.
+func measureKNN(a Approach, queries []graph.NodeID, k int) (time.Duration, float64, [][]float64) {
+	var total time.Duration
+	var pages int64
+	dists := make([][]float64, 0, len(queries))
+	for _, q := range queries {
+		a.DropCache()
+		start := time.Now()
+		ds, io := a.KNN(q, k)
+		total += time.Since(start)
+		pages += io.Faults
+		dists = append(dists, ds)
+	}
+	n := time.Duration(len(queries))
+	return total / n, float64(pages) / float64(len(queries)), dists
+}
+
+func measureRange(a Approach, queries []graph.NodeID, radius float64) (time.Duration, float64, [][]float64) {
+	var total time.Duration
+	var pages int64
+	dists := make([][]float64, 0, len(queries))
+	for _, q := range queries {
+		a.DropCache()
+		start := time.Now()
+		ds, io := a.Range(q, radius)
+		total += time.Since(start)
+		pages += io.Faults
+		dists = append(dists, ds)
+	}
+	n := time.Duration(len(queries))
+	return total / n, float64(pages) / float64(len(queries)), dists
+}
+
+// agreementAcross folds per-query distance lists into checkAgreement calls.
+func agreementAcross(perApproach map[string][][]float64, nq int) error {
+	for qi := 0; qi < nq; qi++ {
+		results := make(map[string][]float64)
+		for name, all := range perApproach {
+			results[name] = all[qi]
+		}
+		if err := checkAgreement(results); err != nil {
+			return fmt.Errorf("query %d: %w", qi, err)
+		}
+	}
+	return nil
+}
+
+// trialsFor bounds update-trial counts by a per-trial cost estimate so the
+// expensive baselines don't stall the harness.
+func trialsFor(opt Options, estimate time.Duration, requested int) int {
+	if estimate <= 0 {
+		return requested
+	}
+	budget := time.Duration(opt.MaxApproachSeconds * float64(time.Second))
+	max := int(budget / estimate)
+	if max < 1 {
+		max = 1
+	}
+	if max > requested {
+		return requested
+	}
+	return max
+}
+
+// randomEdges draws n random live edges.
+func randomEdges(g *graph.Graph, n int, seed int64) []graph.EdgeID {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]graph.EdgeID, 0, n)
+	for len(out) < n {
+		e := graph.EdgeID(rng.Intn(g.NumEdges()))
+		if !g.Edge(e).Removed {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+// Package bloom implements the Bloom filter [1] that the paper suggests as
+// a compact representation of object abstracts (§3.4): an Rnet's abstract
+// can be stored as a filter over object attribute categories so a search
+// can test "does this region contain any object of interest?" in O(k) with
+// a bounded false-positive rate and no false negatives.
+package bloom
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Filter is a Bloom filter over uint64 keys using double hashing
+// (Kirsch–Mitzenmacher) on two FNV-1a halves.
+type Filter struct {
+	bits   []uint64
+	m      uint64 // number of bits
+	k      int    // number of hash functions
+	nAdded int
+}
+
+// New returns a filter with m bits and k hash functions. m is rounded up to
+// a multiple of 64; minimums of 64 bits and 1 hash apply.
+func New(m uint64, k int) *Filter {
+	if m < 64 {
+		m = 64
+	}
+	m = (m + 63) &^ 63
+	if k < 1 {
+		k = 1
+	}
+	return &Filter{bits: make([]uint64, m/64), m: m, k: k}
+}
+
+// NewForRate sizes a filter for n expected keys at target false-positive
+// rate p, using the standard m = −n·ln p ⁄ ln²2 and k = (m/n)·ln 2 formulas.
+func NewForRate(n int, p float64) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.01
+	}
+	ln2 := math.Ln2
+	m := uint64(math.Ceil(-float64(n) * math.Log(p) / (ln2 * ln2)))
+	k := int(math.Round(float64(m) / float64(n) * ln2))
+	if k < 1 {
+		k = 1
+	}
+	return New(m, k)
+}
+
+func hash2(key uint64) (uint64, uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], key)
+	h := fnv.New64a()
+	h.Write(buf[:])
+	h1 := h.Sum64()
+	h.Write(buf[:]) // extend the stream for an independent second half
+	h2 := h.Sum64() | 1
+	return h1, h2
+}
+
+// Add inserts key.
+func (f *Filter) Add(key uint64) {
+	h1, h2 := hash2(key)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.nAdded++
+}
+
+// Contains reports whether key may be present. False positives are
+// possible; false negatives are not.
+func (f *Filter) Contains(key uint64) bool {
+	h1, h2 := hash2(key)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Union ORs other into f. Both filters must have identical geometry
+// (same m and k); Union reports whether the merge was performed. Parent
+// Rnet abstracts are unions of their children's (Lemma 1).
+func (f *Filter) Union(other *Filter) bool {
+	if f.m != other.m || f.k != other.k {
+		return false
+	}
+	for i := range f.bits {
+		f.bits[i] |= other.bits[i]
+	}
+	f.nAdded += other.nAdded
+	return true
+}
+
+// Clone returns an independent copy.
+func (f *Filter) Clone() *Filter {
+	c := &Filter{bits: append([]uint64(nil), f.bits...), m: f.m, k: f.k, nAdded: f.nAdded}
+	return c
+}
+
+// Reset clears all bits.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.nAdded = 0
+}
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() uint64 { return f.m }
+
+// SizeBytes returns the storage footprint of the bit array.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// EstimatedFPR returns the expected false-positive rate given the number
+// of keys added: (1 − e^(−kn/m))^k.
+func (f *Filter) EstimatedFPR() float64 {
+	if f.nAdded == 0 {
+		return 0
+	}
+	return math.Pow(1-math.Exp(-float64(f.k)*float64(f.nAdded)/float64(f.m)), float64(f.k))
+}

@@ -1,0 +1,132 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := NewForRate(1000, 0.01)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.Add(keys[i])
+	}
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for %d", k)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	const n = 5000
+	f := NewForRate(n, 0.01)
+	rng := rand.New(rand.NewSource(2))
+	present := make(map[uint64]bool, n)
+	for i := 0; i < n; i++ {
+		k := rng.Uint64()
+		present[k] = true
+		f.Add(k)
+	}
+	fp := 0
+	const probes = 100000
+	for i := 0; i < probes; i++ {
+		k := rng.Uint64()
+		if present[k] {
+			continue
+		}
+		if f.Contains(k) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Fatalf("false positive rate %g, want ≈0.01", rate)
+	}
+	est := f.EstimatedFPR()
+	if est <= 0 || est > 0.05 {
+		t.Fatalf("EstimatedFPR = %g", est)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f := New(1024, 4)
+	for k := uint64(0); k < 1000; k++ {
+		if f.Contains(k) {
+			t.Fatalf("empty filter claims to contain %d", k)
+		}
+	}
+	if f.EstimatedFPR() != 0 {
+		t.Fatalf("EstimatedFPR on empty = %g", f.EstimatedFPR())
+	}
+}
+
+func TestUnionCoversBoth(t *testing.T) {
+	a := New(2048, 3)
+	b := New(2048, 3)
+	for k := uint64(0); k < 100; k++ {
+		a.Add(k)
+	}
+	for k := uint64(100); k < 200; k++ {
+		b.Add(k)
+	}
+	if !a.Union(b) {
+		t.Fatal("Union of same-geometry filters failed")
+	}
+	for k := uint64(0); k < 200; k++ {
+		if !a.Contains(k) {
+			t.Fatalf("union missing key %d", k)
+		}
+	}
+}
+
+func TestUnionRejectsMismatchedGeometry(t *testing.T) {
+	a := New(1024, 3)
+	b := New(2048, 3)
+	if a.Union(b) {
+		t.Fatal("Union accepted mismatched m")
+	}
+	c := New(1024, 4)
+	if a.Union(c) {
+		t.Fatal("Union accepted mismatched k")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(1024, 3)
+	a.Add(42)
+	b := a.Clone()
+	b.Add(43)
+	if a.Contains(43) && !a.Contains(42) {
+		t.Fatal("clone mutated original")
+	}
+	if !b.Contains(42) || !b.Contains(43) {
+		t.Fatal("clone lost keys")
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(1024, 3)
+	f.Add(7)
+	f.Reset()
+	if f.Contains(7) {
+		t.Fatal("Contains(7) after Reset")
+	}
+}
+
+func TestSizing(t *testing.T) {
+	f := New(100, 0) // rounds m up to 128, k up to 1
+	if f.Bits() != 128 {
+		t.Fatalf("Bits = %d, want 128", f.Bits())
+	}
+	if f.SizeBytes() != 16 {
+		t.Fatalf("SizeBytes = %d, want 16", f.SizeBytes())
+	}
+	g := NewForRate(0, 2.0) // degenerate args fall back to defaults
+	g.Add(1)
+	if !g.Contains(1) {
+		t.Fatal("degenerate-arg filter unusable")
+	}
+}

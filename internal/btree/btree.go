@@ -1,0 +1,377 @@
+// Package btree implements the B+-tree that both of ROAD's index
+// components are built on: the Route Overlay keys it by node ID to reach
+// per-node shortcut trees, and the Association Directory keys it by node
+// and Rnet IDs to reach objects and object abstracts (paper §3.4).
+//
+// Keys are int64; values are generic. Every structural node carries a dense
+// ID and an optional access hook so callers can charge simulated page I/O
+// for each node visited on the root-to-leaf path.
+package btree
+
+// DefaultOrder is the default maximum number of children per internal node.
+// With 8-byte keys and pointers it roughly matches one 4 KB page per node.
+const DefaultOrder = 128
+
+type node[V any] struct {
+	id       int64
+	leaf     bool
+	keys     []int64
+	vals     []V        // parallel to keys; leaves only
+	children []*node[V] // len(keys)+1; internal only
+	next     *node[V]   // leaf sibling chain
+}
+
+// Tree is a B+-tree from int64 keys to values of type V.
+type Tree[V any] struct {
+	order  int
+	root   *node[V]
+	size   int
+	nextID int64
+
+	// OnAccess, when non-nil, is invoked with the ID of every tree node
+	// visited by Get, Put, Delete and scans — one call per simulated page.
+	OnAccess func(nodeID int64)
+}
+
+// New returns an empty tree with the given order (maximum children per
+// internal node). Orders below 3 are raised to 3; 0 selects DefaultOrder.
+func New[V any](order int) *Tree[V] {
+	if order == 0 {
+		order = DefaultOrder
+	}
+	if order < 3 {
+		order = 3
+	}
+	t := &Tree[V]{order: order}
+	t.root = t.newNode(true)
+	return t
+}
+
+func (t *Tree[V]) newNode(leaf bool) *node[V] {
+	n := &node[V]{id: t.nextID, leaf: leaf}
+	t.nextID++
+	return n
+}
+
+// Len returns the number of stored keys.
+func (t *Tree[V]) Len() int { return t.size }
+
+// Nodes returns the number of tree nodes ever allocated; with OnAccess wired
+// to a storage layout this is the page count of the index.
+func (t *Tree[V]) Nodes() int64 { return t.nextID }
+
+// Height returns the number of levels (1 for a lone leaf root).
+func (t *Tree[V]) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		h++
+	}
+	return h
+}
+
+func (t *Tree[V]) access(n *node[V]) {
+	if t.OnAccess != nil {
+		t.OnAccess(n.id)
+	}
+}
+
+// search returns the index of the first key ≥ k in n.keys.
+func search[V any](n *node[V], k int64) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value stored under k.
+func (t *Tree[V]) Get(k int64) (V, bool) {
+	n := t.root
+	for {
+		t.access(n)
+		i := search(n, k)
+		if n.leaf {
+			if i < len(n.keys) && n.keys[i] == k {
+				return n.vals[i], true
+			}
+			var zero V
+			return zero, false
+		}
+		if i < len(n.keys) && n.keys[i] == k {
+			i++ // internal separator equal to k: key lives in right subtree
+		}
+		n = n.children[i]
+	}
+}
+
+// Has reports whether k is stored.
+func (t *Tree[V]) Has(k int64) bool {
+	_, ok := t.Get(k)
+	return ok
+}
+
+// Put stores v under k, replacing any existing value. It reports whether a
+// new key was inserted (false = replacement).
+func (t *Tree[V]) Put(k int64, v V) bool {
+	inserted, splitKey, sibling := t.insert(t.root, k, v)
+	if sibling != nil {
+		newRoot := t.newNode(false)
+		newRoot.keys = append(newRoot.keys, splitKey)
+		newRoot.children = append(newRoot.children, t.root, sibling)
+		t.root = newRoot
+	}
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+// insert adds k/v below n. If n splits, it returns the separator key and
+// the new right sibling.
+func (t *Tree[V]) insert(n *node[V], k int64, v V) (inserted bool, splitKey int64, sibling *node[V]) {
+	t.access(n)
+	i := search(n, k)
+	if n.leaf {
+		if i < len(n.keys) && n.keys[i] == k {
+			n.vals[i] = v
+			return false, 0, nil
+		}
+		n.keys = insertAt(n.keys, i, k)
+		n.vals = insertAt(n.vals, i, v)
+		if len(n.keys) >= t.order {
+			sk, sib := t.splitLeaf(n)
+			return true, sk, sib
+		}
+		return true, 0, nil
+	}
+	if i < len(n.keys) && n.keys[i] == k {
+		i++
+	}
+	inserted, csk, csib := t.insert(n.children[i], k, v)
+	if csib != nil {
+		n.keys = insertAt(n.keys, i, csk)
+		n.children = insertAt(n.children, i+1, csib)
+		if len(n.keys) >= t.order {
+			sk, sib := t.splitInternal(n)
+			return inserted, sk, sib
+		}
+	}
+	return inserted, 0, nil
+}
+
+func (t *Tree[V]) splitLeaf(n *node[V]) (int64, *node[V]) {
+	mid := len(n.keys) / 2
+	sib := t.newNode(true)
+	sib.keys = append(sib.keys, n.keys[mid:]...)
+	sib.vals = append(sib.vals, n.vals[mid:]...)
+	n.keys = n.keys[:mid:mid]
+	n.vals = n.vals[:mid:mid]
+	sib.next = n.next
+	n.next = sib
+	return sib.keys[0], sib
+}
+
+func (t *Tree[V]) splitInternal(n *node[V]) (int64, *node[V]) {
+	mid := len(n.keys) / 2
+	sk := n.keys[mid]
+	sib := t.newNode(false)
+	sib.keys = append(sib.keys, n.keys[mid+1:]...)
+	sib.children = append(sib.children, n.children[mid+1:]...)
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return sk, sib
+}
+
+func insertAt[T any](s []T, i int, v T) []T {
+	var zero T
+	s = append(s, zero)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeAt[T any](s []T, i int) []T {
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
+}
+
+// Delete removes k. It reports whether the key was present.
+func (t *Tree[V]) Delete(k int64) bool {
+	deleted := t.remove(t.root, k)
+	if !t.root.leaf && len(t.root.keys) == 0 {
+		t.root = t.root.children[0]
+	}
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+func (t *Tree[V]) minKeys() int { return (t.order - 1) / 2 }
+
+func (t *Tree[V]) remove(n *node[V], k int64) bool {
+	t.access(n)
+	i := search(n, k)
+	if n.leaf {
+		if i >= len(n.keys) || n.keys[i] != k {
+			return false
+		}
+		n.keys = removeAt(n.keys, i)
+		n.vals = removeAt(n.vals, i)
+		return true
+	}
+	if i < len(n.keys) && n.keys[i] == k {
+		i++
+	}
+	child := n.children[i]
+	deleted := t.remove(child, k)
+	if t.underflow(child) {
+		t.rebalance(n, i)
+	}
+	return deleted
+}
+
+func (t *Tree[V]) underflow(n *node[V]) bool {
+	return len(n.keys) < t.minKeys()
+}
+
+// rebalance fixes an underflowing child at position i of parent p by
+// borrowing from a sibling or merging with one.
+func (t *Tree[V]) rebalance(p *node[V], i int) {
+	child := p.children[i]
+	// Try borrowing from the left sibling.
+	if i > 0 {
+		left := p.children[i-1]
+		if len(left.keys) > t.minKeys() {
+			t.access(left)
+			if child.leaf {
+				last := len(left.keys) - 1
+				child.keys = insertAt(child.keys, 0, left.keys[last])
+				child.vals = insertAt(child.vals, 0, left.vals[last])
+				left.keys = left.keys[:last]
+				left.vals = left.vals[:last]
+				p.keys[i-1] = child.keys[0]
+			} else {
+				child.keys = insertAt(child.keys, 0, p.keys[i-1])
+				child.children = insertAt(child.children, 0, left.children[len(left.children)-1])
+				p.keys[i-1] = left.keys[len(left.keys)-1]
+				left.keys = left.keys[:len(left.keys)-1]
+				left.children = left.children[:len(left.children)-1]
+			}
+			return
+		}
+	}
+	// Try borrowing from the right sibling.
+	if i < len(p.children)-1 {
+		right := p.children[i+1]
+		if len(right.keys) > t.minKeys() {
+			t.access(right)
+			if child.leaf {
+				child.keys = append(child.keys, right.keys[0])
+				child.vals = append(child.vals, right.vals[0])
+				right.keys = removeAt(right.keys, 0)
+				right.vals = removeAt(right.vals, 0)
+				p.keys[i] = right.keys[0]
+			} else {
+				child.keys = append(child.keys, p.keys[i])
+				child.children = append(child.children, right.children[0])
+				p.keys[i] = right.keys[0]
+				right.keys = removeAt(right.keys, 0)
+				right.children = removeAt(right.children, 0)
+			}
+			return
+		}
+	}
+	// Merge with a sibling.
+	if i > 0 {
+		t.merge(p, i-1)
+	} else {
+		t.merge(p, i)
+	}
+}
+
+// merge folds p.children[i+1] into p.children[i].
+func (t *Tree[V]) merge(p *node[V], i int) {
+	left, right := p.children[i], p.children[i+1]
+	t.access(left)
+	t.access(right)
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, p.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	p.keys = removeAt(p.keys, i)
+	p.children = removeAt(p.children, i+1)
+}
+
+// AscendRange calls fn for every key in [from, to] in ascending order,
+// stopping early if fn returns false.
+func (t *Tree[V]) AscendRange(from, to int64, fn func(k int64, v V) bool) {
+	n := t.root
+	for !n.leaf {
+		t.access(n)
+		i := search(n, from)
+		if i < len(n.keys) && n.keys[i] == from {
+			i++
+		}
+		n = n.children[i]
+	}
+	for n != nil {
+		t.access(n)
+		for i, k := range n.keys {
+			if k < from {
+				continue
+			}
+			if k > to {
+				return
+			}
+			if !fn(k, n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// Ascend calls fn for every key in ascending order, stopping early if fn
+// returns false.
+func (t *Tree[V]) Ascend(fn func(k int64, v V) bool) {
+	t.AscendRange(-1<<63, 1<<63-1, fn)
+}
+
+// Min returns the smallest key, or ok=false when empty.
+func (t *Tree[V]) Min() (k int64, v V, ok bool) {
+	n := t.root
+	for !n.leaf {
+		t.access(n)
+		n = n.children[0]
+	}
+	t.access(n)
+	if len(n.keys) == 0 {
+		return 0, v, false
+	}
+	return n.keys[0], n.vals[0], true
+}
+
+// Max returns the largest key, or ok=false when empty.
+func (t *Tree[V]) Max() (k int64, v V, ok bool) {
+	n := t.root
+	for !n.leaf {
+		t.access(n)
+		n = n.children[len(n.children)-1]
+	}
+	t.access(n)
+	if len(n.keys) == 0 {
+		return 0, v, false
+	}
+	return n.keys[len(n.keys)-1], n.vals[len(n.vals)-1], true
+}

@@ -1,0 +1,357 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New[string](4)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty tree found a key")
+	}
+	if tr.Delete(1) {
+		t.Fatal("Delete on empty tree returned true")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree ok")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree ok")
+	}
+	if tr.Height() != 1 {
+		t.Fatalf("Height = %d, want 1", tr.Height())
+	}
+}
+
+func TestPutGetReplace(t *testing.T) {
+	tr := New[string](4)
+	if !tr.Put(5, "a") {
+		t.Fatal("first Put reported replacement")
+	}
+	if tr.Put(5, "b") {
+		t.Fatal("second Put reported insertion")
+	}
+	v, ok := tr.Get(5)
+	if !ok || v != "b" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestOrderClamping(t *testing.T) {
+	tr := New[int](1) // clamped to 3
+	for i := int64(0); i < 100; i++ {
+		tr.Put(i, int(i))
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	tr2 := New[int](0) // default order
+	tr2.Put(1, 1)
+	if !tr2.Has(1) {
+		t.Fatal("default-order tree broken")
+	}
+}
+
+func TestSequentialInsertAscendingScan(t *testing.T) {
+	tr := New[int64](5)
+	const n = 1000
+	for i := int64(0); i < n; i++ {
+		tr.Put(i, i*10)
+	}
+	var got []int64
+	tr.Ascend(func(k int64, v int64) bool {
+		if v != k*10 {
+			t.Fatalf("value mismatch at %d: %d", k, v)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != n {
+		t.Fatalf("scan returned %d keys, want %d", len(got), n)
+	}
+	for i := range got {
+		if got[i] != int64(i) {
+			t.Fatalf("scan[%d] = %d", i, got[i])
+		}
+	}
+}
+
+func TestReverseInsert(t *testing.T) {
+	tr := New[int](4)
+	for i := int64(999); i >= 0; i-- {
+		tr.Put(i, int(i))
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := int64(0); i < 1000; i++ {
+		if v, ok := tr.Get(i); !ok || v != int(i) {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestAscendRangeBounds(t *testing.T) {
+	tr := New[int](4)
+	for i := int64(0); i < 100; i += 2 { // even keys only
+		tr.Put(i, int(i))
+	}
+	var got []int64
+	tr.AscendRange(10, 20, func(k int64, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int64{10, 12, 14, 16, 18, 20}
+	if len(got) != len(want) {
+		t.Fatalf("range scan = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range scan = %v, want %v", got, want)
+		}
+	}
+	// Bounds between keys.
+	got = got[:0]
+	tr.AscendRange(11, 13, func(k int64, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 1 || got[0] != 12 {
+		t.Fatalf("between-keys scan = %v, want [12]", got)
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New[int](4)
+	for i := int64(0); i < 100; i++ {
+		tr.Put(i, int(i))
+	}
+	count := 0
+	tr.Ascend(func(k int64, v int) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early stop visited %d, want 7", count)
+	}
+}
+
+func TestDeleteAllAscending(t *testing.T) {
+	tr := New[int](4)
+	const n = 500
+	for i := int64(0); i < n; i++ {
+		tr.Put(i, int(i))
+	}
+	for i := int64(0); i < n; i++ {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+		if tr.Has(i) {
+			t.Fatalf("key %d present after delete", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+}
+
+func TestDeleteAllDescending(t *testing.T) {
+	tr := New[int](4)
+	const n = 500
+	for i := int64(0); i < n; i++ {
+		tr.Put(i, int(i))
+	}
+	for i := int64(n - 1); i >= 0; i-- {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New[int](4)
+	keys := []int64{42, 7, 99, 3, 57}
+	for _, k := range keys {
+		tr.Put(k, int(k))
+	}
+	if k, _, _ := tr.Min(); k != 3 {
+		t.Fatalf("Min = %d, want 3", k)
+	}
+	if k, _, _ := tr.Max(); k != 99 {
+		t.Fatalf("Max = %d, want 99", k)
+	}
+}
+
+func TestNegativeKeys(t *testing.T) {
+	tr := New[int](4)
+	for i := int64(-50); i <= 50; i++ {
+		tr.Put(i, int(i))
+	}
+	if k, _, _ := tr.Min(); k != -50 {
+		t.Fatalf("Min = %d", k)
+	}
+	var got []int64
+	tr.AscendRange(-3, 3, func(k int64, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 7 || got[0] != -3 || got[6] != 3 {
+		t.Fatalf("negative range scan = %v", got)
+	}
+}
+
+// TestAgainstMapOracle drives random Put/Get/Delete against a map and
+// verifies every answer plus full sorted iteration, across several orders.
+func TestAgainstMapOracle(t *testing.T) {
+	for _, order := range []int{3, 4, 5, 16, 128} {
+		rng := rand.New(rand.NewSource(int64(order)))
+		tr := New[int](order)
+		oracle := make(map[int64]int)
+		const ops = 20000
+		for i := 0; i < ops; i++ {
+			k := int64(rng.Intn(2000))
+			switch rng.Intn(3) {
+			case 0: // put
+				v := rng.Int()
+				tr.Put(k, v)
+				oracle[k] = v
+			case 1: // get
+				got, ok := tr.Get(k)
+				want, wok := oracle[k]
+				if ok != wok || (ok && got != want) {
+					t.Fatalf("order %d op %d: Get(%d) = %d,%v want %d,%v", order, i, k, got, ok, want, wok)
+				}
+			case 2: // delete
+				got := tr.Delete(k)
+				_, want := oracle[k]
+				if got != want {
+					t.Fatalf("order %d op %d: Delete(%d) = %v want %v", order, i, k, got, want)
+				}
+				delete(oracle, k)
+			}
+			if tr.Len() != len(oracle) {
+				t.Fatalf("order %d op %d: Len = %d oracle %d", order, i, tr.Len(), len(oracle))
+			}
+		}
+		// Final structural check: sorted iteration matches oracle.
+		var wantKeys []int64
+		for k := range oracle {
+			wantKeys = append(wantKeys, k)
+		}
+		sort.Slice(wantKeys, func(i, j int) bool { return wantKeys[i] < wantKeys[j] })
+		var gotKeys []int64
+		tr.Ascend(func(k int64, v int) bool {
+			if v != oracle[k] {
+				t.Fatalf("order %d: iter value mismatch at %d", order, k)
+			}
+			gotKeys = append(gotKeys, k)
+			return true
+		})
+		if len(gotKeys) != len(wantKeys) {
+			t.Fatalf("order %d: iter %d keys, oracle %d", order, len(gotKeys), len(wantKeys))
+		}
+		for i := range wantKeys {
+			if gotKeys[i] != wantKeys[i] {
+				t.Fatalf("order %d: iter[%d] = %d want %d", order, i, gotKeys[i], wantKeys[i])
+			}
+		}
+	}
+}
+
+func TestQuickPutHasDelete(t *testing.T) {
+	f := func(keys []int64) bool {
+		tr := New[bool](6)
+		uniq := make(map[int64]bool)
+		for _, k := range keys {
+			tr.Put(k, true)
+			uniq[k] = true
+		}
+		if tr.Len() != len(uniq) {
+			return false
+		}
+		for k := range uniq {
+			if !tr.Has(k) {
+				return false
+			}
+			if !tr.Delete(k) {
+				return false
+			}
+		}
+		return tr.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	tr := New[int](128)
+	for i := int64(0); i < 100000; i++ {
+		tr.Put(i, 0)
+	}
+	if h := tr.Height(); h > 4 {
+		t.Fatalf("height %d too large for 100k keys at order 128", h)
+	}
+}
+
+func TestOnAccessFiresPerLevel(t *testing.T) {
+	tr := New[int](4)
+	for i := int64(0); i < 1000; i++ {
+		tr.Put(i, 0)
+	}
+	visited := 0
+	tr.OnAccess = func(id int64) { visited++ }
+	tr.Get(500)
+	if visited != tr.Height() {
+		t.Fatalf("Get touched %d nodes, height is %d", visited, tr.Height())
+	}
+}
+
+func TestNodesCounterGrows(t *testing.T) {
+	tr := New[int](4)
+	before := tr.Nodes()
+	for i := int64(0); i < 100; i++ {
+		tr.Put(i, 0)
+	}
+	if tr.Nodes() <= before {
+		t.Fatal("Nodes did not grow with inserts")
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]int64, 100000)
+	for i := range keys {
+		keys[i] = rng.Int63()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := New[int](DefaultOrder)
+		for _, k := range keys {
+			tr.Put(k, 0)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New[int](DefaultOrder)
+	for i := int64(0); i < 100000; i++ {
+		tr.Put(i, int(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(int64(i % 100000))
+	}
+}

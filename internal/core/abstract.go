@@ -1,0 +1,130 @@
+// Package core implements the ROAD framework proper (§3.4–§5): the Route
+// Overlay (a B+-tree over nodes leading to per-node shortcut trees), the
+// Association Directory (a B+-tree over node and Rnet IDs leading to
+// objects and object abstracts), the kNN and range search algorithms of
+// Figures 9–10, and the object/network maintenance procedures. The
+// framework keeps the paper's clean separation: the network side (graph +
+// Rnet hierarchy + Route Overlay) knows nothing about objects; the object
+// side (ObjectSet + Association Directory) maps content onto the network
+// at query time.
+package core
+
+import (
+	"road/internal/bloom"
+)
+
+// AbstractKind selects the representation of object abstracts — the
+// per-Rnet object summaries that let a search decide whether a region can
+// be bypassed (§3.4 suggests aggregates, Bloom filters and signatures).
+type AbstractKind int
+
+const (
+	// AbstractSet keeps exact per-attribute counts: no false positives,
+	// largest footprint.
+	AbstractSet AbstractKind = iota
+	// AbstractCount keeps only a total object count: an Rnet is bypassed
+	// only when entirely empty, so attribute-filtered queries descend
+	// conservatively. Smallest footprint.
+	AbstractCount
+	// AbstractBloom keeps a total count plus a Bloom filter over attribute
+	// categories: compact with a small false-positive rate (extra descents,
+	// never wrong answers).
+	AbstractBloom
+)
+
+// String returns the kind's name for reports.
+func (k AbstractKind) String() string {
+	switch k {
+	case AbstractSet:
+		return "set"
+	case AbstractCount:
+		return "count"
+	case AbstractBloom:
+		return "bloom"
+	}
+	return "unknown"
+}
+
+// bloomBits sizes per-Rnet attribute filters; attribute universes are
+// small, so a fixed small filter suffices.
+const bloomBits = 128
+
+// abstractRec is one Rnet's object abstract. Exact per-attribute counts
+// are always maintained as ground truth (they make removals O(1)); the
+// configured kind controls what a query consults and what the size metric
+// charges.
+type abstractRec struct {
+	total  int
+	counts map[int32]int
+	filter *bloom.Filter // AbstractBloom only, rebuilt on removal
+}
+
+func newAbstractRec(kind AbstractKind) *abstractRec {
+	a := &abstractRec{counts: make(map[int32]int)}
+	if kind == AbstractBloom {
+		a.filter = bloom.New(bloomBits, 3)
+	}
+	return a
+}
+
+func (a *abstractRec) add(attr int32) {
+	a.total++
+	a.counts[attr]++
+	if a.filter != nil {
+		a.filter.Add(uint64(uint32(attr)))
+	}
+}
+
+func (a *abstractRec) remove(attr int32) {
+	if a.counts[attr] == 0 {
+		return
+	}
+	a.total--
+	a.counts[attr]--
+	if a.counts[attr] == 0 {
+		delete(a.counts, attr)
+	}
+	if a.filter != nil {
+		// Bloom filters cannot delete; rebuild from the exact counts.
+		a.filter.Reset()
+		for attr, n := range a.counts {
+			if n > 0 {
+				a.filter.Add(uint64(uint32(attr)))
+			}
+		}
+	}
+}
+
+// mayContain reports whether the abstract admits an object with the given
+// attribute (0 = any object), under the configured representation.
+func (a *abstractRec) mayContain(kind AbstractKind, attr int32) bool {
+	if a.total == 0 {
+		return false
+	}
+	if attr == 0 {
+		return true
+	}
+	switch kind {
+	case AbstractSet:
+		return a.counts[attr] > 0
+	case AbstractCount:
+		return true // cannot discriminate attributes: conservative
+	case AbstractBloom:
+		return a.filter.Contains(uint64(uint32(attr)))
+	}
+	return true
+}
+
+// sizeBytes is the storage footprint charged for this abstract under the
+// configured representation.
+func (a *abstractRec) sizeBytes(kind AbstractKind) int {
+	switch kind {
+	case AbstractSet:
+		return 4 + 8*len(a.counts)
+	case AbstractCount:
+		return 4
+	case AbstractBloom:
+		return 4 + bloomBits/8
+	}
+	return 4
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+
+	"road/internal/dataset"
+	"road/internal/graph"
+	"road/internal/rnet"
+	"road/internal/storage"
+)
+
+func adFixture(t *testing.T, kind AbstractKind) (*AssocDir, *rnet.Hierarchy, *graph.Graph, *graph.ObjectSet) {
+	t.Helper()
+	g := dataset.MustGenerate(dataset.Spec{Name: "ad", Nodes: 200, Edges: 230, Seed: 1})
+	h, err := rnet.Build(g, rnet.Config{Fanout: 2, Levels: 2, KLPasses: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objects := graph.NewObjectSet(g)
+	ad := NewAssocDir(h, objects, kind, storage.NewStore(0))
+	return ad, h, g, objects
+}
+
+func TestAssocDirInsertRemove(t *testing.T) {
+	ad, h, g, objects := adFixture(t, AbstractSet)
+	e := graph.EdgeID(10)
+	o := objects.MustAdd(e, g.Weight(e)/4, 5)
+	ad.Insert(o)
+
+	ed := g.Edge(e)
+	if got := ad.ObjectsAt(ed.U, 0); len(got) != 1 || got[0].obj != o.ID {
+		t.Fatalf("ObjectsAt(U) = %v", got)
+	}
+	if got := ad.ObjectsAt(ed.V, 0); len(got) != 1 {
+		t.Fatalf("ObjectsAt(V) = %v", got)
+	}
+	// Distances at endpoints reflect the object's offsets.
+	if got := ad.ObjectsAt(ed.U, 0)[0].dist; got != o.DU {
+		t.Fatalf("dist at U = %g, want %g", got, o.DU)
+	}
+	// Abstract chain: leaf Rnet and its ancestors all see the object.
+	leaf := h.LeafOf(e)
+	for _, r := range h.AncestorChain(leaf) {
+		if !ad.RnetMayContain(r, 0) {
+			t.Fatalf("Rnet %d abstract empty after insert", r)
+		}
+		if !ad.RnetMayContain(r, 5) {
+			t.Fatalf("Rnet %d abstract misses attr 5", r)
+		}
+		if ad.RnetMayContain(r, 6) {
+			t.Fatalf("Rnet %d abstract matches wrong attr (set kind is exact)", r)
+		}
+	}
+	// Unrelated Rnets stay empty.
+	for _, r := range h.AtLevel(1) {
+		if r != h.AncestorAt(leaf, 1) && ad.RnetMayContain(r, 0) {
+			t.Fatalf("unrelated Rnet %d claims objects", r)
+		}
+	}
+
+	ad.Remove(o)
+	if got := ad.ObjectsAt(ed.U, 0); len(got) != 0 {
+		t.Fatalf("ObjectsAt after remove = %v", got)
+	}
+	for _, r := range h.AncestorChain(leaf) {
+		if ad.RnetMayContain(r, 0) {
+			t.Fatalf("Rnet %d abstract nonempty after remove", r)
+		}
+	}
+}
+
+func TestAssocDirAttrFilter(t *testing.T) {
+	ad, _, g, objects := adFixture(t, AbstractSet)
+	e := graph.EdgeID(3)
+	o1 := objects.MustAdd(e, 0, 1)
+	o2 := objects.MustAdd(e, 0, 2)
+	ad.Insert(o1)
+	ad.Insert(o2)
+	u := g.Edge(e).U
+	if got := ad.ObjectsAt(u, 1); len(got) != 1 || got[0].obj != o1.ID {
+		t.Fatalf("attr filter = %v", got)
+	}
+	if got := ad.ObjectsAt(u, 0); len(got) != 2 {
+		t.Fatalf("wildcard = %v", got)
+	}
+}
+
+func TestAssocDirUpdateAttr(t *testing.T) {
+	ad, h, g, objects := adFixture(t, AbstractSet)
+	e := graph.EdgeID(7)
+	o := objects.MustAdd(e, 0, 1)
+	ad.Insert(o)
+	ad.UpdateAttr(o, 9)
+	leaf := h.LeafOf(e)
+	if ad.RnetMayContain(leaf, 1) {
+		t.Fatal("old attr still in abstract")
+	}
+	if !ad.RnetMayContain(leaf, 9) {
+		t.Fatal("new attr missing from abstract")
+	}
+	u := g.Edge(e).U
+	if got := ad.ObjectsAt(u, 9); len(got) != 1 {
+		t.Fatalf("node entry not updated: %v", got)
+	}
+}
+
+func TestAssocDirCountKindConservative(t *testing.T) {
+	ad, h, g, objects := adFixture(t, AbstractCount)
+	e := graph.EdgeID(5)
+	ad.Insert(objects.MustAdd(e, 0, 1))
+	leaf := h.LeafOf(e)
+	// Count abstracts cannot discriminate attributes: any attr matches.
+	if !ad.RnetMayContain(leaf, 42) {
+		t.Fatal("count abstract rejected an attribute (must be conservative)")
+	}
+	_ = g
+}
+
+func TestAssocDirBloomKindRebuildsOnRemove(t *testing.T) {
+	ad, h, g, objects := adFixture(t, AbstractBloom)
+	e := graph.EdgeID(5)
+	o1 := objects.MustAdd(e, 0, 1)
+	o2 := objects.MustAdd(e, 0, 2)
+	ad.Insert(o1)
+	ad.Insert(o2)
+	leaf := h.LeafOf(e)
+	if !ad.RnetMayContain(leaf, 1) || !ad.RnetMayContain(leaf, 2) {
+		t.Fatal("bloom abstract missing inserted attrs")
+	}
+	ad.Remove(o1)
+	// After the rebuild, attr 2 must still match; attr 1 should not
+	// (modulo bloom false positives, impossible here with one key).
+	if !ad.RnetMayContain(leaf, 2) {
+		t.Fatal("bloom abstract lost surviving attr after rebuild")
+	}
+	_ = g
+}
+
+func TestAssocDirIOAccounting(t *testing.T) {
+	g := dataset.MustGenerate(dataset.Spec{Name: "ad", Nodes: 200, Edges: 230, Seed: 2})
+	h, err := rnet.Build(g, rnet.Config{Fanout: 2, Levels: 2, KLPasses: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objects := dataset.PlaceUniform(g, 20, 3)
+	store := storage.NewStore(0)
+	ad := NewAssocDir(h, objects, AbstractSet, store)
+	store.ResetStats()
+	o := objects.All()[0]
+	u := g.Edge(o.Edge).U
+	ad.ObjectsAt(u, 0)
+	if store.Stats().Reads == 0 {
+		t.Fatal("ObjectsAt charged no reads")
+	}
+	// Quiet variant must not charge.
+	store.ResetStats()
+	ad.objectsAt(u, 0, false)
+	ad.rnetMayContain(h.LeafOf(o.Edge), 0, false)
+	if store.Stats().Reads != 0 {
+		t.Fatal("quiet accessors charged I/O")
+	}
+}
+
+func TestAssocDirSizeBytes(t *testing.T) {
+	ad, _, _, objects := adFixture(t, AbstractSet)
+	empty := ad.SizeBytes()
+	for i := 0; i < 10; i++ {
+		o := objects.MustAdd(graph.EdgeID(i), 0, int32(i))
+		ad.Insert(o)
+	}
+	if ad.SizeBytes() <= empty {
+		t.Fatal("SizeBytes did not grow with inserts")
+	}
+	if ad.Kind() != AbstractSet {
+		t.Fatal("Kind mismatch")
+	}
+}
+
+func TestAbstractKindString(t *testing.T) {
+	if AbstractSet.String() != "set" || AbstractCount.String() != "count" ||
+		AbstractBloom.String() != "bloom" || AbstractKind(99).String() != "unknown" {
+		t.Fatal("AbstractKind.String mismatch")
+	}
+}
+
+func TestRouteOverlayVisitChargesIO(t *testing.T) {
+	g := dataset.MustGenerate(dataset.Spec{Name: "ro", Nodes: 300, Edges: 350, Seed: 4})
+	h, err := rnet.Build(g, rnet.Config{Fanout: 4, Levels: 3, KLPasses: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := storage.NewStore(0)
+	ro := NewRouteOverlay(h, store)
+	store.ResetStats()
+	tree := ro.Visit(42)
+	if len(tree) == 0 {
+		t.Fatal("Visit returned empty tree for connected node")
+	}
+	if store.Stats().Reads == 0 {
+		t.Fatal("Visit charged no reads")
+	}
+	if ro.SizeBytes() <= h.SizeBytes() {
+		t.Fatal("overlay size should exceed bare hierarchy size (per-node trees)")
+	}
+}

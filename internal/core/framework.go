@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"road/internal/graph"
+	"road/internal/rnet"
+	"road/internal/storage"
+)
+
+// Config tunes framework construction.
+type Config struct {
+	// Rnet configures the hierarchy (fanout p, levels l, partitioning,
+	// pruning). Zero value selects rnet.DefaultConfig for the network size.
+	Rnet rnet.Config
+	// Abstract selects the object-abstract representation.
+	Abstract AbstractKind
+	// BufferPages sizes the simulated LRU buffer
+	// (storage.DefaultBufferPages when 0); negative disables simulation.
+	BufferPages int
+	// ObjectAwarePartitioning biases Rnet partitioning by the objects
+	// present at build time: edges carrying objects weigh more, so
+	// object-dense areas get finer Rnets (the paper's future-work
+	// object-based partitioning). Ignored if Rnet.EdgeWeight is set.
+	ObjectAwarePartitioning bool
+}
+
+// Framework is a built ROAD instance: one road network organized as an
+// Rnet hierarchy behind a Route Overlay, plus one Association Directory
+// mapping an object set onto it. Further Association Directories for other
+// object sets can be attached to the same overlay with AttachObjects —
+// the separation of network from objects the paper's architecture is
+// designed around.
+type Framework struct {
+	g       *graph.Graph
+	h       *rnet.Hierarchy
+	objects *graph.ObjectSet
+	ro      *RouteOverlay
+	ad      *AssocDir
+	store   *storage.Store
+	qws     *queryWorkspace
+	prewarm prewarmOnce
+
+	// BuildTime records how long construction took (the paper's index
+	// construction time metric).
+	BuildTime time.Duration
+}
+
+// Build constructs the ROAD framework over g and objects.
+func Build(g *graph.Graph, objects *graph.ObjectSet, cfg Config) (*Framework, error) {
+	start := time.Now()
+	rcfg := cfg.Rnet
+	if rcfg.Fanout == 0 && rcfg.Levels == 0 {
+		defaults := rnet.DefaultConfig(g.NumNodes())
+		defaults.StorePaths = rcfg.StorePaths
+		defaults.Seed = rcfg.Seed
+		defaults.EdgeWeight = rcfg.EdgeWeight
+		rcfg = defaults
+	}
+	if cfg.ObjectAwarePartitioning && rcfg.EdgeWeight == nil {
+		rcfg.EdgeWeight = func(e graph.EdgeID) float64 {
+			return 1 + 4*float64(len(objects.OnEdge(e)))
+		}
+	}
+	h, err := rnet.Build(g, rcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: building hierarchy: %w", err)
+	}
+	var store *storage.Store
+	if cfg.BufferPages >= 0 {
+		store = storage.NewStore(cfg.BufferPages)
+	}
+	f := &Framework{
+		g:       g,
+		h:       h,
+		objects: objects,
+		store:   store,
+	}
+	f.ro = NewRouteOverlay(h, store)
+	f.ad = NewAssocDir(h, objects, cfg.Abstract, store)
+	f.BuildTime = time.Since(start)
+	return f, nil
+}
+
+// Graph returns the underlying network.
+func (f *Framework) Graph() *graph.Graph { return f.g }
+
+// Hierarchy returns the Rnet hierarchy.
+func (f *Framework) Hierarchy() *rnet.Hierarchy { return f.h }
+
+// Objects returns the mapped object set.
+func (f *Framework) Objects() *graph.ObjectSet { return f.objects }
+
+// Directory returns the Association Directory.
+func (f *Framework) Directory() *AssocDir { return f.ad }
+
+// Overlay returns the Route Overlay.
+func (f *Framework) Overlay() *RouteOverlay { return f.ro }
+
+// Store returns the simulated page store (nil when disabled).
+func (f *Framework) Store() *storage.Store { return f.store }
+
+// Rebind returns a framework sharing f's network, hierarchy, overlay and
+// page store, but serving a different object set through a fresh
+// Association Directory — the network/object separation at work.
+func Rebind(f *Framework, objects *graph.ObjectSet, kind AbstractKind) *Framework {
+	return &Framework{
+		g:         f.g,
+		h:         f.h,
+		objects:   objects,
+		ro:        f.ro,
+		ad:        NewAssocDir(f.h, objects, kind, f.store),
+		store:     f.store,
+		BuildTime: f.BuildTime,
+	}
+}
+
+// AttachObjects builds an additional Association Directory for another
+// object set over the same Route Overlay (multiple content providers on
+// one map, §3.4). The returned directory can be passed to KNNOn/RangeOn.
+func (f *Framework) AttachObjects(objects *graph.ObjectSet, kind AbstractKind) *AssocDir {
+	return NewAssocDir(f.h, objects, kind, f.store)
+}
+
+// IndexSizeBytes estimates total index storage: Route Overlay plus
+// Association Directory (the paper's index size metric).
+func (f *Framework) IndexSizeBytes() int64 {
+	return f.ro.SizeBytes() + f.ad.SizeBytes()
+}
+
+// DropCache empties the simulated buffer — the evaluation starts every
+// query with a cold cache.
+func (f *Framework) DropCache() {
+	if f.store != nil {
+		f.store.DropCache()
+	}
+}
+
+// --- Object maintenance (§5.1) ---
+
+// InsertObject places a new object on edge e at offset du from the edge's
+// U endpoint and registers it in the Association Directory.
+func (f *Framework) InsertObject(e graph.EdgeID, du float64, attr int32) (graph.Object, error) {
+	o, err := f.objects.Add(e, du, attr)
+	if err != nil {
+		return graph.Object{}, err
+	}
+	f.ad.Insert(o)
+	return o, nil
+}
+
+// DeleteObject removes an object from the set and the directory.
+func (f *Framework) DeleteObject(id graph.ObjectID) error {
+	o, ok := f.objects.Get(id)
+	if !ok {
+		return fmt.Errorf("core: object %d not found", id)
+	}
+	f.ad.Remove(o)
+	f.objects.Remove(id)
+	return nil
+}
+
+// UpdateObjectAttr changes an object's attribute category.
+func (f *Framework) UpdateObjectAttr(id graph.ObjectID, attr int32) error {
+	o, ok := f.objects.Get(id)
+	if !ok {
+		return fmt.Errorf("core: object %d not found", id)
+	}
+	f.ad.UpdateAttr(o, attr)
+	f.objects.SetAttr(id, attr)
+	return nil
+}
+
+// --- Network maintenance (§5.2) ---
+
+// SetEdgeWeight changes a road segment's distance and repairs shortcuts
+// incrementally (filter-and-refresh). Objects on the edge keep their
+// relative positions: offsets are rescaled proportionally and their
+// directory entries refreshed.
+func (f *Framework) SetEdgeWeight(e graph.EdgeID, w float64) (rnet.UpdateResult, error) {
+	onEdge := f.objects.OnEdge(e)
+	var detached []graph.Object
+	for _, id := range onEdge {
+		if o, ok := f.objects.Get(id); ok {
+			f.ad.Remove(o)
+			detached = append(detached, o)
+		}
+	}
+	res, err := f.h.SetEdgeWeight(e, w)
+	if err != nil {
+		// Reattach with unchanged geometry.
+		for _, o := range detached {
+			f.ad.Insert(o)
+		}
+		return res, err
+	}
+	for _, o := range detached {
+		factor := 1.0
+		if oldW := o.DU + o.DV; oldW > 0 {
+			factor = w / oldW
+		}
+		if err := f.objects.Relocate(o.ID, e, o.DU*factor); err != nil {
+			return res, fmt.Errorf("core: rescaling object %d: %w", o.ID, err)
+		}
+		scaled, _ := f.objects.Get(o.ID)
+		f.ad.Insert(scaled)
+	}
+	return res, nil
+}
+
+// AddEdge inserts a new road segment between existing nodes and repairs
+// the hierarchy (border promotion, new shortcuts).
+func (f *Framework) AddEdge(u, v graph.NodeID, w float64) (graph.EdgeID, rnet.UpdateResult, error) {
+	return f.h.AddEdge(u, v, w)
+}
+
+// DeleteEdge removes a road segment. Objects residing on it are deleted
+// (their road no longer exists).
+func (f *Framework) DeleteEdge(e graph.EdgeID) (rnet.UpdateResult, error) {
+	for _, id := range f.objects.OnEdge(e) {
+		if o, ok := f.objects.Get(id); ok {
+			f.ad.Remove(o)
+			f.objects.Remove(id)
+		}
+	}
+	return f.h.DeleteEdge(e)
+}
+
+// RestoreEdge re-attaches a previously deleted edge.
+func (f *Framework) RestoreEdge(e graph.EdgeID) (rnet.UpdateResult, error) {
+	return f.h.RestoreEdge(e)
+}

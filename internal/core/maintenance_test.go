@@ -1,0 +1,288 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"road/internal/dataset"
+	"road/internal/graph"
+	"road/internal/rnet"
+)
+
+// verifyAbstractLemma1 checks Lemma 1 on live state: each Rnet's abstract
+// count equals the number of objects on edges it encloses, and a parent's
+// count equals the sum of its children's.
+func verifyAbstractLemma1(t *testing.T, f *Framework) {
+	t.Helper()
+	h := f.Hierarchy()
+	want := make(map[rnet.RnetID]int)
+	for _, o := range f.Objects().All() {
+		leaf := h.LeafOf(o.Edge)
+		if leaf == rnet.NoRnet {
+			continue
+		}
+		for _, r := range h.AncestorChain(leaf) {
+			want[r]++
+		}
+	}
+	for i := 0; i < h.NumRnets(); i++ {
+		id := rnet.RnetID(i)
+		if got := f.Directory().AbstractTotal(id); got != want[id] {
+			t.Fatalf("Rnet %d abstract total = %d, want %d", id, got, want[id])
+		}
+	}
+	// Parent = sum of children.
+	for i := 0; i < h.NumRnets(); i++ {
+		r := h.Rnet(rnet.RnetID(i))
+		if len(r.Children) == 0 {
+			continue
+		}
+		sum := 0
+		for _, c := range r.Children {
+			sum += f.Directory().AbstractTotal(c)
+		}
+		if got := f.Directory().AbstractTotal(r.ID); got != sum {
+			t.Fatalf("Rnet %d total %d != children sum %d", r.ID, got, sum)
+		}
+	}
+}
+
+func TestObjectInsertDelete(t *testing.T) {
+	f, g, objects := fixture(t, 300, 350, 10, 40, defaultCfg())
+	rng := rand.New(rand.NewSource(1))
+	// Delete every object then re-insert at random spots, verifying
+	// queries and Lemma 1 along the way.
+	for _, o := range objects.All() {
+		if err := f.DeleteObject(o.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	verifyAbstractLemma1(t, f)
+	if got, _ := f.KNN(Query{Node: 0}, 5); len(got) != 0 {
+		t.Fatalf("KNN on empty set returned %d results", len(got))
+	}
+	for i := 0; i < 15; i++ {
+		e := graph.EdgeID(rng.Intn(g.NumEdges()))
+		if _, err := f.InsertObject(e, g.Weight(e)/2, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	verifyAbstractLemma1(t, f)
+	for _, qn := range dataset.RandomNodes(g, 15, 2) {
+		q := Query{Node: qn}
+		got, _ := f.KNN(q, 3)
+		want := bruteKNN(g, objects, q, 3)
+		if !resultsMatch(got, want) {
+			t.Fatalf("KNN after churn mismatch at %d", qn)
+		}
+	}
+}
+
+func TestDeleteMissingObject(t *testing.T) {
+	f, _, _ := fixture(t, 200, 230, 5, 41, defaultCfg())
+	if err := f.DeleteObject(9999); err == nil {
+		t.Fatal("deleting missing object succeeded")
+	}
+}
+
+func TestUpdateObjectAttr(t *testing.T) {
+	f, g, objects := fixture(t, 300, 350, 12, 42, defaultCfg())
+	target := objects.All()[0]
+	if err := f.UpdateObjectAttr(target.ID, 55); err != nil {
+		t.Fatal(err)
+	}
+	verifyAbstractLemma1(t, f)
+	q := Query{Node: dataset.RandomNodes(g, 1, 43)[0], Attr: 55}
+	got, _ := f.KNN(q, 5)
+	found := false
+	for _, r := range got {
+		if r.Object.ID == target.ID {
+			found = true
+		}
+		if r.Object.Attr != 55 {
+			t.Fatal("predicate violated after attr update")
+		}
+	}
+	if !found {
+		t.Fatal("updated object not returned by attribute query")
+	}
+	if err := f.UpdateObjectAttr(9999, 1); err == nil {
+		t.Fatal("updating missing object succeeded")
+	}
+}
+
+func TestEdgeWeightChangeKeepsQueriesExact(t *testing.T) {
+	f, g, objects := fixture(t, 300, 350, 15, 44, defaultCfg())
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 12; i++ {
+		e := graph.EdgeID(rng.Intn(g.NumEdges()))
+		factor := 0.3 + rng.Float64()*3
+		if _, err := f.SetEdgeWeight(e, g.Weight(e)*factor); err != nil {
+			t.Fatal(err)
+		}
+	}
+	verifyAbstractLemma1(t, f)
+	for _, qn := range dataset.RandomNodes(g, 20, 4) {
+		q := Query{Node: qn}
+		got, _ := f.KNN(q, 4)
+		want := bruteKNN(g, objects, q, 4)
+		if !resultsMatch(got, want) {
+			t.Fatalf("KNN after reweights mismatch at %d:\n got %v\nwant %v", qn, got, want)
+		}
+	}
+}
+
+func TestEdgeWeightChangeRescalesObjects(t *testing.T) {
+	f, g, objects := fixture(t, 200, 230, 0, 45, defaultCfg())
+	// Place one object at the middle of an edge, then double the edge.
+	e := graph.EdgeID(5)
+	w := g.Weight(e)
+	o, err := f.InsertObject(e, w/2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.SetEdgeWeight(e, w*2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := objects.Get(o.ID)
+	if got.DU != w || got.DV != w {
+		t.Fatalf("object offsets after doubling = (%g,%g), want (%g,%g)", got.DU, got.DV, w, w)
+	}
+}
+
+func TestEdgeDeleteRemovesItsObjects(t *testing.T) {
+	f, g, objects := fixture(t, 300, 350, 0, 46, defaultCfg())
+	// Choose an edge whose endpoints keep other connections.
+	var e graph.EdgeID = graph.NoEdge
+	for i := 0; i < g.NumEdges(); i++ {
+		ed := g.Edge(graph.EdgeID(i))
+		if g.Degree(ed.U) > 1 && g.Degree(ed.V) > 1 {
+			e = graph.EdgeID(i)
+			break
+		}
+	}
+	if e == graph.NoEdge {
+		t.Skip("no safe edge")
+	}
+	o, err := f.InsertObject(e, g.Weight(e)/3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.DeleteEdge(e); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := objects.Get(o.ID); ok {
+		t.Fatal("object survived deletion of its edge")
+	}
+	verifyAbstractLemma1(t, f)
+	// Queries still exact after the structural change.
+	for _, qn := range dataset.RandomNodes(g, 10, 5) {
+		q := Query{Node: qn}
+		got, _ := f.KNN(q, 2)
+		want := bruteKNN(g, objects, q, 2)
+		if !resultsMatch(got, want) {
+			t.Fatalf("KNN after edge delete mismatch at %d", qn)
+		}
+	}
+}
+
+func TestEdgeAddKeepsQueriesExact(t *testing.T) {
+	f, g, objects := fixture(t, 300, 350, 12, 47, defaultCfg())
+	rng := rand.New(rand.NewSource(6))
+	added := 0
+	for added < 5 {
+		u := graph.NodeID(rng.Intn(g.NumNodes()))
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		if u == v || g.EdgeBetween(u, v) != graph.NoEdge {
+			continue
+		}
+		w := g.Coord(u).Dist(g.Coord(v)) + 0.01
+		if _, _, err := f.AddEdge(u, v, w); err != nil {
+			t.Fatal(err)
+		}
+		added++
+	}
+	for _, qn := range dataset.RandomNodes(g, 15, 7) {
+		q := Query{Node: qn}
+		got, _ := f.KNN(q, 3)
+		want := bruteKNN(g, objects, q, 3)
+		if !resultsMatch(got, want) {
+			t.Fatalf("KNN after edge adds mismatch at %d:\n got %v\nwant %v", qn, got, want)
+		}
+	}
+}
+
+func TestDeleteRestoreCycleKeepsQueriesExact(t *testing.T) {
+	// The evaluation's network-update workload: remove an edge, add it
+	// back, repeatedly; queries must stay exact throughout.
+	f, g, objects := fixture(t, 300, 350, 15, 48, defaultCfg())
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 8; i++ {
+		e := graph.EdgeID(rng.Intn(g.NumEdges()))
+		ed := g.Edge(e)
+		if ed.Removed || g.Degree(ed.U) <= 1 || g.Degree(ed.V) <= 1 {
+			continue
+		}
+		// Objects on the edge are destroyed by deletion; skip object edges
+		// to keep the comparison set stable.
+		if len(f.Objects().OnEdge(e)) > 0 {
+			continue
+		}
+		if _, err := f.DeleteEdge(e); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.RestoreEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, qn := range dataset.RandomNodes(g, 15, 9) {
+		q := Query{Node: qn}
+		got, _ := f.KNN(q, 3)
+		want := bruteKNN(g, objects, q, 3)
+		if !resultsMatch(got, want) {
+			t.Fatalf("KNN after delete/restore mismatch at %d", qn)
+		}
+	}
+}
+
+func TestMixedChurnSoak(t *testing.T) {
+	// Interleave object and network updates with query verification — the
+	// end-to-end failure-injection soak.
+	f, g, objects := fixture(t, 350, 400, 20, 49, defaultCfg())
+	rng := rand.New(rand.NewSource(10))
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 10; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				e := graph.EdgeID(rng.Intn(g.NumEdges()))
+				if !g.Edge(e).Removed {
+					f.SetEdgeWeight(e, g.Weight(e)*(0.5+rng.Float64()))
+				}
+			case 1:
+				all := objects.All()
+				if len(all) > 3 {
+					f.DeleteObject(all[rng.Intn(len(all))].ID)
+				}
+			case 2:
+				e := graph.EdgeID(rng.Intn(g.NumEdges()))
+				if !g.Edge(e).Removed {
+					f.InsertObject(e, rng.Float64()*g.Weight(e), int32(rng.Intn(3)))
+				}
+			case 3:
+				all := objects.All()
+				if len(all) > 0 {
+					f.UpdateObjectAttr(all[rng.Intn(len(all))].ID, int32(rng.Intn(3)))
+				}
+			}
+		}
+		verifyAbstractLemma1(t, f)
+		for _, qn := range dataset.RandomNodes(g, 5, int64(round)) {
+			q := Query{Node: qn, Attr: int32(rng.Intn(3))}
+			got, _ := f.KNN(q, 3)
+			want := bruteKNN(g, objects, q, 3)
+			if !resultsMatch(got, want) {
+				t.Fatalf("round %d: KNN mismatch at %d attr %d", round, qn, q.Attr)
+			}
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"road/internal/graph"
+	"road/internal/pqueue"
+	"road/internal/rnet"
+)
+
+// parentLink records how a node was best reached: over a physical edge or
+// across an Rnet via one of the previous node's shortcuts.
+type parentLink struct {
+	prev graph.NodeID
+	edge graph.EdgeID // NoEdge when the hop was a shortcut
+	rnet rnet.RnetID  // the bypassed Rnet (shortcut hops)
+	dist float64
+}
+
+// PathTo computes the detailed shortest path from q.Node to the given
+// object using the ROAD search with parent tracking: the returned node
+// sequence walks physical intersections all the way (shortcut hops are
+// expanded recursively through the hierarchy per Lemma 2's representation),
+// ending at the endpoint of the object's edge through which the object is
+// reached; the returned distance includes the final offset along that
+// edge. The framework must have been built with Rnet.StorePaths.
+func (f *Framework) PathTo(q Query, target graph.ObjectID) ([]graph.NodeID, float64, error) {
+	if !f.h.Config().StorePaths {
+		return nil, 0, fmt.Errorf("core: framework built without StorePaths")
+	}
+	o, ok := f.objects.Get(target)
+	if !ok {
+		return nil, 0, fmt.Errorf("core: object %d not found", target)
+	}
+	if q.Attr != 0 && o.Attr != q.Attr {
+		return nil, 0, fmt.Errorf("core: object %d does not match attribute %d", target, q.Attr)
+	}
+
+	links := make(map[graph.NodeID]parentLink)
+	visited := make(map[graph.NodeID]bool)
+	var pq pqueue.Queue
+	pq.Push(q.Node, 0.0)
+	links[q.Node] = parentLink{prev: graph.NoNode, edge: graph.NoEdge}
+
+	e := f.g.Edge(o.Edge)
+	// The search runs directed at the object's two endpoint nodes; the
+	// Rnet bypass decisions use the object's own attribute so regions
+	// containing only the target stay explorable.
+	bestEnd := graph.NoNode
+	bestDist := math.Inf(1)
+	verdicts := make(map[rnet.RnetID]bool)
+	var stats QueryStats
+
+	relax := func(n graph.NodeID, nd float64, link parentLink) {
+		if cur, ok := links[n]; ok && cur.prev != graph.NoNode && cur.dist <= nd {
+			return
+		}
+		if n != q.Node {
+			links[n] = link
+		}
+		pq.Push(n, nd)
+	}
+
+	for pq.Len() > 0 {
+		item, _ := pq.Pop()
+		n := item.Value.(graph.NodeID)
+		d := item.Priority
+		if d >= bestDist {
+			break // cannot improve the object's distance any further
+		}
+		if visited[n] {
+			continue
+		}
+		visited[n] = true
+
+		if n == e.U && d+o.DU < bestDist {
+			bestDist = d + o.DU
+			bestEnd = n
+		}
+		if n == e.V && d+o.DV < bestDist {
+			bestDist = d + o.DV
+			bestEnd = n
+		}
+
+		mayContain := func(r rnet.RnetID) bool {
+			v, ok := verdicts[r]
+			if !ok {
+				// A bypass is only safe if neither the target's region nor
+				// a matching object lies inside.
+				v = f.ad.RnetMayContain(r, q.Attr) || f.rnetContainsEdge(r, o.Edge)
+				verdicts[r] = v
+			}
+			return v
+		}
+		for _, s := range treeStack(f.ro.Visit(n)) {
+			if s.IsBorder && !mayContain(s.Rnet) {
+				stats.RnetsBypassed++
+				for _, sc := range f.h.ShortcutsFrom(s.Rnet, n) {
+					relax(sc.To, d+sc.Dist, parentLink{prev: n, edge: graph.NoEdge, rnet: s.Rnet, dist: d + sc.Dist})
+				}
+				continue
+			}
+			for _, half := range s.Edges {
+				relax(half.To, d+f.g.Weight(half.Edge), parentLink{prev: n, edge: half.Edge, dist: d + f.g.Weight(half.Edge)})
+			}
+		}
+	}
+	if bestEnd == graph.NoNode {
+		return nil, math.Inf(1), fmt.Errorf("core: object %d unreachable from node %d", target, q.Node)
+	}
+
+	// Walk the links back to the source, expanding shortcut hops.
+	var rev []graph.NodeID
+	cur := bestEnd
+	for cur != q.Node {
+		link, ok := links[cur]
+		if !ok || link.prev == graph.NoNode {
+			return nil, 0, fmt.Errorf("core: broken parent chain at node %d", cur)
+		}
+		if link.edge != graph.NoEdge {
+			rev = append(rev, cur)
+		} else {
+			leg, err := f.expandHop(link.rnet, link.prev, cur)
+			if err != nil {
+				return nil, 0, err
+			}
+			// leg runs prev..cur; append in reverse, excluding prev.
+			for i := len(leg) - 1; i >= 1; i-- {
+				rev = append(rev, leg[i])
+			}
+		}
+		cur = link.prev
+	}
+	rev = append(rev, q.Node)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, bestDist, nil
+}
+
+// expandHop expands the shortcut from a to b across Rnet r into its full
+// node sequence.
+func (f *Framework) expandHop(r rnet.RnetID, a, b graph.NodeID) ([]graph.NodeID, error) {
+	for _, sc := range f.h.ShortcutsFrom(r, a) {
+		if sc.To == b {
+			return f.h.ExpandShortcut(r, sc)
+		}
+	}
+	return nil, fmt.Errorf("core: no shortcut %d->%d in Rnet %d", a, b, r)
+}
+
+// rnetContainsEdge reports whether edge e lies inside Rnet r.
+func (f *Framework) rnetContainsEdge(r rnet.RnetID, e graph.EdgeID) bool {
+	leaf := f.h.LeafOf(e)
+	if leaf == rnet.NoRnet {
+		return false
+	}
+	return f.h.AncestorAt(leaf, f.h.Rnet(r).Level) == r
+}
+
+// treeStack flattens the shortcut-tree entries of one node into the
+// processing order choosePath uses, resolving descent decisions lazily is
+// unnecessary here because the caller filters per entry.
+func treeStack(tops []*rnet.TreeNode) []*rnet.TreeNode {
+	var out []*rnet.TreeNode
+	var stack []*rnet.TreeNode
+	stack = append(stack, tops...)
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, s)
+		if len(s.Children) > 0 {
+			stack = append(stack, s.Children...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"road/internal/dataset"
+	"road/internal/graph"
+	"road/internal/rnet"
+)
+
+func pathFixture(t *testing.T, seed int64) (*Framework, *graph.Graph, *graph.ObjectSet) {
+	t.Helper()
+	g := dataset.MustGenerate(dataset.Spec{Name: "p", Nodes: 400, Edges: 460, Seed: seed})
+	objects := dataset.PlaceUniform(g, 20, seed+1, 0, 7)
+	f, err := Build(g, objects, Config{Rnet: rnet.Config{
+		Fanout: 4, Levels: 3, KLPasses: -1, PruneMaxBorders: 32, StorePaths: true,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, g, objects
+}
+
+// verifyPath checks a returned path is a real walk ending at an endpoint
+// of the object's edge, whose length plus the object offset equals dist.
+func verifyPath(t *testing.T, g *graph.Graph, o graph.Object, from graph.NodeID, path []graph.NodeID, dist float64) {
+	t.Helper()
+	if len(path) == 0 {
+		t.Fatal("empty path")
+	}
+	if path[0] != from {
+		t.Fatalf("path starts at %d, want %d", path[0], from)
+	}
+	var walked float64
+	for i := 1; i < len(path); i++ {
+		e := g.EdgeBetween(path[i-1], path[i])
+		if e == graph.NoEdge {
+			t.Fatalf("path hop %d->%d is not an edge", path[i-1], path[i])
+		}
+		walked += g.Weight(e)
+	}
+	end := path[len(path)-1]
+	ed := g.Edge(o.Edge)
+	var offset float64
+	switch end {
+	case ed.U:
+		offset = o.DU
+	case ed.V:
+		offset = o.DV
+	default:
+		t.Fatalf("path ends at %d, not an endpoint of object edge (%d,%d)", end, ed.U, ed.V)
+	}
+	if math.Abs(walked+offset-dist) > 1e-9*math.Max(1, dist) {
+		t.Fatalf("path length %g + offset %g != reported dist %g", walked, offset, dist)
+	}
+}
+
+func TestPathToMatchesKNNDistance(t *testing.T) {
+	f, g, _ := pathFixture(t, 1)
+	for _, qn := range dataset.RandomNodes(g, 25, 2) {
+		q := Query{Node: qn}
+		res, _ := f.KNN(q, 3)
+		for _, r := range res {
+			path, dist, err := f.PathTo(q, r.Object.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(dist-r.Dist) > 1e-9*math.Max(1, r.Dist) {
+				t.Fatalf("PathTo dist %g != KNN dist %g", dist, r.Dist)
+			}
+			verifyPath(t, g, r.Object, qn, path, dist)
+		}
+	}
+}
+
+func TestPathToFarObject(t *testing.T) {
+	// Specifically exercise long paths that must cross bypassed regions
+	// (few objects -> many bypasses -> shortcut expansion on the way back).
+	g := dataset.MustGenerate(dataset.Spec{Name: "p", Nodes: 2000, Edges: 2300, Seed: 3})
+	objects := dataset.PlaceUniform(g, 3, 4)
+	f, err := Build(g, objects, Config{Rnet: rnet.Config{
+		Fanout: 4, Levels: 4, KLPasses: -1, PruneMaxBorders: 32, StorePaths: true,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.NewSearch(g)
+	for _, qn := range dataset.RandomNodes(g, 10, 5) {
+		q := Query{Node: qn}
+		res, _ := f.KNN(q, 1)
+		if len(res) == 0 {
+			continue
+		}
+		path, dist, err := f.PathTo(q, res[0].Object.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifyPath(t, g, res[0].Object, qn, path, dist)
+		// The path must be shortest: its node-to-endpoint walk equals the
+		// Dijkstra distance.
+		end := path[len(path)-1]
+		if want := s.ShortestDist(qn, end); math.Abs(want-(dist-offsetAt(g, res[0].Object, end))) > 1e-9*math.Max(1, want) {
+			t.Fatalf("path to %d not shortest: %g vs %g", end, dist, want)
+		}
+	}
+}
+
+func offsetAt(g *graph.Graph, o graph.Object, n graph.NodeID) float64 {
+	if g.Edge(o.Edge).U == n {
+		return o.DU
+	}
+	return o.DV
+}
+
+func TestPathToErrors(t *testing.T) {
+	f, _, objects := pathFixture(t, 6)
+	if _, _, err := f.PathTo(Query{Node: 0}, 9999); err == nil {
+		t.Fatal("missing object accepted")
+	}
+	o := objects.All()[0]
+	if _, _, err := f.PathTo(Query{Node: 0, Attr: 42}, o.ID); err == nil && o.Attr != 42 {
+		t.Fatal("attribute mismatch accepted")
+	}
+	// Without StorePaths the call must fail cleanly.
+	g2 := dataset.MustGenerate(dataset.Spec{Name: "p", Nodes: 100, Edges: 120, Seed: 7})
+	obj2 := dataset.PlaceUniform(g2, 3, 8)
+	f2, err := Build(g2, obj2, Config{Rnet: rnet.Config{Fanout: 2, Levels: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f2.PathTo(Query{Node: 0}, obj2.All()[0].ID); err == nil {
+		t.Fatal("PathTo without StorePaths accepted")
+	}
+}
+
+func TestExpandShortcutAllLevels(t *testing.T) {
+	g := dataset.MustGenerate(dataset.Spec{Name: "p", Nodes: 600, Edges: 700, Seed: 9})
+	h, err := rnet.Build(g, rnet.Config{Fanout: 4, Levels: 3, KLPasses: -1, StorePaths: true, PruneMaxBorders: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	checked := 0
+	for level := 1; level <= 3; level++ {
+		for _, id := range h.AtLevel(level) {
+			for _, b := range h.Rnet(id).Borders {
+				for _, sc := range h.ShortcutsFrom(id, b) {
+					if rng.Intn(5) != 0 {
+						continue
+					}
+					path, err := h.ExpandShortcut(id, sc)
+					if err != nil {
+						t.Fatalf("level %d: %v", level, err)
+					}
+					if path[0] != sc.From || path[len(path)-1] != sc.To {
+						t.Fatalf("expanded path endpoints %d..%d, want %d..%d",
+							path[0], path[len(path)-1], sc.From, sc.To)
+					}
+					var total float64
+					for i := 1; i < len(path); i++ {
+						e := g.EdgeBetween(path[i-1], path[i])
+						if e == graph.NoEdge {
+							t.Fatalf("expanded hop %d->%d not an edge", path[i-1], path[i])
+						}
+						total += g.Weight(e)
+					}
+					if math.Abs(total-sc.Dist) > 1e-9*math.Max(1, sc.Dist) {
+						t.Fatalf("expanded length %g != shortcut dist %g", total, sc.Dist)
+					}
+					checked++
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no shortcuts expanded; test vacuous")
+	}
+}

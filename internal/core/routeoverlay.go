@@ -1,0 +1,88 @@
+package core
+
+import (
+	"road/internal/btree"
+	"road/internal/graph"
+	"road/internal/rnet"
+	"road/internal/storage"
+)
+
+// RouteOverlay is the network-side index (§3.4): a B+-tree keyed by node
+// ID whose leaf entries lead to each node's shortcut tree — the flattened
+// representation of the Rnet hierarchy that lets a traversal switch
+// between physical edges and shortcuts without ever leaving one structure.
+// The actual tree and shortcut data live in the Hierarchy; RouteOverlay
+// adds the paged-index simulation so queries are charged realistic I/O.
+type RouteOverlay struct {
+	h      *rnet.Hierarchy
+	index  *btree.Tree[int32]
+	layout *storage.Layout
+	store  *storage.Store
+}
+
+// NewRouteOverlay wraps hierarchy h; store may be nil to skip I/O
+// simulation. Node records are laid out in Hilbert order (CCAM-style
+// clustering [18]) sized by shortcut-tree and shortcut payload.
+func NewRouteOverlay(h *rnet.Hierarchy, store *storage.Store) *RouteOverlay {
+	ro := &RouteOverlay{
+		h:     h,
+		index: btree.New[int32](btree.DefaultOrder),
+		store: store,
+	}
+	if store != nil {
+		ro.layout = storage.NewLayout(store)
+		ro.index.OnAccess = func(id int64) { store.Read(roIndexPageBase - storage.PageID(id)) }
+	}
+	g := h.Graph()
+	order := storage.ClusterNodes(g)
+	for _, n := range order {
+		ro.index.Put(int64(n), 0)
+		if ro.layout != nil {
+			ro.layout.Place(int64(n), ro.nodeRecordSize(n))
+			ro.layout.Write(int64(n))
+		}
+	}
+	return ro
+}
+
+// nodeRecordSize estimates the stored size of node n's entry: its shortcut
+// tree plus all shortcuts departing n.
+func (ro *RouteOverlay) nodeRecordSize(n graph.NodeID) int {
+	size := ro.h.TreeSizeBytes(n)
+	var walk func(tn *rnet.TreeNode)
+	walk = func(tn *rnet.TreeNode) {
+		if tn.IsBorder {
+			for _, sc := range ro.h.ShortcutsFrom(tn.Rnet, n) {
+				size += 16 + 4*len(sc.Via)
+			}
+		}
+		for _, c := range tn.Children {
+			walk(c)
+		}
+	}
+	for _, top := range ro.h.Tree(n) {
+		walk(top)
+	}
+	return size
+}
+
+// Visit charges the I/O of loading node n's entry (B+-tree descent plus
+// the shortcut-tree record) and returns the node's shortcut tree.
+func (ro *RouteOverlay) Visit(n graph.NodeID) []*rnet.TreeNode {
+	ro.index.Get(int64(n))
+	if ro.layout != nil {
+		ro.layout.Read(int64(n))
+	}
+	return ro.h.Tree(n)
+}
+
+// SizeBytes estimates the Route Overlay's storage footprint: the
+// hierarchy's Rnet/shortcut data plus per-node shortcut-tree records.
+func (ro *RouteOverlay) SizeBytes() int64 {
+	total := ro.h.SizeBytes()
+	g := ro.h.Graph()
+	for n := 0; n < g.NumNodes(); n++ {
+		total += int64(ro.h.TreeSizeBytes(graph.NodeID(n)))
+	}
+	return total
+}

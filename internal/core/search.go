@@ -1,0 +1,230 @@
+package core
+
+import (
+	"road/internal/graph"
+	"road/internal/pqueue"
+	"road/internal/rnet"
+	"road/internal/storage"
+)
+
+// Query is an LDSQ: a query node plus an attribute predicate
+// (Attr 0 matches any object).
+type Query struct {
+	Node graph.NodeID
+	Attr int32
+}
+
+// Result is one answer object with its network distance from the query
+// node.
+type Result struct {
+	Object graph.Object
+	Dist   float64
+}
+
+// QueryStats reports the cost of one query execution.
+type QueryStats struct {
+	// NodesPopped counts settled network nodes (the traversal metric).
+	NodesPopped int
+	// RnetsBypassed counts Rnets skipped via shortcuts.
+	RnetsBypassed int
+	// RnetsDescended counts Rnet entries expanded because their abstract
+	// matched the predicate.
+	RnetsDescended int
+	// IO holds the simulated page I/O incurred (zero when simulation off).
+	IO storage.Stats
+}
+
+// queueEntry distinguishes node and object entries of the search queue
+// (Algorithm kNNSearch keeps both in one priority queue).
+type queueEntry struct {
+	node graph.NodeID // valid when obj < 0
+	obj  graph.ObjectID
+}
+
+// queryWorkspace holds per-query scratch state, reused across queries so
+// steady-state searches allocate almost nothing. A Framework (and thus its
+// workspace) is not safe for concurrent queries.
+type queryWorkspace struct {
+	pq        pqueue.Queue
+	nodeEpoch []uint32
+	epoch     uint32
+	stack     []*rnet.TreeNode
+	verdicts  map[rnet.RnetID]bool
+	visObjs   map[graph.ObjectID]bool
+}
+
+func (f *Framework) workspace() *queryWorkspace {
+	ws := f.qws
+	if ws == nil {
+		ws = &queryWorkspace{
+			verdicts: make(map[rnet.RnetID]bool),
+			visObjs:  make(map[graph.ObjectID]bool),
+		}
+		f.qws = ws
+	}
+	return ws
+}
+
+// prepare readies a workspace for one query: sizes the epoch array to the
+// current node count and clears per-query state.
+func (f *Framework) prepare(ws *queryWorkspace) {
+	if len(ws.nodeEpoch) < f.g.NumNodes() {
+		ws.nodeEpoch = make([]uint32, f.g.NumNodes())
+		ws.epoch = 0
+	}
+	ws.epoch++
+	if ws.epoch == 0 {
+		for i := range ws.nodeEpoch {
+			ws.nodeEpoch[i] = 0
+		}
+		ws.epoch = 1
+	}
+	ws.pq.Reset()
+	clear(ws.verdicts)
+	clear(ws.visObjs)
+}
+
+func (ws *queryWorkspace) nodeVisited(n graph.NodeID) bool { return ws.nodeEpoch[n] == ws.epoch }
+func (ws *queryWorkspace) markNode(n graph.NodeID)         { ws.nodeEpoch[n] = ws.epoch }
+
+// KNN returns the k objects matching q.Attr nearest to q.Node in network
+// distance, closest first (Algorithm kNNSearch, Figure 9).
+func (f *Framework) KNN(q Query, k int) ([]Result, QueryStats) {
+	return f.KNNOn(f.ad, q, k)
+}
+
+// Range returns all objects matching q.Attr within network distance radius
+// of q.Node, closest first (Algorithm RangeSearch).
+func (f *Framework) Range(q Query, radius float64) ([]Result, QueryStats) {
+	return f.RangeOn(f.ad, q, radius)
+}
+
+// KNNOn runs a kNN query against a specific Association Directory
+// (supporting multiple object sets on one overlay).
+func (f *Framework) KNNOn(ad *AssocDir, q Query, k int) ([]Result, QueryStats) {
+	return f.search(ad, q, k, 0)
+}
+
+// RangeOn runs a range query against a specific Association Directory.
+func (f *Framework) RangeOn(ad *AssocDir, q Query, radius float64) ([]Result, QueryStats) {
+	return f.search(ad, q, 0, radius)
+}
+
+// search is the shared expansion entry point for the Framework's own
+// single-threaded methods, with full I/O simulation.
+func (f *Framework) search(ad *AssocDir, q Query, k int, radius float64) ([]Result, QueryStats) {
+	return f.searchWith(ad, q, k, radius, f.workspace(), true)
+}
+
+// searchWith is the shared expansion: it gradually grows the search from
+// the query node, looking up objects at settled nodes and choosing — per
+// Rnet entry of each settled node's shortcut tree — between bypassing via
+// shortcuts (no matching object inside) and descending (Figure 10). k>0
+// selects kNN semantics; otherwise radius bounds a range query. chargeIO
+// routes index accesses through the simulated page store; Sessions pass
+// false so concurrent queries never touch shared buffer state.
+func (f *Framework) searchWith(ad *AssocDir, q Query, k int, radius float64, ws *queryWorkspace, chargeIO bool) ([]Result, QueryStats) {
+	var stats QueryStats
+	var ioMark storage.Stats
+	if f.store != nil && chargeIO {
+		ioMark = f.store.Stats()
+	}
+
+	f.prepare(ws)
+	var res []Result
+
+	ws.pq.Push(queueEntry{node: q.Node, obj: -1}, 0)
+	for ws.pq.Len() > 0 {
+		item, _ := ws.pq.Pop()
+		entry := item.Value.(queueEntry)
+		d := item.Priority
+		if k == 0 && d > radius {
+			break // range satisfied: everything farther is out of range
+		}
+		if entry.obj >= 0 {
+			if ws.visObjs[entry.obj] {
+				continue
+			}
+			ws.visObjs[entry.obj] = true
+			if o, ok := f.objects.Get(entry.obj); ok {
+				res = append(res, Result{Object: o, Dist: d})
+			}
+			if k > 0 && len(res) >= k {
+				break
+			}
+			continue
+		}
+		n := entry.node
+		if ws.nodeVisited(n) {
+			continue
+		}
+		ws.markNode(n)
+		stats.NodesPopped++
+
+		// Object lookup at the settled node.
+		for _, a := range ad.objectsAt(n, q.Attr, chargeIO) {
+			if !ws.visObjs[a.obj] {
+				ws.pq.Push(queueEntry{obj: a.obj}, d+a.dist)
+			}
+		}
+
+		// ChoosePath: walk the node's shortcut tree.
+		f.choosePath(ad, ws, n, d, q.Attr, chargeIO, &stats)
+	}
+
+	if f.store != nil && chargeIO {
+		stats.IO = f.store.Stats().Sub(ioMark)
+	}
+	return res, stats
+}
+
+// choosePath implements Algorithm ChoosePath (Figure 10): depth-first over
+// node n's shortcut tree; an Rnet whose abstract has no matching object is
+// bypassed through n's shortcuts (when n is one of its borders), otherwise
+// the walk descends, bottoming out at physical edges.
+func (f *Framework) choosePath(ad *AssocDir, ws *queryWorkspace, n graph.NodeID, d float64, attr int32, chargeIO bool, stats *QueryStats) {
+	g := f.g
+	// Rnet abstract verdicts are stable within one query; memoize them so
+	// repeated ChoosePath calls don't re-probe the directory.
+	mayContain := func(r rnet.RnetID) bool {
+		v, ok := ws.verdicts[r]
+		if !ok {
+			v = ad.rnetMayContain(r, attr, chargeIO)
+			ws.verdicts[r] = v
+		}
+		return v
+	}
+	var tree []*rnet.TreeNode
+	if chargeIO {
+		tree = f.ro.Visit(n)
+	} else {
+		tree = f.h.Tree(n)
+	}
+	stack := append(ws.stack[:0], tree...)
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.IsBorder && !mayContain(s.Rnet) {
+			// Bypass: jump to the Rnet's other border nodes.
+			stats.RnetsBypassed++
+			for _, sc := range f.h.ShortcutsFrom(s.Rnet, n) {
+				if !ws.nodeVisited(sc.To) {
+					ws.pq.Push(queueEntry{node: sc.To, obj: -1}, d+sc.Dist)
+				}
+			}
+			continue
+		}
+		if len(s.Children) > 0 {
+			stats.RnetsDescended++
+			stack = append(stack, s.Children...)
+			continue
+		}
+		// Leaf entry: expand physical edges.
+		for _, half := range s.Edges {
+			if !ws.nodeVisited(half.To) {
+				ws.pq.Push(queueEntry{node: half.To, obj: -1}, d+g.Weight(half.Edge))
+			}
+		}
+	}
+	ws.stack = stack[:0]
+}

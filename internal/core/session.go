@@ -1,0 +1,53 @@
+package core
+
+import (
+	"road/internal/graph"
+	"road/internal/rnet"
+	"sync"
+)
+
+// Session is a read-only query context over a built Framework. Unlike the
+// Framework's own KNN/Range methods — which share one workspace and one
+// simulated page buffer and are therefore single-threaded — any number of
+// Sessions may run queries concurrently. Sessions skip the I/O simulation
+// (QueryStats.IO stays zero); traversal statistics are still reported.
+//
+// Sessions must not run concurrently with maintenance operations (object
+// or network updates) on the same Framework: queries are reads, updates
+// are writes, and the framework does no internal locking between them.
+type Session struct {
+	f  *Framework
+	ws *queryWorkspace
+}
+
+// NewSession returns an independent concurrent query context. The first
+// session construction eagerly materializes all per-node shortcut trees
+// (they are otherwise built lazily, which would race).
+func (f *Framework) NewSession() *Session {
+	f.prewarm.Do(func() {
+		g := f.g
+		for n := 0; n < g.NumNodes(); n++ {
+			f.h.Tree(graph.NodeID(n))
+		}
+	})
+	return &Session{
+		f: f,
+		ws: &queryWorkspace{
+			verdicts: make(map[rnet.RnetID]bool),
+			visObjs:  make(map[graph.ObjectID]bool),
+		},
+	}
+}
+
+// KNN returns the k objects matching q.Attr nearest to q.Node.
+func (s *Session) KNN(q Query, k int) ([]Result, QueryStats) {
+	return s.f.searchWith(s.f.ad, q, k, 0, s.ws, false)
+}
+
+// Range returns all matching objects within radius of q.Node.
+func (s *Session) Range(q Query, radius float64) ([]Result, QueryStats) {
+	return s.f.searchWith(s.f.ad, q, 0, radius, s.ws, false)
+}
+
+// prewarmOnce is the type of Framework.prewarm.
+type prewarmOnce = sync.Once

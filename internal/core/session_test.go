@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"road/internal/dataset"
+)
+
+func TestSessionMatchesFramework(t *testing.T) {
+	f, g, _ := fixture(t, 400, 460, 25, 60, defaultCfg())
+	s := f.NewSession()
+	for _, qn := range dataset.RandomNodes(g, 20, 61) {
+		q := Query{Node: qn}
+		want, _ := f.KNN(q, 5)
+		got, st := s.KNN(q, 5)
+		if !resultsMatch(got, want) {
+			t.Fatalf("session KNN mismatch at %d", qn)
+		}
+		if st.IO.Reads != 0 {
+			t.Fatal("session charged I/O")
+		}
+		if st.NodesPopped == 0 {
+			t.Fatal("session stats empty")
+		}
+		diam := g.EstimateDiameter()
+		wantR, _ := f.Range(q, diam*0.1)
+		gotR, _ := s.Range(q, diam*0.1)
+		if !resultsMatch(gotR, wantR) {
+			t.Fatalf("session Range mismatch at %d", qn)
+		}
+	}
+}
+
+func TestSessionsConcurrent(t *testing.T) {
+	f, g, objects := fixture(t, 600, 700, 30, 62, defaultCfg())
+	queries := dataset.RandomNodes(g, 40, 63)
+	// Ground truth computed serially up front.
+	want := make([][]Result, len(queries))
+	for i, qn := range queries {
+		want[i] = bruteKNN(g, objects, Query{Node: qn}, 5)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := f.NewSession()
+			for round := 0; round < 5; round++ {
+				for i, qn := range queries {
+					got, _ := s.KNN(Query{Node: qn}, 5)
+					if !resultsMatch(got, want[i]) {
+						errs <- errf("worker %d: mismatch at query %d", w, i)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }

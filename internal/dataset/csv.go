@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"road/internal/geom"
+	"road/internal/graph"
+)
+
+// WriteCSV emits a network (and optionally its objects) in the simple
+// line-per-record format cmd/roadgen produces:
+//
+//	node,<id>,<x>,<y>
+//	edge,<id>,<u>,<v>,<weight>
+//	object,<id>,<edge>,<du>,<attr>
+//
+// Node and edge IDs are written in order, so a round trip preserves them.
+// Removed edges are skipped.
+func WriteCSV(w io.Writer, g *graph.Graph, objects *graph.ObjectSet) error {
+	bw := bufio.NewWriter(w)
+	for n := 0; n < g.NumNodes(); n++ {
+		p := g.Coord(graph.NodeID(n))
+		fmt.Fprintf(bw, "node,%d,%g,%g\n", n, p.X, p.Y)
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(graph.EdgeID(e))
+		if ed.Removed {
+			continue
+		}
+		fmt.Fprintf(bw, "edge,%d,%d,%d,%g\n", e, ed.U, ed.V, ed.Weight)
+	}
+	if objects != nil {
+		for _, o := range objects.All() {
+			fmt.Fprintf(bw, "object,%d,%d,%g,%d\n", o.ID, o.Edge, o.DU, o.Attr)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the WriteCSV format back into a network and object set.
+// Node records must precede the edges that use them, and edge records the
+// objects on them — the order WriteCSV produces. Edge and node IDs must
+// appear in ascending dense order (gaps from removed edges are rejected;
+// regenerate the file for compacted IDs).
+func ReadCSV(r io.Reader) (*graph.Graph, *graph.ObjectSet, error) {
+	g := graph.New(0, 0)
+	var objects *graph.ObjectSet
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		switch fields[0] {
+		case "node":
+			if len(fields) != 4 {
+				return nil, nil, fmt.Errorf("dataset: line %d: node wants 4 fields", lineNo)
+			}
+			id, err1 := strconv.Atoi(fields[1])
+			x, err2 := strconv.ParseFloat(fields[2], 64)
+			y, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, nil, fmt.Errorf("dataset: line %d: bad node record", lineNo)
+			}
+			if got := g.AddNode(geom.Point{X: x, Y: y}); int(got) != id {
+				return nil, nil, fmt.Errorf("dataset: line %d: node ID %d out of order (expected %d)", lineNo, id, got)
+			}
+		case "edge":
+			if len(fields) != 5 {
+				return nil, nil, fmt.Errorf("dataset: line %d: edge wants 5 fields", lineNo)
+			}
+			id, err1 := strconv.Atoi(fields[1])
+			u, err2 := strconv.Atoi(fields[2])
+			v, err3 := strconv.Atoi(fields[3])
+			wgt, err4 := strconv.ParseFloat(fields[4], 64)
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+				return nil, nil, fmt.Errorf("dataset: line %d: bad edge record", lineNo)
+			}
+			got, err := g.AddEdge(graph.NodeID(u), graph.NodeID(v), wgt)
+			if err != nil {
+				return nil, nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+			}
+			if int(got) != id {
+				return nil, nil, fmt.Errorf("dataset: line %d: edge ID %d out of order (expected %d)", lineNo, id, got)
+			}
+		case "object":
+			if len(fields) != 5 {
+				return nil, nil, fmt.Errorf("dataset: line %d: object wants 5 fields", lineNo)
+			}
+			if objects == nil {
+				objects = graph.NewObjectSet(g)
+			}
+			e, err1 := strconv.Atoi(fields[2])
+			du, err2 := strconv.ParseFloat(fields[3], 64)
+			attr, err3 := strconv.Atoi(fields[4])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, nil, fmt.Errorf("dataset: line %d: bad object record", lineNo)
+			}
+			if _, err := objects.Add(graph.EdgeID(e), du, int32(attr)); err != nil {
+				return nil, nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, nil, fmt.Errorf("dataset: line %d: unknown record type %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if objects == nil {
+		objects = graph.NewObjectSet(g)
+	}
+	return g, objects, nil
+}

@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"road/internal/graph"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	g := MustGenerate(Spec{Name: "rt", Nodes: 200, Edges: 230, Seed: 1})
+	objects := PlaceUniform(g, 20, 2, 0, 7)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, g, objects); err != nil {
+		t.Fatal(err)
+	}
+	g2, objects2, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip sizes: %d/%d vs %d/%d",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		if g.Coord(graph.NodeID(n)) != g2.Coord(graph.NodeID(n)) {
+			t.Fatalf("node %d coords differ", n)
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		a, b := g.Edge(graph.EdgeID(e)), g2.Edge(graph.EdgeID(e))
+		if a.U != b.U || a.V != b.V || a.Weight != b.Weight {
+			t.Fatalf("edge %d differs: %+v vs %+v", e, a, b)
+		}
+	}
+	if objects2.Len() != objects.Len() {
+		t.Fatalf("objects: %d vs %d", objects2.Len(), objects.Len())
+	}
+	wantObjs, gotObjs := objects.All(), objects2.All()
+	for i := range wantObjs {
+		if wantObjs[i].Edge != gotObjs[i].Edge || wantObjs[i].Attr != gotObjs[i].Attr {
+			t.Fatalf("object %d differs", i)
+		}
+	}
+}
+
+func TestCSVSkipsRemovedEdges(t *testing.T) {
+	g := MustGenerate(Spec{Name: "rm", Nodes: 50, Edges: 60, Seed: 3})
+	g.RemoveEdge(5)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Removed edge breaks dense ordering: reader must reject.
+	if _, _, err := ReadCSV(&buf); err == nil {
+		t.Fatal("gapped edge IDs accepted")
+	}
+}
+
+func TestCSVCommentsAndBlanks(t *testing.T) {
+	in := strings.NewReader(`
+# a comment
+node,0,0,0
+node,1,1,0
+
+edge,0,0,1,2.5
+object,0,0,1.0,3
+`)
+	g, objects, err := ReadCSV(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 || objects.Len() != 1 {
+		t.Fatalf("parsed %d nodes %d edges %d objects", g.NumNodes(), g.NumEdges(), objects.Len())
+	}
+	o := objects.All()[0]
+	if o.Attr != 3 || o.DU != 1.0 {
+		t.Fatalf("object = %+v", o)
+	}
+}
+
+func TestCSVRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"frob,1,2",
+		"node,0,0",                              // too few fields
+		"node,5,0,0",                            // out-of-order node ID
+		"edge,0,0,1,1",                          // endpoints not declared
+		"node,0,x,0",                            // bad float
+		"node,0,0,0\nnode,1,0,0\nedge,0,0,1,-4", // negative weight
+		"node,0,0,0\nnode,1,0,0\nedge,0,0,1,1\nobject,0,0,9,0", // offset beyond edge
+	}
+	for _, c := range cases {
+		if _, _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("malformed input accepted: %q", c)
+		}
+	}
+}
+
+func TestCSVEmptyInput(t *testing.T) {
+	g, objects, err := ReadCSV(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 0 || objects.Len() != 0 {
+		t.Fatal("empty input produced content")
+	}
+}

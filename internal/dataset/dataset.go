@@ -1,0 +1,328 @@
+// Package dataset generates the synthetic road networks, object
+// placements and query workloads used throughout the evaluation.
+//
+// The paper experiments on three real networks from [14]: CA (California
+// highways), NA (North America highways) and SF (San Francisco streets).
+// Those datasets cannot be redistributed here, so this package builds
+// seeded synthetic stand-ins matched to their published node/edge counts
+// and sparsity (average degree ≈ 2.0–2.6 — road networks are barely denser
+// than trees). Networks are produced as jittered grids: a random spanning
+// tree over grid adjacency (giving winding, road-like corridors) topped up
+// with extra nearby links until the target edge count is reached. Edge
+// weights are Euclidean lengths times a detour factor ≥ 1, so the Euclidean
+// lower bound the IER baseline depends on holds, just as it does on real
+// road data.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"road/internal/geom"
+	"road/internal/graph"
+)
+
+// Spec describes a synthetic network to generate.
+type Spec struct {
+	Name  string
+	Nodes int
+	Edges int // target edge count; must be ≥ Nodes-1 (spanning tree)
+	Seed  int64
+}
+
+// CA returns the spec matching the California highway network
+// (21,048 nodes / 21,693 edges).
+func CA() Spec { return Spec{Name: "CA", Nodes: 21048, Edges: 21693, Seed: 0xca} }
+
+// NA returns the spec matching the North America highway network
+// (175,813 nodes / 179,179 edges).
+func NA() Spec { return Spec{Name: "NA", Nodes: 175813, Edges: 179179, Seed: 0x4a} }
+
+// SF returns the spec matching the San Francisco road map
+// (174,956 nodes / 223,001 edges).
+func SF() Spec { return Spec{Name: "SF", Nodes: 174956, Edges: 223001, Seed: 0x5f} }
+
+// Scaled returns a copy of s shrunk by factor (> 0, ≤ 1), preserving the
+// edge/node ratio. Used to run the NA/SF experiments at laptop scale while
+// keeping the topology class.
+func Scaled(s Spec, factor float64) Spec {
+	if factor <= 0 || factor > 1 {
+		return s
+	}
+	n := int(float64(s.Nodes) * factor)
+	if n < 16 {
+		n = 16
+	}
+	m := int(float64(s.Edges) * factor)
+	if m < n-1 {
+		m = n - 1
+	}
+	return Spec{
+		Name:  fmt.Sprintf("%s/%.3g", s.Name, factor),
+		Nodes: n,
+		Edges: m,
+		Seed:  s.Seed,
+	}
+}
+
+// Generate builds the network described by s. The result is connected and
+// deterministic for a given spec.
+func Generate(s Spec) (*graph.Graph, error) {
+	if s.Nodes < 2 {
+		return nil, fmt.Errorf("dataset: need at least 2 nodes, got %d", s.Nodes)
+	}
+	if s.Edges < s.Nodes-1 {
+		return nil, fmt.Errorf("dataset: %d edges cannot connect %d nodes", s.Edges, s.Nodes)
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+
+	// Lay nodes on a jittered w×h grid covering a square map.
+	w := int(math.Ceil(math.Sqrt(float64(s.Nodes))))
+	h := (s.Nodes + w - 1) / w
+	const cell = 1.0
+	g := graph.New(s.Nodes, s.Edges)
+	idAt := make([]graph.NodeID, w*h)
+	for i := range idAt {
+		idAt[i] = graph.NoNode
+	}
+	count := 0
+	for y := 0; y < h && count < s.Nodes; y++ {
+		for x := 0; x < w && count < s.Nodes; x++ {
+			jx := (rng.Float64() - 0.5) * 0.6 * cell
+			jy := (rng.Float64() - 0.5) * 0.6 * cell
+			id := g.AddNode(geom.Point{X: float64(x)*cell + jx, Y: float64(y)*cell + jy})
+			idAt[y*w+x] = id
+			count++
+		}
+	}
+
+	// Candidate edges: 4-neighbour grid adjacency plus occasional diagonal
+	// links, each with a random priority. Kruskal over the priorities gives
+	// a uniform-ish random spanning tree with winding corridors; remaining
+	// lowest-priority candidates top up to the edge target.
+	type cand struct {
+		u, v graph.NodeID
+		prio float64
+	}
+	var cands []cand
+	addCand := func(u, v graph.NodeID) {
+		if u == graph.NoNode || v == graph.NoNode {
+			return
+		}
+		cands = append(cands, cand{u: u, v: v, prio: rng.Float64()})
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			u := idAt[y*w+x]
+			if x+1 < w {
+				addCand(u, idAt[y*w+x+1])
+			}
+			if y+1 < h {
+				addCand(u, idAt[(y+1)*w+x])
+			}
+			// Sparse diagonals mimic highway shortcuts.
+			if x+1 < w && y+1 < h && rng.Float64() < 0.15 {
+				addCand(u, idAt[(y+1)*w+x+1])
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].prio < cands[j].prio })
+
+	uf := newUnionFind(s.Nodes)
+	weight := func(u, v graph.NodeID) float64 {
+		detour := 1 + rng.Float64()*0.4
+		return g.Coord(u).Dist(g.Coord(v)) * detour
+	}
+	added := 0
+	var leftovers []cand
+	for _, c := range cands {
+		if uf.union(int(c.u), int(c.v)) {
+			g.MustAddEdge(c.u, c.v, weight(c.u, c.v))
+			added++
+		} else {
+			leftovers = append(leftovers, c)
+		}
+	}
+	// The grid is connected, so the tree has exactly Nodes-1 edges.
+	for _, c := range leftovers {
+		if added >= s.Edges {
+			break
+		}
+		g.MustAddEdge(c.u, c.v, weight(c.u, c.v))
+		added++
+	}
+	if added < s.Edges {
+		// Extremely dense targets can exhaust grid candidates; join random
+		// nearby rows to finish.
+		for added < s.Edges {
+			u := graph.NodeID(rng.Intn(s.Nodes))
+			v := graph.NodeID(rng.Intn(s.Nodes))
+			if u == v {
+				continue
+			}
+			g.MustAddEdge(u, v, weight(u, v))
+			added++
+		}
+	}
+	return g, nil
+}
+
+// MustGenerate is Generate that panics on error; for tests and benches.
+func MustGenerate(s Spec) *graph.Graph {
+	g, err := Generate(s)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// PlaceUniform places n objects uniformly at random across edges ("evenly
+// distributed over those road networks", §6): edges are drawn uniformly,
+// offsets uniformly along the edge. attrs, when non-empty, is cycled to
+// assign attribute categories; otherwise all objects get attribute 0.
+func PlaceUniform(g *graph.Graph, n int, seed int64, attrs ...int32) *graph.ObjectSet {
+	rng := rand.New(rand.NewSource(seed))
+	os := graph.NewObjectSet(g)
+	m := g.NumEdges()
+	for i := 0; i < n; i++ {
+		var attr int32
+		if len(attrs) > 0 {
+			attr = attrs[i%len(attrs)]
+		}
+		for {
+			e := graph.EdgeID(rng.Intn(m))
+			ed := g.Edge(e)
+			if ed.Removed {
+				continue
+			}
+			os.MustAdd(e, rng.Float64()*ed.Weight, attr)
+			break
+		}
+	}
+	return os
+}
+
+// PlaceClustered places n objects concentrated around k map hot-spots (the
+// skewed distribution footnote 3 says favours ROAD even more): each object
+// picks a hot-spot, then the edge whose midpoint is nearest to a Gaussian
+// sample around it.
+func PlaceClustered(g *graph.Graph, n, k int, seed int64, attrs ...int32) *graph.ObjectSet {
+	if k < 1 {
+		k = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bounds := g.Bounds()
+	spanX := bounds.Max.X - bounds.Min.X
+	spanY := bounds.Max.Y - bounds.Min.Y
+	centers := make([]geom.Point, k)
+	for i := range centers {
+		centers[i] = geom.Point{
+			X: bounds.Min.X + rng.Float64()*spanX,
+			Y: bounds.Min.Y + rng.Float64()*spanY,
+		}
+	}
+	// Index edge midpoints on a coarse grid for nearest-edge lookup.
+	const gridN = 64
+	cellsX := make([][]graph.EdgeID, gridN*gridN)
+	cellOf := func(p geom.Point) int {
+		cx := clampIdx((p.X - bounds.Min.X) / spanX * gridN)
+		cy := clampIdx((p.Y - bounds.Min.Y) / spanY * gridN)
+		return cy*gridN + cx
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(graph.EdgeID(e))
+		if ed.Removed {
+			continue
+		}
+		mid := geom.Point{
+			X: (g.Coord(ed.U).X + g.Coord(ed.V).X) / 2,
+			Y: (g.Coord(ed.U).Y + g.Coord(ed.V).Y) / 2,
+		}
+		c := cellOf(mid)
+		cellsX[c] = append(cellsX[c], graph.EdgeID(e))
+	}
+	sigma := math.Max(spanX, spanY) * 0.03
+	os := graph.NewObjectSet(g)
+	for i := 0; i < n; i++ {
+		var attr int32
+		if len(attrs) > 0 {
+			attr = attrs[i%len(attrs)]
+		}
+		c := centers[rng.Intn(k)]
+		for {
+			p := geom.Point{X: c.X + rng.NormFloat64()*sigma, Y: c.Y + rng.NormFloat64()*sigma}
+			cell := cellsX[cellOf(p)]
+			if len(cell) == 0 {
+				continue
+			}
+			e := cell[rng.Intn(len(cell))]
+			ed := g.Edge(e)
+			os.MustAdd(e, rng.Float64()*ed.Weight, attr)
+			break
+		}
+	}
+	return os
+}
+
+func clampIdx(v float64) int {
+	const gridN = 64
+	i := int(v)
+	if i < 0 {
+		return 0
+	}
+	if i >= gridN {
+		return gridN - 1
+	}
+	return i
+}
+
+// RandomNodes draws count query nodes uniformly at random (the evaluation
+// issues 100 queries at random positions per data point).
+func RandomNodes(g *graph.Graph, count int, seed int64) []graph.NodeID {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]graph.NodeID, count)
+	for i := range out {
+		out[i] = graph.NodeID(rng.Intn(g.NumNodes()))
+	}
+	return out
+}
+
+// unionFind is a plain disjoint-set with path halving and union by size.
+type unionFind struct {
+	parent []int32
+	size   []int32
+}
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int32, n), size: make([]int32, n)}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+		u.size[i] = 1
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int32 {
+	p := int32(x)
+	for u.parent[p] != p {
+		u.parent[p] = u.parent[u.parent[p]]
+		p = u.parent[p]
+	}
+	return p
+}
+
+// union merges the sets of a and b, reporting whether they were distinct.
+func (u *unionFind) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	return true
+}

@@ -1,0 +1,227 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"road/internal/graph"
+)
+
+func TestGenerateSmall(t *testing.T) {
+	s := Spec{Name: "tiny", Nodes: 100, Edges: 120, Seed: 1}
+	g := MustGenerate(s)
+	if g.NumNodes() != 100 {
+		t.Fatalf("nodes = %d, want 100", g.NumNodes())
+	}
+	if g.NumEdges() != 120 {
+		t.Fatalf("edges = %d, want 120", g.NumEdges())
+	}
+	if !g.Connected() {
+		t.Fatal("generated network not connected")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := Spec{Name: "d", Nodes: 200, Edges: 230, Seed: 7}
+	a := MustGenerate(s)
+	b := MustGenerate(s)
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same spec produced different sizes")
+	}
+	for e := 0; e < a.NumEdges(); e++ {
+		ea, eb := a.Edge(graph.EdgeID(e)), b.Edge(graph.EdgeID(e))
+		if ea != eb {
+			t.Fatalf("edge %d differs: %+v vs %+v", e, ea, eb)
+		}
+	}
+	for n := 0; n < a.NumNodes(); n++ {
+		if a.Coord(graph.NodeID(n)) != b.Coord(graph.NodeID(n)) {
+			t.Fatalf("node %d coordinates differ", n)
+		}
+	}
+}
+
+func TestGenerateRejectsBadSpecs(t *testing.T) {
+	if _, err := Generate(Spec{Nodes: 1, Edges: 5}); err == nil {
+		t.Fatal("1-node spec accepted")
+	}
+	if _, err := Generate(Spec{Nodes: 10, Edges: 3}); err == nil {
+		t.Fatal("sub-spanning-tree edge count accepted")
+	}
+}
+
+func TestGenerateTreeOnly(t *testing.T) {
+	// Exactly Nodes-1 edges: a spanning tree.
+	g := MustGenerate(Spec{Name: "tree", Nodes: 64, Edges: 63, Seed: 3})
+	if !g.Connected() {
+		t.Fatal("spanning tree not connected")
+	}
+	if g.NumEdges() != 63 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+}
+
+func TestGenerateWeightsExceedEuclidean(t *testing.T) {
+	// The Euclidean lower bound the IER baseline needs must hold.
+	g := MustGenerate(Spec{Name: "w", Nodes: 500, Edges: 600, Seed: 5})
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(graph.EdgeID(e))
+		eu := g.Coord(ed.U).Dist(g.Coord(ed.V))
+		if ed.Weight < eu-1e-12 {
+			t.Fatalf("edge %d: weight %g below euclidean %g", e, ed.Weight, eu)
+		}
+	}
+	if graph.EuclideanScale(g) < 1-1e-12 {
+		t.Fatalf("EuclideanScale = %g, want ≥ 1", graph.EuclideanScale(g))
+	}
+}
+
+func TestGenerateSparsityMatchesSpec(t *testing.T) {
+	// Average degree of the CA-class generator should sit near the real
+	// network's ≈2.06.
+	g := MustGenerate(Scaled(CA(), 0.05))
+	avg := 2 * float64(g.NumEdges()) / float64(g.NumNodes())
+	if avg < 1.9 || avg > 2.3 {
+		t.Fatalf("average degree %g outside road-network band", avg)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := Scaled(NA(), 0.1)
+	if s.Nodes != 17581 {
+		t.Fatalf("scaled nodes = %d", s.Nodes)
+	}
+	if s.Edges < s.Nodes-1 {
+		t.Fatal("scaled spec under-edged")
+	}
+	if Scaled(CA(), 0) != CA() {
+		t.Fatal("invalid factor should return spec unchanged")
+	}
+	if Scaled(CA(), 2) != CA() {
+		t.Fatal("factor > 1 should return spec unchanged")
+	}
+	tiny := Scaled(CA(), 1e-9)
+	if tiny.Nodes < 16 {
+		t.Fatal("scaled below minimum size")
+	}
+}
+
+func TestSpecConstants(t *testing.T) {
+	cases := []struct {
+		s    Spec
+		n, m int
+	}{
+		{CA(), 21048, 21693},
+		{NA(), 175813, 179179},
+		{SF(), 174956, 223001},
+	}
+	for _, c := range cases {
+		if c.s.Nodes != c.n || c.s.Edges != c.m {
+			t.Fatalf("%s spec = %d/%d, want %d/%d", c.s.Name, c.s.Nodes, c.s.Edges, c.n, c.m)
+		}
+	}
+}
+
+func TestPlaceUniform(t *testing.T) {
+	g := MustGenerate(Spec{Name: "p", Nodes: 300, Edges: 350, Seed: 11})
+	os := PlaceUniform(g, 50, 42)
+	if os.Len() != 50 {
+		t.Fatalf("placed %d objects, want 50", os.Len())
+	}
+	for _, o := range os.All() {
+		ed := g.Edge(o.Edge)
+		if o.DU < 0 || o.DU > ed.Weight {
+			t.Fatalf("object %d offset %g outside edge weight %g", o.ID, o.DU, ed.Weight)
+		}
+		if math.Abs(o.DU+o.DV-ed.Weight) > 1e-9 {
+			t.Fatalf("object %d offsets do not sum to weight", o.ID)
+		}
+	}
+	// Determinism.
+	os2 := PlaceUniform(g, 50, 42)
+	a, b := os.All(), os2.All()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different placements")
+		}
+	}
+}
+
+func TestPlaceUniformAttrsCycle(t *testing.T) {
+	g := MustGenerate(Spec{Name: "a", Nodes: 100, Edges: 120, Seed: 2})
+	os := PlaceUniform(g, 6, 1, 10, 20, 30)
+	counts := map[int32]int{}
+	for _, o := range os.All() {
+		counts[o.Attr]++
+	}
+	if counts[10] != 2 || counts[20] != 2 || counts[30] != 2 {
+		t.Fatalf("attr cycle counts = %v", counts)
+	}
+}
+
+func TestPlaceClusteredIsConcentrated(t *testing.T) {
+	g := MustGenerate(Spec{Name: "c", Nodes: 2500, Edges: 2800, Seed: 13})
+	clustered := PlaceClustered(g, 200, 3, 99)
+	uniform := PlaceUniform(g, 200, 99)
+	if clustered.Len() != 200 {
+		t.Fatalf("clustered placed %d", clustered.Len())
+	}
+	// Mean pairwise midpoint distance should be clearly smaller for the
+	// clustered placement.
+	spread := func(os *graph.ObjectSet) float64 {
+		objs := os.All()
+		var sum float64
+		var cnt int
+		for i := 0; i < len(objs); i += 5 {
+			for j := i + 5; j < len(objs); j += 5 {
+				ei, ej := g.Edge(objs[i].Edge), g.Edge(objs[j].Edge)
+				sum += g.Coord(ei.U).Dist(g.Coord(ej.U))
+				cnt++
+			}
+		}
+		return sum / float64(cnt)
+	}
+	if spread(clustered) >= spread(uniform)*0.8 {
+		t.Fatalf("clustered spread %g not clearly below uniform %g", spread(clustered), spread(uniform))
+	}
+}
+
+func TestRandomNodes(t *testing.T) {
+	g := MustGenerate(Spec{Name: "q", Nodes: 100, Edges: 110, Seed: 4})
+	qs := RandomNodes(g, 30, 5)
+	if len(qs) != 30 {
+		t.Fatalf("len = %d", len(qs))
+	}
+	for _, q := range qs {
+		if q < 0 || int(q) >= g.NumNodes() {
+			t.Fatalf("query node %d out of range", q)
+		}
+	}
+	qs2 := RandomNodes(g, 30, 5)
+	for i := range qs {
+		if qs[i] != qs2[i] {
+			t.Fatal("same seed produced different query nodes")
+		}
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	u := newUnionFind(5)
+	if !u.union(0, 1) {
+		t.Fatal("first union returned false")
+	}
+	if u.union(1, 0) {
+		t.Fatal("repeated union returned true")
+	}
+	u.union(2, 3)
+	if u.find(0) == u.find(2) {
+		t.Fatal("disjoint sets merged")
+	}
+	u.union(1, 3)
+	if u.find(0) != u.find(2) {
+		t.Fatal("sets not merged after chain union")
+	}
+	if u.find(4) == u.find(0) {
+		t.Fatal("singleton joined spuriously")
+	}
+}

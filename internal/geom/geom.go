@@ -1,0 +1,191 @@
+// Package geom supplies the small amount of planar geometry the road-network
+// stack needs: points, axis-aligned rectangles, Euclidean distances, and a
+// Hilbert space-filling curve used to cluster node records onto disk pages
+// (the CCAM-style storage layout of the paper's evaluation, §6).
+package geom
+
+import "math"
+
+// Point is a location in the plane. For road networks the coordinates are
+// arbitrary map units; only relative distances matter.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two points.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// DistSq returns the squared Euclidean distance, avoiding the square root
+// when only comparisons are needed.
+func (p Point) DistSq(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Rect is an axis-aligned rectangle with Min ≤ Max on both axes.
+type Rect struct {
+	Min, Max Point
+}
+
+// EmptyRect returns a rectangle that is the identity for Union: any point
+// or rectangle extended into it yields that point or rectangle.
+func EmptyRect() Rect {
+	return Rect{
+		Min: Point{math.Inf(1), math.Inf(1)},
+		Max: Point{math.Inf(-1), math.Inf(-1)},
+	}
+}
+
+// RectOf returns the degenerate rectangle covering the single point p.
+func RectOf(p Point) Rect { return Rect{Min: p, Max: p} }
+
+// IsEmpty reports whether the rectangle covers no points.
+func (r Rect) IsEmpty() bool { return r.Min.X > r.Max.X || r.Min.Y > r.Max.Y }
+
+// Contains reports whether p lies in r (borders inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// ContainsRect reports whether s lies entirely within r.
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.Min.X >= r.Min.X && s.Max.X <= r.Max.X &&
+		s.Min.Y >= r.Min.Y && s.Max.Y <= r.Max.Y
+}
+
+// Intersects reports whether r and s share any point.
+func (r Rect) Intersects(s Rect) bool {
+	return r.Min.X <= s.Max.X && s.Min.X <= r.Max.X &&
+		r.Min.Y <= s.Max.Y && s.Min.Y <= r.Max.Y
+}
+
+// Union returns the smallest rectangle covering both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.IsEmpty() {
+		return s
+	}
+	if s.IsEmpty() {
+		return r
+	}
+	return Rect{
+		Min: Point{math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// Extend returns the smallest rectangle covering r and the point p.
+func (r Rect) Extend(p Point) Rect { return r.Union(RectOf(p)) }
+
+// Area returns the rectangle's area (0 for empty or degenerate rectangles).
+func (r Rect) Area() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return (r.Max.X - r.Min.X) * (r.Max.Y - r.Min.Y)
+}
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// MinDist returns the smallest Euclidean distance from p to any point of r,
+// 0 when p is inside r. This is the classic R-tree MINDIST bound.
+func (r Rect) MinDist(p Point) float64 {
+	dx := axisDist(p.X, r.Min.X, r.Max.X)
+	dy := axisDist(p.Y, r.Min.Y, r.Max.Y)
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+func axisDist(v, lo, hi float64) float64 {
+	switch {
+	case v < lo:
+		return lo - v
+	case v > hi:
+		return v - hi
+	default:
+		return 0
+	}
+}
+
+// HilbertD2XY and HilbertXY2D implement the order-n Hilbert curve on a
+// 2^order × 2^order grid. Mapping node coordinates to Hilbert ranks gives a
+// locality-preserving 1-D ordering: nodes close on the map land on nearby
+// disk pages, approximating CCAM's connectivity clustering.
+
+// HilbertXY2D converts grid cell (x, y) to its distance along the Hilbert
+// curve of the given order. x and y must be in [0, 2^order).
+func HilbertXY2D(order uint, x, y uint32) uint64 {
+	var rx, ry uint32
+	var d uint64
+	for s := uint32(1) << (order - 1); s > 0; s >>= 1 {
+		if x&s > 0 {
+			rx = 1
+		} else {
+			rx = 0
+		}
+		if y&s > 0 {
+			ry = 1
+		} else {
+			ry = 0
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		x, y = hilbertRot(s, x, y, rx, ry)
+	}
+	return d
+}
+
+// HilbertD2XY converts a distance along the Hilbert curve of the given order
+// back to its grid cell. It is the inverse of HilbertXY2D.
+func HilbertD2XY(order uint, d uint64) (x, y uint32) {
+	t := d
+	for s := uint32(1); s < uint32(1)<<order; s <<= 1 {
+		rx := uint32(1) & uint32(t/2)
+		ry := uint32(1) & (uint32(t) ^ rx)
+		x, y = hilbertRot(s, x, y, rx, ry)
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}
+
+func hilbertRot(s, x, y, rx, ry uint32) (uint32, uint32) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}
+
+// HilbertRank maps a point inside bounds onto the Hilbert curve of the given
+// order. Points outside bounds are clamped. A zero-area bounds yields rank 0.
+func HilbertRank(order uint, bounds Rect, p Point) uint64 {
+	side := float64(uint64(1) << order)
+	w := bounds.Max.X - bounds.Min.X
+	h := bounds.Max.Y - bounds.Min.Y
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	fx := (p.X - bounds.Min.X) / w * side
+	fy := (p.Y - bounds.Min.Y) / h * side
+	x := clampU32(fx, side)
+	y := clampU32(fy, side)
+	return HilbertXY2D(order, x, y)
+}
+
+func clampU32(v, side float64) uint32 {
+	if v < 0 {
+		return 0
+	}
+	if v >= side {
+		return uint32(side) - 1
+	}
+	return uint32(v)
+}

@@ -1,0 +1,201 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	a := Point{0, 0}
+	b := Point{3, 4}
+	if got := a.Dist(b); got != 5 {
+		t.Fatalf("Dist = %g, want 5", got)
+	}
+	if got := a.DistSq(b); got != 25 {
+		t.Fatalf("DistSq = %g, want 25", got)
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Point{ax, ay}, Point{bx, by}
+		return a.Dist(b) == b.Dist(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyRect(t *testing.T) {
+	e := EmptyRect()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyRect not empty")
+	}
+	if e.Area() != 0 {
+		t.Fatalf("empty rect area = %g", e.Area())
+	}
+	p := Point{1, 2}
+	got := e.Extend(p)
+	if got != RectOf(p) {
+		t.Fatalf("Extend(empty, p) = %v, want %v", got, RectOf(p))
+	}
+	r := Rect{Point{0, 0}, Point{1, 1}}
+	if e.Union(r) != r || r.Union(e) != r {
+		t.Fatal("Union with empty is not identity")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{Point{0, 0}, Point{10, 5}}
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{5, 2}, true},
+		{Point{0, 0}, true},  // corner inclusive
+		{Point{10, 5}, true}, // corner inclusive
+		{Point{11, 2}, false},
+		{Point{5, -0.1}, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := Rect{Point{0, 0}, Point{2, 2}}
+	b := Rect{Point{1, 1}, Point{3, 3}}
+	c := Rect{Point{2.5, 2.5}, Point{4, 4}}
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Fatal("overlapping rects reported disjoint")
+	}
+	if a.Intersects(c) {
+		t.Fatal("disjoint rects reported overlapping")
+	}
+	// Touching edges count as intersecting.
+	d := Rect{Point{2, 0}, Point{3, 2}}
+	if !a.Intersects(d) {
+		t.Fatal("edge-touching rects reported disjoint")
+	}
+}
+
+func TestRectUnionContainsBoth(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		r := Rect{Point{math.Min(ax, bx), math.Min(ay, by)}, Point{math.Max(ax, bx), math.Max(ay, by)}}
+		s := Rect{Point{math.Min(cx, dx), math.Min(cy, dy)}, Point{math.Max(cx, dx), math.Max(cy, dy)}}
+		u := r.Union(s)
+		return u.ContainsRect(r) && u.ContainsRect(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinDist(t *testing.T) {
+	r := Rect{Point{0, 0}, Point{2, 2}}
+	if got := r.MinDist(Point{1, 1}); got != 0 {
+		t.Fatalf("MinDist inside = %g, want 0", got)
+	}
+	if got := r.MinDist(Point{5, 2}); got != 3 {
+		t.Fatalf("MinDist right = %g, want 3", got)
+	}
+	if got := r.MinDist(Point{5, 6}); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("MinDist corner = %g, want 5", got)
+	}
+}
+
+func TestMinDistIsLowerBound(t *testing.T) {
+	// MINDIST(p, r) must lower-bound the distance from p to any point in r.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		r := Rect{
+			Point{rng.Float64() * 10, rng.Float64() * 10},
+			Point{},
+		}
+		r.Max = Point{r.Min.X + rng.Float64()*10, r.Min.Y + rng.Float64()*10}
+		p := Point{rng.Float64()*40 - 10, rng.Float64()*40 - 10}
+		// Sample a point inside r.
+		in := Point{
+			r.Min.X + rng.Float64()*(r.Max.X-r.Min.X),
+			r.Min.Y + rng.Float64()*(r.Max.Y-r.Min.Y),
+		}
+		if md := r.MinDist(p); md > p.Dist(in)+1e-9 {
+			t.Fatalf("MinDist %g exceeds actual distance %g", md, p.Dist(in))
+		}
+	}
+}
+
+func TestHilbertRoundTrip(t *testing.T) {
+	const order = 8
+	n := uint64(1) << (2 * order)
+	for d := uint64(0); d < n; d += 97 {
+		x, y := HilbertD2XY(order, d)
+		if got := HilbertXY2D(order, x, y); got != d {
+			t.Fatalf("round trip d=%d -> (%d,%d) -> %d", d, x, y, got)
+		}
+	}
+}
+
+func TestHilbertAdjacency(t *testing.T) {
+	// Consecutive curve positions are adjacent grid cells (the locality
+	// property the storage clustering relies on).
+	const order = 6
+	n := uint64(1) << (2 * order)
+	px, py := HilbertD2XY(order, 0)
+	for d := uint64(1); d < n; d++ {
+		x, y := HilbertD2XY(order, d)
+		manhattan := absDiff(x, px) + absDiff(y, py)
+		if manhattan != 1 {
+			t.Fatalf("cells at d=%d and d=%d are not adjacent: (%d,%d) vs (%d,%d)", d-1, d, px, py, x, y)
+		}
+		px, py = x, y
+	}
+}
+
+func absDiff(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestHilbertRankBounds(t *testing.T) {
+	bounds := Rect{Point{0, 0}, Point{100, 100}}
+	const order = 10
+	max := uint64(1)<<(2*order) - 1
+	cases := []Point{{0, 0}, {100, 100}, {50, 50}, {-5, 50}, {105, 105}}
+	for _, p := range cases {
+		r := HilbertRank(order, bounds, p)
+		if r > max {
+			t.Fatalf("rank %d out of range for %v", r, p)
+		}
+	}
+	if HilbertRank(order, Rect{Point{1, 1}, Point{1, 1}}, Point{1, 1}) != 0 {
+		t.Fatal("degenerate bounds should map to rank 0")
+	}
+}
+
+func TestHilbertRankLocality(t *testing.T) {
+	// Nearby points should usually have closer ranks than far points.
+	// Statistical check: mean |rank delta| for close pairs < for far pairs.
+	bounds := Rect{Point{0, 0}, Point{1, 1}}
+	const order = 10
+	rng := rand.New(rand.NewSource(11))
+	var closeSum, farSum float64
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		p := Point{rng.Float64(), rng.Float64()}
+		q := Point{p.X + (rng.Float64()-0.5)*0.01, p.Y + (rng.Float64()-0.5)*0.01}
+		f := Point{rng.Float64(), rng.Float64()}
+		rp := float64(HilbertRank(order, bounds, p))
+		closeSum += math.Abs(rp - float64(HilbertRank(order, bounds, q)))
+		farSum += math.Abs(rp - float64(HilbertRank(order, bounds, f)))
+	}
+	if closeSum >= farSum {
+		t.Fatalf("Hilbert locality violated: close-pair rank delta %g >= far-pair %g", closeSum/trials, farSum/trials)
+	}
+}

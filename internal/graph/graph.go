@@ -1,0 +1,284 @@
+// Package graph models a road network as a weighted undirected graph:
+// nodes are road intersections with planar coordinates, edges are road
+// segments with positive weights (travel distance, trip time, or toll —
+// the paper's "distance"). It provides the traversal primitives every
+// search approach in this repository is built on: Dijkstra expansion in
+// several flavours, A*, and incremental mutation (edge re-weighting,
+// addition and removal) needed by ROAD's maintenance algorithms (§5.2).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"road/internal/geom"
+)
+
+// NodeID identifies a node (road intersection). IDs are dense, starting at 0.
+type NodeID = int32
+
+// EdgeID identifies an edge (road segment). IDs are dense, starting at 0.
+// Removed edges keep their IDs but are absent from adjacency lists.
+type EdgeID = int32
+
+// NoNode marks the absence of a node (e.g. the parent of a search root).
+const NoNode NodeID = -1
+
+// NoEdge marks the absence of an edge.
+const NoEdge EdgeID = -1
+
+// Half is one direction of an undirected edge as stored in adjacency lists.
+type Half struct {
+	To   NodeID
+	Edge EdgeID
+}
+
+// Edge is a road segment between nodes U and V with a positive weight.
+type Edge struct {
+	U, V    NodeID
+	Weight  float64
+	Removed bool
+}
+
+// Other returns the endpoint of e opposite to n.
+func (e Edge) Other(n NodeID) NodeID {
+	if e.U == n {
+		return e.V
+	}
+	return e.U
+}
+
+// Graph is a mutable weighted undirected road network.
+// The zero value is an empty graph ready for AddNode/AddEdge.
+type Graph struct {
+	coords []geom.Point
+	adj    [][]Half
+	edges  []Edge
+}
+
+// New returns an empty graph with capacity hints for n nodes and m edges.
+func New(n, m int) *Graph {
+	return &Graph{
+		coords: make([]geom.Point, 0, n),
+		adj:    make([][]Half, 0, n),
+		edges:  make([]Edge, 0, m),
+	}
+}
+
+// NumNodes returns the number of nodes ever added.
+func (g *Graph) NumNodes() int { return len(g.coords) }
+
+// NumEdges returns the number of edges ever added, including removed ones.
+// Use CountActiveEdges for the live count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// CountActiveEdges returns the number of non-removed edges.
+func (g *Graph) CountActiveEdges() int {
+	n := 0
+	for i := range g.edges {
+		if !g.edges[i].Removed {
+			n++
+		}
+	}
+	return n
+}
+
+// AddNode adds a node at point p and returns its ID.
+func (g *Graph) AddNode(p geom.Point) NodeID {
+	id := NodeID(len(g.coords))
+	g.coords = append(g.coords, p)
+	g.adj = append(g.adj, nil)
+	return id
+}
+
+// Coord returns the planar coordinates of node n.
+func (g *Graph) Coord(n NodeID) geom.Point { return g.coords[n] }
+
+// Bounds returns the bounding rectangle of all node coordinates.
+func (g *Graph) Bounds() geom.Rect {
+	r := geom.EmptyRect()
+	for _, p := range g.coords {
+		r = r.Extend(p)
+	}
+	return r
+}
+
+// ErrBadEdge reports an invalid edge operation.
+var ErrBadEdge = errors.New("graph: invalid edge")
+
+// AddEdge adds an undirected edge between u and v with the given weight and
+// returns its ID. Self-loops and non-positive weights are rejected; parallel
+// edges are permitted (real road networks have them).
+func (g *Graph) AddEdge(u, v NodeID, weight float64) (EdgeID, error) {
+	if u == v {
+		return NoEdge, fmt.Errorf("%w: self-loop at node %d", ErrBadEdge, u)
+	}
+	if u < 0 || v < 0 || int(u) >= len(g.adj) || int(v) >= len(g.adj) {
+		return NoEdge, fmt.Errorf("%w: endpoint out of range (%d,%d)", ErrBadEdge, u, v)
+	}
+	if weight <= 0 || math.IsNaN(weight) {
+		return NoEdge, fmt.Errorf("%w: weight %v must be positive", ErrBadEdge, weight)
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{U: u, V: v, Weight: weight})
+	g.adj[u] = append(g.adj[u], Half{To: v, Edge: id})
+	g.adj[v] = append(g.adj[v], Half{To: u, Edge: id})
+	return id, nil
+}
+
+// MustAddEdge is AddEdge that panics on error; for generators and tests.
+func (g *Graph) MustAddEdge(u, v NodeID, weight float64) EdgeID {
+	id, err := g.AddEdge(u, v, weight)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Edge returns the edge record for id.
+func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
+
+// Weight returns the weight of edge id.
+func (g *Graph) Weight(id EdgeID) float64 { return g.edges[id].Weight }
+
+// SetWeight changes the weight of edge id (the §5.2.1 distance-change
+// event). The new weight must be positive.
+func (g *Graph) SetWeight(id EdgeID, weight float64) error {
+	if weight <= 0 || math.IsNaN(weight) {
+		return fmt.Errorf("%w: weight %v must be positive", ErrBadEdge, weight)
+	}
+	if g.edges[id].Removed {
+		return fmt.Errorf("%w: edge %d is removed", ErrBadEdge, id)
+	}
+	g.edges[id].Weight = weight
+	return nil
+}
+
+// RemoveEdge detaches edge id from the graph (the §5.2.2 road-closure
+// event). The edge record is kept, flagged Removed, so IDs stay stable.
+func (g *Graph) RemoveEdge(id EdgeID) error {
+	e := &g.edges[id]
+	if e.Removed {
+		return fmt.Errorf("%w: edge %d already removed", ErrBadEdge, id)
+	}
+	e.Removed = true
+	g.adj[e.U] = dropHalf(g.adj[e.U], id)
+	g.adj[e.V] = dropHalf(g.adj[e.V], id)
+	return nil
+}
+
+// RestoreEdge re-attaches a previously removed edge with its stored weight.
+func (g *Graph) RestoreEdge(id EdgeID) error {
+	e := &g.edges[id]
+	if !e.Removed {
+		return fmt.Errorf("%w: edge %d is not removed", ErrBadEdge, id)
+	}
+	e.Removed = false
+	g.adj[e.U] = append(g.adj[e.U], Half{To: e.V, Edge: id})
+	g.adj[e.V] = append(g.adj[e.V], Half{To: e.U, Edge: id})
+	return nil
+}
+
+func dropHalf(hs []Half, id EdgeID) []Half {
+	for i := range hs {
+		if hs[i].Edge == id {
+			hs[i] = hs[len(hs)-1]
+			return hs[:len(hs)-1]
+		}
+	}
+	return hs
+}
+
+// Neighbors returns the adjacency list of node n. The slice is owned by the
+// graph and must not be mutated or retained across graph mutations.
+func (g *Graph) Neighbors(n NodeID) []Half { return g.adj[n] }
+
+// Degree returns the number of live edges incident to n.
+func (g *Graph) Degree(n NodeID) int { return len(g.adj[n]) }
+
+// EdgeBetween returns the minimum-weight live edge connecting u and v, or
+// NoEdge if none exists.
+func (g *Graph) EdgeBetween(u, v NodeID) EdgeID {
+	best := NoEdge
+	bestW := math.Inf(1)
+	for _, h := range g.adj[u] {
+		if h.To == v && g.edges[h.Edge].Weight < bestW {
+			best = h.Edge
+			bestW = g.edges[h.Edge].Weight
+		}
+	}
+	return best
+}
+
+// Clone returns a deep copy of the graph; mutations to either copy do not
+// affect the other. Baselines clone so update benchmarks are independent.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		coords: append([]geom.Point(nil), g.coords...),
+		adj:    make([][]Half, len(g.adj)),
+		edges:  append([]Edge(nil), g.edges...),
+	}
+	for i, hs := range g.adj {
+		c.adj[i] = append([]Half(nil), hs...)
+	}
+	return c
+}
+
+// ComponentOf returns the IDs of all nodes reachable from start.
+func (g *Graph) ComponentOf(start NodeID) []NodeID {
+	seen := make([]bool, len(g.adj))
+	stack := []NodeID{start}
+	seen[start] = true
+	var comp []NodeID
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		comp = append(comp, n)
+		for _, h := range g.adj[n] {
+			if !seen[h.To] {
+				seen[h.To] = true
+				stack = append(stack, h.To)
+			}
+		}
+	}
+	return comp
+}
+
+// Connected reports whether every node with at least one edge is reachable
+// from every other such node (isolated nodes are ignored).
+func (g *Graph) Connected() bool {
+	start := NodeID(-1)
+	for n := range g.adj {
+		if len(g.adj[n]) > 0 {
+			start = NodeID(n)
+			break
+		}
+	}
+	if start < 0 {
+		return true
+	}
+	comp := g.ComponentOf(start)
+	withEdges := 0
+	for n := range g.adj {
+		if len(g.adj[n]) > 0 {
+			withEdges++
+		}
+	}
+	return len(comp) >= withEdges
+}
+
+// EstimateDiameter approximates the network diameter (largest shortest-path
+// distance) with a double Dijkstra sweep: from an arbitrary node find the
+// farthest node a, then the farthest distance from a. Exact on trees, a
+// good lower bound elsewhere; the paper's range-query radii are fractions
+// of this value.
+func (g *Graph) EstimateDiameter() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	s := NewSearch(g)
+	a, _ := s.farthestFrom(0)
+	_, d := s.farthestFrom(a)
+	return d
+}

@@ -1,0 +1,185 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ObjectID identifies a spatial object (point of interest).
+type ObjectID = int32
+
+// Object is a spatial object residing on an edge (paper §3.1): it sits at
+// distance DU from the edge's U endpoint along the segment, so its distance
+// to V is Weight−DU at placement time. Objects carry an attribute category
+// used by attribute predicates (e.g. restaurant type); Attr 0 matches the
+// wildcard predicate.
+type Object struct {
+	ID   ObjectID
+	Edge EdgeID
+	DU   float64 // distance from the edge's U endpoint
+	DV   float64 // distance from the edge's V endpoint
+	Attr int32   // attribute category for predicate filtering
+}
+
+// ObjectSet is an ordered collection of objects mapped onto one graph.
+// It is the content-provider side of the paper's architecture: the network
+// (Graph) and the objects (ObjectSet) are maintained independently and
+// combined by an index framework at query time.
+type ObjectSet struct {
+	g       *Graph
+	objects map[ObjectID]Object
+	byEdge  map[EdgeID][]ObjectID
+	nextID  ObjectID
+}
+
+// NewObjectSet returns an empty object set over g.
+func NewObjectSet(g *Graph) *ObjectSet {
+	return &ObjectSet{
+		g:       g,
+		objects: make(map[ObjectID]Object),
+		byEdge:  make(map[EdgeID][]ObjectID),
+	}
+}
+
+// Graph returns the network the objects live on.
+func (os *ObjectSet) Graph() *Graph { return os.g }
+
+// Len returns the number of objects.
+func (os *ObjectSet) Len() int { return len(os.objects) }
+
+// Add places an object on edge e at distance du from the edge's U endpoint
+// and returns it. du must lie within [0, weight(e)].
+func (os *ObjectSet) Add(e EdgeID, du float64, attr int32) (Object, error) {
+	edge := os.g.Edge(e)
+	if edge.Removed {
+		return Object{}, fmt.Errorf("graph: cannot place object on removed edge %d", e)
+	}
+	if du < 0 || du > edge.Weight {
+		return Object{}, fmt.Errorf("graph: object offset %v outside edge %d of weight %v", du, e, edge.Weight)
+	}
+	o := Object{ID: os.nextID, Edge: e, DU: du, DV: edge.Weight - du, Attr: attr}
+	os.nextID++
+	os.objects[o.ID] = o
+	os.byEdge[e] = append(os.byEdge[e], o.ID)
+	return o, nil
+}
+
+// MustAdd is Add that panics on error; for generators and tests.
+func (os *ObjectSet) MustAdd(e EdgeID, du float64, attr int32) Object {
+	o, err := os.Add(e, du, attr)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// Remove deletes object id. It reports whether the object existed.
+func (os *ObjectSet) Remove(id ObjectID) bool {
+	o, ok := os.objects[id]
+	if !ok {
+		return false
+	}
+	delete(os.objects, id)
+	ids := os.byEdge[o.Edge]
+	for i := range ids {
+		if ids[i] == id {
+			ids[i] = ids[len(ids)-1]
+			os.byEdge[o.Edge] = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(os.byEdge[o.Edge]) == 0 {
+		delete(os.byEdge, o.Edge)
+	}
+	return true
+}
+
+// Get returns object id.
+func (os *ObjectSet) Get(id ObjectID) (Object, bool) {
+	o, ok := os.objects[id]
+	return o, ok
+}
+
+// SetAttr changes the attribute category of object id.
+func (os *ObjectSet) SetAttr(id ObjectID, attr int32) bool {
+	o, ok := os.objects[id]
+	if !ok {
+		return false
+	}
+	o.Attr = attr
+	os.objects[id] = o
+	return true
+}
+
+// Relocate moves an existing object to edge e at offset du, keeping its ID
+// and attribute. Used when an edge's distance changes and objects on it are
+// rescaled in place.
+func (os *ObjectSet) Relocate(id ObjectID, e EdgeID, du float64) error {
+	o, ok := os.objects[id]
+	if !ok {
+		return fmt.Errorf("graph: object %d not found", id)
+	}
+	edge := os.g.Edge(e)
+	if du < 0 || du > edge.Weight {
+		return fmt.Errorf("graph: object offset %v outside edge %d of weight %v", du, e, edge.Weight)
+	}
+	// Detach from the old edge list.
+	ids := os.byEdge[o.Edge]
+	for i := range ids {
+		if ids[i] == id {
+			ids[i] = ids[len(ids)-1]
+			os.byEdge[o.Edge] = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(os.byEdge[o.Edge]) == 0 {
+		delete(os.byEdge, o.Edge)
+	}
+	o.Edge = e
+	o.DU = du
+	o.DV = edge.Weight - du
+	os.objects[id] = o
+	os.byEdge[e] = append(os.byEdge[e], id)
+	return nil
+}
+
+// OnEdge returns the IDs of objects residing on edge e, sorted ascending.
+func (os *ObjectSet) OnEdge(e EdgeID) []ObjectID {
+	ids := append([]ObjectID(nil), os.byEdge[e]...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// All returns every object, sorted by ID (deterministic iteration).
+func (os *ObjectSet) All() []Object {
+	out := make([]Object, 0, len(os.objects))
+	for _, o := range os.objects {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NodeDist returns the distance from object o to node n, which must be an
+// endpoint of o's edge.
+func (os *ObjectSet) NodeDist(o Object, n NodeID) float64 {
+	e := os.g.Edge(o.Edge)
+	if e.U == n {
+		return o.DU
+	}
+	return o.DV
+}
+
+// Clone returns an independent deep copy bound to graph g (typically a
+// Clone of the original graph, so update experiments do not interfere).
+func (os *ObjectSet) Clone(g *Graph) *ObjectSet {
+	c := NewObjectSet(g)
+	c.nextID = os.nextID
+	for id, o := range os.objects {
+		c.objects[id] = o
+	}
+	for e, ids := range os.byEdge {
+		c.byEdge[e] = append([]ObjectID(nil), ids...)
+	}
+	return c
+}

@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"testing"
+
+	"road/internal/geom"
+)
+
+func TestObjectAddGet(t *testing.T) {
+	g := line(3)
+	os := NewObjectSet(g)
+	e := g.EdgeBetween(0, 1)
+	o, err := os.Add(e, 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.DU != 0.25 || o.DV != 0.75 {
+		t.Fatalf("offsets = %g,%g, want 0.25,0.75", o.DU, o.DV)
+	}
+	got, ok := os.Get(o.ID)
+	if !ok || got != o {
+		t.Fatalf("Get = %v,%v", got, ok)
+	}
+	if os.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", os.Len())
+	}
+}
+
+func TestObjectAddRejectsBadOffset(t *testing.T) {
+	g := line(3)
+	os := NewObjectSet(g)
+	e := g.EdgeBetween(0, 1)
+	if _, err := os.Add(e, -0.1, 0); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := os.Add(e, 1.5, 0); err == nil {
+		t.Fatal("offset beyond edge weight accepted")
+	}
+}
+
+func TestObjectAddRejectsRemovedEdge(t *testing.T) {
+	g := line(3)
+	os := NewObjectSet(g)
+	e := g.EdgeBetween(0, 1)
+	g.RemoveEdge(e)
+	if _, err := os.Add(e, 0.5, 0); err == nil {
+		t.Fatal("placement on removed edge accepted")
+	}
+}
+
+func TestObjectRemove(t *testing.T) {
+	g := line(3)
+	os := NewObjectSet(g)
+	e := g.EdgeBetween(0, 1)
+	o := os.MustAdd(e, 0.5, 0)
+	if !os.Remove(o.ID) {
+		t.Fatal("Remove returned false for existing object")
+	}
+	if os.Remove(o.ID) {
+		t.Fatal("double remove returned true")
+	}
+	if os.Len() != 0 {
+		t.Fatalf("Len = %d after remove", os.Len())
+	}
+	if ids := os.OnEdge(e); len(ids) != 0 {
+		t.Fatalf("OnEdge = %v after remove", ids)
+	}
+}
+
+func TestObjectOnEdgeSorted(t *testing.T) {
+	g := line(3)
+	os := NewObjectSet(g)
+	e := g.EdgeBetween(0, 1)
+	o1 := os.MustAdd(e, 0.1, 0)
+	o2 := os.MustAdd(e, 0.9, 0)
+	o3 := os.MustAdd(e, 0.5, 0)
+	ids := os.OnEdge(e)
+	if len(ids) != 3 || ids[0] != o1.ID || ids[1] != o2.ID || ids[2] != o3.ID {
+		t.Fatalf("OnEdge = %v", ids)
+	}
+}
+
+func TestObjectNodeDist(t *testing.T) {
+	g := New(2, 1)
+	a := g.AddNode(geom.Point{})
+	b := g.AddNode(geom.Point{X: 10})
+	e := g.MustAddEdge(a, b, 10)
+	os := NewObjectSet(g)
+	o := os.MustAdd(e, 3, 0)
+	if d := os.NodeDist(o, a); d != 3 {
+		t.Fatalf("NodeDist(a) = %g, want 3", d)
+	}
+	if d := os.NodeDist(o, b); d != 7 {
+		t.Fatalf("NodeDist(b) = %g, want 7", d)
+	}
+}
+
+func TestObjectSetAttr(t *testing.T) {
+	g := line(3)
+	os := NewObjectSet(g)
+	o := os.MustAdd(g.EdgeBetween(0, 1), 0.5, 1)
+	if !os.SetAttr(o.ID, 42) {
+		t.Fatal("SetAttr returned false")
+	}
+	got, _ := os.Get(o.ID)
+	if got.Attr != 42 {
+		t.Fatalf("Attr = %d, want 42", got.Attr)
+	}
+	if os.SetAttr(999, 1) {
+		t.Fatal("SetAttr on missing object returned true")
+	}
+}
+
+func TestObjectAllDeterministic(t *testing.T) {
+	g := line(5)
+	os := NewObjectSet(g)
+	for i := 0; i < 4; i++ {
+		os.MustAdd(g.EdgeBetween(NodeID(i), NodeID(i+1)), 0.5, 0)
+	}
+	all := os.All()
+	if len(all) != 4 {
+		t.Fatalf("All len = %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Fatal("All not sorted by ID")
+		}
+	}
+}
+
+func TestObjectCloneIndependent(t *testing.T) {
+	g := line(4)
+	os := NewObjectSet(g)
+	o := os.MustAdd(g.EdgeBetween(0, 1), 0.5, 0)
+	g2 := g.Clone()
+	os2 := os.Clone(g2)
+	os2.Remove(o.ID)
+	if os.Len() != 1 {
+		t.Fatal("removing from clone affected original")
+	}
+	o2 := os2.MustAdd(g2.EdgeBetween(1, 2), 0.25, 0)
+	if _, ok := os.Get(o2.ID); ok {
+		t.Fatal("adding to clone leaked into original")
+	}
+}

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickDijkstraSymmetry: on undirected graphs, d(u,v) == d(v,u).
+func TestQuickDijkstraSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnected(rng, 40+rng.Intn(60), rng.Intn(40))
+		s := NewSearch(g)
+		for i := 0; i < 5; i++ {
+			u := NodeID(rng.Intn(g.NumNodes()))
+			v := NodeID(rng.Intn(g.NumNodes()))
+			duv := s.ShortestDist(u, v)
+			dvu := s.ShortestDist(v, u)
+			if math.Abs(duv-dvu) > 1e-9*math.Max(1, duv) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTriangleInequality: d(a,c) ≤ d(a,b) + d(b,c).
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnected(rng, 30+rng.Intn(50), rng.Intn(30))
+		s := NewSearch(g)
+		for i := 0; i < 5; i++ {
+			a := NodeID(rng.Intn(g.NumNodes()))
+			b := NodeID(rng.Intn(g.NumNodes()))
+			c := NodeID(rng.Intn(g.NumNodes()))
+			dab := s.ShortestDist(a, b)
+			dbc := s.ShortestDist(b, c)
+			dac := s.ShortestDist(a, c)
+			if dac > dab+dbc+1e-9*math.Max(1, dab+dbc) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPathLengthMatchesDistance: the reconstructed path's edge
+// weights sum to the reported distance and every hop is a real edge.
+func TestQuickPathLengthMatchesDistance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnected(rng, 30+rng.Intn(50), rng.Intn(30))
+		s := NewSearch(g)
+		u := NodeID(rng.Intn(g.NumNodes()))
+		v := NodeID(rng.Intn(g.NumNodes()))
+		path, d := s.ShortestPath(u, v)
+		if len(path) == 0 {
+			return math.IsInf(d, 1) || u == v
+		}
+		var total float64
+		for i := 1; i < len(path); i++ {
+			e := g.EdgeBetween(path[i-1], path[i])
+			if e == NoEdge {
+				return false
+			}
+			total += g.Weight(e)
+		}
+		return math.Abs(total-d) <= 1e-9*math.Max(1, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRemoveRestoreRoundTrip: removing and restoring a random edge
+// leaves all pairwise distances unchanged.
+func TestQuickRemoveRestoreRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnected(rng, 30, 20)
+		s := NewSearch(g)
+		u := NodeID(rng.Intn(g.NumNodes()))
+		v := NodeID(rng.Intn(g.NumNodes()))
+		before := s.ShortestDist(u, v)
+		e := EdgeID(rng.Intn(g.NumEdges()))
+		if err := g.RemoveEdge(e); err != nil {
+			return false
+		}
+		if err := g.RestoreEdge(e); err != nil {
+			return false
+		}
+		after := s.ShortestDist(u, v)
+		return math.Abs(before-after) <= 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

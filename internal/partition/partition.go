@@ -1,0 +1,296 @@
+// Package partition divides a road network's edge set into regional
+// sub-networks, the Rnet-forming step of §3.3: edges are first split
+// geometrically into two equal halves (the approach of [8]) and the cut is
+// then refined with Kernighan–Lin-style local moves [12] that minimize the
+// number of border nodes (nodes with incident edges on both sides).
+// Recursive binary splitting yields p = 2^x parts, exactly as the paper
+// prescribes; nodes are shared between parts, edges never are
+// (Definition 4).
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"road/internal/graph"
+)
+
+// Options tunes a Split call.
+type Options struct {
+	// Parts is the number of parts to produce; it must be a power of two
+	// of at least 2 (the paper sets p = 2^x and splits recursively).
+	Parts int
+	// KLPasses bounds the refinement sweeps per binary split; 0 disables
+	// refinement (geometric split only — the ablation baseline).
+	KLPasses int
+	// Balance is the largest fraction by which a side may shrink below an
+	// even split during refinement (default 0.1: sides stay within 40–60%).
+	Balance float64
+	// Seed drives the deterministic move ordering.
+	Seed int64
+	// Weight, when non-nil, assigns each edge a positive balance weight;
+	// splits then equalize total weight instead of edge counts. This is
+	// the object-based partitioning the paper leaves as future work
+	// (§3.3): weighting edges by their object load yields finer Rnets in
+	// object-dense areas and coarser ones in empty areas.
+	Weight func(graph.EdgeID) float64
+}
+
+// DefaultKLPasses is the refinement budget used when Options.KLPasses is
+// negative (callers pass -1 for "default").
+const DefaultKLPasses = 8
+
+// Split partitions the given edges of g into opt.Parts parts. Every input
+// edge appears in exactly one output part; parts can be empty only if the
+// input has fewer edges than parts. The same inputs always produce the
+// same partition.
+func Split(g *graph.Graph, edges []graph.EdgeID, opt Options) ([][]graph.EdgeID, error) {
+	if opt.Parts < 2 || opt.Parts&(opt.Parts-1) != 0 {
+		return nil, fmt.Errorf("partition: parts must be a power of two ≥ 2, got %d", opt.Parts)
+	}
+	if opt.Balance <= 0 {
+		opt.Balance = 0.1
+	}
+	if opt.Balance >= 0.5 {
+		opt.Balance = 0.4 // keep both sides non-empty
+	}
+	if opt.KLPasses < 0 {
+		opt.KLPasses = DefaultKLPasses
+	}
+	work := append([]graph.EdgeID(nil), edges...)
+	parts := [][]graph.EdgeID{work}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	for len(parts) < opt.Parts {
+		var next [][]graph.EdgeID
+		for _, p := range parts {
+			a, b := bisect(g, p, opt, rng)
+			next = append(next, a, b)
+		}
+		parts = next
+	}
+	return parts, nil
+}
+
+// BorderCount returns the number of border nodes induced by a partition of
+// edge sets: nodes incident to edges of two or more different parts.
+func BorderCount(g *graph.Graph, parts [][]graph.EdgeID) int {
+	side := make(map[graph.NodeID]int)
+	borders := make(map[graph.NodeID]bool)
+	for i, part := range parts {
+		for _, e := range part {
+			ed := g.Edge(e)
+			for _, n := range [2]graph.NodeID{ed.U, ed.V} {
+				if s, ok := side[n]; ok {
+					if s != i {
+						borders[n] = true
+					}
+				} else {
+					side[n] = i
+				}
+			}
+		}
+	}
+	return len(borders)
+}
+
+// bisect splits one edge list into two near-equal halves, geometrically
+// first then KL-refined.
+func bisect(g *graph.Graph, edges []graph.EdgeID, opt Options, rng *rand.Rand) ([]graph.EdgeID, []graph.EdgeID) {
+	if len(edges) < 2 {
+		return edges, nil
+	}
+	// Geometric step: order edge midpoints along the axis of larger spread
+	// and cut at the median, giving equal edge counts [8].
+	type mid struct {
+		e    graph.EdgeID
+		x, y float64
+	}
+	mids := make([]mid, len(edges))
+	minX, maxX := 1e300, -1e300
+	minY, maxY := 1e300, -1e300
+	for i, e := range edges {
+		ed := g.Edge(e)
+		pu, pv := g.Coord(ed.U), g.Coord(ed.V)
+		m := mid{e: e, x: (pu.X + pv.X) / 2, y: (pu.Y + pv.Y) / 2}
+		mids[i] = m
+		minX, maxX = minf(minX, m.x), maxf(maxX, m.x)
+		minY, maxY = minf(minY, m.y), maxf(maxY, m.y)
+	}
+	byX := maxX-minX >= maxY-minY
+	sort.Slice(mids, func(i, j int) bool {
+		if byX {
+			if mids[i].x != mids[j].x {
+				return mids[i].x < mids[j].x
+			}
+		} else {
+			if mids[i].y != mids[j].y {
+				return mids[i].y < mids[j].y
+			}
+		}
+		return mids[i].e < mids[j].e
+	})
+	// Cut at the median edge — or, with weights, at the half-weight point
+	// (keeping at least one edge per side).
+	half := len(mids) / 2
+	if opt.Weight != nil {
+		var total float64
+		for _, m := range mids {
+			total += opt.Weight(m.e)
+		}
+		var acc float64
+		half = len(mids) - 1
+		for i, m := range mids {
+			acc += opt.Weight(m.e)
+			if acc >= total/2 {
+				half = i + 1
+				break
+			}
+		}
+		if half < 1 {
+			half = 1
+		}
+		if half >= len(mids) {
+			half = len(mids) - 1
+		}
+	}
+	side := make([]bool, len(mids)) // false = A (first half), true = B
+	for i := half; i < len(mids); i++ {
+		side[i] = true
+	}
+	localEdges := make([]graph.EdgeID, len(mids))
+	for i, m := range mids {
+		localEdges[i] = m.e
+	}
+
+	if opt.KLPasses > 0 {
+		refine(g, localEdges, side, opt, rng)
+	}
+
+	var a, b []graph.EdgeID
+	for i, e := range localEdges {
+		if side[i] {
+			b = append(b, e)
+		} else {
+			a = append(a, e)
+		}
+	}
+	return a, b
+}
+
+// refine runs KL-style passes moving single edges across the cut whenever
+// the move reduces the border-node count and balance permits.
+func refine(g *graph.Graph, edges []graph.EdgeID, side []bool, opt Options, rng *rand.Rand) {
+	// cnt[n] = incident edge counts on side A and B within this subproblem.
+	cnt := make(map[graph.NodeID]*[2]int, len(edges))
+	weight := func(e graph.EdgeID) float64 {
+		if opt.Weight != nil {
+			return opt.Weight(e)
+		}
+		return 1
+	}
+	sizes := [2]float64{}
+	var totalWeight float64
+	for i, e := range edges {
+		ed := g.Edge(e)
+		s := boolToInt(side[i])
+		sizes[s] += weight(e)
+		totalWeight += weight(e)
+		for _, n := range [2]graph.NodeID{ed.U, ed.V} {
+			c := cnt[n]
+			if c == nil {
+				c = new([2]int)
+				cnt[n] = c
+			}
+			c[s]++
+		}
+	}
+	minSize := totalWeight * (0.5 - opt.Balance)
+	if minSize <= 0 {
+		minSize = 0
+	}
+
+	isBorder := func(c *[2]int) bool { return c[0] > 0 && c[1] > 0 }
+
+	// gain of moving edge at index i to the opposite side: reduction in
+	// border nodes among its two endpoints.
+	gain := func(i int) int {
+		ed := g.Edge(edges[i])
+		from := boolToInt(side[i])
+		to := 1 - from
+		gn := 0
+		for _, n := range [2]graph.NodeID{ed.U, ed.V} {
+			c := cnt[n]
+			before := isBorder(c)
+			var after bool
+			if ed.U == ed.V { // cannot occur (no self-loops) but stay safe
+				after = before
+			} else {
+				cc := *c
+				cc[from]--
+				cc[to]++
+				after = isBorder(&cc)
+			}
+			if before && !after {
+				gn++
+			} else if !before && after {
+				gn--
+			}
+		}
+		return gn
+	}
+
+	apply := func(i int) {
+		ed := g.Edge(edges[i])
+		from := boolToInt(side[i])
+		to := 1 - from
+		for _, n := range [2]graph.NodeID{ed.U, ed.V} {
+			c := cnt[n]
+			c[from]--
+			c[to]++
+		}
+		w := weight(edges[i])
+		sizes[from] -= w
+		sizes[to] += w
+		side[i] = !side[i]
+	}
+
+	order := rng.Perm(len(edges))
+	for pass := 0; pass < opt.KLPasses; pass++ {
+		moved := 0
+		for _, i := range order {
+			from := boolToInt(side[i])
+			if sizes[from]-weight(edges[i]) < minSize {
+				continue
+			}
+			if gain(i) > 0 {
+				apply(i)
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,217 @@
+// Package pqueue provides the priority queues used by every network
+// traversal in the repository: a plain binary min-heap of (item, priority)
+// pairs and an indexed heap supporting decrease-key, the workhorse of
+// Dijkstra-style expansion.
+package pqueue
+
+// Item is an entry in a Queue: an opaque payload ordered by Priority.
+// Ties are broken by insertion order (FIFO) so traversals are deterministic.
+type Item struct {
+	Value    any
+	Priority float64
+	seq      uint64
+}
+
+// Queue is a binary min-heap ordered by priority then insertion sequence.
+// The zero value is an empty queue ready to use.
+type Queue struct {
+	items []Item
+	seq   uint64
+}
+
+// Len reports the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Push adds value with the given priority.
+func (q *Queue) Push(value any, priority float64) {
+	q.seq++
+	q.items = append(q.items, Item{Value: value, Priority: priority, seq: q.seq})
+	q.up(len(q.items) - 1)
+}
+
+// Pop removes and returns the item with the smallest priority.
+// It returns false if the queue is empty.
+func (q *Queue) Pop() (Item, bool) {
+	if len(q.items) == 0 {
+		return Item{}, false
+	}
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items = q.items[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top, true
+}
+
+// Peek returns the smallest-priority item without removing it.
+func (q *Queue) Peek() (Item, bool) {
+	if len(q.items) == 0 {
+		return Item{}, false
+	}
+	return q.items[0], true
+}
+
+// Reset empties the queue, retaining capacity.
+func (q *Queue) Reset() { q.items = q.items[:0] }
+
+func (q *Queue) less(i, j int) bool {
+	a, b := &q.items[i], &q.items[j]
+	if a.Priority != b.Priority {
+		return a.Priority < b.Priority
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.items)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && q.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && q.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}
+
+// IndexedQueue is a min-heap keyed by dense int32 IDs (graph node IDs)
+// supporting DecreaseKey in O(log n). IDs must be < the capacity given to
+// NewIndexed. It is the standard Dijkstra frontier.
+type IndexedQueue struct {
+	heap []int32   // heap of ids
+	pos  []int32   // id -> index in heap, -1 if absent
+	prio []float64 // id -> priority
+}
+
+// NewIndexed returns an IndexedQueue accommodating ids in [0, capacity).
+func NewIndexed(capacity int) *IndexedQueue {
+	pos := make([]int32, capacity)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &IndexedQueue{pos: pos, prio: make([]float64, capacity)}
+}
+
+// Len reports the number of queued ids.
+func (q *IndexedQueue) Len() int { return len(q.heap) }
+
+// Contains reports whether id is currently queued.
+func (q *IndexedQueue) Contains(id int32) bool { return q.pos[id] >= 0 }
+
+// Priority returns the current priority of a queued id.
+// The result is undefined if id is not queued.
+func (q *IndexedQueue) Priority(id int32) float64 { return q.prio[id] }
+
+// Push inserts id with the given priority. If id is already queued, Push
+// behaves as DecreaseKey when priority is lower and is a no-op otherwise.
+func (q *IndexedQueue) Push(id int32, priority float64) {
+	if q.pos[id] >= 0 {
+		q.DecreaseKey(id, priority)
+		return
+	}
+	q.prio[id] = priority
+	q.pos[id] = int32(len(q.heap))
+	q.heap = append(q.heap, id)
+	q.up(len(q.heap) - 1)
+}
+
+// DecreaseKey lowers the priority of a queued id. Priorities may only
+// decrease; attempts to raise are ignored.
+func (q *IndexedQueue) DecreaseKey(id int32, priority float64) {
+	if priority >= q.prio[id] {
+		return
+	}
+	q.prio[id] = priority
+	q.up(int(q.pos[id]))
+}
+
+// Pop removes and returns the id with the smallest priority and that
+// priority. ok is false when the queue is empty.
+func (q *IndexedQueue) Pop() (id int32, priority float64, ok bool) {
+	if len(q.heap) == 0 {
+		return 0, 0, false
+	}
+	id = q.heap[0]
+	priority = q.prio[id]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.pos[q.heap[0]] = 0
+	q.heap = q.heap[:last]
+	q.pos[id] = -1
+	if last > 0 {
+		q.down(0)
+	}
+	return id, priority, true
+}
+
+// Reset empties the queue, retaining capacity.
+func (q *IndexedQueue) Reset() {
+	for _, id := range q.heap {
+		q.pos[id] = -1
+	}
+	q.heap = q.heap[:0]
+}
+
+func (q *IndexedQueue) iless(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if q.prio[a] != q.prio[b] {
+		return q.prio[a] < q.prio[b]
+	}
+	return a < b
+}
+
+func (q *IndexedQueue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.pos[q.heap[i]] = int32(i)
+	q.pos[q.heap[j]] = int32(j)
+}
+
+func (q *IndexedQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.iless(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *IndexedQueue) down(i int) {
+	n := len(q.heap)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && q.iless(left, smallest) {
+			smallest = left
+		}
+		if right < n && q.iless(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,235 @@
+package pqueue
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueEmpty(t *testing.T) {
+	var q Queue
+	if q.Len() != 0 {
+		t.Fatalf("Len of empty queue = %d, want 0", q.Len())
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue reported ok")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue reported ok")
+	}
+}
+
+func TestQueueOrdering(t *testing.T) {
+	var q Queue
+	q.Push("c", 3)
+	q.Push("a", 1)
+	q.Push("b", 2)
+	want := []string{"a", "b", "c"}
+	for _, w := range want {
+		it, ok := q.Pop()
+		if !ok {
+			t.Fatal("Pop failed")
+		}
+		if it.Value.(string) != w {
+			t.Fatalf("popped %v, want %v", it.Value, w)
+		}
+	}
+}
+
+func TestQueueFIFOTieBreak(t *testing.T) {
+	var q Queue
+	q.Push("first", 5)
+	q.Push("second", 5)
+	q.Push("third", 5)
+	for _, w := range []string{"first", "second", "third"} {
+		it, _ := q.Pop()
+		if it.Value.(string) != w {
+			t.Fatalf("tie-break popped %v, want %v", it.Value, w)
+		}
+	}
+}
+
+func TestQueuePeekDoesNotRemove(t *testing.T) {
+	var q Queue
+	q.Push("x", 1)
+	it, ok := q.Peek()
+	if !ok || it.Value.(string) != "x" {
+		t.Fatalf("Peek = %v,%v", it, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Peek removed item, Len = %d", q.Len())
+	}
+}
+
+func TestQueueReset(t *testing.T) {
+	var q Queue
+	q.Push("x", 1)
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", q.Len())
+	}
+}
+
+func TestQueueSortsRandomInput(t *testing.T) {
+	f := func(priorities []float64) bool {
+		var q Queue
+		for _, p := range priorities {
+			q.Push(p, p)
+		}
+		prev := math.Inf(-1)
+		for q.Len() > 0 {
+			it, _ := q.Pop()
+			if it.Priority < prev {
+				return false
+			}
+			prev = it.Priority
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexedBasic(t *testing.T) {
+	q := NewIndexed(10)
+	q.Push(3, 3.0)
+	q.Push(1, 1.0)
+	q.Push(2, 2.0)
+	for want := int32(1); want <= 3; want++ {
+		id, prio, ok := q.Pop()
+		if !ok {
+			t.Fatal("Pop failed")
+		}
+		if id != want || prio != float64(want) {
+			t.Fatalf("Pop = (%d,%g), want (%d,%g)", id, prio, want, float64(want))
+		}
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty indexed queue reported ok")
+	}
+}
+
+func TestIndexedDecreaseKey(t *testing.T) {
+	q := NewIndexed(10)
+	q.Push(0, 10)
+	q.Push(1, 20)
+	q.DecreaseKey(1, 5)
+	id, prio, _ := q.Pop()
+	if id != 1 || prio != 5 {
+		t.Fatalf("Pop = (%d,%g), want (1,5)", id, prio)
+	}
+}
+
+func TestIndexedDecreaseKeyIgnoresIncrease(t *testing.T) {
+	q := NewIndexed(10)
+	q.Push(0, 10)
+	q.DecreaseKey(0, 50)
+	if got := q.Priority(0); got != 10 {
+		t.Fatalf("priority after attempted increase = %g, want 10", got)
+	}
+}
+
+func TestIndexedPushExistingActsAsDecrease(t *testing.T) {
+	q := NewIndexed(4)
+	q.Push(0, 10)
+	q.Push(0, 4)
+	if got := q.Priority(0); got != 4 {
+		t.Fatalf("priority = %g, want 4", got)
+	}
+	q.Push(0, 99) // must not raise
+	if got := q.Priority(0); got != 4 {
+		t.Fatalf("priority after push-raise = %g, want 4", got)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (no duplicate entries)", q.Len())
+	}
+}
+
+func TestIndexedContains(t *testing.T) {
+	q := NewIndexed(4)
+	if q.Contains(2) {
+		t.Fatal("Contains(2) on empty queue")
+	}
+	q.Push(2, 1)
+	if !q.Contains(2) {
+		t.Fatal("Contains(2) after push = false")
+	}
+	q.Pop()
+	if q.Contains(2) {
+		t.Fatal("Contains(2) after pop = true")
+	}
+}
+
+func TestIndexedReset(t *testing.T) {
+	q := NewIndexed(8)
+	for i := int32(0); i < 8; i++ {
+		q.Push(i, float64(i))
+	}
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", q.Len())
+	}
+	for i := int32(0); i < 8; i++ {
+		if q.Contains(i) {
+			t.Fatalf("Contains(%d) after Reset", i)
+		}
+	}
+	// Queue must be reusable after Reset.
+	q.Push(5, 1)
+	id, _, _ := q.Pop()
+	if id != 5 {
+		t.Fatalf("Pop after Reset = %d, want 5", id)
+	}
+}
+
+func TestIndexedMatchesSortOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		q := NewIndexed(n)
+		prios := make([]float64, n)
+		for i := range prios {
+			prios[i] = rng.Float64() * 1000
+			q.Push(int32(i), prios[i])
+		}
+		// Randomly decrease some keys.
+		for j := 0; j < n/2; j++ {
+			id := int32(rng.Intn(n))
+			np := q.Priority(id) * rng.Float64()
+			q.DecreaseKey(id, np)
+			prios[id] = np
+		}
+		sort.Float64s(prios)
+		for i := 0; i < n; i++ {
+			_, prio, ok := q.Pop()
+			if !ok {
+				t.Fatalf("trial %d: queue drained early at %d/%d", trial, i, n)
+			}
+			if prio != prios[i] {
+				t.Fatalf("trial %d: pop %d priority = %g, want %g", trial, i, prio, prios[i])
+			}
+		}
+	}
+}
+
+func BenchmarkIndexedPushPop(b *testing.B) {
+	const n = 1024
+	rng := rand.New(rand.NewSource(1))
+	prios := make([]float64, n)
+	for i := range prios {
+		prios[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := NewIndexed(n)
+		for j := int32(0); j < n; j++ {
+			q.Push(j, prios[j])
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package rnet
+
+import (
+	"fmt"
+
+	"road/internal/graph"
+)
+
+// ExpandShortcut materializes the full node sequence of a shortcut,
+// endpoints included. Shortcuts are stored hierarchically — an upper-level
+// shortcut's Via waypoints are child-level border nodes whose consecutive
+// legs are themselves child shortcuts (Figure 5: S(n1,n3) is represented
+// as S(n1,nd)·S(nd,n3)) — so expansion recurses down to leaf level, where
+// Via holds the actual interior path nodes. The hierarchy must have been
+// built with Config.StorePaths.
+func (h *Hierarchy) ExpandShortcut(r RnetID, sc Shortcut) ([]graph.NodeID, error) {
+	if !h.cfg.StorePaths {
+		return nil, fmt.Errorf("rnet: hierarchy built without StorePaths")
+	}
+	return h.expandShortcut(r, sc)
+}
+
+func (h *Hierarchy) expandShortcut(r RnetID, sc Shortcut) ([]graph.NodeID, error) {
+	if h.rnets[r].Level == h.cfg.Levels {
+		// Leaf: Via already holds the interior path nodes.
+		path := make([]graph.NodeID, 0, len(sc.Via)+2)
+		path = append(path, sc.From)
+		path = append(path, sc.Via...)
+		path = append(path, sc.To)
+		return path, nil
+	}
+	// Upper level: expand each leg between consecutive waypoints through
+	// the child Rnet that carries it.
+	waypoints := make([]graph.NodeID, 0, len(sc.Via)+2)
+	waypoints = append(waypoints, sc.From)
+	waypoints = append(waypoints, sc.Via...)
+	waypoints = append(waypoints, sc.To)
+	var path []graph.NodeID
+	for i := 1; i < len(waypoints); i++ {
+		a, b := waypoints[i-1], waypoints[i]
+		childSC, childR, err := h.childShortcut(r, a, b)
+		if err != nil {
+			return nil, err
+		}
+		leg, err := h.expandShortcut(childR, childSC)
+		if err != nil {
+			return nil, err
+		}
+		if len(path) > 0 {
+			leg = leg[1:] // drop the duplicated junction node
+		}
+		path = append(path, leg...)
+	}
+	return path, nil
+}
+
+// childShortcut finds, among r's children, the minimum-distance shortcut
+// from a to b — the overlay arc the upper-level Dijkstra traversed.
+func (h *Hierarchy) childShortcut(r RnetID, a, b graph.NodeID) (Shortcut, RnetID, error) {
+	var best Shortcut
+	var bestR RnetID = NoRnet
+	for _, c := range h.rnets[r].Children {
+		for _, sc := range h.shortcuts[c][a] {
+			if sc.To != b {
+				continue
+			}
+			if bestR == NoRnet || sc.Dist < best.Dist {
+				best, bestR = sc, c
+			}
+		}
+	}
+	if bestR == NoRnet {
+		return Shortcut{}, NoRnet, fmt.Errorf("rnet: no child shortcut %d->%d under Rnet %d", a, b, r)
+	}
+	return best, bestR, nil
+}

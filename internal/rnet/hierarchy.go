@@ -1,0 +1,365 @@
+// Package rnet builds and maintains the Rnet hierarchy at the heart of
+// ROAD (§3.2–3.3): the road network is recursively partitioned into
+// regional sub-networks (Rnets), each bounded by border nodes; every Rnet
+// carries shortcuts — shortest paths between its border nodes — computed
+// bottom-up level by level (Lemma 2), optionally pruned of transitively
+// redundant entries (Lemma 4). Per-node shortcut trees organize each
+// node's view of the hierarchy for the traversal algorithm, and
+// incremental maintenance (§5.2) keeps shortcuts correct across edge
+// re-weights, additions and deletions using the filter-and-refresh scheme.
+package rnet
+
+import (
+	"fmt"
+	"sort"
+
+	"road/internal/graph"
+	"road/internal/partition"
+)
+
+// RnetID identifies an Rnet within a Hierarchy. Level-1 Rnets come first,
+// then level 2, and so on; the implicit level-0 Rnet (the whole network,
+// which has no border nodes) is not materialized.
+type RnetID = int32
+
+// NoRnet marks the absence of an Rnet.
+const NoRnet RnetID = -1
+
+// Rnet is one regional sub-network (Definition 1): a set of edges bounded
+// by border nodes. Edge sets are materialized at the leaf level only;
+// membership at upper levels follows from the parent chain.
+type Rnet struct {
+	ID       RnetID
+	Level    int // 1..Levels
+	Parent   RnetID
+	Children []RnetID
+	Borders  []graph.NodeID
+	Edges    []graph.EdgeID // leaf level only
+}
+
+// Shortcut is the shortest path between two border nodes of one Rnet
+// (Definition 3), computed over the sub-network the Rnet encloses. Via
+// holds intermediate waypoints — interior path nodes at the leaf level,
+// child-level border nodes above — when the hierarchy stores paths.
+type Shortcut struct {
+	From, To graph.NodeID
+	Dist     float64
+	Via      []graph.NodeID
+}
+
+// Config controls hierarchy construction.
+type Config struct {
+	// Fanout is the partitioning factor p (a power of two ≥ 2; the paper's
+	// default is 4).
+	Fanout int
+	// Levels is the hierarchy depth l ≥ 1 (the paper defaults to 4 for CA
+	// and 8 for NA/SF).
+	Levels int
+	// KLPasses bounds Kernighan–Lin refinement during partitioning;
+	// negative selects the partitioner default, 0 disables refinement.
+	KLPasses int
+	// Seed makes partitioning deterministic.
+	Seed int64
+	// StorePaths records Via waypoints on shortcuts, enabling full path
+	// reconstruction at the cost of memory.
+	StorePaths bool
+	// PruneMaxBorders applies Lemma-4 transitive pruning in Rnets with at
+	// most this many border nodes (the O(B³) test is restricted to small
+	// Rnets). 0 disables pruning.
+	PruneMaxBorders int
+	// EdgeWeight, when non-nil, biases partitioning balance by per-edge
+	// weight instead of edge count — the paper's future-work object-based
+	// partitioning (weight edges by object load so object-dense areas get
+	// finer Rnets). The hierarchy build captures the weights once; later
+	// object churn does not re-partition.
+	EdgeWeight func(graph.EdgeID) float64
+}
+
+// DefaultConfig returns the paper's default settings for a network of the
+// given node count: p=4, l=4 below 50k nodes and l=8 at or above.
+func DefaultConfig(numNodes int) Config {
+	l := 4
+	if numNodes >= 50000 {
+		l = 8
+	}
+	return Config{Fanout: 4, Levels: l, KLPasses: -1, PruneMaxBorders: 32}
+}
+
+// Hierarchy is the built Rnet hierarchy over one graph.
+type Hierarchy struct {
+	g   *graph.Graph
+	cfg Config
+
+	rnets  []Rnet
+	levels [][]RnetID // level (1-based) -> Rnet IDs
+	leafOf []RnetID   // edge -> leaf Rnet (NoRnet for never-assigned edges)
+
+	// shortcuts[r] maps a border node of Rnet r to its outgoing shortcuts.
+	shortcuts []map[graph.NodeID][]Shortcut
+
+	// trees caches per-node shortcut trees (built on demand).
+	trees []*TreeNode
+
+	// isBorder[r] is the border set of Rnet r for O(1) membership tests;
+	// borderRnetsOf[n] is the inverse: the Rnets n is a border of.
+	isBorder      []map[graph.NodeID]bool
+	borderRnetsOf [][]RnetID
+
+	// ws is the reusable Dijkstra workspace for shortcut computation,
+	// recreated when the graph gains nodes.
+	ws      *graph.Search
+	wsNodes int
+}
+
+// Build constructs the Rnet hierarchy for g.
+func Build(g *graph.Graph, cfg Config) (*Hierarchy, error) {
+	if cfg.Fanout < 2 || cfg.Fanout&(cfg.Fanout-1) != 0 {
+		return nil, fmt.Errorf("rnet: fanout must be a power of two ≥ 2, got %d", cfg.Fanout)
+	}
+	if cfg.Levels < 1 {
+		return nil, fmt.Errorf("rnet: levels must be ≥ 1, got %d", cfg.Levels)
+	}
+	h := &Hierarchy{g: g, cfg: cfg}
+	if err := h.partition(); err != nil {
+		return nil, err
+	}
+	h.computeBorders()
+	h.computeAllShortcuts()
+	h.trees = make([]*TreeNode, g.NumNodes())
+	return h, nil
+}
+
+// Graph returns the underlying road network.
+func (h *Hierarchy) Graph() *graph.Graph { return h.g }
+
+// Config returns the configuration the hierarchy was built with.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Levels returns the hierarchy depth l.
+func (h *Hierarchy) Levels() int { return h.cfg.Levels }
+
+// NumRnets returns the number of materialized Rnets across all levels.
+func (h *Hierarchy) NumRnets() int { return len(h.rnets) }
+
+// Rnet returns the Rnet with the given ID.
+func (h *Hierarchy) Rnet(id RnetID) *Rnet { return &h.rnets[id] }
+
+// AtLevel returns the IDs of all Rnets at the given level (1-based).
+func (h *Hierarchy) AtLevel(level int) []RnetID { return h.levels[level-1] }
+
+// LeafOf returns the leaf Rnet containing edge e, or NoRnet if the edge was
+// added to the graph without being registered with the hierarchy.
+func (h *Hierarchy) LeafOf(e graph.EdgeID) RnetID {
+	if int(e) >= len(h.leafOf) {
+		return NoRnet
+	}
+	return h.leafOf[e]
+}
+
+// AncestorAt returns the ancestor of Rnet r at the given level (which must
+// be ≤ r's level).
+func (h *Hierarchy) AncestorAt(r RnetID, level int) RnetID {
+	for h.rnets[r].Level > level {
+		r = h.rnets[r].Parent
+	}
+	return r
+}
+
+// AncestorChain returns r and its ancestors ordered leaf-to-root
+// (level l first, level 1 last) starting from leaf Rnet r.
+func (h *Hierarchy) AncestorChain(r RnetID) []RnetID {
+	var out []RnetID
+	for r != NoRnet {
+		out = append(out, r)
+		r = h.rnets[r].Parent
+	}
+	return out
+}
+
+// IsBorder reports whether n is a border node of Rnet r.
+func (h *Hierarchy) IsBorder(r RnetID, n graph.NodeID) bool {
+	return h.isBorder[r][n]
+}
+
+// ShortcutsFrom returns the shortcuts leaving border node n across Rnet r.
+// The slice is owned by the hierarchy.
+func (h *Hierarchy) ShortcutsFrom(r RnetID, n graph.NodeID) []Shortcut {
+	return h.shortcuts[r][n]
+}
+
+// ShortcutCount returns the total number of stored shortcuts.
+func (h *Hierarchy) ShortcutCount() int {
+	total := 0
+	for _, m := range h.shortcuts {
+		for _, scs := range m {
+			total += len(scs)
+		}
+	}
+	return total
+}
+
+// BorderCount returns the total number of (Rnet, border) incidences.
+func (h *Hierarchy) BorderCount() int {
+	total := 0
+	for i := range h.rnets {
+		total += len(h.rnets[i].Borders)
+	}
+	return total
+}
+
+// SizeBytes estimates the hierarchy's storage footprint: Rnet records,
+// border lists and shortcuts (with Via waypoints when stored). It is the
+// Route-Overlay component of the paper's index-size metric.
+func (h *Hierarchy) SizeBytes() int64 {
+	const (
+		nodeIDSize   = 4
+		shortcutSize = 4 + 4 + 8 // from + to + dist
+		rnetFixed    = 24
+	)
+	var total int64
+	for i := range h.rnets {
+		r := &h.rnets[i]
+		total += rnetFixed
+		total += int64(len(r.Borders)) * nodeIDSize
+		total += int64(len(r.Edges)) * 4
+	}
+	for _, m := range h.shortcuts {
+		for _, scs := range m {
+			for _, sc := range scs {
+				total += shortcutSize
+				total += int64(len(sc.Via)) * nodeIDSize
+			}
+		}
+	}
+	return total
+}
+
+// partition recursively splits the edge set into the Rnet tree.
+func (h *Hierarchy) partition() error {
+	all := make([]graph.EdgeID, 0, h.g.NumEdges())
+	for e := 0; e < h.g.NumEdges(); e++ {
+		if !h.g.Edge(graph.EdgeID(e)).Removed {
+			all = append(all, graph.EdgeID(e))
+		}
+	}
+	h.leafOf = make([]RnetID, h.g.NumEdges())
+	for i := range h.leafOf {
+		h.leafOf[i] = NoRnet
+	}
+	h.levels = make([][]RnetID, h.cfg.Levels)
+
+	type job struct {
+		parent RnetID
+		level  int
+		edges  []graph.EdgeID
+	}
+	jobs := []job{{parent: NoRnet, level: 1, edges: all}}
+	for len(jobs) > 0 {
+		j := jobs[0]
+		jobs = jobs[1:]
+		parts, err := partition.Split(h.g, j.edges, partition.Options{
+			Parts:    h.cfg.Fanout,
+			KLPasses: h.cfg.KLPasses,
+			Seed:     h.cfg.Seed + int64(j.parent)*7919 + int64(j.level),
+			Weight:   h.cfg.EdgeWeight,
+		})
+		if err != nil {
+			return err
+		}
+		for _, p := range parts {
+			id := RnetID(len(h.rnets))
+			r := Rnet{ID: id, Level: j.level, Parent: j.parent}
+			if j.level == h.cfg.Levels {
+				r.Edges = p
+				for _, e := range p {
+					h.leafOf[e] = id
+				}
+			}
+			h.rnets = append(h.rnets, r)
+			h.levels[j.level-1] = append(h.levels[j.level-1], id)
+			if j.parent != NoRnet {
+				h.rnets[j.parent].Children = append(h.rnets[j.parent].Children, id)
+			}
+			if j.level < h.cfg.Levels {
+				jobs = append(jobs, job{parent: id, level: j.level + 1, edges: p})
+			}
+		}
+	}
+	return nil
+}
+
+// computeBorders derives border sets for every Rnet at every level: node n
+// is a border of level-i Rnet R exactly when n has incident edges both
+// inside and outside R (Definition 1).
+func (h *Hierarchy) computeBorders() {
+	h.isBorder = make([]map[graph.NodeID]bool, len(h.rnets))
+	for i := range h.isBorder {
+		h.isBorder[i] = make(map[graph.NodeID]bool)
+	}
+	h.borderRnetsOf = make([][]RnetID, h.g.NumNodes())
+	for n := 0; n < h.g.NumNodes(); n++ {
+		h.recomputeNodeBorders(graph.NodeID(n))
+	}
+	h.rebuildBorderLists()
+}
+
+// recomputeNodeBorders updates the border membership of one node in
+// h.isBorder (but not the per-Rnet Borders slices; see rebuildBorderLists).
+func (h *Hierarchy) recomputeNodeBorders(n graph.NodeID) {
+	// Drop any existing membership.
+	for _, r := range h.borderRnetsOf[n] {
+		delete(h.isBorder[r], n)
+	}
+	h.borderRnetsOf[n] = h.borderRnetsOf[n][:0]
+	for level := 1; level <= h.cfg.Levels; level++ {
+		rnets := h.nodeRnetsAt(n, level)
+		if len(rnets) > 1 {
+			for _, r := range rnets {
+				h.isBorder[r][n] = true
+				h.borderRnetsOf[n] = append(h.borderRnetsOf[n], r)
+			}
+		}
+	}
+}
+
+// nodeRnetsAt returns the distinct level-i Rnets containing edges incident
+// to n, sorted ascending.
+func (h *Hierarchy) nodeRnetsAt(n graph.NodeID, level int) []RnetID {
+	var out []RnetID
+	for _, half := range h.g.Neighbors(n) {
+		leaf := h.LeafOf(half.Edge)
+		if leaf == NoRnet {
+			continue
+		}
+		r := h.AncestorAt(leaf, level)
+		found := false
+		for _, x := range out {
+			if x == r {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// rebuildBorderLists regenerates every Rnet's Borders slice from isBorder.
+func (h *Hierarchy) rebuildBorderLists() {
+	for i := range h.rnets {
+		h.rebuildBorderList(RnetID(i))
+	}
+}
+
+func (h *Hierarchy) rebuildBorderList(r RnetID) {
+	set := h.isBorder[r]
+	bs := make([]graph.NodeID, 0, len(set))
+	for n := range set {
+		bs = append(bs, n)
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	h.rnets[r].Borders = bs
+}

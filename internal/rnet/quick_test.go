@@ -1,0 +1,120 @@
+package rnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"road/internal/dataset"
+	"road/internal/graph"
+)
+
+// TestQuickHierarchyInvariants builds hierarchies with random shapes over
+// random networks and checks the defining invariants of Definitions 1 and
+// 4 plus shortcut exactness on a sample.
+func TestQuickHierarchyInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 60 + rng.Intn(150)
+		g := dataset.MustGenerate(dataset.Spec{
+			Name:  "q",
+			Nodes: nodes,
+			Edges: nodes + rng.Intn(nodes/3+1),
+			Seed:  seed,
+		})
+		cfg := Config{
+			Fanout:          2 << rng.Intn(2),
+			Levels:          1 + rng.Intn(3),
+			KLPasses:        rng.Intn(3),
+			PruneMaxBorders: 0,
+			Seed:            seed,
+		}
+		h, err := Build(g, cfg)
+		if err != nil {
+			return false
+		}
+		// Leaf partition covers every edge exactly once.
+		covered := 0
+		for _, id := range h.AtLevel(h.Levels()) {
+			covered += len(h.Rnet(id).Edges)
+		}
+		if covered != g.NumEdges() {
+			return false
+		}
+		// Every level partitions edges via ancestors.
+		for level := 1; level <= h.Levels(); level++ {
+			counts := make(map[RnetID]int)
+			for e := 0; e < g.NumEdges(); e++ {
+				counts[h.AncestorAt(h.LeafOf(graph.EdgeID(e)), level)]++
+			}
+			total := 0
+			for _, c := range counts {
+				total += c
+			}
+			if total != g.NumEdges() {
+				return false
+			}
+		}
+		// Sampled shortcut exactness.
+		for i := 0; i < 10; i++ {
+			level := 1 + rng.Intn(h.Levels())
+			ids := h.AtLevel(level)
+			r := ids[rng.Intn(len(ids))]
+			borders := h.Rnet(r).Borders
+			if len(borders) == 0 {
+				continue
+			}
+			b := borders[rng.Intn(len(borders))]
+			scs := h.ShortcutsFrom(r, b)
+			if len(scs) == 0 {
+				continue
+			}
+			sc := scs[rng.Intn(len(scs))]
+			want := shortcutOracleDist(h, g, r, sc.From, sc.To)
+			if math.Abs(want-sc.Dist) > 1e-9*math.Max(1, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMaintenancePreservesShortcuts applies a random weight change
+// and verifies a sampled set of shortcuts stays exact.
+func TestQuickMaintenancePreservesShortcuts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := dataset.MustGenerate(dataset.Spec{Name: "q", Nodes: 100, Edges: 115, Seed: seed})
+		h, err := Build(g, Config{Fanout: 2, Levels: 2, PruneMaxBorders: 0, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 5; i++ {
+			e := graph.EdgeID(rng.Intn(g.NumEdges()))
+			factor := 0.2 + rng.Float64()*3
+			if _, err := h.SetEdgeWeight(e, g.Weight(e)*factor); err != nil {
+				return false
+			}
+		}
+		for level := 1; level <= h.Levels(); level++ {
+			for _, id := range h.AtLevel(level) {
+				for _, b := range h.Rnet(id).Borders {
+					for _, sc := range h.ShortcutsFrom(id, b) {
+						want := shortcutOracleDist(h, g, id, sc.From, sc.To)
+						if math.Abs(want-sc.Dist) > 1e-9*math.Max(1, want) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,388 @@
+// Package rtree provides the point R-tree used by the Euclidean
+// distance-bound baseline ([16,19], §2): objects are indexed by their map
+// coordinates, candidate objects are produced in increasing Euclidean
+// distance (an incremental best-first NN iterator), and range queries
+// return all points within a Euclidean radius. Construction is STR bulk
+// loading; dynamic inserts and deletes support the update experiments.
+package rtree
+
+import (
+	"sort"
+
+	"road/internal/geom"
+	"road/internal/pqueue"
+)
+
+// DefaultMaxEntries is the default node fan-out, sized so a node roughly
+// fills a 4 KB page of (point, id) entries.
+const DefaultMaxEntries = 64
+
+// Entry is an indexed point with caller-defined identifier.
+type Entry struct {
+	P  geom.Point
+	ID int32
+}
+
+type rnode struct {
+	id       int32
+	rect     geom.Rect
+	leaf     bool
+	entries  []Entry  // leaf
+	children []*rnode // internal
+}
+
+func (n *rnode) recompute() {
+	r := geom.EmptyRect()
+	if n.leaf {
+		for _, e := range n.entries {
+			r = r.Extend(e.P)
+		}
+	} else {
+		for _, c := range n.children {
+			r = r.Union(c.rect)
+		}
+	}
+	n.rect = r
+}
+
+// Tree is a point R-tree. The zero value is not usable; call New or BulkLoad.
+type Tree struct {
+	root       *rnode
+	size       int
+	maxEntries int
+	nodes      int
+	nextID     int32
+
+	// OnNodeVisit, when non-nil, is invoked with the ID of every tree node
+	// expanded during searches — one call per simulated index page.
+	OnNodeVisit func(id int32)
+}
+
+func (t *Tree) newNode(leaf bool) *rnode {
+	n := &rnode{id: t.nextID, leaf: leaf, rect: geom.EmptyRect()}
+	t.nextID++
+	t.nodes++
+	return n
+}
+
+func (t *Tree) visit(n *rnode) {
+	if t.OnNodeVisit != nil {
+		t.OnNodeVisit(n.id)
+	}
+}
+
+// New returns an empty tree with the given fan-out (DefaultMaxEntries if 0).
+func New(maxEntries int) *Tree {
+	if maxEntries == 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	if maxEntries < 4 {
+		maxEntries = 4
+	}
+	t := &Tree{maxEntries: maxEntries}
+	t.root = t.newNode(true)
+	return t
+}
+
+// BulkLoad builds a tree over entries using Sort-Tile-Recursive packing.
+func BulkLoad(entries []Entry, maxEntries int) *Tree {
+	t := New(maxEntries)
+	if len(entries) == 0 {
+		return t
+	}
+	es := append([]Entry(nil), entries...)
+	t.root = t.strPack(es)
+	t.size = len(es)
+	return t
+}
+
+// strPack recursively packs entries into leaves and leaves into internals.
+func (t *Tree) strPack(es []Entry) *rnode {
+	m := t.maxEntries
+	if len(es) <= m {
+		n := t.newNode(true)
+		n.entries = es
+		n.recompute()
+		return n
+	}
+	// STR: sort by x, cut into vertical slabs of ~sqrt(leafCount) leaves,
+	// sort each slab by y, emit leaves.
+	nLeaves := (len(es) + m - 1) / m
+	nSlabs := intSqrtCeil(nLeaves)
+	perSlab := ((nLeaves + nSlabs - 1) / nSlabs) * m
+
+	sort.Slice(es, func(i, j int) bool { return es[i].P.X < es[j].P.X })
+	var leaves []*rnode
+	for start := 0; start < len(es); start += perSlab {
+		end := min(start+perSlab, len(es))
+		slab := es[start:end]
+		sort.Slice(slab, func(i, j int) bool { return slab[i].P.Y < slab[j].P.Y })
+		for ls := 0; ls < len(slab); ls += m {
+			le := min(ls+m, len(slab))
+			leaf := t.newNode(true)
+			leaf.entries = append([]Entry(nil), slab[ls:le]...)
+			leaf.recompute()
+			leaves = append(leaves, leaf)
+		}
+	}
+	// Pack node levels upward until a single root remains.
+	level := leaves
+	for len(level) > 1 {
+		var next []*rnode
+		for start := 0; start < len(level); start += m {
+			end := min(start+m, len(level))
+			n := t.newNode(false)
+			n.children = append([]*rnode(nil), level[start:end]...)
+			n.recompute()
+			next = append(next, n)
+		}
+		level = next
+	}
+	return level[0]
+}
+
+func intSqrtCeil(n int) int {
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}
+
+// Len returns the number of indexed entries.
+func (t *Tree) Len() int { return t.size }
+
+// Nodes returns the number of tree nodes, a proxy for index pages.
+func (t *Tree) Nodes() int { return t.nodes }
+
+// Insert adds an entry.
+func (t *Tree) Insert(e Entry) {
+	split := t.insert(t.root, e)
+	if split != nil {
+		newRoot := t.newNode(false)
+		newRoot.children = []*rnode{t.root, split}
+		newRoot.recompute()
+		t.root = newRoot
+	}
+	t.size++
+}
+
+func (t *Tree) insert(n *rnode, e Entry) *rnode {
+	n.rect = n.rect.Extend(e.P)
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > t.maxEntries {
+			return t.splitLeaf(n)
+		}
+		return nil
+	}
+	best := t.chooseChild(n, e.P)
+	if split := t.insert(n.children[best], e); split != nil {
+		n.children = append(n.children, split)
+		if len(n.children) > t.maxEntries {
+			return t.splitInternal(n)
+		}
+	}
+	return nil
+}
+
+// chooseChild picks the child whose rectangle needs least enlargement.
+func (t *Tree) chooseChild(n *rnode, p geom.Point) int {
+	best, bestGrow, bestArea := 0, 0.0, 0.0
+	for i, c := range n.children {
+		grow := c.rect.Extend(p).Area() - c.rect.Area()
+		area := c.rect.Area()
+		if i == 0 || grow < bestGrow || (grow == bestGrow && area < bestArea) {
+			best, bestGrow, bestArea = i, grow, area
+		}
+	}
+	return best
+}
+
+// splitLeaf splits an overfull leaf along its longer axis at the median.
+func (t *Tree) splitLeaf(n *rnode) *rnode {
+	byX := n.rect.Max.X-n.rect.Min.X >= n.rect.Max.Y-n.rect.Min.Y
+	sort.Slice(n.entries, func(i, j int) bool {
+		if byX {
+			return n.entries[i].P.X < n.entries[j].P.X
+		}
+		return n.entries[i].P.Y < n.entries[j].P.Y
+	})
+	mid := len(n.entries) / 2
+	sib := t.newNode(true)
+	sib.entries = append([]Entry(nil), n.entries[mid:]...)
+	n.entries = n.entries[:mid:mid]
+	n.recompute()
+	sib.recompute()
+	return sib
+}
+
+func (t *Tree) splitInternal(n *rnode) *rnode {
+	byX := n.rect.Max.X-n.rect.Min.X >= n.rect.Max.Y-n.rect.Min.Y
+	sort.Slice(n.children, func(i, j int) bool {
+		ci, cj := n.children[i].rect.Center(), n.children[j].rect.Center()
+		if byX {
+			return ci.X < cj.X
+		}
+		return ci.Y < cj.Y
+	})
+	mid := len(n.children) / 2
+	sib := t.newNode(false)
+	sib.children = append([]*rnode(nil), n.children[mid:]...)
+	n.children = n.children[:mid:mid]
+	n.recompute()
+	sib.recompute()
+	return sib
+}
+
+// Delete removes the entry with the given ID at point p. It reports whether
+// the entry was found. Underflow handling is simple subtree condensation:
+// emptied nodes are pruned.
+func (t *Tree) Delete(p geom.Point, id int32) bool {
+	if !t.delete(t.root, p, id) {
+		return false
+	}
+	t.size--
+	// Collapse a root with a single internal child.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+		t.nodes--
+	}
+	if !t.root.leaf && len(t.root.children) == 0 {
+		t.root = t.newNode(true)
+	}
+	return true
+}
+
+func (t *Tree) delete(n *rnode, p geom.Point, id int32) bool {
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.ID == id && e.P == p {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				n.recompute()
+				return true
+			}
+		}
+		return false
+	}
+	for i, c := range n.children {
+		if !c.rect.Contains(p) {
+			continue
+		}
+		if t.delete(c, p, id) {
+			if (c.leaf && len(c.entries) == 0) || (!c.leaf && len(c.children) == 0) {
+				n.children = append(n.children[:i], n.children[i+1:]...)
+				t.nodes--
+			}
+			n.recompute()
+			return true
+		}
+	}
+	return false
+}
+
+// Search returns all entries within rect.
+func (t *Tree) Search(rect geom.Rect) []Entry {
+	var out []Entry
+	var walk func(n *rnode)
+	walk = func(n *rnode) {
+		if !n.rect.Intersects(rect) {
+			return
+		}
+		t.visit(n)
+		if n.leaf {
+			for _, e := range n.entries {
+				if rect.Contains(e.P) {
+					out = append(out, e)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// WithinRadius returns all entries within Euclidean distance radius of c.
+func (t *Tree) WithinRadius(c geom.Point, radius float64) []Entry {
+	box := geom.Rect{
+		Min: geom.Point{X: c.X - radius, Y: c.Y - radius},
+		Max: geom.Point{X: c.X + radius, Y: c.Y + radius},
+	}
+	var out []Entry
+	for _, e := range t.Search(box) {
+		if c.Dist(e.P) <= radius {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// NN returns the k entries nearest to q in Euclidean distance, closest
+// first, along with their distances.
+func (t *Tree) NN(q geom.Point, k int) ([]Entry, []float64) {
+	it := t.NewNNIter(q)
+	var es []Entry
+	var ds []float64
+	for len(es) < k {
+		e, d, ok := it.Next()
+		if !ok {
+			break
+		}
+		es = append(es, e)
+		ds = append(ds, d)
+	}
+	return es, ds
+}
+
+// NNIter yields indexed entries in non-decreasing Euclidean distance from a
+// query point — the incremental candidate stream of the IER algorithm.
+type NNIter struct {
+	t *Tree
+	q geom.Point
+	h pqueue.Queue
+	// NodesVisited counts internal/leaf nodes expanded, a proxy for index
+	// page reads.
+	NodesVisited int
+}
+
+type nnEntry struct {
+	e Entry
+}
+
+// NewNNIter starts an incremental nearest-neighbour scan from q.
+func (t *Tree) NewNNIter(q geom.Point) *NNIter {
+	it := &NNIter{t: t, q: q}
+	it.h.Push(t.root, t.root.rect.MinDist(q))
+	return it
+}
+
+// Next returns the next-nearest entry and its Euclidean distance.
+// ok is false when the index is exhausted.
+func (it *NNIter) Next() (Entry, float64, bool) {
+	for {
+		item, ok := it.h.Pop()
+		if !ok {
+			return Entry{}, 0, false
+		}
+		switch v := item.Value.(type) {
+		case *rnode:
+			it.NodesVisited++
+			it.t.visit(v)
+			if v.leaf {
+				for _, e := range v.entries {
+					it.h.Push(nnEntry{e}, it.q.Dist(e.P))
+				}
+			} else {
+				for _, c := range v.children {
+					it.h.Push(c, c.rect.MinDist(it.q))
+				}
+			}
+		case nnEntry:
+			return v.e, item.Priority, true
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"road/internal/geom"
+)
+
+func randomEntries(rng *rand.Rand, n int) []Entry {
+	es := make([]Entry, n)
+	for i := range es {
+		es[i] = Entry{P: geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}, ID: int32(i)}
+	}
+	return es
+}
+
+// bruteNN returns entries sorted by distance from q.
+func bruteNN(es []Entry, q geom.Point) []Entry {
+	out := append([]Entry(nil), es...)
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := q.Dist(out[i].P), q.Dist(out[j].P)
+		if di != dj {
+			return di < dj
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(0)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if es, _ := tr.NN(geom.Point{}, 3); len(es) != 0 {
+		t.Fatalf("NN on empty tree = %v", es)
+	}
+	if got := tr.WithinRadius(geom.Point{}, 10); len(got) != 0 {
+		t.Fatalf("WithinRadius on empty tree = %v", got)
+	}
+	tr2 := BulkLoad(nil, 0)
+	if tr2.Len() != 0 {
+		t.Fatal("BulkLoad(nil) not empty")
+	}
+}
+
+func TestBulkLoadAllSearchable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	es := randomEntries(rng, 1000)
+	tr := BulkLoad(es, 16)
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := tr.Search(geom.Rect{Min: geom.Point{X: -1, Y: -1}, Max: geom.Point{X: 101, Y: 101}})
+	if len(got) != 1000 {
+		t.Fatalf("full-extent search returned %d, want 1000", len(got))
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	es := randomEntries(rng, 500)
+	tr := BulkLoad(es, 8)
+	for trial := 0; trial < 50; trial++ {
+		r := geom.Rect{
+			Min: geom.Point{X: rng.Float64() * 80, Y: rng.Float64() * 80},
+		}
+		r.Max = geom.Point{X: r.Min.X + rng.Float64()*30, Y: r.Min.Y + rng.Float64()*30}
+		want := map[int32]bool{}
+		for _, e := range es {
+			if r.Contains(e.P) {
+				want[e.ID] = true
+			}
+		}
+		got := tr.Search(r)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: search returned %d, want %d", trial, len(got), len(want))
+		}
+		for _, e := range got {
+			if !want[e.ID] {
+				t.Fatalf("trial %d: unexpected entry %d", trial, e.ID)
+			}
+		}
+	}
+}
+
+func TestNNMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	es := randomEntries(rng, 300)
+	tr := BulkLoad(es, 8)
+	for trial := 0; trial < 30; trial++ {
+		q := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		want := bruteNN(es, q)
+		got, ds := tr.NN(q, 10)
+		if len(got) != 10 {
+			t.Fatalf("NN returned %d entries", len(got))
+		}
+		for i := range got {
+			if q.Dist(got[i].P) != ds[i] {
+				t.Fatalf("distance mismatch at %d", i)
+			}
+			// Compare by distance (ties may reorder IDs).
+			if ds[i] != q.Dist(want[i].P) {
+				t.Fatalf("trial %d: NN[%d] dist %g, brute %g", trial, i, ds[i], q.Dist(want[i].P))
+			}
+		}
+		// Distances must be non-decreasing.
+		for i := 1; i < len(ds); i++ {
+			if ds[i] < ds[i-1] {
+				t.Fatal("NN distances decrease")
+			}
+		}
+	}
+}
+
+func TestNNIterExhausts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	es := randomEntries(rng, 100)
+	tr := BulkLoad(es, 8)
+	it := tr.NewNNIter(geom.Point{X: 50, Y: 50})
+	count := 0
+	for {
+		_, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 100 {
+		t.Fatalf("iterator yielded %d entries, want 100", count)
+	}
+	if it.NodesVisited == 0 {
+		t.Fatal("NodesVisited not counted")
+	}
+}
+
+func TestWithinRadiusMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	es := randomEntries(rng, 400)
+	tr := BulkLoad(es, 8)
+	for trial := 0; trial < 30; trial++ {
+		c := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		radius := rng.Float64() * 30
+		want := 0
+		for _, e := range es {
+			if c.Dist(e.P) <= radius {
+				want++
+			}
+		}
+		got := tr.WithinRadius(c, radius)
+		if len(got) != want {
+			t.Fatalf("trial %d: WithinRadius = %d, want %d", trial, len(got), want)
+		}
+		for _, e := range got {
+			if c.Dist(e.P) > radius {
+				t.Fatalf("entry %d outside radius", e.ID)
+			}
+		}
+	}
+}
+
+func TestDynamicInsertMatchesBulk(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	es := randomEntries(rng, 500)
+	tr := New(8)
+	for _, e := range es {
+		tr.Insert(e)
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	q := geom.Point{X: 42, Y: 17}
+	want := bruteNN(es, q)
+	got, ds := tr.NN(q, 5)
+	for i := range got {
+		if ds[i] != q.Dist(want[i].P) {
+			t.Fatalf("NN[%d] dist %g, brute %g", i, ds[i], q.Dist(want[i].P))
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	es := randomEntries(rng, 200)
+	tr := BulkLoad(es, 8)
+	// Delete half, verify NN never returns deleted entries.
+	deleted := map[int32]bool{}
+	for i := 0; i < 100; i++ {
+		e := es[i]
+		if !tr.Delete(e.P, e.ID) {
+			t.Fatalf("Delete(%d) = false", e.ID)
+		}
+		deleted[e.ID] = true
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d after deletes", tr.Len())
+	}
+	got := tr.Search(geom.Rect{Min: geom.Point{X: -1, Y: -1}, Max: geom.Point{X: 101, Y: 101}})
+	if len(got) != 100 {
+		t.Fatalf("search after deletes = %d entries", len(got))
+	}
+	for _, e := range got {
+		if deleted[e.ID] {
+			t.Fatalf("deleted entry %d still indexed", e.ID)
+		}
+	}
+	// Deleting a non-existent entry returns false.
+	if tr.Delete(geom.Point{X: -50, Y: -50}, 9999) {
+		t.Fatal("Delete of absent entry returned true")
+	}
+}
+
+func TestDeleteAllThenReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	es := randomEntries(rng, 50)
+	tr := BulkLoad(es, 4)
+	for _, e := range es {
+		if !tr.Delete(e.P, e.ID) {
+			t.Fatalf("Delete(%d) failed", e.ID)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	tr.Insert(Entry{P: geom.Point{X: 1, Y: 1}, ID: 777})
+	got, _ := tr.NN(geom.Point{}, 1)
+	if len(got) != 1 || got[0].ID != 777 {
+		t.Fatalf("NN after reuse = %v", got)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	// Multiple entries at the same coordinates must all be retrievable.
+	tr := New(4)
+	p := geom.Point{X: 5, Y: 5}
+	for i := int32(0); i < 10; i++ {
+		tr.Insert(Entry{P: p, ID: i})
+	}
+	got := tr.WithinRadius(p, 0.001)
+	if len(got) != 10 {
+		t.Fatalf("duplicate-point search = %d entries, want 10", len(got))
+	}
+}

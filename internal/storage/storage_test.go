@@ -1,0 +1,259 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"road/internal/geom"
+	"road/internal/graph"
+)
+
+func TestLRUHitMiss(t *testing.T) {
+	s := NewStore(2)
+	p := s.Alloc(3)
+	s.Read(p)     // miss
+	s.Read(p)     // hit
+	s.Read(p + 1) // miss
+	s.Read(p)     // hit
+	s.Read(p + 2) // miss, evicts p+1 (LRU)
+	s.Read(p + 1) // miss
+	st := s.Stats()
+	if st.Reads != 6 {
+		t.Fatalf("Reads = %d, want 6", st.Reads)
+	}
+	if st.Faults != 4 {
+		t.Fatalf("Faults = %d, want 4", st.Faults)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	s := NewStore(2)
+	p := s.Alloc(3)
+	s.Read(p)
+	s.Read(p + 1)
+	s.Read(p) // p becomes MRU; p+1 is LRU
+	s.Read(p + 2)
+	if s.Cached(p + 1) {
+		t.Fatal("LRU page p+1 not evicted")
+	}
+	if !s.Cached(p) || !s.Cached(p+2) {
+		t.Fatal("MRU pages evicted")
+	}
+}
+
+func TestLRUAgainstReferenceSimulator(t *testing.T) {
+	// Drive random accesses against a slow but obviously correct simulator.
+	const capacity = 8
+	s := NewStore(capacity)
+	base := s.Alloc(32)
+	var ref []PageID // ref[0] is MRU
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 5000; i++ {
+		p := base + PageID(rng.Intn(32))
+		before := s.Stats().Faults
+		s.Read(p)
+		faulted := s.Stats().Faults > before
+
+		// Reference model.
+		idx := -1
+		for j, q := range ref {
+			if q == p {
+				idx = j
+				break
+			}
+		}
+		wantFault := idx == -1
+		if idx >= 0 {
+			ref = append(ref[:idx], ref[idx+1:]...)
+		} else if len(ref) == capacity {
+			ref = ref[:capacity-1]
+		}
+		ref = append([]PageID{p}, ref...)
+
+		if faulted != wantFault {
+			t.Fatalf("access %d page %d: fault=%v want %v", i, p, faulted, wantFault)
+		}
+	}
+}
+
+func TestStoreWriteCountsAndCaches(t *testing.T) {
+	s := NewStore(4)
+	p := s.Alloc(1)
+	s.Write(p)
+	s.Write(p)
+	if st := s.Stats(); st.Writes != 2 {
+		t.Fatalf("Writes = %d, want 2", st.Writes)
+	}
+	// Written page should now be a buffer hit.
+	before := s.Stats().Faults
+	s.Read(p)
+	if s.Stats().Faults != before {
+		t.Fatal("read after write faulted; write should admit page to buffer")
+	}
+}
+
+func TestDropCache(t *testing.T) {
+	s := NewStore(4)
+	p := s.Alloc(1)
+	s.Read(p)
+	s.DropCache()
+	before := s.Stats().Faults
+	s.Read(p)
+	if s.Stats().Faults != before+1 {
+		t.Fatal("read after DropCache did not fault")
+	}
+}
+
+func TestStatsSubAndReset(t *testing.T) {
+	s := NewStore(4)
+	p := s.Alloc(2)
+	s.Read(p)
+	mark := s.Stats()
+	s.Read(p + 1)
+	s.Write(p)
+	d := s.Stats().Sub(mark)
+	if d.Reads != 1 || d.Faults != 1 || d.Writes != 1 {
+		t.Fatalf("delta = %+v", d)
+	}
+	s.ResetStats()
+	if s.Stats() != (Stats{}) {
+		t.Fatalf("stats after reset = %+v", s.Stats())
+	}
+}
+
+func TestZeroCapacityBufferAlwaysFaults(t *testing.T) {
+	s := NewStore(-1) // negative capacity: buffer disabled
+	p := s.Alloc(1)
+	s.Read(p)
+	s.Read(p)
+	if st := s.Stats(); st.Faults != 2 {
+		t.Fatalf("Faults = %d, want 2 with no buffer", st.Faults)
+	}
+}
+
+func TestLayoutPacksSmallRecords(t *testing.T) {
+	s := NewStore(4)
+	l := NewLayout(s)
+	// 4 records of 1000 bytes fit in one 4096-byte page; the 5th spills.
+	var pages []PageID
+	for k := int64(0); k < 5; k++ {
+		pages = append(pages, l.Place(k, 1000))
+	}
+	if pages[0] != pages[3] {
+		t.Fatalf("first four records on pages %v, want same page", pages[:4])
+	}
+	if pages[4] == pages[0] {
+		t.Fatal("fifth record did not spill to a new page")
+	}
+	if l.Bytes() != 5000 {
+		t.Fatalf("Bytes = %d, want 5000", l.Bytes())
+	}
+}
+
+func TestLayoutLargeRecordSpansPages(t *testing.T) {
+	s := NewStore(4)
+	l := NewLayout(s)
+	l.Place(1, PageSize*2+100) // spans 3 pages
+	if got := l.Pages(1); got != 3 {
+		t.Fatalf("Pages = %d, want 3", got)
+	}
+	before := s.Stats()
+	l.Read(1)
+	d := s.Stats().Sub(before)
+	if d.Reads != 3 {
+		t.Fatalf("Reads for spanning record = %d, want 3", d.Reads)
+	}
+}
+
+func TestLayoutUnknownKeyNoop(t *testing.T) {
+	s := NewStore(4)
+	l := NewLayout(s)
+	l.Read(42)
+	l.Write(42)
+	if st := s.Stats(); st.Reads != 0 || st.Writes != 0 {
+		t.Fatalf("unknown key performed I/O: %+v", st)
+	}
+	if l.Has(42) {
+		t.Fatal("Has(42) true for unplaced key")
+	}
+	if l.Pages(42) != 0 {
+		t.Fatal("Pages(42) nonzero for unplaced key")
+	}
+}
+
+func TestLayoutDuplicateKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate key did not panic")
+		}
+	}()
+	s := NewStore(4)
+	l := NewLayout(s)
+	l.Place(1, 10)
+	l.Place(1, 10)
+}
+
+func TestLayoutZeroSizeRecord(t *testing.T) {
+	s := NewStore(4)
+	l := NewLayout(s)
+	l.Place(7, 0)
+	if !l.Has(7) {
+		t.Fatal("zero-size record not addressable")
+	}
+	before := s.Stats()
+	l.Read(7)
+	if s.Stats().Sub(before).Reads != 1 {
+		t.Fatal("zero-size record read did not touch its page")
+	}
+}
+
+func TestLayoutWriteTouchesAllPages(t *testing.T) {
+	s := NewStore(8)
+	l := NewLayout(s)
+	l.Place(1, PageSize+1) // 2 pages
+	before := s.Stats()
+	l.Write(1)
+	if d := s.Stats().Sub(before); d.Writes != 2 {
+		t.Fatalf("Writes = %d, want 2", d.Writes)
+	}
+}
+
+func TestClusterNodesIsPermutation(t *testing.T) {
+	g := graph.New(0, 0)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		g.AddNode(geom.Point{X: rng.Float64() * 50, Y: rng.Float64() * 50})
+	}
+	order := ClusterNodes(g)
+	if len(order) != 200 {
+		t.Fatalf("order len = %d", len(order))
+	}
+	seen := make(map[graph.NodeID]bool)
+	for _, id := range order {
+		if seen[id] {
+			t.Fatalf("node %d appears twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestClusterNodesLocality(t *testing.T) {
+	// Consecutive nodes in cluster order should on average be much closer
+	// than random pairs.
+	g := graph.New(0, 0)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 1000; i++ {
+		g.AddNode(geom.Point{X: rng.Float64(), Y: rng.Float64()})
+	}
+	order := ClusterNodes(g)
+	var adjSum, randSum float64
+	for i := 1; i < len(order); i++ {
+		adjSum += g.Coord(order[i-1]).Dist(g.Coord(order[i]))
+		a := graph.NodeID(rng.Intn(1000))
+		b := graph.NodeID(rng.Intn(1000))
+		randSum += g.Coord(a).Dist(g.Coord(b))
+	}
+	if adjSum*2 >= randSum {
+		t.Fatalf("cluster order locality weak: adjacent sum %g vs random sum %g", adjSum, randSum)
+	}
+}

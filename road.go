@@ -1,0 +1,259 @@
+// Package road is a Go implementation of ROAD — the Route-Overlay /
+// Association-Directory framework for fast object search on road networks
+// (Lee, Lee, Zheng; EDBT 2009).
+//
+// ROAD evaluates location-dependent spatial queries — k-nearest-neighbour
+// and range search over points of interest — on large road networks. The
+// network is recursively partitioned into regional sub-networks (Rnets)
+// augmented with shortcuts (precomputed shortest paths between region
+// border nodes) and object abstracts (summaries of the objects inside each
+// region). A search expands from the query point like Dijkstra, but hops
+// over entire object-free regions via shortcuts instead of crawling them
+// edge by edge.
+//
+// Quick start:
+//
+//	b := road.NewNetworkBuilder()
+//	a := b.AddNode(0, 0)
+//	c := b.AddNode(1, 0)
+//	e, _ := b.AddRoad(a, c, 1.5)
+//	db, _ := road.Open(b, road.Options{})
+//	db.AddObject(e, 0.5, 0)              // a POI mid-road
+//	hits, _ := db.KNN(a, 1, road.AnyAttr)
+//
+// The db separates the network from the objects: road closures, distance
+// (or travel-time) changes and object churn are all incremental.
+package road
+
+import (
+	"fmt"
+
+	"road/internal/core"
+	"road/internal/geom"
+	"road/internal/graph"
+	"road/internal/rnet"
+)
+
+// Re-exported identifier types.
+type (
+	// NodeID identifies a road intersection.
+	NodeID = graph.NodeID
+	// EdgeID identifies a road segment.
+	EdgeID = graph.EdgeID
+	// ObjectID identifies a spatial object (point of interest).
+	ObjectID = graph.ObjectID
+	// Object is a spatial object placed on a road segment.
+	Object = graph.Object
+	// Result is one query answer: an object and its network distance.
+	Result = core.Result
+	// Stats reports per-query traversal and I/O cost.
+	Stats = core.QueryStats
+	// AbstractKind selects the object-abstract representation.
+	AbstractKind = core.AbstractKind
+)
+
+// Abstract representation choices (see core package for trade-offs).
+const (
+	AbstractSet   = core.AbstractSet
+	AbstractCount = core.AbstractCount
+	AbstractBloom = core.AbstractBloom
+)
+
+// AnyAttr matches objects of every attribute category.
+const AnyAttr int32 = 0
+
+// NetworkBuilder accumulates a road network prior to Open.
+type NetworkBuilder struct {
+	g *graph.Graph
+}
+
+// NewNetworkBuilder returns an empty builder.
+func NewNetworkBuilder() *NetworkBuilder {
+	return &NetworkBuilder{g: graph.New(0, 0)}
+}
+
+// FromGraph wraps an existing graph (e.g. from the dataset generators)
+// in a builder.
+func FromGraph(g *graph.Graph) *NetworkBuilder {
+	return &NetworkBuilder{g: g}
+}
+
+// AddNode adds an intersection at map position (x, y) and returns its ID.
+func (b *NetworkBuilder) AddNode(x, y float64) NodeID {
+	return b.g.AddNode(geom.Point{X: x, Y: y})
+}
+
+// AddRoad adds a bidirectional road segment of the given positive distance
+// (travel distance, trip time, or toll — any positive metric).
+func (b *NetworkBuilder) AddRoad(u, v NodeID, dist float64) (EdgeID, error) {
+	return b.g.AddEdge(u, v, dist)
+}
+
+// NumNodes returns the number of intersections added so far.
+func (b *NetworkBuilder) NumNodes() int { return b.g.NumNodes() }
+
+// NumRoads returns the number of segments added so far.
+func (b *NetworkBuilder) NumRoads() int { return b.g.NumEdges() }
+
+// Options tunes DB construction. The zero value picks sensible defaults
+// (fanout 4 and a depth suited to the network size, per the paper).
+type Options struct {
+	// Fanout is the partitioning factor p (power of two ≥ 2; default 4).
+	Fanout int
+	// Levels is the Rnet hierarchy depth l (default 4, or 8 for networks
+	// of 50k+ nodes).
+	Levels int
+	// Abstract selects the object-abstract representation
+	// (default AbstractSet).
+	Abstract AbstractKind
+	// StorePaths retains shortcut waypoints so result paths can be
+	// reconstructed (costs memory).
+	StorePaths bool
+	// DisableIOSim turns off the simulated page store (slightly faster,
+	// no Stats.IO reporting).
+	DisableIOSim bool
+	// Seed makes partitioning deterministic across runs (default 0).
+	Seed int64
+}
+
+// DB is an opened ROAD database: one road network with its Rnet hierarchy,
+// Route Overlay, and a primary object directory.
+type DB struct {
+	f *core.Framework
+}
+
+// Open builds the ROAD index over the builder's network. The builder's
+// network is adopted by the DB; further mutation must go through DB
+// methods.
+func Open(b *NetworkBuilder, opts Options) (*DB, error) {
+	if b.g.NumNodes() < 2 {
+		return nil, fmt.Errorf("road: network needs at least 2 nodes, has %d", b.g.NumNodes())
+	}
+	rcfg := rnet.DefaultConfig(b.g.NumNodes())
+	if opts.Fanout != 0 {
+		rcfg.Fanout = opts.Fanout
+	}
+	if opts.Levels != 0 {
+		rcfg.Levels = opts.Levels
+	}
+	rcfg.StorePaths = opts.StorePaths
+	rcfg.Seed = opts.Seed
+	cfg := core.Config{Rnet: rcfg, Abstract: opts.Abstract}
+	if opts.DisableIOSim {
+		cfg.BufferPages = -1
+	}
+	objects := graph.NewObjectSet(b.g)
+	f, err := core.Build(b.g, objects, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{f: f}, nil
+}
+
+// OpenWithObjects builds the ROAD index with a pre-populated object set
+// (which must be bound to the builder's graph).
+func OpenWithObjects(b *NetworkBuilder, objects *graph.ObjectSet, opts Options) (*DB, error) {
+	if objects.Graph() != b.g {
+		return nil, fmt.Errorf("road: object set bound to a different network")
+	}
+	db, err := Open(b, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild with the provided set: Open built an empty directory; attach
+	// the real one as primary.
+	db.f = replaceObjects(db.f, objects, opts)
+	return db, nil
+}
+
+func replaceObjects(f *core.Framework, objects *graph.ObjectSet, opts Options) *core.Framework {
+	// The hierarchy and overlay are object-independent; only the directory
+	// is rebuilt — this is exactly the separation ROAD advertises.
+	return core.Rebind(f, objects, opts.Abstract)
+}
+
+// Framework exposes the underlying core framework for advanced use
+// (benchmark harnesses, ablations).
+func (db *DB) Framework() *core.Framework { return db.f }
+
+// AddObject places an object on road e at distance offset from the road's
+// U endpoint, with an attribute category (use 0 for "untyped").
+func (db *DB) AddObject(e EdgeID, offset float64, attr int32) (Object, error) {
+	return db.f.InsertObject(e, offset, attr)
+}
+
+// RemoveObject deletes an object.
+func (db *DB) RemoveObject(id ObjectID) error { return db.f.DeleteObject(id) }
+
+// SetObjectAttr changes an object's attribute category.
+func (db *DB) SetObjectAttr(id ObjectID, attr int32) error {
+	return db.f.UpdateObjectAttr(id, attr)
+}
+
+// KNN returns the k objects with attribute attr (AnyAttr for all) nearest
+// to the given intersection, closest first.
+func (db *DB) KNN(from NodeID, k int, attr int32) ([]Result, Stats) {
+	return db.f.KNN(core.Query{Node: from, Attr: attr}, k)
+}
+
+// Within returns all matching objects within network distance radius of
+// the given intersection, closest first.
+func (db *DB) Within(from NodeID, radius float64, attr int32) ([]Result, Stats) {
+	return db.f.Range(core.Query{Node: from, Attr: attr}, radius)
+}
+
+// SetRoadDistance changes a road's distance metric (e.g. travel time under
+// new traffic conditions); the index repairs itself incrementally.
+func (db *DB) SetRoadDistance(e EdgeID, dist float64) error {
+	_, err := db.f.SetEdgeWeight(e, dist)
+	return err
+}
+
+// AddRoad inserts a new road segment between existing intersections.
+func (db *DB) AddRoad(u, v NodeID, dist float64) (EdgeID, error) {
+	e, _, err := db.f.AddEdge(u, v, dist)
+	return e, err
+}
+
+// CloseRoad removes a road segment (objects on it are dropped).
+func (db *DB) CloseRoad(e EdgeID) error {
+	_, err := db.f.DeleteEdge(e)
+	return err
+}
+
+// ReopenRoad restores a previously closed road segment.
+func (db *DB) ReopenRoad(e EdgeID) error {
+	_, err := db.f.RestoreEdge(e)
+	return err
+}
+
+// IndexSizeBytes estimates total index storage.
+func (db *DB) IndexSizeBytes() int64 { return db.f.IndexSizeBytes() }
+
+// PathTo returns the detailed shortest route (as a node sequence) from an
+// intersection to an object, plus its network distance. Requires the DB to
+// have been opened with Options.StorePaths; shortcut hops taken during the
+// search are expanded recursively into physical intersections.
+func (db *DB) PathTo(from NodeID, obj ObjectID) ([]NodeID, float64, error) {
+	return db.f.PathTo(core.Query{Node: from}, obj)
+}
+
+// Session is an independent read-only query context; any number of
+// Sessions may query concurrently (I/O simulation is skipped in sessions).
+// Sessions must not overlap with maintenance calls on the same DB.
+type Session struct {
+	s *core.Session
+}
+
+// NewSession returns a concurrent query context.
+func (db *DB) NewSession() *Session { return &Session{s: db.f.NewSession()} }
+
+// KNN is the session variant of DB.KNN.
+func (s *Session) KNN(from NodeID, k int, attr int32) ([]Result, Stats) {
+	return s.s.KNN(core.Query{Node: from, Attr: attr}, k)
+}
+
+// Within is the session variant of DB.Within.
+func (s *Session) Within(from NodeID, radius float64, attr int32) ([]Result, Stats) {
+	return s.s.Range(core.Query{Node: from, Attr: attr}, radius)
+}
