@@ -1,5 +1,8 @@
 // Command roadbench regenerates the paper's evaluation (§6): every table
-// and figure, or a selected subset, printed as aligned text tables.
+// and figure, or a selected subset, printed as aligned text tables. With
+// -serve it instead benchmarks the roadd serving subsystem in-process
+// (load generator against an ephemeral HTTP server) and writes a
+// machine-readable BENCH_serve.json for the perf trajectory.
 //
 // Usage:
 //
@@ -8,15 +11,22 @@
 //	roadbench -list            # list experiment IDs
 //	roadbench -full            # paper-scale NA/SF (slower)
 //	roadbench -queries 100 -trials 100   # the paper's workload sizes
+//	roadbench -serve           # serving benchmark -> BENCH_serve.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
+	"road"
 	"road/internal/bench"
+	"road/internal/dataset"
+	"road/internal/server"
 )
 
 func main() {
@@ -27,8 +37,24 @@ func main() {
 		queries = flag.Int("queries", 50, "queries per data point")
 		trials  = flag.Int("trials", 20, "trials per update experiment")
 		budget  = flag.Float64("budget", 30, "soft per-approach seconds budget for update trials")
+
+		serve       = flag.Bool("serve", false, "benchmark the roadd serving subsystem instead of the paper experiments")
+		out         = flag.String("out", "BENCH_serve.json", "serve mode: output file")
+		scale       = flag.Float64("scale", 0.25, "serve mode: CA network scale factor (0,1]")
+		objects     = flag.Int("objects", 2000, "serve mode: objects placed uniformly")
+		concurrency = flag.Int("concurrency", 8, "serve mode: load-generator workers")
+		duration    = flag.Duration("duration", 5*time.Second, "serve mode: load length per mix")
+		cacheSize   = flag.Int("cache", 0, "serve mode: result cache entries (negative disables)")
 	)
 	flag.Parse()
+
+	if *serve {
+		if err := runServeBench(*scale, *objects, *concurrency, *duration, *cacheSize, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "roadbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range bench.Order {
@@ -62,4 +88,105 @@ func main() {
 		tbl.Fprint(os.Stdout)
 		fmt.Printf("[%s completed in %v]\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// serveBenchResult is the schema of BENCH_serve.json: one serving
+// benchmark run per workload mix against a single in-process roadd.
+type serveBenchResult struct {
+	GeneratedUnix int64   `json:"generated_unix"`
+	Network       string  `json:"network"`
+	Scale         float64 `json:"scale"`
+	Nodes         int     `json:"nodes"`
+	Edges         int     `json:"edges"`
+	Objects       int     `json:"objects"`
+	BuildMS       int64   `json:"build_ms"`
+	IndexKB       int64   `json:"index_kb"`
+	CacheEntries  int     `json:"cache_entries"`
+	Runs          []server.LoadReport `json:"runs"`
+}
+
+// runServeBench builds a scaled CA index, serves it on an ephemeral
+// localhost port, drives the load generator through each workload mix,
+// and writes the aggregate report to outPath.
+func runServeBench(scale float64, objects, concurrency int, duration time.Duration, cacheSize int, outPath string) error {
+	spec := dataset.Scaled(dataset.CA(), scale)
+	fmt.Printf("serve bench: generating %s ×%.2f (%d nodes)...\n", spec.Name, scale, spec.Nodes)
+	g := dataset.MustGenerate(spec)
+	set := dataset.PlaceUniform(g, objects, 1, 0, 1, 2, 3)
+
+	buildStart := time.Now()
+	db, err := road.OpenWithObjects(road.FromGraph(g), set, road.Options{Seed: 1})
+	if err != nil {
+		return err
+	}
+	buildMS := time.Since(buildStart).Milliseconds()
+	fmt.Printf("serve bench: built in %dms, index ≈ %d KB\n", buildMS, db.IndexSizeBytes()/1024)
+
+	// Record the capacity the server actually resolves, not the raw flag.
+	effCache := cacheSize
+	switch {
+	case effCache < 0:
+		effCache = 0
+	case effCache == 0:
+		effCache = server.DefaultCacheSize
+	}
+
+	srv := server.New(db, server.Options{CacheSize: cacheSize})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	target := "http://" + ln.Addr().String()
+
+	// A radius that keeps range queries selective at any scale: ~2% of
+	// the network diameter.
+	radius := g.EstimateDiameter() * 0.02
+
+	result := serveBenchResult{
+		GeneratedUnix: time.Now().Unix(),
+		Network:       spec.Name,
+		Scale:         scale,
+		Nodes:         g.NumNodes(),
+		Edges:         g.NumEdges(),
+		Objects:       set.Len(),
+		BuildMS:       buildMS,
+		IndexKB:       db.IndexSizeBytes() / 1024,
+		CacheEntries:  effCache,
+	}
+	for _, mix := range []string{"knn", "within", "mixed"} {
+		report, err := server.RunLoad(server.LoadOptions{
+			Target:      target,
+			Concurrency: concurrency,
+			Duration:    duration,
+			Mix:         mix,
+			K:           5,
+			Radius:      radius,
+			Seed:        1,
+		})
+		if err != nil {
+			return fmt.Errorf("load run %q: %w", mix, err)
+		}
+		fmt.Printf("serve bench: %-6s %8.0f qps  p50 %6dµs  p99 %6dµs  hit rate %4.1f%%\n",
+			mix, report.QPS, report.P50US, report.P99US, 100*report.CacheHitRate)
+		result.Runs = append(result.Runs, report)
+	}
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(result); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("serve bench: wrote %s\n", outPath)
+	return nil
 }

@@ -1,0 +1,110 @@
+// Command roadd serves a ROAD index over HTTP/JSON: concurrent kNN /
+// range / path queries on pooled sessions, epoch-guarded maintenance
+// (edge re-weighting, road closures, object churn), an LRU result cache
+// invalidated by maintenance, and a /stats endpoint.
+//
+// Usage:
+//
+//	roadd -net CA -objects 1000                 # synthetic network
+//	roadd -load network.csv -addr :8080         # roadgen CSV
+//
+// Endpoints (see internal/server for the full reference):
+//
+//	GET  /knn?node=N&k=K[&attr=A]
+//	GET  /within?node=N&radius=R[&attr=A]
+//	GET  /path?node=N&object=O
+//	POST /maintenance/{set-distance,close,reopen,add-road,
+//	                   insert-object,delete-object,set-attr}
+//	GET  /stats
+//	GET  /healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"road"
+	"road/internal/dataset"
+	"road/internal/graph"
+	"road/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7070", "listen address")
+		load       = flag.String("load", "", "load network+objects from a roadgen CSV file instead of generating")
+		net        = flag.String("net", "CA", "synthetic network: CA, NA or SF")
+		scale      = flag.Float64("scale", 1, "network scale factor (0,1]")
+		objects    = flag.Int("objects", 1000, "objects placed uniformly when generating")
+		levels     = flag.Int("levels", 0, "Rnet hierarchy depth (0 = default)")
+		seed       = flag.Int64("seed", 1, "placement seed")
+		cacheSize  = flag.Int("cache", 0, "result cache entries (0 = default, negative disables)")
+		storePaths = flag.Bool("paths", true, "retain shortcut waypoints so /path works (costs memory)")
+	)
+	flag.Parse()
+
+	g, set, err := loadOrGenerate(*load, *net, *scale, *objects, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roadd:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("roadd: building index over %d nodes, %d edges, %d objects...\n",
+		g.NumNodes(), g.NumEdges(), set.Len())
+	start := time.Now()
+	db, err := road.OpenWithObjects(road.FromGraph(g), set, road.Options{
+		Levels:     *levels,
+		StorePaths: *storePaths,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roadd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("roadd: built in %v, index ≈ %d KB\n",
+		time.Since(start).Round(time.Millisecond), db.IndexSizeBytes()/1024)
+
+	srv := server.New(db, server.Options{CacheSize: *cacheSize})
+	fmt.Printf("roadd: serving on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "roadd:", err)
+		os.Exit(1)
+	}
+}
+
+func loadOrGenerate(load, netName string, scale float64, objects int, seed int64) (*graph.Graph, *graph.ObjectSet, error) {
+	if load != "" {
+		file, err := os.Open(load)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer file.Close()
+		g, set, err := dataset.ReadCSV(file)
+		if err != nil {
+			return nil, nil, err
+		}
+		if set.Len() == 0 {
+			set = dataset.PlaceUniform(g, objects, seed, 0, 1, 2, 3)
+		}
+		return g, set, nil
+	}
+	var spec dataset.Spec
+	switch netName {
+	case "CA":
+		spec = dataset.CA()
+	case "NA":
+		spec = dataset.NA()
+	case "SF":
+		spec = dataset.SF()
+	default:
+		return nil, nil, fmt.Errorf("unknown network %q (want CA, NA or SF)", netName)
+	}
+	if scale != 1 {
+		spec = dataset.Scaled(spec, scale)
+	}
+	g := dataset.MustGenerate(spec)
+	return g, dataset.PlaceUniform(g, objects, seed, 0, 1, 2, 3), nil
+}

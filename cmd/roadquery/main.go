@@ -1,17 +1,22 @@
 // Command roadquery builds a ROAD index over a synthetic network and
 // answers ad-hoc queries from the command line — a minimal interactive
-// demonstration of the framework.
+// demonstration of the framework — or, with -target, generates query
+// load against a running roadd server and reports throughput/latency.
 //
 // Usage:
 //
 //	roadquery -net CA -objects 100 -knn 5 -from 1234
 //	roadquery -net CA -objects 100 -range 0.1 -from 1234
+//	roadquery -net CA -objects 100 -knn 5 -json      # machine-readable
+//	roadquery -target http://localhost:7070 -concurrency 16 -duration 10s
 //
 // -from defaults to a random node; -range is a fraction of the network
-// diameter.
+// diameter. -json switches both query answers and load reports to the
+// same JSON encoding roadd serves.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,7 +26,12 @@ import (
 	"road/internal/dataset"
 	"road/internal/graph"
 	"road/internal/rnet"
+	"road/internal/server"
 )
+
+// logf writes progress chatter; in -json mode it goes to stderr so stdout
+// stays a single machine-readable document.
+var logf = func(format string, args ...any) { fmt.Printf(format, args...) }
 
 func main() {
 	var (
@@ -35,8 +45,47 @@ func main() {
 		attr    = flag.Int("attr", 0, "attribute predicate (0 = any)")
 		levels  = flag.Int("levels", 0, "Rnet hierarchy depth (0 = default)")
 		seed    = flag.Int64("seed", 1, "placement/query seed")
+		jsonOut = flag.Bool("json", false, "emit machine-readable JSON (roadd's wire encoding)")
+
+		target      = flag.String("target", "", "load-generator mode: base URL of a roadd server")
+		concurrency = flag.Int("concurrency", 8, "load generator: parallel workers")
+		duration    = flag.Duration("duration", 5*time.Second, "load generator: run length")
+		requests    = flag.Int("requests", 0, "load generator: total request cap (overrides -duration)")
+		mix         = flag.String("mix", "mixed", "load generator: knn, within or mixed")
+		radius      = flag.Float64("radius", 0.05, "load generator: within-query radius (network units)")
 	)
 	flag.Parse()
+
+	if *target != "" {
+		report, err := server.RunLoad(server.LoadOptions{
+			Target:      *target,
+			Concurrency: *concurrency,
+			Duration:    *duration,
+			Requests:    *requests,
+			Mix:         *mix,
+			K:           max(*knn, 0),
+			Radius:      *radius,
+			Attr:        int32(*attr),
+			Seed:        *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roadquery:", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			json.NewEncoder(os.Stdout).Encode(report)
+			return
+		}
+		fmt.Printf("%s against %s: %d requests (%d errors) in %.2fs = %.0f qps\n",
+			report.Mix, report.Target, report.Requests, report.Errors, report.Seconds, report.QPS)
+		fmt.Printf("latency: mean %.0fµs  p50 %dµs  p90 %dµs  p99 %dµs  max %dµs  cache hit rate %.1f%%\n",
+			report.MeanUS, report.P50US, report.P90US, report.P99US, report.MaxUS, 100*report.CacheHitRate)
+		return
+	}
+
+	if *jsonOut {
+		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format, args...) }
+	}
 
 	var g *graph.Graph
 	var set *graph.ObjectSet
@@ -52,7 +101,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "roadquery:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("loaded %s (%d nodes, %d edges, %d objects)\n",
+		logf("loaded %s (%d nodes, %d edges, %d objects)\n",
 			*load, g.NumNodes(), g.NumEdges(), set.Len())
 		if set.Len() == 0 {
 			set = dataset.PlaceUniform(g, *objects, *seed, 0, 1, 2, 3)
@@ -73,7 +122,7 @@ func main() {
 		if *scale != 1 {
 			spec = dataset.Scaled(spec, *scale)
 		}
-		fmt.Printf("generating %s (%d nodes, %d edges)...\n", spec.Name, spec.Nodes, spec.Edges)
+		logf("generating %s (%d nodes, %d edges)...\n", spec.Name, spec.Nodes, spec.Edges)
 		g = dataset.MustGenerate(spec)
 		set = dataset.PlaceUniform(g, *objects, *seed, 0, 1, 2, 3)
 	}
@@ -82,14 +131,14 @@ func main() {
 	if *levels != 0 {
 		rcfg.Levels = *levels
 	}
-	fmt.Printf("building ROAD (p=%d, l=%d)...\n", rcfg.Fanout, rcfg.Levels)
+	logf("building ROAD (p=%d, l=%d)...\n", rcfg.Fanout, rcfg.Levels)
 	start := time.Now()
 	f, err := core.Build(g, set, core.Config{Rnet: rcfg})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "roadquery:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("built in %v: %d Rnets, %d shortcuts, index ≈ %d KB\n",
+	logf("built in %v: %d Rnets, %d shortcuts, index ≈ %d KB\n",
 		time.Since(start).Round(time.Millisecond), f.Hierarchy().NumRnets(),
 		f.Hierarchy().ShortcutCount(), f.IndexSizeBytes()/1024)
 
@@ -103,20 +152,30 @@ func main() {
 	case *knn > 0:
 		start = time.Now()
 		res, st := f.KNN(q, *knn)
-		report(res, st, time.Since(start), qnode)
+		report(res, st, time.Since(start), qnode, *jsonOut)
 	case *rangeFr > 0:
 		radius := g.EstimateDiameter() * *rangeFr
-		fmt.Printf("range radius: %.3f\n", radius)
+		logf("range radius: %.3f\n", radius)
 		start = time.Now()
 		res, st := f.Range(q, radius)
-		report(res, st, time.Since(start), qnode)
+		report(res, st, time.Since(start), qnode, *jsonOut)
 	default:
-		fmt.Fprintln(os.Stderr, "roadquery: pass -knn K or -range FRACTION")
+		fmt.Fprintln(os.Stderr, "roadquery: pass -knn K or -range FRACTION, or -target URL")
 		os.Exit(2)
 	}
 }
 
-func report(res []core.Result, st core.QueryStats, elapsed time.Duration, q graph.NodeID) {
+func report(res []core.Result, st core.QueryStats, elapsed time.Duration, q graph.NodeID, jsonOut bool) {
+	if jsonOut {
+		out := server.QueryResponse{
+			Node:      q,
+			Results:   server.EncodeResults(res),
+			Stats:     server.EncodeStats(st),
+			ElapsedUS: elapsed.Microseconds(),
+		}
+		json.NewEncoder(os.Stdout).Encode(out)
+		return
+	}
 	fmt.Printf("query node %d -> %d results in %v (%d nodes settled, %d Rnets bypassed, %d page reads)\n",
 		q, len(res), elapsed.Round(time.Microsecond), st.NodesPopped, st.RnetsBypassed, st.IO.Reads)
 	for i, r := range res {

@@ -1,0 +1,3 @@
+module road
+
+go 1.24

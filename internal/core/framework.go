@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"road/internal/graph"
@@ -41,6 +42,7 @@ type Framework struct {
 	store   *storage.Store
 	qws     *queryWorkspace
 	prewarm prewarmOnce
+	epoch   atomic.Uint64
 
 	// BuildTime records how long construction took (the paper's index
 	// construction time metric).
@@ -137,6 +139,31 @@ func (f *Framework) DropCache() {
 	}
 }
 
+// Epoch returns the framework's maintenance epoch: a counter incremented
+// by every successful mutation (object churn, edge weight changes, road
+// closures). Readers that cached derived results — query answers, plans —
+// can compare epochs to detect staleness. The counter itself is safe to
+// read concurrently; coordinating queries against the mutations it counts
+// is the caller's job (see Session and road's serving layer).
+func (f *Framework) Epoch() uint64 { return f.epoch.Load() }
+
+// bumpEpoch marks a completed mutation.
+func (f *Framework) bumpEpoch() { f.epoch.Add(1) }
+
+// WarmTrees materializes every node's shortcut tree. Maintenance
+// operations invalidate the trees of affected nodes, and an invalidated
+// tree is otherwise rebuilt lazily on first access — a hidden write that
+// would race with concurrent session queries. A serving layer that
+// interleaves maintenance with concurrent sessions must call WarmTrees
+// after each mutation, while still excluding readers, so the read path
+// never mutates shared state. Warm trees are skipped with a pointer
+// check, so the call is cheap when little was invalidated.
+func (f *Framework) WarmTrees() {
+	for n := 0; n < f.g.NumNodes(); n++ {
+		f.h.Tree(graph.NodeID(n))
+	}
+}
+
 // --- Object maintenance (§5.1) ---
 
 // InsertObject places a new object on edge e at offset du from the edge's
@@ -147,6 +174,7 @@ func (f *Framework) InsertObject(e graph.EdgeID, du float64, attr int32) (graph.
 		return graph.Object{}, err
 	}
 	f.ad.Insert(o)
+	f.bumpEpoch()
 	return o, nil
 }
 
@@ -158,6 +186,7 @@ func (f *Framework) DeleteObject(id graph.ObjectID) error {
 	}
 	f.ad.Remove(o)
 	f.objects.Remove(id)
+	f.bumpEpoch()
 	return nil
 }
 
@@ -169,6 +198,7 @@ func (f *Framework) UpdateObjectAttr(id graph.ObjectID, attr int32) error {
 	}
 	f.ad.UpdateAttr(o, attr)
 	f.objects.SetAttr(id, attr)
+	f.bumpEpoch()
 	return nil
 }
 
@@ -195,6 +225,9 @@ func (f *Framework) SetEdgeWeight(e graph.EdgeID, w float64) (rnet.UpdateResult,
 		}
 		return res, err
 	}
+	// Bump before reattaching: the hierarchy is already mutated, so even
+	// the partial-failure return below must invalidate cached answers.
+	f.bumpEpoch()
 	for _, o := range detached {
 		factor := 1.0
 		if oldW := o.DU + o.DV; oldW > 0 {
@@ -212,7 +245,11 @@ func (f *Framework) SetEdgeWeight(e graph.EdgeID, w float64) (rnet.UpdateResult,
 // AddEdge inserts a new road segment between existing nodes and repairs
 // the hierarchy (border promotion, new shortcuts).
 func (f *Framework) AddEdge(u, v graph.NodeID, w float64) (graph.EdgeID, rnet.UpdateResult, error) {
-	return f.h.AddEdge(u, v, w)
+	e, res, err := f.h.AddEdge(u, v, w)
+	if err == nil {
+		f.bumpEpoch()
+	}
+	return e, res, err
 }
 
 // DeleteEdge removes a road segment. Objects residing on it are deleted
@@ -224,10 +261,18 @@ func (f *Framework) DeleteEdge(e graph.EdgeID) (rnet.UpdateResult, error) {
 			f.objects.Remove(id)
 		}
 	}
-	return f.h.DeleteEdge(e)
+	res, err := f.h.DeleteEdge(e)
+	if err == nil {
+		f.bumpEpoch()
+	}
+	return res, err
 }
 
 // RestoreEdge re-attaches a previously deleted edge.
 func (f *Framework) RestoreEdge(e graph.EdgeID) (rnet.UpdateResult, error) {
-	return f.h.RestoreEdge(e)
+	res, err := f.h.RestoreEdge(e)
+	if err == nil {
+		f.bumpEpoch()
+	}
+	return res, err
 }

@@ -26,6 +26,13 @@ type parentLink struct {
 // reached; the returned distance includes the final offset along that
 // edge. The framework must have been built with Rnet.StorePaths.
 func (f *Framework) PathTo(q Query, target graph.ObjectID) ([]graph.NodeID, float64, error) {
+	return f.pathTo(q, target, true)
+}
+
+// pathTo is the shared path computation. chargeIO routes shortcut-tree
+// visits and abstract probes through the simulated page store; Sessions
+// pass false so concurrent path queries never touch shared buffer state.
+func (f *Framework) pathTo(q Query, target graph.ObjectID, chargeIO bool) ([]graph.NodeID, float64, error) {
 	if !f.h.Config().StorePaths {
 		return nil, 0, fmt.Errorf("core: framework built without StorePaths")
 	}
@@ -88,12 +95,16 @@ func (f *Framework) PathTo(q Query, target graph.ObjectID) ([]graph.NodeID, floa
 			if !ok {
 				// A bypass is only safe if neither the target's region nor
 				// a matching object lies inside.
-				v = f.ad.RnetMayContain(r, q.Attr) || f.rnetContainsEdge(r, o.Edge)
+				v = f.ad.rnetMayContain(r, q.Attr, chargeIO) || f.rnetContainsEdge(r, o.Edge)
 				verdicts[r] = v
 			}
 			return v
 		}
-		for _, s := range treeStack(f.ro.Visit(n)) {
+		tree := f.h.Tree(n)
+		if chargeIO {
+			tree = f.ro.Visit(n)
+		}
+		for _, s := range treeStack(tree) {
 			if s.IsBorder && !mayContain(s.Rnet) {
 				stats.RnetsBypassed++
 				for _, sc := range f.h.ShortcutsFrom(s.Rnet, n) {

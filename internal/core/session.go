@@ -24,12 +24,7 @@ type Session struct {
 // session construction eagerly materializes all per-node shortcut trees
 // (they are otherwise built lazily, which would race).
 func (f *Framework) NewSession() *Session {
-	f.prewarm.Do(func() {
-		g := f.g
-		for n := 0; n < g.NumNodes(); n++ {
-			f.h.Tree(graph.NodeID(n))
-		}
-	})
+	f.prewarm.Do(f.WarmTrees)
 	return &Session{
 		f: f,
 		ws: &queryWorkspace{
@@ -48,6 +43,18 @@ func (s *Session) KNN(q Query, k int) ([]Result, QueryStats) {
 func (s *Session) Range(q Query, radius float64) ([]Result, QueryStats) {
 	return s.f.searchWith(s.f.ad, q, 0, radius, s.ws, false)
 }
+
+// PathTo computes the detailed shortest route from q.Node to an object
+// (see Framework.PathTo). Unlike the Framework variant it bypasses the
+// simulated page store, so any number of sessions may compute paths
+// concurrently. Requires the framework to have been built with StorePaths.
+func (s *Session) PathTo(q Query, target graph.ObjectID) ([]graph.NodeID, float64, error) {
+	return s.f.pathTo(q, target, false)
+}
+
+// Epoch returns the owning framework's maintenance epoch at the time of
+// the call — a fence for detecting index mutations between two queries.
+func (s *Session) Epoch() uint64 { return s.f.Epoch() }
 
 // prewarmOnce is the type of Framework.prewarm.
 type prewarmOnce = sync.Once

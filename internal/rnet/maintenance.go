@@ -173,6 +173,9 @@ func (h *Hierarchy) AddEdge(u, v graph.NodeID, w float64) (graph.EdgeID, UpdateR
 	h.ensureNodeCapacity()
 	host := h.chooseHostLeaf(u, v)
 	if host == NoRnet {
+		// Roll the graph mutation back so a failed AddEdge leaves no live
+		// orphan edge behind (the removed stub behaves like a closed road).
+		h.g.RemoveEdge(e)
 		return graph.NoEdge, UpdateResult{}, fmt.Errorf("rnet: cannot host edge (%d,%d): both endpoints isolated", u, v)
 	}
 	for int(e) >= len(h.leafOf) {

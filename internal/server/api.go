@@ -1,0 +1,143 @@
+// Package server is roadd's serving subsystem: an HTTP/JSON API over an
+// opened road.DB. Read queries (kNN, range, path) run concurrently with
+// each other on pooled sessions; maintenance operations (edge weight
+// updates, road closures, object churn) are serialized against them by an
+// epoch-guarded reader/writer coordination layer. Query answers are
+// memoized in an LRU cache that the maintenance epoch invalidates
+// wholesale, and /stats surfaces aggregate traversal statistics, cache
+// and session-pool behaviour.
+package server
+
+import "road"
+
+// Wire types shared by the roadd handlers, the roadquery -json output and
+// the load generator, so every tool in the repo speaks one encoding.
+
+// ResultJSON is one query answer on the wire.
+type ResultJSON struct {
+	Object road.ObjectID `json:"object"`
+	Edge   road.EdgeID   `json:"edge"`
+	Attr   int32         `json:"attr"`
+	Offset float64       `json:"offset"` // distance from the edge's U endpoint
+	Dist   float64       `json:"dist"`   // network distance from the query node
+}
+
+// StatsJSON is the per-query cost report on the wire.
+type StatsJSON struct {
+	NodesPopped    int   `json:"nodes_popped"`
+	RnetsBypassed  int   `json:"rnets_bypassed"`
+	RnetsDescended int   `json:"rnets_descended"`
+	IOReads        int64 `json:"io_reads,omitempty"`
+	IOFaults       int64 `json:"io_faults,omitempty"`
+	IOWrites       int64 `json:"io_writes,omitempty"`
+}
+
+// QueryResponse answers /knn and /within.
+type QueryResponse struct {
+	Node      road.NodeID  `json:"node"`
+	Epoch     uint64       `json:"epoch"`
+	Cached    bool         `json:"cached"`
+	Results   []ResultJSON `json:"results"`
+	Stats     StatsJSON    `json:"stats"`
+	ElapsedUS int64        `json:"elapsed_us"`
+}
+
+// PathResponse answers /path.
+type PathResponse struct {
+	Node      road.NodeID   `json:"node"`
+	Object    road.ObjectID `json:"object"`
+	Epoch     uint64        `json:"epoch"`
+	Dist      float64       `json:"dist"`
+	Path      []road.NodeID `json:"path"`
+	ElapsedUS int64         `json:"elapsed_us"`
+}
+
+// MaintenanceRequest is the body of every POST /maintenance/* call; each
+// route reads the fields it needs.
+type MaintenanceRequest struct {
+	Edge   road.EdgeID   `json:"edge,omitempty"`
+	U      road.NodeID   `json:"u,omitempty"`
+	V      road.NodeID   `json:"v,omitempty"`
+	Dist   float64       `json:"dist,omitempty"`
+	Offset float64       `json:"offset,omitempty"`
+	Attr   int32         `json:"attr,omitempty"`
+	Object road.ObjectID `json:"object,omitempty"`
+}
+
+// MaintenanceResponse acknowledges a mutation with the epoch it produced.
+type MaintenanceResponse struct {
+	OK    bool          `json:"ok"`
+	Epoch uint64        `json:"epoch"`
+	Edge  road.EdgeID   `json:"edge,omitempty"`   // add-road: the new edge
+	Object road.ObjectID `json:"object,omitempty"` // insert-object: the new object
+}
+
+// ErrorResponse is the uniform error envelope.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// StatsResponse answers /stats: a snapshot of the serving subsystem.
+type StatsResponse struct {
+	Epoch         uint64  `json:"epoch"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	Network struct {
+		Nodes   int   `json:"nodes"`
+		Edges   int   `json:"edges"`
+		Objects int   `json:"objects"`
+		IndexKB int64 `json:"index_kb"`
+	} `json:"network"`
+
+	Requests struct {
+		KNN         uint64 `json:"knn"`
+		Within      uint64 `json:"within"`
+		Path        uint64 `json:"path"`
+		Maintenance uint64 `json:"maintenance"`
+		Errors      uint64 `json:"errors"`
+	} `json:"requests"`
+
+	// Traversal aggregates core.QueryStats over every uncached query served.
+	Traversal struct {
+		NodesPopped    int64 `json:"nodes_popped"`
+		RnetsBypassed  int64 `json:"rnets_bypassed"` // shortcut hops taken
+		RnetsDescended int64 `json:"rnets_descended"`
+		IOReads        int64 `json:"io_reads"`
+		IOFaults       int64 `json:"io_faults"`
+	} `json:"traversal"`
+
+	Cache CacheStats `json:"cache"`
+	Pool  PoolStats  `json:"pool"`
+}
+
+func resultsJSON(res []road.Result) []ResultJSON {
+	out := make([]ResultJSON, len(res))
+	for i, r := range res {
+		out[i] = ResultJSON{
+			Object: r.Object.ID,
+			Edge:   r.Object.Edge,
+			Attr:   r.Object.Attr,
+			Offset: r.Object.DU,
+			Dist:   r.Dist,
+		}
+	}
+	return out
+}
+
+func statsJSON(st road.Stats) StatsJSON {
+	return StatsJSON{
+		NodesPopped:    st.NodesPopped,
+		RnetsBypassed:  st.RnetsBypassed,
+		RnetsDescended: st.RnetsDescended,
+		IOReads:        st.IO.Reads,
+		IOFaults:       st.IO.Faults,
+		IOWrites:       st.IO.Writes,
+	}
+}
+
+// EncodeResults converts query answers to their wire form (used by
+// roadquery -json so CLI and server output stay byte-compatible).
+func EncodeResults(res []road.Result) []ResultJSON { return resultsJSON(res) }
+
+// EncodeStats converts per-query stats to their wire form.
+func EncodeStats(st road.Stats) StatsJSON { return statsJSON(st) }

@@ -1,0 +1,48 @@
+package server
+
+import "sync"
+
+// Coordinator is the epoch-guarded reader/writer layer that lifts the
+// library's "sessions must not overlap with maintenance" contract into an
+// enforced guarantee. Any number of readers (queries on pooled sessions)
+// run concurrently under the read lock; a writer (maintenance operation)
+// waits for in-flight readers, runs exclusively, and advances the
+// maintenance epoch before readers resume.
+//
+// The epoch itself is owned by the underlying road.DB — every successful
+// mutation bumps it — so the Coordinator only observes it. Observing
+// under the read lock gives readers a crucial property: the epoch they
+// see is the epoch their whole query executes under, because no writer
+// can intervene while they hold the lock. That snapshot consistency is
+// what makes epoch-keyed result caching sound.
+type Coordinator struct {
+	mu    sync.RWMutex
+	epoch func() uint64
+}
+
+// NewCoordinator wraps an epoch source, typically (*road.DB).Epoch.
+func NewCoordinator(epoch func() uint64) *Coordinator {
+	return &Coordinator{epoch: epoch}
+}
+
+// Read runs fn under the shared read lock. The epoch passed to fn is
+// stable for fn's whole execution: maintenance cannot run until fn
+// returns, so any result fn computes is valid at exactly that epoch.
+func (c *Coordinator) Read(fn func(epoch uint64)) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	fn(c.epoch())
+}
+
+// Write runs fn exclusively: it waits out all in-flight readers, blocks
+// new ones, and returns the post-mutation epoch alongside fn's error.
+func (c *Coordinator) Write(fn func() error) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := fn()
+	return c.epoch(), err
+}
+
+// Epoch returns the current maintenance epoch without taking the lock;
+// use it for monitoring, not for tagging query results.
+func (c *Coordinator) Epoch() uint64 { return c.epoch() }

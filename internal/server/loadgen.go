@@ -1,0 +1,214 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadOptions configures a load-generation run against a roadd server.
+type LoadOptions struct {
+	// Target is the server's base URL, e.g. "http://localhost:7070".
+	Target string
+	// Concurrency is the number of parallel client workers (default 8).
+	Concurrency int
+	// Duration bounds the run (default 5s); Requests, when > 0, bounds
+	// the total request count instead.
+	Duration time.Duration
+	Requests int
+	// Mix selects the workload: "knn", "within" or "mixed" (default).
+	Mix string
+	// K is the kNN depth (default 5); Radius the range-query radius
+	// (default 0.05 × an arbitrary scale — pass a radius meaningful for
+	// the served network when using within/mixed).
+	K      int
+	Radius float64
+	// Attr is the attribute predicate sent with every query.
+	Attr int32
+	// Seed makes the generated query stream deterministic.
+	Seed int64
+}
+
+// LoadReport summarizes a load-generation run; it is the schema of
+// roadbench's BENCH_serve.json.
+type LoadReport struct {
+	Target      string  `json:"target"`
+	Mix         string  `json:"mix"`
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	Seconds     float64 `json:"seconds"`
+	QPS         float64 `json:"qps"`
+	MeanUS      float64 `json:"mean_us"`
+	P50US       int64   `json:"p50_us"`
+	P90US       int64   `json:"p90_us"`
+	P99US       int64   `json:"p99_us"`
+	MaxUS       int64   `json:"max_us"`
+	// CacheHitRate covers this run only: the delta of the server's
+	// /stats cache counters between run start and run end.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// RunLoad fires queries at a roadd server and reports throughput and
+// latency percentiles. It learns the served network's node count from
+// /stats, then draws query nodes uniformly.
+func RunLoad(opts LoadOptions) (LoadReport, error) {
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 5 * time.Second
+	}
+	switch opts.Mix {
+	case "":
+		opts.Mix = "mixed"
+	case "knn", "within", "mixed":
+	default:
+		return LoadReport{}, fmt.Errorf("unknown mix %q (want knn, within or mixed)", opts.Mix)
+	}
+	if opts.K <= 0 {
+		opts.K = 5
+	}
+	if opts.Radius <= 0 {
+		opts.Radius = 0.05
+	}
+
+	before, err := fetchStats(opts.Target)
+	if err != nil {
+		return LoadReport{}, fmt.Errorf("probing %s/stats: %w", opts.Target, err)
+	}
+	numNodes := before.Network.Nodes
+	if numNodes < 1 {
+		return LoadReport{}, fmt.Errorf("server reports an empty network")
+	}
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []time.Duration
+		errors    int
+	)
+	deadline := time.Now().Add(opts.Duration)
+	// budget caps total requests across workers when Requests is set.
+	budget := make(chan struct{}, max(opts.Requests, 0))
+	for i := 0; i < opts.Requests; i++ {
+		budget <- struct{}{}
+	}
+	takeBudget := func() bool {
+		if opts.Requests <= 0 {
+			return true
+		}
+		select {
+		case <-budget:
+			return true
+		default:
+			return false
+		}
+	}
+
+	start := time.Now()
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(worker)*7919))
+			client := &http.Client{Timeout: 30 * time.Second}
+			var local []time.Duration
+			localErrs := 0
+			for (opts.Requests > 0 || time.Now().Before(deadline)) && takeBudget() {
+				q := url.Values{}
+				q.Set("node", fmt.Sprint(rng.Intn(numNodes)))
+				if opts.Attr != 0 {
+					q.Set("attr", fmt.Sprint(opts.Attr))
+				}
+				endpoint := "/knn"
+				useKNN := opts.Mix == "knn" || (opts.Mix != "within" && rng.Intn(2) == 0)
+				if useKNN {
+					q.Set("k", fmt.Sprint(opts.K))
+				} else {
+					endpoint = "/within"
+					q.Set("radius", fmt.Sprint(opts.Radius))
+				}
+				reqStart := time.Now()
+				resp, err := client.Get(opts.Target + endpoint + "?" + q.Encode())
+				if err != nil {
+					localErrs++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					localErrs++
+					continue
+				}
+				local = append(local, time.Since(reqStart))
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			errors += localErrs
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report := LoadReport{
+		Target:      opts.Target,
+		Mix:         opts.Mix,
+		Concurrency: opts.Concurrency,
+		Requests:    len(latencies),
+		Errors:      errors,
+		Seconds:     elapsed.Seconds(),
+	}
+	if elapsed > 0 {
+		report.QPS = float64(len(latencies)) / elapsed.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		var sum time.Duration
+		for _, l := range latencies {
+			sum += l
+		}
+		report.MeanUS = float64(sum.Microseconds()) / float64(len(latencies))
+		report.P50US = percentile(latencies, 0.50).Microseconds()
+		report.P90US = percentile(latencies, 0.90).Microseconds()
+		report.P99US = percentile(latencies, 0.99).Microseconds()
+		report.MaxUS = latencies[len(latencies)-1].Microseconds()
+	}
+	if after, err := fetchStats(opts.Target); err == nil {
+		hits := after.Cache.Hits - before.Cache.Hits
+		if total := hits + after.Cache.Misses - before.Cache.Misses; total > 0 {
+			report.CacheHitRate = float64(hits) / float64(total)
+		}
+	}
+	return report, nil
+}
+
+// percentile picks p ∈ [0,1] from sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func fetchStats(target string) (StatsResponse, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(target + "/stats")
+	if err != nil {
+		return StatsResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return StatsResponse{}, fmt.Errorf("GET /stats: %s", resp.Status)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return StatsResponse{}, err
+	}
+	return st, nil
+}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"road"
+)
+
+// SessionPool reuses road.Session allocations across requests. A session
+// carries per-query scratch state (priority queue, visited-node epochs,
+// verdict maps) sized to the network, so constructing one per request
+// would dominate small-query latency; the pool keeps a bounded free list
+// and hands sessions out LIFO so the hottest scratch memory is reused.
+type SessionPool struct {
+	db      *road.DB
+	maxIdle int
+
+	mu   sync.Mutex
+	free []*road.Session
+
+	created atomic.Uint64
+	reused  atomic.Uint64
+}
+
+// DefaultMaxIdleSessions bounds the free list when Options leave it zero.
+const DefaultMaxIdleSessions = 64
+
+// NewSessionPool returns a pool creating sessions on db. maxIdle bounds
+// the number of idle sessions retained (DefaultMaxIdleSessions when 0).
+func NewSessionPool(db *road.DB, maxIdle int) *SessionPool {
+	if maxIdle <= 0 {
+		maxIdle = DefaultMaxIdleSessions
+	}
+	return &SessionPool{db: db, maxIdle: maxIdle}
+}
+
+// Get returns a session, reusing an idle one when available.
+func (p *SessionPool) Get() *road.Session {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		p.reused.Add(1)
+		return s
+	}
+	p.mu.Unlock()
+	p.created.Add(1)
+	return p.db.NewSession()
+}
+
+// Put returns a session to the pool; beyond maxIdle it is dropped for the
+// garbage collector.
+func (p *SessionPool) Put(s *road.Session) {
+	if s == nil {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) < p.maxIdle {
+		p.free = append(p.free, s)
+	}
+	p.mu.Unlock()
+}
+
+// PoolStats reports session reuse behaviour.
+type PoolStats struct {
+	Created uint64 `json:"created"`
+	Reused  uint64 `json:"reused"`
+	Idle    int    `json:"idle"`
+}
+
+// Stats snapshots the pool counters.
+func (p *SessionPool) Stats() PoolStats {
+	p.mu.Lock()
+	idle := len(p.free)
+	p.mu.Unlock()
+	return PoolStats{
+		Created: p.created.Load(),
+		Reused:  p.reused.Load(),
+		Idle:    idle,
+	}
+}

@@ -1,0 +1,400 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"road"
+)
+
+// Options tunes a Server. The zero value serves with a
+// DefaultCacheSize-entry result cache and DefaultMaxIdleSessions pooled
+// sessions.
+type Options struct {
+	// CacheSize bounds the LRU result cache in entries
+	// (DefaultCacheSize when 0); negative disables result caching.
+	CacheSize int
+	// MaxIdleSessions bounds the session free list
+	// (DefaultMaxIdleSessions when 0).
+	MaxIdleSessions int
+}
+
+// Server serves one road.DB over HTTP/JSON. Reads (kNN, within, path) run
+// concurrently on pooled sessions under the Coordinator's read lock;
+// maintenance runs exclusively under its write lock and implicitly
+// invalidates the result cache by advancing the DB epoch.
+type Server struct {
+	db    *road.DB
+	coord *Coordinator
+	pool  *SessionPool
+	cache *ResultCache // nil when disabled
+	start time.Time
+
+	knnCount    atomic.Uint64
+	withinCount atomic.Uint64
+	pathCount   atomic.Uint64
+	maintCount  atomic.Uint64
+	errCount    atomic.Uint64
+
+	nodesPopped    atomic.Int64
+	rnetsBypassed  atomic.Int64
+	rnetsDescended atomic.Int64
+	ioReads        atomic.Int64
+	ioFaults       atomic.Int64
+}
+
+// New wires a serving subsystem around an opened DB.
+func New(db *road.DB, opts Options) *Server {
+	s := &Server{
+		db:    db,
+		coord: NewCoordinator(db.Epoch),
+		pool:  NewSessionPool(db, opts.MaxIdleSessions),
+		start: time.Now(),
+	}
+	if opts.CacheSize >= 0 {
+		s.cache = NewResultCache(opts.CacheSize)
+	}
+	return s
+}
+
+// Coordinator exposes the coordination layer (tests and embedders).
+func (s *Server) Coordinator() *Coordinator { return s.coord }
+
+// Handler returns the HTTP API:
+//
+//	GET  /knn?node=N&k=K[&attr=A]          k nearest objects
+//	GET  /within?node=N&radius=R[&attr=A]  objects within network distance R
+//	GET  /path?node=N&object=O             detailed route (needs StorePaths)
+//	POST /maintenance/set-distance         {"edge":E,"dist":D}
+//	POST /maintenance/close                {"edge":E}
+//	POST /maintenance/reopen               {"edge":E}
+//	POST /maintenance/add-road             {"u":U,"v":V,"dist":D}
+//	POST /maintenance/insert-object        {"edge":E,"offset":F,"attr":A}
+//	POST /maintenance/delete-object        {"object":O}
+//	POST /maintenance/set-attr             {"object":O,"attr":A}
+//	GET  /stats                            serving statistics
+//	GET  /healthz                          liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /knn", s.handleKNN)
+	mux.HandleFunc("GET /within", s.handleWithin)
+	mux.HandleFunc("GET /path", s.handlePath)
+	mux.HandleFunc("POST /maintenance/set-distance", s.maintenance(s.opSetDistance))
+	mux.HandleFunc("POST /maintenance/close", s.maintenance(s.opClose))
+	mux.HandleFunc("POST /maintenance/reopen", s.maintenance(s.opReopen))
+	mux.HandleFunc("POST /maintenance/add-road", s.maintenance(s.opAddRoad))
+	mux.HandleFunc("POST /maintenance/insert-object", s.maintenance(s.opInsertObject))
+	mux.HandleFunc("POST /maintenance/delete-object", s.maintenance(s.opDeleteObject))
+	mux.HandleFunc("POST /maintenance/set-attr", s.maintenance(s.opSetAttr))
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	s.errCount.Add(1)
+	s.writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) recordStats(st road.Stats) {
+	s.nodesPopped.Add(int64(st.NodesPopped))
+	s.rnetsBypassed.Add(int64(st.RnetsBypassed))
+	s.rnetsDescended.Add(int64(st.RnetsDescended))
+	s.ioReads.Add(st.IO.Reads)
+	s.ioFaults.Add(st.IO.Faults)
+}
+
+// queryInt parses a required integer query parameter.
+func queryInt(r *http.Request, name string) (int64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing parameter %q", name)
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	return v, nil
+}
+
+// queryAttr parses the optional attr parameter (default AnyAttr).
+func queryAttr(r *http.Request) (int32, error) {
+	raw := r.URL.Query().Get("attr")
+	if raw == "" {
+		return road.AnyAttr, nil
+	}
+	v, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("parameter \"attr\": %v", err)
+	}
+	return int32(v), nil
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	node, err := queryInt(r, "node")
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k, err := queryInt(r, "k")
+	if err != nil || k < 1 {
+		s.writeErr(w, http.StatusBadRequest, "parameter \"k\" must be a positive integer")
+		return
+	}
+	attr, err := queryAttr(r)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.knnCount.Add(1)
+	s.serveQuery(w, road.NodeID(node), KNNKey(road.NodeID(node), int(k), attr),
+		func(sess *road.Session) ([]road.Result, road.Stats) {
+			return sess.KNN(road.NodeID(node), int(k), attr)
+		})
+}
+
+func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
+	node, err := queryInt(r, "node")
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	radius, err := strconv.ParseFloat(r.URL.Query().Get("radius"), 64)
+	if err != nil || !(radius > 0) || math.IsInf(radius, 1) {
+		s.writeErr(w, http.StatusBadRequest, "parameter \"radius\" must be a positive finite number")
+		return
+	}
+	attr, err := queryAttr(r)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.withinCount.Add(1)
+	s.serveQuery(w, road.NodeID(node), WithinKey(road.NodeID(node), radius, attr),
+		func(sess *road.Session) ([]road.Result, road.Stats) {
+			return sess.Within(road.NodeID(node), radius, attr)
+		})
+}
+
+// serveQuery runs one read query under the coordination layer: cache
+// probe, pooled-session execution on miss, cache fill — all at one
+// consistent epoch.
+func (s *Server) serveQuery(w http.ResponseWriter, node road.NodeID, key CacheKey, run func(*road.Session) ([]road.Result, road.Stats)) {
+	start := time.Now()
+	var resp QueryResponse
+	var badNode bool
+	s.coord.Read(func(epoch uint64) {
+		if int(node) < 0 || int(node) >= s.db.Framework().Graph().NumNodes() {
+			badNode = true
+			return
+		}
+		resp.Node = node
+		resp.Epoch = epoch
+		if s.cache != nil {
+			if ans, ok := s.cache.Get(key, epoch); ok {
+				resp.Cached = true
+				resp.Results = resultsJSON(ans.Results)
+				resp.Stats = statsJSON(ans.Stats)
+				return
+			}
+		}
+		sess := s.pool.Get()
+		res, st := run(sess)
+		s.pool.Put(sess)
+		s.recordStats(st)
+		if s.cache != nil {
+			s.cache.Put(key, epoch, CachedAnswer{Results: res, Stats: st})
+		}
+		resp.Results = resultsJSON(res)
+		resp.Stats = statsJSON(st)
+	})
+	if badNode {
+		s.writeErr(w, http.StatusNotFound, "node %d does not exist", node)
+		return
+	}
+	resp.ElapsedUS = time.Since(start).Microseconds()
+	if resp.Results == nil {
+		resp.Results = []ResultJSON{}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
+	node, err := queryInt(r, "node")
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	obj, err := queryInt(r, "object")
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.pathCount.Add(1)
+	start := time.Now()
+	var resp PathResponse
+	var badNode bool
+	var pathErr error
+	s.coord.Read(func(epoch uint64) {
+		if int(node) < 0 || int(node) >= s.db.Framework().Graph().NumNodes() {
+			badNode = true
+			return
+		}
+		sess := s.pool.Get()
+		path, dist, err := sess.PathTo(road.NodeID(node), road.ObjectID(obj))
+		s.pool.Put(sess)
+		if err != nil {
+			pathErr = err
+			return
+		}
+		resp = PathResponse{
+			Node:   road.NodeID(node),
+			Object: road.ObjectID(obj),
+			Epoch:  epoch,
+			Dist:   dist,
+			Path:   path,
+		}
+	})
+	switch {
+	case badNode:
+		s.writeErr(w, http.StatusNotFound, "node %d does not exist", node)
+	case pathErr != nil:
+		s.writeErr(w, http.StatusUnprocessableEntity, "%v", pathErr)
+	default:
+		resp.ElapsedUS = time.Since(start).Microseconds()
+		s.writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// maintenance wraps one mutation op in body decoding, the write lock and
+// the acknowledgement envelope.
+func (s *Server) maintenance(op func(*MaintenanceRequest, *MaintenanceResponse) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req MaintenanceRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			s.writeErr(w, http.StatusBadRequest, "decoding request body: %v", err)
+			return
+		}
+		s.maintCount.Add(1)
+		var resp MaintenanceResponse
+		epoch, err := s.coord.Write(func() error {
+			opErr := op(&req, &resp)
+			// Re-materialize any shortcut trees the mutation invalidated
+			// while readers are still excluded — even on error, a partial
+			// mutation may have invalidated some — so concurrent sessions
+			// never trigger a lazy rebuild.
+			s.db.Framework().WarmTrees()
+			return opErr
+		})
+		if err != nil {
+			s.writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		resp.OK = true
+		resp.Epoch = epoch
+		s.writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// checkEdge guards the trust boundary: edge IDs index dense arrays in
+// the graph layer, which panics on out-of-range IDs rather than erroring.
+// Must run under the coordination lock (it reads the edge count).
+func (s *Server) checkEdge(e road.EdgeID) error {
+	if int(e) < 0 || int(e) >= s.db.Framework().Graph().NumEdges() {
+		return fmt.Errorf("edge %d does not exist", e)
+	}
+	return nil
+}
+
+func (s *Server) opSetDistance(req *MaintenanceRequest, _ *MaintenanceResponse) error {
+	if !(req.Dist > 0) {
+		return fmt.Errorf("dist must be positive")
+	}
+	if err := s.checkEdge(req.Edge); err != nil {
+		return err
+	}
+	return s.db.SetRoadDistance(req.Edge, req.Dist)
+}
+
+func (s *Server) opClose(req *MaintenanceRequest, _ *MaintenanceResponse) error {
+	if err := s.checkEdge(req.Edge); err != nil {
+		return err
+	}
+	return s.db.CloseRoad(req.Edge)
+}
+
+func (s *Server) opReopen(req *MaintenanceRequest, _ *MaintenanceResponse) error {
+	if err := s.checkEdge(req.Edge); err != nil {
+		return err
+	}
+	return s.db.ReopenRoad(req.Edge)
+}
+
+func (s *Server) opAddRoad(req *MaintenanceRequest, resp *MaintenanceResponse) error {
+	if !(req.Dist > 0) {
+		return fmt.Errorf("dist must be positive")
+	}
+	e, err := s.db.AddRoad(req.U, req.V, req.Dist)
+	resp.Edge = e
+	return err
+}
+
+func (s *Server) opInsertObject(req *MaintenanceRequest, resp *MaintenanceResponse) error {
+	if err := s.checkEdge(req.Edge); err != nil {
+		return err
+	}
+	o, err := s.db.AddObject(req.Edge, req.Offset, req.Attr)
+	resp.Object = o.ID
+	return err
+}
+
+func (s *Server) opDeleteObject(req *MaintenanceRequest, _ *MaintenanceResponse) error {
+	return s.db.RemoveObject(req.Object)
+}
+
+func (s *Server) opSetAttr(req *MaintenanceRequest, _ *MaintenanceResponse) error {
+	return s.db.SetObjectAttr(req.Object, req.Attr)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp StatsResponse
+	s.coord.Read(func(epoch uint64) {
+		f := s.db.Framework()
+		resp.Epoch = epoch
+		resp.Network.Nodes = f.Graph().NumNodes()
+		resp.Network.Edges = f.Graph().NumEdges()
+		resp.Network.Objects = f.Objects().Len()
+		resp.Network.IndexKB = s.db.IndexSizeBytes() / 1024
+	})
+	resp.UptimeSeconds = time.Since(s.start).Seconds()
+	resp.Requests.KNN = s.knnCount.Load()
+	resp.Requests.Within = s.withinCount.Load()
+	resp.Requests.Path = s.pathCount.Load()
+	resp.Requests.Maintenance = s.maintCount.Load()
+	resp.Requests.Errors = s.errCount.Load()
+	resp.Traversal.NodesPopped = s.nodesPopped.Load()
+	resp.Traversal.RnetsBypassed = s.rnetsBypassed.Load()
+	resp.Traversal.RnetsDescended = s.rnetsDescended.Load()
+	resp.Traversal.IOReads = s.ioReads.Load()
+	resp.Traversal.IOFaults = s.ioFaults.Load()
+	if s.cache != nil {
+		resp.Cache = s.cache.Stats()
+	}
+	resp.Pool = s.pool.Stats()
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"ok": true, "epoch": s.coord.Epoch()})
+}

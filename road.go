@@ -230,6 +230,13 @@ func (db *DB) ReopenRoad(e EdgeID) error {
 // IndexSizeBytes estimates total index storage.
 func (db *DB) IndexSizeBytes() int64 { return db.f.IndexSizeBytes() }
 
+// Epoch returns the database's maintenance epoch: a counter incremented by
+// every successful mutating call (AddObject, SetRoadDistance, CloseRoad,
+// ...). Cached query answers are valid exactly as long as the epoch they
+// were computed under is still current; roadd's result cache is built on
+// this. The counter is safe to read concurrently.
+func (db *DB) Epoch() uint64 { return db.f.Epoch() }
+
 // PathTo returns the detailed shortest route (as a node sequence) from an
 // intersection to an object, plus its network distance. Requires the DB to
 // have been opened with Options.StorePaths; shortcut hops taken during the
@@ -240,7 +247,12 @@ func (db *DB) PathTo(from NodeID, obj ObjectID) ([]NodeID, float64, error) {
 
 // Session is an independent read-only query context; any number of
 // Sessions may query concurrently (I/O simulation is skipped in sessions).
-// Sessions must not overlap with maintenance calls on the same DB.
+// Sessions must not overlap with maintenance calls on the same DB: the
+// library itself does no locking between queries and updates. The
+// internal/server subsystem (command roadd) wraps both in an
+// epoch-guarded reader/writer coordination layer that enforces this —
+// embed it, or apply the same discipline, when serving concurrent
+// traffic.
 type Session struct {
 	s *core.Session
 }
@@ -257,3 +269,12 @@ func (s *Session) KNN(from NodeID, k int, attr int32) ([]Result, Stats) {
 func (s *Session) Within(from NodeID, radius float64, attr int32) ([]Result, Stats) {
 	return s.s.Range(core.Query{Node: from, Attr: attr}, radius)
 }
+
+// PathTo is the session variant of DB.PathTo; unlike the DB variant it is
+// safe to call from many sessions concurrently.
+func (s *Session) PathTo(from NodeID, obj ObjectID) ([]NodeID, float64, error) {
+	return s.s.PathTo(core.Query{Node: from}, obj)
+}
+
+// Epoch returns the DB's maintenance epoch as seen by this session.
+func (s *Session) Epoch() uint64 { return s.s.Epoch() }
