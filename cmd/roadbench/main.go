@@ -21,6 +21,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
+	"runtime"
 	"time"
 
 	"road"
@@ -39,17 +41,34 @@ func main() {
 		budget  = flag.Float64("budget", 30, "soft per-approach seconds budget for update trials")
 
 		serve       = flag.Bool("serve", false, "benchmark the roadd serving subsystem instead of the paper experiments")
-		out         = flag.String("out", "BENCH_serve.json", "serve mode: output file")
+		out         = flag.String("out", "", "serve/snapshot mode: output file (default BENCH_serve.json / BENCH_snapshot.json)")
 		scale       = flag.Float64("scale", 0.25, "serve mode: CA network scale factor (0,1]")
-		objects     = flag.Int("objects", 2000, "serve mode: objects placed uniformly")
+		objects     = flag.Int("objects", 2000, "serve/snapshot mode: objects placed uniformly")
 		concurrency = flag.Int("concurrency", 8, "serve mode: load-generator workers")
 		duration    = flag.Duration("duration", 5*time.Second, "serve mode: load length per mix")
 		cacheSize   = flag.Int("cache", 0, "serve mode: result cache entries (negative disables)")
+
+		snapshotM = flag.Bool("snapshot", false, "benchmark snapshot save/load against a cold index build on the default CA network")
 	)
 	flag.Parse()
 
 	if *serve {
-		if err := runServeBench(*scale, *objects, *concurrency, *duration, *cacheSize, *out); err != nil {
+		outPath := *out
+		if outPath == "" {
+			outPath = "BENCH_serve.json"
+		}
+		if err := runServeBench(*scale, *objects, *concurrency, *duration, *cacheSize, outPath); err != nil {
+			fmt.Fprintln(os.Stderr, "roadbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *snapshotM {
+		outPath := *out
+		if outPath == "" {
+			outPath = "BENCH_snapshot.json"
+		}
+		if err := runSnapshotBench(*objects, outPath); err != nil {
 			fmt.Fprintln(os.Stderr, "roadbench:", err)
 			os.Exit(1)
 		}
@@ -90,18 +109,160 @@ func main() {
 	}
 }
 
-// serveBenchResult is the schema of BENCH_serve.json: one serving
-// benchmark run per workload mix against a single in-process roadd.
-type serveBenchResult struct {
+// writeJSONFile writes v to path as indented JSON.
+func writeJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// snapshotBenchResult is the schema of BENCH_snapshot.json: cold index
+// construction versus snapshot save/load on the default CA network — the
+// restart-cost trade the persistence subsystem exists for.
+type snapshotBenchResult struct {
 	GeneratedUnix int64   `json:"generated_unix"`
 	Network       string  `json:"network"`
-	Scale         float64 `json:"scale"`
 	Nodes         int     `json:"nodes"`
 	Edges         int     `json:"edges"`
 	Objects       int     `json:"objects"`
-	BuildMS       int64   `json:"build_ms"`
 	IndexKB       int64   `json:"index_kb"`
-	CacheEntries  int     `json:"cache_entries"`
+	SnapshotKB    int64   `json:"snapshot_kb"`
+	BuildMS       float64 `json:"build_ms"`
+	SaveMS        float64 `json:"save_ms"`
+	LoadMS        float64 `json:"load_ms"`
+	// WarmMS is the post-load WarmTrees cost: shortcut-tree caches are
+	// restored lazily, so the first queries (or an explicit warm) pay
+	// this — reported separately so the load number is honest about what
+	// it defers versus what it avoids.
+	WarmMS float64 `json:"warm_ms"`
+	// SpeedupLoadVsBuild is BuildMS / LoadMS: how many times faster a
+	// snapshot restart is than a cold rebuild.
+	SpeedupLoadVsBuild float64 `json:"speedup_load_vs_build"`
+	// SpeedupWarmVsBuild is BuildMS / (LoadMS + WarmMS): restart-to-warm
+	// versus cold rebuild (the cold build materializes trees during
+	// construction).
+	SpeedupWarmVsBuild float64 `json:"speedup_warm_vs_build"`
+	// Verified confirms the loaded index answered a query sample
+	// identically to the built one.
+	Verified bool `json:"verified"`
+}
+
+// runSnapshotBench builds the default CA index cold, saves and reloads a
+// snapshot of it, verifies the reloaded index answers like the original,
+// and writes the timing comparison to outPath.
+func runSnapshotBench(objects int, outPath string) error {
+	spec := dataset.CA()
+	fmt.Printf("snapshot bench: generating %s (%d nodes)...\n", spec.Name, spec.Nodes)
+	g := dataset.MustGenerate(spec)
+	set := dataset.PlaceUniform(g, objects, 1, 0, 1, 2, 3)
+
+	// Quiesce the collector before each timed phase so generation garbage
+	// is not billed to the phase that happens to trigger its collection.
+	runtime.GC()
+	buildStart := time.Now()
+	db, err := road.OpenWithObjects(road.FromGraph(g), set, road.Options{Seed: 1})
+	if err != nil {
+		return err
+	}
+	buildMS := float64(time.Since(buildStart).Microseconds()) / 1000
+	fmt.Printf("snapshot bench: cold build %.1fms, index ≈ %d KB\n", buildMS, db.IndexSizeBytes()/1024)
+
+	dir, err := os.MkdirTemp("", "roadbench-snapshot-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	snapPath := filepath.Join(dir, "ca.snap")
+
+	saveStart := time.Now()
+	if err := db.SaveSnapshotFile(snapPath); err != nil {
+		return err
+	}
+	saveMS := float64(time.Since(saveStart).Microseconds()) / 1000
+	info, err := os.Stat(snapPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("snapshot bench: save %.1fms, snapshot %d KB\n", saveMS, info.Size()/1024)
+
+	runtime.GC()
+	loadStart := time.Now()
+	db2, err := road.OpenSnapshotFile(snapPath)
+	if err != nil {
+		return err
+	}
+	loadMS := float64(time.Since(loadStart).Microseconds()) / 1000
+	speedup := buildMS / loadMS
+	fmt.Printf("snapshot bench: load %.1fms — %.1f× faster than cold build\n", loadMS, speedup)
+
+	warmStart := time.Now()
+	db2.Framework().WarmTrees()
+	warmMS := float64(time.Since(warmStart).Microseconds()) / 1000
+	speedupWarm := buildMS / (loadMS + warmMS)
+	fmt.Printf("snapshot bench: tree warm %.1fms — load+warm %.1f× faster than cold build\n", warmMS, speedupWarm)
+
+	verified := true
+	for _, n := range dataset.RandomNodes(g, 50, 7) {
+		want, _ := db.KNN(n, 5, road.AnyAttr)
+		got, _ := db2.KNN(n, 5, road.AnyAttr)
+		if len(want) != len(got) {
+			verified = false
+			break
+		}
+		for i := range want {
+			if want[i].Object != got[i].Object || want[i].Dist != got[i].Dist {
+				verified = false
+			}
+		}
+	}
+	if !verified {
+		return fmt.Errorf("loaded snapshot diverged from built index")
+	}
+	fmt.Println("snapshot bench: verified loaded index answers identically")
+
+	result := snapshotBenchResult{
+		GeneratedUnix:      time.Now().Unix(),
+		Network:            spec.Name,
+		Nodes:              g.NumNodes(),
+		Edges:              g.NumEdges(),
+		Objects:            set.Len(),
+		IndexKB:            db.IndexSizeBytes() / 1024,
+		SnapshotKB:         info.Size() / 1024,
+		BuildMS:            buildMS,
+		SaveMS:             saveMS,
+		LoadMS:             loadMS,
+		WarmMS:             warmMS,
+		SpeedupLoadVsBuild: speedup,
+		SpeedupWarmVsBuild: speedupWarm,
+		Verified:           verified,
+	}
+	if err := writeJSONFile(outPath, result); err != nil {
+		return err
+	}
+	fmt.Printf("snapshot bench: wrote %s\n", outPath)
+	return nil
+}
+
+// serveBenchResult is the schema of BENCH_serve.json: one serving
+// benchmark run per workload mix against a single in-process roadd.
+type serveBenchResult struct {
+	GeneratedUnix int64               `json:"generated_unix"`
+	Network       string              `json:"network"`
+	Scale         float64             `json:"scale"`
+	Nodes         int                 `json:"nodes"`
+	Edges         int                 `json:"edges"`
+	Objects       int                 `json:"objects"`
+	BuildMS       int64               `json:"build_ms"`
+	IndexKB       int64               `json:"index_kb"`
+	CacheEntries  int                 `json:"cache_entries"`
 	Runs          []server.LoadReport `json:"runs"`
 }
 
@@ -174,17 +335,7 @@ func runServeBench(scale float64, objects, concurrency int, duration time.Durati
 		result.Runs = append(result.Runs, report)
 	}
 
-	f, err := os.Create(outPath)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(result); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := writeJSONFile(outPath, result); err != nil {
 		return err
 	}
 	fmt.Printf("serve bench: wrote %s\n", outPath)

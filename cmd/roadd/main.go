@@ -1,12 +1,19 @@
 // Command roadd serves a ROAD index over HTTP/JSON: concurrent kNN /
 // range / path queries on pooled sessions, epoch-guarded maintenance
 // (edge re-weighting, road closures, object churn), an LRU result cache
-// invalidated by maintenance, and a /stats endpoint.
+// invalidated by maintenance, a /stats endpoint — and durable restarts:
+// with -snapshot the daemon reopens a previously saved index in O(load)
+// instead of rebuilding in O(build), and with -journal every maintenance
+// op is write-ahead logged and replayed over the snapshot on startup.
 //
 // Usage:
 //
 //	roadd -net CA -objects 1000                 # synthetic network
 //	roadd -load network.csv -addr :8080         # roadgen CSV
+//	roadd -net CA -snapshot ca.snap -journal ca.wal
+//	                                            # durable: first start
+//	                                            # builds + saves, later
+//	                                            # starts load + replay
 //
 // Endpoints (see internal/server for the full reference):
 //
@@ -15,15 +22,22 @@
 //	GET  /path?node=N&object=O
 //	POST /maintenance/{set-distance,close,reopen,add-road,
 //	                   insert-object,delete-object,set-attr}
+//	POST /admin/snapshot
 //	GET  /stats
 //	GET  /healthz
+//
+// On SIGTERM/SIGINT a -snapshot daemon persists a final snapshot (under
+// the write lock, so it is epoch-consistent) before exiting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"road"
@@ -32,47 +46,172 @@ import (
 	"road/internal/server"
 )
 
-func main() {
-	var (
-		addr       = flag.String("addr", ":7070", "listen address")
-		load       = flag.String("load", "", "load network+objects from a roadgen CSV file instead of generating")
-		net        = flag.String("net", "CA", "synthetic network: CA, NA or SF")
-		scale      = flag.Float64("scale", 1, "network scale factor (0,1]")
-		objects    = flag.Int("objects", 1000, "objects placed uniformly when generating")
-		levels     = flag.Int("levels", 0, "Rnet hierarchy depth (0 = default)")
-		seed       = flag.Int64("seed", 1, "placement seed")
-		cacheSize  = flag.Int("cache", 0, "result cache entries (0 = default, negative disables)")
-		storePaths = flag.Bool("paths", true, "retain shortcut waypoints so /path works (costs memory)")
-	)
-	flag.Parse()
+// config collects the daemon's flag values; a struct rather than a
+// parameter list so call sites cannot silently transpose same-typed
+// arguments.
+type config struct {
+	addr        string
+	load        string
+	net         string
+	scale       float64
+	objects     int
+	levels      int
+	seed        int64
+	cacheSize   int
+	storePaths  bool
+	snapPath    string
+	journalPath string
+	journalSync bool
+}
 
-	g, set, err := loadOrGenerate(*load, *net, *scale, *objects, *seed)
-	if err != nil {
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":7070", "listen address")
+	flag.StringVar(&cfg.load, "load", "", "load network+objects from a roadgen CSV file instead of generating")
+	flag.StringVar(&cfg.net, "net", "CA", "synthetic network: CA, NA or SF")
+	flag.Float64Var(&cfg.scale, "scale", 1, "network scale factor (0,1]")
+	flag.IntVar(&cfg.objects, "objects", 1000, "objects placed uniformly when generating")
+	flag.IntVar(&cfg.levels, "levels", 0, "Rnet hierarchy depth (0 = default)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "placement seed")
+	flag.IntVar(&cfg.cacheSize, "cache", 0, "result cache entries (0 = default, negative disables)")
+	flag.BoolVar(&cfg.storePaths, "paths", true, "retain shortcut waypoints so /path works (costs memory)")
+	flag.StringVar(&cfg.snapPath, "snapshot", "", "snapshot file: load it if present (skipping the build), create it otherwise; enables /admin/snapshot and snapshot-on-SIGTERM")
+	flag.StringVar(&cfg.journalPath, "journal", "", "write-ahead journal file: maintenance ops are logged before they apply and replayed over the snapshot on startup")
+	flag.BoolVar(&cfg.journalSync, "journal-sync", false, "fsync the journal after every op (durable against machine crashes, slower)")
+	flag.Parse()
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "roadd:", err)
 		os.Exit(1)
 	}
+}
 
+func run(cfg config) error {
+	// Stat the snapshot exactly once: "absent" means build-and-create, but
+	// any other stat failure (unreadable parent, permission) must surface —
+	// silently running unpersisted would only be discovered at the next
+	// restart.
+	snapExists := false
+	if cfg.snapPath != "" {
+		switch _, err := os.Stat(cfg.snapPath); {
+		case err == nil:
+			snapExists = true
+		case os.IsNotExist(err):
+		default:
+			return fmt.Errorf("snapshot %s: %w", cfg.snapPath, err)
+		}
+	}
+
+	db, err := openDB(cfg, snapExists)
+	if err != nil {
+		return err
+	}
+
+	// Journal: replay whatever the base state (snapshot or fresh build)
+	// does not include, then attach so new ops are write-ahead logged.
+	var journal *road.Journal
+	if cfg.journalPath != "" {
+		journal, err = road.OpenJournal(cfg.journalPath)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		journal.SyncEachAppend = cfg.journalSync
+		start := time.Now()
+		applied, rerr := db.ReplayJournal(journal)
+		if rerr != nil {
+			if !road.IsReplayOpError(rerr) {
+				// Fatal: the journal could not be fully read; serving now
+				// would silently drop the unapplied tail.
+				return fmt.Errorf("journal replay: %w", rerr)
+			}
+			// Expected: an op that failed live fails identically on replay.
+			fmt.Printf("roadd: journal replay note: %v\n", rerr)
+		}
+		if applied > 0 {
+			fmt.Printf("roadd: replayed %d journaled ops in %v (epoch %d)\n",
+				applied, time.Since(start).Round(time.Millisecond), db.Epoch())
+		}
+		if err := db.AttachJournal(journal); err != nil {
+			return err
+		}
+	}
+
+	// First run with -snapshot: persist the built (and replayed) index so
+	// the next start is O(load).
+	if cfg.snapPath != "" && !snapExists {
+		if err := db.SaveSnapshotFile(cfg.snapPath); err != nil {
+			return err
+		}
+		fmt.Printf("roadd: wrote initial snapshot %s\n", cfg.snapPath)
+	}
+
+	opts := server.Options{CacheSize: cfg.cacheSize}
+	if cfg.snapPath != "" {
+		opts.SnapshotSave = func() error { return db.SaveSnapshotFile(cfg.snapPath) }
+	}
+	srv := server.New(db, opts)
+
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("roadd: serving on %s\n", cfg.addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("roadd: %v: shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		if cfg.snapPath != "" {
+			epoch, seq, err := srv.TakeSnapshot()
+			if err != nil {
+				return fmt.Errorf("final snapshot: %w", err)
+			}
+			fmt.Printf("roadd: final snapshot %s (epoch %d, journal seq %d)\n", cfg.snapPath, epoch, seq)
+		}
+		return nil
+	}
+}
+
+// openDB produces the base DB state: a snapshot load when -snapshot names
+// an existing file, a fresh build otherwise.
+func openDB(cfg config, snapExists bool) (*road.DB, error) {
+	if snapExists {
+		start := time.Now()
+		db, err := road.OpenSnapshotFile(cfg.snapPath)
+		if err != nil {
+			return nil, err
+		}
+		f := db.Framework()
+		fmt.Printf("roadd: loaded snapshot %s in %v (%d nodes, %d edges, %d objects; built in %v originally)\n",
+			cfg.snapPath, time.Since(start).Round(time.Millisecond),
+			f.Graph().NumNodes(), f.Graph().NumEdges(), f.Objects().Len(),
+			f.BuildTime.Round(time.Millisecond))
+		return db, nil
+	}
+
+	g, set, err := loadOrGenerate(cfg.load, cfg.net, cfg.scale, cfg.objects, cfg.seed)
+	if err != nil {
+		return nil, err
+	}
 	fmt.Printf("roadd: building index over %d nodes, %d edges, %d objects...\n",
 		g.NumNodes(), g.NumEdges(), set.Len())
 	start := time.Now()
 	db, err := road.OpenWithObjects(road.FromGraph(g), set, road.Options{
-		Levels:     *levels,
-		StorePaths: *storePaths,
-		Seed:       *seed,
+		Levels:     cfg.levels,
+		StorePaths: cfg.storePaths,
+		Seed:       cfg.seed,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "roadd:", err)
-		os.Exit(1)
+		return nil, err
 	}
 	fmt.Printf("roadd: built in %v, index ≈ %d KB\n",
 		time.Since(start).Round(time.Millisecond), db.IndexSizeBytes()/1024)
-
-	srv := server.New(db, server.Options{CacheSize: *cacheSize})
-	fmt.Printf("roadd: serving on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		fmt.Fprintln(os.Stderr, "roadd:", err)
-		os.Exit(1)
-	}
+	return db, nil
 }
 
 func loadOrGenerate(load, netName string, scale float64, objects int, seed int64) (*graph.Graph, *graph.ObjectSet, error) {

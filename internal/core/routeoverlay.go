@@ -18,6 +18,10 @@ type RouteOverlay struct {
 	index  *btree.Tree[int32]
 	layout *storage.Layout
 	store  *storage.Store
+	// order is the Hilbert/CCAM record clustering order node entries were
+	// laid out in. Cached so snapshots export it without re-ranking every
+	// coordinate under the serving layer's write lock.
+	order []graph.NodeID
 }
 
 // NewRouteOverlay wraps hierarchy h; store may be nil to skip I/O
@@ -34,8 +38,8 @@ func NewRouteOverlay(h *rnet.Hierarchy, store *storage.Store) *RouteOverlay {
 		ro.index.OnAccess = func(id int64) { store.Read(roIndexPageBase - storage.PageID(id)) }
 	}
 	g := h.Graph()
-	order := storage.ClusterNodes(g)
-	for _, n := range order {
+	ro.order = storage.ClusterNodes(g)
+	for _, n := range ro.order {
 		ro.index.Put(int64(n), 0)
 		if ro.layout != nil {
 			ro.layout.Place(int64(n), ro.nodeRecordSize(n))

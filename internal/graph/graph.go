@@ -66,6 +66,16 @@ func New(n, m int) *Graph {
 	}
 }
 
+// ReserveEdges grows the edge slice capacity so a bulk reload (snapshot
+// restore) avoids incremental reallocation.
+func (g *Graph) ReserveEdges(m int) {
+	if cap(g.edges)-len(g.edges) < m {
+		edges := make([]Edge, len(g.edges), len(g.edges)+m)
+		copy(edges, g.edges)
+		g.edges = edges
+	}
+}
+
 // NumNodes returns the number of nodes ever added.
 func (g *Graph) NumNodes() int { return len(g.coords) }
 

@@ -143,6 +143,40 @@ func (os *ObjectSet) Relocate(id ObjectID, e EdgeID, du float64) error {
 	return nil
 }
 
+// NextID returns the ID the next added object will receive. Together with
+// RestoreObject it lets a snapshot reconstruct a set whose ID sequence —
+// including gaps left by deletions — continues exactly where it left off.
+func (os *ObjectSet) NextID() ObjectID { return os.nextID }
+
+// SetNextID forces the ID counter, for snapshot restoration. It must be
+// larger than every restored object's ID.
+func (os *ObjectSet) SetNextID(id ObjectID) { os.nextID = id }
+
+// RestoreObject reinstates an object with its exact identity and geometry,
+// for snapshot restoration. Unlike Add it keeps o.ID and o.DV verbatim;
+// the edge must be live and the offset within the edge.
+func (os *ObjectSet) RestoreObject(o Object) error {
+	if o.Edge < 0 || int(o.Edge) >= os.g.NumEdges() {
+		return fmt.Errorf("graph: restored object %d on unknown edge %d", o.ID, o.Edge)
+	}
+	edge := os.g.Edge(o.Edge)
+	if edge.Removed {
+		return fmt.Errorf("graph: restored object %d on removed edge %d", o.ID, o.Edge)
+	}
+	if o.DU < 0 || o.DU > edge.Weight || o.DV < 0 {
+		return fmt.Errorf("graph: restored object %d offset %v outside edge %d of weight %v", o.ID, o.DU, o.Edge, edge.Weight)
+	}
+	if _, dup := os.objects[o.ID]; dup {
+		return fmt.Errorf("graph: duplicate restored object %d", o.ID)
+	}
+	os.objects[o.ID] = o
+	os.byEdge[o.Edge] = append(os.byEdge[o.Edge], o.ID)
+	if o.ID >= os.nextID {
+		os.nextID = o.ID + 1
+	}
+	return nil
+}
+
 // OnEdge returns the IDs of objects residing on edge e, sorted ascending.
 func (os *ObjectSet) OnEdge(e EdgeID) []ObjectID {
 	ids := append([]ObjectID(nil), os.byEdge[e]...)

@@ -94,6 +94,12 @@ type Hierarchy struct {
 	levels [][]RnetID // level (1-based) -> Rnet IDs
 	leafOf []RnetID   // edge -> leaf Rnet (NoRnet for never-assigned edges)
 
+	// originLeaf remembers the leaf Rnet each edge was first assigned to
+	// (at build time, or when an added edge was hosted). RestoreEdge falls
+	// back to it when every edge incident to both endpoints is closed, so
+	// a fully isolated road can always be reopened into its original Rnet.
+	originLeaf []RnetID
+
 	// shortcuts[r] maps a border node of Rnet r to its outgoing shortcuts.
 	shortcuts []map[graph.NodeID][]Shortcut
 
@@ -123,6 +129,7 @@ func Build(g *graph.Graph, cfg Config) (*Hierarchy, error) {
 	if err := h.partition(); err != nil {
 		return nil, err
 	}
+	h.originLeaf = append([]RnetID(nil), h.leafOf...)
 	h.computeBorders()
 	h.computeAllShortcuts()
 	h.trees = make([]*TreeNode, g.NumNodes())
@@ -154,6 +161,16 @@ func (h *Hierarchy) LeafOf(e graph.EdgeID) RnetID {
 		return NoRnet
 	}
 	return h.leafOf[e]
+}
+
+// OriginLeafOf returns the leaf Rnet edge e was originally assigned to
+// (NoRnet for edges never hosted by the hierarchy). Unlike LeafOf it is
+// stable across closures: a closed edge keeps its origin.
+func (h *Hierarchy) OriginLeafOf(e graph.EdgeID) RnetID {
+	if int(e) >= len(h.originLeaf) {
+		return NoRnet
+	}
+	return h.originLeaf[e]
 }
 
 // AncestorAt returns the ancestor of Rnet r at the given level (which must

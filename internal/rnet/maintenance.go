@@ -171,6 +171,11 @@ func (h *Hierarchy) AddEdge(u, v graph.NodeID, w float64) (graph.EdgeID, UpdateR
 		return graph.NoEdge, UpdateResult{}, err
 	}
 	h.ensureNodeCapacity()
+	// Extend the edge-indexed maps before any failure return: even a
+	// rolled-back AddEdge consumes an edge ID (the removed stub), and
+	// every map must keep covering all of g.NumEdges() — snapshots export
+	// them and refuse to load on a length mismatch.
+	h.ensureEdgeCapacity(e)
 	host := h.chooseHostLeaf(u, v)
 	if host == NoRnet {
 		// Roll the graph mutation back so a failed AddEdge leaves no live
@@ -178,10 +183,8 @@ func (h *Hierarchy) AddEdge(u, v graph.NodeID, w float64) (graph.EdgeID, UpdateR
 		h.g.RemoveEdge(e)
 		return graph.NoEdge, UpdateResult{}, fmt.Errorf("rnet: cannot host edge (%d,%d): both endpoints isolated", u, v)
 	}
-	for int(e) >= len(h.leafOf) {
-		h.leafOf = append(h.leafOf, NoRnet)
-	}
 	h.leafOf[e] = host
+	h.originLeaf[e] = host
 	h.rnets[host].Edges = append(h.rnets[host].Edges, e)
 	res := h.repairAfterIncidenceChange(u, v, host)
 	return e, res, nil
@@ -205,7 +208,10 @@ func (h *Hierarchy) DeleteEdge(e graph.EdgeID) (UpdateResult, error) {
 }
 
 // RestoreEdge re-attaches a previously deleted edge with its stored weight
-// (the evaluation's delete-then-reinsert workload).
+// (the evaluation's delete-then-reinsert workload). When every edge
+// incident to both endpoints is closed — so no live edge can nominate a
+// host leaf — the edge returns to the leaf Rnet it was originally
+// assigned to at build (or AddEdge) time.
 func (h *Hierarchy) RestoreEdge(e graph.EdgeID) (UpdateResult, error) {
 	if err := h.g.RestoreEdge(e); err != nil {
 		return UpdateResult{}, err
@@ -213,9 +219,21 @@ func (h *Hierarchy) RestoreEdge(e graph.EdgeID) (UpdateResult, error) {
 	ed := h.g.Edge(e)
 	host := h.chooseHostLeaf(ed.U, ed.V)
 	if host == NoRnet {
+		host = h.OriginLeafOf(e)
+	}
+	if host == NoRnet {
+		// Roll the graph mutation back so a failed restore leaves the edge
+		// closed rather than live-but-unindexed.
+		h.g.RemoveEdge(e)
 		return UpdateResult{}, fmt.Errorf("rnet: cannot host restored edge %d", e)
 	}
+	h.ensureEdgeCapacity(e)
 	h.leafOf[e] = host
+	if h.originLeaf[e] == NoRnet {
+		// First successful hosting of a stub edge: this leaf becomes its
+		// origin, as it would have in AddEdge.
+		h.originLeaf[e] = host
+	}
 	h.rnets[host].Edges = append(h.rnets[host].Edges, e)
 	res := h.repairAfterIncidenceChange(ed.U, ed.V, host)
 	return res, nil
@@ -318,6 +336,18 @@ func (h *Hierarchy) borderMemberships(n graph.NodeID) map[RnetID]bool {
 		out[r] = true
 	}
 	return out
+}
+
+// ensureEdgeCapacity grows the edge-indexed maps to cover edge e, keeping
+// the invariant len(leafOf) == len(originLeaf) == g.NumEdges() that the
+// snapshot format depends on.
+func (h *Hierarchy) ensureEdgeCapacity(e graph.EdgeID) {
+	for int(e) >= len(h.leafOf) {
+		h.leafOf = append(h.leafOf, NoRnet)
+	}
+	for int(e) >= len(h.originLeaf) {
+		h.originLeaf = append(h.originLeaf, NoRnet)
+	}
 }
 
 // ensureNodeCapacity grows per-node bookkeeping after nodes were added to

@@ -226,6 +226,36 @@ func TestDeleteAndRestoreEdge(t *testing.T) {
 	verifyInvariants(t, h)
 }
 
+// TestRestoreEdgeAfterFullIsolation: closing every edge incident to both
+// endpoints leaves chooseHostLeaf with no live edge to nominate a leaf;
+// the restore must fall back to the edge's build-time origin leaf instead
+// of failing (the ROADMAP-pinned reopen-after-full-isolation bug).
+func TestRestoreEdgeAfterFullIsolation(t *testing.T) {
+	h := maintenanceFixture(t, 31)
+	g := h.Graph()
+	e := graph.EdgeID(0)
+	ed := g.Edge(e)
+	origin := h.OriginLeafOf(e)
+	if origin == NoRnet {
+		t.Fatalf("edge %d has no origin leaf", e)
+	}
+	// Close every live edge touching either endpoint (e included).
+	for _, n := range [2]graph.NodeID{ed.U, ed.V} {
+		for len(g.Neighbors(n)) > 0 {
+			if _, err := h.DeleteEdge(g.Neighbors(n)[0].Edge); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := h.RestoreEdge(e); err != nil {
+		t.Fatalf("RestoreEdge after full isolation: %v", err)
+	}
+	if got := h.LeafOf(e); got != origin {
+		t.Fatalf("restored edge hosted by Rnet %d, want origin leaf %d", got, origin)
+	}
+	verifyInvariants(t, h)
+}
+
 func TestDeleteEdgePermanent(t *testing.T) {
 	h := maintenanceFixture(t, 27)
 	g := h.Graph()

@@ -64,17 +64,31 @@ type MaintenanceRequest struct {
 	Object road.ObjectID `json:"object,omitempty"`
 }
 
-// MaintenanceResponse acknowledges a mutation with the epoch it produced.
+// MaintenanceResponse acknowledges a mutation with the epoch it produced
+// and the IDs the op concerned. Edge/Object echo the request's target —
+// or carry the newly assigned ID for add-road and insert-object — and are
+// always emitted: IDs start at 0, so omitempty would swallow the very
+// first edge or object a client creates.
 type MaintenanceResponse struct {
-	OK    bool          `json:"ok"`
-	Epoch uint64        `json:"epoch"`
-	Edge  road.EdgeID   `json:"edge,omitempty"`   // add-road: the new edge
-	Object road.ObjectID `json:"object,omitempty"` // insert-object: the new object
+	OK     bool          `json:"ok"`
+	Epoch  uint64        `json:"epoch"`
+	Edge   road.EdgeID   `json:"edge"`
+	Object road.ObjectID `json:"object"`
 }
 
 // ErrorResponse is the uniform error envelope.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// SnapshotResponse acknowledges /admin/snapshot: the snapshot was written
+// at exactly this epoch and journal sequence (readers were excluded while
+// it was taken, so the image is epoch-consistent).
+type SnapshotResponse struct {
+	OK         bool   `json:"ok"`
+	Epoch      uint64 `json:"epoch"`
+	JournalSeq uint64 `json:"journal_seq"`
+	ElapsedUS  int64  `json:"elapsed_us"`
 }
 
 // StatsResponse answers /stats: a snapshot of the serving subsystem.

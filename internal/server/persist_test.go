@@ -1,0 +1,166 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"road"
+)
+
+// buildLattice returns a 4×4 lattice DB with irregular weights (no two
+// alternative routes tie, so query answers are unique) and a few objects.
+func buildLattice(t *testing.T) *road.DB {
+	t.Helper()
+	b := road.NewNetworkBuilder()
+	const n = 4
+	var ids [n][n]road.NodeID
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			ids[y][x] = b.AddNode(float64(x), float64(y))
+		}
+	}
+	w := func(i int) float64 { return 1 + 0.37*float64(i%5) + 0.013*float64(i%11) }
+	i := 0
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			if x+1 < n {
+				b.AddRoad(ids[y][x], ids[y][x+1], w(i))
+				i++
+			}
+			if y+1 < n {
+				b.AddRoad(ids[y][x], ids[y+1][x], w(i))
+				i++
+			}
+		}
+	}
+	db, err := road.Open(b, road.Options{Levels: 2, StorePaths: true, Seed: 3})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for _, e := range []road.EdgeID{0, 5, 11, 17, 22} {
+		if _, err := db.AddObject(e, 0.3, int32(e%3)+1); err != nil {
+			t.Fatalf("AddObject(%d): %v", e, err)
+		}
+	}
+	return db
+}
+
+// TestSnapshotRestartEquivalence exercises the full roadd durability flow
+// in-process: serve with a journal attached, mutate over HTTP, snapshot
+// mid-stream via /admin/snapshot, mutate more (including an op that
+// fails), then "restart" — load the snapshot, replay the journal tail —
+// and require the restarted server to answer every query identically.
+func TestSnapshotRestartEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "index.snap")
+	jPath := filepath.Join(dir, "ops.wal")
+
+	db := buildLattice(t)
+	journal, err := road.OpenJournal(jPath)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	defer journal.Close()
+	if err := db.AttachJournal(journal); err != nil {
+		t.Fatal(err)
+	}
+
+	srvA := New(db, Options{SnapshotSave: func() error { return db.SaveSnapshotFile(snapPath) }})
+	tsA := httptest.NewServer(srvA.Handler())
+	defer tsA.Close()
+
+	// Pre-snapshot mutations.
+	postJSON[MaintenanceResponse](t, tsA, "/maintenance/set-distance", MaintenanceRequest{Edge: 2, Dist: 3.3}, http.StatusOK)
+	postJSON[MaintenanceResponse](t, tsA, "/maintenance/close", MaintenanceRequest{Edge: 7}, http.StatusOK)
+	ins := postJSON[MaintenanceResponse](t, tsA, "/maintenance/insert-object", MaintenanceRequest{Edge: 4, Offset: 0.6, Attr: 2}, http.StatusOK)
+
+	snap := postJSON[SnapshotResponse](t, tsA, "/admin/snapshot", struct{}{}, http.StatusOK)
+	if !snap.OK || snap.JournalSeq == 0 {
+		t.Fatalf("snapshot response %+v", snap)
+	}
+
+	// Post-snapshot mutations — these must come back via journal replay.
+	postJSON[MaintenanceResponse](t, tsA, "/maintenance/reopen", MaintenanceRequest{Edge: 7}, http.StatusOK)
+	postJSON[MaintenanceResponse](t, tsA, "/maintenance/close", MaintenanceRequest{Edge: 13}, http.StatusOK)
+	// A failing op: closing the same edge again. It is journaled (write-
+	// ahead) and must fail identically on replay.
+	postJSON[ErrorResponse](t, tsA, "/maintenance/close", MaintenanceRequest{Edge: 13}, http.StatusUnprocessableEntity)
+	add := postJSON[MaintenanceResponse](t, tsA, "/maintenance/add-road", MaintenanceRequest{U: 0, V: 5, Dist: 0.9}, http.StatusOK)
+	postJSON[MaintenanceResponse](t, tsA, "/maintenance/insert-object", MaintenanceRequest{Edge: add.Edge, Offset: 0.2, Attr: 1}, http.StatusOK)
+	postJSON[MaintenanceResponse](t, tsA, "/maintenance/set-attr", MaintenanceRequest{Object: ins.Object, Attr: 3}, http.StatusOK)
+	postJSON[MaintenanceResponse](t, tsA, "/maintenance/delete-object", MaintenanceRequest{Object: 1}, http.StatusOK)
+
+	// "Restart": reopen from snapshot + journal, exactly as roadd does.
+	db2, err := road.OpenSnapshotFile(snapPath)
+	if err != nil {
+		t.Fatalf("OpenSnapshotFile: %v", err)
+	}
+	journal2, err := road.OpenJournal(jPath)
+	if err != nil {
+		t.Fatalf("OpenJournal (restart): %v", err)
+	}
+	defer journal2.Close()
+	applied, rerr := db2.ReplayJournal(journal2)
+	if rerr == nil {
+		t.Fatal("replay should report the deliberately failing op")
+	}
+	if applied == 0 {
+		t.Fatal("replay applied nothing")
+	}
+	if err := db2.AttachJournal(journal2); err != nil {
+		t.Fatal(err)
+	}
+
+	if db.Epoch() != db2.Epoch() {
+		t.Fatalf("epoch diverged after restart: %d vs %d", db.Epoch(), db2.Epoch())
+	}
+
+	tsB := httptest.NewServer(New(db2, Options{}).Handler())
+	defer tsB.Close()
+
+	nodes := db.Framework().Graph().NumNodes()
+	for node := 0; node < nodes; node++ {
+		for _, q := range []string{
+			fmt.Sprintf("/knn?node=%d&k=3", node),
+			fmt.Sprintf("/knn?node=%d&k=2&attr=1", node),
+			fmt.Sprintf("/within?node=%d&radius=2.5", node),
+			fmt.Sprintf("/within?node=%d&radius=4&attr=3", node),
+		} {
+			a := getJSON[QueryResponse](t, tsA, q, http.StatusOK)
+			b := getJSON[QueryResponse](t, tsB, q, http.StatusOK)
+			if !reflect.DeepEqual(a.Results, b.Results) {
+				t.Fatalf("GET %s diverged after restart:\n  pre:  %+v\n  post: %+v", q, a.Results, b.Results)
+			}
+			if a.Epoch != b.Epoch {
+				t.Fatalf("GET %s epoch diverged: %d vs %d", q, a.Epoch, b.Epoch)
+			}
+		}
+	}
+	// Paths too (StorePaths survived the snapshot).
+	pq := fmt.Sprintf("/path?node=0&object=%d", ins.Object)
+	a := getJSON[PathResponse](t, tsA, pq, http.StatusOK)
+	b := getJSON[PathResponse](t, tsB, pq, http.StatusOK)
+	if a.Dist != b.Dist || !reflect.DeepEqual(a.Path, b.Path) {
+		t.Fatalf("GET %s diverged after restart:\n  pre:  %+v\n  post: %+v", pq, a, b)
+	}
+
+	// Both servers keep accepting maintenance afterwards, staying in sync.
+	ra := postJSON[MaintenanceResponse](t, tsA, "/maintenance/set-distance", MaintenanceRequest{Edge: 2, Dist: 1.1}, http.StatusOK)
+	rb := postJSON[MaintenanceResponse](t, tsB, "/maintenance/set-distance", MaintenanceRequest{Edge: 2, Dist: 1.1}, http.StatusOK)
+	if ra.Epoch != rb.Epoch {
+		t.Fatalf("post-restart maintenance epochs diverged: %d vs %d", ra.Epoch, rb.Epoch)
+	}
+}
+
+// TestAdminSnapshotUnconfigured: without a SnapshotSave callback the
+// endpoint reports 501, not a panic or a silent no-op.
+func TestAdminSnapshotUnconfigured(t *testing.T) {
+	db, _, _, _ := buildSquare(t, road.Options{})
+	ts := httptest.NewServer(New(db, Options{}).Handler())
+	defer ts.Close()
+	postJSON[ErrorResponse](t, ts, "/admin/snapshot", struct{}{}, http.StatusNotImplemented)
+}

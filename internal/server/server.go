@@ -22,6 +22,12 @@ type Options struct {
 	// MaxIdleSessions bounds the session free list
 	// (DefaultMaxIdleSessions when 0).
 	MaxIdleSessions int
+	// SnapshotSave, when set, enables POST /admin/snapshot and
+	// snapshot-on-shutdown: it is invoked under the coordinator's write
+	// lock — readers drained, maintenance excluded — so the image it
+	// persists is consistent at exactly one epoch. roadd wires this to an
+	// atomic write of its -snapshot file.
+	SnapshotSave func() error
 }
 
 // Server serves one road.DB over HTTP/JSON. Reads (kNN, within, path) run
@@ -29,11 +35,12 @@ type Options struct {
 // maintenance runs exclusively under its write lock and implicitly
 // invalidates the result cache by advancing the DB epoch.
 type Server struct {
-	db    *road.DB
-	coord *Coordinator
-	pool  *SessionPool
-	cache *ResultCache // nil when disabled
-	start time.Time
+	db       *road.DB
+	coord    *Coordinator
+	pool     *SessionPool
+	cache    *ResultCache // nil when disabled
+	snapshot func() error // nil when persistence is not configured
+	start    time.Time
 
 	knnCount    atomic.Uint64
 	withinCount atomic.Uint64
@@ -51,10 +58,11 @@ type Server struct {
 // New wires a serving subsystem around an opened DB.
 func New(db *road.DB, opts Options) *Server {
 	s := &Server{
-		db:    db,
-		coord: NewCoordinator(db.Epoch),
-		pool:  NewSessionPool(db, opts.MaxIdleSessions),
-		start: time.Now(),
+		db:       db,
+		coord:    NewCoordinator(db.Epoch),
+		pool:     NewSessionPool(db, opts.MaxIdleSessions),
+		snapshot: opts.SnapshotSave,
+		start:    time.Now(),
 	}
 	if opts.CacheSize >= 0 {
 		s.cache = NewResultCache(opts.CacheSize)
@@ -91,9 +99,44 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /maintenance/insert-object", s.maintenance(s.opInsertObject))
 	mux.HandleFunc("POST /maintenance/delete-object", s.maintenance(s.opDeleteObject))
 	mux.HandleFunc("POST /maintenance/set-attr", s.maintenance(s.opSetAttr))
+	mux.HandleFunc("POST /admin/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// TakeSnapshot persists the index through the configured SnapshotSave
+// callback under the write lock, returning the epoch and journal sequence
+// the image captured. It is the engine behind /admin/snapshot and roadd's
+// snapshot-on-SIGTERM.
+func (s *Server) TakeSnapshot() (epoch, seq uint64, err error) {
+	if s.snapshot == nil {
+		return 0, 0, fmt.Errorf("snapshot persistence not configured (start roadd with -snapshot)")
+	}
+	epoch, err = s.coord.Write(func() error {
+		seq = s.db.JournalSeq()
+		return s.snapshot()
+	})
+	return epoch, seq, err
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	epoch, seq, err := s.TakeSnapshot()
+	if err != nil {
+		if s.snapshot == nil {
+			s.writeErr(w, http.StatusNotImplemented, "%v", err)
+		} else {
+			s.writeErr(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusOK, SnapshotResponse{
+		OK:         true,
+		Epoch:      epoch,
+		JournalSeq: seq,
+		ElapsedUS:  time.Since(start).Microseconds(),
+	})
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
@@ -287,7 +330,9 @@ func (s *Server) maintenance(op func(*MaintenanceRequest, *MaintenanceResponse) 
 			return
 		}
 		s.maintCount.Add(1)
-		var resp MaintenanceResponse
+		// IDs start at 0, so "not applicable" needs an explicit -1 marker;
+		// each op overwrites the fields it concerns.
+		resp := MaintenanceResponse{Edge: road.NoEdge, Object: -1}
 		epoch, err := s.coord.Write(func() error {
 			opErr := op(&req, &resp)
 			// Re-materialize any shortcut trees the mutation invalidated
@@ -317,27 +362,30 @@ func (s *Server) checkEdge(e road.EdgeID) error {
 	return nil
 }
 
-func (s *Server) opSetDistance(req *MaintenanceRequest, _ *MaintenanceResponse) error {
+func (s *Server) opSetDistance(req *MaintenanceRequest, resp *MaintenanceResponse) error {
 	if !(req.Dist > 0) {
 		return fmt.Errorf("dist must be positive")
 	}
 	if err := s.checkEdge(req.Edge); err != nil {
 		return err
 	}
+	resp.Edge = req.Edge
 	return s.db.SetRoadDistance(req.Edge, req.Dist)
 }
 
-func (s *Server) opClose(req *MaintenanceRequest, _ *MaintenanceResponse) error {
+func (s *Server) opClose(req *MaintenanceRequest, resp *MaintenanceResponse) error {
 	if err := s.checkEdge(req.Edge); err != nil {
 		return err
 	}
+	resp.Edge = req.Edge
 	return s.db.CloseRoad(req.Edge)
 }
 
-func (s *Server) opReopen(req *MaintenanceRequest, _ *MaintenanceResponse) error {
+func (s *Server) opReopen(req *MaintenanceRequest, resp *MaintenanceResponse) error {
 	if err := s.checkEdge(req.Edge); err != nil {
 		return err
 	}
+	resp.Edge = req.Edge
 	return s.db.ReopenRoad(req.Edge)
 }
 
@@ -354,16 +402,19 @@ func (s *Server) opInsertObject(req *MaintenanceRequest, resp *MaintenanceRespon
 	if err := s.checkEdge(req.Edge); err != nil {
 		return err
 	}
+	resp.Edge = req.Edge
 	o, err := s.db.AddObject(req.Edge, req.Offset, req.Attr)
 	resp.Object = o.ID
 	return err
 }
 
-func (s *Server) opDeleteObject(req *MaintenanceRequest, _ *MaintenanceResponse) error {
+func (s *Server) opDeleteObject(req *MaintenanceRequest, resp *MaintenanceResponse) error {
+	resp.Object = req.Object
 	return s.db.RemoveObject(req.Object)
 }
 
-func (s *Server) opSetAttr(req *MaintenanceRequest, _ *MaintenanceResponse) error {
+func (s *Server) opSetAttr(req *MaintenanceRequest, resp *MaintenanceResponse) error {
+	resp.Object = req.Object
 	return s.db.SetObjectAttr(req.Object, req.Attr)
 }
 

@@ -304,11 +304,20 @@ func TestAddRoadBetweenIsolatedNodes(t *testing.T) {
 	if len(got.Results) != 0 {
 		t.Fatalf("results on a fully closed network: %+v", got.Results)
 	}
-	// Pre-existing hierarchy limitation, pinned here so a future fix
-	// shows up: once every incident edge is closed, a reopen cannot
-	// find a host Rnet and fails (rnet: cannot host restored edge).
-	postJSON[ErrorResponse](t, ts, "/maintenance/reopen",
-		MaintenanceRequest{Edge: 0}, http.StatusUnprocessableEntity)
+	// Even with every incident edge closed, a reopen finds its host via
+	// the build-time origin leaf and succeeds; the reopened road is
+	// immediately queryable again.
+	postJSON[MaintenanceResponse](t, ts, "/maintenance/reopen",
+		MaintenanceRequest{Edge: 0}, http.StatusOK)
+	ins := postJSON[MaintenanceResponse](t, ts, "/maintenance/insert-object",
+		MaintenanceRequest{Edge: 0, Offset: 0.25, Attr: 1}, http.StatusOK)
+	got = getJSON[QueryResponse](t, ts, "/knn?node=0&k=1", http.StatusOK)
+	if len(got.Results) != 1 || got.Results[0].Object != ins.Object {
+		t.Fatalf("KNN after isolated reopen = %+v, want object %d", got.Results, ins.Object)
+	}
+	if math.Abs(got.Results[0].Dist-0.25) > 1e-9 {
+		t.Fatalf("KNN after isolated reopen dist = %g, want 0.25", got.Results[0].Dist)
+	}
 }
 
 func TestStatsEndpoint(t *testing.T) {

@@ -1,0 +1,53 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+
+	"road/internal/core"
+	"road/internal/dataset"
+	"road/internal/rnet"
+)
+
+// benchCAFramework builds the default CA index once per benchmark run.
+func benchCAFramework(b *testing.B) *core.Framework {
+	b.Helper()
+	g := dataset.MustGenerate(dataset.CA())
+	set := dataset.PlaceUniform(g, 2000, 1, 0, 1, 2, 3)
+	f, err := core.Build(g, set, core.Config{Rnet: rnet.Config{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// BenchmarkSaveCA measures serializing the default CA index.
+func BenchmarkSaveCA(b *testing.B) {
+	f := benchCAFramework(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Save(f, 0, &buf); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+// BenchmarkLoadCA measures reopening the default CA index from an
+// in-memory snapshot — the restart path the subsystem exists to shorten.
+func BenchmarkLoadCA(b *testing.B) {
+	f := benchCAFramework(b)
+	var buf bytes.Buffer
+	if err := Save(f, 0, &buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Load(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package road
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// TestSnapshotStreamRoundTrip exercises the io.Writer/io.Reader snapshot
+// facade: save a mutated DB to a buffer, reopen it, and require identical
+// answers and epoch.
+func TestSnapshotStreamRoundTrip(t *testing.T) {
+	b, nodes, edges := buildChain(t)
+	db, err := Open(b, Options{Fanout: 2, Levels: 2, StorePaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := db.AddObject(edges[3], 0.25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetRoadDistance(edges[1], 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CloseRoad(edges[4]); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := db.SaveSnapshot(&buf); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	db2, err := OpenSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("OpenSnapshot: %v", err)
+	}
+	if db.Epoch() != db2.Epoch() {
+		t.Fatalf("epoch diverged: %d vs %d", db.Epoch(), db2.Epoch())
+	}
+	for _, n := range nodes {
+		want, _ := db.KNN(n, 2, AnyAttr)
+		got, _ := db2.KNN(n, 2, AnyAttr)
+		if len(want) != len(got) {
+			t.Fatalf("KNN(%d) length diverged", n)
+		}
+		for i := range want {
+			if want[i].Object != got[i].Object || want[i].Dist != got[i].Dist {
+				t.Fatalf("KNN(%d)[%d] = %+v vs %+v", n, i, want[i], got[i])
+			}
+		}
+	}
+	wantPath, wantDist, err := db.PathTo(nodes[0], o.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPath, gotDist, err := db2.PathTo(nodes[0], o.ID)
+	if err != nil {
+		t.Fatalf("PathTo after reopen: %v", err)
+	}
+	if wantDist != gotDist || len(wantPath) != len(gotPath) {
+		t.Fatalf("path diverged: (%v, %g) vs (%v, %g)", wantPath, wantDist, gotPath, gotDist)
+	}
+
+	// The reopened DB remains fully maintainable.
+	if err := db2.ReopenRoad(edges[4]); err != nil {
+		t.Fatalf("ReopenRoad after reopen: %v", err)
+	}
+}
+
+// TestJournalRotationKeepsWatermark: attaching a FRESH journal to a
+// snapshot-loaded DB must number new ops after the snapshot's watermark;
+// otherwise a later replay-after-watermark silently skips them.
+func TestJournalRotationKeepsWatermark(t *testing.T) {
+	dir := t.TempDir()
+
+	b, _, edges := buildChain(t)
+	db, err := Open(b, Options{Fanout: 2, Levels: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := OpenJournal(filepath.Join(dir, "old.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AttachJournal(j1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := db.SetRoadDistance(edges[i], float64(i)+2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := db.SaveSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	snapBytes := snap.Bytes()
+	j1.Close()
+
+	// Restart with the journal rotated away: fresh file, empty.
+	db2, err := OpenSnapshot(bytes.NewReader(snapBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(filepath.Join(dir, "new.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if _, err := db2.ReplayJournal(j2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.AttachJournal(j2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.SetRoadDistance(edges[3], 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := j2.LastSeq(); got != 4 {
+		t.Fatalf("rotated journal seq = %d, want 4 (continue after snapshot watermark 3)", got)
+	}
+
+	// Crash-restart from the same snapshot + rotated journal: the new op
+	// must replay, not be skipped as pre-watermark.
+	db3, err := OpenSnapshot(bytes.NewReader(snapBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, err := db3.ReplayJournal(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 {
+		t.Fatalf("replayed %d ops from rotated journal, want 1", applied)
+	}
+	if db3.Epoch() != db2.Epoch() {
+		t.Fatalf("epoch diverged: %d vs %d", db3.Epoch(), db2.Epoch())
+	}
+}
+
+// TestJournalWriteAhead: ops are in the journal even when their
+// application fails, and a fresh build + full replay reconverges.
+func TestJournalWriteAhead(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "chain.wal")
+
+	build := func() *DB {
+		b, _, _ := buildChain(t)
+		db, err := Open(b, Options{Fanout: 2, Levels: 2, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+
+	db := build()
+	j, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AttachJournal(j); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AddObject(1, 0.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CloseRoad(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CloseRoad(2); err == nil { // fails: already closed
+		t.Fatal("double close succeeded")
+	}
+	if err := db.SetRoadDistance(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if j.LastSeq() != 4 {
+		t.Fatalf("journal seq = %d, want 4 (failed op journaled too)", j.LastSeq())
+	}
+	j.Close()
+
+	// Cold start with no snapshot: same base build + full journal replay.
+	db2 := build()
+	j2, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if _, err := db2.ReplayJournal(j2); err == nil {
+		t.Fatal("replay should surface the failed op")
+	}
+	if db.Epoch() != db2.Epoch() {
+		t.Fatalf("epoch diverged: %d vs %d", db.Epoch(), db2.Epoch())
+	}
+	want, _ := db.KNN(0, 1, AnyAttr)
+	got, _ := db2.KNN(0, 1, AnyAttr)
+	if len(want) != 1 || len(got) != 1 || want[0].Object != got[0].Object || want[0].Dist != got[0].Dist {
+		t.Fatalf("answers diverged: %+v vs %+v", want, got)
+	}
+}

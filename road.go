@@ -26,12 +26,15 @@
 package road
 
 import (
+	"errors"
 	"fmt"
+	"io"
 
 	"road/internal/core"
 	"road/internal/geom"
 	"road/internal/graph"
 	"road/internal/rnet"
+	"road/internal/snapshot"
 )
 
 // Re-exported identifier types.
@@ -61,6 +64,9 @@ const (
 
 // AnyAttr matches objects of every attribute category.
 const AnyAttr int32 = 0
+
+// NoEdge marks the absence of an edge.
+const NoEdge = graph.NoEdge
 
 // NetworkBuilder accumulates a road network prior to Open.
 type NetworkBuilder struct {
@@ -120,6 +126,12 @@ type Options struct {
 // Route Overlay, and a primary object directory.
 type DB struct {
 	f *core.Framework
+
+	// journal, when attached, receives every maintenance op BEFORE it is
+	// applied (write-ahead); baseSeq is the journal sequence number the
+	// DB's base state (build or loaded snapshot) already includes.
+	journal *snapshot.Journal
+	baseSeq uint64
 }
 
 // Open builds the ROAD index over the builder's network. The builder's
@@ -176,17 +188,41 @@ func replaceObjects(f *core.Framework, objects *graph.ObjectSet, opts Options) *
 // (benchmark harnesses, ablations).
 func (db *DB) Framework() *core.Framework { return db.f }
 
+// logOp appends a maintenance op to the attached journal before it is
+// applied — the write-ahead ordering crash recovery depends on. With no
+// journal attached it is a no-op.
+func (db *DB) logOp(op snapshot.Op) error {
+	if db.journal == nil {
+		return nil
+	}
+	if _, err := db.journal.Append(op); err != nil {
+		return fmt.Errorf("road: journaling %s: %w", op.Kind, err)
+	}
+	return nil
+}
+
 // AddObject places an object on road e at distance offset from the road's
 // U endpoint, with an attribute category (use 0 for "untyped").
 func (db *DB) AddObject(e EdgeID, offset float64, attr int32) (Object, error) {
+	if err := db.logOp(snapshot.Op{Kind: snapshot.OpInsertObject, Edge: e, Value: offset, Attr: attr}); err != nil {
+		return Object{}, err
+	}
 	return db.f.InsertObject(e, offset, attr)
 }
 
 // RemoveObject deletes an object.
-func (db *DB) RemoveObject(id ObjectID) error { return db.f.DeleteObject(id) }
+func (db *DB) RemoveObject(id ObjectID) error {
+	if err := db.logOp(snapshot.Op{Kind: snapshot.OpDeleteObject, Object: id}); err != nil {
+		return err
+	}
+	return db.f.DeleteObject(id)
+}
 
 // SetObjectAttr changes an object's attribute category.
 func (db *DB) SetObjectAttr(id ObjectID, attr int32) error {
+	if err := db.logOp(snapshot.Op{Kind: snapshot.OpSetObjectAttr, Object: id, Attr: attr}); err != nil {
+		return err
+	}
 	return db.f.UpdateObjectAttr(id, attr)
 }
 
@@ -205,24 +241,36 @@ func (db *DB) Within(from NodeID, radius float64, attr int32) ([]Result, Stats) 
 // SetRoadDistance changes a road's distance metric (e.g. travel time under
 // new traffic conditions); the index repairs itself incrementally.
 func (db *DB) SetRoadDistance(e EdgeID, dist float64) error {
+	if err := db.logOp(snapshot.Op{Kind: snapshot.OpSetDistance, Edge: e, Value: dist}); err != nil {
+		return err
+	}
 	_, err := db.f.SetEdgeWeight(e, dist)
 	return err
 }
 
 // AddRoad inserts a new road segment between existing intersections.
 func (db *DB) AddRoad(u, v NodeID, dist float64) (EdgeID, error) {
+	if err := db.logOp(snapshot.Op{Kind: snapshot.OpAddRoad, U: u, V: v, Value: dist}); err != nil {
+		return NoEdge, err
+	}
 	e, _, err := db.f.AddEdge(u, v, dist)
 	return e, err
 }
 
 // CloseRoad removes a road segment (objects on it are dropped).
 func (db *DB) CloseRoad(e EdgeID) error {
+	if err := db.logOp(snapshot.Op{Kind: snapshot.OpClose, Edge: e}); err != nil {
+		return err
+	}
 	_, err := db.f.DeleteEdge(e)
 	return err
 }
 
 // ReopenRoad restores a previously closed road segment.
 func (db *DB) ReopenRoad(e EdgeID) error {
+	if err := db.logOp(snapshot.Op{Kind: snapshot.OpReopen, Edge: e}); err != nil {
+		return err
+	}
 	_, err := db.f.RestoreEdge(e)
 	return err
 }
@@ -244,6 +292,115 @@ func (db *DB) Epoch() uint64 { return db.f.Epoch() }
 func (db *DB) PathTo(from NodeID, obj ObjectID) ([]NodeID, float64, error) {
 	return db.f.PathTo(core.Query{Node: from}, obj)
 }
+
+// --- Persistence (snapshots + write-ahead journal) ---
+
+// Journal is a write-ahead log of maintenance operations; see
+// internal/snapshot for the on-disk format and recovery semantics.
+type Journal = snapshot.Journal
+
+// OpenJournal opens (or creates) a write-ahead journal at path, repairing
+// a torn tail entry left by a crash. Attach it with DB.AttachJournal, or
+// replay it over a loaded snapshot with DB.ReplayJournal first.
+func OpenJournal(path string) (*Journal, error) { return snapshot.OpenJournal(path) }
+
+// SaveSnapshot serializes the DB — network, Rnet hierarchy with
+// shortcuts, objects and Association Directory — to w in the versioned,
+// checksummed snapshot format. If a journal is attached, the snapshot
+// records the last journal sequence it includes, so a later
+// ReplayJournal applies only post-snapshot entries. The caller must
+// exclude concurrent mutations (roadd snapshots under its coordinator's
+// write lock).
+func (db *DB) SaveSnapshot(w io.Writer) error {
+	return snapshot.Save(db.f, db.snapshotSeq(), w)
+}
+
+// SaveSnapshotFile atomically writes a snapshot to path (temp file +
+// rename), so a crash mid-save never corrupts the previous snapshot.
+func (db *DB) SaveSnapshotFile(path string) error {
+	return snapshot.SaveFile(db.f, db.snapshotSeq(), path)
+}
+
+func (db *DB) snapshotSeq() uint64 {
+	if db.journal != nil {
+		return db.journal.LastSeq()
+	}
+	return db.baseSeq
+}
+
+// OpenSnapshot reopens a previously saved DB without rebuilding the
+// index: O(load) instead of O(build). The snapshot's maintenance epoch
+// and journal watermark are restored, so caching layers and journal
+// replay continue seamlessly.
+func OpenSnapshot(r io.Reader) (*DB, error) {
+	f, lastSeq, err := snapshot.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{f: f, baseSeq: lastSeq}, nil
+}
+
+// OpenSnapshotFile reopens a DB from a snapshot file.
+func OpenSnapshotFile(path string) (*DB, error) {
+	f, lastSeq, err := snapshot.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{f: f, baseSeq: lastSeq}, nil
+}
+
+// ReplayJournal applies every journal entry the DB's state does not
+// already include (sequence numbers beyond the loaded snapshot's
+// watermark — or beyond 0 for a freshly built DB, which replays
+// everything). It returns the number of ops applied. A returned
+// *snapshot.OpError is expected — an op that failed when first executed
+// fails identically on replay, and the replay completed; any other
+// non-nil error is fatal (the journal could not be fully read) and the
+// DB must not be treated as recovered: its watermark is left where it
+// was so the problem cannot be papered over by a later snapshot.
+func (db *DB) ReplayJournal(j *Journal) (int, error) {
+	applied, err := j.Replay(db.f, db.baseSeq)
+	var opErr *snapshot.OpError
+	if (err == nil || errors.As(err, &opErr)) && j.LastSeq() > db.baseSeq {
+		// Never regress the watermark: a rotated (shorter) journal does not
+		// mean the state includes less than the snapshot it came from.
+		db.baseSeq = j.LastSeq()
+	}
+	return applied, err
+}
+
+// IsReplayOpError reports whether a ReplayJournal error is an expected
+// per-op failure (replay completed; the op had failed live too) rather
+// than a fatal journal read/corruption error.
+func IsReplayOpError(err error) bool {
+	var opErr *snapshot.OpError
+	return errors.As(err, &opErr)
+}
+
+// AttachJournal directs every subsequent maintenance op through j before
+// it is applied (write-ahead logging). Typically called after
+// ReplayJournal so the journal is consistent with the DB state. The
+// journal's sequence counter is fast-forwarded to the DB's watermark, so
+// a fresh (or rotated) journal attached to a snapshot-loaded DB numbers
+// new ops after the snapshot's last sequence — a later replay-after-
+// watermark must not skip them — and a fresh journal is stamped with the
+// base state's fingerprint so replaying it against a different build is
+// caught. A nil journal detaches.
+func (db *DB) AttachJournal(j *Journal) error {
+	db.journal = j
+	if j == nil {
+		return nil
+	}
+	j.EnsureSeq(db.baseSeq)
+	if j.LastSeq() > db.baseSeq {
+		db.baseSeq = j.LastSeq()
+	}
+	return j.BindBase(db.f, db.baseSeq)
+}
+
+// JournalSeq returns the last journal sequence number incorporated in the
+// DB's state (0 when no journal has ever been involved).
+func (db *DB) JournalSeq() uint64 { return db.snapshotSeq() }
 
 // Session is an independent read-only query context; any number of
 // Sessions may query concurrently (I/O simulation is skipped in sessions).
