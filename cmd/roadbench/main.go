@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -49,8 +50,31 @@ func main() {
 		cacheSize   = flag.Int("cache", 0, "serve mode: result cache entries (negative disables)")
 
 		snapshotM = flag.Bool("snapshot", false, "benchmark snapshot save/load against a cold index build on the default CA network")
+
+		shardsM = flag.Int("shards", 0, "benchmark sharded serving (this many region shards) against single-index serving on the CA network -> BENCH_shard.json")
 	)
 	flag.Parse()
+
+	if *shardsM > 1 {
+		outPath := *out
+		if outPath == "" {
+			outPath = "BENCH_shard.json"
+		}
+		// Sharding is a scaling mechanism: its benchmark defaults to the
+		// full CA network (the -serve default of 0.25 exists to keep that
+		// quick mode snappy). An explicit -scale still wins.
+		shardScale := 1.0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" {
+				shardScale = *scale
+			}
+		})
+		if err := runShardBench(shardScale, *objects, *concurrency, *duration, *cacheSize, *shardsM, outPath); err != nil {
+			fmt.Fprintln(os.Stderr, "roadbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *serve {
 		outPath := *out
@@ -248,6 +272,182 @@ func runSnapshotBench(objects int, outPath string) error {
 		return err
 	}
 	fmt.Printf("snapshot bench: wrote %s\n", outPath)
+	return nil
+}
+
+// shardBenchRun pairs one workload mix's load reports against the two
+// deployments.
+type shardBenchRun struct {
+	Mix     string            `json:"mix"`
+	Single  server.LoadReport `json:"single"`
+	Sharded server.LoadReport `json:"sharded"`
+	// Speedup is sharded QPS / single QPS (≥ 1 means sharding wins).
+	Speedup float64 `json:"speedup"`
+}
+
+// shardBenchResult is the schema of BENCH_shard.json: the same mixed load
+// driven at a single-index roadd and at a sharded one over the identical
+// network and object set.
+type shardBenchResult struct {
+	GeneratedUnix  int64   `json:"generated_unix"`
+	Network        string  `json:"network"`
+	Scale          float64 `json:"scale"`
+	Nodes          int     `json:"nodes"`
+	Edges          int     `json:"edges"`
+	Objects        int     `json:"objects"`
+	Shards         int     `json:"shards"`
+	Borders        int     `json:"borders"`
+	SingleBuildMS  int64   `json:"single_build_ms"`
+	ShardedBuildMS int64   `json:"sharded_build_ms"`
+	SingleIndexKB  int64   `json:"single_index_kb"`
+	ShardedIndexKB int64   `json:"sharded_index_kb"`
+	CacheEntries   int     `json:"cache_entries"`
+	Concurrency    int     `json:"concurrency"`
+	// Verified confirms the sharded deployment answered a query sample
+	// identically to the single index before load was applied.
+	Verified bool            `json:"verified"`
+	Runs     []shardBenchRun `json:"runs"`
+}
+
+// runShardBench builds the scaled CA network once, indexes it both as a
+// single framework and as K region shards, verifies the two agree on a
+// query sample, then drives the identical load mixes at each and writes
+// the comparison to outPath.
+func runShardBench(scale float64, objects, concurrency int, duration time.Duration, cacheSize, shards int, outPath string) error {
+	spec := dataset.Scaled(dataset.CA(), scale)
+	fmt.Printf("shard bench: generating %s ×%.2f (%d nodes)...\n", spec.Name, scale, spec.Nodes)
+	g := dataset.MustGenerate(spec)
+	set := dataset.PlaceUniform(g, objects, 1, 0, 1, 2, 3)
+	radius := g.EstimateDiameter() * 0.02
+
+	gSharded := g.Clone()
+	setSharded := set.Clone(gSharded)
+
+	buildStart := time.Now()
+	single, err := road.OpenWithObjects(road.FromGraph(g), set, road.Options{Seed: 1})
+	if err != nil {
+		return err
+	}
+	singleBuildMS := time.Since(buildStart).Milliseconds()
+	fmt.Printf("shard bench: single index built in %dms, ≈ %d KB\n", singleBuildMS, single.IndexSizeBytes()/1024)
+
+	buildStart = time.Now()
+	sharded, err := road.OpenShardedWithObjects(road.FromGraph(gSharded), setSharded, road.Options{Seed: 1}, shards)
+	if err != nil {
+		return err
+	}
+	shardedBuildMS := time.Since(buildStart).Milliseconds()
+	borders := 0
+	for _, info := range sharded.ShardInfos() {
+		borders += info.Borders
+	}
+	fmt.Printf("shard bench: %d shards built in %dms, ≈ %d KB, %d border incidences\n",
+		shards, shardedBuildMS, sharded.IndexSizeBytes()/1024, borders)
+
+	// Equivalence spot check before applying load.
+	verified := true
+	for _, n := range dataset.RandomNodes(g, 50, 7) {
+		want, _ := single.KNN(n, 5, road.AnyAttr)
+		got, _ := sharded.KNN(n, 5, road.AnyAttr)
+		if len(want) != len(got) {
+			verified = false
+			break
+		}
+		for i := range want {
+			if want[i].Object.ID != got[i].Object.ID || math.Abs(want[i].Dist-got[i].Dist) > 1e-9*math.Max(1, want[i].Dist) {
+				verified = false
+			}
+		}
+	}
+	if !verified {
+		return fmt.Errorf("sharded deployment diverged from the single index on the verification sample")
+	}
+	fmt.Println("shard bench: verified sharded answers match the single index")
+
+	effCache := cacheSize
+	switch {
+	case effCache < 0:
+		effCache = 0
+	case effCache == 0:
+		effCache = server.DefaultCacheSize
+	}
+	result := shardBenchResult{
+		GeneratedUnix:  time.Now().Unix(),
+		Network:        spec.Name,
+		Scale:          scale,
+		Nodes:          g.NumNodes(),
+		Edges:          g.NumEdges(),
+		Objects:        objects,
+		Shards:         shards,
+		Borders:        borders,
+		SingleBuildMS:  singleBuildMS,
+		ShardedBuildMS: shardedBuildMS,
+		SingleIndexKB:  single.IndexSizeBytes() / 1024,
+		ShardedIndexKB: sharded.IndexSizeBytes() / 1024,
+		CacheEntries:   effCache,
+		Concurrency:    concurrency,
+		Verified:       verified,
+	}
+
+	// Both deployments serve for the whole benchmark; each mix is driven
+	// at them back-to-back so environmental drift (this is often a small,
+	// shared box) lands on both sides of every comparison equally.
+	startServer := func(srv *server.Server) (string, func(), error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", nil, err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)
+		return "http://" + ln.Addr().String(), func() { httpSrv.Close() }, nil
+	}
+	singleTarget, stopSingle, err := startServer(server.New(single, server.Options{CacheSize: cacheSize}))
+	if err != nil {
+		return err
+	}
+	defer stopSingle()
+	shardedTarget, stopSharded, err := startServer(server.NewSharded(sharded, server.Options{CacheSize: cacheSize}))
+	if err != nil {
+		return err
+	}
+	defer stopSharded()
+
+	drive := func(label, target, mix string) (server.LoadReport, error) {
+		report, err := server.RunLoad(server.LoadOptions{
+			Target:      target,
+			Concurrency: concurrency,
+			Duration:    duration,
+			Mix:         mix,
+			K:           5,
+			Radius:      radius,
+			Seed:        1,
+		})
+		if err != nil {
+			return report, fmt.Errorf("%s load run %q: %w", label, mix, err)
+		}
+		fmt.Printf("shard bench: %-7s %-6s %8.0f qps  p50 %6dµs  p99 %6dµs  hit rate %4.1f%%\n",
+			label, mix, report.QPS, report.P50US, report.P99US, 100*report.CacheHitRate)
+		return report, nil
+	}
+	for _, mix := range []string{"knn", "within", "mixed"} {
+		run := shardBenchRun{Mix: mix}
+		if run.Single, err = drive("single", singleTarget, mix); err != nil {
+			return err
+		}
+		if run.Sharded, err = drive("sharded", shardedTarget, mix); err != nil {
+			return err
+		}
+		if run.Single.QPS > 0 {
+			run.Speedup = run.Sharded.QPS / run.Single.QPS
+		}
+		result.Runs = append(result.Runs, run)
+		fmt.Printf("shard bench: %-6s sharded/single throughput ×%.2f\n", mix, run.Speedup)
+	}
+
+	if err := writeJSONFile(outPath, result); err != nil {
+		return err
+	}
+	fmt.Printf("shard bench: wrote %s\n", outPath)
 	return nil
 }
 

@@ -6,6 +6,13 @@
 // instead of rebuilding in O(build), and with -journal every maintenance
 // op is write-ahead logged and replayed over the snapshot on startup.
 //
+// With -shards K the network is split into K region shards along its
+// top-level partition boundaries, one full ROAD index per shard behind a
+// query router that answers cross-shard queries through recorded border
+// distances. Each shard persists its own snapshot and journal (plus one
+// manifest tying the global ID space together), /stats reports per-shard
+// load, and every shard keeps its own epoch.
+//
 // Usage:
 //
 //	roadd -net CA -objects 1000                 # synthetic network
@@ -14,6 +21,14 @@
 //	                                            # durable: first start
 //	                                            # builds + saves, later
 //	                                            # starts load + replay
+//	roadd -net CA -shards 4                     # sharded serving
+//	roadd -net CA -shards 4 -snapshot ca.snap -journal ca.wal
+//	                                            # per-shard ca.snap.N +
+//	                                            # ca.snap.manifest, ca.wal.N
+//	roadd -snapshot ca.snap -journal ca.wal -journal-max-bytes 1048576
+//	                                            # auto-snapshot (and rotate
+//	                                            # the journal) once it
+//	                                            # outgrows 1 MiB
 //
 // Endpoints (see internal/server for the full reference):
 //
@@ -27,7 +42,9 @@
 //	GET  /healthz
 //
 // On SIGTERM/SIGINT a -snapshot daemon persists a final snapshot (under
-// the write lock, so it is epoch-consistent) before exiting.
+// the write lock, so it is epoch-consistent) before exiting. Every
+// successful snapshot save also rotates the journal(s), dropping entries
+// the snapshot already includes.
 package main
 
 import (
@@ -50,18 +67,20 @@ import (
 // parameter list so call sites cannot silently transpose same-typed
 // arguments.
 type config struct {
-	addr        string
-	load        string
-	net         string
-	scale       float64
-	objects     int
-	levels      int
-	seed        int64
-	cacheSize   int
-	storePaths  bool
-	snapPath    string
-	journalPath string
-	journalSync bool
+	addr            string
+	load            string
+	net             string
+	scale           float64
+	objects         int
+	levels          int
+	seed            int64
+	cacheSize       int
+	storePaths      bool
+	shards          int
+	snapPath        string
+	journalPath     string
+	journalSync     bool
+	journalMaxBytes int64
 }
 
 func main() {
@@ -74,10 +93,12 @@ func main() {
 	flag.IntVar(&cfg.levels, "levels", 0, "Rnet hierarchy depth (0 = default)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "placement seed")
 	flag.IntVar(&cfg.cacheSize, "cache", 0, "result cache entries (0 = default, negative disables)")
-	flag.BoolVar(&cfg.storePaths, "paths", true, "retain shortcut waypoints so /path works (costs memory)")
-	flag.StringVar(&cfg.snapPath, "snapshot", "", "snapshot file: load it if present (skipping the build), create it otherwise; enables /admin/snapshot and snapshot-on-SIGTERM")
-	flag.StringVar(&cfg.journalPath, "journal", "", "write-ahead journal file: maintenance ops are logged before they apply and replayed over the snapshot on startup")
+	flag.BoolVar(&cfg.storePaths, "paths", true, "retain shortcut waypoints so /path works (costs memory; sharded serving reconstructs paths without them)")
+	flag.IntVar(&cfg.shards, "shards", 1, "serve K region shards behind a query router (power of two ≥ 2; 1 = single index)")
+	flag.StringVar(&cfg.snapPath, "snapshot", "", "snapshot file: load it if present (skipping the build), create it otherwise; enables /admin/snapshot and snapshot-on-SIGTERM. With -shards this is a path prefix (prefix.N per shard + prefix.manifest)")
+	flag.StringVar(&cfg.journalPath, "journal", "", "write-ahead journal file: maintenance ops are logged before they apply and replayed over the snapshot on startup. With -shards this is a path prefix (prefix.N per shard)")
 	flag.BoolVar(&cfg.journalSync, "journal-sync", false, "fsync the journal after every op (durable against machine crashes, slower)")
+	flag.Int64Var(&cfg.journalMaxBytes, "journal-max-bytes", 0, "auto-snapshot (and rotate the journal) when the journal exceeds this many bytes (0 disables)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "roadd:", err)
@@ -86,35 +107,124 @@ func main() {
 }
 
 func run(cfg config) error {
+	var srv *server.Server
+	var journalSize func() int64
+	var closeJournals func() error
+	var err error
+	if cfg.shards > 1 {
+		srv, journalSize, closeJournals, err = setupSharded(cfg)
+	} else {
+		srv, journalSize, closeJournals, err = setupSingle(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	if closeJournals != nil {
+		// Close (and thereby fsync) the journals on the way out, so a
+		// clean shutdown leaves every acknowledged op on stable storage
+		// even without -journal-sync.
+		defer closeJournals()
+	}
+	return serve(cfg, srv, journalSize)
+}
+
+// serve runs the HTTP front end, the optional journal-size watcher, and
+// the shutdown path shared by single-index and sharded deployments.
+func serve(cfg config, srv *server.Server, journalSize func() int64) error {
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("roadd: serving on %s\n", cfg.addr)
+
+	stopWatch := make(chan struct{})
+	watchDone := make(chan struct{})
+	if cfg.journalMaxBytes > 0 && cfg.snapPath != "" && cfg.journalPath != "" {
+		go watchJournal(srv, journalSize, cfg.journalMaxBytes, stopWatch, watchDone)
+	} else {
+		close(watchDone)
+	}
+	// stopWatcher joins the auto-snapshot goroutine so an in-flight
+	// snapshot cannot race the final snapshot or the journal close.
+	stopWatcher := func() {
+		close(stopWatch)
+		<-watchDone
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		stopWatcher()
+		return err
+	case sig := <-sigc:
+		stopWatcher()
+		fmt.Printf("roadd: %v: shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		if cfg.snapPath != "" {
+			epoch, seq, bytes, err := srv.TakeSnapshot()
+			if err != nil {
+				return fmt.Errorf("final snapshot: %w", err)
+			}
+			fmt.Printf("roadd: final snapshot %s (epoch %d, journal seq %d, %d bytes)\n", cfg.snapPath, epoch, seq, bytes)
+		}
+		return nil
+	}
+}
+
+// watchJournal polls the journal size and triggers an auto-snapshot —
+// which rotates the journal, shrinking it back to its header — whenever
+// the configured bound is exceeded.
+func watchJournal(srv *server.Server, size func() int64, maxBytes int64, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(500 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			if size() <= maxBytes {
+				continue
+			}
+			epoch, seq, bytes, err := srv.TakeSnapshot()
+			if err != nil {
+				fmt.Printf("roadd: auto-snapshot failed: %v\n", err)
+				continue
+			}
+			fmt.Printf("roadd: journal exceeded %d bytes: auto-snapshot (epoch %d, seq %d, %d bytes), journal rotated\n",
+				maxBytes, epoch, seq, bytes)
+		}
+	}
+}
+
+// --- Single-index deployment ---
+
+func setupSingle(cfg config) (*server.Server, func() int64, func() error, error) {
 	// Stat the snapshot exactly once: "absent" means build-and-create, but
 	// any other stat failure (unreadable parent, permission) must surface —
 	// silently running unpersisted would only be discovered at the next
 	// restart.
-	snapExists := false
-	if cfg.snapPath != "" {
-		switch _, err := os.Stat(cfg.snapPath); {
-		case err == nil:
-			snapExists = true
-		case os.IsNotExist(err):
-		default:
-			return fmt.Errorf("snapshot %s: %w", cfg.snapPath, err)
-		}
+	snapExists, err := usableFile(cfg.snapPath)
+	if err != nil {
+		return nil, nil, nil, err
 	}
 
 	db, err := openDB(cfg, snapExists)
 	if err != nil {
-		return err
+		return nil, nil, nil, err
 	}
 
 	// Journal: replay whatever the base state (snapshot or fresh build)
 	// does not include, then attach so new ops are write-ahead logged.
-	var journal *road.Journal
+	closeJournal := func() error { return nil }
 	if cfg.journalPath != "" {
-		journal, err = road.OpenJournal(cfg.journalPath)
+		journal, err := road.OpenJournal(cfg.journalPath)
 		if err != nil {
-			return err
+			return nil, nil, nil, err
 		}
-		defer journal.Close()
+		closeJournal = journal.Close
 		journal.SyncEachAppend = cfg.journalSync
 		start := time.Now()
 		applied, rerr := db.ReplayJournal(journal)
@@ -122,7 +232,7 @@ func run(cfg config) error {
 			if !road.IsReplayOpError(rerr) {
 				// Fatal: the journal could not be fully read; serving now
 				// would silently drop the unapplied tail.
-				return fmt.Errorf("journal replay: %w", rerr)
+				return nil, nil, nil, fmt.Errorf("journal replay: %w", rerr)
 			}
 			// Expected: an op that failed live fails identically on replay.
 			fmt.Printf("roadd: journal replay note: %v\n", rerr)
@@ -132,7 +242,7 @@ func run(cfg config) error {
 				applied, time.Since(start).Round(time.Millisecond), db.Epoch())
 		}
 		if err := db.AttachJournal(journal); err != nil {
-			return err
+			return nil, nil, nil, err
 		}
 	}
 
@@ -140,41 +250,144 @@ func run(cfg config) error {
 	// the next start is O(load).
 	if cfg.snapPath != "" && !snapExists {
 		if err := db.SaveSnapshotFile(cfg.snapPath); err != nil {
-			return err
+			return nil, nil, nil, err
 		}
 		fmt.Printf("roadd: wrote initial snapshot %s\n", cfg.snapPath)
 	}
 
 	opts := server.Options{CacheSize: cfg.cacheSize}
 	if cfg.snapPath != "" {
-		opts.SnapshotSave = func() error { return db.SaveSnapshotFile(cfg.snapPath) }
-	}
-	srv := server.New(db, opts)
-
-	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
-	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Printf("roadd: serving on %s\n", cfg.addr)
-
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
-	select {
-	case err := <-errc:
-		return err
-	case sig := <-sigc:
-		fmt.Printf("roadd: %v: shutting down\n", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		httpSrv.Shutdown(ctx)
-		if cfg.snapPath != "" {
-			epoch, seq, err := srv.TakeSnapshot()
-			if err != nil {
-				return fmt.Errorf("final snapshot: %w", err)
+		opts.SnapshotSave = func() (int64, error) {
+			if err := db.SaveSnapshotFile(cfg.snapPath); err != nil {
+				return 0, err
 			}
-			fmt.Printf("roadd: final snapshot %s (epoch %d, journal seq %d)\n", cfg.snapPath, epoch, seq)
+			// Rotate right after the save, under the same write lock: the
+			// dropped entries are exactly the ones the snapshot includes.
+			if err := db.CompactJournal(); err != nil {
+				return 0, fmt.Errorf("rotating journal: %w", err)
+			}
+			return fileSize(cfg.snapPath), nil
 		}
-		return nil
 	}
+	return server.New(db, opts), db.JournalSizeBytes, closeJournal, nil
+}
+
+// --- Sharded deployment ---
+
+func setupSharded(cfg config) (*server.Server, func() int64, func() error, error) {
+	snapExists, err := usableFile(manifestPathOrEmpty(cfg.snapPath))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	var db *road.ShardedDB
+	if snapExists {
+		start := time.Now()
+		db, err = road.OpenShardedSnapshotFiles(cfg.snapPath)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		fmt.Printf("roadd: loaded %d shard snapshots under %s in %v (%d nodes, %d edges, %d objects)\n",
+			db.NumShards(), cfg.snapPath, time.Since(start).Round(time.Millisecond),
+			db.NumNodes(), db.NumRoads(), db.NumObjects())
+	} else {
+		g, set, err := loadOrGenerate(cfg.load, cfg.net, cfg.scale, cfg.objects, cfg.seed)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		fmt.Printf("roadd: building %d shards over %d nodes, %d edges, %d objects...\n",
+			cfg.shards, g.NumNodes(), g.NumEdges(), set.Len())
+		start := time.Now()
+		db, err = road.OpenShardedWithObjects(road.FromGraph(g), set, road.Options{
+			Levels: cfg.levels,
+			Seed:   cfg.seed,
+		}, cfg.shards)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		fmt.Printf("roadd: built in %v, index ≈ %d KB across %d shards\n",
+			time.Since(start).Round(time.Millisecond), db.IndexSizeBytes()/1024, db.NumShards())
+	}
+
+	if cfg.journalPath != "" {
+		journals, err := db.OpenShardJournals(cfg.journalPath, cfg.journalSync)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		start := time.Now()
+		applied, rerr := db.ReplayJournals(journals)
+		if rerr != nil {
+			if !road.IsReplayOpError(rerr) {
+				return nil, nil, nil, fmt.Errorf("shard journal replay: %w", rerr)
+			}
+			fmt.Printf("roadd: journal replay note: %v\n", rerr)
+		}
+		if applied > 0 {
+			fmt.Printf("roadd: replayed %d journaled ops across %d shard journals in %v (epoch %d)\n",
+				applied, db.NumShards(), time.Since(start).Round(time.Millisecond), db.Epoch())
+		}
+		if err := db.AttachJournals(journals); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+
+	if cfg.snapPath != "" && !snapExists {
+		if err := db.SaveSnapshotFiles(cfg.snapPath); err != nil {
+			return nil, nil, nil, err
+		}
+		fmt.Printf("roadd: wrote initial shard snapshots under %s\n", cfg.snapPath)
+	}
+
+	opts := server.Options{CacheSize: cfg.cacheSize}
+	if cfg.snapPath != "" {
+		opts.SnapshotSave = func() (int64, error) {
+			if err := db.SaveSnapshotFiles(cfg.snapPath); err != nil {
+				return 0, err
+			}
+			if err := db.CompactJournals(); err != nil {
+				return 0, fmt.Errorf("rotating shard journals: %w", err)
+			}
+			total := fileSize(road.ShardManifestPath(cfg.snapPath))
+			for i := 0; i < db.NumShards(); i++ {
+				total += fileSize(road.ShardSnapshotPath(cfg.snapPath, i))
+			}
+			return total, nil
+		}
+	}
+	return server.NewSharded(db, opts), db.JournalSizeBytes, db.CloseJournals, nil
+}
+
+// --- Shared helpers ---
+
+// usableFile reports whether path names an existing file; an empty path
+// is simply absent, any stat error other than non-existence is fatal.
+func usableFile(path string) (bool, error) {
+	if path == "" {
+		return false, nil
+	}
+	switch _, err := os.Stat(path); {
+	case err == nil:
+		return true, nil
+	case os.IsNotExist(err):
+		return false, nil
+	default:
+		return false, fmt.Errorf("snapshot %s: %w", path, err)
+	}
+}
+
+func manifestPathOrEmpty(prefix string) string {
+	if prefix == "" {
+		return ""
+	}
+	return road.ShardManifestPath(prefix)
+}
+
+func fileSize(path string) int64 {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return info.Size()
 }
 
 // openDB produces the base DB state: a snapshot load when -snapshot names

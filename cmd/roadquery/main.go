@@ -22,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"road"
 	"road/internal/core"
 	"road/internal/dataset"
 	"road/internal/graph"
@@ -43,6 +44,7 @@ func main() {
 		rangeFr = flag.Float64("range", 0, "range radius as a fraction of the diameter")
 		from    = flag.Int("from", -1, "query node (default: random)")
 		attr    = flag.Int("attr", 0, "attribute predicate (0 = any)")
+		shards  = flag.Int("shards", 1, "answer through K region shards behind a query router (power of two ≥ 2; 1 = single index)")
 		levels  = flag.Int("levels", 0, "Rnet hierarchy depth (0 = default)")
 		seed    = flag.Int64("seed", 1, "placement/query seed")
 		jsonOut = flag.Bool("json", false, "emit machine-readable JSON (roadd's wire encoding)")
@@ -127,37 +129,63 @@ func main() {
 		set = dataset.PlaceUniform(g, *objects, *seed, 0, 1, 2, 3)
 	}
 
-	rcfg := rnet.DefaultConfig(g.NumNodes())
-	if *levels != 0 {
-		rcfg.Levels = *levels
-	}
-	logf("building ROAD (p=%d, l=%d)...\n", rcfg.Fanout, rcfg.Levels)
-	start := time.Now()
-	f, err := core.Build(g, set, core.Config{Rnet: rcfg})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "roadquery:", err)
-		os.Exit(1)
-	}
-	logf("built in %v: %d Rnets, %d shortcuts, index ≈ %d KB\n",
-		time.Since(start).Round(time.Millisecond), f.Hierarchy().NumRnets(),
-		f.Hierarchy().ShortcutCount(), f.IndexSizeBytes()/1024)
-
 	qnode := graph.NodeID(*from)
 	if *from < 0 {
 		qnode = dataset.RandomNodes(g, 1, *seed+7)[0]
 	}
-	q := core.Query{Node: qnode, Attr: int32(*attr)}
+
+	// Resolve the range radius before the graph is adopted by an index.
+	var rangeRadius float64
+	if *rangeFr > 0 {
+		rangeRadius = g.EstimateDiameter() * *rangeFr
+	}
+
+	var doKNN func(k int) ([]core.Result, core.QueryStats)
+	var doRange func(radius float64) ([]core.Result, core.QueryStats)
+	if *shards > 1 {
+		logf("building %d region shards...\n", *shards)
+		start := time.Now()
+		db, err := road.OpenShardedWithObjects(road.FromGraph(g), set, road.Options{
+			Levels: *levels,
+			Seed:   *seed,
+		}, *shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roadquery:", err)
+			os.Exit(1)
+		}
+		logf("built in %v: %d shards, index ≈ %d KB\n",
+			time.Since(start).Round(time.Millisecond), db.NumShards(), db.IndexSizeBytes()/1024)
+		doKNN = func(k int) ([]core.Result, core.QueryStats) { return db.KNN(qnode, k, int32(*attr)) }
+		doRange = func(radius float64) ([]core.Result, core.QueryStats) { return db.Within(qnode, radius, int32(*attr)) }
+	} else {
+		rcfg := rnet.DefaultConfig(g.NumNodes())
+		if *levels != 0 {
+			rcfg.Levels = *levels
+		}
+		logf("building ROAD (p=%d, l=%d)...\n", rcfg.Fanout, rcfg.Levels)
+		start := time.Now()
+		f, err := core.Build(g, set, core.Config{Rnet: rcfg})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roadquery:", err)
+			os.Exit(1)
+		}
+		logf("built in %v: %d Rnets, %d shortcuts, index ≈ %d KB\n",
+			time.Since(start).Round(time.Millisecond), f.Hierarchy().NumRnets(),
+			f.Hierarchy().ShortcutCount(), f.IndexSizeBytes()/1024)
+		q := core.Query{Node: qnode, Attr: int32(*attr)}
+		doKNN = func(k int) ([]core.Result, core.QueryStats) { return f.KNN(q, k) }
+		doRange = func(radius float64) ([]core.Result, core.QueryStats) { return f.Range(q, radius) }
+	}
 
 	switch {
 	case *knn > 0:
-		start = time.Now()
-		res, st := f.KNN(q, *knn)
+		start := time.Now()
+		res, st := doKNN(*knn)
 		report(res, st, time.Since(start), qnode, *jsonOut)
 	case *rangeFr > 0:
-		radius := g.EstimateDiameter() * *rangeFr
-		logf("range radius: %.3f\n", radius)
-		start = time.Now()
-		res, st := f.Range(q, radius)
+		logf("range radius: %.3f\n", rangeRadius)
+		start := time.Now()
+		res, st := doRange(rangeRadius)
 		report(res, st, time.Since(start), qnode, *jsonOut)
 	default:
 		fmt.Fprintln(os.Stderr, "roadquery: pass -knn K or -range FRACTION, or -target URL")

@@ -41,6 +41,59 @@ type queueEntry struct {
 	obj  graph.ObjectID
 }
 
+// Seed is one source of a multi-source search: a node paired with the
+// distance already accumulated to reach it. The sharding router enters a
+// shard's framework through its border nodes this way.
+type Seed = graph.Seed
+
+// WatchSet marks nodes whose exact settled distances a search must report
+// — the sharding router watches a shard's border nodes so it can expand
+// the search into neighbouring shards. Because the ROAD traversal bypasses
+// object-free Rnets via shortcuts, a watched node buried inside such an
+// Rnet would normally never be settled; the set therefore also records
+// every Rnet containing a watched node, and the search descends into those
+// instead of bypassing them. A WatchSet is immutable after construction
+// and safe to share across concurrent sessions; it must be rebuilt after
+// topology mutations (edge additions, closures, reopenings), which can
+// move nodes between Rnets.
+type WatchSet struct {
+	// Dense membership tables — they sit on the per-settled-node path of
+	// every watched search, so lookups must be array indexing, not
+	// hashing. Sized to the framework's node and Rnet counts (both fixed
+	// after build; AddEdge reuses existing leaf Rnets).
+	nodes []bool
+	rnets []bool
+}
+
+// NewWatchSet builds a watch set over the given nodes of f's network.
+func (f *Framework) NewWatchSet(nodes []graph.NodeID) *WatchSet {
+	w := &WatchSet{
+		nodes: make([]bool, f.g.NumNodes()),
+		rnets: make([]bool, f.h.NumRnets()),
+	}
+	for _, n := range nodes {
+		w.nodes[n] = true
+		for _, half := range f.g.Neighbors(n) {
+			leaf := f.h.LeafOf(half.Edge)
+			if leaf == rnet.NoRnet {
+				continue
+			}
+			for r := leaf; r != rnet.NoRnet; r = f.h.Rnet(r).Parent {
+				if w.rnets[r] {
+					break // ancestors already marked via a sibling
+				}
+				w.rnets[r] = true
+			}
+		}
+	}
+	return w
+}
+
+// Contains reports whether n is watched.
+func (w *WatchSet) Contains(n graph.NodeID) bool {
+	return int(n) < len(w.nodes) && w.nodes[n]
+}
+
 // queryWorkspace holds per-query scratch state, reused across queries so
 // steady-state searches allocate almost nothing. A Framework (and thus its
 // workspace) is not safe for concurrent queries.
@@ -124,6 +177,24 @@ func (f *Framework) search(ad *AssocDir, q Query, k int, radius float64) ([]Resu
 // routes index accesses through the simulated page store; Sessions pass
 // false so concurrent queries never touch shared buffer state.
 func (f *Framework) searchWith(ad *AssocDir, q Query, k int, radius float64, ws *queryWorkspace, chargeIO bool) ([]Result, QueryStats) {
+	return f.searchSeeded(ad, []Seed{{Node: q.Node}}, q.Attr, k, radius, ws, chargeIO, nil, nil)
+}
+
+// searchSeeded is searchWith generalized to multiple seeds and an optional
+// watch set. Every seed enters the queue at its accumulated distance, so
+// results report min over seeds of seed.Dist + d(seed, object). When watch
+// is non-nil, watchDist receives the exact settled distance of every
+// watched node the expansion reaches before it stops; by the Dijkstra
+// settling order, that is every watched node strictly closer than the kth
+// result (kNN) or within the radius (range) — exactly the border set a
+// cross-shard search may usefully continue through.
+//
+// With k > 0 a positive radius acts as an additional stop bound: the
+// expansion halts once the frontier passes it even with fewer than k
+// results. The sharding router passes its current global kth-best, so a
+// shard entered near the bound is not searched beyond what could still
+// improve the merged answer.
+func (f *Framework) searchSeeded(ad *AssocDir, seeds []Seed, attr int32, k int, radius float64, ws *queryWorkspace, chargeIO bool, watch *WatchSet, watchDist map[graph.NodeID]float64) ([]Result, QueryStats) {
 	var stats QueryStats
 	var ioMark storage.Stats
 	if f.store != nil && chargeIO {
@@ -133,13 +204,15 @@ func (f *Framework) searchWith(ad *AssocDir, q Query, k int, radius float64, ws 
 	f.prepare(ws)
 	var res []Result
 
-	ws.pq.Push(queueEntry{node: q.Node, obj: -1}, 0)
+	for _, sd := range seeds {
+		ws.pq.Push(queueEntry{node: sd.Node, obj: -1}, sd.Dist)
+	}
 	for ws.pq.Len() > 0 {
 		item, _ := ws.pq.Pop()
 		entry := item.Value.(queueEntry)
 		d := item.Priority
-		if k == 0 && d > radius {
-			break // range satisfied: everything farther is out of range
+		if (k == 0 || radius > 0) && d > radius {
+			break // past the range radius / the caller's stop bound
 		}
 		if entry.obj >= 0 {
 			if ws.visObjs[entry.obj] {
@@ -160,16 +233,19 @@ func (f *Framework) searchWith(ad *AssocDir, q Query, k int, radius float64, ws 
 		}
 		ws.markNode(n)
 		stats.NodesPopped++
+		if watch != nil && watch.nodes[n] {
+			watchDist[n] = d
+		}
 
 		// Object lookup at the settled node.
-		for _, a := range ad.objectsAt(n, q.Attr, chargeIO) {
+		for _, a := range ad.objectsAt(n, attr, chargeIO) {
 			if !ws.visObjs[a.obj] {
 				ws.pq.Push(queueEntry{obj: a.obj}, d+a.dist)
 			}
 		}
 
 		// ChoosePath: walk the node's shortcut tree.
-		f.choosePath(ad, ws, n, d, q.Attr, chargeIO, &stats)
+		f.choosePath(ad, ws, n, d, attr, chargeIO, watch, &stats)
 	}
 
 	if f.store != nil && chargeIO {
@@ -182,14 +258,16 @@ func (f *Framework) searchWith(ad *AssocDir, q Query, k int, radius float64, ws 
 // node n's shortcut tree; an Rnet whose abstract has no matching object is
 // bypassed through n's shortcuts (when n is one of its borders), otherwise
 // the walk descends, bottoming out at physical edges.
-func (f *Framework) choosePath(ad *AssocDir, ws *queryWorkspace, n graph.NodeID, d float64, attr int32, chargeIO bool, stats *QueryStats) {
+func (f *Framework) choosePath(ad *AssocDir, ws *queryWorkspace, n graph.NodeID, d float64, attr int32, chargeIO bool, watch *WatchSet, stats *QueryStats) {
 	g := f.g
 	// Rnet abstract verdicts are stable within one query; memoize them so
-	// repeated ChoosePath calls don't re-probe the directory.
+	// repeated ChoosePath calls don't re-probe the directory. An Rnet
+	// holding a watched node must be descended even when object-free, or
+	// the watched node would be hopped over and never settled.
 	mayContain := func(r rnet.RnetID) bool {
 		v, ok := ws.verdicts[r]
 		if !ok {
-			v = ad.rnetMayContain(r, attr, chargeIO)
+			v = ad.rnetMayContain(r, attr, chargeIO) || (watch != nil && watch.rnets[r])
 			ws.verdicts[r] = v
 		}
 		return v

@@ -44,6 +44,18 @@ func (s *Session) Range(q Query, radius float64) ([]Result, QueryStats) {
 	return s.f.searchWith(s.f.ad, q, 0, radius, s.ws, false)
 }
 
+// SearchSeeded runs one multi-source search: kNN when k > 0, range search
+// bounded by radius when k == 0. Seeds enter the expansion at their own
+// accumulated distances, and when watch is non-nil the exact settled
+// distance of every watched node the search reaches is written into
+// watchDist (which the caller owns — a WatchSet itself is shareable across
+// sessions, per-query outputs are not). This is the primitive the sharding
+// router drives: the home shard is searched with its border nodes watched,
+// neighbouring shards are searched seeded at their borders.
+func (s *Session) SearchSeeded(seeds []Seed, attr int32, k int, radius float64, watch *WatchSet, watchDist map[graph.NodeID]float64) ([]Result, QueryStats) {
+	return s.f.searchSeeded(s.f.ad, seeds, attr, k, radius, s.ws, false, watch, watchDist)
+}
+
 // PathTo computes the detailed shortest route from q.Node to an object
 // (see Framework.PathTo). Unlike the Framework variant it bypasses the
 // simulated page store, so any number of sessions may compute paths

@@ -119,6 +119,15 @@ func (s *Search) PathEdges(n NodeID) []EdgeID {
 // A nil EdgeFilter admits every live edge.
 type EdgeFilter func(EdgeID) bool
 
+// Seed is one source of a multi-source traversal: a node paired with the
+// initial distance it is reached at. Sharded search enters a region shard
+// through its border nodes this way, each border carrying the global
+// distance already accumulated outside the shard.
+type Seed struct {
+	Node NodeID
+	Dist float64
+}
+
 // Options tunes a Dijkstra run.
 type Options struct {
 	// MaxDist stops expansion beyond this distance (inclusive). Zero means
@@ -137,10 +146,23 @@ type Options struct {
 // Run executes Dijkstra from src with the given options. Distances and
 // paths are afterwards available via Dist/Path/PathEdges.
 func (s *Search) Run(src NodeID, opt Options) {
+	s.RunSeeded([]Seed{{Node: src}}, opt)
+}
+
+// RunSeeded executes Dijkstra from several seeds at once, each starting at
+// its own initial distance. The resulting Dist(n) is min over seeds of
+// seed.Dist + d(seed.Node, n); Path(n) walks back to the winning seed.
+func (s *Search) RunSeeded(seeds []Seed, opt Options) {
 	s.begin()
-	s.touch(src)
-	s.dist[src] = 0
-	s.pq.Push(src, 0)
+	for _, sd := range seeds {
+		s.touch(sd.Node)
+		if sd.Dist < s.dist[sd.Node] {
+			s.dist[sd.Node] = sd.Dist
+			s.parent[sd.Node] = NoNode
+			s.via[sd.Node] = NoEdge
+			s.pq.Push(sd.Node, sd.Dist)
+		}
+	}
 
 	remaining := 0
 	var want []bool

@@ -8,7 +8,10 @@
 // and session-pool behaviour.
 package server
 
-import "road"
+import (
+	"road"
+	"road/internal/shard"
+)
 
 // Wire types shared by the roadd handlers, the roadquery -json output and
 // the load generator, so every tool in the repo speaks one encoding.
@@ -83,11 +86,14 @@ type ErrorResponse struct {
 
 // SnapshotResponse acknowledges /admin/snapshot: the snapshot was written
 // at exactly this epoch and journal sequence (readers were excluded while
-// it was taken, so the image is epoch-consistent).
+// it was taken, so the image is epoch-consistent), and Bytes is the total
+// size of the snapshot file(s) written — summed across shards on a
+// sharded deployment.
 type SnapshotResponse struct {
 	OK         bool   `json:"ok"`
 	Epoch      uint64 `json:"epoch"`
 	JournalSeq uint64 `json:"journal_seq"`
+	Bytes      int64  `json:"bytes"`
 	ElapsedUS  int64  `json:"elapsed_us"`
 }
 
@@ -122,6 +128,10 @@ type StatsResponse struct {
 
 	Cache CacheStats `json:"cache"`
 	Pool  PoolStats  `json:"pool"`
+
+	// Shards reports per-shard size, epoch and load when serving a
+	// sharded database (absent on a single-index deployment).
+	Shards []shard.Info `json:"shards,omitempty"`
 }
 
 func resultsJSON(res []road.Result) []ResultJSON {

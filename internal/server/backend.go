@@ -1,0 +1,112 @@
+package server
+
+import (
+	"road"
+	"road/internal/shard"
+)
+
+// Querier is one concurrent read context over a served database: the
+// query surface of road.Session and road.ShardedSession.
+type Querier interface {
+	KNN(from road.NodeID, k int, attr int32) ([]road.Result, road.Stats)
+	Within(from road.NodeID, radius float64, attr int32) ([]road.Result, road.Stats)
+	PathTo(from road.NodeID, obj road.ObjectID) ([]road.NodeID, float64, error)
+}
+
+// Backend is the database contract the serving subsystem runs on. Both
+// road.DB (one index) and road.ShardedDB (a router over per-region
+// shards) serve through it; the coordinator, session pool, result cache
+// and handlers are identical either way.
+type Backend interface {
+	Epoch() uint64
+	JournalSeq() uint64
+	NumNodes() int
+	NumEdges() int
+	NumObjects() int
+	IndexSizeBytes() int64
+
+	// NewQuerier returns a fresh concurrent read context (pooled by the
+	// serving layer).
+	NewQuerier() Querier
+
+	// WarmAfterMutation re-materializes lazily-rebuilt read-path state
+	// (shortcut trees) while readers are still excluded, even after a
+	// failed op — partial mutations invalidate too.
+	WarmAfterMutation()
+
+	SetRoadDistance(e road.EdgeID, dist float64) error
+	AddRoad(u, v road.NodeID, dist float64) (road.EdgeID, error)
+	CloseRoad(e road.EdgeID) error
+	ReopenRoad(e road.EdgeID) error
+	AddObject(e road.EdgeID, offset float64, attr int32) (road.Object, error)
+	RemoveObject(id road.ObjectID) error
+	SetObjectAttr(id road.ObjectID, attr int32) error
+}
+
+// shardInfoProvider is the optional Backend extension a sharded database
+// implements; /stats surfaces its per-shard load section.
+type shardInfoProvider interface {
+	ShardInfos() []shard.Info
+}
+
+// DBBackend adapts a single-index road.DB to the Backend contract.
+func DBBackend(db *road.DB) Backend { return dbBackend{db} }
+
+type dbBackend struct{ db *road.DB }
+
+func (b dbBackend) Epoch() uint64         { return b.db.Epoch() }
+func (b dbBackend) JournalSeq() uint64    { return b.db.JournalSeq() }
+func (b dbBackend) NumNodes() int         { return b.db.Framework().Graph().NumNodes() }
+func (b dbBackend) NumEdges() int         { return b.db.Framework().Graph().NumEdges() }
+func (b dbBackend) NumObjects() int       { return b.db.Framework().Objects().Len() }
+func (b dbBackend) IndexSizeBytes() int64 { return b.db.IndexSizeBytes() }
+func (b dbBackend) NewQuerier() Querier   { return b.db.NewSession() }
+func (b dbBackend) WarmAfterMutation()    { b.db.Framework().WarmTrees() }
+
+func (b dbBackend) SetRoadDistance(e road.EdgeID, dist float64) error {
+	return b.db.SetRoadDistance(e, dist)
+}
+func (b dbBackend) AddRoad(u, v road.NodeID, dist float64) (road.EdgeID, error) {
+	return b.db.AddRoad(u, v, dist)
+}
+func (b dbBackend) CloseRoad(e road.EdgeID) error  { return b.db.CloseRoad(e) }
+func (b dbBackend) ReopenRoad(e road.EdgeID) error { return b.db.ReopenRoad(e) }
+func (b dbBackend) AddObject(e road.EdgeID, offset float64, attr int32) (road.Object, error) {
+	return b.db.AddObject(e, offset, attr)
+}
+func (b dbBackend) RemoveObject(id road.ObjectID) error { return b.db.RemoveObject(id) }
+func (b dbBackend) SetObjectAttr(id road.ObjectID, attr int32) error {
+	return b.db.SetObjectAttr(id, attr)
+}
+
+// ShardedBackend adapts a road.ShardedDB to the Backend contract, with
+// per-shard load reporting.
+func ShardedBackend(db *road.ShardedDB) Backend { return shardedBackend{db} }
+
+type shardedBackend struct{ db *road.ShardedDB }
+
+func (b shardedBackend) Epoch() uint64         { return b.db.Epoch() }
+func (b shardedBackend) JournalSeq() uint64    { return b.db.JournalSeq() }
+func (b shardedBackend) NumNodes() int         { return b.db.NumNodes() }
+func (b shardedBackend) NumEdges() int         { return b.db.NumRoads() }
+func (b shardedBackend) NumObjects() int       { return b.db.NumObjects() }
+func (b shardedBackend) IndexSizeBytes() int64 { return b.db.IndexSizeBytes() }
+func (b shardedBackend) NewQuerier() Querier   { return b.db.NewSession() }
+func (b shardedBackend) WarmAfterMutation()    { b.db.Router().WarmTrees() }
+
+func (b shardedBackend) SetRoadDistance(e road.EdgeID, dist float64) error {
+	return b.db.SetRoadDistance(e, dist)
+}
+func (b shardedBackend) AddRoad(u, v road.NodeID, dist float64) (road.EdgeID, error) {
+	return b.db.AddRoad(u, v, dist)
+}
+func (b shardedBackend) CloseRoad(e road.EdgeID) error  { return b.db.CloseRoad(e) }
+func (b shardedBackend) ReopenRoad(e road.EdgeID) error { return b.db.ReopenRoad(e) }
+func (b shardedBackend) AddObject(e road.EdgeID, offset float64, attr int32) (road.Object, error) {
+	return b.db.AddObject(e, offset, attr)
+}
+func (b shardedBackend) RemoveObject(id road.ObjectID) error { return b.db.RemoveObject(id) }
+func (b shardedBackend) SetObjectAttr(id road.ObjectID, attr int32) error {
+	return b.db.SetObjectAttr(id, attr)
+}
+func (b shardedBackend) ShardInfos() []shard.Info { return b.db.ShardInfos() }

@@ -65,7 +65,8 @@ func TestResultCacheDistinctKeys(t *testing.T) {
 
 func TestSessionPoolReuse(t *testing.T) {
 	db, _, _, _ := buildSquare(t, road.Options{})
-	p := NewSessionPool(db, 2)
+	b := DBBackend(db)
+	p := NewSessionPool(b, 2)
 	s1 := p.Get()
 	s2 := p.Get()
 	p.Put(s1)
@@ -79,8 +80,8 @@ func TestSessionPoolReuse(t *testing.T) {
 		t.Fatalf("pool stats = %+v, want 2 created / 1 reused", st)
 	}
 	// Beyond maxIdle, sessions are dropped rather than retained.
-	p.Put(p.db.NewSession())
-	p.Put(p.db.NewSession())
+	p.Put(b.NewQuerier())
+	p.Put(b.NewQuerier())
 	if st := p.Stats(); st.Idle != 2 {
 		t.Fatalf("idle = %d, want maxIdle cap of 2", st.Idle)
 	}

@@ -69,7 +69,7 @@ func TestSnapshotRestartEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srvA := New(db, Options{SnapshotSave: func() error { return db.SaveSnapshotFile(snapPath) }})
+	srvA := New(db, Options{SnapshotSave: func() (int64, error) { return 0, db.SaveSnapshotFile(snapPath) }})
 	tsA := httptest.NewServer(srvA.Handler())
 	defer tsA.Close()
 

@@ -3,21 +3,21 @@ package server
 import (
 	"sync"
 	"sync/atomic"
-
-	"road"
 )
 
-// SessionPool reuses road.Session allocations across requests. A session
-// carries per-query scratch state (priority queue, visited-node epochs,
-// verdict maps) sized to the network, so constructing one per request
-// would dominate small-query latency; the pool keeps a bounded free list
-// and hands sessions out LIFO so the hottest scratch memory is reused.
+// SessionPool reuses query-context allocations across requests. A querier
+// (road.Session, or one cross-shard session per shard for a sharded
+// backend) carries per-query scratch state (priority queue, visited-node
+// epochs, verdict maps) sized to the network, so constructing one per
+// request would dominate small-query latency; the pool keeps a bounded
+// free list and hands queriers out LIFO so the hottest scratch memory is
+// reused.
 type SessionPool struct {
-	db      *road.DB
+	b       Backend
 	maxIdle int
 
 	mu   sync.Mutex
-	free []*road.Session
+	free []Querier
 
 	created atomic.Uint64
 	reused  atomic.Uint64
@@ -26,17 +26,17 @@ type SessionPool struct {
 // DefaultMaxIdleSessions bounds the free list when Options leave it zero.
 const DefaultMaxIdleSessions = 64
 
-// NewSessionPool returns a pool creating sessions on db. maxIdle bounds
-// the number of idle sessions retained (DefaultMaxIdleSessions when 0).
-func NewSessionPool(db *road.DB, maxIdle int) *SessionPool {
+// NewSessionPool returns a pool creating queriers on b. maxIdle bounds
+// the number of idle queriers retained (DefaultMaxIdleSessions when 0).
+func NewSessionPool(b Backend, maxIdle int) *SessionPool {
 	if maxIdle <= 0 {
 		maxIdle = DefaultMaxIdleSessions
 	}
-	return &SessionPool{db: db, maxIdle: maxIdle}
+	return &SessionPool{b: b, maxIdle: maxIdle}
 }
 
-// Get returns a session, reusing an idle one when available.
-func (p *SessionPool) Get() *road.Session {
+// Get returns a querier, reusing an idle one when available.
+func (p *SessionPool) Get() Querier {
 	p.mu.Lock()
 	if n := len(p.free); n > 0 {
 		s := p.free[n-1]
@@ -48,12 +48,12 @@ func (p *SessionPool) Get() *road.Session {
 	}
 	p.mu.Unlock()
 	p.created.Add(1)
-	return p.db.NewSession()
+	return p.b.NewQuerier()
 }
 
-// Put returns a session to the pool; beyond maxIdle it is dropped for the
+// Put returns a querier to the pool; beyond maxIdle it is dropped for the
 // garbage collector.
-func (p *SessionPool) Put(s *road.Session) {
+func (p *SessionPool) Put(s Querier) {
 	if s == nil {
 		return
 	}

@@ -25,21 +25,24 @@ type Options struct {
 	// SnapshotSave, when set, enables POST /admin/snapshot and
 	// snapshot-on-shutdown: it is invoked under the coordinator's write
 	// lock — readers drained, maintenance excluded — so the image it
-	// persists is consistent at exactly one epoch. roadd wires this to an
-	// atomic write of its -snapshot file.
-	SnapshotSave func() error
+	// persists is consistent at exactly one epoch, and returns the number
+	// of bytes written (reported in the snapshot acknowledgement). roadd
+	// wires this to an atomic write of its -snapshot file(s), followed by
+	// journal rotation.
+	SnapshotSave func() (int64, error)
 }
 
-// Server serves one road.DB over HTTP/JSON. Reads (kNN, within, path) run
+// Server serves one database — a single-index road.DB or a sharded
+// road.ShardedDB — over HTTP/JSON. Reads (kNN, within, path) run
 // concurrently on pooled sessions under the Coordinator's read lock;
 // maintenance runs exclusively under its write lock and implicitly
-// invalidates the result cache by advancing the DB epoch.
+// invalidates the result cache by advancing the backend epoch.
 type Server struct {
-	db       *road.DB
+	b        Backend
 	coord    *Coordinator
 	pool     *SessionPool
-	cache    *ResultCache // nil when disabled
-	snapshot func() error // nil when persistence is not configured
+	cache    *ResultCache          // nil when disabled
+	snapshot func() (int64, error) // nil when persistence is not configured
 	start    time.Time
 
 	knnCount    atomic.Uint64
@@ -55,12 +58,24 @@ type Server struct {
 	ioFaults       atomic.Int64
 }
 
-// New wires a serving subsystem around an opened DB.
+// New wires a serving subsystem around an opened single-index DB.
 func New(db *road.DB, opts Options) *Server {
+	return NewWithBackend(DBBackend(db), opts)
+}
+
+// NewSharded wires a serving subsystem around a sharded database: the
+// same API, with queries routed across region shards and /stats gaining
+// a per-shard load section.
+func NewSharded(db *road.ShardedDB, opts Options) *Server {
+	return NewWithBackend(ShardedBackend(db), opts)
+}
+
+// NewWithBackend wires a serving subsystem around any Backend.
+func NewWithBackend(b Backend, opts Options) *Server {
 	s := &Server{
-		db:       db,
-		coord:    NewCoordinator(db.Epoch),
-		pool:     NewSessionPool(db, opts.MaxIdleSessions),
+		b:        b,
+		coord:    NewCoordinator(b.Epoch),
+		pool:     NewSessionPool(b, opts.MaxIdleSessions),
 		snapshot: opts.SnapshotSave,
 		start:    time.Now(),
 	}
@@ -107,22 +122,25 @@ func (s *Server) Handler() http.Handler {
 
 // TakeSnapshot persists the index through the configured SnapshotSave
 // callback under the write lock, returning the epoch and journal sequence
-// the image captured. It is the engine behind /admin/snapshot and roadd's
-// snapshot-on-SIGTERM.
-func (s *Server) TakeSnapshot() (epoch, seq uint64, err error) {
+// the image captured and the number of snapshot bytes written. It is the
+// engine behind /admin/snapshot, roadd's snapshot-on-SIGTERM and the
+// -journal-max-bytes auto-snapshot trigger.
+func (s *Server) TakeSnapshot() (epoch, seq uint64, bytes int64, err error) {
 	if s.snapshot == nil {
-		return 0, 0, fmt.Errorf("snapshot persistence not configured (start roadd with -snapshot)")
+		return 0, 0, 0, fmt.Errorf("snapshot persistence not configured (start roadd with -snapshot)")
 	}
 	epoch, err = s.coord.Write(func() error {
-		seq = s.db.JournalSeq()
-		return s.snapshot()
+		seq = s.b.JournalSeq()
+		var serr error
+		bytes, serr = s.snapshot()
+		return serr
 	})
-	return epoch, seq, err
+	return epoch, seq, bytes, err
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	epoch, seq, err := s.TakeSnapshot()
+	epoch, seq, bytes, err := s.TakeSnapshot()
 	if err != nil {
 		if s.snapshot == nil {
 			s.writeErr(w, http.StatusNotImplemented, "%v", err)
@@ -135,6 +153,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		OK:         true,
 		Epoch:      epoch,
 		JournalSeq: seq,
+		Bytes:      bytes,
 		ElapsedUS:  time.Since(start).Microseconds(),
 	})
 }
@@ -202,7 +221,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	}
 	s.knnCount.Add(1)
 	s.serveQuery(w, road.NodeID(node), KNNKey(road.NodeID(node), int(k), attr),
-		func(sess *road.Session) ([]road.Result, road.Stats) {
+		func(sess Querier) ([]road.Result, road.Stats) {
 			return sess.KNN(road.NodeID(node), int(k), attr)
 		})
 }
@@ -225,7 +244,7 @@ func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
 	}
 	s.withinCount.Add(1)
 	s.serveQuery(w, road.NodeID(node), WithinKey(road.NodeID(node), radius, attr),
-		func(sess *road.Session) ([]road.Result, road.Stats) {
+		func(sess Querier) ([]road.Result, road.Stats) {
 			return sess.Within(road.NodeID(node), radius, attr)
 		})
 }
@@ -233,12 +252,12 @@ func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
 // serveQuery runs one read query under the coordination layer: cache
 // probe, pooled-session execution on miss, cache fill — all at one
 // consistent epoch.
-func (s *Server) serveQuery(w http.ResponseWriter, node road.NodeID, key CacheKey, run func(*road.Session) ([]road.Result, road.Stats)) {
+func (s *Server) serveQuery(w http.ResponseWriter, node road.NodeID, key CacheKey, run func(Querier) ([]road.Result, road.Stats)) {
 	start := time.Now()
 	var resp QueryResponse
 	var badNode bool
 	s.coord.Read(func(epoch uint64) {
-		if int(node) < 0 || int(node) >= s.db.Framework().Graph().NumNodes() {
+		if int(node) < 0 || int(node) >= s.b.NumNodes() {
 			badNode = true
 			return
 		}
@@ -290,7 +309,7 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 	var badNode bool
 	var pathErr error
 	s.coord.Read(func(epoch uint64) {
-		if int(node) < 0 || int(node) >= s.db.Framework().Graph().NumNodes() {
+		if int(node) < 0 || int(node) >= s.b.NumNodes() {
 			badNode = true
 			return
 		}
@@ -339,7 +358,7 @@ func (s *Server) maintenance(op func(*MaintenanceRequest, *MaintenanceResponse) 
 			// while readers are still excluded — even on error, a partial
 			// mutation may have invalidated some — so concurrent sessions
 			// never trigger a lazy rebuild.
-			s.db.Framework().WarmTrees()
+			s.b.WarmAfterMutation()
 			return opErr
 		})
 		if err != nil {
@@ -356,7 +375,7 @@ func (s *Server) maintenance(op func(*MaintenanceRequest, *MaintenanceResponse) 
 // the graph layer, which panics on out-of-range IDs rather than erroring.
 // Must run under the coordination lock (it reads the edge count).
 func (s *Server) checkEdge(e road.EdgeID) error {
-	if int(e) < 0 || int(e) >= s.db.Framework().Graph().NumEdges() {
+	if int(e) < 0 || int(e) >= s.b.NumEdges() {
 		return fmt.Errorf("edge %d does not exist", e)
 	}
 	return nil
@@ -370,7 +389,7 @@ func (s *Server) opSetDistance(req *MaintenanceRequest, resp *MaintenanceRespons
 		return err
 	}
 	resp.Edge = req.Edge
-	return s.db.SetRoadDistance(req.Edge, req.Dist)
+	return s.b.SetRoadDistance(req.Edge, req.Dist)
 }
 
 func (s *Server) opClose(req *MaintenanceRequest, resp *MaintenanceResponse) error {
@@ -378,7 +397,7 @@ func (s *Server) opClose(req *MaintenanceRequest, resp *MaintenanceResponse) err
 		return err
 	}
 	resp.Edge = req.Edge
-	return s.db.CloseRoad(req.Edge)
+	return s.b.CloseRoad(req.Edge)
 }
 
 func (s *Server) opReopen(req *MaintenanceRequest, resp *MaintenanceResponse) error {
@@ -386,14 +405,14 @@ func (s *Server) opReopen(req *MaintenanceRequest, resp *MaintenanceResponse) er
 		return err
 	}
 	resp.Edge = req.Edge
-	return s.db.ReopenRoad(req.Edge)
+	return s.b.ReopenRoad(req.Edge)
 }
 
 func (s *Server) opAddRoad(req *MaintenanceRequest, resp *MaintenanceResponse) error {
 	if !(req.Dist > 0) {
 		return fmt.Errorf("dist must be positive")
 	}
-	e, err := s.db.AddRoad(req.U, req.V, req.Dist)
+	e, err := s.b.AddRoad(req.U, req.V, req.Dist)
 	resp.Edge = e
 	return err
 }
@@ -403,30 +422,32 @@ func (s *Server) opInsertObject(req *MaintenanceRequest, resp *MaintenanceRespon
 		return err
 	}
 	resp.Edge = req.Edge
-	o, err := s.db.AddObject(req.Edge, req.Offset, req.Attr)
+	o, err := s.b.AddObject(req.Edge, req.Offset, req.Attr)
 	resp.Object = o.ID
 	return err
 }
 
 func (s *Server) opDeleteObject(req *MaintenanceRequest, resp *MaintenanceResponse) error {
 	resp.Object = req.Object
-	return s.db.RemoveObject(req.Object)
+	return s.b.RemoveObject(req.Object)
 }
 
 func (s *Server) opSetAttr(req *MaintenanceRequest, resp *MaintenanceResponse) error {
 	resp.Object = req.Object
-	return s.db.SetObjectAttr(req.Object, req.Attr)
+	return s.b.SetObjectAttr(req.Object, req.Attr)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var resp StatsResponse
 	s.coord.Read(func(epoch uint64) {
-		f := s.db.Framework()
 		resp.Epoch = epoch
-		resp.Network.Nodes = f.Graph().NumNodes()
-		resp.Network.Edges = f.Graph().NumEdges()
-		resp.Network.Objects = f.Objects().Len()
-		resp.Network.IndexKB = s.db.IndexSizeBytes() / 1024
+		resp.Network.Nodes = s.b.NumNodes()
+		resp.Network.Edges = s.b.NumEdges()
+		resp.Network.Objects = s.b.NumObjects()
+		resp.Network.IndexKB = s.b.IndexSizeBytes() / 1024
+		if sp, ok := s.b.(shardInfoProvider); ok {
+			resp.Shards = sp.ShardInfos()
+		}
 	})
 	resp.UptimeSeconds = time.Since(s.start).Seconds()
 	resp.Requests.KNN = s.knnCount.Load()

@@ -1,0 +1,63 @@
+package shard
+
+import (
+	"testing"
+
+	"road/internal/core"
+	"road/internal/dataset"
+	"road/internal/graph"
+)
+
+// benchScale mirrors the HTTP benchmark default (full CA).
+const benchScale = 1.0
+
+// benchPair builds the serving benchmark's network and object set.
+func benchPair(b *testing.B) (*core.Session, *Session, []graph.NodeID) {
+	b.Helper()
+	spec := dataset.Scaled(dataset.CA(), benchScale)
+	g := dataset.MustGenerate(spec)
+	set := dataset.PlaceUniform(g, 2000, 1, 0, 1, 2, 3)
+	gM := g.Clone()
+	setM := set.Clone(gM)
+	mono, err := core.Build(gM, setM, core.Config{BufferPages: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := Build(g, set, Options{Shards: 4, Seed: 1, Core: core.Config{BufferPages: -1}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mono.NewSession(), r.NewSession(), dataset.RandomNodes(g, 512, 7)
+}
+
+func BenchmarkKNNSingle(b *testing.B) {
+	ms, _, nodes := benchPair(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms.KNN(core.Query{Node: nodes[i%len(nodes)]}, 5)
+	}
+}
+
+func BenchmarkKNNSharded(b *testing.B) {
+	_, rs, nodes := benchPair(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs.KNN(nodes[i%len(nodes)], 5, 0)
+	}
+}
+
+func BenchmarkWithinSingle(b *testing.B) {
+	ms, _, nodes := benchPair(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms.Range(core.Query{Node: nodes[i%len(nodes)]}, 0.4)
+	}
+}
+
+func BenchmarkWithinSharded(b *testing.B) {
+	_, rs, nodes := benchPair(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs.Within(nodes[i%len(nodes)], 0.4, 0)
+	}
+}

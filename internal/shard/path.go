@@ -1,0 +1,223 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+
+	"road/internal/graph"
+)
+
+// gatewayPred records how a border was best reached during a
+// predecessor-tracking gateway run: over which shard's border table, from
+// which previous border (NoNode for seed borders, whose "previous hop" is
+// the query node inside via).
+type gatewayPred struct {
+	prev graph.NodeID
+	via  ID
+}
+
+// PathTo computes the detailed shortest route (as a global node sequence)
+// from a global intersection to a global object, plus its network
+// distance. Cross-shard routes are assembled from per-shard legs: the
+// head leg inside the query's home shard, one leg per border-to-border
+// gateway hop, and the tail leg inside the object's shard. Unlike
+// road.DB.PathTo this does not require the shards to store shortcut
+// waypoints: legs are recomputed with plain Dijkstra on the shard-local
+// graphs, which are a fraction of the network each.
+func (s *Session) PathTo(from graph.NodeID, gid graph.ObjectID) ([]graph.NodeID, float64, error) {
+	target, err := s.r.OwnerOfObject(gid)
+	if err != nil {
+		return nil, 0, err
+	}
+	lo := target.localObj[gid]
+	o, _ := target.F.Objects().Get(lo)
+	le := target.F.Graph().Edge(o.Edge)
+
+	if int(from) < 0 || int(from) >= len(s.r.shardsOf) {
+		return nil, 0, fmt.Errorf("shard: node %d does not exist", from)
+	}
+	homes := s.r.shardsOf[from]
+	if len(homes) == 0 {
+		return nil, math.Inf(1), fmt.Errorf("shard: object %d unreachable from node %d", gid, from)
+	}
+
+	bestDist := math.Inf(1)
+	var bestPath []graph.NodeID
+
+	// Direct candidate: from and the object share a shard.
+	for _, h := range homes {
+		if h != target.ID {
+			continue
+		}
+		gs := s.search(h)
+		lf := target.localNode[from]
+		gs.Run(lf, graph.Options{Targets: []graph.NodeID{le.U, le.V}})
+		if end, d := closerEnd(gs.Dist(le.U)+o.DU, gs.Dist(le.V)+o.DV, le); d < bestDist {
+			bestDist = d
+			bestPath = s.translatePath(target, gs.Path(end))
+		}
+	}
+
+	// Border route: exact distances from the query node to its home
+	// borders, a predecessor-tracking gateway run, then a multi-seed
+	// Dijkstra inside the object's shard.
+	clear(s.gdist)
+	homeOf := make(map[graph.NodeID]ID) // seed border -> home shard it was reached through
+	for _, h := range homes {
+		sh := s.r.shards[h]
+		if len(sh.borders) == 0 {
+			continue
+		}
+		gs := s.search(h)
+		targets := make([]graph.NodeID, len(sh.borders))
+		for i, b := range sh.borders {
+			targets[i] = sh.localNode[b]
+		}
+		gs.Run(sh.localNode[from], graph.Options{Targets: targets})
+		for i, b := range sh.borders {
+			if d := gs.Dist(targets[i]); !isInf(d) {
+				if cur, ok := s.gdist[b]; !ok || d < cur {
+					s.gdist[b] = d
+					homeOf[b] = h
+				}
+			}
+		}
+	}
+	if len(s.gdist) == 0 {
+		if bestPath == nil {
+			return nil, math.Inf(1), fmt.Errorf("shard: object %d unreachable from node %d", gid, from)
+		}
+		return bestPath, bestDist, nil
+	}
+	pred := make(map[graph.NodeID]gatewayPred, len(s.gdist))
+	s.gateway(bestDist, pred)
+
+	seeds := make([]graph.Seed, 0, len(target.borders))
+	for _, b := range target.borders {
+		if d, ok := s.gdist[b]; ok && d < bestDist {
+			seeds = append(seeds, graph.Seed{Node: target.localNode[b], Dist: d})
+		}
+	}
+	if len(seeds) > 0 {
+		gs := s.search(target.ID)
+		gs.RunSeeded(seeds, graph.Options{Targets: []graph.NodeID{le.U, le.V}})
+		if end, d := closerEnd(gs.Dist(le.U)+o.DU, gs.Dist(le.V)+o.DV, le); d < bestDist {
+			// Tail leg first (the workspace is reused per leg below).
+			tail := gs.Path(end)
+			entry := tail[0] // local ID of the winning seed border
+			route, err := s.assemble(target, entry, tail, pred, homeOf, from)
+			if err != nil {
+				return nil, 0, err
+			}
+			bestDist = d
+			bestPath = route
+		}
+	}
+
+	if bestPath == nil {
+		return nil, math.Inf(1), fmt.Errorf("shard: object %d unreachable from node %d", gid, from)
+	}
+	return bestPath, bestDist, nil
+}
+
+// closerEnd picks the object-edge endpoint through which the object is
+// cheaper to reach. Ties and the degenerate single-endpoint case resolve
+// toward U, matching the single-framework search's settling order.
+func closerEnd(viaU, viaV float64, e graph.Edge) (graph.NodeID, float64) {
+	if viaU <= viaV {
+		return e.U, viaU
+	}
+	return e.V, viaV
+}
+
+// assemble stitches the full global route: head leg (query node to the
+// first border inside its home shard), one leg per gateway hop, then the
+// already-computed tail leg inside the target shard.
+func (s *Session) assemble(target *Shard, entryLocal graph.NodeID, tail []graph.NodeID, pred map[graph.NodeID]gatewayPred, homeOf map[graph.NodeID]ID, from graph.NodeID) ([]graph.NodeID, error) {
+	// Walk the gateway chain backward from the entry border to a seed.
+	entry := target.globalNode[entryLocal]
+	type hop struct {
+		from, to graph.NodeID // global border IDs
+		via      ID
+	}
+	var hops []hop
+	cur := entry
+	for {
+		p, ok := pred[cur]
+		if !ok {
+			return nil, fmt.Errorf("shard: broken gateway chain at border %d", cur)
+		}
+		if p.prev == graph.NoNode {
+			break
+		}
+		hops = append(hops, hop{from: p.prev, to: cur, via: p.via})
+		cur = p.prev
+	}
+	// The walk collected hops target-to-source; reverse into travel order.
+	for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 {
+		hops[i], hops[j] = hops[j], hops[i]
+	}
+
+	// Head leg: from -> first border, inside the home shard that supplied
+	// the seed distance.
+	first := cur
+	home, ok := homeOf[first]
+	if !ok {
+		return nil, fmt.Errorf("shard: gateway seed %d has no home shard", first)
+	}
+	route, err := s.legPath(home, from, first)
+	if err != nil {
+		return nil, err
+	}
+
+	// Gateway legs.
+	for _, hp := range hops {
+		leg, err := s.legPath(hp.via, hp.from, hp.to)
+		if err != nil {
+			return nil, err
+		}
+		route = append(route, leg[1:]...) // drop duplicated junction
+	}
+
+	// Tail leg (local IDs, already computed).
+	gtail := s.translatePath(target, tail)
+	if len(route) > 0 && len(gtail) > 0 && route[len(route)-1] == gtail[0] {
+		gtail = gtail[1:]
+	}
+	return append(route, gtail...), nil
+}
+
+// legPath recomputes the shortest within-shard path between two global
+// nodes of shard sid and returns it in global IDs.
+func (s *Session) legPath(sid ID, a, b graph.NodeID) ([]graph.NodeID, error) {
+	sh := s.r.shards[sid]
+	la, okA := sh.localNode[a]
+	lb, okB := sh.localNode[b]
+	if !okA || !okB {
+		return nil, fmt.Errorf("shard: leg %d->%d not inside shard %d", a, b, sid)
+	}
+	gs := s.search(sid)
+	path, d := gs.ShortestPath(la, lb)
+	if isInf(d) {
+		return nil, fmt.Errorf("shard: leg %d->%d no longer connected inside shard %d", a, b, sid)
+	}
+	return s.translatePath(sh, path), nil
+}
+
+// search returns the session's plain Dijkstra workspace for shard sid,
+// creating it on first use.
+func (s *Session) search(sid ID) *graph.Search {
+	if s.gs[sid] == nil {
+		s.gs[sid] = graph.NewSearch(s.r.shards[sid].F.Graph())
+	}
+	return s.gs[sid]
+}
+
+// translatePath converts a shard-local node sequence to global IDs.
+func (s *Session) translatePath(sh *Shard, path []graph.NodeID) []graph.NodeID {
+	out := make([]graph.NodeID, len(path))
+	for i, n := range path {
+		out[i] = sh.globalNode[n]
+	}
+	return out
+}

@@ -1,0 +1,491 @@
+package shard
+
+import (
+	"math"
+	"sort"
+
+	"road/internal/core"
+	"road/internal/graph"
+	"road/internal/pqueue"
+)
+
+// Session is a read-only cross-shard query context: one core.Session per
+// shard plus the gateway scratch state. Any number of Sessions may query
+// concurrently; none may overlap with Router mutations (the serving
+// layer's coordinator enforces this, exactly as for a single framework).
+type Session struct {
+	r       *Router
+	sess    []*core.Session
+	wdist   map[graph.NodeID]float64 // per-query: home watch output, LOCAL IDs
+	gdist   map[graph.NodeID]float64 // per-query: gateway distances, GLOBAL IDs
+	gpq     pqueue.Queue
+	gs      []*graph.Search // lazy per-shard plain Dijkstra (PathTo legs)
+	m       merger          // per-query candidate merge (scratch reused)
+	entry   []shardEntry    // per-query entry-order scratch
+	oneSeed []core.Seed     // single-seed scratch for home searches
+}
+
+// NewSession returns an independent concurrent query context.
+func (r *Router) NewSession() *Session {
+	sess := make([]*core.Session, len(r.shards))
+	for i, s := range r.shards {
+		sess[i] = s.F.NewSession()
+	}
+	return &Session{
+		r:     r,
+		sess:  sess,
+		wdist: make(map[graph.NodeID]float64),
+		gdist: make(map[graph.NodeID]float64),
+		gs:    make([]*graph.Search, len(r.shards)),
+		m:     merger{at: make(map[graph.ObjectID]int)},
+	}
+}
+
+// Epoch returns the router's maintenance epoch as seen by this session.
+func (s *Session) Epoch() uint64 { return s.r.Epoch() }
+
+// merger accumulates per-shard candidate lists, keeping the minimum
+// distance per global object (the home shard can be searched twice: once
+// directly from the query node, once re-entered through its borders; an
+// object near a border is found by several shard searches). It is
+// session-owned scratch: reset() recycles the map and slices, and take()
+// hands results out in a fresh slice so callers (and the serving layer's
+// result cache) never alias the scratch.
+type merger struct {
+	at    map[graph.ObjectID]int
+	items []core.Result
+	dists []float64 // kth scratch
+}
+
+func (m *merger) reset() {
+	clear(m.at)
+	m.items = m.items[:0]
+}
+
+// addFrom merges shard-local results, translated to global identities on
+// the fly (no intermediate slice).
+func (m *merger) addFrom(sh *Shard, res []core.Result) {
+	for _, r := range res {
+		r.Object.ID = sh.globalObj[r.Object.ID]
+		r.Object.Edge = sh.globalEdge[r.Object.Edge]
+		if i, ok := m.at[r.Object.ID]; ok {
+			if r.Dist < m.items[i].Dist {
+				m.items[i] = r
+			}
+			continue
+		}
+		m.at[r.Object.ID] = len(m.items)
+		m.items = append(m.items, r)
+	}
+}
+
+// take sorts the candidates by (distance, object ID) and returns the
+// first ≤ max of them in a freshly allocated slice.
+func (m *merger) take(max int) []core.Result {
+	sort.Slice(m.items, func(i, j int) bool {
+		if m.items[i].Dist != m.items[j].Dist {
+			return m.items[i].Dist < m.items[j].Dist
+		}
+		return m.items[i].Object.ID < m.items[j].Object.ID
+	})
+	n := len(m.items)
+	if max >= 0 && n > max {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]core.Result, n)
+	copy(out, m.items[:n])
+	return out
+}
+
+// kth returns the current kth-smallest candidate distance, or +Inf while
+// fewer than k candidates are known — the cross-shard merge bound. It
+// leaves the candidate order untouched (the dedup index stays valid).
+func (m *merger) kth(k int) float64 {
+	if len(m.items) < k {
+		return math.Inf(1)
+	}
+	m.dists = m.dists[:0]
+	for i := range m.items {
+		m.dists = append(m.dists, m.items[i].Dist)
+	}
+	sort.Float64s(m.dists)
+	return m.dists[k-1]
+}
+
+// KNN answers a cross-shard k-nearest-neighbour query from a global node.
+//
+// Phase 1 searches the query node's home shard(s) directly, watching
+// their border nodes: by the Dijkstra settling order this yields the k
+// locally nearest objects AND the exact distance to every border closer
+// than the local kth result — precisely the gateways a globally closer
+// object could be reached through. Phase 2 runs Dijkstra over the border
+// gateway graph (per-shard border distance tables), capped at the local
+// kth distance. Phase 3 enters remaining shards in ascending entry
+// distance, seeding each shard's framework at its borders; a shard whose
+// entry distance is at or beyond the current kth-best is skipped, and
+// because shards are processed in entry order the first skip finalizes
+// the result set.
+func (s *Session) KNN(from graph.NodeID, k int, attr int32) ([]core.Result, core.QueryStats) {
+	var stats core.QueryStats
+	if k <= 0 || int(from) < 0 || int(from) >= len(s.r.shardsOf) {
+		return nil, stats
+	}
+	homes := s.r.shardsOf[from]
+	if len(homes) == 0 {
+		return nil, stats // isolated intersection: nothing is reachable
+	}
+
+	// Fast path: one home shard whose nearest border lies at or beyond
+	// the local kth result — the vast majority of queries on well-cut
+	// shards. The plain (unwatched) local search is then globally final:
+	// any path to another shard passes a border, so every foreign object
+	// is at least the nearest-border distance away. The result is already
+	// distance-sorted and freshly allocated; translate in place and hand
+	// it out without touching the watch or merge machinery.
+	if len(homes) == 1 {
+		sh := s.r.shards[homes[0]]
+		sh.homeQueries.Add(1)
+		lf := sh.localNode[from]
+		res, st := s.sess[homes[0]].SearchSeeded(s.seed1(lf), attr, k, 0, nil, nil)
+		accumulate(&stats, st)
+		if len(res) >= k && sh.borderDist[lf] >= res[k-1].Dist {
+			return translateInPlace(sh, res), stats
+		}
+		// A border may be closer than the kth result: re-run watched and
+		// capped just above the known kth distance, purely to learn the
+		// exact border distances the gateway needs. The margin matters:
+		// the watched expansion can reach the same object over descended
+		// edges instead of shortcuts, summing to a distance one ulp above
+		// the plain search's — a strict cap could clip it mid-search. The
+		// plain result stays the authoritative local answer.
+		stopAt := 0.0
+		if len(res) >= k {
+			stopAt = res[k-1].Dist * (1 + 1e-12)
+		}
+		s.clearWatch()
+		_, st = s.sess[homes[0]].SearchSeeded(
+			s.seed1(lf), attr, k, stopAt, sh.watch, s.wdist)
+		accumulate(&stats, st)
+		if len(s.wdist) == 0 {
+			return translateInPlace(sh, res), stats
+		}
+		return s.knnSlow(sh, res, k, attr, stats)
+	}
+	return s.knnSlowMulti(homes, from, k, attr, stats)
+}
+
+// knnSlow is the cross-shard continuation for a single home shard: the
+// watched home search already ran (preRes; s.wdist holds the border
+// distances). The gateway runs first — if no shard's entry distance
+// beats the local kth bound, the home answer is final without touching
+// the merge machinery (the usual outcome when a border is merely near).
+func (s *Session) knnSlow(sh *Shard, preRes []core.Result, k int, attr int32, stats core.QueryStats) ([]core.Result, core.QueryStats) {
+	clear(s.gdist)
+	for ln, d := range s.wdist {
+		s.gdist[sh.globalNode[ln]] = d
+	}
+	bound := math.Inf(1)
+	if len(preRes) >= k {
+		bound = preRes[k-1].Dist
+	}
+	s.gateway(bound, nil)
+	entries := s.entryOrder()
+	if len(entries) == 0 || entries[0].dist >= bound {
+		return translateInPlace(sh, preRes), stats
+	}
+	s.m.reset()
+	s.m.addFrom(sh, preRes)
+	return s.knnFinish(k, attr, stats)
+}
+
+// knnSlowMulti handles a query node that is itself a global border:
+// every containing shard is searched with its borders watched, then the
+// merge runs over the combined gateway.
+func (s *Session) knnSlowMulti(homes []ID, from graph.NodeID, k int, attr int32, stats core.QueryStats) ([]core.Result, core.QueryStats) {
+	m := &s.m
+	m.reset()
+	clear(s.gdist)
+	for _, h := range homes {
+		sh := s.r.shards[h]
+		sh.homeQueries.Add(1)
+		s.clearWatch()
+		res, st := s.sess[h].SearchSeeded(
+			s.seed1(sh.localNode[from]), attr, k, 0, sh.watch, s.wdist)
+		accumulate(&stats, st)
+		m.addFrom(sh, res)
+		for ln, d := range s.wdist {
+			gb := sh.globalNode[ln]
+			if cur, ok := s.gdist[gb]; !ok || d < cur {
+				s.gdist[gb] = d
+			}
+		}
+	}
+	if len(s.gdist) == 0 {
+		// No border reachable: the merged home answers are final.
+		return m.take(k), stats
+	}
+	s.gateway(m.kth(k), nil)
+	return s.knnFinish(k, attr, stats)
+}
+
+// knnFinish runs the merge-bound loop: shards are searched in ascending
+// entry order, each seeded at its borders with their global distances
+// and capped at the current kth-best, until no unexplored shard could
+// still improve the candidate set.
+func (s *Session) knnFinish(k int, attr int32, stats core.QueryStats) ([]core.Result, core.QueryStats) {
+	m := &s.m
+	for _, en := range s.entryOrder() {
+		bound := m.kth(k)
+		if en.dist >= bound {
+			break // merge bound: no unexplored shard can improve the set
+		}
+		sh := s.r.shards[en.id]
+		seeds := s.borderSeeds(sh, bound)
+		if len(seeds) == 0 {
+			continue
+		}
+		// With fewer than k candidates the bound is +Inf and stopAt stays
+		// 0 (unbounded).
+		stopAt := 0.0
+		if !math.IsInf(bound, 1) {
+			stopAt = bound
+		}
+		sh.remoteEntries.Add(1)
+		res, st := s.sess[en.id].SearchSeeded(seeds, attr, k, stopAt, nil, nil)
+		accumulate(&stats, st)
+		m.addFrom(sh, res)
+	}
+	return m.take(k), stats
+}
+
+// Within answers a cross-shard range query: all objects within the given
+// network distance, closest first. The radius plays the role of the merge
+// bound: shards whose entry distance exceeds it are never searched.
+func (s *Session) Within(from graph.NodeID, radius float64, attr int32) ([]core.Result, core.QueryStats) {
+	var stats core.QueryStats
+	if int(from) < 0 || int(from) >= len(s.r.shardsOf) || !(radius >= 0) {
+		return nil, stats
+	}
+	homes := s.r.shardsOf[from]
+	if len(homes) == 0 {
+		return nil, stats
+	}
+
+	// Fast path, as in KNN — and cheaper: the radius is known up front,
+	// so a query whose shard-local nearest border lies beyond it never
+	// needs the watch at all.
+	if len(homes) == 1 {
+		sh := s.r.shards[homes[0]]
+		sh.homeQueries.Add(1)
+		lf := sh.localNode[from]
+		if sh.borderDist[lf] > radius {
+			res, st := s.sess[homes[0]].SearchSeeded(s.seed1(lf), attr, 0, radius, nil, nil)
+			accumulate(&stats, st)
+			return translateInPlace(sh, res), stats
+		}
+		s.clearWatch()
+		res, st := s.sess[homes[0]].SearchSeeded(
+			s.seed1(lf), attr, 0, radius, sh.watch, s.wdist)
+		accumulate(&stats, st)
+		if len(s.wdist) == 0 {
+			return translateInPlace(sh, res), stats
+		}
+		clear(s.gdist)
+		for ln, d := range s.wdist {
+			s.gdist[sh.globalNode[ln]] = d
+		}
+		s.m.reset()
+		s.m.addFrom(sh, res)
+		return s.withinFinish(radius, attr, stats)
+	}
+	return s.withinSlowMulti(homes, from, radius, attr, stats)
+}
+
+// withinSlowMulti is the multi-home (border query node) range path.
+func (s *Session) withinSlowMulti(homes []ID, from graph.NodeID, radius float64, attr int32, stats core.QueryStats) ([]core.Result, core.QueryStats) {
+	m := &s.m
+	m.reset()
+	clear(s.gdist)
+	for _, h := range homes {
+		sh := s.r.shards[h]
+		sh.homeQueries.Add(1)
+		s.clearWatch()
+		res, st := s.sess[h].SearchSeeded(
+			s.seed1(sh.localNode[from]), attr, 0, radius, sh.watch, s.wdist)
+		accumulate(&stats, st)
+		m.addFrom(sh, res)
+		for ln, d := range s.wdist {
+			gb := sh.globalNode[ln]
+			if cur, ok := s.gdist[gb]; !ok || d < cur {
+				s.gdist[gb] = d
+			}
+		}
+	}
+	if len(s.gdist) == 0 {
+		return m.take(-1), stats
+	}
+	return s.withinFinish(radius, attr, stats)
+}
+
+// withinFinish expands the range query through the gateway into every
+// shard whose entry distance is within the radius, then merges.
+func (s *Session) withinFinish(radius float64, attr int32, stats core.QueryStats) ([]core.Result, core.QueryStats) {
+	m := &s.m
+	s.gateway(radius, nil)
+	for _, en := range s.entryOrder() {
+		if en.dist > radius {
+			break
+		}
+		sh := s.r.shards[en.id]
+		seeds := s.borderSeeds(sh, math.Nextafter(radius, math.Inf(1)))
+		if len(seeds) == 0 {
+			continue
+		}
+		sh.remoteEntries.Add(1)
+		res, st := s.sess[en.id].SearchSeeded(seeds, attr, 0, radius, nil, nil)
+		accumulate(&stats, st)
+		m.addFrom(sh, res)
+	}
+	// Drop candidates the double-entry merge may have pulled in beyond
+	// the radius (a re-entered home search never can, but stay defensive).
+	out := m.take(-1)
+	for len(out) > 0 && out[len(out)-1].Dist > radius {
+		out = out[:len(out)-1]
+	}
+	return out, stats
+}
+
+// gateway extends s.gdist — seeded with exact distances from the query
+// node to its home shard's borders — to every border node reachable
+// within cap, by Dijkstra over the shards' border distance tables. The
+// result is the exact global network distance to each reached border:
+// any q-to-border path decomposes into maximal single-shard segments
+// whose endpoints are borders, and each segment is bounded below by (and
+// realized through) its shard's border table arc.
+//
+// When pred is non-nil every relaxation is recorded in it (seed borders
+// get prev == NoNode), so PathTo can reconstruct the border chain;
+// queries pass nil and skip the bookkeeping.
+func (s *Session) gateway(cap float64, pred map[graph.NodeID]gatewayPred) {
+	s.gpq.Reset()
+	for b, d := range s.gdist {
+		s.gpq.Push(b, d)
+		if pred != nil {
+			pred[b] = gatewayPred{prev: graph.NoNode}
+		}
+	}
+	for s.gpq.Len() > 0 {
+		item, _ := s.gpq.Pop()
+		d := item.Priority
+		if d > cap {
+			break
+		}
+		b := item.Value.(graph.NodeID)
+		if d > s.gdist[b] {
+			continue // superseded entry
+		}
+		for _, sid := range s.r.shardsOf[b] {
+			for _, arc := range s.r.shards[sid].btable[b] {
+				nd := d + arc.Dist
+				if nd > cap {
+					continue
+				}
+				if cur, ok := s.gdist[arc.To]; !ok || nd < cur {
+					s.gdist[arc.To] = nd
+					if pred != nil {
+						pred[arc.To] = gatewayPred{prev: b, via: sid}
+					}
+					s.gpq.Push(arc.To, nd)
+				}
+			}
+		}
+	}
+}
+
+// shardEntry is a shard's entry distance: the cheapest gateway distance
+// among its borders.
+type shardEntry struct {
+	id   ID
+	dist float64
+}
+
+// entryOrder derives per-shard entry distances from the gateway result,
+// ascending (into session scratch). Every listed shard has at least one
+// reached border.
+func (s *Session) entryOrder() []shardEntry {
+	s.entry = s.entry[:0]
+	for b, d := range s.gdist {
+		for _, sid := range s.r.shardsOf[b] {
+			found := false
+			for i := range s.entry {
+				if s.entry[i].id == sid {
+					if d < s.entry[i].dist {
+						s.entry[i].dist = d
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				s.entry = append(s.entry, shardEntry{id: sid, dist: d})
+			}
+		}
+	}
+	sort.Slice(s.entry, func(i, j int) bool {
+		if s.entry[i].dist != s.entry[j].dist {
+			return s.entry[i].dist < s.entry[j].dist
+		}
+		return s.entry[i].id < s.entry[j].id
+	})
+	return s.entry
+}
+
+// borderSeeds assembles the seed list for entering sh: its borders the
+// gateway reached strictly below the bound, at their global distances,
+// translated to shard-local IDs.
+func (s *Session) borderSeeds(sh *Shard, bound float64) []core.Seed {
+	var seeds []core.Seed
+	for _, b := range sh.borders {
+		if d, ok := s.gdist[b]; ok && d < bound {
+			seeds = append(seeds, core.Seed{Node: sh.localNode[b], Dist: d})
+		}
+	}
+	return seeds
+}
+
+// clearWatch empties the watch-output scratch; skipped entirely when the
+// previous query left it empty (the common fast-path case).
+func (s *Session) clearWatch() {
+	if len(s.wdist) != 0 {
+		clear(s.wdist)
+	}
+}
+
+// seed1 returns the session's single-seed scratch holding just node n.
+func (s *Session) seed1(n graph.NodeID) []core.Seed {
+	if s.oneSeed == nil {
+		s.oneSeed = make([]core.Seed, 1)
+	}
+	s.oneSeed[0] = core.Seed{Node: n}
+	return s.oneSeed
+}
+
+// translateInPlace rewrites shard-local identities to global ones inside
+// res — which the search freshly allocated, so handing it to the caller
+// (and the serving layer's cache) is safe.
+func translateInPlace(sh *Shard, res []core.Result) []core.Result {
+	for i := range res {
+		res[i].Object.ID = sh.globalObj[res[i].Object.ID]
+		res[i].Object.Edge = sh.globalEdge[res[i].Object.Edge]
+	}
+	return res
+}
+
+func accumulate(dst *core.QueryStats, st core.QueryStats) {
+	dst.NodesPopped += st.NodesPopped
+	dst.RnetsBypassed += st.RnetsBypassed
+	dst.RnetsDescended += st.RnetsDescended
+}

@@ -1,0 +1,529 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"road/internal/core"
+	"road/internal/graph"
+	"road/internal/partition"
+	"road/internal/rnet"
+	"road/internal/snapshot"
+)
+
+// ErrIntegrity marks a replay whose journal and base state have diverged
+// in a way that would corrupt the router's global bookkeeping (unlike an
+// ordinary op failure, which replays a failure that also happened live).
+// Callers must treat it as fatal: the shard set is not recovered.
+var ErrIntegrity = errors.New("shard: journal does not match base state")
+
+// Options tunes Router construction.
+type Options struct {
+	// Shards is the number of region shards K (a power of two ≥ 2, like
+	// the partitioner's fanout).
+	Shards int
+	// Seed drives the deterministic shard partitioning.
+	Seed int64
+	// KLPasses bounds border-minimizing refinement of the shard cut
+	// (negative selects the partitioner default, 0 disables).
+	KLPasses int
+	// Core configures each shard's framework. A zero Rnet config resolves
+	// per-shard defaults sized to that shard's node count.
+	Core core.Config
+}
+
+// Router owns K region shards over one road network and dispatches
+// queries and maintenance to them. Queries run on Sessions (any number
+// concurrently); mutations must be excluded from queries by the caller,
+// exactly like the single-framework contract (roadd's coordinator does
+// this).
+type Router struct {
+	g      *graph.Graph // global network mirror (IDs + topology bookkeeping)
+	shards []*Shard
+
+	// shardsOf maps a global node to the shards containing it: nil for
+	// edge-less nodes, one entry for interior nodes, several for borders.
+	shardsOf [][]ID
+	// edgeShard maps a global edge to its owning shard.
+	edgeShard []ID
+
+	// objLoc locates every live object: global ID -> owning shard.
+	// Local IDs are resolved through the shard's own maps.
+	objLoc  map[graph.ObjectID]ID
+	nextObj graph.ObjectID
+
+	seed     int64
+	klPasses int
+}
+
+// Build partitions g's active edges into opt.Shards region shards, builds
+// one framework per shard, adopts objects into their owning shards, and
+// wires the cross-shard routing state. The global graph and object set
+// are adopted: further mutation must go through Router methods.
+func Build(g *graph.Graph, objects *graph.ObjectSet, opt Options) (*Router, error) {
+	if opt.Shards < 2 || opt.Shards&(opt.Shards-1) != 0 {
+		return nil, fmt.Errorf("shard: shard count must be a power of two ≥ 2, got %d", opt.Shards)
+	}
+	active := make([]graph.EdgeID, 0, g.NumEdges())
+	for e := 0; e < g.NumEdges(); e++ {
+		if !g.Edge(graph.EdgeID(e)).Removed {
+			active = append(active, graph.EdgeID(e))
+		}
+	}
+	if len(active) < opt.Shards {
+		return nil, fmt.Errorf("shard: network has %d active edges, need at least %d for %d shards", len(active), opt.Shards, opt.Shards)
+	}
+	klPasses := opt.KLPasses
+	if klPasses == 0 {
+		// The shard cut is worth far more refinement than an in-shard Rnet
+		// cut: every border node taxes the border tables (O(B²)), the
+		// watch sets, and — worst — the fraction of queries that must take
+		// the cross-shard slow path. The split runs once at build time, so
+		// spend a generous pass budget minimizing it.
+		klPasses = 4 * partition.DefaultKLPasses
+	}
+	// The shard split takes the place of the hierarchy's top level(s):
+	// when the per-shard Rnet shape is left to defaults, size it for the
+	// WHOLE network and subtract the levels the K-way split already
+	// provides — otherwise every shard gets the full default depth and
+	// leaf Rnets shrink to a handful of edges, slowing every traversal.
+	if opt.Core.Rnet.Fanout == 0 && opt.Core.Rnet.Levels == 0 {
+		rcfg := rnet.DefaultConfig(g.NumNodes())
+		for covered := 1; covered < opt.Shards && rcfg.Levels > 1; covered *= rcfg.Fanout {
+			rcfg.Levels--
+		}
+		rcfg.Seed = opt.Core.Rnet.Seed
+		rcfg.StorePaths = opt.Core.Rnet.StorePaths
+		rcfg.EdgeWeight = opt.Core.Rnet.EdgeWeight
+		opt.Core.Rnet = rcfg
+	}
+	parts, err := partition.Split(g, active, partition.Options{
+		Parts:    opt.Shards,
+		KLPasses: klPasses,
+		Seed:     opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Router{
+		g:         g,
+		shards:    make([]*Shard, 0, opt.Shards),
+		edgeShard: make([]ID, g.NumEdges()),
+		objLoc:    make(map[graph.ObjectID]ID, objects.Len()),
+		nextObj:   objects.NextID(),
+		seed:      opt.Seed,
+		klPasses:  klPasses,
+	}
+	for i := range r.edgeShard {
+		r.edgeShard[i] = -1
+	}
+	for id, part := range parts {
+		sort.Slice(part, func(i, j int) bool { return part[i] < part[j] })
+		s, err := newShard(id, g, objects, part, opt.Core)
+		if err != nil {
+			return nil, err
+		}
+		r.shards = append(r.shards, s)
+		for _, ge := range part {
+			r.edgeShard[ge] = id
+		}
+		for gid := range s.localObj {
+			r.objLoc[gid] = id
+		}
+	}
+	r.wireTopology()
+	return r, nil
+}
+
+// wireTopology recomputes shardsOf and every shard's border set from the
+// shards' node lists, then refreshes per-shard derived state.
+func (r *Router) wireTopology() {
+	r.shardsOf = make([][]ID, r.g.NumNodes())
+	for _, s := range r.shards {
+		for _, gn := range s.globalNode {
+			r.shardsOf[gn] = append(r.shardsOf[gn], s.ID)
+		}
+	}
+	for _, s := range r.shards {
+		var borders []graph.NodeID
+		for _, gn := range s.globalNode {
+			if len(r.shardsOf[gn]) > 1 {
+				borders = append(borders, gn)
+			}
+		}
+		s.setBorders(borders) // already sorted: globalNode is ascending
+	}
+}
+
+// Graph returns the global network mirror. Its topology and IDs are
+// authoritative; edge weights are kept in sync on the live mutation path
+// (queries never read them — they run on the shard graphs).
+func (r *Router) Graph() *graph.Graph { return r.g }
+
+// NumShards returns the number of shards.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Shard returns shard id.
+func (r *Router) Shard(id ID) *Shard { return r.shards[id] }
+
+// NumObjects returns the number of live objects across all shards.
+func (r *Router) NumObjects() int { return len(r.objLoc) }
+
+// Epoch returns the router's maintenance epoch: the sum of the shard
+// frameworks' epochs. Every successful mutation bumps exactly one shard,
+// so the sum is monotonic, and it survives snapshot round-trips because
+// each shard's epoch is persisted with its framework.
+func (r *Router) Epoch() uint64 {
+	var sum uint64
+	for _, s := range r.shards {
+		sum += s.F.Epoch()
+	}
+	return sum
+}
+
+// IndexSizeBytes sums the shard frameworks' index sizes.
+func (r *Router) IndexSizeBytes() int64 {
+	var sum int64
+	for _, s := range r.shards {
+		sum += s.F.IndexSizeBytes()
+	}
+	return sum
+}
+
+// WarmTrees re-materializes invalidated shortcut trees in every shard,
+// so concurrent sessions never trigger a lazy rebuild. Call after each
+// mutation while readers are still excluded (cheap when little changed).
+func (r *Router) WarmTrees() {
+	for _, s := range r.shards {
+		s.F.WarmTrees()
+	}
+}
+
+// NextObjectID returns the global ID the next inserted object will get.
+func (r *Router) NextObjectID() graph.ObjectID { return r.nextObj }
+
+// NextEdgeID returns the global ID the next added road will get.
+func (r *Router) NextEdgeID() graph.EdgeID { return graph.EdgeID(r.g.NumEdges()) }
+
+// OwnerOfEdge returns the shard owning a global edge.
+func (r *Router) OwnerOfEdge(ge graph.EdgeID) (*Shard, error) {
+	if ge < 0 || int(ge) >= len(r.edgeShard) || r.edgeShard[ge] < 0 {
+		return nil, fmt.Errorf("shard: edge %d does not exist", ge)
+	}
+	return r.shards[r.edgeShard[ge]], nil
+}
+
+// OwnerOfObject returns the shard holding a global object.
+func (r *Router) OwnerOfObject(gid graph.ObjectID) (*Shard, error) {
+	id, ok := r.objLoc[gid]
+	if !ok {
+		return nil, fmt.Errorf("shard: object %d not found", gid)
+	}
+	return r.shards[id], nil
+}
+
+// ShardForNewRoad picks the shard a new road between global nodes u and v
+// will live in: the lowest-ID shard containing both endpoints. Roads
+// whose endpoints share no shard are rejected — admitting them would
+// change shard boundaries, which are fixed at build time.
+func (r *Router) ShardForNewRoad(u, v graph.NodeID) (*Shard, error) {
+	if int(u) < 0 || int(u) >= len(r.shardsOf) || int(v) < 0 || int(v) >= len(r.shardsOf) {
+		return nil, fmt.Errorf("shard: endpoint out of range (%d,%d)", u, v)
+	}
+	for _, su := range r.shardsOf[u] {
+		for _, sv := range r.shardsOf[v] {
+			if su == sv {
+				return r.shards[su], nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("shard: nodes %d and %d share no shard: cross-shard road additions are not supported", u, v)
+}
+
+// --- Mutation application ---
+//
+// Every ShardedDB mutation — live or replayed from a shard's write-ahead
+// journal — goes through ApplyOp with a snapshot.Op in SHARD-LOCAL
+// coordinates, with the op's otherwise-unused fields carrying the global
+// IDs the router must record:
+//
+//	OpAddRoad:      U, V local endpoints; Edge = the global edge ID
+//	OpInsertObject: Edge local; Object = the global object ID
+//	OpDeleteObject / OpSetObjectAttr: Object = the GLOBAL object ID
+//	OpSetDistance / OpClose / OpReopen: Edge local
+//
+// Using one code path for both directions is what makes replay land in
+// exactly the live state: the same translations, the same map updates,
+// the same failure modes.
+
+// ApplyOp applies one journal-encoded mutation to shard id, updating the
+// router's global bookkeeping. When refresh is false (bulk replay), the
+// shard's derived state is NOT rebuilt; the caller must RefreshAll at the
+// end.
+func (r *Router) ApplyOp(id ID, op snapshot.Op, refresh bool) error {
+	s := r.shards[id]
+	checkEdge := func(le graph.EdgeID) error {
+		if le < 0 || int(le) >= len(s.globalEdge) {
+			return fmt.Errorf("shard %d: edge %d outside shard state (%d edges)", id, le, len(s.globalEdge))
+		}
+		return nil
+	}
+	network := false  // weights or topology changed: border tables stale
+	topology := false // topology changed: watch sets stale too
+	switch op.Kind {
+	case snapshot.OpSetDistance:
+		if err := checkEdge(op.Edge); err != nil {
+			return err
+		}
+		if _, err := s.F.SetEdgeWeight(op.Edge, op.Value); err != nil {
+			return err
+		}
+		r.g.SetWeight(s.globalEdge[op.Edge], op.Value)
+		network = true
+
+	case snapshot.OpClose:
+		if err := checkEdge(op.Edge); err != nil {
+			return err
+		}
+		// The framework drops objects on the edge; drop their global
+		// identities alongside.
+		doomed := s.F.Objects().OnEdge(op.Edge)
+		if _, err := s.F.DeleteEdge(op.Edge); err != nil {
+			return err
+		}
+		for _, lo := range doomed {
+			gid := s.globalObj[lo]
+			delete(r.objLoc, gid)
+			delete(s.localObj, gid)
+			s.globalObj[lo] = -1
+		}
+		r.g.RemoveEdge(s.globalEdge[op.Edge])
+		network, topology = true, true
+
+	case snapshot.OpReopen:
+		if err := checkEdge(op.Edge); err != nil {
+			return err
+		}
+		if _, err := s.F.RestoreEdge(op.Edge); err != nil {
+			return err
+		}
+		r.g.RestoreEdge(s.globalEdge[op.Edge])
+		network, topology = true, true
+
+	case snapshot.OpAddRoad:
+		le, _, err := s.F.AddEdge(op.U, op.V, op.Value)
+		if err != nil {
+			return err
+		}
+		ge, err := r.g.AddEdge(s.globalNode[op.U], s.globalNode[op.V], op.Value)
+		if err != nil {
+			return fmt.Errorf("%w: shard %d: global mirror rejected road: %v", ErrIntegrity, id, err)
+		}
+		if ge != op.Edge {
+			return fmt.Errorf("%w: shard %d: replayed road got global edge %d, journal says %d", ErrIntegrity, id, ge, op.Edge)
+		}
+		s.localEdge[ge] = le
+		s.globalEdge = append(s.globalEdge, ge)
+		r.edgeShard = append(r.edgeShard, id)
+		network, topology = true, true
+
+	case snapshot.OpInsertObject:
+		if err := checkEdge(op.Edge); err != nil {
+			return err
+		}
+		if _, dup := r.objLoc[op.Object]; dup {
+			return fmt.Errorf("%w: shard %d: global object %d already exists", ErrIntegrity, id, op.Object)
+		}
+		o, err := s.F.InsertObject(op.Edge, op.Value, op.Attr)
+		if err != nil {
+			return err
+		}
+		s.setGlobalObj(o.ID, op.Object)
+		s.localObj[op.Object] = o.ID
+		r.objLoc[op.Object] = id
+		if op.Object >= r.nextObj {
+			r.nextObj = op.Object + 1
+		}
+
+	case snapshot.OpDeleteObject:
+		lo, ok := s.localObj[op.Object]
+		if !ok {
+			return fmt.Errorf("shard %d: object %d not found", id, op.Object)
+		}
+		if err := s.F.DeleteObject(lo); err != nil {
+			return err
+		}
+		delete(r.objLoc, op.Object)
+		delete(s.localObj, op.Object)
+		s.globalObj[lo] = -1
+
+	case snapshot.OpSetObjectAttr:
+		lo, ok := s.localObj[op.Object]
+		if !ok {
+			return fmt.Errorf("shard %d: object %d not found", id, op.Object)
+		}
+		if err := s.F.UpdateObjectAttr(lo, op.Attr); err != nil {
+			return err
+		}
+
+	default:
+		return fmt.Errorf("shard %d: %w: %d", id, snapshot.ErrUnknownOp, op.Kind)
+	}
+
+	if refresh {
+		// Object churn leaves the routing state intact: border tables and
+		// nearest-border distances depend only on the network, so only
+		// network mutations pay the per-shard rebuild.
+		if network {
+			s.refreshDerived(topology)
+		}
+		s.F.WarmTrees()
+	}
+	return nil
+}
+
+// --- Op encoding (the live-mutation side of the unified apply path) ---
+//
+// Each Encode* helper resolves a global-coordinate mutation to its owning
+// shard and the journal-ready local-coordinate op. The caller write-ahead
+// logs the op to that shard's journal, then hands the SAME op to ApplyOp
+// — so live execution and crash replay run byte-identical operations.
+
+// EncodeSetDistance prepares an edge re-weight.
+func (r *Router) EncodeSetDistance(ge graph.EdgeID, dist float64) (ID, snapshot.Op, error) {
+	s, err := r.OwnerOfEdge(ge)
+	if err != nil {
+		return 0, snapshot.Op{}, err
+	}
+	return s.ID, snapshot.Op{Kind: snapshot.OpSetDistance, Edge: s.localEdge[ge], Value: dist}, nil
+}
+
+// EncodeClose prepares a road closure.
+func (r *Router) EncodeClose(ge graph.EdgeID) (ID, snapshot.Op, error) {
+	s, err := r.OwnerOfEdge(ge)
+	if err != nil {
+		return 0, snapshot.Op{}, err
+	}
+	return s.ID, snapshot.Op{Kind: snapshot.OpClose, Edge: s.localEdge[ge]}, nil
+}
+
+// EncodeReopen prepares a road restoration.
+func (r *Router) EncodeReopen(ge graph.EdgeID) (ID, snapshot.Op, error) {
+	s, err := r.OwnerOfEdge(ge)
+	if err != nil {
+		return 0, snapshot.Op{}, err
+	}
+	return s.ID, snapshot.Op{Kind: snapshot.OpReopen, Edge: s.localEdge[ge]}, nil
+}
+
+// EncodeAddRoad prepares a road addition between existing global nodes;
+// Op.Edge carries the global ID the new road will receive.
+func (r *Router) EncodeAddRoad(u, v graph.NodeID, dist float64) (ID, snapshot.Op, error) {
+	s, err := r.ShardForNewRoad(u, v)
+	if err != nil {
+		return 0, snapshot.Op{}, err
+	}
+	op := snapshot.Op{
+		Kind:  snapshot.OpAddRoad,
+		U:     s.localNode[u],
+		V:     s.localNode[v],
+		Value: dist,
+		Edge:  r.NextEdgeID(),
+	}
+	return s.ID, op, nil
+}
+
+// EncodeInsertObject prepares an object insertion; Op.Object carries the
+// global ID the object will receive.
+func (r *Router) EncodeInsertObject(ge graph.EdgeID, du float64, attr int32) (ID, snapshot.Op, error) {
+	s, err := r.OwnerOfEdge(ge)
+	if err != nil {
+		return 0, snapshot.Op{}, err
+	}
+	op := snapshot.Op{
+		Kind:   snapshot.OpInsertObject,
+		Edge:   s.localEdge[ge],
+		Value:  du,
+		Attr:   attr,
+		Object: r.nextObj,
+	}
+	return s.ID, op, nil
+}
+
+// EncodeDeleteObject prepares an object deletion (global ID).
+func (r *Router) EncodeDeleteObject(gid graph.ObjectID) (ID, snapshot.Op, error) {
+	s, err := r.OwnerOfObject(gid)
+	if err != nil {
+		return 0, snapshot.Op{}, err
+	}
+	return s.ID, snapshot.Op{Kind: snapshot.OpDeleteObject, Object: gid}, nil
+}
+
+// EncodeSetObjectAttr prepares an attribute change (global ID).
+func (r *Router) EncodeSetObjectAttr(gid graph.ObjectID, attr int32) (ID, snapshot.Op, error) {
+	s, err := r.OwnerOfObject(gid)
+	if err != nil {
+		return 0, snapshot.Op{}, err
+	}
+	return s.ID, snapshot.Op{Kind: snapshot.OpSetObjectAttr, Object: gid, Attr: attr}, nil
+}
+
+// Object returns a live object by global ID, in global coordinates.
+func (r *Router) Object(gid graph.ObjectID) (graph.Object, bool) {
+	sid, ok := r.objLoc[gid]
+	if !ok {
+		return graph.Object{}, false
+	}
+	s := r.shards[sid]
+	o, ok := s.F.Objects().Get(s.localObj[gid])
+	if !ok {
+		return graph.Object{}, false
+	}
+	o.ID = gid
+	o.Edge = s.globalEdge[o.Edge]
+	return o, true
+}
+
+// RefreshAll rebuilds every shard's derived routing state (watch sets and
+// border tables) and re-warms shortcut trees — the bulk counterpart of
+// per-op refresh, for after journal replay.
+func (r *Router) RefreshAll() {
+	for _, s := range r.shards {
+		s.refreshDerived(true)
+		s.F.WarmTrees()
+	}
+}
+
+// Info describes one shard for monitoring (/stats).
+type Info struct {
+	ID            ID     `json:"id"`
+	Nodes         int    `json:"nodes"`
+	Edges         int    `json:"edges"`
+	Objects       int    `json:"objects"`
+	Borders       int    `json:"borders"`
+	Epoch         uint64 `json:"epoch"`
+	IndexKB       int64  `json:"index_kb"`
+	HomeQueries   uint64 `json:"home_queries"`
+	RemoteEntries uint64 `json:"remote_entries"`
+}
+
+// Infos snapshots per-shard state and load counters.
+func (r *Router) Infos() []Info {
+	out := make([]Info, len(r.shards))
+	for i, s := range r.shards {
+		out[i] = Info{
+			ID:            s.ID,
+			Nodes:         s.F.Graph().NumNodes(),
+			Edges:         s.F.Graph().NumEdges(),
+			Objects:       s.F.Objects().Len(),
+			Borders:       len(s.borders),
+			Epoch:         s.F.Epoch(),
+			IndexKB:       s.F.IndexSizeBytes() / 1024,
+			HomeQueries:   s.homeQueries.Load(),
+			RemoteEntries: s.remoteEntries.Load(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+// Package shard splits one road network into K region shards along the
+// same partition boundaries the ROAD Rnet hierarchy is built from, runs
+// an independent core.Framework per shard, and routes queries across them.
+//
+// Each shard is a self-contained sub-network: the partitioner assigns
+// every edge to exactly one shard, nodes incident to edges of two or more
+// shards become border nodes shared by all of them (Definition 4 of the
+// paper, applied one level above the in-shard hierarchy). A shard keeps a
+// distance table between its own border nodes — the shard-level analogue
+// of the paper's shortcuts — and the Router stitches those tables into a
+// gateway graph that carries a search from the query's home shard into
+// any shard that might still hold a closer object. A result set is final
+// only when every unexplored shard's entry distance exceeds the current
+// kth-best (or the range radius): the cross-shard merge bound.
+//
+// The subsystem is deliberately framework-per-shard rather than one big
+// framework: every shard has its own epoch, its own snapshot, and its own
+// write-ahead journal, which is the seam that later lets shards move
+// out-of-process.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"road/internal/core"
+	"road/internal/graph"
+)
+
+// ID identifies a shard within a Router (dense, starting at 0).
+type ID = int
+
+// BorderArc is one entry of a shard's border distance table: the shortest
+// within-shard distance from one border node to another. Arcs to borders
+// unreachable inside the shard are simply absent.
+type BorderArc struct {
+	To   graph.NodeID // global ID of the destination border
+	Dist float64
+}
+
+// Shard is one region of the network: a local graph (with its own dense
+// node/edge IDs), an object set, and a full ROAD framework over them,
+// plus the identity maps that translate between shard-local and global
+// IDs.
+type Shard struct {
+	ID ID
+	F  *core.Framework
+
+	// Identity maps. Node sets are fixed at build time (roads may be
+	// added, but only between existing intersections); edge and object
+	// sets grow.
+	globalNode []graph.NodeID                // local node -> global node
+	localNode  map[graph.NodeID]graph.NodeID // global node -> local node
+	globalEdge []graph.EdgeID                // local edge -> global edge
+	localEdge  map[graph.EdgeID]graph.EdgeID // global edge -> local edge
+	// globalObj maps local object IDs (dense, never reused) to global
+	// IDs; -1 marks deleted slots. A slice, not a map: it sits on the
+	// per-result translation path of every query.
+	globalObj []graph.ObjectID
+	localObj  map[graph.ObjectID]graph.ObjectID // global object -> local object
+
+	// borders lists the global IDs of this shard's border nodes (nodes
+	// shared with at least one other shard), sorted ascending. The set is
+	// static: border membership follows node presence, and nodes never
+	// move between shards.
+	borders []graph.NodeID
+
+	// watch marks the borders (in local IDs) for the home-shard search;
+	// rebuilt after topology mutations, which can move nodes between the
+	// shard's internal Rnets.
+	watch *core.WatchSet
+
+	// btable holds, per border (global ID), the within-shard shortest
+	// distances to the shard's other borders — the arcs of the Router's
+	// gateway graph. Rebuilt after any network mutation in this shard.
+	btable map[graph.NodeID][]BorderArc
+
+	// borderDist[local node] is the within-shard distance to the shard's
+	// nearest border (+Inf when no border is reachable). It is the fast
+	// path's lower bound: a query whose kth result is closer than every
+	// border cannot be improved by any other shard, proven with one array
+	// lookup instead of a watched search.
+	borderDist []float64
+
+	// bsearch is the Dijkstra workspace btable rebuilds run on. It is
+	// used only under the Router's mutation path (single-threaded by the
+	// serving layer's write lock), never by query sessions.
+	bsearch *graph.Search
+
+	// Load counters (read path, hence atomic): queries whose query node
+	// lives in this shard, and cross-shard expansions entering it.
+	homeQueries   atomic.Uint64
+	remoteEntries atomic.Uint64
+}
+
+// GlobalNodes returns the shard's local-to-global node map (owned by the
+// shard; callers must not mutate).
+func (s *Shard) GlobalNodes() []graph.NodeID { return s.globalNode }
+
+// GlobalEdges returns the shard's local-to-global edge map.
+func (s *Shard) GlobalEdges() []graph.EdgeID { return s.globalEdge }
+
+// Borders returns the global IDs of the shard's border nodes.
+func (s *Shard) Borders() []graph.NodeID { return s.borders }
+
+// LocalNode translates a global node ID, reporting whether the node is
+// present in this shard.
+func (s *Shard) LocalNode(g graph.NodeID) (graph.NodeID, bool) {
+	l, ok := s.localNode[g]
+	return l, ok
+}
+
+// newShard assembles one shard from its slice of the global network.
+// edges must be the shard's global edge IDs sorted ascending; objects is
+// the global object set (only objects on the shard's edges are adopted).
+func newShard(id ID, g *graph.Graph, objects *graph.ObjectSet, edges []graph.EdgeID, cfg core.Config) (*Shard, error) {
+	s := &Shard{
+		ID:        id,
+		localNode: make(map[graph.NodeID]graph.NodeID),
+		localEdge: make(map[graph.EdgeID]graph.EdgeID, len(edges)),
+		localObj:  make(map[graph.ObjectID]graph.ObjectID),
+	}
+
+	// Collect the node set (sorted ascending so local IDs are stable and
+	// deterministic), then materialize the local graph.
+	nodeSet := make(map[graph.NodeID]bool)
+	for _, e := range edges {
+		ed := g.Edge(e)
+		nodeSet[ed.U] = true
+		nodeSet[ed.V] = true
+	}
+	s.globalNode = make([]graph.NodeID, 0, len(nodeSet))
+	for n := range nodeSet {
+		s.globalNode = append(s.globalNode, n)
+	}
+	sort.Slice(s.globalNode, func(i, j int) bool { return s.globalNode[i] < s.globalNode[j] })
+
+	lg := graph.New(len(s.globalNode), len(edges))
+	for li, gn := range s.globalNode {
+		lg.AddNode(g.Coord(gn))
+		s.localNode[gn] = graph.NodeID(li)
+	}
+	s.globalEdge = make([]graph.EdgeID, 0, len(edges))
+	lset := graph.NewObjectSet(lg)
+	for _, ge := range edges {
+		ed := g.Edge(ge)
+		le, err := lg.AddEdge(s.localNode[ed.U], s.localNode[ed.V], ed.Weight)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: adopting edge %d: %w", id, ge, err)
+		}
+		s.localEdge[ge] = le
+		s.globalEdge = append(s.globalEdge, ge)
+		for _, gid := range objects.OnEdge(ge) {
+			o, _ := objects.Get(gid)
+			lo, err := lset.Add(le, o.DU, o.Attr)
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: adopting object %d: %w", id, gid, err)
+			}
+			s.setGlobalObj(lo.ID, gid)
+			s.localObj[gid] = lo.ID
+		}
+	}
+
+	f, err := core.Build(lg, lset, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", id, err)
+	}
+	s.F = f
+	s.bsearch = graph.NewSearch(lg)
+	return s, nil
+}
+
+// setGlobalObj records the global identity of a local object, growing
+// the dense translation table as needed.
+func (s *Shard) setGlobalObj(lo, gid graph.ObjectID) {
+	for int(lo) >= len(s.globalObj) {
+		s.globalObj = append(s.globalObj, -1)
+	}
+	s.globalObj[lo] = gid
+}
+
+// setBorders installs the shard's border set (global IDs, sorted) and
+// builds the derived watch set and border distance table.
+func (s *Shard) setBorders(borders []graph.NodeID) {
+	s.borders = borders
+	s.refreshDerived(true)
+}
+
+// refreshDerived rebuilds the border distance table and per-node
+// nearest-border distances — and, when topology changed, the watch set
+// (Rnet membership of borders may have moved). Must run while readers
+// are excluded: query sessions consult all three.
+func (s *Shard) refreshDerived(topology bool) {
+	if topology || s.watch == nil {
+		local := make([]graph.NodeID, len(s.borders))
+		for i, b := range s.borders {
+			local[i] = s.localNode[b]
+		}
+		s.watch = s.F.NewWatchSet(local)
+	}
+	s.rebuildBTable()
+	s.rebuildBorderDist()
+}
+
+// rebuildBorderDist recomputes every local node's distance to the
+// shard's nearest border: one multi-source Dijkstra from all borders.
+func (s *Shard) rebuildBorderDist() {
+	n := s.F.Graph().NumNodes()
+	if s.borderDist == nil {
+		s.borderDist = make([]float64, n)
+	}
+	if len(s.borders) == 0 {
+		for i := range s.borderDist {
+			s.borderDist[i] = inf
+		}
+		return
+	}
+	seeds := make([]graph.Seed, len(s.borders))
+	for i, b := range s.borders {
+		seeds[i] = graph.Seed{Node: s.localNode[b]}
+	}
+	s.bsearch.RunSeeded(seeds, graph.Options{})
+	for i := 0; i < n; i++ {
+		s.borderDist[i] = s.bsearch.Dist(graph.NodeID(i))
+	}
+}
+
+// rebuildBTable recomputes the within-shard shortest distances between
+// every pair of the shard's border nodes by one Dijkstra per border over
+// the shard's live local graph.
+func (s *Shard) rebuildBTable() {
+	s.btable = make(map[graph.NodeID][]BorderArc, len(s.borders))
+	if len(s.borders) < 2 {
+		return
+	}
+	targets := make([]graph.NodeID, len(s.borders))
+	for i, b := range s.borders {
+		targets[i] = s.localNode[b]
+	}
+	for i, from := range s.borders {
+		s.bsearch.Run(targets[i], graph.Options{Targets: targets})
+		arcs := make([]BorderArc, 0, len(s.borders)-1)
+		for j, to := range s.borders {
+			if i == j {
+				continue
+			}
+			if d := s.bsearch.Dist(targets[j]); !isInf(d) {
+				arcs = append(arcs, BorderArc{To: to, Dist: d})
+			}
+		}
+		s.btable[from] = arcs
+	}
+}
+
+func isInf(d float64) bool { return d > maxFinite }
+
+// maxFinite is a practical "unreachable" threshold: all real network
+// distances are far below it, and +Inf compares above it.
+const maxFinite = 1e300
+
+var inf = math.Inf(1)

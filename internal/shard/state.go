@@ -1,0 +1,241 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"road/internal/core"
+	"road/internal/geom"
+	"road/internal/graph"
+)
+
+// ManifestVersion is the current sharded-deployment manifest format.
+const ManifestVersion = 1
+
+// Manifest is the global-identity side of a sharded deployment's
+// persistent state. Each shard's framework is persisted as an ordinary
+// snapshot in shard-LOCAL coordinates; the manifest records how local
+// IDs map back to the one global namespace clients speak, so a reopened
+// router answers with the same node, edge and object IDs it served
+// before the restart. Derived routing state (borders, border distance
+// tables, watch sets) is deliberately absent: it is recomputed from the
+// loaded shards, which cannot drift from a stale copy.
+type Manifest struct {
+	Version  int   `json:"version"`
+	Shards   int   `json:"shards"`
+	Seed     int64 `json:"seed"`
+	NumNodes int   `json:"num_nodes"`
+	NumEdges int   `json:"num_edges"`
+
+	// NextObj continues the global object ID sequence, including gaps
+	// left by deletions.
+	NextObj graph.ObjectID `json:"next_obj"`
+
+	// Isolated preserves the coordinates of global nodes that belong to
+	// no shard (intersections without roads): no shard snapshot carries
+	// them, and the global mirror must still allocate their IDs.
+	Isolated []IsolatedNode `json:"isolated,omitempty"`
+
+	PerShard []ShardManifest `json:"per_shard"`
+}
+
+// IsolatedNode is a shard-less global node.
+type IsolatedNode struct {
+	ID graph.NodeID `json:"id"`
+	X  float64      `json:"x"`
+	Y  float64      `json:"y"`
+}
+
+// ShardManifest maps one shard's local ID spaces to the global ones.
+type ShardManifest struct {
+	GlobalNode []graph.NodeID `json:"global_node"` // local node -> global
+	GlobalEdge []graph.EdgeID `json:"global_edge"` // local edge -> global
+	// Objects pairs (local ID, global ID), sorted by local ID.
+	Objects [][2]graph.ObjectID `json:"objects"`
+}
+
+// Manifest exports the router's global-identity state. Call it under the
+// same exclusion as a snapshot save, so the two are consistent.
+func (r *Router) Manifest() *Manifest {
+	m := &Manifest{
+		Version:  ManifestVersion,
+		Shards:   len(r.shards),
+		Seed:     r.seed,
+		NumNodes: r.g.NumNodes(),
+		NumEdges: r.g.NumEdges(),
+		NextObj:  r.nextObj,
+	}
+	for n := 0; n < r.g.NumNodes(); n++ {
+		if len(r.shardsOf[n]) == 0 {
+			p := r.g.Coord(graph.NodeID(n))
+			m.Isolated = append(m.Isolated, IsolatedNode{ID: graph.NodeID(n), X: p.X, Y: p.Y})
+		}
+	}
+	for _, s := range r.shards {
+		sm := ShardManifest{
+			GlobalNode: append([]graph.NodeID(nil), s.globalNode...),
+			GlobalEdge: append([]graph.EdgeID(nil), s.globalEdge...),
+		}
+		for gid, lo := range s.localObj {
+			sm.Objects = append(sm.Objects, [2]graph.ObjectID{lo, gid})
+		}
+		sort.Slice(sm.Objects, func(i, j int) bool { return sm.Objects[i][0] < sm.Objects[j][0] })
+		m.PerShard = append(m.PerShard, sm)
+	}
+	return m
+}
+
+// Reassemble reconstructs a Router from per-shard frameworks (loaded
+// from their snapshots) and the manifest saved alongside them. Derived
+// routing state is recomputed; the caller replays any per-shard journals
+// afterwards via ApplyOp and finishes with RefreshAll.
+func Reassemble(frameworks []*core.Framework, m *Manifest) (*Router, error) {
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("shard: manifest version %d not supported (this build reads %d)", m.Version, ManifestVersion)
+	}
+	if len(frameworks) != m.Shards || len(m.PerShard) != m.Shards {
+		return nil, fmt.Errorf("shard: manifest names %d shards, got %d frameworks and %d shard manifests",
+			m.Shards, len(frameworks), len(m.PerShard))
+	}
+
+	// Rebuild the global mirror: coordinates from the shards (plus the
+	// isolated list), then every edge at its exact global ID.
+	coords := make([]geom.Point, m.NumNodes)
+	seen := make([]bool, m.NumNodes)
+	for i, f := range frameworks {
+		sm := &m.PerShard[i]
+		lg := f.Graph()
+		if len(sm.GlobalNode) != lg.NumNodes() {
+			return nil, fmt.Errorf("shard %d: manifest maps %d nodes, snapshot has %d", i, len(sm.GlobalNode), lg.NumNodes())
+		}
+		if len(sm.GlobalEdge) != lg.NumEdges() {
+			return nil, fmt.Errorf("shard %d: manifest maps %d edges, snapshot has %d", i, len(sm.GlobalEdge), lg.NumEdges())
+		}
+		for li, gn := range sm.GlobalNode {
+			if int(gn) < 0 || int(gn) >= m.NumNodes {
+				return nil, fmt.Errorf("shard %d: global node %d out of range", i, gn)
+			}
+			coords[gn] = lg.Coord(graph.NodeID(li))
+			seen[gn] = true
+		}
+	}
+	for _, iso := range m.Isolated {
+		if int(iso.ID) < 0 || int(iso.ID) >= m.NumNodes {
+			return nil, fmt.Errorf("shard: isolated node %d out of range", iso.ID)
+		}
+		coords[iso.ID] = geom.Point{X: iso.X, Y: iso.Y}
+		seen[iso.ID] = true
+	}
+	for n, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("shard: global node %d appears in no shard and is not listed as isolated", n)
+		}
+	}
+
+	type edgeRec struct {
+		shard   ID
+		local   graph.EdgeID
+		u, v    graph.NodeID // global
+		weight  float64
+		removed bool
+	}
+	edges := make([]edgeRec, m.NumEdges)
+	seenE := make([]bool, m.NumEdges)
+	for i, f := range frameworks {
+		sm := &m.PerShard[i]
+		lg := f.Graph()
+		for li, ge := range sm.GlobalEdge {
+			if int(ge) < 0 || int(ge) >= m.NumEdges {
+				return nil, fmt.Errorf("shard %d: global edge %d out of range", i, ge)
+			}
+			if seenE[ge] {
+				return nil, fmt.Errorf("shard %d: global edge %d claimed twice", i, ge)
+			}
+			seenE[ge] = true
+			ed := lg.Edge(graph.EdgeID(li))
+			edges[ge] = edgeRec{
+				shard:   i,
+				local:   graph.EdgeID(li),
+				u:       sm.GlobalNode[ed.U],
+				v:       sm.GlobalNode[ed.V],
+				weight:  ed.Weight,
+				removed: ed.Removed,
+			}
+		}
+	}
+	for e, ok := range seenE {
+		if !ok {
+			return nil, fmt.Errorf("shard: global edge %d owned by no shard", e)
+		}
+	}
+
+	g := graph.New(m.NumNodes, m.NumEdges)
+	for _, p := range coords {
+		g.AddNode(p)
+	}
+	for ge, rec := range edges {
+		id, err := g.AddEdge(rec.u, rec.v, rec.weight)
+		if err != nil {
+			return nil, fmt.Errorf("shard: rebuilding global edge %d: %w", ge, err)
+		}
+		if int(id) != ge {
+			return nil, fmt.Errorf("shard: global edge %d rebuilt as %d", ge, id)
+		}
+		if rec.removed {
+			g.RemoveEdge(id)
+		}
+	}
+
+	r := &Router{
+		g:         g,
+		shards:    make([]*Shard, m.Shards),
+		edgeShard: make([]ID, m.NumEdges),
+		objLoc:    make(map[graph.ObjectID]ID),
+		nextObj:   m.NextObj,
+		seed:      m.Seed,
+		klPasses:  -1,
+	}
+	for ge, rec := range edges {
+		r.edgeShard[ge] = rec.shard
+	}
+	for i, f := range frameworks {
+		sm := &m.PerShard[i]
+		s := &Shard{
+			ID:         i,
+			F:          f,
+			globalNode: append([]graph.NodeID(nil), sm.GlobalNode...),
+			localNode:  make(map[graph.NodeID]graph.NodeID, len(sm.GlobalNode)),
+			globalEdge: append([]graph.EdgeID(nil), sm.GlobalEdge...),
+			localEdge:  make(map[graph.EdgeID]graph.EdgeID, len(sm.GlobalEdge)),
+			localObj:   make(map[graph.ObjectID]graph.ObjectID, len(sm.Objects)),
+		}
+		for li, gn := range sm.GlobalNode {
+			s.localNode[gn] = graph.NodeID(li)
+		}
+		for li, ge := range sm.GlobalEdge {
+			s.localEdge[ge] = graph.EdgeID(li)
+		}
+		if f.Objects().Len() != len(sm.Objects) {
+			return nil, fmt.Errorf("shard %d: manifest maps %d objects, snapshot has %d", i, len(sm.Objects), f.Objects().Len())
+		}
+		for _, pair := range sm.Objects {
+			lo, gid := pair[0], pair[1]
+			if _, ok := f.Objects().Get(lo); !ok {
+				return nil, fmt.Errorf("shard %d: manifest object %d (global %d) missing from snapshot", i, lo, gid)
+			}
+			if _, dup := r.objLoc[gid]; dup {
+				return nil, fmt.Errorf("shard %d: global object %d claimed twice in manifest", i, gid)
+			}
+			s.setGlobalObj(lo, gid)
+			s.localObj[gid] = lo
+			r.objLoc[gid] = i
+			if gid >= r.nextObj {
+				r.nextObj = gid + 1
+			}
+		}
+		s.bsearch = graph.NewSearch(f.Graph())
+		r.shards[i] = s
+	}
+	r.wireTopology()
+	return r, nil
+}

@@ -105,6 +105,7 @@ type Journal struct {
 
 	mu      sync.Mutex
 	f       *os.File
+	path    string
 	lastSeq uint64
 	size    int64
 
@@ -125,7 +126,7 @@ func OpenJournal(path string) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	j := &Journal{f: f}
+	j := &Journal{f: f, path: path}
 	if err := j.recover(); err != nil {
 		f.Close()
 		return nil, err
@@ -199,6 +200,155 @@ func (j *Journal) LastSeq() uint64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.lastSeq
+}
+
+// Size returns the journal file's current size in bytes (header
+// included). roadd's -journal-max-bytes auto-snapshot trigger polls it.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// Rotate compacts the journal after a successful snapshot save: entries
+// with sequence numbers at or below upTo — all included in the snapshot —
+// are dropped, and the journal is re-stamped so a later replay refuses
+// any base state older than upTo (those ops are gone). The rewrite is
+// crash-safe: a fresh journal is assembled in a temp file and atomically
+// renamed over the old one.
+//
+// f must be the framework the journal is attached to, in its current
+// state. When the rotation drops every entry (upTo == LastSeq(), the
+// normal snapshot-then-rotate flow under one write lock), the new base
+// stamp carries f's fingerprint; when entries survive, the at-upTo state
+// no longer exists to fingerprint, so only the watermark guard is kept.
+func (j *Journal) Rotate(f *core.Framework, upTo uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if upTo > j.lastSeq {
+		return fmt.Errorf("journal: rotate watermark %d beyond last sequence %d", upTo, j.lastSeq)
+	}
+	if j.path == "" {
+		return fmt.Errorf("journal: not file-backed")
+	}
+
+	var fp uint64
+	if upTo == j.lastSeq {
+		fp = Fingerprint(f)
+	}
+	var header [journalHeaderSize]byte
+	copy(header[:], JournalMagic[:])
+	binary.LittleEndian.PutUint32(header[8:], JournalVersion)
+	binary.LittleEndian.PutUint64(header[12:], upTo)
+	binary.LittleEndian.PutUint64(header[20:], fp)
+
+	tmpPath := j.path + ".rotate"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: rotating: %w", err)
+	}
+	cleanup := func() { tmp.Close(); os.Remove(tmpPath) }
+	if _, err := tmp.Write(header[:]); err != nil {
+		cleanup()
+		return fmt.Errorf("journal: rotating: %w", err)
+	}
+	// Copy surviving entries (seq > upTo) verbatim.
+	kept := int64(0)
+	var buf [entrySize]byte
+	for offset := int64(journalHeaderSize); offset+entrySize <= j.size; offset += entrySize {
+		if _, err := j.f.ReadAt(buf[:], offset); err != nil {
+			cleanup()
+			return fmt.Errorf("journal: rotating: reading entry at %d: %w", offset, err)
+		}
+		seq, _, ok := decodeEntry(buf[:])
+		if !ok {
+			cleanup()
+			return fmt.Errorf("journal: rotating: corrupt entry at offset %d", offset)
+		}
+		if seq <= upTo {
+			continue
+		}
+		if _, err := tmp.Write(buf[:]); err != nil {
+			cleanup()
+			return fmt.Errorf("journal: rotating: %w", err)
+		}
+		kept++
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("journal: rotating: %w", err)
+	}
+	if err := os.Rename(tmpPath, j.path); err != nil {
+		cleanup()
+		return fmt.Errorf("journal: rotating: %w", err)
+	}
+	// Keep writing through the already-open tmp handle: after the rename
+	// it IS the file at j.path (same inode), so there is no reopen that
+	// could fail and leave the journal appending to an unlinked file.
+	j.f.Close()
+	j.f = tmp
+	j.size = journalHeaderSize + kept*entrySize
+	j.stampSeq = upTo
+	j.stampFP = fp
+	// lastSeq is unchanged: the sequence space keeps counting forward.
+	return nil
+}
+
+// Entries iterates the journal's intact entries with sequence numbers
+// greater than afterSeq, in order, invoking fn for each. A non-nil error
+// from fn aborts the iteration and is returned verbatim; read or
+// corruption errors abort with a descriptive error. Unlike Replay it
+// applies nothing and performs no base-stamp validation — callers that
+// replay through their own apply path (the sharded router) must run
+// CheckBase first.
+func (j *Journal) Entries(afterSeq uint64, fn func(seq uint64, op Op) error) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var buf [entrySize]byte
+	for offset := int64(journalHeaderSize); offset+entrySize <= j.size; offset += entrySize {
+		if _, err := j.f.ReadAt(buf[:], offset); err != nil {
+			return fmt.Errorf("journal: reading entry at %d: %w", offset, err)
+		}
+		seq, op, ok := decodeEntry(buf[:])
+		if !ok {
+			return fmt.Errorf("journal: corrupt entry at offset %d", offset)
+		}
+		if seq <= afterSeq {
+			continue
+		}
+		if err := fn(seq, op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckBase validates that a base state (watermark afterSeq, framework f)
+// is a legal replay target for this journal — the same guard Replay runs
+// internally, exposed for callers that iterate with Entries.
+func (j *Journal) CheckBase(f *core.Framework, afterSeq uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.checkBaseLocked(f, afterSeq)
+}
+
+func (j *Journal) checkBaseLocked(f *core.Framework, afterSeq uint64) error {
+	if j.stampSeq == 0 && j.stampFP == 0 {
+		return nil // never stamped
+	}
+	// A base OLDER than the journal's stamped watermark is missing the
+	// ops 1..stampSeq that lived before this journal existed (rotated
+	// away, or recorded before the journal was created) — replaying the
+	// tail onto it would produce silently wrong roads.
+	if afterSeq < j.stampSeq {
+		return fmt.Errorf("journal: base state watermark %d predates the journal's base %d: the ops in between are not in this journal (rotated away?)", afterSeq, j.stampSeq)
+	}
+	if afterSeq == j.stampSeq && j.stampFP != 0 {
+		if fp := Fingerprint(f); fp != j.stampFP {
+			return fmt.Errorf("journal: base state fingerprint %016x does not match the journal's %016x (journal was recorded against a different build or snapshot)", fp, j.stampFP)
+		}
+	}
+	return nil
 }
 
 // Fingerprint computes a cheap identity of the framework's current
@@ -331,21 +481,11 @@ func (e *OpError) Unwrap() error { return e.Err }
 func (j *Journal) Replay(f *core.Framework, afterSeq uint64) (int, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	// Guard the base pairing. A base OLDER than the journal's stamped
-	// watermark is missing the ops 1..stampSeq that lived before this
-	// journal existed (e.g. the journal was rotated after a snapshot and
-	// that snapshot was then lost) — replaying the tail onto it would
-	// produce silently wrong roads. A base exactly AT the stamp must
-	// fingerprint-match the state the journal was bound to.
-	if j.stampFP != 0 {
-		if afterSeq < j.stampSeq {
-			return 0, fmt.Errorf("journal: base state watermark %d predates the journal's base %d: the ops in between are not in this journal (rotated away?)", afterSeq, j.stampSeq)
-		}
-		if afterSeq == j.stampSeq {
-			if fp := Fingerprint(f); fp != j.stampFP {
-				return 0, fmt.Errorf("journal: base state fingerprint %016x does not match the journal's %016x (journal was recorded against a different build or snapshot)", fp, j.stampFP)
-			}
-		}
+	// Guard the base pairing: the base must not predate the journal's
+	// stamp (rotation discards older ops), and a base exactly AT the
+	// stamp must fingerprint-match the state the journal was bound to.
+	if err := j.checkBaseLocked(f, afterSeq); err != nil {
+		return 0, err
 	}
 	applied := 0
 	var lastOpErr error

@@ -132,6 +132,11 @@ type DB struct {
 	// DB's base state (build or loaded snapshot) already includes.
 	journal *snapshot.Journal
 	baseSeq uint64
+
+	// lastSnapSeq is the journal watermark of the most recent snapshot
+	// known to exist on disk (saved by this process, or the one this DB
+	// was loaded from) — the highest sequence CompactJournal may discard.
+	lastSnapSeq uint64
 }
 
 // Open builds the ROAD index over the builder's network. The builder's
@@ -312,13 +317,36 @@ func OpenJournal(path string) (*Journal, error) { return snapshot.OpenJournal(pa
 // exclude concurrent mutations (roadd snapshots under its coordinator's
 // write lock).
 func (db *DB) SaveSnapshot(w io.Writer) error {
-	return snapshot.Save(db.f, db.snapshotSeq(), w)
+	seq := db.snapshotSeq()
+	if err := snapshot.Save(db.f, seq, w); err != nil {
+		return err
+	}
+	db.lastSnapSeq = seq
+	return nil
 }
 
 // SaveSnapshotFile atomically writes a snapshot to path (temp file +
 // rename), so a crash mid-save never corrupts the previous snapshot.
 func (db *DB) SaveSnapshotFile(path string) error {
-	return snapshot.SaveFile(db.f, db.snapshotSeq(), path)
+	seq := db.snapshotSeq()
+	if err := snapshot.SaveFile(db.f, seq, path); err != nil {
+		return err
+	}
+	db.lastSnapSeq = seq
+	return nil
+}
+
+// CompactJournal rotates the attached journal, dropping every entry the
+// most recent snapshot already includes. Call it right after a snapshot
+// save, under the same exclusion of mutations (roadd does both inside one
+// coordinator write lock); without a snapshot it is a no-op, since every
+// journal entry is still needed for recovery. The journal file shrinks to
+// its header plus any entries appended since the snapshot.
+func (db *DB) CompactJournal() error {
+	if db.journal == nil || db.lastSnapSeq == 0 {
+		return nil
+	}
+	return db.journal.Rotate(db.f, db.lastSnapSeq)
 }
 
 func (db *DB) snapshotSeq() uint64 {
@@ -337,7 +365,7 @@ func OpenSnapshot(r io.Reader) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{f: f, baseSeq: lastSeq}, nil
+	return &DB{f: f, baseSeq: lastSeq, lastSnapSeq: lastSeq}, nil
 }
 
 // OpenSnapshotFile reopens a DB from a snapshot file.
@@ -346,7 +374,7 @@ func OpenSnapshotFile(path string) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{f: f, baseSeq: lastSeq}, nil
+	return &DB{f: f, baseSeq: lastSeq, lastSnapSeq: lastSeq}, nil
 }
 
 // ReplayJournal applies every journal entry the DB's state does not
@@ -401,6 +429,16 @@ func (db *DB) AttachJournal(j *Journal) error {
 // JournalSeq returns the last journal sequence number incorporated in the
 // DB's state (0 when no journal has ever been involved).
 func (db *DB) JournalSeq() uint64 { return db.snapshotSeq() }
+
+// JournalSizeBytes returns the attached journal's file size (0 with no
+// journal) — the quantity roadd's -journal-max-bytes auto-snapshot
+// trigger watches.
+func (db *DB) JournalSizeBytes() int64 {
+	if db.journal == nil {
+		return 0
+	}
+	return db.journal.Size()
+}
 
 // Session is an independent read-only query context; any number of
 // Sessions may query concurrently (I/O simulation is skipped in sessions).

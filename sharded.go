@@ -1,0 +1,534 @@
+package road
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"road/internal/core"
+	"road/internal/graph"
+	"road/internal/rnet"
+	"road/internal/shard"
+	"road/internal/snapshot"
+)
+
+// ShardedDB is a ROAD database split into K region shards, each a full
+// independent index over one partition-aligned slice of the network, with
+// a query router dispatching to the owning shard and expanding across
+// shard boundaries through recorded border-node distances. It mirrors DB:
+// the same global node, edge and object IDs, the same query and
+// maintenance surface, the same persistence model — but with per-shard
+// epochs, snapshots and write-ahead journals, the deployment seam that
+// lets large networks serve heavy traffic (and, later, lets shards move
+// out-of-process).
+//
+// Differences from DB worth knowing: PathTo works without
+// Options.StorePaths (cross-shard routes are assembled from per-shard
+// Dijkstra legs), and AddRoad requires both endpoints to share a shard —
+// shard boundaries are fixed at build time, so a road bridging two shards
+// that share neither endpoint is rejected.
+type ShardedDB struct {
+	r *shard.Router
+
+	// Per-shard persistence state, indexed by shard ID.
+	journals     []*snapshot.Journal
+	baseSeqs     []uint64
+	lastSnapSeqs []uint64
+
+	// sess serves the DB-level convenience queries (single-threaded,
+	// like DB's own methods); concurrent callers use NewSession.
+	sess *shard.Session
+}
+
+// OpenSharded builds a ShardedDB over the builder's network, split into
+// the given number of shards (a power of two ≥ 2). The network is
+// adopted; further mutation must go through ShardedDB methods.
+func OpenSharded(b *NetworkBuilder, opts Options, shards int) (*ShardedDB, error) {
+	objects := graph.NewObjectSet(b.g)
+	return openSharded(b.g, objects, opts, shards)
+}
+
+// OpenShardedWithObjects builds a ShardedDB with a pre-populated object
+// set (bound to the builder's graph). Objects keep their IDs.
+func OpenShardedWithObjects(b *NetworkBuilder, objects *graph.ObjectSet, opts Options, shards int) (*ShardedDB, error) {
+	if objects.Graph() != b.g {
+		return nil, fmt.Errorf("road: object set bound to a different network")
+	}
+	return openSharded(b.g, objects, opts, shards)
+}
+
+func openSharded(g *graph.Graph, objects *graph.ObjectSet, opts Options, shards int) (*ShardedDB, error) {
+	if g.NumNodes() < 2 {
+		return nil, fmt.Errorf("road: network needs at least 2 nodes, has %d", g.NumNodes())
+	}
+	var rcfg rnet.Config
+	if opts.Fanout != 0 || opts.Levels != 0 {
+		// Explicit shape: base the unset half on a per-shard-sized default.
+		rcfg = rnet.DefaultConfig(g.NumNodes() / shards)
+		if opts.Fanout != 0 {
+			rcfg.Fanout = opts.Fanout
+		}
+		if opts.Levels != 0 {
+			rcfg.Levels = opts.Levels
+		}
+	}
+	// StorePaths is deliberately not forwarded: the router reconstructs
+	// cross-shard routes from per-shard Dijkstra legs and never expands
+	// stored shortcut waypoints.
+	rcfg.Seed = opts.Seed
+	cfg := core.Config{Rnet: rcfg, Abstract: opts.Abstract}
+	if opts.DisableIOSim {
+		cfg.BufferPages = -1
+	}
+	r, err := shard.Build(g, objects, shard.Options{
+		Shards: shards,
+		Seed:   opts.Seed,
+		Core:   cfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newShardedDB(r), nil
+}
+
+func newShardedDB(r *shard.Router) *ShardedDB {
+	k := r.NumShards()
+	return &ShardedDB{
+		r:            r,
+		journals:     make([]*snapshot.Journal, k),
+		baseSeqs:     make([]uint64, k),
+		lastSnapSeqs: make([]uint64, k),
+	}
+}
+
+// Router exposes the underlying shard router for advanced use (serving
+// layers, benchmark harnesses).
+func (db *ShardedDB) Router() *shard.Router { return db.r }
+
+// NumShards returns the number of region shards.
+func (db *ShardedDB) NumShards() int { return db.r.NumShards() }
+
+// Epoch returns the database's maintenance epoch: the sum of the shard
+// epochs, bumped by every successful mutating call. See DB.Epoch.
+func (db *ShardedDB) Epoch() uint64 { return db.r.Epoch() }
+
+// IndexSizeBytes estimates total index storage across all shards.
+func (db *ShardedDB) IndexSizeBytes() int64 { return db.r.IndexSizeBytes() }
+
+// ShardInfos reports per-shard size, epoch and load counters.
+func (db *ShardedDB) ShardInfos() []shard.Info { return db.r.Infos() }
+
+// NumNodes returns the global intersection count.
+func (db *ShardedDB) NumNodes() int { return db.r.Graph().NumNodes() }
+
+// NumRoads returns the global road-segment count (including closed ones).
+func (db *ShardedDB) NumRoads() int { return db.r.Graph().NumEdges() }
+
+// NumObjects returns the number of live objects across all shards.
+func (db *ShardedDB) NumObjects() int { return db.r.NumObjects() }
+
+// --- Queries (single-threaded convenience, mirroring DB) ---
+
+func (db *ShardedDB) session() *shard.Session {
+	if db.sess == nil {
+		db.sess = db.r.NewSession()
+	}
+	return db.sess
+}
+
+// KNN returns the k objects with attribute attr (AnyAttr for all) nearest
+// to the given intersection, closest first, searching across shards.
+func (db *ShardedDB) KNN(from NodeID, k int, attr int32) ([]Result, Stats) {
+	return db.session().KNN(from, k, attr)
+}
+
+// Within returns all matching objects within network distance radius of
+// the given intersection, closest first, searching across shards.
+func (db *ShardedDB) Within(from NodeID, radius float64, attr int32) ([]Result, Stats) {
+	return db.session().Within(from, radius, attr)
+}
+
+// PathTo returns the detailed shortest route from an intersection to an
+// object, plus its network distance — crossing shard boundaries as
+// needed. Unlike DB.PathTo it does not require Options.StorePaths.
+func (db *ShardedDB) PathTo(from NodeID, obj ObjectID) ([]NodeID, float64, error) {
+	return db.session().PathTo(from, obj)
+}
+
+// ShardedSession is an independent cross-shard read-only query context;
+// any number may query concurrently. The same discipline as Session
+// applies: sessions must not overlap with maintenance calls, and the
+// internal/server subsystem enforces exactly that when serving traffic.
+type ShardedSession struct {
+	s *shard.Session
+}
+
+// NewSession returns a concurrent cross-shard query context.
+func (db *ShardedDB) NewSession() *ShardedSession {
+	return &ShardedSession{s: db.r.NewSession()}
+}
+
+// KNN is the session variant of ShardedDB.KNN.
+func (s *ShardedSession) KNN(from NodeID, k int, attr int32) ([]Result, Stats) {
+	return s.s.KNN(from, k, attr)
+}
+
+// Within is the session variant of ShardedDB.Within.
+func (s *ShardedSession) Within(from NodeID, radius float64, attr int32) ([]Result, Stats) {
+	return s.s.Within(from, radius, attr)
+}
+
+// PathTo is the session variant of ShardedDB.PathTo.
+func (s *ShardedSession) PathTo(from NodeID, obj ObjectID) ([]NodeID, float64, error) {
+	return s.s.PathTo(from, obj)
+}
+
+// Epoch returns the ShardedDB's maintenance epoch as seen by this session.
+func (s *ShardedSession) Epoch() uint64 { return s.s.Epoch() }
+
+// --- Maintenance (write-ahead journaled per shard) ---
+
+// applyOp write-ahead logs op to its shard's journal (when attached) and
+// applies it through the router — the exact code path journal replay
+// re-runs on recovery.
+func (db *ShardedDB) applyOp(sid shard.ID, op snapshot.Op) error {
+	if j := db.journals[sid]; j != nil {
+		if _, err := j.Append(op); err != nil {
+			return fmt.Errorf("road: journaling %s: %w", op.Kind, err)
+		}
+	}
+	return db.r.ApplyOp(sid, op, true)
+}
+
+// AddObject places an object on road e at distance offset from the road's
+// U endpoint. See DB.AddObject.
+func (db *ShardedDB) AddObject(e EdgeID, offset float64, attr int32) (Object, error) {
+	sid, op, err := db.r.EncodeInsertObject(e, offset, attr)
+	if err != nil {
+		return Object{}, err
+	}
+	if err := db.applyOp(sid, op); err != nil {
+		return Object{}, err
+	}
+	o, _ := db.r.Object(op.Object)
+	return o, nil
+}
+
+// RemoveObject deletes an object.
+func (db *ShardedDB) RemoveObject(id ObjectID) error {
+	sid, op, err := db.r.EncodeDeleteObject(id)
+	if err != nil {
+		return err
+	}
+	return db.applyOp(sid, op)
+}
+
+// SetObjectAttr changes an object's attribute category.
+func (db *ShardedDB) SetObjectAttr(id ObjectID, attr int32) error {
+	sid, op, err := db.r.EncodeSetObjectAttr(id, attr)
+	if err != nil {
+		return err
+	}
+	return db.applyOp(sid, op)
+}
+
+// SetRoadDistance changes a road's distance metric; the owning shard's
+// index and border distance table repair themselves.
+func (db *ShardedDB) SetRoadDistance(e EdgeID, dist float64) error {
+	sid, op, err := db.r.EncodeSetDistance(e, dist)
+	if err != nil {
+		return err
+	}
+	return db.applyOp(sid, op)
+}
+
+// AddRoad inserts a new road segment between existing intersections. Both
+// endpoints must be present in a common shard (always true for roads that
+// do not bridge two previously unconnected regions).
+func (db *ShardedDB) AddRoad(u, v NodeID, dist float64) (EdgeID, error) {
+	sid, op, err := db.r.EncodeAddRoad(u, v, dist)
+	if err != nil {
+		return NoEdge, err
+	}
+	if err := db.applyOp(sid, op); err != nil {
+		return NoEdge, err
+	}
+	return op.Edge, nil
+}
+
+// CloseRoad removes a road segment (objects on it are dropped).
+func (db *ShardedDB) CloseRoad(e EdgeID) error {
+	sid, op, err := db.r.EncodeClose(e)
+	if err != nil {
+		return err
+	}
+	return db.applyOp(sid, op)
+}
+
+// ReopenRoad restores a previously closed road segment.
+func (db *ShardedDB) ReopenRoad(e EdgeID) error {
+	sid, op, err := db.r.EncodeReopen(e)
+	if err != nil {
+		return err
+	}
+	return db.applyOp(sid, op)
+}
+
+// --- Persistence (per-shard snapshots + journals, one manifest) ---
+
+// ShardSnapshotPath names shard i's snapshot file under a prefix.
+func ShardSnapshotPath(prefix string, i int) string { return fmt.Sprintf("%s.%d", prefix, i) }
+
+// ShardManifestPath names the manifest file under a prefix.
+func ShardManifestPath(prefix string) string { return prefix + ".manifest" }
+
+// ShardJournalPath names shard i's write-ahead journal under a prefix.
+func ShardJournalPath(prefix string, i int) string { return fmt.Sprintf("%s.%d", prefix, i) }
+
+// SaveSnapshotFiles persists the sharded database under the given path
+// prefix: one ordinary snapshot per shard (prefix.0 … prefix.K-1, each in
+// shard-local coordinates with that shard's journal watermark) plus a
+// manifest (prefix.manifest) mapping local IDs back to the global
+// namespace. The caller must exclude concurrent mutations for the whole
+// save, so the set is consistent. The save is two-phase: every file is
+// fully written and synced under a staging name first, then the set is
+// committed by renames — shrinking the window in which a crash could
+// leave mixed-generation files (which Reassemble detects and refuses)
+// from the whole multi-file write to the final rename loop.
+func (db *ShardedDB) SaveSnapshotFiles(prefix string) error {
+	const staged = ".saving"
+	seqs := make([]uint64, db.r.NumShards())
+	for i := 0; i < db.r.NumShards(); i++ {
+		seqs[i] = db.shardSeq(i)
+		if err := snapshot.SaveFile(db.r.Shard(i).F, seqs[i], ShardSnapshotPath(prefix, i)+staged); err != nil {
+			return fmt.Errorf("road: shard %d snapshot: %w", i, err)
+		}
+	}
+	if err := writeManifestFile(ShardManifestPath(prefix)+staged, db.r.Manifest()); err != nil {
+		return err
+	}
+	for i := 0; i < db.r.NumShards(); i++ {
+		p := ShardSnapshotPath(prefix, i)
+		if err := os.Rename(p+staged, p); err != nil {
+			return fmt.Errorf("road: committing shard %d snapshot: %w", i, err)
+		}
+	}
+	if err := os.Rename(ShardManifestPath(prefix)+staged, ShardManifestPath(prefix)); err != nil {
+		return fmt.Errorf("road: committing shard manifest: %w", err)
+	}
+	copy(db.lastSnapSeqs, seqs)
+	return nil
+}
+
+func (db *ShardedDB) shardSeq(i int) uint64 {
+	if j := db.journals[i]; j != nil {
+		return j.LastSeq()
+	}
+	return db.baseSeqs[i]
+}
+
+func writeManifestFile(path string, m *shard.Manifest) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// OpenShardedSnapshotFiles reopens a sharded database previously saved
+// with SaveSnapshotFiles: O(load) per shard instead of O(build), with all
+// global IDs, per-shard epochs and journal watermarks restored. Cross-
+// shard routing state (border distance tables) is recomputed from the
+// loaded shards.
+func OpenShardedSnapshotFiles(prefix string) (*ShardedDB, error) {
+	mf, err := os.Open(ShardManifestPath(prefix))
+	if err != nil {
+		return nil, err
+	}
+	var m shard.Manifest
+	err = json.NewDecoder(mf).Decode(&m)
+	mf.Close()
+	if err != nil {
+		return nil, fmt.Errorf("road: reading shard manifest: %w", err)
+	}
+	if m.Shards < 1 {
+		return nil, fmt.Errorf("road: shard manifest names %d shards", m.Shards)
+	}
+	frameworks := make([]*core.Framework, m.Shards)
+	baseSeqs := make([]uint64, m.Shards)
+	for i := 0; i < m.Shards; i++ {
+		f, lastSeq, err := snapshot.LoadFile(ShardSnapshotPath(prefix, i))
+		if err != nil {
+			return nil, fmt.Errorf("road: shard %d snapshot: %w", i, err)
+		}
+		frameworks[i] = f
+		baseSeqs[i] = lastSeq
+	}
+	r, err := shard.Reassemble(frameworks, &m)
+	if err != nil {
+		return nil, err
+	}
+	db := newShardedDB(r)
+	copy(db.baseSeqs, baseSeqs)
+	copy(db.lastSnapSeqs, baseSeqs)
+	return db, nil
+}
+
+// OpenShardJournals opens (or creates) one write-ahead journal per shard
+// under the given path prefix. Pass the result to ReplayJournals and then
+// AttachJournals. syncEach forwards to Journal.SyncEachAppend.
+func (db *ShardedDB) OpenShardJournals(prefix string, syncEach bool) ([]*Journal, error) {
+	journals := make([]*Journal, db.r.NumShards())
+	for i := range journals {
+		j, err := OpenJournal(ShardJournalPath(prefix, i))
+		if err != nil {
+			for _, open := range journals[:i] {
+				open.Close()
+			}
+			return nil, fmt.Errorf("road: shard %d journal: %w", i, err)
+		}
+		j.SyncEachAppend = syncEach
+		journals[i] = j
+	}
+	return journals, nil
+}
+
+// ReplayJournals applies, per shard, every journal entry the shard's base
+// state does not already include, through the same router code path live
+// maintenance uses — so global edge and object IDs assigned after the
+// snapshot are reconstructed exactly. It returns the number of ops
+// applied. Like DB.ReplayJournal, a returned *snapshot.OpError is an
+// expected per-op failure (the op failed identically live; replay
+// completed); any other non-nil error is fatal and the database must not
+// be treated as recovered.
+func (db *ShardedDB) ReplayJournals(journals []*Journal) (int, error) {
+	if len(journals) != db.r.NumShards() {
+		return 0, fmt.Errorf("road: %d journals for %d shards", len(journals), db.r.NumShards())
+	}
+	applied := 0
+	var lastOpErr error
+	dirty := false
+	for i, j := range journals {
+		if j == nil {
+			continue
+		}
+		if err := j.CheckBase(db.r.Shard(i).F, db.baseSeqs[i]); err != nil {
+			return applied, fmt.Errorf("road: shard %d: %w", i, err)
+		}
+		err := j.Entries(db.baseSeqs[i], func(seq uint64, op snapshot.Op) error {
+			dirty = true
+			if err := db.r.ApplyOp(i, op, false); err != nil {
+				if errors.Is(err, shard.ErrIntegrity) {
+					return err // fatal: bookkeeping would corrupt
+				}
+				lastOpErr = &snapshot.OpError{Seq: seq, Op: op, Err: err}
+				return nil
+			}
+			applied++
+			return nil
+		})
+		if err != nil {
+			return applied, fmt.Errorf("road: shard %d journal replay: %w", i, err)
+		}
+		if last := j.LastSeq(); last > db.baseSeqs[i] {
+			db.baseSeqs[i] = last
+		}
+	}
+	if dirty {
+		db.r.RefreshAll()
+	}
+	return applied, lastOpErr
+}
+
+// AttachJournals directs every subsequent maintenance op through its
+// shard's journal before it is applied (write-ahead logging). Sequence
+// counters are fast-forwarded to each shard's watermark and fresh
+// journals are stamped with their shard's fingerprint, mirroring
+// DB.AttachJournal per shard.
+func (db *ShardedDB) AttachJournals(journals []*Journal) error {
+	if len(journals) != db.r.NumShards() {
+		return fmt.Errorf("road: %d journals for %d shards", len(journals), db.r.NumShards())
+	}
+	for i, j := range journals {
+		if j == nil {
+			continue
+		}
+		j.EnsureSeq(db.baseSeqs[i])
+		if last := j.LastSeq(); last > db.baseSeqs[i] {
+			db.baseSeqs[i] = last
+		}
+		if err := j.BindBase(db.r.Shard(i).F, db.baseSeqs[i]); err != nil {
+			return fmt.Errorf("road: shard %d: %w", i, err)
+		}
+	}
+	db.journals = append([]*snapshot.Journal(nil), journals...)
+	return nil
+}
+
+// CompactJournals rotates every attached shard journal, dropping entries
+// the most recent snapshot save already includes. See DB.CompactJournal.
+func (db *ShardedDB) CompactJournals() error {
+	for i, j := range db.journals {
+		if j == nil || db.lastSnapSeqs[i] == 0 {
+			continue
+		}
+		if err := j.Rotate(db.r.Shard(i).F, db.lastSnapSeqs[i]); err != nil {
+			return fmt.Errorf("road: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// JournalSeq sums the last journal sequence numbers incorporated in each
+// shard's state — a monotonic recovery watermark for monitoring, the
+// sharded analogue of DB.JournalSeq.
+func (db *ShardedDB) JournalSeq() uint64 {
+	var sum uint64
+	for i := 0; i < db.r.NumShards(); i++ {
+		sum += db.shardSeq(i)
+	}
+	return sum
+}
+
+// JournalSizeBytes sums the attached shard journals' file sizes — the
+// quantity roadd's -journal-max-bytes auto-snapshot trigger watches.
+func (db *ShardedDB) JournalSizeBytes() int64 {
+	var sum int64
+	for _, j := range db.journals {
+		if j != nil {
+			sum += j.Size()
+		}
+	}
+	return sum
+}
+
+// CloseJournals closes every attached shard journal.
+func (db *ShardedDB) CloseJournals() error {
+	var firstErr error
+	for _, j := range db.journals {
+		if j == nil {
+			continue
+		}
+		if err := j.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,421 @@
+package road
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"road/internal/dataset"
+)
+
+// shardedPair builds a DB and a ShardedDB over identical random networks
+// and object sets (independent copies — the indexes adopt their graphs).
+func shardedPair(t *testing.T, seed int64, nodes, objects, shards int) (*DB, *ShardedDB) {
+	t.Helper()
+	g := dataset.MustGenerate(dataset.Spec{Name: "pair", Nodes: nodes, Edges: nodes + nodes/3, Seed: seed})
+	set := dataset.PlaceUniform(g, objects, seed, 0, 1, 2, 3)
+	g2 := g.Clone()
+	set2 := set.Clone(g2)
+
+	db, err := OpenWithObjects(FromGraph(g), set, Options{Seed: seed, StorePaths: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	sdb, err := OpenShardedWithObjects(FromGraph(g2), set2, Options{Seed: seed}, shards)
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	return db, sdb
+}
+
+// assertSameResults compares result lists as distance multisets with an
+// FP tolerance (shortcut and border-table sums associate differently),
+// allowing arbitrary tie order.
+func assertSameResults(t *testing.T, label string, want, got []Result) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	const eps = 1e-9
+	for i := range want {
+		if math.Abs(want[i].Dist-got[i].Dist) > eps*math.Max(1, want[i].Dist) {
+			t.Fatalf("%s: result %d dist %g, want %g", label, i, got[i].Dist, want[i].Dist)
+		}
+		// IDs must match except inside exact-distance tie groups.
+		if want[i].Object.ID != got[i].Object.ID {
+			tie := false
+			for j := range want {
+				if want[j].Object.ID == got[i].Object.ID &&
+					math.Abs(want[j].Dist-want[i].Dist) <= eps*math.Max(1, want[i].Dist) {
+					tie = true
+				}
+			}
+			if !tie {
+				t.Fatalf("%s: result %d is object %d, want %d", label, i, got[i].Object.ID, want[i].Object.ID)
+			}
+		}
+	}
+}
+
+// TestShardedEquivalence is the randomized sharded-vs-monolithic
+// acceptance test: KNN, Within and PathTo through the public API must
+// agree across shard boundaries, before and after maintenance.
+func TestShardedEquivalence(t *testing.T) {
+	for _, seed := range []int64{3, 17} {
+		db, sdb := shardedPair(t, seed, 320, 60, 4)
+		rng := rand.New(rand.NewSource(seed))
+
+		// Query nodes: borders first (cross-shard by construction), then a
+		// random sample.
+		var qnodes []NodeID
+		for i := 0; i < sdb.NumShards(); i++ {
+			qnodes = append(qnodes, sdb.Router().Shard(i).Borders()...)
+			if len(qnodes) > 30 {
+				break
+			}
+		}
+		for i := 0; i < 25; i++ {
+			qnodes = append(qnodes, NodeID(rng.Intn(sdb.NumNodes())))
+		}
+
+		check := func(phase string) {
+			for _, n := range qnodes {
+				for _, k := range []int{1, 4} {
+					want, _ := db.KNN(n, k, AnyAttr)
+					got, _ := sdb.KNN(n, k, AnyAttr)
+					assertSameResults(t, phase+" knn", want, got)
+				}
+				want, _ := db.Within(n, 3.5, AnyAttr)
+				got, _ := sdb.Within(n, 3.5, AnyAttr)
+				assertSameResults(t, phase+" within", want, got)
+			}
+			// PathTo: distances must agree (routes may differ between equal
+			// shortest paths).
+			for i := 0; i < 30; i++ {
+				n := qnodes[rng.Intn(len(qnodes))]
+				obj := ObjectID(rng.Intn(60))
+				wantPath, wantDist, wantErr := db.PathTo(n, obj)
+				gotPath, gotDist, gotErr := sdb.PathTo(n, obj)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("%s path(%d,%d): err %v vs %v", phase, n, obj, wantErr, gotErr)
+				}
+				if wantErr != nil {
+					continue
+				}
+				if math.Abs(wantDist-gotDist) > 1e-9*math.Max(1, wantDist) {
+					t.Fatalf("%s path(%d,%d): dist %g, want %g", phase, n, obj, gotDist, wantDist)
+				}
+				if len(wantPath) == 0 || len(gotPath) == 0 {
+					t.Fatalf("%s path(%d,%d): empty route", phase, n, obj)
+				}
+				if gotPath[0] != n {
+					t.Fatalf("%s path(%d,%d): route starts at %d", phase, n, obj, gotPath[0])
+				}
+			}
+		}
+		check("initial")
+
+		// The same maintenance stream on both: re-weights, closures,
+		// reopenings, object churn — including on border-adjacent edges.
+		for i := 0; i < 30; i++ {
+			e := EdgeID(rng.Intn(sdb.NumRoads()))
+			switch rng.Intn(5) {
+			case 0:
+				w := 0.2 + 3*rng.Float64()
+				errA := db.SetRoadDistance(e, w)
+				errB := sdb.SetRoadDistance(e, w)
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("set-distance divergence on edge %d: %v vs %v", e, errA, errB)
+				}
+			case 1:
+				errA := db.CloseRoad(e)
+				errB := sdb.CloseRoad(e)
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("close divergence on edge %d: %v vs %v", e, errA, errB)
+				}
+			case 2:
+				errA := db.ReopenRoad(e)
+				errB := sdb.ReopenRoad(e)
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("reopen divergence on edge %d: %v vs %v", e, errA, errB)
+				}
+			case 3:
+				off := rng.Float64() * 0.1
+				oA, errA := db.AddObject(e, off, 1)
+				oB, errB := sdb.AddObject(e, off, 1)
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("insert divergence on edge %d: %v vs %v", e, errA, errB)
+				}
+				if errA == nil && oA.ID != oB.ID {
+					t.Fatalf("insert assigned object %d vs %d", oA.ID, oB.ID)
+				}
+			case 4:
+				id := ObjectID(rng.Intn(60))
+				errA := db.RemoveObject(id)
+				errB := sdb.RemoveObject(id)
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("delete divergence on object %d: %v vs %v", id, errA, errB)
+				}
+			}
+		}
+		check("after maintenance")
+	}
+}
+
+// TestShardedAddRoad exercises same-shard road addition and the
+// cross-shard rejection contract.
+func TestShardedAddRoad(t *testing.T) {
+	_, sdb := shardedPair(t, 5, 300, 40, 4)
+	r := sdb.Router()
+
+	// Same-shard: two nodes of shard 0.
+	s0 := r.Shard(0)
+	u := s0.GlobalNodes()[0]
+	v := s0.GlobalNodes()[len(s0.GlobalNodes())/2]
+	if u == v {
+		t.Skip("degenerate shard")
+	}
+	e, err := sdb.AddRoad(u, v, 2.5)
+	if err != nil {
+		t.Fatalf("AddRoad same shard: %v", err)
+	}
+	if int(e) != sdb.NumRoads()-1 {
+		t.Fatalf("new road got ID %d, want %d", e, sdb.NumRoads()-1)
+	}
+	if err := sdb.SetRoadDistance(e, 1.5); err != nil {
+		t.Fatalf("re-weighting the new road: %v", err)
+	}
+	if _, err := sdb.AddObject(e, 0.5, 2); err != nil {
+		t.Fatalf("placing an object on the new road: %v", err)
+	}
+
+	// Cross-shard: find two interior nodes of different shards.
+	interior := func(id int) NodeID {
+		s := r.Shard(id)
+		for _, gn := range s.GlobalNodes() {
+			isBorder := false
+			for _, b := range s.Borders() {
+				if b == gn {
+					isBorder = true
+					break
+				}
+			}
+			if !isBorder {
+				return gn
+			}
+		}
+		t.Skip("shard has no interior nodes")
+		return 0
+	}
+	if _, err := sdb.AddRoad(interior(0), interior(1), 1); err == nil {
+		t.Fatal("cross-shard AddRoad unexpectedly succeeded")
+	}
+}
+
+// TestShardedPersistenceRoundTrip saves per-shard snapshots + journals,
+// applies post-snapshot mutations, and verifies a reopened ShardedDB
+// matches the live one — including journal-replayed global edge and
+// object IDs.
+func TestShardedPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	snapPrefix := filepath.Join(dir, "net.snap")
+	walPrefix := filepath.Join(dir, "net.wal")
+
+	g := dataset.MustGenerate(dataset.Spec{Name: "persist", Nodes: 280, Edges: 360, Seed: 11})
+	set := dataset.PlaceUniform(g, 50, 11, 0, 1, 2)
+	sdb, err := OpenShardedWithObjects(FromGraph(g), set, Options{Seed: 11}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journals, err := sdb.OpenShardJournals(walPrefix, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sdb.ReplayJournals(journals); err != nil {
+		t.Fatal(err)
+	}
+	if err := sdb.AttachJournals(journals); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-snapshot mutations.
+	if err := sdb.SetRoadDistance(3, 4.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sdb.AddObject(10, 0.2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := sdb.SaveSnapshotFiles(snapPrefix); err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-snapshot mutations — these live only in the journals, and
+	// exercise global-ID reconstruction on replay.
+	r := sdb.Router()
+	s0 := r.Shard(0)
+	u, v := s0.GlobalNodes()[1], s0.GlobalNodes()[len(s0.GlobalNodes())-2]
+	newRoad, err := sdb.AddRoad(u, v, 3.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newObj, err := sdb.AddObject(newRoad, 1.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sdb.CloseRoad(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := sdb.RemoveObject(5); err != nil {
+		t.Fatal(err)
+	}
+	// Mutations through the replay-assigned global IDs: the reopened side
+	// must resolve them identically.
+	if err := sdb.SetObjectAttr(newObj.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sdb.SetRoadDistance(newRoad, 2.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sdb.CloseJournals(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: snapshots + journal replay.
+	sdb2, err := OpenShardedSnapshotFiles(snapPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journals2, err := sdb2.OpenShardJournals(walPrefix, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, err := sdb2.ReplayJournals(journals2)
+	if err != nil && !IsReplayOpError(err) {
+		t.Fatalf("replay: %v", err)
+	}
+	if applied == 0 {
+		t.Fatal("replay applied nothing; post-snapshot ops lost")
+	}
+	if err := sdb2.AttachJournals(journals2); err != nil {
+		t.Fatal(err)
+	}
+	defer sdb2.CloseJournals()
+
+	if sdb2.Epoch() != sdb.Epoch() {
+		t.Fatalf("reopened epoch %d, want %d", sdb2.Epoch(), sdb.Epoch())
+	}
+	if sdb2.NumRoads() != sdb.NumRoads() || sdb2.NumObjects() != sdb.NumObjects() {
+		t.Fatalf("reopened %d roads / %d objects, want %d / %d",
+			sdb2.NumRoads(), sdb2.NumObjects(), sdb.NumRoads(), sdb.NumObjects())
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 40; i++ {
+		n := NodeID(rng.Intn(sdb.NumNodes()))
+		want, _ := sdb.KNN(n, 5, AnyAttr)
+		got, _ := sdb2.KNN(n, 5, AnyAttr)
+		assertSameResults(t, "reopened knn", want, got)
+		wantW, _ := sdb.Within(n, 4, AnyAttr)
+		gotW, _ := sdb2.Within(n, 4, AnyAttr)
+		assertSameResults(t, "reopened within", wantW, gotW)
+	}
+
+	// The replay-assigned global IDs stay live on the reopened side.
+	if err := sdb2.SetObjectAttr(newObj.ID, 2); err != nil {
+		t.Fatalf("replayed object %d unusable: %v", newObj.ID, err)
+	}
+	if err := sdb2.SetRoadDistance(newRoad, 1.7); err != nil {
+		t.Fatalf("replayed road %d unusable: %v", newRoad, err)
+	}
+}
+
+// TestJournalRotation verifies CompactJournal drops exactly the
+// snapshot-covered entries and that recovery still works afterwards —
+// while a stale (pre-rotation) snapshot is refused.
+func TestJournalRotation(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "db.snap")
+	stalePath := filepath.Join(dir, "stale.snap")
+	walPath := filepath.Join(dir, "db.wal")
+
+	g := dataset.MustGenerate(dataset.Spec{Name: "rot", Nodes: 120, Edges: 150, Seed: 2})
+	set := dataset.PlaceUniform(g, 20, 2, 0, 1)
+	db, err := OpenWithObjects(FromGraph(g), set, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AttachJournal(j); err != nil {
+		t.Fatal(err)
+	}
+
+	// A stale snapshot, then journaled ops beyond it.
+	if err := db.SaveSnapshotFile(stalePath); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := db.SetRoadDistance(EdgeID(i), 2+float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := db.JournalSizeBytes()
+
+	// Snapshot + rotate: journal shrinks to its header.
+	if err := db.SaveSnapshotFile(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CompactJournal(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.JournalSizeBytes(); got >= grown {
+		t.Fatalf("journal did not shrink: %d -> %d bytes", grown, got)
+	}
+
+	// Ops after rotation land in the rotated journal with continued seqs.
+	if err := db.SetRoadDistance(0, 9.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery with the matching snapshot applies only the tail op.
+	db2, err := OpenSnapshotFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, err := db2.ReplayJournal(j2)
+	if err != nil {
+		t.Fatalf("replay over rotated journal: %v", err)
+	}
+	if applied != 1 {
+		t.Fatalf("replayed %d ops, want 1", applied)
+	}
+	if db2.Epoch() != db.Epoch() {
+		t.Fatalf("epoch %d, want %d", db2.Epoch(), db.Epoch())
+	}
+	j2.Close()
+
+	// The stale snapshot predates the rotation watermark: the rotated
+	// journal no longer holds the ops in between and must refuse.
+	dbStale, err := OpenSnapshotFile(stalePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3, err := OpenJournal(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if _, err := dbStale.ReplayJournal(j3); err == nil || IsReplayOpError(err) {
+		t.Fatalf("replay over a pre-rotation snapshot did not fail fatally: %v", err)
+	}
+}
