@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -235,8 +236,8 @@ func runSnapshotBench(objects int, outPath string) error {
 
 	verified := true
 	for _, n := range dataset.RandomNodes(g, 50, 7) {
-		want, _ := db.KNN(n, 5, road.AnyAttr)
-		got, _ := db2.KNN(n, 5, road.AnyAttr)
+		want, _, _ := db.KNNContext(context.Background(), road.NewKNN(n, 5))
+		got, _, _ := db2.KNNContext(context.Background(), road.NewKNN(n, 5))
 		if len(want) != len(got) {
 			verified = false
 			break
@@ -344,11 +345,13 @@ func runShardBench(scale float64, objects, concurrency int, duration time.Durati
 	fmt.Printf("shard bench: %d shards built in %dms, ≈ %d KB, %d border incidences\n",
 		shards, shardedBuildMS, sharded.IndexSizeBytes()/1024, borders)
 
-	// Equivalence spot check before applying load.
+	// Equivalence spot check before applying load — run through the
+	// road.Store interface, which both deployment shapes satisfy.
 	verified := true
+	var monoStore, shardStore road.Store = single, sharded
 	for _, n := range dataset.RandomNodes(g, 50, 7) {
-		want, _ := single.KNN(n, 5, road.AnyAttr)
-		got, _ := sharded.KNN(n, 5, road.AnyAttr)
+		want, _, _ := monoStore.KNNContext(context.Background(), road.NewKNN(n, 5))
+		got, _, _ := shardStore.KNNContext(context.Background(), road.NewKNN(n, 5))
 		if len(want) != len(got) {
 			verified = false
 			break

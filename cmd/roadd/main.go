@@ -30,11 +30,17 @@
 //	                                            # the journal) once it
 //	                                            # outgrows 1 MiB
 //
+// With -query-timeout every read query runs under a per-request deadline
+// plumbed through the road.Store context machinery: an expired search
+// aborts cooperatively mid-expansion and the client receives HTTP 503
+// with a typed error body ({"error":...,"code":"deadline_exceeded"}).
+//
 // Endpoints (see internal/server for the full reference):
 //
-//	GET  /knn?node=N&k=K[&attr=A]
-//	GET  /within?node=N&radius=R[&attr=A]
+//	GET  /knn?node=N&k=K[&attr=A][&budget=B]
+//	GET  /within?node=N&radius=R[&attr=A][&budget=B]
 //	GET  /path?node=N&object=O
+//	POST /batch                      [{"knn":{"from":N,"k":K}},...]
 //	POST /maintenance/{set-distance,close,reopen,add-road,
 //	                   insert-object,delete-object,set-attr}
 //	POST /admin/snapshot
@@ -77,10 +83,17 @@ type config struct {
 	cacheSize       int
 	storePaths      bool
 	shards          int
+	queryTimeout    time.Duration
 	snapPath        string
 	journalPath     string
 	journalSync     bool
 	journalMaxBytes int64
+}
+
+// serverOptions translates the daemon flags shared by both deployment
+// shapes into serving-subsystem options.
+func (c config) serverOptions() server.Options {
+	return server.Options{CacheSize: c.cacheSize, QueryTimeout: c.queryTimeout}
 }
 
 func main() {
@@ -95,6 +108,7 @@ func main() {
 	flag.IntVar(&cfg.cacheSize, "cache", 0, "result cache entries (0 = default, negative disables)")
 	flag.BoolVar(&cfg.storePaths, "paths", true, "retain shortcut waypoints so /path works (costs memory; sharded serving reconstructs paths without them)")
 	flag.IntVar(&cfg.shards, "shards", 1, "serve K region shards behind a query router (power of two ≥ 2; 1 = single index)")
+	flag.DurationVar(&cfg.queryTimeout, "query-timeout", 0, "per-request deadline for read queries; an expired query aborts mid-search and answers HTTP 503 with code \"deadline_exceeded\" (0 disables)")
 	flag.StringVar(&cfg.snapPath, "snapshot", "", "snapshot file: load it if present (skipping the build), create it otherwise; enables /admin/snapshot and snapshot-on-SIGTERM. With -shards this is a path prefix (prefix.N per shard + prefix.manifest)")
 	flag.StringVar(&cfg.journalPath, "journal", "", "write-ahead journal file: maintenance ops are logged before they apply and replayed over the snapshot on startup. With -shards this is a path prefix (prefix.N per shard)")
 	flag.BoolVar(&cfg.journalSync, "journal-sync", false, "fsync the journal after every op (durable against machine crashes, slower)")
@@ -255,10 +269,10 @@ func setupSingle(cfg config) (*server.Server, func() int64, func() error, error)
 		fmt.Printf("roadd: wrote initial snapshot %s\n", cfg.snapPath)
 	}
 
-	opts := server.Options{CacheSize: cfg.cacheSize}
+	opts := cfg.serverOptions()
 	if cfg.snapPath != "" {
 		opts.SnapshotSave = func() (int64, error) {
-			if err := db.SaveSnapshotFile(cfg.snapPath); err != nil {
+			if err := db.Save(cfg.snapPath); err != nil {
 				return 0, err
 			}
 			// Rotate right after the save, under the same write lock: the
@@ -338,13 +352,13 @@ func setupSharded(cfg config) (*server.Server, func() int64, func() error, error
 		fmt.Printf("roadd: wrote initial shard snapshots under %s\n", cfg.snapPath)
 	}
 
-	opts := server.Options{CacheSize: cfg.cacheSize}
+	opts := cfg.serverOptions()
 	if cfg.snapPath != "" {
 		opts.SnapshotSave = func() (int64, error) {
-			if err := db.SaveSnapshotFiles(cfg.snapPath); err != nil {
+			if err := db.Save(cfg.snapPath); err != nil {
 				return 0, err
 			}
-			if err := db.CompactJournals(); err != nil {
+			if err := db.CompactJournal(); err != nil {
 				return 0, fmt.Errorf("rotating shard journals: %w", err)
 			}
 			total := fileSize(road.ShardManifestPath(cfg.snapPath))
@@ -354,7 +368,7 @@ func setupSharded(cfg config) (*server.Server, func() int64, func() error, error
 			return total, nil
 		}
 	}
-	return server.NewSharded(db, opts), db.JournalSizeBytes, db.CloseJournals, nil
+	return server.New(db, opts), db.JournalSizeBytes, db.CloseJournals, nil
 }
 
 // --- Shared helpers ---

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,10 +24,8 @@ import (
 	"time"
 
 	"road"
-	"road/internal/core"
 	"road/internal/dataset"
 	"road/internal/graph"
-	"road/internal/rnet"
 	"road/internal/server"
 )
 
@@ -140,8 +139,9 @@ func main() {
 		rangeRadius = g.EstimateDiameter() * *rangeFr
 	}
 
-	var doKNN func(k int) ([]core.Result, core.QueryStats)
-	var doRange func(radius float64) ([]core.Result, core.QueryStats)
+	// Both deployment shapes land behind the same road.Store interface;
+	// everything below this block is shape-agnostic v1 API.
+	var store road.Store
 	if *shards > 1 {
 		logf("building %d region shards...\n", *shards)
 		start := time.Now()
@@ -155,37 +155,44 @@ func main() {
 		}
 		logf("built in %v: %d shards, index ≈ %d KB\n",
 			time.Since(start).Round(time.Millisecond), db.NumShards(), db.IndexSizeBytes()/1024)
-		doKNN = func(k int) ([]core.Result, core.QueryStats) { return db.KNN(qnode, k, int32(*attr)) }
-		doRange = func(radius float64) ([]core.Result, core.QueryStats) { return db.Within(qnode, radius, int32(*attr)) }
+		store = db
 	} else {
-		rcfg := rnet.DefaultConfig(g.NumNodes())
-		if *levels != 0 {
-			rcfg.Levels = *levels
-		}
-		logf("building ROAD (p=%d, l=%d)...\n", rcfg.Fanout, rcfg.Levels)
+		logf("building ROAD index...\n")
 		start := time.Now()
-		f, err := core.Build(g, set, core.Config{Rnet: rcfg})
+		db, err := road.OpenWithObjects(road.FromGraph(g), set, road.Options{
+			Levels: *levels,
+			Seed:   *seed,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "roadquery:", err)
 			os.Exit(1)
 		}
+		h := db.Framework().Hierarchy()
 		logf("built in %v: %d Rnets, %d shortcuts, index ≈ %d KB\n",
-			time.Since(start).Round(time.Millisecond), f.Hierarchy().NumRnets(),
-			f.Hierarchy().ShortcutCount(), f.IndexSizeBytes()/1024)
-		q := core.Query{Node: qnode, Attr: int32(*attr)}
-		doKNN = func(k int) ([]core.Result, core.QueryStats) { return f.KNN(q, k) }
-		doRange = func(radius float64) ([]core.Result, core.QueryStats) { return f.Range(q, radius) }
+			time.Since(start).Round(time.Millisecond), h.NumRnets(),
+			h.ShortcutCount(), db.IndexSizeBytes()/1024)
+		store = db
 	}
 
+	ctx := context.Background()
+	attrOpt := road.WithAttr(int32(*attr))
 	switch {
 	case *knn > 0:
 		start := time.Now()
-		res, st := doKNN(*knn)
+		res, st, err := store.KNNContext(ctx, road.NewKNN(qnode, *knn, attrOpt))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roadquery:", err)
+			os.Exit(1)
+		}
 		report(res, st, time.Since(start), qnode, *jsonOut)
 	case *rangeFr > 0:
 		logf("range radius: %.3f\n", rangeRadius)
 		start := time.Now()
-		res, st := doRange(rangeRadius)
+		res, st, err := store.WithinContext(ctx, road.NewWithin(qnode, rangeRadius, attrOpt))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roadquery:", err)
+			os.Exit(1)
+		}
 		report(res, st, time.Since(start), qnode, *jsonOut)
 	default:
 		fmt.Fprintln(os.Stderr, "roadquery: pass -knn K or -range FRACTION, or -target URL")
@@ -193,7 +200,7 @@ func main() {
 	}
 }
 
-func report(res []core.Result, st core.QueryStats, elapsed time.Duration, q graph.NodeID, jsonOut bool) {
+func report(res []road.Result, st road.Stats, elapsed time.Duration, q graph.NodeID, jsonOut bool) {
 	if jsonOut {
 		out := server.QueryResponse{
 			Node:      q,

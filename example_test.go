@@ -1,0 +1,95 @@
+package road_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	"road"
+)
+
+// buildTown assembles a deterministic 6-intersection chain with three
+// points of interest, shared by the runnable examples.
+func buildTown() (*road.DB, []road.NodeID, []road.EdgeID) {
+	b := road.NewNetworkBuilder()
+	var nodes []road.NodeID
+	for i := 0; i < 6; i++ {
+		nodes = append(nodes, b.AddNode(float64(i), 0))
+	}
+	var edges []road.EdgeID
+	for i := 0; i < 5; i++ {
+		e, err := b.AddRoad(nodes[i], nodes[i+1], 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		edges = append(edges, e)
+	}
+	db, err := road.Open(b, road.Options{Fanout: 2, Levels: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.AddObject(edges[0], 0.5, 1) // café half a block out
+	db.AddObject(edges[2], 0.5, 2) // pharmacy mid-town
+	db.AddObject(edges[4], 0.5, 1) // café at the far end
+	return db, nodes, edges
+}
+
+// Example_knn runs a typed k-nearest-neighbour request through the
+// Store v1 API.
+func Example_knn() {
+	db, nodes, _ := buildTown()
+	ctx := context.Background()
+
+	hits, _, err := db.KNNContext(ctx, road.NewKNN(nodes[0], 2, road.WithAttr(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, h := range hits {
+		fmt.Printf("café %d at distance %.1f\n", h.Object.ID, h.Dist)
+	}
+	// Output:
+	// café 0 at distance 0.5
+	// café 2 at distance 4.5
+}
+
+// Example_within runs a range request and inspects the traversal stats.
+func Example_within() {
+	db, nodes, _ := buildTown()
+	ctx := context.Background()
+
+	hits, stats, err := db.WithinContext(ctx, road.NewWithin(nodes[0], 3.0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d objects within 3 blocks (truncated=%v)\n", len(hits), stats.Truncated)
+	for _, h := range hits {
+		fmt.Printf("object %d at %.1f\n", h.Object.ID, h.Dist)
+	}
+	// Output:
+	// 2 objects within 3 blocks (truncated=false)
+	// object 0 at 0.5
+	// object 1 at 2.5
+}
+
+// Example_batch answers several requests on one session at one epoch —
+// the amortized entry point load generators and the HTTP layer use.
+func Example_batch() {
+	db, nodes, _ := buildTown()
+	ctx := context.Background()
+
+	knn := road.NewKNN(nodes[0], 1)
+	within := road.NewWithin(nodes[5], 1.0)
+	bad := road.NewKNN(road.NodeID(999), 1) // typed per-entry failure
+
+	answers := db.Query(ctx, []road.Request{{KNN: &knn}, {Within: &within}, {KNN: &bad}})
+	fmt.Printf("nearest to home: object %d\n", answers[0].Results[0].Object.ID)
+	fmt.Printf("near the far end: %d object(s)\n", len(answers[1].Results))
+	fmt.Printf("bad entry is typed: %v\n", errors.Is(answers[2].Err, road.ErrNoSuchNode))
+	fmt.Printf("one epoch for the whole batch: %v\n", answers[0].Epoch == answers[2].Epoch)
+	// Output:
+	// nearest to home: object 0
+	// near the far end: 1 object(s)
+	// bad entry is typed: true
+	// one epoch for the whole batch: true
+}

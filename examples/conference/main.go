@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"road"
 	"road/internal/dataset"
@@ -50,12 +52,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The conference venue sits at a random intersection.
+	// The conference venue sits at a random intersection. Every query
+	// below runs under a request deadline through the v1 Store API — the
+	// discipline a trip-planning service would apply per request.
 	venue := dataset.RandomNodes(g, 1, 7)[0]
 	fmt.Printf("conference venue at intersection %d\n\n", venue)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
 
 	// Q1: nearest bus station.
-	q1, stats := db.KNN(venue, 1, busStation)
+	q1, stats, err := db.KNNContext(ctx, road.NewKNN(venue, 1, road.WithAttr(busStation)))
+	if err != nil {
+		log.Fatal(err)
+	}
 	if len(q1) == 0 {
 		log.Fatal("no bus station reachable")
 	}
@@ -63,26 +72,29 @@ func main() {
 		q1[0].Object.ID, q1[0].Dist)
 	fmt.Printf("    search settled %d intersections, bypassed %d regions\n",
 		stats.NodesPopped, stats.RnetsBypassed)
-	if path, _, err := db.PathTo(venue, q1[0].Object.ID); err == nil {
-		fmt.Printf("    walking route: %d intersections", len(path))
-		if len(path) > 6 {
-			fmt.Printf(" (%v ... %v)", path[:3], path[len(path)-3:])
+	if p, _, err := db.PathToContext(ctx, road.NewPath(venue, q1[0].Object.ID)); err == nil {
+		fmt.Printf("    walking route: %d intersections", len(p.Nodes))
+		if len(p.Nodes) > 6 {
+			fmt.Printf(" (%v ... %v)", p.Nodes[:3], p.Nodes[len(p.Nodes)-3:])
 		} else {
-			fmt.Printf(" %v", path)
+			fmt.Printf(" %v", p.Nodes)
 		}
 		fmt.Println()
 	}
 	fmt.Println()
 
 	// Q2: hotels within a 10-minute walk.
-	q2, stats := db.Within(venue, 10, hotel)
+	q2, stats, err := db.WithinContext(ctx, road.NewWithin(venue, 10, road.WithAttr(hotel)))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("Q2: %d hotels within a 10-minute walk:\n", len(q2))
 	for _, hit := range q2 {
 		fmt.Printf("    hotel %d at %.1f min\n", hit.Object.ID, hit.Dist)
 	}
 	if len(q2) == 0 {
 		fmt.Println("    (none — try the 3 nearest instead)")
-		for _, hit := range first3(db, venue) {
+		for _, hit := range first3(ctx, db, venue) {
 			fmt.Printf("    hotel %d at %.1f min\n", hit.Object.ID, hit.Dist)
 		}
 	}
@@ -90,7 +102,7 @@ func main() {
 		stats.NodesPopped, stats.RnetsBypassed)
 }
 
-func first3(db *road.DB, venue road.NodeID) []road.Result {
-	res, _ := db.KNN(venue, 3, hotel)
+func first3(ctx context.Context, db *road.DB, venue road.NodeID) []road.Result {
+	res, _, _ := db.KNNContext(ctx, road.NewKNN(venue, 3, road.WithAttr(hotel)))
 	return res
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -46,17 +47,26 @@ func main() {
 	budget := g.EstimateDiameter() * 0.15
 	fmt.Printf("drive-distance budget per depot: %.2f\n\n", budget)
 
-	// Coverage per depot: range query from the depot's road endpoint.
-	covered := map[graph.ObjectID]bool{}
+	// Coverage per depot: one BATCH of range queries through the v1
+	// Store API — every answer computed on one session at one epoch,
+	// exactly how a fleet-planning service would amortize the work.
+	reqs := make([]road.Request, len(depotEdges))
 	for i, e := range depotEdges {
-		from := g.Edge(e).U
-		res, stats := db.Within(from, budget, road.AnyAttr)
-		for _, r := range res {
+		w := road.NewWithin(g.Edge(e).U, budget)
+		reqs[i] = road.Request{Within: &w}
+	}
+	covered := map[graph.ObjectID]bool{}
+	for i, ans := range db.Query(context.Background(), reqs) {
+		if ans.Err != nil {
+			log.Fatal(ans.Err)
+		}
+		for _, r := range ans.Results {
 			covered[r.Object.ID] = true
 		}
 		fmt.Printf("depot %d (node %d): %d customers in range "+
-			"(settled %d nodes, bypassed %d regions)\n",
-			i, from, len(res), stats.NodesPopped, stats.RnetsBypassed)
+			"(settled %d nodes, bypassed %d regions, epoch %d)\n",
+			i, reqs[i].Within.From, len(ans.Results),
+			ans.Stats.NodesPopped, ans.Stats.RnetsBypassed, ans.Epoch)
 	}
 	fmt.Printf("\ntotal coverage: %d of %d customers\n\n", len(covered), customers.Len())
 

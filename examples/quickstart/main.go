@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,9 +55,15 @@ func main() {
 	db.AddObject(roads[len(roads)/2], 0.75, pharmacy)
 
 	home := nodes[0][0]
+	ctx := context.Background()
 
+	// Queries go through the road.Store v1 API: a context plus a typed
+	// request built with functional options.
 	fmt.Println("nearest café to home:")
-	hits, stats := db.KNN(home, 1, cafe)
+	hits, stats, err := db.KNNContext(ctx, road.NewKNN(home, 1, road.WithAttr(cafe)))
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, hit := range hits {
 		fmt.Printf("  object %d at network distance %.2f\n", hit.Object.ID, hit.Dist)
 	}
@@ -64,7 +71,10 @@ func main() {
 		stats.NodesPopped, stats.IO.Reads)
 
 	fmt.Println("everything within 3 blocks of home:")
-	within, _ := db.Within(home, 3, road.AnyAttr)
+	within, _, err := db.WithinContext(ctx, road.NewWithin(home, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, hit := range within {
 		kind := "café"
 		if hit.Object.Attr == pharmacy {
@@ -78,7 +88,10 @@ func main() {
 	if err := db.SetRoadDistance(roads[0], 2); err != nil {
 		log.Fatal(err)
 	}
-	hits, _ = db.KNN(home, 1, cafe)
+	hits, _, err = db.KNNContext(ctx, road.NewKNN(home, 1, road.WithAttr(cafe)))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("nearest café after roadworks: object %d at %.2f\n",
 		hits[0].Object.ID, hits[0].Dist)
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -60,12 +61,20 @@ func main() {
 			totalUpdate += time.Since(start)
 		}
 
-		// Verify a query batch against ground truth.
+		// Verify a query batch against ground truth, through the batched
+		// v1 entry point (one session, one epoch for the whole batch).
+		reqs := make([]road.Request, len(queries))
+		for i, q := range queries {
+			k := road.NewKNN(q, 3)
+			reqs[i] = road.Request{KNN: &k}
+		}
 		mismatches := 0
-		for _, q := range queries {
-			res, _ := db.KNN(q, 3, road.AnyAttr)
-			want := bruteKNN(g, objects, oracle, q, 3)
-			if !same(res, want) {
+		for i, ans := range db.Query(context.Background(), reqs) {
+			if ans.Err != nil {
+				log.Fatal(ans.Err)
+			}
+			want := bruteKNN(g, objects, oracle, queries[i], 3)
+			if !same(ans.Results, want) {
 				mismatches++
 			}
 		}

@@ -1,0 +1,42 @@
+// Package apicompat is a compile-time guard over the deprecated v0 query
+// surface: every wrapper the Store v1 redesign kept for compatibility is
+// pinned here with its exact signature, so `go build ./...` (and the CI
+// job running it) fails the moment one of them drifts or disappears
+// before the planned removal PR. Nothing imports this package and none of
+// these bindings are ever called — the assignments only have to type-check.
+package apicompat
+
+import "road"
+
+// The deprecated ctx-less query wrappers, by exact signature.
+var (
+	_ func(road.NodeID, int, int32) ([]road.Result, road.Stats)        = (*road.DB)(nil).KNN
+	_ func(road.NodeID, float64, int32) ([]road.Result, road.Stats)    = (*road.DB)(nil).Within
+	_ func(road.NodeID, road.ObjectID) ([]road.NodeID, float64, error) = (*road.DB)(nil).PathTo
+
+	_ func(road.NodeID, int, int32) ([]road.Result, road.Stats)        = (*road.Session)(nil).KNN
+	_ func(road.NodeID, float64, int32) ([]road.Result, road.Stats)    = (*road.Session)(nil).Within
+	_ func(road.NodeID, road.ObjectID) ([]road.NodeID, float64, error) = (*road.Session)(nil).PathTo
+
+	_ func(road.NodeID, int, int32) ([]road.Result, road.Stats)        = (*road.ShardedDB)(nil).KNN
+	_ func(road.NodeID, float64, int32) ([]road.Result, road.Stats)    = (*road.ShardedDB)(nil).Within
+	_ func(road.NodeID, road.ObjectID) ([]road.NodeID, float64, error) = (*road.ShardedDB)(nil).PathTo
+
+	_ func(road.NodeID, int, int32) ([]road.Result, road.Stats)        = (*road.ShardedSession)(nil).KNN
+	_ func(road.NodeID, float64, int32) ([]road.Result, road.Stats)    = (*road.ShardedSession)(nil).Within
+	_ func(road.NodeID, road.ObjectID) ([]road.NodeID, float64, error) = (*road.ShardedSession)(nil).PathTo
+)
+
+// Session constructors still hand out the concrete types.
+var (
+	_ func() *road.Session        = (*road.DB)(nil).NewSession
+	_ func() *road.ShardedSession = (*road.ShardedDB)(nil).NewSession
+)
+
+// Persistence entry points predating Store.Save / Store.CompactJournal.
+var (
+	_ func(string) error = (*road.DB)(nil).SaveSnapshotFile
+	_ func() error       = (*road.DB)(nil).CompactJournal
+	_ func(string) error = (*road.ShardedDB)(nil).SaveSnapshotFiles
+	_ func() error       = (*road.ShardedDB)(nil).CompactJournals
+)

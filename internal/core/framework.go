@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"road/internal/apierr"
 	"road/internal/graph"
 	"road/internal/rnet"
 	"road/internal/storage"
@@ -182,7 +183,7 @@ func (f *Framework) InsertObject(e graph.EdgeID, du float64, attr int32) (graph.
 func (f *Framework) DeleteObject(id graph.ObjectID) error {
 	o, ok := f.objects.Get(id)
 	if !ok {
-		return fmt.Errorf("core: object %d not found", id)
+		return fmt.Errorf("core: object %d: %w", id, apierr.ErrNoSuchObject)
 	}
 	f.ad.Remove(o)
 	f.objects.Remove(id)
@@ -194,7 +195,7 @@ func (f *Framework) DeleteObject(id graph.ObjectID) error {
 func (f *Framework) UpdateObjectAttr(id graph.ObjectID, attr int32) error {
 	o, ok := f.objects.Get(id)
 	if !ok {
-		return fmt.Errorf("core: object %d not found", id)
+		return fmt.Errorf("core: object %d: %w", id, apierr.ErrNoSuchObject)
 	}
 	f.ad.UpdateAttr(o, attr)
 	f.objects.SetAttr(id, attr)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"road/internal/apierr"
 	"road/internal/graph"
 	"road/internal/pqueue"
 	"road/internal/rnet"
@@ -26,22 +27,29 @@ type parentLink struct {
 // reached; the returned distance includes the final offset along that
 // edge. The framework must have been built with Rnet.StorePaths.
 func (f *Framework) PathTo(q Query, target graph.ObjectID) ([]graph.NodeID, float64, error) {
-	return f.pathTo(q, target, true)
+	path, dist, _, err := f.pathTo(q, target, true, Limits{})
+	return path, dist, err
+}
+
+// PathToLimited is PathTo under Limits, reporting traversal statistics.
+func (f *Framework) PathToLimited(q Query, target graph.ObjectID, lim Limits) ([]graph.NodeID, float64, QueryStats, error) {
+	return f.pathTo(q, target, true, lim)
 }
 
 // pathTo is the shared path computation. chargeIO routes shortcut-tree
 // visits and abstract probes through the simulated page store; Sessions
 // pass false so concurrent path queries never touch shared buffer state.
-func (f *Framework) pathTo(q Query, target graph.ObjectID, chargeIO bool) ([]graph.NodeID, float64, error) {
+func (f *Framework) pathTo(q Query, target graph.ObjectID, chargeIO bool, lim Limits) ([]graph.NodeID, float64, QueryStats, error) {
+	stats := QueryStats{ShardsSearched: 1}
 	if !f.h.Config().StorePaths {
-		return nil, 0, fmt.Errorf("core: framework built without StorePaths")
+		return nil, 0, stats, fmt.Errorf("core: framework built without StorePaths: %w", apierr.ErrPathsNotStored)
 	}
 	o, ok := f.objects.Get(target)
 	if !ok {
-		return nil, 0, fmt.Errorf("core: object %d not found", target)
+		return nil, 0, stats, fmt.Errorf("core: object %d: %w", target, apierr.ErrNoSuchObject)
 	}
 	if q.Attr != 0 && o.Attr != q.Attr {
-		return nil, 0, fmt.Errorf("core: object %d does not match attribute %d", target, q.Attr)
+		return nil, 0, stats, fmt.Errorf("core: object %d does not match attribute %d: %w", target, q.Attr, apierr.ErrAttrMismatch)
 	}
 
 	links := make(map[graph.NodeID]parentLink)
@@ -57,7 +65,6 @@ func (f *Framework) pathTo(q Query, target graph.ObjectID, chargeIO bool) ([]gra
 	bestEnd := graph.NoNode
 	bestDist := math.Inf(1)
 	verdicts := make(map[rnet.RnetID]bool)
-	var stats QueryStats
 
 	relax := func(n graph.NodeID, nd float64, link parentLink) {
 		if cur, ok := links[n]; ok && cur.prev != graph.NoNode && cur.dist <= nd {
@@ -80,6 +87,11 @@ func (f *Framework) pathTo(q Query, target graph.ObjectID, chargeIO bool) ([]gra
 			continue
 		}
 		visited[n] = true
+		stats.NodesPopped++
+		if err := lim.Stop(stats.NodesPopped); err != nil {
+			stats.Truncated = true
+			return nil, 0, stats, err
+		}
 
 		if n == e.U && d+o.DU < bestDist {
 			bestDist = d + o.DU
@@ -118,7 +130,7 @@ func (f *Framework) pathTo(q Query, target graph.ObjectID, chargeIO bool) ([]gra
 		}
 	}
 	if bestEnd == graph.NoNode {
-		return nil, math.Inf(1), fmt.Errorf("core: object %d unreachable from node %d", target, q.Node)
+		return nil, math.Inf(1), stats, fmt.Errorf("core: object %d unreachable from node %d: %w", target, q.Node, apierr.ErrUnreachable)
 	}
 
 	// Walk the links back to the source, expanding shortcut hops.
@@ -127,14 +139,14 @@ func (f *Framework) pathTo(q Query, target graph.ObjectID, chargeIO bool) ([]gra
 	for cur != q.Node {
 		link, ok := links[cur]
 		if !ok || link.prev == graph.NoNode {
-			return nil, 0, fmt.Errorf("core: broken parent chain at node %d", cur)
+			return nil, 0, stats, fmt.Errorf("core: broken parent chain at node %d", cur)
 		}
 		if link.edge != graph.NoEdge {
 			rev = append(rev, cur)
 		} else {
 			leg, err := f.expandHop(link.rnet, link.prev, cur)
 			if err != nil {
-				return nil, 0, err
+				return nil, 0, stats, err
 			}
 			// leg runs prev..cur; append in reverse, excluding prev.
 			for i := len(leg) - 1; i >= 1; i-- {
@@ -147,7 +159,7 @@ func (f *Framework) pathTo(q Query, target graph.ObjectID, chargeIO bool) ([]gra
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
-	return rev, bestDist, nil
+	return rev, bestDist, stats, nil
 }
 
 // expandHop expands the shortcut from a to b across Rnet r into its full

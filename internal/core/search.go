@@ -1,6 +1,10 @@
 package core
 
 import (
+	"context"
+	"fmt"
+
+	"road/internal/apierr"
 	"road/internal/graph"
 	"road/internal/pqueue"
 	"road/internal/rnet"
@@ -30,8 +34,52 @@ type QueryStats struct {
 	// RnetsDescended counts Rnet entries expanded because their abstract
 	// matched the predicate.
 	RnetsDescended int
+	// ShardsSearched counts the shards the query expanded in: always 1
+	// for a single-index search; for a sharded kNN/range query, one per
+	// home shard plus one per shard the expansion re-entered through its
+	// borders — so a query that never crossed a boundary reports 1, even
+	// when its home shard was searched twice (the watched re-run). Path
+	// queries count per-shard Dijkstra legs instead.
+	ShardsSearched int
+	// Truncated reports a partial result: the search stopped early on
+	// context cancellation or budget exhaustion. What was returned is a
+	// valid prefix of the full answer (Dijkstra settling order).
+	Truncated bool
 	// IO holds the simulated page I/O incurred (zero when simulation off).
 	IO storage.Stats
+}
+
+// Limits bundles the cooperative-stop inputs of one search: a context
+// checked every cancelCheckEvery settled nodes, and a budget capping the
+// total nodes settled. The zero value imposes no limits.
+type Limits struct {
+	// Ctx, when non-nil, cancels the search: the loop polls Ctx.Err()
+	// every cancelCheckEvery heap pops and aborts with ErrCanceled.
+	Ctx context.Context
+	// Budget, when > 0, stops the search after that many settled nodes
+	// with ErrBudgetExhausted.
+	Budget int
+}
+
+// cancelCheckEvery is how many settled nodes a search processes between
+// context polls — a power of two so the check compiles to a mask. At
+// typical pop rates (millions/s) this bounds cancellation latency to well
+// under a millisecond.
+const cancelCheckEvery = 64
+
+// Stop consults the limits after a node was settled (stats.NodesPopped
+// already incremented). A non-nil return aborts the search; the caller
+// marks the result truncated.
+func (l Limits) Stop(popped int) error {
+	if l.Ctx != nil && (popped-1)&(cancelCheckEvery-1) == 0 {
+		if err := l.Ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %w", apierr.ErrCanceled, err)
+		}
+	}
+	if l.Budget > 0 && popped >= l.Budget {
+		return apierr.ErrBudgetExhausted
+	}
+	return nil
 }
 
 // queueEntry distinguishes node and object entries of the search queue
@@ -146,10 +194,23 @@ func (f *Framework) KNN(q Query, k int) ([]Result, QueryStats) {
 	return f.KNNOn(f.ad, q, k)
 }
 
+// KNNLimited is KNN under Limits: cooperative cancellation and a
+// traversal budget. The result is a valid prefix when err is non-nil. An
+// optional positive maxRadius additionally stops the expansion at that
+// distance.
+func (f *Framework) KNNLimited(q Query, k int, maxRadius float64, lim Limits) ([]Result, QueryStats, error) {
+	return f.searchSeeded(f.ad, []Seed{{Node: q.Node}}, q.Attr, k, maxRadius, f.workspace(), true, nil, nil, lim)
+}
+
 // Range returns all objects matching q.Attr within network distance radius
 // of q.Node, closest first (Algorithm RangeSearch).
 func (f *Framework) Range(q Query, radius float64) ([]Result, QueryStats) {
 	return f.RangeOn(f.ad, q, radius)
+}
+
+// RangeLimited is Range under Limits.
+func (f *Framework) RangeLimited(q Query, radius float64, lim Limits) ([]Result, QueryStats, error) {
+	return f.searchSeeded(f.ad, []Seed{{Node: q.Node}}, q.Attr, 0, radius, f.workspace(), true, nil, nil, lim)
 }
 
 // KNNOn runs a kNN query against a specific Association Directory
@@ -166,7 +227,8 @@ func (f *Framework) RangeOn(ad *AssocDir, q Query, radius float64) ([]Result, Qu
 // search is the shared expansion entry point for the Framework's own
 // single-threaded methods, with full I/O simulation.
 func (f *Framework) search(ad *AssocDir, q Query, k int, radius float64) ([]Result, QueryStats) {
-	return f.searchWith(ad, q, k, radius, f.workspace(), true)
+	res, stats, _ := f.searchWith(ad, q, k, radius, f.workspace(), true, Limits{})
+	return res, stats
 }
 
 // searchWith is the shared expansion: it gradually grows the search from
@@ -176,8 +238,8 @@ func (f *Framework) search(ad *AssocDir, q Query, k int, radius float64) ([]Resu
 // selects kNN semantics; otherwise radius bounds a range query. chargeIO
 // routes index accesses through the simulated page store; Sessions pass
 // false so concurrent queries never touch shared buffer state.
-func (f *Framework) searchWith(ad *AssocDir, q Query, k int, radius float64, ws *queryWorkspace, chargeIO bool) ([]Result, QueryStats) {
-	return f.searchSeeded(ad, []Seed{{Node: q.Node}}, q.Attr, k, radius, ws, chargeIO, nil, nil)
+func (f *Framework) searchWith(ad *AssocDir, q Query, k int, radius float64, ws *queryWorkspace, chargeIO bool, lim Limits) ([]Result, QueryStats, error) {
+	return f.searchSeeded(ad, []Seed{{Node: q.Node}}, q.Attr, k, radius, ws, chargeIO, nil, nil, lim)
 }
 
 // searchSeeded is searchWith generalized to multiple seeds and an optional
@@ -194,8 +256,9 @@ func (f *Framework) searchWith(ad *AssocDir, q Query, k int, radius float64, ws 
 // results. The sharding router passes its current global kth-best, so a
 // shard entered near the bound is not searched beyond what could still
 // improve the merged answer.
-func (f *Framework) searchSeeded(ad *AssocDir, seeds []Seed, attr int32, k int, radius float64, ws *queryWorkspace, chargeIO bool, watch *WatchSet, watchDist map[graph.NodeID]float64) ([]Result, QueryStats) {
-	var stats QueryStats
+func (f *Framework) searchSeeded(ad *AssocDir, seeds []Seed, attr int32, k int, radius float64, ws *queryWorkspace, chargeIO bool, watch *WatchSet, watchDist map[graph.NodeID]float64, lim Limits) ([]Result, QueryStats, error) {
+	stats := QueryStats{ShardsSearched: 1}
+	var stopErr error
 	var ioMark storage.Stats
 	if f.store != nil && chargeIO {
 		ioMark = f.store.Stats()
@@ -233,6 +296,13 @@ func (f *Framework) searchSeeded(ad *AssocDir, seeds []Seed, attr int32, k int, 
 		}
 		ws.markNode(n)
 		stats.NodesPopped++
+		if err := lim.Stop(stats.NodesPopped); err != nil {
+			// Abort with the valid prefix settled so far: by the Dijkstra
+			// settling order everything already in res is final.
+			stats.Truncated = true
+			stopErr = err
+			break
+		}
 		if watch != nil && watch.nodes[n] {
 			watchDist[n] = d
 		}
@@ -251,7 +321,7 @@ func (f *Framework) searchSeeded(ad *AssocDir, seeds []Seed, attr int32, k int, 
 	if f.store != nil && chargeIO {
 		stats.IO = f.store.Stats().Sub(ioMark)
 	}
-	return res, stats
+	return res, stats, stopErr
 }
 
 // choosePath implements Algorithm ChoosePath (Figure 10): depth-first over

@@ -36,12 +36,26 @@ func (f *Framework) NewSession() *Session {
 
 // KNN returns the k objects matching q.Attr nearest to q.Node.
 func (s *Session) KNN(q Query, k int) ([]Result, QueryStats) {
-	return s.f.searchWith(s.f.ad, q, k, 0, s.ws, false)
+	res, stats, _ := s.f.searchWith(s.f.ad, q, k, 0, s.ws, false, Limits{})
+	return res, stats
+}
+
+// KNNLimited is KNN under Limits (cooperative cancellation, traversal
+// budget). The result is a valid prefix when err is non-nil. An optional
+// positive maxRadius additionally stops the expansion at that distance.
+func (s *Session) KNNLimited(q Query, k int, maxRadius float64, lim Limits) ([]Result, QueryStats, error) {
+	return s.f.searchWith(s.f.ad, q, k, maxRadius, s.ws, false, lim)
 }
 
 // Range returns all matching objects within radius of q.Node.
 func (s *Session) Range(q Query, radius float64) ([]Result, QueryStats) {
-	return s.f.searchWith(s.f.ad, q, 0, radius, s.ws, false)
+	res, stats, _ := s.f.searchWith(s.f.ad, q, 0, radius, s.ws, false, Limits{})
+	return res, stats
+}
+
+// RangeLimited is Range under Limits.
+func (s *Session) RangeLimited(q Query, radius float64, lim Limits) ([]Result, QueryStats, error) {
+	return s.f.searchWith(s.f.ad, q, 0, radius, s.ws, false, lim)
 }
 
 // SearchSeeded runs one multi-source search: kNN when k > 0, range search
@@ -53,7 +67,14 @@ func (s *Session) Range(q Query, radius float64) ([]Result, QueryStats) {
 // router drives: the home shard is searched with its border nodes watched,
 // neighbouring shards are searched seeded at their borders.
 func (s *Session) SearchSeeded(seeds []Seed, attr int32, k int, radius float64, watch *WatchSet, watchDist map[graph.NodeID]float64) ([]Result, QueryStats) {
-	return s.f.searchSeeded(s.f.ad, seeds, attr, k, radius, s.ws, false, watch, watchDist)
+	res, stats, _ := s.f.searchSeeded(s.f.ad, seeds, attr, k, radius, s.ws, false, watch, watchDist, Limits{})
+	return res, stats
+}
+
+// SearchSeededLimited is SearchSeeded under Limits — the primitive the
+// sharding router drives when a per-request context or budget is in play.
+func (s *Session) SearchSeededLimited(seeds []Seed, attr int32, k int, radius float64, watch *WatchSet, watchDist map[graph.NodeID]float64, lim Limits) ([]Result, QueryStats, error) {
+	return s.f.searchSeeded(s.f.ad, seeds, attr, k, radius, s.ws, false, watch, watchDist, lim)
 }
 
 // PathTo computes the detailed shortest route from q.Node to an object
@@ -61,7 +82,14 @@ func (s *Session) SearchSeeded(seeds []Seed, attr int32, k int, radius float64, 
 // simulated page store, so any number of sessions may compute paths
 // concurrently. Requires the framework to have been built with StorePaths.
 func (s *Session) PathTo(q Query, target graph.ObjectID) ([]graph.NodeID, float64, error) {
-	return s.f.pathTo(q, target, false)
+	path, dist, _, err := s.f.pathTo(q, target, false, Limits{})
+	return path, dist, err
+}
+
+// PathToLimited is PathTo under Limits, reporting traversal statistics
+// (which the plain variant predates and omits).
+func (s *Session) PathToLimited(q Query, target graph.ObjectID, lim Limits) ([]graph.NodeID, float64, QueryStats, error) {
+	return s.f.pathTo(q, target, false, lim)
 }
 
 // Epoch returns the owning framework's maintenance epoch at the time of

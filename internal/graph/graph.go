@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"road/internal/apierr"
 	"road/internal/geom"
 )
 
@@ -159,7 +160,7 @@ func (g *Graph) SetWeight(id EdgeID, weight float64) error {
 		return fmt.Errorf("%w: weight %v must be positive", ErrBadEdge, weight)
 	}
 	if g.edges[id].Removed {
-		return fmt.Errorf("%w: edge %d is removed", ErrBadEdge, id)
+		return fmt.Errorf("%w: edge %d is removed: %w", ErrBadEdge, id, apierr.ErrEdgeClosed)
 	}
 	g.edges[id].Weight = weight
 	return nil
@@ -170,7 +171,7 @@ func (g *Graph) SetWeight(id EdgeID, weight float64) error {
 func (g *Graph) RemoveEdge(id EdgeID) error {
 	e := &g.edges[id]
 	if e.Removed {
-		return fmt.Errorf("%w: edge %d already removed", ErrBadEdge, id)
+		return fmt.Errorf("%w: edge %d already removed: %w", ErrBadEdge, id, apierr.ErrEdgeClosed)
 	}
 	e.Removed = true
 	g.adj[e.U] = dropHalf(g.adj[e.U], id)
@@ -182,7 +183,7 @@ func (g *Graph) RemoveEdge(id EdgeID) error {
 func (g *Graph) RestoreEdge(id EdgeID) error {
 	e := &g.edges[id]
 	if !e.Removed {
-		return fmt.Errorf("%w: edge %d is not removed", ErrBadEdge, id)
+		return fmt.Errorf("%w: edge %d is not removed: %w", ErrBadEdge, id, apierr.ErrEdgeNotClosed)
 	}
 	e.Removed = false
 	g.adj[e.U] = append(g.adj[e.U], Half{To: e.V, Edge: id})

@@ -3,6 +3,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+
+	"road/internal/apierr"
 )
 
 // ObjectID identifies a spatial object (point of interest).
@@ -52,10 +54,10 @@ func (os *ObjectSet) Len() int { return len(os.objects) }
 func (os *ObjectSet) Add(e EdgeID, du float64, attr int32) (Object, error) {
 	edge := os.g.Edge(e)
 	if edge.Removed {
-		return Object{}, fmt.Errorf("graph: cannot place object on removed edge %d", e)
+		return Object{}, fmt.Errorf("graph: cannot place object on removed edge %d: %w", e, apierr.ErrEdgeClosed)
 	}
 	if du < 0 || du > edge.Weight {
-		return Object{}, fmt.Errorf("graph: object offset %v outside edge %d of weight %v", du, e, edge.Weight)
+		return Object{}, fmt.Errorf("graph: object offset %v outside edge %d of weight %v: %w", du, e, edge.Weight, apierr.ErrInvalidRequest)
 	}
 	o := Object{ID: os.nextID, Edge: e, DU: du, DV: edge.Weight - du, Attr: attr}
 	os.nextID++

@@ -30,6 +30,8 @@ type StatsJSON struct {
 	NodesPopped    int   `json:"nodes_popped"`
 	RnetsBypassed  int   `json:"rnets_bypassed"`
 	RnetsDescended int   `json:"rnets_descended"`
+	ShardsSearched int   `json:"shards_searched,omitempty"`
+	Truncated      bool  `json:"truncated,omitempty"`
 	IOReads        int64 `json:"io_reads,omitempty"`
 	IOFaults       int64 `json:"io_faults,omitempty"`
 	IOWrites       int64 `json:"io_writes,omitempty"`
@@ -52,7 +54,28 @@ type PathResponse struct {
 	Epoch     uint64        `json:"epoch"`
 	Dist      float64       `json:"dist"`
 	Path      []road.NodeID `json:"path"`
+	Stats     StatsJSON     `json:"stats"`
 	ElapsedUS int64         `json:"elapsed_us"`
+}
+
+// BatchResponse answers POST /batch: one entry per request, all computed
+// on one session at one epoch.
+type BatchResponse struct {
+	Epoch     uint64          `json:"epoch"`
+	Responses []BatchItemJSON `json:"responses"`
+	ElapsedUS int64           `json:"elapsed_us"`
+}
+
+// BatchItemJSON is one batch answer. Exactly one of Results / Path /
+// Error is meaningful; Code carries the typed error class (the same
+// classification single-query endpoints report via HTTP status).
+type BatchItemJSON struct {
+	Results []ResultJSON  `json:"results,omitempty"`
+	Path    []road.NodeID `json:"path,omitempty"`
+	Dist    float64       `json:"dist,omitempty"`
+	Stats   StatsJSON     `json:"stats"`
+	Error   string        `json:"error,omitempty"`
+	Code    string        `json:"code,omitempty"`
 }
 
 // MaintenanceRequest is the body of every POST /maintenance/* call; each
@@ -79,9 +102,13 @@ type MaintenanceResponse struct {
 	Object road.ObjectID `json:"object"`
 }
 
-// ErrorResponse is the uniform error envelope.
+// ErrorResponse is the uniform error envelope. Code, when present,
+// classifies typed query failures machine-readably: "deadline_exceeded",
+// "canceled" (client went away mid-search), "budget_exhausted",
+// "no_such_node", "no_such_object", "invalid_request" or "query_failed".
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 // SnapshotResponse acknowledges /admin/snapshot: the snapshot was written
@@ -113,8 +140,10 @@ type StatsResponse struct {
 		KNN         uint64 `json:"knn"`
 		Within      uint64 `json:"within"`
 		Path        uint64 `json:"path"`
+		Batch       uint64 `json:"batch"`
 		Maintenance uint64 `json:"maintenance"`
 		Errors      uint64 `json:"errors"`
+		Timeouts    uint64 `json:"timeouts"`
 	} `json:"requests"`
 
 	// Traversal aggregates core.QueryStats over every uncached query served.
@@ -122,6 +151,7 @@ type StatsResponse struct {
 		NodesPopped    int64 `json:"nodes_popped"`
 		RnetsBypassed  int64 `json:"rnets_bypassed"` // shortcut hops taken
 		RnetsDescended int64 `json:"rnets_descended"`
+		ShardsSearched int64 `json:"shards_searched"`
 		IOReads        int64 `json:"io_reads"`
 		IOFaults       int64 `json:"io_faults"`
 	} `json:"traversal"`
@@ -153,10 +183,18 @@ func statsJSON(st road.Stats) StatsJSON {
 		NodesPopped:    st.NodesPopped,
 		RnetsBypassed:  st.RnetsBypassed,
 		RnetsDescended: st.RnetsDescended,
+		ShardsSearched: st.ShardsSearched,
+		Truncated:      st.Truncated,
 		IOReads:        st.IO.Reads,
 		IOFaults:       st.IO.Faults,
 		IOWrites:       st.IO.Writes,
 	}
+}
+
+// shardInfoProvider is the optional road.Store extension a sharded store
+// implements; /stats surfaces its per-shard load section.
+type shardInfoProvider interface {
+	ShardInfos() []shard.Info
 }
 
 // EncodeResults converts query answers to their wire form (used by

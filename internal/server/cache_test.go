@@ -65,8 +65,7 @@ func TestResultCacheDistinctKeys(t *testing.T) {
 
 func TestSessionPoolReuse(t *testing.T) {
 	db, _, _, _ := buildSquare(t, road.Options{})
-	b := DBBackend(db)
-	p := NewSessionPool(b, 2)
+	p := NewSessionPool(db, 2)
 	s1 := p.Get()
 	s2 := p.Get()
 	p.Put(s1)
@@ -80,8 +79,8 @@ func TestSessionPoolReuse(t *testing.T) {
 		t.Fatalf("pool stats = %+v, want 2 created / 1 reused", st)
 	}
 	// Beyond maxIdle, sessions are dropped rather than retained.
-	p.Put(b.NewQuerier())
-	p.Put(b.NewQuerier())
+	p.Put(db.OpenSession())
+	p.Put(db.OpenSession())
 	if st := p.Stats(); st.Idle != 2 {
 		t.Fatalf("idle = %d, want maxIdle cap of 2", st.Idle)
 	}

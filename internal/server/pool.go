@@ -3,21 +3,23 @@ package server
 import (
 	"sync"
 	"sync/atomic"
+
+	"road"
 )
 
 // SessionPool reuses query-context allocations across requests. A querier
 // (road.Session, or one cross-shard session per shard for a sharded
-// backend) carries per-query scratch state (priority queue, visited-node
+// store) carries per-query scratch state (priority queue, visited-node
 // epochs, verdict maps) sized to the network, so constructing one per
 // request would dominate small-query latency; the pool keeps a bounded
 // free list and hands queriers out LIFO so the hottest scratch memory is
 // reused.
 type SessionPool struct {
-	b       Backend
+	store   road.Store
 	maxIdle int
 
 	mu   sync.Mutex
-	free []Querier
+	free []road.Querier
 
 	created atomic.Uint64
 	reused  atomic.Uint64
@@ -26,17 +28,17 @@ type SessionPool struct {
 // DefaultMaxIdleSessions bounds the free list when Options leave it zero.
 const DefaultMaxIdleSessions = 64
 
-// NewSessionPool returns a pool creating queriers on b. maxIdle bounds
+// NewSessionPool returns a pool opening sessions on store. maxIdle bounds
 // the number of idle queriers retained (DefaultMaxIdleSessions when 0).
-func NewSessionPool(b Backend, maxIdle int) *SessionPool {
+func NewSessionPool(store road.Store, maxIdle int) *SessionPool {
 	if maxIdle <= 0 {
 		maxIdle = DefaultMaxIdleSessions
 	}
-	return &SessionPool{b: b, maxIdle: maxIdle}
+	return &SessionPool{store: store, maxIdle: maxIdle}
 }
 
 // Get returns a querier, reusing an idle one when available.
-func (p *SessionPool) Get() Querier {
+func (p *SessionPool) Get() road.Querier {
 	p.mu.Lock()
 	if n := len(p.free); n > 0 {
 		s := p.free[n-1]
@@ -48,12 +50,12 @@ func (p *SessionPool) Get() Querier {
 	}
 	p.mu.Unlock()
 	p.created.Add(1)
-	return p.b.NewQuerier()
+	return p.store.OpenSession()
 }
 
 // Put returns a querier to the pool; beyond maxIdle it is dropped for the
 // garbage collector.
-func (p *SessionPool) Put(s Querier) {
+func (p *SessionPool) Put(s road.Querier) {
 	if s == nil {
 		return
 	}

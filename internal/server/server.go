@@ -1,7 +1,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -22,6 +24,12 @@ type Options struct {
 	// MaxIdleSessions bounds the session free list
 	// (DefaultMaxIdleSessions when 0).
 	MaxIdleSessions int
+	// QueryTimeout bounds every read query (kNN, within, path, batch
+	// entries): the request context is wrapped in a deadline, the search
+	// aborts cooperatively mid-expansion, and the client receives HTTP
+	// 503 with a typed error body (code "deadline_exceeded"). Zero
+	// disables the bound.
+	QueryTimeout time.Duration
 	// SnapshotSave, when set, enables POST /admin/snapshot and
 	// snapshot-on-shutdown: it is invoked under the coordinator's write
 	// lock — readers drained, maintenance excluded — so the image it
@@ -32,51 +40,46 @@ type Options struct {
 	SnapshotSave func() (int64, error)
 }
 
-// Server serves one database — a single-index road.DB or a sharded
-// road.ShardedDB — over HTTP/JSON. Reads (kNN, within, path) run
-// concurrently on pooled sessions under the Coordinator's read lock;
-// maintenance runs exclusively under its write lock and implicitly
-// invalidates the result cache by advancing the backend epoch.
+// Server serves one road.Store — a single-index road.DB or a sharded
+// road.ShardedDB, the two deployment shapes behind the same interface —
+// over HTTP/JSON. Reads (kNN, within, path, batch) run concurrently on
+// pooled sessions under the Coordinator's read lock; maintenance runs
+// exclusively under its write lock and implicitly invalidates the result
+// cache by advancing the store epoch.
 type Server struct {
-	b        Backend
+	b        road.Store
 	coord    *Coordinator
 	pool     *SessionPool
 	cache    *ResultCache          // nil when disabled
 	snapshot func() (int64, error) // nil when persistence is not configured
+	timeout  time.Duration         // zero = unbounded queries
 	start    time.Time
 
 	knnCount    atomic.Uint64
 	withinCount atomic.Uint64
 	pathCount   atomic.Uint64
+	batchCount  atomic.Uint64
 	maintCount  atomic.Uint64
 	errCount    atomic.Uint64
+	timeoutCnt  atomic.Uint64
 
 	nodesPopped    atomic.Int64
 	rnetsBypassed  atomic.Int64
 	rnetsDescended atomic.Int64
+	shardsSearched atomic.Int64
 	ioReads        atomic.Int64
 	ioFaults       atomic.Int64
 }
 
-// New wires a serving subsystem around an opened single-index DB.
-func New(db *road.DB, opts Options) *Server {
-	return NewWithBackend(DBBackend(db), opts)
-}
-
-// NewSharded wires a serving subsystem around a sharded database: the
-// same API, with queries routed across region shards and /stats gaining
-// a per-shard load section.
-func NewSharded(db *road.ShardedDB, opts Options) *Server {
-	return NewWithBackend(ShardedBackend(db), opts)
-}
-
-// NewWithBackend wires a serving subsystem around any Backend.
-func NewWithBackend(b Backend, opts Options) *Server {
+// New wires a serving subsystem around any road.Store: an opened
+// single-index road.DB, a road.ShardedDB, or any other implementation.
+func New(store road.Store, opts Options) *Server {
 	s := &Server{
-		b:        b,
-		coord:    NewCoordinator(b.Epoch),
-		pool:     NewSessionPool(b, opts.MaxIdleSessions),
+		b:        store,
+		coord:    NewCoordinator(store.Epoch),
+		pool:     NewSessionPool(store, opts.MaxIdleSessions),
 		snapshot: opts.SnapshotSave,
+		timeout:  opts.QueryTimeout,
 		start:    time.Now(),
 	}
 	if opts.CacheSize >= 0 {
@@ -85,28 +88,38 @@ func NewWithBackend(b Backend, opts Options) *Server {
 	return s
 }
 
+// NewSharded wires a serving subsystem around a sharded database.
+//
+// Deprecated: road.ShardedDB satisfies road.Store — call New directly.
+func NewSharded(db *road.ShardedDB, opts Options) *Server {
+	return New(db, opts)
+}
+
 // Coordinator exposes the coordination layer (tests and embedders).
 func (s *Server) Coordinator() *Coordinator { return s.coord }
 
 // Handler returns the HTTP API:
 //
-//	GET  /knn?node=N&k=K[&attr=A]          k nearest objects
-//	GET  /within?node=N&radius=R[&attr=A]  objects within network distance R
-//	GET  /path?node=N&object=O             detailed route (needs StorePaths)
-//	POST /maintenance/set-distance         {"edge":E,"dist":D}
-//	POST /maintenance/close                {"edge":E}
-//	POST /maintenance/reopen               {"edge":E}
-//	POST /maintenance/add-road             {"u":U,"v":V,"dist":D}
-//	POST /maintenance/insert-object        {"edge":E,"offset":F,"attr":A}
-//	POST /maintenance/delete-object        {"object":O}
-//	POST /maintenance/set-attr             {"object":O,"attr":A}
-//	GET  /stats                            serving statistics
-//	GET  /healthz                          liveness probe
+//	GET  /knn?node=N&k=K[&attr=A][&budget=B]     k nearest objects
+//	GET  /within?node=N&radius=R[&attr=A][&budget=B]
+//	                                             objects within distance R
+//	GET  /path?node=N&object=O                   detailed route
+//	POST /batch                                  [{"knn":{...}},...] on one session
+//	POST /maintenance/set-distance               {"edge":E,"dist":D}
+//	POST /maintenance/close                      {"edge":E}
+//	POST /maintenance/reopen                     {"edge":E}
+//	POST /maintenance/add-road                   {"u":U,"v":V,"dist":D}
+//	POST /maintenance/insert-object              {"edge":E,"offset":F,"attr":A}
+//	POST /maintenance/delete-object              {"object":O}
+//	POST /maintenance/set-attr                   {"object":O,"attr":A}
+//	GET  /stats                                  serving statistics
+//	GET  /healthz                                liveness probe
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /knn", s.handleKNN)
 	mux.HandleFunc("GET /within", s.handleWithin)
 	mux.HandleFunc("GET /path", s.handlePath)
+	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("POST /maintenance/set-distance", s.maintenance(s.opSetDistance))
 	mux.HandleFunc("POST /maintenance/close", s.maintenance(s.opClose))
 	mux.HandleFunc("POST /maintenance/reopen", s.maintenance(s.opReopen))
@@ -169,12 +182,62 @@ func (s *Server) writeErr(w http.ResponseWriter, code int, format string, args .
 	s.writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeQueryErr maps a typed query error to its HTTP status and wire code
+// — the error-contract half of the v1 API on the wire.
+func (s *Server) writeQueryErr(w http.ResponseWriter, err error) {
+	s.errCount.Add(1)
+	status, code := queryErrStatus(err)
+	s.countTimeout(code)
+	s.writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
+}
+
+// countTimeout feeds /stats requests.timeouts: only genuine deadline
+// expiries — not client disconnects or budget stops — count.
+func (s *Server) countTimeout(code string) {
+	if code == "deadline_exceeded" {
+		s.timeoutCnt.Add(1)
+	}
+}
+
+// queryErrStatus classifies a typed query error. A canceled query is
+// "deadline_exceeded" only when the deadline actually expired; a client
+// that went away mid-search is plain "canceled".
+func queryErrStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable, "deadline_exceeded"
+	case errors.Is(err, road.ErrCanceled):
+		return http.StatusServiceUnavailable, "canceled"
+	case errors.Is(err, road.ErrBudgetExhausted):
+		return http.StatusServiceUnavailable, "budget_exhausted"
+	case errors.Is(err, road.ErrNoSuchNode):
+		return http.StatusNotFound, "no_such_node"
+	case errors.Is(err, road.ErrNoSuchObject):
+		return http.StatusNotFound, "no_such_object"
+	case errors.Is(err, road.ErrInvalidRequest):
+		return http.StatusBadRequest, "invalid_request"
+	default:
+		return http.StatusUnprocessableEntity, "query_failed"
+	}
+}
+
 func (s *Server) recordStats(st road.Stats) {
 	s.nodesPopped.Add(int64(st.NodesPopped))
 	s.rnetsBypassed.Add(int64(st.RnetsBypassed))
 	s.rnetsDescended.Add(int64(st.RnetsDescended))
+	s.shardsSearched.Add(int64(st.ShardsSearched))
 	s.ioReads.Add(st.IO.Reads)
 	s.ioFaults.Add(st.IO.Faults)
+}
+
+// queryCtx derives the context one read query runs under: the client's
+// request context (canceled when the client goes away), bounded by the
+// configured per-request timeout.
+func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.timeout)
 }
 
 // queryInt parses a required integer query parameter.
@@ -203,6 +266,19 @@ func queryAttr(r *http.Request) (int32, error) {
 	return int32(v), nil
 }
 
+// queryBudget parses the optional budget parameter (0 = unlimited).
+func queryBudget(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("budget")
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("parameter \"budget\" must be a non-negative integer")
+	}
+	return int(v), nil
+}
+
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	node, err := queryInt(r, "node")
 	if err != nil {
@@ -219,10 +295,16 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	budget, err := queryBudget(r)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	s.knnCount.Add(1)
-	s.serveQuery(w, road.NodeID(node), KNNKey(road.NodeID(node), int(k), attr),
-		func(sess Querier) ([]road.Result, road.Stats) {
-			return sess.KNN(road.NodeID(node), int(k), attr)
+	req := road.KNNRequest{From: road.NodeID(node), K: int(k), Attr: attr, Budget: budget}
+	s.serveQuery(w, r, KNNKey(req.From, req.K, attr), budget == 0,
+		func(ctx context.Context, sess road.Querier) ([]road.Result, road.Stats, error) {
+			return sess.KNNContext(ctx, req)
 		})
 }
 
@@ -242,28 +324,33 @@ func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	budget, err := queryBudget(r)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	s.withinCount.Add(1)
-	s.serveQuery(w, road.NodeID(node), WithinKey(road.NodeID(node), radius, attr),
-		func(sess Querier) ([]road.Result, road.Stats) {
-			return sess.Within(road.NodeID(node), radius, attr)
+	req := road.WithinRequest{From: road.NodeID(node), Radius: radius, Attr: attr, Budget: budget}
+	s.serveQuery(w, r, WithinKey(req.From, radius, attr), budget == 0,
+		func(ctx context.Context, sess road.Querier) ([]road.Result, road.Stats, error) {
+			return sess.WithinContext(ctx, req)
 		})
 }
 
 // serveQuery runs one read query under the coordination layer: cache
 // probe, pooled-session execution on miss, cache fill — all at one
-// consistent epoch.
-func (s *Server) serveQuery(w http.ResponseWriter, node road.NodeID, key CacheKey, run func(Querier) ([]road.Result, road.Stats)) {
+// consistent epoch. cacheable excludes budget-limited answers (their
+// truncation point is caller-specific, so they must not be shared), and
+// truncated answers are never cached either.
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, key CacheKey, cacheable bool, run func(context.Context, road.Querier) ([]road.Result, road.Stats, error)) {
 	start := time.Now()
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
 	var resp QueryResponse
-	var badNode bool
+	var queryErr error
 	s.coord.Read(func(epoch uint64) {
-		if int(node) < 0 || int(node) >= s.b.NumNodes() {
-			badNode = true
-			return
-		}
-		resp.Node = node
 		resp.Epoch = epoch
-		if s.cache != nil {
+		if cacheable && s.cache != nil {
 			if ans, ok := s.cache.Get(key, epoch); ok {
 				resp.Cached = true
 				resp.Results = resultsJSON(ans.Results)
@@ -272,19 +359,24 @@ func (s *Server) serveQuery(w http.ResponseWriter, node road.NodeID, key CacheKe
 			}
 		}
 		sess := s.pool.Get()
-		res, st := run(sess)
+		res, st, err := run(ctx, sess)
 		s.pool.Put(sess)
+		if err != nil {
+			queryErr = err
+			return
+		}
 		s.recordStats(st)
-		if s.cache != nil {
+		if cacheable && s.cache != nil && !st.Truncated {
 			s.cache.Put(key, epoch, CachedAnswer{Results: res, Stats: st})
 		}
 		resp.Results = resultsJSON(res)
 		resp.Stats = statsJSON(st)
 	})
-	if badNode {
-		s.writeErr(w, http.StatusNotFound, "node %d does not exist", node)
+	if queryErr != nil {
+		s.writeQueryErr(w, queryErr)
 		return
 	}
+	resp.Node = key.Node
 	resp.ElapsedUS = time.Since(start).Microseconds()
 	if resp.Results == nil {
 		resp.Results = []ResultJSON{}
@@ -305,38 +397,86 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 	}
 	s.pathCount.Add(1)
 	start := time.Now()
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
 	var resp PathResponse
-	var badNode bool
 	var pathErr error
 	s.coord.Read(func(epoch uint64) {
-		if int(node) < 0 || int(node) >= s.b.NumNodes() {
-			badNode = true
-			return
-		}
 		sess := s.pool.Get()
-		path, dist, err := sess.PathTo(road.NodeID(node), road.ObjectID(obj))
+		p, st, err := sess.PathToContext(ctx, road.PathRequest{From: road.NodeID(node), Object: road.ObjectID(obj)})
 		s.pool.Put(sess)
 		if err != nil {
 			pathErr = err
 			return
 		}
+		s.recordStats(st)
 		resp = PathResponse{
 			Node:   road.NodeID(node),
 			Object: road.ObjectID(obj),
 			Epoch:  epoch,
-			Dist:   dist,
-			Path:   path,
+			Dist:   p.Dist,
+			Path:   p.Nodes,
+			Stats:  statsJSON(st),
 		}
 	})
-	switch {
-	case badNode:
-		s.writeErr(w, http.StatusNotFound, "node %d does not exist", node)
-	case pathErr != nil:
-		s.writeErr(w, http.StatusUnprocessableEntity, "%v", pathErr)
-	default:
-		resp.ElapsedUS = time.Since(start).Microseconds()
-		s.writeJSON(w, http.StatusOK, resp)
+	if pathErr != nil {
+		s.writeQueryErr(w, pathErr)
+		return
 	}
+	resp.ElapsedUS = time.Since(start).Microseconds()
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBatch answers a JSON array of road.Requests on ONE pooled session
+// under ONE read-lock acquisition — the HTTP face of road.Store.Query.
+// Per-entry failures are reported inline (the batch itself is always 200
+// once decoded), so a mixed batch never loses its good answers.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var reqs []road.Request
+	if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
+		s.writeErr(w, http.StatusBadRequest, "decoding request body: %v", err)
+		return
+	}
+	if len(reqs) == 0 {
+		s.writeErr(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	s.batchCount.Add(1)
+	start := time.Now()
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	var resp BatchResponse
+	s.coord.Read(func(epoch uint64) {
+		sess := s.pool.Get()
+		answers := road.RunBatch(ctx, sess, reqs)
+		s.pool.Put(sess)
+		resp.Epoch = epoch
+		resp.Responses = make([]BatchItemJSON, len(answers))
+		for i, a := range answers {
+			item := BatchItemJSON{
+				Stats: statsJSON(a.Stats),
+			}
+			if a.Err != nil {
+				s.errCount.Add(1)
+				_, code := queryErrStatus(a.Err)
+				s.countTimeout(code)
+				item.Error = a.Err.Error()
+				item.Code = code
+			} else if reqs[i].Path != nil {
+				item.Path = a.Path
+				item.Dist = a.Dist
+			} else {
+				item.Results = resultsJSON(a.Results)
+			}
+			if item.Results == nil {
+				item.Results = []ResultJSON{}
+			}
+			s.recordStats(a.Stats)
+			resp.Responses[i] = item
+		}
+	})
+	resp.ElapsedUS = time.Since(start).Microseconds()
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // maintenance wraps one mutation op in body decoding, the write lock and
@@ -375,8 +515,8 @@ func (s *Server) maintenance(op func(*MaintenanceRequest, *MaintenanceResponse) 
 // the graph layer, which panics on out-of-range IDs rather than erroring.
 // Must run under the coordination lock (it reads the edge count).
 func (s *Server) checkEdge(e road.EdgeID) error {
-	if int(e) < 0 || int(e) >= s.b.NumEdges() {
-		return fmt.Errorf("edge %d does not exist", e)
+	if int(e) < 0 || int(e) >= s.b.NumRoads() {
+		return fmt.Errorf("edge %d does not exist: %w", e, road.ErrNoSuchEdge)
 	}
 	return nil
 }
@@ -442,7 +582,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.coord.Read(func(epoch uint64) {
 		resp.Epoch = epoch
 		resp.Network.Nodes = s.b.NumNodes()
-		resp.Network.Edges = s.b.NumEdges()
+		resp.Network.Edges = s.b.NumRoads()
 		resp.Network.Objects = s.b.NumObjects()
 		resp.Network.IndexKB = s.b.IndexSizeBytes() / 1024
 		if sp, ok := s.b.(shardInfoProvider); ok {
@@ -453,11 +593,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Requests.KNN = s.knnCount.Load()
 	resp.Requests.Within = s.withinCount.Load()
 	resp.Requests.Path = s.pathCount.Load()
+	resp.Requests.Batch = s.batchCount.Load()
 	resp.Requests.Maintenance = s.maintCount.Load()
 	resp.Requests.Errors = s.errCount.Load()
+	resp.Requests.Timeouts = s.timeoutCnt.Load()
 	resp.Traversal.NodesPopped = s.nodesPopped.Load()
 	resp.Traversal.RnetsBypassed = s.rnetsBypassed.Load()
 	resp.Traversal.RnetsDescended = s.rnetsDescended.Load()
+	resp.Traversal.ShardsSearched = s.shardsSearched.Load()
 	resp.Traversal.IOReads = s.ioReads.Load()
 	resp.Traversal.IOFaults = s.ioFaults.Load()
 	if s.cache != nil {

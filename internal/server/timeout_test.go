@@ -1,0 +1,94 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"road"
+)
+
+// TestQueryTimeout503: with a per-request deadline configured, an
+// expired query answers 503 with the typed error body — the wire face of
+// the ctx plumbing (roadd's -query-timeout flag).
+func TestQueryTimeout503(t *testing.T) {
+	db, _, _, _ := buildSquare(t, road.Options{})
+	// A nanosecond deadline is always already expired when the search
+	// makes its first cooperative check.
+	ts := httptest.NewServer(New(db, Options{QueryTimeout: time.Nanosecond}).Handler())
+	defer ts.Close()
+
+	errResp := getJSON[ErrorResponse](t, ts, "/knn?node=0&k=1", http.StatusServiceUnavailable)
+	if errResp.Code != "deadline_exceeded" {
+		t.Fatalf("code = %q, want deadline_exceeded", errResp.Code)
+	}
+	if errResp.Error == "" {
+		t.Fatal("error body empty")
+	}
+
+	// /stats counts the timeout.
+	st := getJSON[StatsResponse](t, ts, "/stats", http.StatusOK)
+	if st.Requests.Timeouts == 0 {
+		t.Fatal("timeout not counted in /stats")
+	}
+}
+
+// TestQueryTimeoutGenerous: a sane deadline leaves small queries alone.
+func TestQueryTimeoutGenerous(t *testing.T) {
+	db, aID, _, _ := buildSquare(t, road.Options{})
+	ts := httptest.NewServer(New(db, Options{QueryTimeout: 5 * time.Second}).Handler())
+	defer ts.Close()
+
+	resp := getJSON[QueryResponse](t, ts, "/knn?node=0&k=1", http.StatusOK)
+	if len(resp.Results) != 1 || resp.Results[0].Object != aID {
+		t.Fatalf("results = %+v", resp.Results)
+	}
+	if resp.Stats.Truncated {
+		t.Fatal("untimed-out query marked truncated")
+	}
+}
+
+// TestBatchEndpoint: one POST answers several queries on one session at
+// one epoch, with per-entry typed failures inline.
+func TestBatchEndpoint(t *testing.T) {
+	db, aID, _, _ := buildSquare(t, road.Options{StorePaths: true})
+	ts := httptest.NewServer(New(db, Options{}).Handler())
+	defer ts.Close()
+
+	knn := road.KNNRequest{From: 0, K: 1}
+	within := road.WithinRequest{From: 0, Radius: 10}
+	path := road.PathRequest{From: 0, Object: aID}
+	bad := road.KNNRequest{From: 9999, K: 1}
+	batch := []road.Request{
+		{KNN: &knn},
+		{Within: &within},
+		{Path: &path},
+		{KNN: &bad},
+	}
+	resp := postJSON[BatchResponse](t, ts, "/batch", batch, http.StatusOK)
+	if len(resp.Responses) != 4 {
+		t.Fatalf("%d responses, want 4", len(resp.Responses))
+	}
+	if len(resp.Responses[0].Results) != 1 || resp.Responses[0].Results[0].Object != aID {
+		t.Fatalf("knn entry = %+v", resp.Responses[0])
+	}
+	if len(resp.Responses[1].Results) == 0 {
+		t.Fatalf("within entry = %+v", resp.Responses[1])
+	}
+	if len(resp.Responses[2].Path) == 0 || resp.Responses[2].Dist <= 0 {
+		t.Fatalf("path entry = %+v", resp.Responses[2])
+	}
+	if resp.Responses[3].Code != "no_such_node" || resp.Responses[3].Error == "" {
+		t.Fatalf("bad entry = %+v", resp.Responses[3])
+	}
+
+	// Single-query answers agree with the batch.
+	single := getJSON[QueryResponse](t, ts, "/knn?node=0&k=1", http.StatusOK)
+	if single.Results[0] != resp.Responses[0].Results[0] {
+		t.Fatalf("batch vs single mismatch: %+v / %+v", resp.Responses[0].Results[0], single.Results[0])
+	}
+
+	// Malformed and empty batches are rejected up front.
+	postJSON[ErrorResponse](t, ts, "/batch", []road.Request{}, http.StatusBadRequest)
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 
+	"road/internal/apierr"
+	"road/internal/core"
 	"road/internal/graph"
 )
 
@@ -25,20 +27,31 @@ type gatewayPred struct {
 // waypoints: legs are recomputed with plain Dijkstra on the shard-local
 // graphs, which are a fraction of the network each.
 func (s *Session) PathTo(from graph.NodeID, gid graph.ObjectID) ([]graph.NodeID, float64, error) {
+	path, dist, _, err := s.PathToLimited(from, gid, core.Limits{})
+	return path, dist, err
+}
+
+// PathToLimited is PathTo under core.Limits, reporting traversal
+// statistics: NodesPopped sums the nodes settled by every per-shard
+// Dijkstra leg, and ShardsSearched counts the shard graphs those legs ran
+// on — the same metrics a single-index path query reports, which the
+// plain PathTo predates and drops.
+func (s *Session) PathToLimited(from graph.NodeID, gid graph.ObjectID, lim core.Limits) ([]graph.NodeID, float64, core.QueryStats, error) {
+	var stats core.QueryStats
 	target, err := s.r.OwnerOfObject(gid)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, stats, err
 	}
 	lo := target.localObj[gid]
 	o, _ := target.F.Objects().Get(lo)
 	le := target.F.Graph().Edge(o.Edge)
 
 	if int(from) < 0 || int(from) >= len(s.r.shardsOf) {
-		return nil, 0, fmt.Errorf("shard: node %d does not exist", from)
+		return nil, 0, stats, fmt.Errorf("shard: node %d: %w", from, apierr.ErrNoSuchNode)
 	}
 	homes := s.r.shardsOf[from]
 	if len(homes) == 0 {
-		return nil, math.Inf(1), fmt.Errorf("shard: object %d unreachable from node %d", gid, from)
+		return nil, math.Inf(1), stats, fmt.Errorf("shard: object %d unreachable from node %d: %w", gid, from, apierr.ErrUnreachable)
 	}
 
 	bestDist := math.Inf(1)
@@ -51,7 +64,11 @@ func (s *Session) PathTo(from graph.NodeID, gid graph.ObjectID) ([]graph.NodeID,
 		}
 		gs := s.search(h)
 		lf := target.localNode[from]
-		gs.Run(lf, graph.Options{Targets: []graph.NodeID{le.U, le.V}})
+		if err := s.runLeg(gs, &stats, lim, func(opt graph.Options) {
+			gs.Run(lf, opt)
+		}, graph.Options{Targets: []graph.NodeID{le.U, le.V}}); err != nil {
+			return nil, 0, stats, err
+		}
 		if end, d := closerEnd(gs.Dist(le.U)+o.DU, gs.Dist(le.V)+o.DV, le); d < bestDist {
 			bestDist = d
 			bestPath = s.translatePath(target, gs.Path(end))
@@ -73,7 +90,11 @@ func (s *Session) PathTo(from graph.NodeID, gid graph.ObjectID) ([]graph.NodeID,
 		for i, b := range sh.borders {
 			targets[i] = sh.localNode[b]
 		}
-		gs.Run(sh.localNode[from], graph.Options{Targets: targets})
+		if err := s.runLeg(gs, &stats, lim, func(opt graph.Options) {
+			gs.Run(sh.localNode[from], opt)
+		}, graph.Options{Targets: targets}); err != nil {
+			return nil, 0, stats, err
+		}
 		for i, b := range sh.borders {
 			if d := gs.Dist(targets[i]); !isInf(d) {
 				if cur, ok := s.gdist[b]; !ok || d < cur {
@@ -85,12 +106,15 @@ func (s *Session) PathTo(from graph.NodeID, gid graph.ObjectID) ([]graph.NodeID,
 	}
 	if len(s.gdist) == 0 {
 		if bestPath == nil {
-			return nil, math.Inf(1), fmt.Errorf("shard: object %d unreachable from node %d", gid, from)
+			return nil, math.Inf(1), stats, fmt.Errorf("shard: object %d unreachable from node %d: %w", gid, from, apierr.ErrUnreachable)
 		}
-		return bestPath, bestDist, nil
+		return bestPath, bestDist, stats, nil
 	}
 	pred := make(map[graph.NodeID]gatewayPred, len(s.gdist))
-	s.gateway(bestDist, pred)
+	if err := s.gateway(bestDist, pred, lim); err != nil {
+		stats.Truncated = true
+		return nil, 0, stats, err
+	}
 
 	seeds := make([]graph.Seed, 0, len(target.borders))
 	for _, b := range target.borders {
@@ -100,14 +124,18 @@ func (s *Session) PathTo(from graph.NodeID, gid graph.ObjectID) ([]graph.NodeID,
 	}
 	if len(seeds) > 0 {
 		gs := s.search(target.ID)
-		gs.RunSeeded(seeds, graph.Options{Targets: []graph.NodeID{le.U, le.V}})
+		if err := s.runLeg(gs, &stats, lim, func(opt graph.Options) {
+			gs.RunSeeded(seeds, opt)
+		}, graph.Options{Targets: []graph.NodeID{le.U, le.V}}); err != nil {
+			return nil, 0, stats, err
+		}
 		if end, d := closerEnd(gs.Dist(le.U)+o.DU, gs.Dist(le.V)+o.DV, le); d < bestDist {
 			// Tail leg first (the workspace is reused per leg below).
 			tail := gs.Path(end)
 			entry := tail[0] // local ID of the winning seed border
-			route, err := s.assemble(target, entry, tail, pred, homeOf, from)
+			route, err := s.assemble(target, entry, tail, pred, homeOf, from, &stats, lim)
 			if err != nil {
-				return nil, 0, err
+				return nil, 0, stats, err
 			}
 			bestDist = d
 			bestPath = route
@@ -115,9 +143,42 @@ func (s *Session) PathTo(from graph.NodeID, gid graph.ObjectID) ([]graph.NodeID,
 	}
 
 	if bestPath == nil {
-		return nil, math.Inf(1), fmt.Errorf("shard: object %d unreachable from node %d", gid, from)
+		return nil, math.Inf(1), stats, fmt.Errorf("shard: object %d unreachable from node %d: %w", gid, from, apierr.ErrUnreachable)
 	}
-	return bestPath, bestDist, nil
+	return bestPath, bestDist, stats, nil
+}
+
+// runLeg executes one per-shard Dijkstra leg (run receives the final
+// options) with cooperative cancellation and records its cost: settled
+// nodes into stats.NodesPopped, one more searched shard, and the
+// traversal budget shared with the rest of the query.
+func (s *Session) runLeg(gs *graph.Search, stats *core.QueryStats, lim core.Limits, run func(graph.Options), opt graph.Options) error {
+	aborted := false
+	if lim.Ctx != nil || lim.Budget > 0 {
+		settled := 0
+		base := stats.NodesPopped
+		opt.OnSettle = func(graph.NodeID, float64) bool {
+			settled++
+			if err := lim.Stop(base + settled); err != nil {
+				aborted = true
+				return false
+			}
+			return true
+		}
+	}
+	run(opt)
+	stats.NodesPopped += gs.Visited
+	stats.ShardsSearched++
+	if aborted {
+		stats.Truncated = true
+		if lim.Ctx != nil {
+			if err := lim.Ctx.Err(); err != nil {
+				return fmt.Errorf("%w: %w", apierr.ErrCanceled, err)
+			}
+		}
+		return apierr.ErrBudgetExhausted
+	}
+	return nil
 }
 
 // closerEnd picks the object-edge endpoint through which the object is
@@ -133,7 +194,7 @@ func closerEnd(viaU, viaV float64, e graph.Edge) (graph.NodeID, float64) {
 // assemble stitches the full global route: head leg (query node to the
 // first border inside its home shard), one leg per gateway hop, then the
 // already-computed tail leg inside the target shard.
-func (s *Session) assemble(target *Shard, entryLocal graph.NodeID, tail []graph.NodeID, pred map[graph.NodeID]gatewayPred, homeOf map[graph.NodeID]ID, from graph.NodeID) ([]graph.NodeID, error) {
+func (s *Session) assemble(target *Shard, entryLocal graph.NodeID, tail []graph.NodeID, pred map[graph.NodeID]gatewayPred, homeOf map[graph.NodeID]ID, from graph.NodeID, stats *core.QueryStats, lim core.Limits) ([]graph.NodeID, error) {
 	// Walk the gateway chain backward from the entry border to a seed.
 	entry := target.globalNode[entryLocal]
 	type hop struct {
@@ -165,14 +226,14 @@ func (s *Session) assemble(target *Shard, entryLocal graph.NodeID, tail []graph.
 	if !ok {
 		return nil, fmt.Errorf("shard: gateway seed %d has no home shard", first)
 	}
-	route, err := s.legPath(home, from, first)
+	route, err := s.legPath(home, from, first, stats, lim)
 	if err != nil {
 		return nil, err
 	}
 
 	// Gateway legs.
 	for _, hp := range hops {
-		leg, err := s.legPath(hp.via, hp.from, hp.to)
+		leg, err := s.legPath(hp.via, hp.from, hp.to, stats, lim)
 		if err != nil {
 			return nil, err
 		}
@@ -189,7 +250,7 @@ func (s *Session) assemble(target *Shard, entryLocal graph.NodeID, tail []graph.
 
 // legPath recomputes the shortest within-shard path between two global
 // nodes of shard sid and returns it in global IDs.
-func (s *Session) legPath(sid ID, a, b graph.NodeID) ([]graph.NodeID, error) {
+func (s *Session) legPath(sid ID, a, b graph.NodeID, stats *core.QueryStats, lim core.Limits) ([]graph.NodeID, error) {
 	sh := s.r.shards[sid]
 	la, okA := sh.localNode[a]
 	lb, okB := sh.localNode[b]
@@ -197,7 +258,12 @@ func (s *Session) legPath(sid ID, a, b graph.NodeID) ([]graph.NodeID, error) {
 		return nil, fmt.Errorf("shard: leg %d->%d not inside shard %d", a, b, sid)
 	}
 	gs := s.search(sid)
-	path, d := gs.ShortestPath(la, lb)
+	if err := s.runLeg(gs, stats, lim, func(opt graph.Options) {
+		gs.Run(la, opt)
+	}, graph.Options{Targets: []graph.NodeID{lb}}); err != nil {
+		return nil, err
+	}
+	path, d := gs.Path(lb), gs.Dist(lb)
 	if isInf(d) {
 		return nil, fmt.Errorf("shard: leg %d->%d no longer connected inside shard %d", a, b, sid)
 	}

@@ -129,13 +129,23 @@ func (m *merger) kth(k int) float64 {
 // because shards are processed in entry order the first skip finalizes
 // the result set.
 func (s *Session) KNN(from graph.NodeID, k int, attr int32) ([]core.Result, core.QueryStats) {
+	res, stats, _ := s.KNNLimited(from, k, attr, core.Limits{})
+	return res, stats
+}
+
+// KNNLimited is KNN under core.Limits: the context is polled inside every
+// per-shard expansion and between phases, and the budget caps the total
+// nodes settled across all shards the query touches. On truncation the
+// candidates merged so far are returned (a valid, possibly incomplete,
+// subset) with Stats.Truncated set.
+func (s *Session) KNNLimited(from graph.NodeID, k int, attr int32, lim core.Limits) ([]core.Result, core.QueryStats, error) {
 	var stats core.QueryStats
 	if k <= 0 || int(from) < 0 || int(from) >= len(s.r.shardsOf) {
-		return nil, stats
+		return nil, stats, nil
 	}
 	homes := s.r.shardsOf[from]
 	if len(homes) == 0 {
-		return nil, stats // isolated intersection: nothing is reachable
+		return nil, stats, nil // isolated intersection: nothing is reachable
 	}
 
 	// Fast path: one home shard whose nearest border lies at or beyond
@@ -149,10 +159,13 @@ func (s *Session) KNN(from graph.NodeID, k int, attr int32) ([]core.Result, core
 		sh := s.r.shards[homes[0]]
 		sh.homeQueries.Add(1)
 		lf := sh.localNode[from]
-		res, st := s.sess[homes[0]].SearchSeeded(s.seed1(lf), attr, k, 0, nil, nil)
+		res, st, err := s.sess[homes[0]].SearchSeededLimited(s.seed1(lf), attr, k, 0, nil, nil, s.sub(lim, &stats))
 		accumulate(&stats, st)
+		if err != nil {
+			return translateInPlace(sh, res), stats, err
+		}
 		if len(res) >= k && sh.borderDist[lf] >= res[k-1].Dist {
-			return translateInPlace(sh, res), stats
+			return translateInPlace(sh, res), stats, nil
 		}
 		// A border may be closer than the kth result: re-run watched and
 		// capped just above the known kth distance, purely to learn the
@@ -166,15 +179,39 @@ func (s *Session) KNN(from graph.NodeID, k int, attr int32) ([]core.Result, core
 			stopAt = res[k-1].Dist * (1 + 1e-12)
 		}
 		s.clearWatch()
-		_, st = s.sess[homes[0]].SearchSeeded(
-			s.seed1(lf), attr, k, stopAt, sh.watch, s.wdist)
+		_, st, err = s.sess[homes[0]].SearchSeededLimited(
+			s.seed1(lf), attr, k, stopAt, sh.watch, s.wdist, s.sub(lim, &stats))
 		accumulate(&stats, st)
-		if len(s.wdist) == 0 {
-			return translateInPlace(sh, res), stats
+		// The watched re-run revisits the SAME home shard (its pops are
+		// real cost and stay counted); only distinct shards entered count
+		// toward ShardsSearched, so a query that never leaves its home
+		// shard reports 1.
+		stats.ShardsSearched--
+		if err != nil {
+			return translateInPlace(sh, res), stats, err
 		}
-		return s.knnSlow(sh, res, k, attr, stats)
+		if len(s.wdist) == 0 {
+			return translateInPlace(sh, res), stats, nil
+		}
+		return s.knnSlow(sh, res, k, attr, stats, lim)
 	}
-	return s.knnSlowMulti(homes, from, k, attr, stats)
+	return s.knnSlowMulti(homes, from, k, attr, stats, lim)
+}
+
+// sub derives the limits for the next per-shard sub-search: the same
+// context, with whatever budget the nodes already settled (accumulated in
+// stats) leave over. A nil result would mean "unlimited", so an exhausted
+// budget is represented as the smallest positive bound — the sub-search
+// stops on its first pop and reports ErrBudgetExhausted.
+func (s *Session) sub(lim core.Limits, stats *core.QueryStats) core.Limits {
+	if lim.Budget <= 0 {
+		return lim
+	}
+	remaining := lim.Budget - stats.NodesPopped
+	if remaining < 1 {
+		remaining = 1
+	}
+	return core.Limits{Ctx: lim.Ctx, Budget: remaining}
 }
 
 // knnSlow is the cross-shard continuation for a single home shard: the
@@ -182,7 +219,7 @@ func (s *Session) KNN(from graph.NodeID, k int, attr int32) ([]core.Result, core
 // distances). The gateway runs first — if no shard's entry distance
 // beats the local kth bound, the home answer is final without touching
 // the merge machinery (the usual outcome when a border is merely near).
-func (s *Session) knnSlow(sh *Shard, preRes []core.Result, k int, attr int32, stats core.QueryStats) ([]core.Result, core.QueryStats) {
+func (s *Session) knnSlow(sh *Shard, preRes []core.Result, k int, attr int32, stats core.QueryStats, lim core.Limits) ([]core.Result, core.QueryStats, error) {
 	clear(s.gdist)
 	for ln, d := range s.wdist {
 		s.gdist[sh.globalNode[ln]] = d
@@ -191,20 +228,23 @@ func (s *Session) knnSlow(sh *Shard, preRes []core.Result, k int, attr int32, st
 	if len(preRes) >= k {
 		bound = preRes[k-1].Dist
 	}
-	s.gateway(bound, nil)
+	if err := s.gateway(bound, nil, lim); err != nil {
+		stats.Truncated = true
+		return translateInPlace(sh, preRes), stats, err
+	}
 	entries := s.entryOrder()
 	if len(entries) == 0 || entries[0].dist >= bound {
-		return translateInPlace(sh, preRes), stats
+		return translateInPlace(sh, preRes), stats, nil
 	}
 	s.m.reset()
 	s.m.addFrom(sh, preRes)
-	return s.knnFinish(k, attr, stats)
+	return s.knnFinish(k, attr, stats, lim)
 }
 
 // knnSlowMulti handles a query node that is itself a global border:
 // every containing shard is searched with its borders watched, then the
 // merge runs over the combined gateway.
-func (s *Session) knnSlowMulti(homes []ID, from graph.NodeID, k int, attr int32, stats core.QueryStats) ([]core.Result, core.QueryStats) {
+func (s *Session) knnSlowMulti(homes []ID, from graph.NodeID, k int, attr int32, stats core.QueryStats, lim core.Limits) ([]core.Result, core.QueryStats, error) {
 	m := &s.m
 	m.reset()
 	clear(s.gdist)
@@ -212,10 +252,13 @@ func (s *Session) knnSlowMulti(homes []ID, from graph.NodeID, k int, attr int32,
 		sh := s.r.shards[h]
 		sh.homeQueries.Add(1)
 		s.clearWatch()
-		res, st := s.sess[h].SearchSeeded(
-			s.seed1(sh.localNode[from]), attr, k, 0, sh.watch, s.wdist)
+		res, st, err := s.sess[h].SearchSeededLimited(
+			s.seed1(sh.localNode[from]), attr, k, 0, sh.watch, s.wdist, s.sub(lim, &stats))
 		accumulate(&stats, st)
 		m.addFrom(sh, res)
+		if err != nil {
+			return m.take(k), stats, err
+		}
 		for ln, d := range s.wdist {
 			gb := sh.globalNode[ln]
 			if cur, ok := s.gdist[gb]; !ok || d < cur {
@@ -225,17 +268,20 @@ func (s *Session) knnSlowMulti(homes []ID, from graph.NodeID, k int, attr int32,
 	}
 	if len(s.gdist) == 0 {
 		// No border reachable: the merged home answers are final.
-		return m.take(k), stats
+		return m.take(k), stats, nil
 	}
-	s.gateway(m.kth(k), nil)
-	return s.knnFinish(k, attr, stats)
+	if err := s.gateway(m.kth(k), nil, lim); err != nil {
+		stats.Truncated = true
+		return m.take(k), stats, err
+	}
+	return s.knnFinish(k, attr, stats, lim)
 }
 
 // knnFinish runs the merge-bound loop: shards are searched in ascending
 // entry order, each seeded at its borders with their global distances
 // and capped at the current kth-best, until no unexplored shard could
 // still improve the candidate set.
-func (s *Session) knnFinish(k int, attr int32, stats core.QueryStats) ([]core.Result, core.QueryStats) {
+func (s *Session) knnFinish(k int, attr int32, stats core.QueryStats, lim core.Limits) ([]core.Result, core.QueryStats, error) {
 	m := &s.m
 	for _, en := range s.entryOrder() {
 		bound := m.kth(k)
@@ -254,24 +300,34 @@ func (s *Session) knnFinish(k int, attr int32, stats core.QueryStats) ([]core.Re
 			stopAt = bound
 		}
 		sh.remoteEntries.Add(1)
-		res, st := s.sess[en.id].SearchSeeded(seeds, attr, k, stopAt, nil, nil)
+		res, st, err := s.sess[en.id].SearchSeededLimited(seeds, attr, k, stopAt, nil, nil, s.sub(lim, &stats))
 		accumulate(&stats, st)
 		m.addFrom(sh, res)
+		if err != nil {
+			return m.take(k), stats, err
+		}
 	}
-	return m.take(k), stats
+	return m.take(k), stats, nil
 }
 
 // Within answers a cross-shard range query: all objects within the given
 // network distance, closest first. The radius plays the role of the merge
 // bound: shards whose entry distance exceeds it are never searched.
 func (s *Session) Within(from graph.NodeID, radius float64, attr int32) ([]core.Result, core.QueryStats) {
+	res, stats, _ := s.WithinLimited(from, radius, attr, core.Limits{})
+	return res, stats
+}
+
+// WithinLimited is Within under core.Limits; see KNNLimited for the
+// truncation contract.
+func (s *Session) WithinLimited(from graph.NodeID, radius float64, attr int32, lim core.Limits) ([]core.Result, core.QueryStats, error) {
 	var stats core.QueryStats
 	if int(from) < 0 || int(from) >= len(s.r.shardsOf) || !(radius >= 0) {
-		return nil, stats
+		return nil, stats, nil
 	}
 	homes := s.r.shardsOf[from]
 	if len(homes) == 0 {
-		return nil, stats
+		return nil, stats, nil
 	}
 
 	// Fast path, as in KNN — and cheaper: the radius is known up front,
@@ -282,16 +338,19 @@ func (s *Session) Within(from graph.NodeID, radius float64, attr int32) ([]core.
 		sh.homeQueries.Add(1)
 		lf := sh.localNode[from]
 		if sh.borderDist[lf] > radius {
-			res, st := s.sess[homes[0]].SearchSeeded(s.seed1(lf), attr, 0, radius, nil, nil)
+			res, st, err := s.sess[homes[0]].SearchSeededLimited(s.seed1(lf), attr, 0, radius, nil, nil, s.sub(lim, &stats))
 			accumulate(&stats, st)
-			return translateInPlace(sh, res), stats
+			return translateInPlace(sh, res), stats, err
 		}
 		s.clearWatch()
-		res, st := s.sess[homes[0]].SearchSeeded(
-			s.seed1(lf), attr, 0, radius, sh.watch, s.wdist)
+		res, st, err := s.sess[homes[0]].SearchSeededLimited(
+			s.seed1(lf), attr, 0, radius, sh.watch, s.wdist, s.sub(lim, &stats))
 		accumulate(&stats, st)
+		if err != nil {
+			return translateInPlace(sh, res), stats, err
+		}
 		if len(s.wdist) == 0 {
-			return translateInPlace(sh, res), stats
+			return translateInPlace(sh, res), stats, nil
 		}
 		clear(s.gdist)
 		for ln, d := range s.wdist {
@@ -299,13 +358,13 @@ func (s *Session) Within(from graph.NodeID, radius float64, attr int32) ([]core.
 		}
 		s.m.reset()
 		s.m.addFrom(sh, res)
-		return s.withinFinish(radius, attr, stats)
+		return s.withinFinish(radius, attr, stats, lim)
 	}
-	return s.withinSlowMulti(homes, from, radius, attr, stats)
+	return s.withinSlowMulti(homes, from, radius, attr, stats, lim)
 }
 
 // withinSlowMulti is the multi-home (border query node) range path.
-func (s *Session) withinSlowMulti(homes []ID, from graph.NodeID, radius float64, attr int32, stats core.QueryStats) ([]core.Result, core.QueryStats) {
+func (s *Session) withinSlowMulti(homes []ID, from graph.NodeID, radius float64, attr int32, stats core.QueryStats, lim core.Limits) ([]core.Result, core.QueryStats, error) {
 	m := &s.m
 	m.reset()
 	clear(s.gdist)
@@ -313,10 +372,13 @@ func (s *Session) withinSlowMulti(homes []ID, from graph.NodeID, radius float64,
 		sh := s.r.shards[h]
 		sh.homeQueries.Add(1)
 		s.clearWatch()
-		res, st := s.sess[h].SearchSeeded(
-			s.seed1(sh.localNode[from]), attr, 0, radius, sh.watch, s.wdist)
+		res, st, err := s.sess[h].SearchSeededLimited(
+			s.seed1(sh.localNode[from]), attr, 0, radius, sh.watch, s.wdist, s.sub(lim, &stats))
 		accumulate(&stats, st)
 		m.addFrom(sh, res)
+		if err != nil {
+			return m.take(-1), stats, err
+		}
 		for ln, d := range s.wdist {
 			gb := sh.globalNode[ln]
 			if cur, ok := s.gdist[gb]; !ok || d < cur {
@@ -325,16 +387,19 @@ func (s *Session) withinSlowMulti(homes []ID, from graph.NodeID, radius float64,
 		}
 	}
 	if len(s.gdist) == 0 {
-		return m.take(-1), stats
+		return m.take(-1), stats, nil
 	}
-	return s.withinFinish(radius, attr, stats)
+	return s.withinFinish(radius, attr, stats, lim)
 }
 
 // withinFinish expands the range query through the gateway into every
 // shard whose entry distance is within the radius, then merges.
-func (s *Session) withinFinish(radius float64, attr int32, stats core.QueryStats) ([]core.Result, core.QueryStats) {
+func (s *Session) withinFinish(radius float64, attr int32, stats core.QueryStats, lim core.Limits) ([]core.Result, core.QueryStats, error) {
 	m := &s.m
-	s.gateway(radius, nil)
+	if err := s.gateway(radius, nil, lim); err != nil {
+		stats.Truncated = true
+		return m.take(-1), stats, err
+	}
 	for _, en := range s.entryOrder() {
 		if en.dist > radius {
 			break
@@ -345,9 +410,12 @@ func (s *Session) withinFinish(radius float64, attr int32, stats core.QueryStats
 			continue
 		}
 		sh.remoteEntries.Add(1)
-		res, st := s.sess[en.id].SearchSeeded(seeds, attr, 0, radius, nil, nil)
+		res, st, err := s.sess[en.id].SearchSeededLimited(seeds, attr, 0, radius, nil, nil, s.sub(lim, &stats))
 		accumulate(&stats, st)
 		m.addFrom(sh, res)
+		if err != nil {
+			return m.take(-1), stats, err
+		}
 	}
 	// Drop candidates the double-entry merge may have pulled in beyond
 	// the radius (a re-entered home search never can, but stay defensive).
@@ -355,7 +423,7 @@ func (s *Session) withinFinish(radius float64, attr int32, stats core.QueryStats
 	for len(out) > 0 && out[len(out)-1].Dist > radius {
 		out = out[:len(out)-1]
 	}
-	return out, stats
+	return out, stats, nil
 }
 
 // gateway extends s.gdist — seeded with exact distances from the query
@@ -369,7 +437,12 @@ func (s *Session) withinFinish(radius float64, attr int32, stats core.QueryStats
 // When pred is non-nil every relaxation is recorded in it (seed borders
 // get prev == NoNode), so PathTo can reconstruct the border chain;
 // queries pass nil and skip the bookkeeping.
-func (s *Session) gateway(cap float64, pred map[graph.NodeID]gatewayPred) {
+//
+// The gateway graph is tiny next to the shard networks (borders only),
+// but it still honours lim's context so a canceled query cannot stall in
+// a pathological border mesh; the traversal budget does not apply here —
+// gateway pops are border-table lookups, not network-node settlements.
+func (s *Session) gateway(cap float64, pred map[graph.NodeID]gatewayPred, lim core.Limits) error {
 	s.gpq.Reset()
 	for b, d := range s.gdist {
 		s.gpq.Push(b, d)
@@ -377,11 +450,16 @@ func (s *Session) gateway(cap float64, pred map[graph.NodeID]gatewayPred) {
 			pred[b] = gatewayPred{prev: graph.NoNode}
 		}
 	}
+	pops := 0
 	for s.gpq.Len() > 0 {
 		item, _ := s.gpq.Pop()
 		d := item.Priority
 		if d > cap {
 			break
+		}
+		pops++
+		if err := (core.Limits{Ctx: lim.Ctx}).Stop(pops); err != nil {
+			return err
 		}
 		b := item.Value.(graph.NodeID)
 		if d > s.gdist[b] {
@@ -403,6 +481,7 @@ func (s *Session) gateway(cap float64, pred map[graph.NodeID]gatewayPred) {
 			}
 		}
 	}
+	return nil
 }
 
 // shardEntry is a shard's entry distance: the cheapest gateway distance
@@ -488,4 +567,6 @@ func accumulate(dst *core.QueryStats, st core.QueryStats) {
 	dst.NodesPopped += st.NodesPopped
 	dst.RnetsBypassed += st.RnetsBypassed
 	dst.RnetsDescended += st.RnetsDescended
+	dst.ShardsSearched += st.ShardsSearched
+	dst.Truncated = dst.Truncated || st.Truncated
 }

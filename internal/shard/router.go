@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"road/internal/apierr"
 	"road/internal/core"
 	"road/internal/graph"
 	"road/internal/partition"
@@ -210,7 +211,7 @@ func (r *Router) NextEdgeID() graph.EdgeID { return graph.EdgeID(r.g.NumEdges())
 // OwnerOfEdge returns the shard owning a global edge.
 func (r *Router) OwnerOfEdge(ge graph.EdgeID) (*Shard, error) {
 	if ge < 0 || int(ge) >= len(r.edgeShard) || r.edgeShard[ge] < 0 {
-		return nil, fmt.Errorf("shard: edge %d does not exist", ge)
+		return nil, fmt.Errorf("shard: edge %d: %w", ge, apierr.ErrNoSuchEdge)
 	}
 	return r.shards[r.edgeShard[ge]], nil
 }
@@ -219,7 +220,7 @@ func (r *Router) OwnerOfEdge(ge graph.EdgeID) (*Shard, error) {
 func (r *Router) OwnerOfObject(gid graph.ObjectID) (*Shard, error) {
 	id, ok := r.objLoc[gid]
 	if !ok {
-		return nil, fmt.Errorf("shard: object %d not found", gid)
+		return nil, fmt.Errorf("shard: object %d: %w", gid, apierr.ErrNoSuchObject)
 	}
 	return r.shards[id], nil
 }
@@ -230,7 +231,7 @@ func (r *Router) OwnerOfObject(gid graph.ObjectID) (*Shard, error) {
 // change shard boundaries, which are fixed at build time.
 func (r *Router) ShardForNewRoad(u, v graph.NodeID) (*Shard, error) {
 	if int(u) < 0 || int(u) >= len(r.shardsOf) || int(v) < 0 || int(v) >= len(r.shardsOf) {
-		return nil, fmt.Errorf("shard: endpoint out of range (%d,%d)", u, v)
+		return nil, fmt.Errorf("shard: endpoint out of range (%d,%d): %w", u, v, apierr.ErrNoSuchNode)
 	}
 	for _, su := range r.shardsOf[u] {
 		for _, sv := range r.shardsOf[v] {
@@ -239,7 +240,7 @@ func (r *Router) ShardForNewRoad(u, v graph.NodeID) (*Shard, error) {
 			}
 		}
 	}
-	return nil, fmt.Errorf("shard: nodes %d and %d share no shard: cross-shard road additions are not supported", u, v)
+	return nil, fmt.Errorf("shard: nodes %d and %d: cross-shard road additions are not supported: %w", u, v, apierr.ErrCrossShardRoad)
 }
 
 // --- Mutation application ---
@@ -350,7 +351,7 @@ func (r *Router) ApplyOp(id ID, op snapshot.Op, refresh bool) error {
 	case snapshot.OpDeleteObject:
 		lo, ok := s.localObj[op.Object]
 		if !ok {
-			return fmt.Errorf("shard %d: object %d not found", id, op.Object)
+			return fmt.Errorf("shard %d: object %d: %w", id, op.Object, apierr.ErrNoSuchObject)
 		}
 		if err := s.F.DeleteObject(lo); err != nil {
 			return err
@@ -362,7 +363,7 @@ func (r *Router) ApplyOp(id ID, op snapshot.Op, refresh bool) error {
 	case snapshot.OpSetObjectAttr:
 		lo, ok := s.localObj[op.Object]
 		if !ok {
-			return fmt.Errorf("shard %d: object %d not found", id, op.Object)
+			return fmt.Errorf("shard %d: object %d: %w", id, op.Object, apierr.ErrNoSuchObject)
 		}
 		if err := s.F.UpdateObjectAttr(lo, op.Attr); err != nil {
 			return err

@@ -1,28 +1,3 @@
-// Package road is a Go implementation of ROAD — the Route-Overlay /
-// Association-Directory framework for fast object search on road networks
-// (Lee, Lee, Zheng; EDBT 2009).
-//
-// ROAD evaluates location-dependent spatial queries — k-nearest-neighbour
-// and range search over points of interest — on large road networks. The
-// network is recursively partitioned into regional sub-networks (Rnets)
-// augmented with shortcuts (precomputed shortest paths between region
-// border nodes) and object abstracts (summaries of the objects inside each
-// region). A search expands from the query point like Dijkstra, but hops
-// over entire object-free regions via shortcuts instead of crawling them
-// edge by edge.
-//
-// Quick start:
-//
-//	b := road.NewNetworkBuilder()
-//	a := b.AddNode(0, 0)
-//	c := b.AddNode(1, 0)
-//	e, _ := b.AddRoad(a, c, 1.5)
-//	db, _ := road.Open(b, road.Options{})
-//	db.AddObject(e, 0.5, 0)              // a POI mid-road
-//	hits, _ := db.KNN(a, 1, road.AnyAttr)
-//
-// The db separates the network from the objects: road closures, distance
-// (or travel-time) changes and object churn are all incremental.
 package road
 
 import (
@@ -126,6 +101,10 @@ type Options struct {
 // Route Overlay, and a primary object directory.
 type DB struct {
 	f *core.Framework
+
+	// sess is the cached session Query batches run on (single-threaded,
+	// like every DB-level query method); allocated on first use.
+	sess *Session
 
 	// journal, when attached, receives every maintenance op BEFORE it is
 	// applied (write-ahead); baseSeq is the journal sequence number the
@@ -233,12 +212,17 @@ func (db *DB) SetObjectAttr(id ObjectID, attr int32) error {
 
 // KNN returns the k objects with attribute attr (AnyAttr for all) nearest
 // to the given intersection, closest first.
+//
+// Deprecated: use KNNContext, the context-aware, option-driven v1 entry
+// point (see MIGRATION.md). This wrapper stays until the v1 removal PR.
 func (db *DB) KNN(from NodeID, k int, attr int32) ([]Result, Stats) {
 	return db.f.KNN(core.Query{Node: from, Attr: attr}, k)
 }
 
 // Within returns all matching objects within network distance radius of
 // the given intersection, closest first.
+//
+// Deprecated: use WithinContext (see MIGRATION.md).
 func (db *DB) Within(from NodeID, radius float64, attr int32) ([]Result, Stats) {
 	return db.f.Range(core.Query{Node: from, Attr: attr}, radius)
 }
@@ -294,6 +278,8 @@ func (db *DB) Epoch() uint64 { return db.f.Epoch() }
 // intersection to an object, plus its network distance. Requires the DB to
 // have been opened with Options.StorePaths; shortcut hops taken during the
 // search are expanded recursively into physical intersections.
+//
+// Deprecated: use PathToContext (see MIGRATION.md).
 func (db *DB) PathTo(from NodeID, obj ObjectID) ([]NodeID, float64, error) {
 	return db.f.PathTo(core.Query{Node: from}, obj)
 }
@@ -449,24 +435,31 @@ func (db *DB) JournalSizeBytes() int64 {
 // embed it, or apply the same discipline, when serving concurrent
 // traffic.
 type Session struct {
-	s *core.Session
+	s  *core.Session
+	db *DB
 }
 
 // NewSession returns a concurrent query context.
-func (db *DB) NewSession() *Session { return &Session{s: db.f.NewSession()} }
+func (db *DB) NewSession() *Session { return &Session{s: db.f.NewSession(), db: db} }
 
 // KNN is the session variant of DB.KNN.
+//
+// Deprecated: use KNNContext (see MIGRATION.md).
 func (s *Session) KNN(from NodeID, k int, attr int32) ([]Result, Stats) {
 	return s.s.KNN(core.Query{Node: from, Attr: attr}, k)
 }
 
 // Within is the session variant of DB.Within.
+//
+// Deprecated: use WithinContext (see MIGRATION.md).
 func (s *Session) Within(from NodeID, radius float64, attr int32) ([]Result, Stats) {
 	return s.s.Range(core.Query{Node: from, Attr: attr}, radius)
 }
 
 // PathTo is the session variant of DB.PathTo; unlike the DB variant it is
 // safe to call from many sessions concurrently.
+//
+// Deprecated: use PathToContext (see MIGRATION.md).
 func (s *Session) PathTo(from NodeID, obj ObjectID) ([]NodeID, float64, error) {
 	return s.s.PathTo(core.Query{Node: from}, obj)
 }

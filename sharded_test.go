@@ -1,6 +1,7 @@
 package road
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"path/filepath"
@@ -59,11 +60,17 @@ func assertSameResults(t *testing.T, label string, want, got []Result) {
 }
 
 // TestShardedEquivalence is the randomized sharded-vs-monolithic
-// acceptance test: KNN, Within and PathTo through the public API must
-// agree across shard boundaries, before and after maintenance.
+// acceptance test, written ONCE against the road.Store interface: both
+// deployment shapes are driven through identical Store calls — queries
+// via the v1 context API, maintenance via the shared mutation surface —
+// and must agree across shard boundaries, before and after maintenance.
 func TestShardedEquivalence(t *testing.T) {
+	ctx := context.Background()
 	for _, seed := range []int64{3, 17} {
 		db, sdb := shardedPair(t, seed, 320, 60, 4)
+		// The interface IS the suite's surface: mono is the reference
+		// implementation, test the other one against it.
+		var mono, other Store = db, sdb
 		rng := rand.New(rand.NewSource(seed))
 
 		// Query nodes: borders first (cross-shard by construction), then a
@@ -76,18 +83,24 @@ func TestShardedEquivalence(t *testing.T) {
 			}
 		}
 		for i := 0; i < 25; i++ {
-			qnodes = append(qnodes, NodeID(rng.Intn(sdb.NumNodes())))
+			qnodes = append(qnodes, NodeID(rng.Intn(other.NumNodes())))
 		}
 
 		check := func(phase string) {
 			for _, n := range qnodes {
 				for _, k := range []int{1, 4} {
-					want, _ := db.KNN(n, k, AnyAttr)
-					got, _ := sdb.KNN(n, k, AnyAttr)
+					want, _, errA := mono.KNNContext(ctx, NewKNN(n, k))
+					got, _, errB := other.KNNContext(ctx, NewKNN(n, k))
+					if errA != nil || errB != nil {
+						t.Fatalf("%s knn(%d,%d): %v / %v", phase, n, k, errA, errB)
+					}
 					assertSameResults(t, phase+" knn", want, got)
 				}
-				want, _ := db.Within(n, 3.5, AnyAttr)
-				got, _ := sdb.Within(n, 3.5, AnyAttr)
+				want, _, errA := mono.WithinContext(ctx, NewWithin(n, 3.5))
+				got, _, errB := other.WithinContext(ctx, NewWithin(n, 3.5))
+				if errA != nil || errB != nil {
+					t.Fatalf("%s within(%d): %v / %v", phase, n, errA, errB)
+				}
 				assertSameResults(t, phase+" within", want, got)
 			}
 			// PathTo: distances must agree (routes may differ between equal
@@ -95,68 +108,78 @@ func TestShardedEquivalence(t *testing.T) {
 			for i := 0; i < 30; i++ {
 				n := qnodes[rng.Intn(len(qnodes))]
 				obj := ObjectID(rng.Intn(60))
-				wantPath, wantDist, wantErr := db.PathTo(n, obj)
-				gotPath, gotDist, gotErr := sdb.PathTo(n, obj)
+				wantP, _, wantErr := mono.PathToContext(ctx, NewPath(n, obj))
+				gotP, _, gotErr := other.PathToContext(ctx, NewPath(n, obj))
 				if (wantErr == nil) != (gotErr == nil) {
 					t.Fatalf("%s path(%d,%d): err %v vs %v", phase, n, obj, wantErr, gotErr)
 				}
 				if wantErr != nil {
 					continue
 				}
-				if math.Abs(wantDist-gotDist) > 1e-9*math.Max(1, wantDist) {
-					t.Fatalf("%s path(%d,%d): dist %g, want %g", phase, n, obj, gotDist, wantDist)
+				if math.Abs(wantP.Dist-gotP.Dist) > 1e-9*math.Max(1, wantP.Dist) {
+					t.Fatalf("%s path(%d,%d): dist %g, want %g", phase, n, obj, gotP.Dist, wantP.Dist)
 				}
-				if len(wantPath) == 0 || len(gotPath) == 0 {
+				if len(wantP.Nodes) == 0 || len(gotP.Nodes) == 0 {
 					t.Fatalf("%s path(%d,%d): empty route", phase, n, obj)
 				}
-				if gotPath[0] != n {
-					t.Fatalf("%s path(%d,%d): route starts at %d", phase, n, obj, gotPath[0])
+				if gotP.Nodes[0] != n {
+					t.Fatalf("%s path(%d,%d): route starts at %d", phase, n, obj, gotP.Nodes[0])
 				}
+			}
+			// Batched equivalence: the same queries through Store.Query
+			// must match the single-shot answers.
+			reqs := make([]Request, 0, len(qnodes))
+			for _, n := range qnodes {
+				k := NewKNN(n, 4)
+				reqs = append(reqs, Request{KNN: &k})
+			}
+			ansA := mono.Query(ctx, reqs)
+			ansB := other.Query(ctx, reqs)
+			for i := range reqs {
+				if ansA[i].Err != nil || ansB[i].Err != nil {
+					t.Fatalf("%s batch entry %d: %v / %v", phase, i, ansA[i].Err, ansB[i].Err)
+				}
+				assertSameResults(t, phase+" batch", ansA[i].Results, ansB[i].Results)
 			}
 		}
 		check("initial")
 
-		// The same maintenance stream on both: re-weights, closures,
-		// reopenings, object churn — including on border-adjacent edges.
+		// The same maintenance stream on both sides of the interface:
+		// re-weights, closures, reopenings, object churn — including on
+		// border-adjacent edges.
+		mutate := func(label string, op func(s Store) error) {
+			errA := op(mono)
+			errB := op(other)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("%s divergence: %v vs %v", label, errA, errB)
+			}
+		}
 		for i := 0; i < 30; i++ {
-			e := EdgeID(rng.Intn(sdb.NumRoads()))
+			e := EdgeID(rng.Intn(other.NumRoads()))
 			switch rng.Intn(5) {
 			case 0:
 				w := 0.2 + 3*rng.Float64()
-				errA := db.SetRoadDistance(e, w)
-				errB := sdb.SetRoadDistance(e, w)
-				if (errA == nil) != (errB == nil) {
-					t.Fatalf("set-distance divergence on edge %d: %v vs %v", e, errA, errB)
-				}
+				mutate("set-distance", func(s Store) error { return s.SetRoadDistance(e, w) })
 			case 1:
-				errA := db.CloseRoad(e)
-				errB := sdb.CloseRoad(e)
-				if (errA == nil) != (errB == nil) {
-					t.Fatalf("close divergence on edge %d: %v vs %v", e, errA, errB)
-				}
+				mutate("close", func(s Store) error { return s.CloseRoad(e) })
 			case 2:
-				errA := db.ReopenRoad(e)
-				errB := sdb.ReopenRoad(e)
-				if (errA == nil) != (errB == nil) {
-					t.Fatalf("reopen divergence on edge %d: %v vs %v", e, errA, errB)
-				}
+				mutate("reopen", func(s Store) error { return s.ReopenRoad(e) })
 			case 3:
 				off := rng.Float64() * 0.1
-				oA, errA := db.AddObject(e, off, 1)
-				oB, errB := sdb.AddObject(e, off, 1)
-				if (errA == nil) != (errB == nil) {
-					t.Fatalf("insert divergence on edge %d: %v vs %v", e, errA, errB)
-				}
-				if errA == nil && oA.ID != oB.ID {
-					t.Fatalf("insert assigned object %d vs %d", oA.ID, oB.ID)
+				var ids []ObjectID
+				mutate("insert", func(s Store) error {
+					o, err := s.AddObject(e, off, 1)
+					if err == nil {
+						ids = append(ids, o.ID)
+					}
+					return err
+				})
+				if len(ids) == 2 && ids[0] != ids[1] {
+					t.Fatalf("insert assigned object %d vs %d", ids[0], ids[1])
 				}
 			case 4:
 				id := ObjectID(rng.Intn(60))
-				errA := db.RemoveObject(id)
-				errB := sdb.RemoveObject(id)
-				if (errA == nil) != (errB == nil) {
-					t.Fatalf("delete divergence on object %d: %v vs %v", id, errA, errB)
-				}
+				mutate("delete", func(s Store) error { return s.RemoveObject(id) })
 			}
 		}
 		check("after maintenance")

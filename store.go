@@ -1,0 +1,311 @@
+package road
+
+import (
+	"context"
+	"fmt"
+
+	"road/internal/core"
+)
+
+// Store is the v1 contract of one logical ROAD search service: queries,
+// concurrent sessions, maintenance and persistence behind a single,
+// transport-ready interface. Both implementations in this package satisfy
+// it — *DB (one index) and *ShardedDB (K region shards behind a query
+// router) — so serving layers, load generators and tests are written once
+// against the interface and run unchanged over either deployment shape.
+//
+// Query entry points take a context and a typed request struct (built
+// literally, with NewKNN/NewWithin/NewPath, or decoded from JSON) and
+// fail with the package's typed sentinel errors. Cancellation is
+// cooperative: search loops poll the context every few heap pops, abort
+// with ErrCanceled, and return the valid prefix settled so far with
+// Stats.Truncated set.
+//
+// The Store's own query methods are single-threaded conveniences, like
+// the methods on the concrete types; concurrent callers take one Querier
+// per goroutine from OpenSession. Mutations must not overlap queries —
+// the internal/server coordinator enforces exactly that when serving.
+type Store interface {
+	Querier
+
+	// Query answers a batch on one session, amortizing session and epoch
+	// acquisition: every Response carries the same Epoch, observed once.
+	// Per-entry failures land in Response.Err; the batch itself never
+	// fails.
+	Query(ctx context.Context, reqs []Request) []Response
+
+	// OpenSession returns an independent concurrent read context. Any
+	// number of sessions may query in parallel; none may overlap with
+	// mutations on this Store.
+	OpenSession() Querier
+
+	// Mutations (write-ahead journaled when a journal is attached).
+	AddObject(e EdgeID, offset float64, attr int32) (Object, error)
+	RemoveObject(id ObjectID) error
+	SetObjectAttr(id ObjectID, attr int32) error
+	SetRoadDistance(e EdgeID, dist float64) error
+	AddRoad(u, v NodeID, dist float64) (EdgeID, error)
+	CloseRoad(e EdgeID) error
+	ReopenRoad(e EdgeID) error
+
+	// WarmAfterMutation re-materializes lazily-rebuilt read-path state
+	// (shortcut trees) while readers are still excluded; serving layers
+	// call it after every mutation, even a failed one — partial mutations
+	// invalidate too.
+	WarmAfterMutation()
+
+	// Introspection.
+	NumNodes() int
+	NumRoads() int
+	NumObjects() int
+	IndexSizeBytes() int64
+	JournalSeq() uint64
+	JournalSizeBytes() int64
+
+	// Persistence. Save snapshots the store to path — one file for a DB,
+	// per-shard files plus a manifest under the path prefix for a
+	// ShardedDB — and CompactJournal rotates the attached journal(s),
+	// dropping entries the latest snapshot already covers. Both must run
+	// with mutations and readers excluded.
+	Save(path string) error
+	CompactJournal() error
+}
+
+// Querier is one read context of a Store: the context-aware query surface
+// shared by the Store itself (single-threaded convenience) and its
+// sessions (one per concurrent reader).
+type Querier interface {
+	// KNNContext answers a k-nearest-neighbour request. On ErrCanceled /
+	// ErrBudgetExhausted the returned prefix is valid and
+	// Stats.Truncated is set.
+	KNNContext(ctx context.Context, req KNNRequest) ([]Result, Stats, error)
+	// WithinContext answers a range request, closest first.
+	WithinContext(ctx context.Context, req WithinRequest) ([]Result, Stats, error)
+	// PathToContext answers a detailed-route request.
+	PathToContext(ctx context.Context, req PathRequest) (Path, Stats, error)
+	// Epoch returns the store's maintenance epoch as seen by this read
+	// context — the cache-invalidation fence.
+	Epoch() uint64
+}
+
+// Path is a detailed route: the physical intersections walked, and the
+// network distance including the final offset along the object's road.
+type Path struct {
+	Nodes []NodeID `json:"nodes"`
+	Dist  float64  `json:"dist"`
+}
+
+// Compile-time interface assertions: the v1 acceptance contract.
+var (
+	_ Store   = (*DB)(nil)
+	_ Store   = (*ShardedDB)(nil)
+	_ Querier = (*Session)(nil)
+	_ Querier = (*ShardedSession)(nil)
+)
+
+// searchLimits folds a request context and budget into core.Limits. A
+// context that can never be canceled (Background, TODO) is dropped so the
+// hot loop skips the poll entirely.
+func searchLimits(ctx context.Context, budget int) core.Limits {
+	lim := core.Limits{Budget: budget}
+	if ctx != nil && ctx.Done() != nil {
+		lim.Ctx = ctx
+	}
+	return lim
+}
+
+// --- DB: single-index Store implementation ---
+
+// NumNodes returns the number of intersections in the network.
+func (db *DB) NumNodes() int { return db.f.Graph().NumNodes() }
+
+// NumRoads returns the number of road segments (including closed ones).
+func (db *DB) NumRoads() int { return db.f.Graph().NumEdges() }
+
+// NumObjects returns the number of live objects.
+func (db *DB) NumObjects() int { return db.f.Objects().Len() }
+
+// KNNContext answers a kNN request on the DB's own (single-threaded)
+// read context, with full I/O simulation like DB.KNN.
+func (db *DB) KNNContext(ctx context.Context, req KNNRequest) ([]Result, Stats, error) {
+	if err := validateKNN(req, db.NumNodes()); err != nil {
+		return nil, Stats{}, err
+	}
+	return db.f.KNNLimited(core.Query{Node: req.From, Attr: req.Attr}, req.K, req.MaxRadius, searchLimits(ctx, req.Budget))
+}
+
+// WithinContext answers a range request; see KNNContext.
+func (db *DB) WithinContext(ctx context.Context, req WithinRequest) ([]Result, Stats, error) {
+	if err := validateWithin(req, db.NumNodes()); err != nil {
+		return nil, Stats{}, err
+	}
+	return db.f.RangeLimited(core.Query{Node: req.From, Attr: req.Attr}, req.Radius, searchLimits(ctx, req.Budget))
+}
+
+// PathToContext answers a detailed-route request; see KNNContext.
+// Requires Options.StorePaths (ErrPathsNotStored otherwise).
+func (db *DB) PathToContext(ctx context.Context, req PathRequest) (Path, Stats, error) {
+	if err := validatePath(req, db.NumNodes()); err != nil {
+		return Path{}, Stats{}, err
+	}
+	nodes, dist, stats, err := db.f.PathToLimited(core.Query{Node: req.From, Attr: req.Attr}, req.Object, searchLimits(ctx, req.Budget))
+	return Path{Nodes: nodes, Dist: dist}, stats, err
+}
+
+// Query answers a batch on the DB's cached batch session (allocated on
+// first use, reused afterwards — the amortization the entry point is
+// for). Like all DB-level query methods it is single-threaded; concurrent
+// batches go through OpenSession + RunBatch.
+func (db *DB) Query(ctx context.Context, reqs []Request) []Response {
+	if db.sess == nil {
+		db.sess = db.NewSession()
+	}
+	return RunBatch(ctx, db.sess, reqs)
+}
+
+// OpenSession returns a concurrent read context as a Querier (the
+// interface form of NewSession).
+func (db *DB) OpenSession() Querier { return db.NewSession() }
+
+// WarmAfterMutation re-materializes invalidated shortcut trees; see
+// Store.WarmAfterMutation.
+func (db *DB) WarmAfterMutation() { db.f.WarmTrees() }
+
+// Save atomically snapshots the DB to path (Store.Save; the file form of
+// SaveSnapshot).
+func (db *DB) Save(path string) error { return db.SaveSnapshotFile(path) }
+
+// --- Session: single-index Querier implementation ---
+
+// KNNContext is the session variant of DB.KNNContext (no I/O simulation,
+// safe for any number of concurrent sessions).
+func (s *Session) KNNContext(ctx context.Context, req KNNRequest) ([]Result, Stats, error) {
+	if err := validateKNN(req, s.db.NumNodes()); err != nil {
+		return nil, Stats{}, err
+	}
+	return s.s.KNNLimited(core.Query{Node: req.From, Attr: req.Attr}, req.K, req.MaxRadius, searchLimits(ctx, req.Budget))
+}
+
+// WithinContext is the session variant of DB.WithinContext.
+func (s *Session) WithinContext(ctx context.Context, req WithinRequest) ([]Result, Stats, error) {
+	if err := validateWithin(req, s.db.NumNodes()); err != nil {
+		return nil, Stats{}, err
+	}
+	return s.s.RangeLimited(core.Query{Node: req.From, Attr: req.Attr}, req.Radius, searchLimits(ctx, req.Budget))
+}
+
+// PathToContext is the session variant of DB.PathToContext.
+func (s *Session) PathToContext(ctx context.Context, req PathRequest) (Path, Stats, error) {
+	if err := validatePath(req, s.db.NumNodes()); err != nil {
+		return Path{}, Stats{}, err
+	}
+	nodes, dist, stats, err := s.s.PathToLimited(core.Query{Node: req.From, Attr: req.Attr}, req.Object, searchLimits(ctx, req.Budget))
+	return Path{Nodes: nodes, Dist: dist}, stats, err
+}
+
+// --- ShardedDB: sharded Store implementation ---
+
+// KNNContext answers a kNN request across shards. MaxRadius is honoured
+// by truncating the merged answer (the single-index search applies it
+// inside the expansion; results are identical).
+func (db *ShardedDB) KNNContext(ctx context.Context, req KNNRequest) ([]Result, Stats, error) {
+	if err := validateKNN(req, db.NumNodes()); err != nil {
+		return nil, Stats{}, err
+	}
+	res, stats, err := db.session().KNNLimited(req.From, req.K, req.Attr, searchLimits(ctx, req.Budget))
+	return clampByRadius(res, req.MaxRadius), stats, err
+}
+
+// WithinContext answers a range request across shards.
+func (db *ShardedDB) WithinContext(ctx context.Context, req WithinRequest) ([]Result, Stats, error) {
+	if err := validateWithin(req, db.NumNodes()); err != nil {
+		return nil, Stats{}, err
+	}
+	return db.session().WithinLimited(req.From, req.Radius, req.Attr, searchLimits(ctx, req.Budget))
+}
+
+// PathToContext answers a detailed-route request across shards (no
+// StorePaths needed; legs are recomputed per shard).
+func (db *ShardedDB) PathToContext(ctx context.Context, req PathRequest) (Path, Stats, error) {
+	if err := validatePath(req, db.NumNodes()); err != nil {
+		return Path{}, Stats{}, err
+	}
+	if err := db.checkPathAttr(req); err != nil {
+		return Path{}, Stats{}, err
+	}
+	nodes, dist, stats, err := db.session().PathToLimited(req.From, req.Object, searchLimits(ctx, req.Budget))
+	return Path{Nodes: nodes, Dist: dist}, stats, err
+}
+
+// checkPathAttr enforces PathRequest.Attr, which the single-index path
+// search checks internally but the shard router (attribute-agnostic by
+// design) does not.
+func (db *ShardedDB) checkPathAttr(req PathRequest) error {
+	if req.Attr == 0 {
+		return nil
+	}
+	o, ok := db.r.Object(req.Object)
+	if !ok {
+		return fmt.Errorf("road: object %d: %w", req.Object, ErrNoSuchObject)
+	}
+	if o.Attr != req.Attr {
+		return fmt.Errorf("road: object %d does not match attribute %d: %w", req.Object, req.Attr, ErrAttrMismatch)
+	}
+	return nil
+}
+
+// Query answers a batch on the ShardedDB's cached session; see DB.Query.
+func (db *ShardedDB) Query(ctx context.Context, reqs []Request) []Response {
+	return RunBatch(ctx, db.storeSession(), reqs)
+}
+
+// storeSession wraps the DB-level cached shard session as a Querier.
+func (db *ShardedDB) storeSession() *ShardedSession {
+	return &ShardedSession{s: db.session(), db: db}
+}
+
+// OpenSession returns a concurrent cross-shard read context as a Querier.
+func (db *ShardedDB) OpenSession() Querier { return db.NewSession() }
+
+// WarmAfterMutation re-materializes invalidated shortcut trees in every
+// shard; see Store.WarmAfterMutation.
+func (db *ShardedDB) WarmAfterMutation() { db.r.WarmTrees() }
+
+// Save persists the sharded store under the path prefix (Store.Save; the
+// interface form of SaveSnapshotFiles).
+func (db *ShardedDB) Save(path string) error { return db.SaveSnapshotFiles(path) }
+
+// CompactJournal rotates every attached shard journal (Store.CompactJournal;
+// the interface form of CompactJournals).
+func (db *ShardedDB) CompactJournal() error { return db.CompactJournals() }
+
+// --- ShardedSession: sharded Querier implementation ---
+
+// KNNContext is the session variant of ShardedDB.KNNContext.
+func (s *ShardedSession) KNNContext(ctx context.Context, req KNNRequest) ([]Result, Stats, error) {
+	if err := validateKNN(req, s.db.NumNodes()); err != nil {
+		return nil, Stats{}, err
+	}
+	res, stats, err := s.s.KNNLimited(req.From, req.K, req.Attr, searchLimits(ctx, req.Budget))
+	return clampByRadius(res, req.MaxRadius), stats, err
+}
+
+// WithinContext is the session variant of ShardedDB.WithinContext.
+func (s *ShardedSession) WithinContext(ctx context.Context, req WithinRequest) ([]Result, Stats, error) {
+	if err := validateWithin(req, s.db.NumNodes()); err != nil {
+		return nil, Stats{}, err
+	}
+	return s.s.WithinLimited(req.From, req.Radius, req.Attr, searchLimits(ctx, req.Budget))
+}
+
+// PathToContext is the session variant of ShardedDB.PathToContext.
+func (s *ShardedSession) PathToContext(ctx context.Context, req PathRequest) (Path, Stats, error) {
+	if err := validatePath(req, s.db.NumNodes()); err != nil {
+		return Path{}, Stats{}, err
+	}
+	if err := s.db.checkPathAttr(req); err != nil {
+		return Path{}, Stats{}, err
+	}
+	nodes, dist, stats, err := s.s.PathToLimited(req.From, req.Object, searchLimits(ctx, req.Budget))
+	return Path{Nodes: nodes, Dist: dist}, stats, err
+}
