@@ -53,8 +53,35 @@ func main() {
 		snapshotM = flag.Bool("snapshot", false, "benchmark snapshot save/load against a cold index build on the default CA network")
 
 		shardsM = flag.Int("shards", 0, "benchmark sharded serving (this many region shards) against single-index serving on the CA network -> BENCH_shard.json")
+
+		maintainM = flag.Bool("maintain", false, "benchmark incremental border-table maintenance (filter-and-refresh) against whole-shard rebuild under a mixed read/write load on the CA network -> BENCH_maintain.json")
+		mutations = flag.Int("mutations", 120, "maintain mode: network mutations per side")
 	)
 	flag.Parse()
+
+	if *maintainM {
+		outPath := *out
+		if outPath == "" {
+			outPath = "BENCH_maintain.json"
+		}
+		// Like -shards, maintenance cost is a scaling story: default to
+		// the full CA network unless -scale is given explicitly.
+		maintainScale := 1.0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" {
+				maintainScale = *scale
+			}
+		})
+		maintainShards := 4
+		if *shardsM > 1 {
+			maintainShards = *shardsM
+		}
+		if err := runMaintainBench(maintainScale, *objects, *concurrency, *mutations, maintainShards, outPath); err != nil {
+			fmt.Fprintln(os.Stderr, "roadbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *shardsM > 1 {
 		outPath := *out

@@ -1,0 +1,309 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"road/internal/core"
+	"road/internal/dataset"
+	"road/internal/graph"
+	"road/internal/shard"
+	"road/internal/snapshot"
+)
+
+// maintainSide is one deployment's half of BENCH_maintain.json: the pure
+// cost of its border-table maintenance (quiet phase, no readers), then
+// the same maintenance interleaved with reader traffic and the read
+// throughput sustained while that mixed stream ran — mutation latency
+// under load includes lock wait, which is the serving-facing number.
+type maintainSide struct {
+	QuietMeanUS float64 `json:"quiet_maint_mean_us"`
+	QuietP50US  int64   `json:"quiet_maint_p50_us"`
+	QuietP99US  int64   `json:"quiet_maint_p99_us"`
+
+	MaintMeanUS  float64 `json:"maint_mean_us"`
+	MaintP50US   int64   `json:"maint_p50_us"`
+	MaintP99US   int64   `json:"maint_p99_us"`
+	MaintTotalMS float64 `json:"maint_total_ms"`
+	Reads        int64   `json:"reads"`
+	ReadQPS      float64 `json:"read_qps"`
+	Seconds      float64 `json:"seconds"`
+}
+
+// maintainBenchResult is the schema of BENCH_maintain.json: an identical
+// mixed read/write workload driven at two sharded routers over the same
+// network — one maintaining border tables incrementally
+// (filter-and-refresh, §5.2), one rebuilding them whole-shard per
+// mutation (the pre-incremental behaviour, kept as a baseline).
+type maintainBenchResult struct {
+	GeneratedUnix int64   `json:"generated_unix"`
+	Network       string  `json:"network"`
+	Scale         float64 `json:"scale"`
+	Nodes         int     `json:"nodes"`
+	Edges         int     `json:"edges"`
+	Objects       int     `json:"objects"`
+	Shards        int     `json:"shards"`
+	Borders       int     `json:"borders"`
+	Mutations     int     `json:"mutations"`
+	Readers       int     `json:"readers"`
+
+	Incremental maintainSide `json:"incremental"`
+	FullRebuild maintainSide `json:"full_rebuild"`
+
+	// QuietMaintSpeedup is full-rebuild mean maintenance latency over
+	// incremental mean with no concurrent readers: the pure §5.2
+	// filter-and-refresh win.
+	QuietMaintSpeedup float64 `json:"quiet_maint_speedup"`
+	// MaintSpeedup is the same ratio under the mixed read/write load
+	// (includes lock wait; > 1 means filter-and-refresh wins end to end).
+	MaintSpeedup float64 `json:"maint_speedup"`
+	// ReadSpeedup is incremental read QPS over full-rebuild read QPS
+	// under the same write load (> 1 means readers stall less).
+	ReadSpeedup float64 `json:"read_speedup"`
+	// Verified confirms both routers answered a query sample identically
+	// after the identical mutation streams.
+	Verified bool `json:"verified"`
+}
+
+// recordedOp is one network mutation of the shared stream, addressed to
+// its owning shard in journal form — replayable verbatim on the second
+// router because both start from identical builds.
+type recordedOp struct {
+	sid shard.ID
+	op  snapshot.Op
+}
+
+// runMaintainBench builds the scaled CA network twice behind identical
+// shard routers — incremental vs whole-shard border refresh — drives the
+// same mutation stream through each while reader goroutines hammer
+// queries, verifies the two still answer identically, and writes the
+// comparison to outPath.
+func runMaintainBench(scale float64, objects, readers, mutations, shards int, outPath string) error {
+	spec := dataset.Scaled(dataset.CA(), scale)
+	fmt.Printf("maintain bench: generating %s ×%.2f (%d nodes)...\n", spec.Name, scale, spec.Nodes)
+	g := dataset.MustGenerate(spec)
+	set := dataset.PlaceUniform(g, objects, 1, 0, 1, 2, 3)
+	gFull := g.Clone()
+	setFull := set.Clone(gFull)
+
+	build := func(g2 *graph.Graph, s2 *graph.ObjectSet, full bool) (*shard.Router, error) {
+		return shard.Build(g2, s2, shard.Options{
+			Shards:      shards,
+			Seed:        1,
+			Core:        core.Config{BufferPages: -1},
+			FullRefresh: full,
+		})
+	}
+	incr, err := build(g, set, false)
+	if err != nil {
+		return err
+	}
+	full, err := build(gFull, setFull, true)
+	if err != nil {
+		return err
+	}
+	borders := 0
+	for _, info := range incr.Infos() {
+		borders += info.Borders
+	}
+	fmt.Printf("maintain bench: %d shards, %d border incidences, %d mutations, %d readers\n",
+		shards, borders, mutations, readers)
+
+	// The mutation stream is generated once, against the incremental
+	// router's evolving state, and recorded; the full-rebuild router
+	// replays it verbatim. Mix: re-weights (the §5.2 update event),
+	// closures and reopenings.
+	var script []recordedOp
+	gen := func(r *shard.Router, rng *rand.Rand) (shard.ID, snapshot.Op, bool) {
+		ge := graph.EdgeID(rng.Intn(r.Graph().NumEdges()))
+		removed := r.Graph().Edge(ge).Removed
+		var sid shard.ID
+		var op snapshot.Op
+		var err error
+		switch rng.Intn(4) {
+		case 0, 1: // re-weight
+			if removed {
+				return 0, snapshot.Op{}, false
+			}
+			sid, op, err = r.EncodeSetDistance(ge, 0.05+rng.Float64()*4)
+		case 2: // close
+			if removed {
+				return 0, snapshot.Op{}, false
+			}
+			sid, op, err = r.EncodeClose(ge)
+		default: // reopen
+			if !removed {
+				return 0, snapshot.Op{}, false
+			}
+			sid, op, err = r.EncodeReopen(ge)
+		}
+		return sid, op, err == nil
+	}
+
+	diam := g.EstimateDiameter()
+
+	// runStream drives one mutation stream at r: either generating it
+	// fresh (replay nil; the ops are recorded and returned) or replaying
+	// a recorded one verbatim. With quiet set there are no readers and no
+	// pacing — pure maintenance cost; otherwise reader goroutines hammer
+	// queries while mutations are paced across a ~2s window, so the two
+	// sides' different write-stall scopes show up as a read-throughput
+	// difference rather than vanishing into a burst.
+	runStream := func(r *shard.Router, replay []recordedOp, quiet bool) ([]time.Duration, []recordedOp, int64, float64) {
+		var stop atomic.Bool
+		var reads atomic.Int64
+		var wg sync.WaitGroup
+		gap := time.Duration(0)
+		if !quiet {
+			gap = 2 * time.Second / time.Duration(mutations)
+			for w := 0; w < readers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					sess := r.NewSession()
+					for !stop.Load() {
+						n := graph.NodeID(rng.Intn(r.Graph().NumNodes()))
+						if rng.Intn(2) == 0 {
+							sess.KNN(n, 5, 0)
+						} else {
+							sess.Within(n, diam*0.02, 0)
+						}
+						reads.Add(1)
+					}
+				}(int64(w) + 7)
+			}
+		}
+
+		seed := int64(42)
+		if quiet {
+			seed = 41 // quiet and mixed phases draw disjoint op streams
+		}
+		rng := rand.New(rand.NewSource(seed))
+		lat := make([]time.Duration, 0, mutations)
+		var recorded []recordedOp
+		start := time.Now()
+		for done := 0; done < mutations; {
+			var sid shard.ID
+			var op snapshot.Op
+			if replay != nil {
+				sid, op = replay[done].sid, replay[done].op
+			} else {
+				var ok bool
+				sid, op, ok = gen(r, rng)
+				if !ok {
+					continue
+				}
+				recorded = append(recorded, recordedOp{sid, op})
+			}
+			t0 := time.Now()
+			r.Mutate(
+				func() (shard.ID, snapshot.Op, error) { return sid, op, nil },
+				func(id shard.ID, o snapshot.Op) error { return r.ApplyOp(id, o, true) },
+			)
+			lat = append(lat, time.Since(t0))
+			done++
+			if gap > 0 {
+				time.Sleep(gap)
+			}
+		}
+		seconds := time.Since(start).Seconds()
+		stop.Store(true)
+		wg.Wait()
+		return lat, recorded, reads.Load(), seconds
+	}
+
+	stats := func(lat []time.Duration) (mean float64, p50, p99 int64, totalMS float64) {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		var total time.Duration
+		for _, d := range lat {
+			total += d
+		}
+		return float64(total.Microseconds()) / float64(len(lat)),
+			lat[len(lat)/2].Microseconds(),
+			lat[len(lat)*99/100].Microseconds(),
+			float64(total.Microseconds()) / 1000
+	}
+
+	measure := func(label string, r *shard.Router, quietReplay, mixedReplay []recordedOp) (maintainSide, []recordedOp, []recordedOp) {
+		var side maintainSide
+		qlat, qRecorded, _, _ := runStream(r, quietReplay, true)
+		side.QuietMeanUS, side.QuietP50US, side.QuietP99US, _ = stats(qlat)
+		mlat, mRecorded, reads, seconds := runStream(r, mixedReplay, false)
+		side.MaintMeanUS, side.MaintP50US, side.MaintP99US, side.MaintTotalMS = stats(mlat)
+		side.Reads = reads
+		side.Seconds = seconds
+		side.ReadQPS = float64(reads) / seconds
+		fmt.Printf("maintain bench: %-12s quiet mean %8.0fµs  mixed mean %8.0fµs  p99 %8dµs  reads %8d (%8.0f qps)\n",
+			label, side.QuietMeanUS, side.MaintMeanUS, side.MaintP99US, side.Reads, side.ReadQPS)
+		return side, qRecorded, mRecorded
+	}
+
+	incrSide, quietScript, mixedScript := measure("incremental", incr, nil, nil)
+	script = mixedScript
+	fullSide, _, _ := measure("full-rebuild", full, quietScript, script)
+
+	// Verification: identical mutation streams must leave identical
+	// answers (the incremental tables are exact, not approximate).
+	verified := true
+	sessI, sessF := incr.NewSession(), full.NewSession()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200 && verified; i++ {
+		n := graph.NodeID(rng.Intn(g.NumNodes()))
+		want, _ := sessF.KNN(n, 5, 0)
+		got, _ := sessI.KNN(n, 5, 0)
+		if len(want) != len(got) {
+			verified = false
+			break
+		}
+		for j := range want {
+			// Distances must agree rank-for-rank (IDs may swap only
+			// inside equal-distance ties, which this check admits).
+			if math.Abs(want[j].Dist-got[j].Dist) > 1e-9*math.Max(1, want[j].Dist) {
+				verified = false
+			}
+		}
+	}
+	if !verified {
+		return fmt.Errorf("incremental router diverged from full-rebuild router after identical mutations")
+	}
+	fmt.Println("maintain bench: verified incremental answers match whole-shard rebuild")
+
+	result := maintainBenchResult{
+		GeneratedUnix: time.Now().Unix(),
+		Network:       spec.Name,
+		Scale:         scale,
+		Nodes:         g.NumNodes(),
+		Edges:         g.NumEdges(),
+		Objects:       objects,
+		Shards:        shards,
+		Borders:       borders,
+		Mutations:     mutations,
+		Readers:       readers,
+		Incremental:   incrSide,
+		FullRebuild:   fullSide,
+		Verified:      verified,
+	}
+	if incrSide.QuietMeanUS > 0 {
+		result.QuietMaintSpeedup = fullSide.QuietMeanUS / incrSide.QuietMeanUS
+	}
+	if incrSide.MaintMeanUS > 0 {
+		result.MaintSpeedup = fullSide.MaintMeanUS / incrSide.MaintMeanUS
+	}
+	if fullSide.ReadQPS > 0 {
+		result.ReadSpeedup = incrSide.ReadQPS / fullSide.ReadQPS
+	}
+	fmt.Printf("maintain bench: maintenance ×%.1f faster quiet, ×%.1f under load; reads ×%.2f under write load\n",
+		result.QuietMaintSpeedup, result.MaintSpeedup, result.ReadSpeedup)
+
+	if err := writeJSONFile(outPath, result); err != nil {
+		return err
+	}
+	fmt.Printf("maintain bench: wrote %s\n", outPath)
+	return nil
+}

@@ -47,8 +47,8 @@
 //	GET  /stats
 //	GET  /healthz
 //
-// On SIGTERM/SIGINT a -snapshot daemon persists a final snapshot (under
-// the write lock, so it is epoch-consistent) before exiting. Every
+// On SIGTERM/SIGINT a -snapshot daemon persists a final snapshot (with
+// the store quiesced, so it is epoch-consistent) before exiting. Every
 // successful snapshot save also rotates the journal(s), dropping entries
 // the snapshot already includes.
 package main
@@ -275,7 +275,7 @@ func setupSingle(cfg config) (*server.Server, func() int64, func() error, error)
 			if err := db.Save(cfg.snapPath); err != nil {
 				return 0, err
 			}
-			// Rotate right after the save, under the same write lock: the
+			// Rotate right after the save, under the same exclusion: the
 			// dropped entries are exactly the ones the snapshot includes.
 			if err := db.CompactJournal(); err != nil {
 				return 0, fmt.Errorf("rotating journal: %w", err)

@@ -45,14 +45,19 @@
 //	w := road.NewWithin(c, 1.0)
 //	answers := db.Query(ctx, []road.Request{{KNN: &k}, {Within: &w}})
 //
-// Concurrent readers take one Querier each from Store.OpenSession; the
-// library does no locking between queries and maintenance (the
-// internal/server subsystem, command roadd, layers an epoch-guarded
-// coordinator on top when serving traffic).
+// Concurrent readers take one Querier each from Store.OpenSession. A DB
+// does no locking between queries and maintenance (the internal/server
+// subsystem, command roadd, layers an epoch-guarded coordinator on top
+// when serving traffic); a ShardedDB synchronizes internally — it
+// satisfies Synchronized — with per-shard write locks, so queries and
+// mutations may overlap and a mutation stalls only readers of the one
+// shard it touches.
 //
 // The store separates the network from the objects: road closures,
-// distance (or travel-time) changes and object churn are all incremental,
-// and snapshots plus a write-ahead journal (Save, CompactJournal,
+// distance (or travel-time) changes and object churn are all incremental
+// — a ShardedDB repairs the touched shard's border distance tables with
+// the paper's §5.2 filter-and-refresh technique rather than rebuilding
+// them — and snapshots plus a write-ahead journal (Save, CompactJournal,
 // OpenSnapshotFile, ReplayJournal) make restarts O(load) instead of
 // O(build).
 //

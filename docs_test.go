@@ -1,0 +1,92 @@
+package road_test
+
+import (
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// TestExportedSymbolsDocumented enforces the documentation contract of
+// the public package: every exported type, function, method, and
+// const/var group in package road carries a doc comment. It is the
+// test-shaped half of the CI docs-lint step (gofmt + staticcheck
+// ST-class checks cover formatting and comment form; this covers
+// presence, which staticcheck does not).
+func TestExportedSymbolsDocumented(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["road"]
+	if !ok {
+		t.Fatalf("package road not found; parsed %v", pkgs)
+	}
+	d := doc.New(pkg, "road", 0)
+
+	var missing []string
+	requireDoc := func(kind, name, docText string) {
+		if !ast.IsExported(name) {
+			return
+		}
+		if strings.TrimSpace(docText) == "" {
+			missing = append(missing, kind+" "+name)
+		}
+	}
+	for _, f := range d.Funcs {
+		requireDoc("func", f.Name, f.Doc)
+	}
+	for _, typ := range d.Types {
+		requireDoc("type", typ.Name, typ.Doc)
+		for _, f := range typ.Funcs {
+			requireDoc("func", f.Name, f.Doc)
+		}
+		for _, m := range typ.Methods {
+			requireDoc("method", typ.Name+"."+m.Name, m.Doc)
+		}
+		for _, grp := range append(append([]*doc.Value(nil), typ.Consts...), typ.Vars...) {
+			for _, name := range grp.Names {
+				requireDoc("value", name, grp.Doc+declDoc(grp.Decl, name))
+			}
+		}
+	}
+	for _, grp := range append(append([]*doc.Value(nil), d.Consts...), d.Vars...) {
+		for _, name := range grp.Names {
+			requireDoc("value", name, grp.Doc+declDoc(grp.Decl, name))
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("exported symbols without doc comments:\n  %s", strings.Join(missing, "\n  "))
+	}
+}
+
+// declDoc returns the per-spec doc or line comment of one name inside a
+// grouped const/var declaration, so a documented group member counts
+// even when the group itself has no doc block.
+func declDoc(decl *ast.GenDecl, name string) string {
+	for _, spec := range decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, n := range vs.Names {
+			if n.Name == name {
+				var out string
+				if vs.Doc != nil {
+					out += vs.Doc.Text()
+				}
+				if vs.Comment != nil {
+					out += vs.Comment.Text()
+				}
+				return out
+			}
+		}
+	}
+	return ""
+}

@@ -72,6 +72,46 @@ func Example_within() {
 	// object 1 at 2.5
 }
 
+// Example_maintenance drives network maintenance through the road.Store
+// interface — the same calls work on a DB and a ShardedDB (where each
+// mutation repairs the owning shard's border tables incrementally and
+// stalls only that shard's readers): a road closure reroutes queries at
+// once, reopening restores them, and every successful mutation advances
+// the epoch fence that invalidates derived state.
+func Example_maintenance() {
+	db, nodes, edges := buildTown()
+	ctx := context.Background()
+	var store road.Store = db
+	epoch0 := store.Epoch()
+
+	nearestCafe := func(label string) {
+		hits, _, err := store.KNNContext(ctx, road.NewKNN(nodes[3], 1, road.WithAttr(1)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: café %d at distance %.1f\n", label, hits[0].Object.ID, hits[0].Dist)
+	}
+
+	nearestCafe("before")
+	if err := store.CloseRoad(edges[3]); err != nil { // the block toward the far-end café
+		log.Fatal(err)
+	}
+	nearestCafe("road closed")
+	fmt.Printf("closed roads reject re-weighting: %v\n",
+		errors.Is(store.SetRoadDistance(edges[3], 2), road.ErrEdgeClosed))
+	if err := store.ReopenRoad(edges[3]); err != nil {
+		log.Fatal(err)
+	}
+	nearestCafe("reopened")
+	fmt.Printf("epoch advanced by %d\n", store.Epoch()-epoch0)
+	// Output:
+	// before: café 2 at distance 1.5
+	// road closed: café 0 at distance 2.5
+	// closed roads reject re-weighting: true
+	// reopened: café 2 at distance 1.5
+	// epoch advanced by 2
+}
+
 // Example_batch answers several requests on one session at one epoch —
 // the amortized entry point load generators and the HTTP layer use.
 func Example_batch() {

@@ -67,11 +67,65 @@ func buildGrid(t *testing.T, n int) (*road.DB, []road.EdgeID, []road.ObjectID) {
 func TestConcurrentQueriesAndMaintenance(t *testing.T) {
 	const gridSide = 6
 	db, edges, objs := buildGrid(t, gridSide)
-	srv := New(db, Options{CacheSize: 128})
+	runMaintenanceStorm(t, db, gridSide*gridSide, edges, objs)
+}
+
+// TestConcurrentQueriesAndMaintenanceSharded is the same storm over a
+// road.ShardedDB — which the server runs WITHOUT its store-wide lock
+// (road.Synchronized): queries synchronize against mutations through the
+// router's per-shard write locks, and with -race this verifies that
+// locking end to end, incremental border-table refresh included.
+func TestConcurrentQueriesAndMaintenanceSharded(t *testing.T) {
+	const gridSide = 8
+	b := road.NewNetworkBuilder()
+	ids := make([][]road.NodeID, gridSide)
+	for i := 0; i < gridSide; i++ {
+		ids[i] = make([]road.NodeID, gridSide)
+		for j := 0; j < gridSide; j++ {
+			ids[i][j] = b.AddNode(float64(i), float64(j))
+		}
+	}
+	var edges []road.EdgeID
+	for i := 0; i < gridSide; i++ {
+		for j := 0; j < gridSide; j++ {
+			if i+1 < gridSide {
+				e, err := b.AddRoad(ids[i][j], ids[i+1][j], 1+0.1*float64((i+j)%3))
+				if err != nil {
+					t.Fatal(err)
+				}
+				edges = append(edges, e)
+			}
+			if j+1 < gridSide {
+				e, err := b.AddRoad(ids[i][j], ids[i][j+1], 1+0.1*float64((i*j)%3))
+				if err != nil {
+					t.Fatal(err)
+				}
+				edges = append(edges, e)
+			}
+		}
+	}
+	sdb, err := road.OpenSharded(b, road.Options{Seed: 42}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var objs []road.ObjectID
+	for i := 0; i < gridSide; i++ {
+		o, err := sdb.AddObject(edges[(i*13)%len(edges)], 0.3, int32(i%3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, o.ID)
+	}
+	runMaintenanceStorm(t, sdb, gridSide*gridSide, edges, objs)
+}
+
+// runMaintenanceStorm drives concurrent reads and mutations at a served
+// store and checks the system still answers afterwards.
+func runMaintenanceStorm(t *testing.T, store road.Store, numNodes int, edges []road.EdgeID, objs []road.ObjectID) {
+	t.Helper()
+	srv := New(store, Options{CacheSize: 128})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-
-	numNodes := gridSide * gridSide
 	do := func(t *testing.T, method, path string, body any) int {
 		var (
 			resp *http.Response

@@ -43,9 +43,12 @@ type Options struct {
 // Server serves one road.Store — a single-index road.DB or a sharded
 // road.ShardedDB, the two deployment shapes behind the same interface —
 // over HTTP/JSON. Reads (kNN, within, path, batch) run concurrently on
-// pooled sessions under the Coordinator's read lock; maintenance runs
-// exclusively under its write lock and implicitly invalidates the result
-// cache by advancing the store epoch.
+// pooled sessions; maintenance implicitly invalidates the result cache
+// by advancing the store epoch. How reads and maintenance exclude each
+// other depends on the store: a road.DB is guarded by the Coordinator's
+// store-wide reader/writer lock, while a road.Synchronized store
+// (road.ShardedDB) locks internally per shard, so a mutation stalls only
+// the readers of the shard it touches.
 type Server struct {
 	b        road.Store
 	coord    *Coordinator
@@ -73,10 +76,16 @@ type Server struct {
 
 // New wires a serving subsystem around any road.Store: an opened
 // single-index road.DB, a road.ShardedDB, or any other implementation.
+// Stores that synchronize internally (road.Synchronized) are served
+// without the store-wide reader/writer lock.
 func New(store road.Store, opts Options) *Server {
+	coord := NewCoordinator(store.Epoch)
+	if synced, ok := store.(road.Synchronized); ok {
+		coord = NewSelfCoordinated(store.Epoch, synced.Exclusive)
+	}
 	s := &Server{
 		b:        store,
-		coord:    NewCoordinator(store.Epoch),
+		coord:    coord,
 		pool:     NewSessionPool(store, opts.MaxIdleSessions),
 		snapshot: opts.SnapshotSave,
 		timeout:  opts.QueryTimeout,
@@ -134,15 +143,16 @@ func (s *Server) Handler() http.Handler {
 }
 
 // TakeSnapshot persists the index through the configured SnapshotSave
-// callback under the write lock, returning the epoch and journal sequence
-// the image captured and the number of snapshot bytes written. It is the
-// engine behind /admin/snapshot, roadd's snapshot-on-SIGTERM and the
+// callback with the whole store quiesced (Coordinator.Exclusive),
+// returning the epoch and journal sequence the image captured and the
+// number of snapshot bytes written. It is the engine behind
+// /admin/snapshot, roadd's snapshot-on-SIGTERM and the
 // -journal-max-bytes auto-snapshot trigger.
 func (s *Server) TakeSnapshot() (epoch, seq uint64, bytes int64, err error) {
 	if s.snapshot == nil {
 		return 0, 0, 0, fmt.Errorf("snapshot persistence not configured (start roadd with -snapshot)")
 	}
-	epoch, err = s.coord.Write(func() error {
+	epoch, err = s.coord.Exclusive(func() error {
 		seq = s.b.JournalSeq()
 		var serr error
 		bytes, serr = s.snapshot()
@@ -341,14 +351,18 @@ func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
 // probe, pooled-session execution on miss, cache fill — all at one
 // consistent epoch. cacheable excludes budget-limited answers (their
 // truncation point is caller-specific, so they must not be shared), and
-// truncated answers are never cached either.
+// truncated answers are never cached either. For self-coordinated stores
+// a mutation may complete mid-query; the answer is still valid (it was
+// correct at the observed epoch), but it is only admitted to the cache
+// when Read reports the epoch stayed stable across the execution.
 func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, key CacheKey, cacheable bool, run func(context.Context, road.Querier) ([]road.Result, road.Stats, error)) {
 	start := time.Now()
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
 	var resp QueryResponse
 	var queryErr error
-	s.coord.Read(func(epoch uint64) {
+	var fill *CachedAnswer
+	stable := s.coord.Read(func(epoch uint64) {
 		resp.Epoch = epoch
 		if cacheable && s.cache != nil {
 			if ans, ok := s.cache.Get(key, epoch); ok {
@@ -367,7 +381,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, key CacheKey
 		}
 		s.recordStats(st)
 		if cacheable && s.cache != nil && !st.Truncated {
-			s.cache.Put(key, epoch, CachedAnswer{Results: res, Stats: st})
+			fill = &CachedAnswer{Results: res, Stats: st}
 		}
 		resp.Results = resultsJSON(res)
 		resp.Stats = statsJSON(st)
@@ -375,6 +389,9 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, key CacheKey
 	if queryErr != nil {
 		s.writeQueryErr(w, queryErr)
 		return
+	}
+	if fill != nil && stable {
+		s.cache.Put(key, resp.Epoch, *fill)
 	}
 	resp.Node = key.Node
 	resp.ElapsedUS = time.Since(start).Microseconds()
@@ -479,8 +496,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// maintenance wraps one mutation op in body decoding, the write lock and
-// the acknowledgement envelope.
+// maintenance wraps one mutation op in body decoding, the coordinator's
+// write path (a store-wide lock for road.DB; the store's own per-shard
+// locks for a road.Synchronized store) and the acknowledgement envelope.
 func (s *Server) maintenance(op func(*MaintenanceRequest, *MaintenanceResponse) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var req MaintenanceRequest
@@ -497,7 +515,8 @@ func (s *Server) maintenance(op func(*MaintenanceRequest, *MaintenanceResponse) 
 			// Re-materialize any shortcut trees the mutation invalidated
 			// while readers are still excluded — even on error, a partial
 			// mutation may have invalidated some — so concurrent sessions
-			// never trigger a lazy rebuild.
+			// never trigger a lazy rebuild. (A no-op for internally
+			// synchronized stores, which re-warm under their own locks.)
 			s.b.WarmAfterMutation()
 			return opErr
 		})
@@ -513,7 +532,9 @@ func (s *Server) maintenance(op func(*MaintenanceRequest, *MaintenanceResponse) 
 
 // checkEdge guards the trust boundary: edge IDs index dense arrays in
 // the graph layer, which panics on out-of-range IDs rather than erroring.
-// Must run under the coordination lock (it reads the edge count).
+// Runs inside the coordinator's write path, where the edge count is
+// stable (NumRoads is itself safe against concurrent mutations on
+// self-coordinated stores).
 func (s *Server) checkEdge(e road.EdgeID) error {
 	if int(e) < 0 || int(e) >= s.b.NumRoads() {
 		return fmt.Errorf("edge %d does not exist: %w", e, road.ErrNoSuchEdge)

@@ -36,7 +36,17 @@ func (s *Session) PathTo(from graph.NodeID, gid graph.ObjectID) ([]graph.NodeID,
 // Dijkstra leg, and ShardsSearched counts the shard graphs those legs ran
 // on — the same metrics a single-index path query reports, which the
 // plain PathTo predates and drops.
+//
+// Locking: a route can thread any subset of shards (head leg, gateway
+// hops, tail leg), so the whole query runs under the whole-router read
+// view — mutations anywhere are excluded for its duration.
 func (s *Session) PathToLimited(from graph.NodeID, gid graph.ObjectID, lim core.Limits) ([]graph.NodeID, float64, core.QueryStats, error) {
+	s.r.rlockAll()
+	defer s.r.runlockAll()
+	return s.pathToLocked(from, gid, lim)
+}
+
+func (s *Session) pathToLocked(from graph.NodeID, gid graph.ObjectID, lim core.Limits) ([]graph.NodeID, float64, core.QueryStats, error) {
 	var stats core.QueryStats
 	target, err := s.r.OwnerOfObject(gid)
 	if err != nil {

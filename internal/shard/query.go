@@ -11,8 +11,12 @@ import (
 
 // Session is a read-only cross-shard query context: one core.Session per
 // shard plus the gateway scratch state. Any number of Sessions may query
-// concurrently; none may overlap with Router mutations (the serving
-// layer's coordinator enforces this, exactly as for a single framework).
+// concurrently, and queries may overlap Router mutations: each query
+// synchronizes itself against them with the router's per-shard read
+// locks (home shard only on the nearest-border fast path, all shards on
+// the cross-shard path), so a mutation stalls only readers of its own
+// shard plus cross-shard readers. One Session still serves one goroutine
+// at a time — its scratch state is not shared.
 type Session struct {
 	r       *Router
 	sess    []*core.Session
@@ -25,11 +29,16 @@ type Session struct {
 	oneSeed []core.Seed     // single-seed scratch for home searches
 }
 
-// NewSession returns an independent concurrent query context.
+// NewSession returns an independent concurrent query context. Safe to
+// call while other sessions query and mutations run: each shard's
+// session is constructed under that shard's read lock (the first
+// construction per framework materializes shortcut trees).
 func (r *Router) NewSession() *Session {
 	sess := make([]*core.Session, len(r.shards))
 	for i, s := range r.shards {
+		r.shardMu[i].RLock()
 		sess[i] = s.F.NewSession()
+		r.shardMu[i].RUnlock()
 	}
 	return &Session{
 		r:     r,
@@ -138,6 +147,15 @@ func (s *Session) KNN(from graph.NodeID, k int, attr int32) ([]core.Result, core
 // nodes settled across all shards the query touches. On truncation the
 // candidates merged so far are returned (a valid, possibly incomplete,
 // subset) with Stats.Truncated set.
+//
+// Locking: the query first tries the nearest-border fast path under the
+// home shard's read lock alone; only when cross-shard machinery is
+// needed does it take the whole-router read view — at which point it
+// reruns the home search from scratch, because a mutation may have
+// slipped into the home shard between the two views. The nodes the
+// discarded fast attempt settled are carried into the locked phase's
+// stats, so the traversal budget caps the query's TOTAL work and
+// NodesPopped reports it.
 func (s *Session) KNNLimited(from graph.NodeID, k int, attr int32, lim core.Limits) ([]core.Result, core.QueryStats, error) {
 	var stats core.QueryStats
 	if k <= 0 || int(from) < 0 || int(from) >= len(s.r.shardsOf) {
@@ -147,55 +165,96 @@ func (s *Session) KNNLimited(from graph.NodeID, k int, attr int32, lim core.Limi
 	if len(homes) == 0 {
 		return nil, stats, nil // isolated intersection: nothing is reachable
 	}
-
-	// Fast path: one home shard whose nearest border lies at or beyond
-	// the local kth result — the vast majority of queries on well-cut
-	// shards. The plain (unwatched) local search is then globally final:
-	// any path to another shard passes a border, so every foreign object
-	// is at least the nearest-border distance away. The result is already
-	// distance-sorted and freshly allocated; translate in place and hand
-	// it out without touching the watch or merge machinery.
+	carried := 0
 	if len(homes) == 1 {
-		sh := s.r.shards[homes[0]]
-		sh.homeQueries.Add(1)
-		lf := sh.localNode[from]
-		res, st, err := s.sess[homes[0]].SearchSeededLimited(s.seed1(lf), attr, k, 0, nil, nil, s.sub(lim, &stats))
-		accumulate(&stats, st)
-		if err != nil {
-			return translateInPlace(sh, res), stats, err
+		s.r.shardMu[homes[0]].RLock()
+		res, st, err, final := s.knnFast(homes[0], from, k, attr, lim)
+		s.r.shardMu[homes[0]].RUnlock()
+		if final {
+			return res, st, err
 		}
-		if len(res) >= k && sh.borderDist[lf] >= res[k-1].Dist {
-			return translateInPlace(sh, res), stats, nil
-		}
-		// A border may be closer than the kth result: re-run watched and
-		// capped just above the known kth distance, purely to learn the
-		// exact border distances the gateway needs. The margin matters:
-		// the watched expansion can reach the same object over descended
-		// edges instead of shortcuts, summing to a distance one ulp above
-		// the plain search's — a strict cap could clip it mid-search. The
-		// plain result stays the authoritative local answer.
-		stopAt := 0.0
-		if len(res) >= k {
-			stopAt = res[k-1].Dist * (1 + 1e-12)
-		}
-		s.clearWatch()
-		_, st, err = s.sess[homes[0]].SearchSeededLimited(
-			s.seed1(lf), attr, k, stopAt, sh.watch, s.wdist, s.sub(lim, &stats))
-		accumulate(&stats, st)
-		// The watched re-run revisits the SAME home shard (its pops are
-		// real cost and stay counted); only distinct shards entered count
-		// toward ShardsSearched, so a query that never leaves its home
-		// shard reports 1.
-		stats.ShardsSearched--
-		if err != nil {
-			return translateInPlace(sh, res), stats, err
-		}
-		if len(s.wdist) == 0 {
-			return translateInPlace(sh, res), stats, nil
-		}
-		return s.knnSlow(sh, res, k, attr, stats, lim)
+		carried = st.NodesPopped
+	}
+	s.r.rlockAll()
+	defer s.r.runlockAll()
+	if len(homes) == 1 {
+		return s.knnHomeLocked(homes[0], from, k, attr, lim, carried)
 	}
 	return s.knnSlowMulti(homes, from, k, attr, stats, lim)
+}
+
+// knnFast is the nearest-border fast path, runnable under the home
+// shard's read lock alone: one home shard whose nearest border lies at
+// or beyond the local kth result — the vast majority of queries on
+// well-cut shards. The plain (unwatched) local search is then globally
+// final: any path to another shard passes a border, so every foreign
+// object is at least the nearest-border distance away — a bound that
+// depends only on this shard's network, which the held lock keeps
+// stable. final is also true on error (the partial prefix is the
+// answer); when false the caller escalates to the cross-shard path.
+func (s *Session) knnFast(h ID, from graph.NodeID, k int, attr int32, lim core.Limits) ([]core.Result, core.QueryStats, error, bool) {
+	var stats core.QueryStats
+	sh := s.r.shards[h]
+	sh.homeQueries.Add(1)
+	lf := sh.localNode[from]
+	res, st, err := s.sess[h].SearchSeededLimited(s.seed1(lf), attr, k, 0, nil, nil, s.sub(lim, &stats))
+	accumulate(&stats, st)
+	if err != nil {
+		return translateInPlace(sh, res), stats, err, true
+	}
+	if len(res) >= k && sh.borderDist[lf] >= res[k-1].Dist {
+		return translateInPlace(sh, res), stats, nil, true
+	}
+	return nil, stats, nil, false
+}
+
+// knnHomeLocked is the single-home cross-shard path, run under the
+// whole-router read view: plain home search (rerun — the fast attempt's
+// result may predate a home-shard mutation), the fast-path check again
+// (a mutation may have made it final), then the watched re-run and the
+// gateway machinery. carried is the node count the discarded fast
+// attempt settled: folded into stats up front so the budget spans both
+// phases.
+func (s *Session) knnHomeLocked(h ID, from graph.NodeID, k int, attr int32, lim core.Limits, carried int) ([]core.Result, core.QueryStats, error) {
+	var stats core.QueryStats
+	stats.NodesPopped = carried
+	sh := s.r.shards[h]
+	lf := sh.localNode[from]
+	res, st, err := s.sess[h].SearchSeededLimited(s.seed1(lf), attr, k, 0, nil, nil, s.sub(lim, &stats))
+	accumulate(&stats, st)
+	if err != nil {
+		return translateInPlace(sh, res), stats, err
+	}
+	if len(res) >= k && sh.borderDist[lf] >= res[k-1].Dist {
+		return translateInPlace(sh, res), stats, nil
+	}
+	// A border may be closer than the kth result: re-run watched and
+	// capped just above the known kth distance, purely to learn the
+	// exact border distances the gateway needs. The margin matters:
+	// the watched expansion can reach the same object over descended
+	// edges instead of shortcuts, summing to a distance one ulp above
+	// the plain search's — a strict cap could clip it mid-search. The
+	// plain result stays the authoritative local answer.
+	stopAt := 0.0
+	if len(res) >= k {
+		stopAt = res[k-1].Dist * (1 + 1e-12)
+	}
+	s.clearWatch()
+	_, st, err = s.sess[h].SearchSeededLimited(
+		s.seed1(lf), attr, k, stopAt, sh.watch, s.wdist, s.sub(lim, &stats))
+	accumulate(&stats, st)
+	// The watched re-run revisits the SAME home shard (its pops are
+	// real cost and stay counted); only distinct shards entered count
+	// toward ShardsSearched, so a query that never leaves its home
+	// shard reports 1.
+	stats.ShardsSearched--
+	if err != nil {
+		return translateInPlace(sh, res), stats, err
+	}
+	if len(s.wdist) == 0 {
+		return translateInPlace(sh, res), stats, nil
+	}
+	return s.knnSlow(sh, res, k, attr, stats, lim)
 }
 
 // sub derives the limits for the next per-shard sub-search: the same
@@ -319,7 +378,10 @@ func (s *Session) Within(from graph.NodeID, radius float64, attr int32) ([]core.
 }
 
 // WithinLimited is Within under core.Limits; see KNNLimited for the
-// truncation contract.
+// truncation contract and the two-phase locking scheme. Range queries
+// escalate more cheaply than kNN: the radius is known up front, so the
+// fast-path attempt is a single nearest-border array lookup — no search
+// is wasted when the query must go cross-shard.
 func (s *Session) WithinLimited(from graph.NodeID, radius float64, attr int32, lim core.Limits) ([]core.Result, core.QueryStats, error) {
 	var stats core.QueryStats
 	if int(from) < 0 || int(from) >= len(s.r.shardsOf) || !(radius >= 0) {
@@ -329,38 +391,70 @@ func (s *Session) WithinLimited(from graph.NodeID, radius float64, attr int32, l
 	if len(homes) == 0 {
 		return nil, stats, nil
 	}
-
-	// Fast path, as in KNN — and cheaper: the radius is known up front,
-	// so a query whose shard-local nearest border lies beyond it never
-	// needs the watch at all.
 	if len(homes) == 1 {
-		sh := s.r.shards[homes[0]]
-		sh.homeQueries.Add(1)
-		lf := sh.localNode[from]
-		if sh.borderDist[lf] > radius {
-			res, st, err := s.sess[homes[0]].SearchSeededLimited(s.seed1(lf), attr, 0, radius, nil, nil, s.sub(lim, &stats))
-			accumulate(&stats, st)
-			return translateInPlace(sh, res), stats, err
+		s.r.shardMu[homes[0]].RLock()
+		res, st, err, final := s.withinFast(homes[0], from, radius, attr, lim)
+		s.r.shardMu[homes[0]].RUnlock()
+		if final {
+			return res, st, err
 		}
-		s.clearWatch()
-		res, st, err := s.sess[homes[0]].SearchSeededLimited(
-			s.seed1(lf), attr, 0, radius, sh.watch, s.wdist, s.sub(lim, &stats))
-		accumulate(&stats, st)
-		if err != nil {
-			return translateInPlace(sh, res), stats, err
-		}
-		if len(s.wdist) == 0 {
-			return translateInPlace(sh, res), stats, nil
-		}
-		clear(s.gdist)
-		for ln, d := range s.wdist {
-			s.gdist[sh.globalNode[ln]] = d
-		}
-		s.m.reset()
-		s.m.addFrom(sh, res)
-		return s.withinFinish(radius, attr, stats, lim)
+	}
+	s.r.rlockAll()
+	defer s.r.runlockAll()
+	if len(homes) == 1 {
+		return s.withinHomeLocked(homes[0], from, radius, attr, lim)
 	}
 	return s.withinSlowMulti(homes, from, radius, attr, stats, lim)
+}
+
+// withinFast answers a range query under the home shard's read lock
+// alone when the shard-local nearest border lies beyond the radius — no
+// path can leave the shard within range, so the plain bounded search is
+// globally final.
+func (s *Session) withinFast(h ID, from graph.NodeID, radius float64, attr int32, lim core.Limits) ([]core.Result, core.QueryStats, error, bool) {
+	var stats core.QueryStats
+	sh := s.r.shards[h]
+	lf := sh.localNode[from]
+	if sh.borderDist[lf] <= radius {
+		return nil, stats, nil, false
+	}
+	sh.homeQueries.Add(1)
+	res, st, err := s.sess[h].SearchSeededLimited(s.seed1(lf), attr, 0, radius, nil, nil, s.sub(lim, &stats))
+	accumulate(&stats, st)
+	return translateInPlace(sh, res), stats, err, true
+}
+
+// withinHomeLocked is the single-home range path under the whole-router
+// read view; the nearest-border check is retried first, since a
+// mutation between the two lock phases may have pushed the borders out
+// of range.
+func (s *Session) withinHomeLocked(h ID, from graph.NodeID, radius float64, attr int32, lim core.Limits) ([]core.Result, core.QueryStats, error) {
+	var stats core.QueryStats
+	sh := s.r.shards[h]
+	sh.homeQueries.Add(1)
+	lf := sh.localNode[from]
+	if sh.borderDist[lf] > radius {
+		res, st, err := s.sess[h].SearchSeededLimited(s.seed1(lf), attr, 0, radius, nil, nil, s.sub(lim, &stats))
+		accumulate(&stats, st)
+		return translateInPlace(sh, res), stats, err
+	}
+	s.clearWatch()
+	res, st, err := s.sess[h].SearchSeededLimited(
+		s.seed1(lf), attr, 0, radius, sh.watch, s.wdist, s.sub(lim, &stats))
+	accumulate(&stats, st)
+	if err != nil {
+		return translateInPlace(sh, res), stats, err
+	}
+	if len(s.wdist) == 0 {
+		return translateInPlace(sh, res), stats, nil
+	}
+	clear(s.gdist)
+	for ln, d := range s.wdist {
+		s.gdist[sh.globalNode[ln]] = d
+	}
+	s.m.reset()
+	s.m.addFrom(sh, res)
+	return s.withinFinish(radius, attr, stats, lim)
 }
 
 // withinSlowMulti is the multi-home (border query node) range path.

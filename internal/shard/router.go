@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"road/internal/apierr"
 	"road/internal/core"
@@ -32,25 +33,51 @@ type Options struct {
 	// Core configures each shard's framework. A zero Rnet config resolves
 	// per-shard defaults sized to that shard's node count.
 	Core core.Config
+	// FullRefresh disables incremental border-table maintenance: every
+	// network mutation rebuilds the owning shard's whole border table
+	// and nearest-border array, the pre-§5.2 behaviour. Kept only as the
+	// baseline roadbench -maintain measures the incremental path against.
+	FullRefresh bool
 }
 
 // Router owns K region shards over one road network and dispatches
 // queries and maintenance to them. Queries run on Sessions (any number
-// concurrently); mutations must be excluded from queries by the caller,
-// exactly like the single-framework contract (roadd's coordinator does
-// this).
+// concurrently) and mutations go through Mutate; the two are
+// synchronized internally with per-shard write locks, so a mutation
+// excludes only readers of its own shard (plus cross-shard readers,
+// which hold every shard's read lock) — readers of the other K-1 shards
+// proceed concurrently. See DESIGN.md, "Per-shard locking".
 type Router struct {
 	g      *graph.Graph // global network mirror (IDs + topology bookkeeping)
 	shards []*Shard
 
+	// Locking (fixed acquisition order, outermost first):
+	//
+	//	writeMu → shardMu[i] (ascending when several) → metaMu
+	//
+	// writeMu serializes mutations and whole-router exclusion, so at
+	// most one shard write lock is ever contended at a time and ID
+	// allocation (NextEdgeID, nextObj) is atomic with the apply.
+	// shardMu[i] excludes shard i's readers from its active mutation;
+	// the query fast path holds only the home shard's read lock, the
+	// cross-shard path holds all of them. metaMu guards the
+	// router-global bookkeeping every shard shares (the g mirror,
+	// edgeShard, objLoc, nextObj); it is a leaf lock — nothing is
+	// acquired while holding it.
+	writeMu sync.Mutex
+	shardMu []sync.RWMutex
+	metaMu  sync.RWMutex
+
 	// shardsOf maps a global node to the shards containing it: nil for
 	// edge-less nodes, one entry for interior nodes, several for borders.
+	// Immutable after build (node sets are fixed), so queries read it
+	// without locks.
 	shardsOf [][]ID
-	// edgeShard maps a global edge to its owning shard.
+	// edgeShard maps a global edge to its owning shard (metaMu).
 	edgeShard []ID
 
-	// objLoc locates every live object: global ID -> owning shard.
-	// Local IDs are resolved through the shard's own maps.
+	// objLoc locates every live object: global ID -> owning shard
+	// (metaMu). Local IDs are resolved through the shard's own maps.
 	objLoc  map[graph.ObjectID]ID
 	nextObj graph.ObjectID
 
@@ -111,6 +138,7 @@ func Build(g *graph.Graph, objects *graph.ObjectSet, opt Options) (*Router, erro
 	r := &Router{
 		g:         g,
 		shards:    make([]*Shard, 0, opt.Shards),
+		shardMu:   make([]sync.RWMutex, opt.Shards),
 		edgeShard: make([]ID, g.NumEdges()),
 		objLoc:    make(map[graph.ObjectID]ID, objects.Len()),
 		nextObj:   objects.NextID(),
@@ -126,6 +154,7 @@ func Build(g *graph.Graph, objects *graph.ObjectSet, opt Options) (*Router, erro
 		if err != nil {
 			return nil, err
 		}
+		s.fullRefresh = opt.FullRefresh
 		r.shards = append(r.shards, s)
 		for _, ge := range part {
 			r.edgeShard[ge] = id
@@ -160,7 +189,9 @@ func (r *Router) wireTopology() {
 
 // Graph returns the global network mirror. Its topology and IDs are
 // authoritative; edge weights are kept in sync on the live mutation path
-// (queries never read them — they run on the shard graphs).
+// (queries never read them — they run on the shard graphs). The caller
+// must not use it concurrently with mutations; the concurrency-safe
+// counters are NumEdges and NumObjects.
 func (r *Router) Graph() *graph.Graph { return r.g }
 
 // NumShards returns the number of shards.
@@ -169,8 +200,90 @@ func (r *Router) NumShards() int { return len(r.shards) }
 // Shard returns shard id.
 func (r *Router) Shard(id ID) *Shard { return r.shards[id] }
 
-// NumObjects returns the number of live objects across all shards.
-func (r *Router) NumObjects() int { return len(r.objLoc) }
+// NumObjects returns the number of live objects across all shards. Safe
+// to call concurrently with queries and mutations.
+func (r *Router) NumObjects() int {
+	r.metaMu.RLock()
+	defer r.metaMu.RUnlock()
+	return len(r.objLoc)
+}
+
+// NumEdges returns the global road-segment count, including closed
+// segments. Safe to call concurrently with queries and mutations.
+func (r *Router) NumEdges() int {
+	r.metaMu.RLock()
+	defer r.metaMu.RUnlock()
+	return r.g.NumEdges()
+}
+
+// --- Locking ---
+
+// mutateMeta runs fn under the global-bookkeeping write lock. Called
+// only from the mutation path (inside Mutate's critical section).
+func (r *Router) mutateMeta(fn func()) {
+	r.metaMu.Lock()
+	fn()
+	r.metaMu.Unlock()
+}
+
+// rlockAll / runlockAll bracket a cross-shard read view: every shard's
+// read lock, ascending. A mutation anywhere is excluded for its
+// duration, so the gateway tables and all shard frameworks are one
+// consistent snapshot.
+func (r *Router) rlockAll() {
+	for i := range r.shardMu {
+		r.shardMu[i].RLock()
+	}
+}
+
+func (r *Router) runlockAll() {
+	for i := range r.shardMu {
+		r.shardMu[i].RUnlock()
+	}
+}
+
+// Mutate runs one mutation: encode resolves it to an owning shard and a
+// journal-ready op under the router's mutation lock (so ID allocation is
+// atomic with the apply), then apply runs under that shard's write lock
+// — excluding only readers of that shard, which is the whole point of
+// per-shard locking. The encoded op is returned even on failure so
+// callers can report the IDs it allocated.
+func (r *Router) Mutate(encode func() (ID, snapshot.Op, error), apply func(ID, snapshot.Op) error) (snapshot.Op, error) {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	sid, op, err := encode()
+	if err != nil {
+		return op, err
+	}
+	r.shardMu[sid].Lock()
+	defer r.shardMu[sid].Unlock()
+	if err := apply(sid, op); err != nil {
+		// Even a failed op can have invalidated shortcut trees (a road
+		// addition whose global mirror rejected it, say); re-materialize
+		// before this shard's readers resume.
+		r.shards[sid].F.WarmTrees()
+		return op, err
+	}
+	return op, nil
+}
+
+// Exclusive runs fn with the mutation lock and every shard's write lock
+// held: queries and mutations are fully excluded, giving fn one
+// consistent view of the whole router — the contract snapshot saves
+// need.
+func (r *Router) Exclusive(fn func() error) error {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	for i := range r.shardMu {
+		r.shardMu[i].Lock()
+	}
+	defer func() {
+		for i := range r.shardMu {
+			r.shardMu[i].Unlock()
+		}
+	}()
+	return fn()
+}
 
 // Epoch returns the router's maintenance epoch: the sum of the shard
 // frameworks' epochs. Every successful mutation bumps exactly one shard,
@@ -184,18 +297,22 @@ func (r *Router) Epoch() uint64 {
 	return sum
 }
 
-// IndexSizeBytes sums the shard frameworks' index sizes.
+// IndexSizeBytes sums the shard frameworks' index sizes. Safe to call
+// concurrently with queries and mutations (per-shard read locks).
 func (r *Router) IndexSizeBytes() int64 {
 	var sum int64
-	for _, s := range r.shards {
+	for i, s := range r.shards {
+		r.shardMu[i].RLock()
 		sum += s.F.IndexSizeBytes()
+		r.shardMu[i].RUnlock()
 	}
 	return sum
 }
 
-// WarmTrees re-materializes invalidated shortcut trees in every shard,
-// so concurrent sessions never trigger a lazy rebuild. Call after each
-// mutation while readers are still excluded (cheap when little changed).
+// WarmTrees re-materializes invalidated shortcut trees in every shard.
+// Single-threaded bulk use only (after build or journal replay, before
+// serving): the live mutation path re-warms the mutated shard itself,
+// under its write lock.
 func (r *Router) WarmTrees() {
 	for _, s := range r.shards {
 		s.F.WarmTrees()
@@ -218,7 +335,9 @@ func (r *Router) OwnerOfEdge(ge graph.EdgeID) (*Shard, error) {
 
 // OwnerOfObject returns the shard holding a global object.
 func (r *Router) OwnerOfObject(gid graph.ObjectID) (*Shard, error) {
+	r.metaMu.RLock()
 	id, ok := r.objLoc[gid]
+	r.metaMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("shard: object %d: %w", gid, apierr.ErrNoSuchObject)
 	}
@@ -271,37 +390,43 @@ func (r *Router) ApplyOp(id ID, op snapshot.Op, refresh bool) error {
 		}
 		return nil
 	}
-	network := false  // weights or topology changed: border tables stale
-	topology := false // topology changed: watch sets stale too
+	network := false // weights or topology changed: derived routing state stale
+	var chg netChange
 	switch op.Kind {
 	case snapshot.OpSetDistance:
 		if err := checkEdge(op.Edge); err != nil {
 			return err
 		}
+		ed := s.F.Graph().Edge(op.Edge)
 		if _, err := s.F.SetEdgeWeight(op.Edge, op.Value); err != nil {
 			return err
 		}
-		r.g.SetWeight(s.globalEdge[op.Edge], op.Value)
+		r.mutateMeta(func() { r.g.SetWeight(s.globalEdge[op.Edge], op.Value) })
 		network = true
+		chg = netChange{u: ed.U, v: ed.V, edge: op.Edge, wOld: ed.Weight, wNew: op.Value}
 
 	case snapshot.OpClose:
 		if err := checkEdge(op.Edge); err != nil {
 			return err
 		}
+		ed := s.F.Graph().Edge(op.Edge)
 		// The framework drops objects on the edge; drop their global
 		// identities alongside.
 		doomed := s.F.Objects().OnEdge(op.Edge)
 		if _, err := s.F.DeleteEdge(op.Edge); err != nil {
 			return err
 		}
-		for _, lo := range doomed {
-			gid := s.globalObj[lo]
-			delete(r.objLoc, gid)
-			delete(s.localObj, gid)
-			s.globalObj[lo] = -1
-		}
-		r.g.RemoveEdge(s.globalEdge[op.Edge])
-		network, topology = true, true
+		r.mutateMeta(func() {
+			for _, lo := range doomed {
+				gid := s.globalObj[lo]
+				delete(r.objLoc, gid)
+				delete(s.localObj, gid)
+				s.globalObj[lo] = -1
+			}
+			r.g.RemoveEdge(s.globalEdge[op.Edge])
+		})
+		network = true
+		chg = netChange{u: ed.U, v: ed.V, edge: op.Edge, wOld: ed.Weight, wNew: inf, topology: true}
 
 	case snapshot.OpReopen:
 		if err := checkEdge(op.Edge); err != nil {
@@ -310,25 +435,34 @@ func (r *Router) ApplyOp(id ID, op snapshot.Op, refresh bool) error {
 		if _, err := s.F.RestoreEdge(op.Edge); err != nil {
 			return err
 		}
-		r.g.RestoreEdge(s.globalEdge[op.Edge])
-		network, topology = true, true
+		r.mutateMeta(func() { r.g.RestoreEdge(s.globalEdge[op.Edge]) })
+		network = true
+		ed := s.F.Graph().Edge(op.Edge)
+		chg = netChange{u: ed.U, v: ed.V, edge: op.Edge, wOld: inf, wNew: ed.Weight, topology: true}
 
 	case snapshot.OpAddRoad:
 		le, _, err := s.F.AddEdge(op.U, op.V, op.Value)
 		if err != nil {
 			return err
 		}
-		ge, err := r.g.AddEdge(s.globalNode[op.U], s.globalNode[op.V], op.Value)
-		if err != nil {
-			return fmt.Errorf("%w: shard %d: global mirror rejected road: %v", ErrIntegrity, id, err)
+		var ge graph.EdgeID
+		var addErr error
+		r.mutateMeta(func() {
+			ge, addErr = r.g.AddEdge(s.globalNode[op.U], s.globalNode[op.V], op.Value)
+			if addErr == nil && ge == op.Edge {
+				s.localEdge[ge] = le
+				s.globalEdge = append(s.globalEdge, ge)
+				r.edgeShard = append(r.edgeShard, id)
+			}
+		})
+		if addErr != nil {
+			return fmt.Errorf("%w: shard %d: global mirror rejected road: %v", ErrIntegrity, id, addErr)
 		}
 		if ge != op.Edge {
 			return fmt.Errorf("%w: shard %d: replayed road got global edge %d, journal says %d", ErrIntegrity, id, ge, op.Edge)
 		}
-		s.localEdge[ge] = le
-		s.globalEdge = append(s.globalEdge, ge)
-		r.edgeShard = append(r.edgeShard, id)
-		network, topology = true, true
+		network = true
+		chg = netChange{u: op.U, v: op.V, edge: le, wOld: inf, wNew: op.Value, topology: true}
 
 	case snapshot.OpInsertObject:
 		if err := checkEdge(op.Edge); err != nil {
@@ -341,12 +475,14 @@ func (r *Router) ApplyOp(id ID, op snapshot.Op, refresh bool) error {
 		if err != nil {
 			return err
 		}
-		s.setGlobalObj(o.ID, op.Object)
-		s.localObj[op.Object] = o.ID
-		r.objLoc[op.Object] = id
-		if op.Object >= r.nextObj {
-			r.nextObj = op.Object + 1
-		}
+		r.mutateMeta(func() {
+			s.setGlobalObj(o.ID, op.Object)
+			s.localObj[op.Object] = o.ID
+			r.objLoc[op.Object] = id
+			if op.Object >= r.nextObj {
+				r.nextObj = op.Object + 1
+			}
+		})
 
 	case snapshot.OpDeleteObject:
 		lo, ok := s.localObj[op.Object]
@@ -356,9 +492,11 @@ func (r *Router) ApplyOp(id ID, op snapshot.Op, refresh bool) error {
 		if err := s.F.DeleteObject(lo); err != nil {
 			return err
 		}
-		delete(r.objLoc, op.Object)
-		delete(s.localObj, op.Object)
-		s.globalObj[lo] = -1
+		r.mutateMeta(func() {
+			delete(r.objLoc, op.Object)
+			delete(s.localObj, op.Object)
+			s.globalObj[lo] = -1
+		})
 
 	case snapshot.OpSetObjectAttr:
 		lo, ok := s.localObj[op.Object]
@@ -376,9 +514,12 @@ func (r *Router) ApplyOp(id ID, op snapshot.Op, refresh bool) error {
 	if refresh {
 		// Object churn leaves the routing state intact: border tables and
 		// nearest-border distances depend only on the network, so only
-		// network mutations pay the per-shard rebuild.
+		// network mutations pay a derived-state refresh — and that refresh
+		// is incremental (maintain.go): filter the border arcs whose
+		// shortest path could have crossed the touched edge, recompute
+		// only those.
 		if network {
-			s.refreshDerived(topology)
+			s.maintainDerived(chg)
 		}
 		s.F.WarmTrees()
 	}
@@ -472,13 +613,31 @@ func (r *Router) EncodeSetObjectAttr(gid graph.ObjectID, attr int32) (ID, snapsh
 }
 
 // Object returns a live object by global ID, in global coordinates.
+// Safe to call concurrently with queries and mutations: the owning shard
+// is resolved under the bookkeeping lock, then re-verified under that
+// shard's read lock (the object may be deleted between the two).
 func (r *Router) Object(gid graph.ObjectID) (graph.Object, bool) {
+	r.metaMu.RLock()
 	sid, ok := r.objLoc[gid]
+	r.metaMu.RUnlock()
 	if !ok {
 		return graph.Object{}, false
 	}
+	r.shardMu[sid].RLock()
+	defer r.shardMu[sid].RUnlock()
+	return r.ObjectInShard(sid, gid)
+}
+
+// ObjectInShard resolves a global object known to live in shard sid,
+// taking no locks: for callers already inside that shard's lock — a
+// Mutate apply callback reading back the object it just inserted, say.
+func (r *Router) ObjectInShard(sid ID, gid graph.ObjectID) (graph.Object, bool) {
 	s := r.shards[sid]
-	o, ok := s.F.Objects().Get(s.localObj[gid])
+	lo, ok := s.localObj[gid]
+	if !ok {
+		return graph.Object{}, false
+	}
+	o, ok := s.F.Objects().Get(lo)
 	if !ok {
 		return graph.Object{}, false
 	}
@@ -510,10 +669,12 @@ type Info struct {
 	RemoteEntries uint64 `json:"remote_entries"`
 }
 
-// Infos snapshots per-shard state and load counters.
+// Infos snapshots per-shard state and load counters. Safe to call
+// concurrently with queries and mutations (per-shard read locks).
 func (r *Router) Infos() []Info {
 	out := make([]Info, len(r.shards))
 	for i, s := range r.shards {
+		r.shardMu[i].RLock()
 		out[i] = Info{
 			ID:            s.ID,
 			Nodes:         s.F.Graph().NumNodes(),
@@ -525,6 +686,7 @@ func (r *Router) Infos() []Info {
 			HomeQueries:   s.homeQueries.Load(),
 			RemoteEntries: s.remoteEntries.Load(),
 		}
+		r.shardMu[i].RUnlock()
 	}
 	return out
 }

@@ -84,10 +84,23 @@ type Shard struct {
 	// lookup instead of a watched search.
 	borderDist []float64
 
-	// bsearch is the Dijkstra workspace btable rebuilds run on. It is
-	// used only under the Router's mutation path (single-threaded by the
-	// serving layer's write lock), never by query sessions.
+	// bsearch is the Dijkstra workspace btable rebuilds and incremental
+	// refreshes run on. It is used only on the Router's mutation path
+	// (single-threaded under the router's mutation lock, with this
+	// shard's readers excluded by its write lock), never by query
+	// sessions.
 	bsearch *graph.Search
+
+	// du, dv and rowScratch are the filter-and-refresh scratch buffers
+	// (maintain.go): distances from the touched edge's endpoints, and
+	// the row under reassembly. Same locking discipline as bsearch.
+	du, dv     []float64
+	rowScratch []BorderArc
+
+	// fullRefresh disables filter-and-refresh: every network mutation
+	// rebuilds the whole border table, as before the incremental path
+	// existed. Kept as the roadbench -maintain baseline.
+	fullRefresh bool
 
 	// Load counters (read path, hence atomic): queries whose query node
 	// lives in this shard, and cross-shard expansions entering it.
@@ -229,29 +242,43 @@ func (s *Shard) rebuildBorderDist() {
 
 // rebuildBTable recomputes the within-shard shortest distances between
 // every pair of the shard's border nodes by one Dijkstra per border over
-// the shard's live local graph.
+// the shard's live local graph. The incremental path (maintain.go)
+// instead refreshes only the rows a mutation could have changed.
 func (s *Shard) rebuildBTable() {
 	s.btable = make(map[graph.NodeID][]BorderArc, len(s.borders))
 	if len(s.borders) < 2 {
 		return
 	}
+	targets := s.borderTargets()
+	for i := range s.borders {
+		s.refreshBTableRow(i, targets)
+	}
+}
+
+// refreshBTableRow recomputes border i's btable row with one Dijkstra
+// from that border, target-pruned to targets (the shard's borders in
+// local IDs, hoisted by the caller).
+func (s *Shard) refreshBTableRow(i int, targets []graph.NodeID) {
+	s.bsearch.Run(targets[i], graph.Options{Targets: targets})
+	arcs := make([]BorderArc, 0, len(s.borders)-1)
+	for j, to := range s.borders {
+		if i == j {
+			continue
+		}
+		if d := s.bsearch.Dist(targets[j]); !isInf(d) {
+			arcs = append(arcs, BorderArc{To: to, Dist: d})
+		}
+	}
+	s.btable[s.borders[i]] = arcs
+}
+
+// borderTargets returns the shard's borders in local IDs.
+func (s *Shard) borderTargets() []graph.NodeID {
 	targets := make([]graph.NodeID, len(s.borders))
 	for i, b := range s.borders {
 		targets[i] = s.localNode[b]
 	}
-	for i, from := range s.borders {
-		s.bsearch.Run(targets[i], graph.Options{Targets: targets})
-		arcs := make([]BorderArc, 0, len(s.borders)-1)
-		for j, to := range s.borders {
-			if i == j {
-				continue
-			}
-			if d := s.bsearch.Dist(targets[j]); !isInf(d) {
-				arcs = append(arcs, BorderArc{To: to, Dist: d})
-			}
-		}
-		s.btable[from] = arcs
-	}
+	return targets
 }
 
 func isInf(d float64) bool { return d > maxFinite }

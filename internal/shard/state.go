@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"road/internal/core"
 	"road/internal/geom"
@@ -189,6 +190,7 @@ func Reassemble(frameworks []*core.Framework, m *Manifest) (*Router, error) {
 	r := &Router{
 		g:         g,
 		shards:    make([]*Shard, m.Shards),
+		shardMu:   make([]sync.RWMutex, m.Shards),
 		edgeShard: make([]ID, m.NumEdges),
 		objLoc:    make(map[graph.ObjectID]ID),
 		nextObj:   m.NextObj,

@@ -119,13 +119,15 @@ func (db *ShardedDB) IndexSizeBytes() int64 { return db.r.IndexSizeBytes() }
 // ShardInfos reports per-shard size, epoch and load counters.
 func (db *ShardedDB) ShardInfos() []shard.Info { return db.r.Infos() }
 
-// NumNodes returns the global intersection count.
+// NumNodes returns the global intersection count (fixed at build time).
 func (db *ShardedDB) NumNodes() int { return db.r.Graph().NumNodes() }
 
-// NumRoads returns the global road-segment count (including closed ones).
-func (db *ShardedDB) NumRoads() int { return db.r.Graph().NumEdges() }
+// NumRoads returns the global road-segment count (including closed
+// ones). Safe to call concurrently with queries and mutations.
+func (db *ShardedDB) NumRoads() int { return db.r.NumEdges() }
 
-// NumObjects returns the number of live objects across all shards.
+// NumObjects returns the number of live objects across all shards. Safe
+// to call concurrently with queries and mutations.
 func (db *ShardedDB) NumObjects() int { return db.r.NumObjects() }
 
 // --- Queries (single-threaded convenience, mirroring DB) ---
@@ -201,11 +203,19 @@ func (s *ShardedSession) PathTo(from NodeID, obj ObjectID) ([]NodeID, float64, e
 func (s *ShardedSession) Epoch() uint64 { return s.s.Epoch() }
 
 // --- Maintenance (write-ahead journaled per shard) ---
+//
+// Every mutation runs through Router.Mutate: the op is encoded (IDs
+// allocated) under the router's mutation lock, write-ahead logged to its
+// shard's journal inside the owning shard's write lock, then applied
+// through the same router code path journal replay re-runs on recovery.
+// Because synchronization is internal (see Exclusive), mutations MAY
+// overlap queries: a mutation stalls only readers of its own shard.
 
-// applyOp write-ahead logs op to its shard's journal (when attached) and
-// applies it through the router — the exact code path journal replay
-// re-runs on recovery.
-func (db *ShardedDB) applyOp(sid shard.ID, op snapshot.Op) error {
+// journalAndApply write-ahead logs op to its shard's journal (when
+// attached) and applies it through the router — the exact code path
+// journal replay re-runs on recovery. Runs inside Mutate's critical
+// section, under the owning shard's write lock.
+func (db *ShardedDB) journalAndApply(sid shard.ID, op snapshot.Op) error {
 	if j := db.journals[sid]; j != nil {
 		if _, err := j.Append(op); err != nil {
 			return fmt.Errorf("road: journaling %s: %w", op.Kind, err)
@@ -214,57 +224,72 @@ func (db *ShardedDB) applyOp(sid shard.ID, op snapshot.Op) error {
 	return db.r.ApplyOp(sid, op, true)
 }
 
+// applyOp encodes, journals and applies one mutation under the router's
+// per-shard locking; the encoded op is returned so callers can report
+// the global IDs it allocated.
+func (db *ShardedDB) applyOp(encode func() (shard.ID, snapshot.Op, error)) (snapshot.Op, error) {
+	return db.r.Mutate(encode, db.journalAndApply)
+}
+
 // AddObject places an object on road e at distance offset from the road's
 // U endpoint. See DB.AddObject.
 func (db *ShardedDB) AddObject(e EdgeID, offset float64, attr int32) (Object, error) {
-	sid, op, err := db.r.EncodeInsertObject(e, offset, attr)
+	var obj Object
+	_, err := db.r.Mutate(func() (shard.ID, snapshot.Op, error) {
+		return db.r.EncodeInsertObject(e, offset, attr)
+	}, func(sid shard.ID, op snapshot.Op) error {
+		if err := db.journalAndApply(sid, op); err != nil {
+			return err
+		}
+		// Resolve the inserted object's global form while the shard
+		// write lock still excludes a concurrent deletion of it.
+		o, ok := db.r.ObjectInShard(sid, op.Object)
+		if !ok {
+			return fmt.Errorf("road: object %d missing after insert: %w", op.Object, ErrNoSuchObject)
+		}
+		obj = o
+		return nil
+	})
 	if err != nil {
 		return Object{}, err
 	}
-	if err := db.applyOp(sid, op); err != nil {
-		return Object{}, err
-	}
-	o, _ := db.r.Object(op.Object)
-	return o, nil
+	return obj, nil
 }
 
 // RemoveObject deletes an object.
 func (db *ShardedDB) RemoveObject(id ObjectID) error {
-	sid, op, err := db.r.EncodeDeleteObject(id)
-	if err != nil {
-		return err
-	}
-	return db.applyOp(sid, op)
+	_, err := db.applyOp(func() (shard.ID, snapshot.Op, error) {
+		return db.r.EncodeDeleteObject(id)
+	})
+	return err
 }
 
 // SetObjectAttr changes an object's attribute category.
 func (db *ShardedDB) SetObjectAttr(id ObjectID, attr int32) error {
-	sid, op, err := db.r.EncodeSetObjectAttr(id, attr)
-	if err != nil {
-		return err
-	}
-	return db.applyOp(sid, op)
+	_, err := db.applyOp(func() (shard.ID, snapshot.Op, error) {
+		return db.r.EncodeSetObjectAttr(id, attr)
+	})
+	return err
 }
 
 // SetRoadDistance changes a road's distance metric; the owning shard's
-// index and border distance table repair themselves.
+// index, border distance table and nearest-border array repair
+// themselves incrementally (filter-and-refresh).
 func (db *ShardedDB) SetRoadDistance(e EdgeID, dist float64) error {
-	sid, op, err := db.r.EncodeSetDistance(e, dist)
-	if err != nil {
-		return err
-	}
-	return db.applyOp(sid, op)
+	_, err := db.applyOp(func() (shard.ID, snapshot.Op, error) {
+		return db.r.EncodeSetDistance(e, dist)
+	})
+	return err
 }
 
 // AddRoad inserts a new road segment between existing intersections. Both
 // endpoints must be present in a common shard (always true for roads that
 // do not bridge two previously unconnected regions).
 func (db *ShardedDB) AddRoad(u, v NodeID, dist float64) (EdgeID, error) {
-	sid, op, err := db.r.EncodeAddRoad(u, v, dist)
+	op, err := db.applyOp(func() (shard.ID, snapshot.Op, error) {
+		return db.r.EncodeAddRoad(u, v, dist)
+	})
 	if err != nil {
-		return NoEdge, err
-	}
-	if err := db.applyOp(sid, op); err != nil {
 		return NoEdge, err
 	}
 	return op.Edge, nil
@@ -272,21 +297,25 @@ func (db *ShardedDB) AddRoad(u, v NodeID, dist float64) (EdgeID, error) {
 
 // CloseRoad removes a road segment (objects on it are dropped).
 func (db *ShardedDB) CloseRoad(e EdgeID) error {
-	sid, op, err := db.r.EncodeClose(e)
-	if err != nil {
-		return err
-	}
-	return db.applyOp(sid, op)
+	_, err := db.applyOp(func() (shard.ID, snapshot.Op, error) {
+		return db.r.EncodeClose(e)
+	})
+	return err
 }
 
 // ReopenRoad restores a previously closed road segment.
 func (db *ShardedDB) ReopenRoad(e EdgeID) error {
-	sid, op, err := db.r.EncodeReopen(e)
-	if err != nil {
-		return err
-	}
-	return db.applyOp(sid, op)
+	_, err := db.applyOp(func() (shard.ID, snapshot.Op, error) {
+		return db.r.EncodeReopen(e)
+	})
+	return err
 }
+
+// Exclusive runs fn with every internal lock held: no query or mutation
+// overlaps it. It satisfies road.Synchronized; serving layers use it for
+// whole-store operations that need one consistent multi-shard view, such
+// as SaveSnapshotFiles followed by CompactJournals.
+func (db *ShardedDB) Exclusive(fn func() error) error { return db.r.Exclusive(fn) }
 
 // --- Persistence (per-shard snapshots + journals, one manifest) ---
 

@@ -186,6 +186,79 @@ func TestShardedEquivalence(t *testing.T) {
 	}
 }
 
+// TestShardedInterleavedMutationEquivalence interleaves queries BETWEEN
+// the mutations of a long random maintenance stream, so every
+// incremental border-table refresh (filter-and-refresh, §5.2) is
+// checked against the monolithic reference before the next mutation
+// builds on it — a stale arc surviving one refresh cannot hide behind a
+// later full pass.
+func TestShardedInterleavedMutationEquivalence(t *testing.T) {
+	ctx := context.Background()
+	for _, seed := range []int64{11, 29} {
+		db, sdb := shardedPair(t, seed, 300, 50, 4)
+		var mono, other Store = db, sdb
+		rng := rand.New(rand.NewSource(seed * 13))
+
+		// A fixed probe panel: borders (cross-shard by construction) plus
+		// random interior nodes, re-queried after every mutation.
+		var probes []NodeID
+		for i := 0; i < sdb.NumShards() && len(probes) < 12; i++ {
+			b := sdb.Router().Shard(i).Borders()
+			if len(b) > 3 {
+				b = b[:3]
+			}
+			probes = append(probes, b...)
+		}
+		for i := 0; i < 6; i++ {
+			probes = append(probes, NodeID(rng.Intn(other.NumNodes())))
+		}
+
+		check := func(step int) {
+			for _, n := range probes {
+				want, _, errA := mono.KNNContext(ctx, NewKNN(n, 4))
+				got, _, errB := other.KNNContext(ctx, NewKNN(n, 4))
+				if errA != nil || errB != nil {
+					t.Fatalf("step %d knn(%d): %v / %v", step, n, errA, errB)
+				}
+				assertSameResults(t, "interleaved knn", want, got)
+				want, _, errA = mono.WithinContext(ctx, NewWithin(n, 2.5))
+				got, _, errB = other.WithinContext(ctx, NewWithin(n, 2.5))
+				if errA != nil || errB != nil {
+					t.Fatalf("step %d within(%d): %v / %v", step, n, errA, errB)
+				}
+				assertSameResults(t, "interleaved within", want, got)
+			}
+		}
+
+		check(-1)
+		for i := 0; i < 40; i++ {
+			e := EdgeID(rng.Intn(other.NumRoads()))
+			var errA, errB error
+			switch rng.Intn(4) {
+			case 0:
+				w := 0.1 + 4*rng.Float64()
+				errA, errB = mono.SetRoadDistance(e, w), other.SetRoadDistance(e, w)
+			case 1:
+				errA, errB = mono.CloseRoad(e), other.CloseRoad(e)
+			case 2:
+				errA, errB = mono.ReopenRoad(e), other.ReopenRoad(e)
+			case 3:
+				off := rng.Float64() * 0.05
+				var oa, ob Object
+				oa, errA = mono.AddObject(e, off, 1)
+				ob, errB = other.AddObject(e, off, 1)
+				if errA == nil && errB == nil && oa.ID != ob.ID {
+					t.Fatalf("step %d: object IDs diverged: %d vs %d", i, oa.ID, ob.ID)
+				}
+			}
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("step %d: mutation divergence: %v vs %v", i, errA, errB)
+			}
+			check(i)
+		}
+	}
+}
+
 // TestShardedAddRoad exercises same-shard road addition and the
 // cross-shard rejection contract.
 func TestShardedAddRoad(t *testing.T) {

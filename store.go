@@ -23,15 +23,23 @@ import (
 //
 // The Store's own query methods are single-threaded conveniences, like
 // the methods on the concrete types; concurrent callers take one Querier
-// per goroutine from OpenSession. Mutations must not overlap queries —
-// the internal/server coordinator enforces exactly that when serving.
+// per goroutine from OpenSession. Unless the Store also satisfies
+// Synchronized, mutations must not overlap queries — the internal/server
+// coordinator enforces exactly that when serving. A Synchronized store
+// (ShardedDB) synchronizes internally instead, with per-shard write
+// locks, so serving layers let queries and mutations overlap freely.
 type Store interface {
 	Querier
 
 	// Query answers a batch on one session, amortizing session and epoch
-	// acquisition: every Response carries the same Epoch, observed once.
-	// Per-entry failures land in Response.Err; the batch itself never
-	// fails.
+	// acquisition: every Response carries the same Epoch, observed once
+	// at the start of the batch. Per-entry failures land in
+	// Response.Err; the batch itself never fails. On a Synchronized
+	// store a mutation may complete between entries — each answer is
+	// individually consistent, but late entries can observe an epoch
+	// newer than the stamped one; callers that need the whole batch at
+	// one epoch must serve it through an external exclusion (as the
+	// internal/server coordinator does for road.DB).
 	Query(ctx context.Context, reqs []Request) []Response
 
 	// OpenSession returns an independent concurrent read context. Any
@@ -71,6 +79,22 @@ type Store interface {
 	CompactJournal() error
 }
 
+// Synchronized marks a Store whose queries and mutations synchronize
+// internally, so a serving layer needs no global reader/writer exclusion
+// around them. ShardedDB is the package's Synchronized implementation:
+// each mutation takes only its owning shard's write lock, stalling that
+// shard's readers instead of the whole store. The one operation that
+// still needs total exclusion — a consistent whole-store snapshot — runs
+// through Exclusive.
+type Synchronized interface {
+	Store
+
+	// Exclusive runs fn with every internal lock held: no query or
+	// mutation overlaps fn, which therefore sees (and may persist) one
+	// consistent view of the whole store.
+	Exclusive(fn func() error) error
+}
+
 // Querier is one read context of a Store: the context-aware query surface
 // shared by the Store itself (single-threaded convenience) and its
 // sessions (one per concurrent reader).
@@ -97,10 +121,11 @@ type Path struct {
 
 // Compile-time interface assertions: the v1 acceptance contract.
 var (
-	_ Store   = (*DB)(nil)
-	_ Store   = (*ShardedDB)(nil)
-	_ Querier = (*Session)(nil)
-	_ Querier = (*ShardedSession)(nil)
+	_ Store        = (*DB)(nil)
+	_ Store        = (*ShardedDB)(nil)
+	_ Synchronized = (*ShardedDB)(nil)
+	_ Querier      = (*Session)(nil)
+	_ Querier      = (*ShardedSession)(nil)
 )
 
 // searchLimits folds a request context and budget into core.Limits. A
@@ -267,9 +292,12 @@ func (db *ShardedDB) storeSession() *ShardedSession {
 // OpenSession returns a concurrent cross-shard read context as a Querier.
 func (db *ShardedDB) OpenSession() Querier { return db.NewSession() }
 
-// WarmAfterMutation re-materializes invalidated shortcut trees in every
-// shard; see Store.WarmAfterMutation.
-func (db *ShardedDB) WarmAfterMutation() { db.r.WarmTrees() }
+// WarmAfterMutation is a no-op for ShardedDB: mutations synchronize
+// internally and re-warm the owning shard's shortcut trees before
+// releasing its write lock, so by the time any caller could run this,
+// the work is already done — and doing it here, outside the locks, would
+// race with concurrent readers.
+func (db *ShardedDB) WarmAfterMutation() {}
 
 // Save persists the sharded store under the path prefix (Store.Save; the
 // interface form of SaveSnapshotFiles).
