@@ -335,6 +335,12 @@ type shardBenchResult struct {
 	// identically to the single index before load was applied.
 	Verified bool            `json:"verified"`
 	Runs     []shardBenchRun `json:"runs"`
+	// SingleMetrics / ShardedMetrics are each deployment's /metrics
+	// series (buckets elided) scraped after all mixes ran: server-side
+	// counters — node pops, cache traffic, per-shard load — to read the
+	// client-side latency numbers against.
+	SingleMetrics  map[string]float64 `json:"single_metrics,omitempty"`
+	ShardedMetrics map[string]float64 `json:"sharded_metrics,omitempty"`
 }
 
 // runShardBench builds the scaled CA network once, indexes it both as a
@@ -436,7 +442,7 @@ func runShardBench(scale float64, objects, concurrency int, duration time.Durati
 		return err
 	}
 	defer stopSingle()
-	shardedTarget, stopSharded, err := startServer(server.NewSharded(sharded, server.Options{CacheSize: cacheSize}))
+	shardedTarget, stopSharded, err := startServer(server.New(sharded, server.Options{CacheSize: cacheSize}))
 	if err != nil {
 		return err
 	}
@@ -455,8 +461,8 @@ func runShardBench(scale float64, objects, concurrency int, duration time.Durati
 		if err != nil {
 			return report, fmt.Errorf("%s load run %q: %w", label, mix, err)
 		}
-		fmt.Printf("shard bench: %-7s %-6s %8.0f qps  p50 %6dµs  p99 %6dµs  hit rate %4.1f%%\n",
-			label, mix, report.QPS, report.P50US, report.P99US, 100*report.CacheHitRate)
+		fmt.Printf("shard bench: %-7s %-6s %8.0f qps  p50 %6dµs  p95 %6dµs  p99 %6dµs  hit rate %4.1f%%\n",
+			label, mix, report.QPS, report.P50US, report.P95US, report.P99US, 100*report.CacheHitRate)
 		return report, nil
 	}
 	for _, mix := range []string{"knn", "within", "mixed"} {
@@ -472,6 +478,12 @@ func runShardBench(scale float64, objects, concurrency int, duration time.Durati
 		}
 		result.Runs = append(result.Runs, run)
 		fmt.Printf("shard bench: %-6s sharded/single throughput ×%.2f\n", mix, run.Speedup)
+	}
+	if m, err := server.ScrapeMetrics(singleTarget); err == nil {
+		result.SingleMetrics = m
+	}
+	if m, err := server.ScrapeMetrics(shardedTarget); err == nil {
+		result.ShardedMetrics = m
 	}
 
 	if err := writeJSONFile(outPath, result); err != nil {
@@ -494,6 +506,10 @@ type serveBenchResult struct {
 	IndexKB       int64               `json:"index_kb"`
 	CacheEntries  int                 `json:"cache_entries"`
 	Runs          []server.LoadReport `json:"runs"`
+	// Metrics is the server's /metrics series (buckets elided) scraped
+	// after all mixes ran — the server-side counter view of the load the
+	// runs applied: total pops, cache traffic, error counts.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // runServeBench builds a scaled CA index, serves it on an ephemeral
@@ -560,9 +576,12 @@ func runServeBench(scale float64, objects, concurrency int, duration time.Durati
 		if err != nil {
 			return fmt.Errorf("load run %q: %w", mix, err)
 		}
-		fmt.Printf("serve bench: %-6s %8.0f qps  p50 %6dµs  p99 %6dµs  hit rate %4.1f%%\n",
-			mix, report.QPS, report.P50US, report.P99US, 100*report.CacheHitRate)
+		fmt.Printf("serve bench: %-6s %8.0f qps  p50 %6dµs  p95 %6dµs  p99 %6dµs  hit rate %4.1f%%\n",
+			mix, report.QPS, report.P50US, report.P95US, report.P99US, 100*report.CacheHitRate)
 		result.Runs = append(result.Runs, report)
+	}
+	if m, err := server.ScrapeMetrics(target); err == nil {
+		result.Metrics = m
 	}
 
 	if err := writeJSONFile(outPath, result); err != nil {

@@ -35,16 +35,27 @@
 // aborts cooperatively mid-expansion and the client receives HTTP 503
 // with a typed error body ({"error":...,"code":"deadline_exceeded"}).
 //
+// Observability: GET /metrics exposes Prometheus text-format metrics
+// (request rates and latency histograms per endpoint, per-query cost
+// histograms, cache/pool/journal counters, per-shard load). Read
+// queries accept &trace=1 to return a per-leg trace of the phases and
+// shards the search visited. -slow-query DUR logs queries slower than
+// DUR — with their traces — as JSON lines on stderr, and -query-log
+// FILE records a sampled structured log of every query served (one
+// JSON line each, size-rotated; see -query-log-sample and
+// -query-log-max-bytes).
+//
 // Endpoints (see internal/server for the full reference):
 //
-//	GET  /knn?node=N&k=K[&attr=A][&budget=B]
-//	GET  /within?node=N&radius=R[&attr=A][&budget=B]
-//	GET  /path?node=N&object=O
+//	GET  /knn?node=N&k=K[&attr=A][&budget=B][&trace=1]
+//	GET  /within?node=N&radius=R[&attr=A][&budget=B][&trace=1]
+//	GET  /path?node=N&object=O[&trace=1]
 //	POST /batch                      [{"knn":{"from":N,"k":K}},...]
 //	POST /maintenance/{set-distance,close,reopen,add-road,
 //	                   insert-object,delete-object,set-attr}
 //	POST /admin/snapshot
 //	GET  /stats
+//	GET  /metrics
 //	GET  /healthz
 //
 // On SIGTERM/SIGINT a -snapshot daemon persists a final snapshot (with
@@ -66,6 +77,7 @@ import (
 	"road"
 	"road/internal/dataset"
 	"road/internal/graph"
+	"road/internal/obs"
 	"road/internal/server"
 )
 
@@ -88,12 +100,23 @@ type config struct {
 	journalPath     string
 	journalSync     bool
 	journalMaxBytes int64
+	slowQuery       time.Duration
+	queryLogPath    string
+	queryLogSample  int
+	queryLogMax     int64
+
+	qlog *obs.QueryLog // opened from queryLogPath before the server starts
 }
 
 // serverOptions translates the daemon flags shared by both deployment
 // shapes into serving-subsystem options.
 func (c config) serverOptions() server.Options {
-	return server.Options{CacheSize: c.cacheSize, QueryTimeout: c.queryTimeout}
+	return server.Options{
+		CacheSize:          c.cacheSize,
+		QueryTimeout:       c.queryTimeout,
+		SlowQueryThreshold: c.slowQuery,
+		QueryLog:           c.qlog,
+	}
 }
 
 func main() {
@@ -113,6 +136,10 @@ func main() {
 	flag.StringVar(&cfg.journalPath, "journal", "", "write-ahead journal file: maintenance ops are logged before they apply and replayed over the snapshot on startup. With -shards this is a path prefix (prefix.N per shard)")
 	flag.BoolVar(&cfg.journalSync, "journal-sync", false, "fsync the journal after every op (durable against machine crashes, slower)")
 	flag.Int64Var(&cfg.journalMaxBytes, "journal-max-bytes", 0, "auto-snapshot (and rotate the journal) when the journal exceeds this many bytes (0 disables)")
+	flag.DurationVar(&cfg.slowQuery, "slow-query", 0, "log queries slower than this — with per-leg traces — as JSON lines on stderr (0 disables)")
+	flag.StringVar(&cfg.queryLogPath, "query-log", "", "append a sampled structured query log (JSON lines) to this file")
+	flag.IntVar(&cfg.queryLogSample, "query-log-sample", 1, "log every Nth query (1 logs all)")
+	flag.Int64Var(&cfg.queryLogMax, "query-log-max-bytes", 0, "rotate the query log to FILE.1 when it exceeds this many bytes (0 = 64 MiB)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "roadd:", err)
@@ -121,6 +148,14 @@ func main() {
 }
 
 func run(cfg config) error {
+	if cfg.queryLogPath != "" {
+		qlog, err := obs.OpenQueryLog(cfg.queryLogPath, cfg.queryLogSample, cfg.queryLogMax)
+		if err != nil {
+			return err
+		}
+		defer qlog.Close()
+		cfg.qlog = qlog
+	}
 	var srv *server.Server
 	var journalSize func() int64
 	var closeJournals func() error

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("road_requests_total", `endpoint="knn"`, "Requests served.")
+	c.Add(3)
+	r.Counter("road_requests_total", `endpoint="within"`, "Requests served.").Inc()
+	r.Gauge("road_epoch", "", "Store epoch.", func() float64 { return 7 })
+	h := r.Histogram("road_latency_seconds", "", "Latency.", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(5)
+	r.CollectorVec("road_shard_queries_total", "counter", "Per-shard queries.", func() []Sample {
+		return []Sample{
+			{Labels: `shard="0"`, Value: 2},
+			{Labels: `shard="1"`, Value: 5},
+		}
+	})
+
+	var sb strings.Builder
+	if err := r.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP road_requests_total Requests served.
+# TYPE road_requests_total counter
+road_requests_total{endpoint="knn"} 3
+road_requests_total{endpoint="within"} 1
+# HELP road_epoch Store epoch.
+# TYPE road_epoch gauge
+road_epoch 7
+# HELP road_latency_seconds Latency.
+# TYPE road_latency_seconds histogram
+road_latency_seconds_bucket{le="0.001"} 2
+road_latency_seconds_bucket{le="0.01"} 3
+road_latency_seconds_bucket{le="+Inf"} 4
+road_latency_seconds_sum 5.006
+road_latency_seconds_count 4
+# HELP road_shard_queries_total Per-shard queries.
+# TYPE road_shard_queries_total counter
+road_shard_queries_total{shard="0"} 2
+road_shard_queries_total{shard="1"} 5
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestRegistryExpositionWellFormed(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "", "A.").Add(1)
+	r.Histogram("b_seconds", `op="x"`, "B.", []float64{1, 2}).Observe(1.5)
+	var sb strings.Builder
+	if err := r.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 4 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				t.Errorf("malformed comment line: %q", line)
+			}
+			continue
+		}
+		// Every sample line is "name[{labels}] value".
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		series, val := line[:i], line[i+1:]
+		if series == "" || val == "" {
+			t.Errorf("malformed sample line: %q", line)
+		}
+		if open := strings.IndexByte(series, '{'); open >= 0 && !strings.HasSuffix(series, "}") {
+			t.Errorf("unbalanced label braces: %q", line)
+		}
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	h.Observe(1) // le="1" is inclusive
+	h.Observe(10)
+	h.Observe(11)
+	if got := h.counts[0].Load(); got != 1 {
+		t.Errorf("bucket le=1: got %d, want 1", got)
+	}
+	if got := h.counts[1].Load(); got != 1 {
+		t.Errorf("bucket le=10: got %d, want 1", got)
+	}
+	if got := h.counts[2].Load(); got != 1 {
+		t.Errorf("bucket +Inf: got %d, want 1", got)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	// 100 samples 1..100: p99 must be 99, p50 must be 50.
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i + 1)
+	}
+	if got := Percentile(vals, 0.99); got != 99 {
+		t.Errorf("p99 of 1..100: got %v, want 99", got)
+	}
+	if got := Percentile(vals, 0.50); got != 50 {
+		t.Errorf("p50 of 1..100: got %v, want 50", got)
+	}
+	if got := Percentile(vals, 1.0); got != 100 {
+		t.Errorf("p100 of 1..100: got %v, want 100", got)
+	}
+
+	// The small-sample case the floored index understated: with 10
+	// samples, the old int(p*(n-1)) gave index 8 for p99 (the 9th
+	// value); nearest-rank requires the 10th.
+	small := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := PercentileDuration(small, 0.99); got != 10 {
+		t.Errorf("p99 of 10 samples: got %v, want 10", got)
+	}
+	if got := PercentileDuration(small, 0.95); got != 10 {
+		t.Errorf("p95 of 10 samples: got %v, want 10", got)
+	}
+	if got := PercentileDuration(nil, 0.99); got != 0 {
+		t.Errorf("p99 of empty: got %v, want 0", got)
+	}
+}
+
+func TestTraceLegs(t *testing.T) {
+	ctx, tr := WithTrace(context.Background())
+	if FromContext(ctx) != tr {
+		t.Fatal("FromContext did not return the attached trace")
+	}
+	done := tr.StartLeg("home_fast", 2)
+	done(17)
+	legs := tr.Legs()
+	if len(legs) != 1 {
+		t.Fatalf("got %d legs, want 1", len(legs))
+	}
+	if legs[0].Name != "home_fast" || legs[0].Shard != 2 || legs[0].Pops != 17 {
+		t.Errorf("unexpected leg: %+v", legs[0])
+	}
+	if legs[0].DurationUS < 0 {
+		t.Errorf("negative duration: %+v", legs[0])
+	}
+
+	// Nil trace: everything is a no-op.
+	var nilTr *Trace
+	nilTr.StartLeg("x", 0)(1)
+	if got := nilTr.Legs(); got != nil {
+		t.Errorf("nil trace legs: got %v", got)
+	}
+	if FromContext(context.Background()) != nil {
+		t.Error("FromContext on bare context: want nil")
+	}
+}
+
+func TestQueryLogSampling(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.jsonl")
+	l, err := OpenQueryLog(path, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		l.Log(QueryRecord{Op: "knn", Node: int64(i)})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("sample=3 over 9 queries: got %d lines, want 3\n%s", len(lines), data)
+	}
+	for _, ln := range lines {
+		if !strings.Contains(ln, `"op":"knn"`) {
+			t.Errorf("unexpected line: %s", ln)
+		}
+	}
+}
+
+func TestQueryLogRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.jsonl")
+	l, err := OpenQueryLog(path, 1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		l.Log(QueryRecord{TS: "2026-08-07T00:00:00Z", Op: "within", Node: int64(i), Radius: 123.5})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() > 256 {
+		t.Errorf("live file %d bytes, want <= 256", st.Size())
+	}
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Errorf("rotated file missing: %v", err)
+	}
+	// Every line in both files must be valid JSONL.
+	for _, p := range []string{path, path + ".1"} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ln := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			if !strings.HasPrefix(ln, "{") || !strings.HasSuffix(ln, "}") {
+				t.Errorf("%s: malformed line %q", p, ln)
+			}
+		}
+	}
+}
+
+func TestQueryLogAppendsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.jsonl")
+	for i := 0; i < 2; i++ {
+		l, err := OpenQueryLog(path, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Log(QueryRecord{Op: "path", Node: int64(i)})
+		l.Close()
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), "\n"); n != 2 {
+		t.Errorf("got %d lines after reopen, want 2", n)
+	}
+}

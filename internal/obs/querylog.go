@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// A QueryRecord is one line of the structured query log: everything
+// needed to replay or analyze the query offline — what was asked,
+// what it cost, and how the cache treated it.
+type QueryRecord struct {
+	// TS is the completion time, RFC3339 with nanoseconds.
+	TS string `json:"ts"`
+	// Op is the operation: "knn", "within", "path", or "batch".
+	Op string `json:"op"`
+	// Node is the query's origin intersection.
+	Node int64 `json:"node"`
+	// K is the kNN result bound (kNN only).
+	K int `json:"k,omitempty"`
+	// Radius is the range bound (within only).
+	Radius float64 `json:"radius,omitempty"`
+	// Attr is the object category filter, 0 for any.
+	Attr int32 `json:"attr,omitempty"`
+	// Shards is the number of shards the search touched.
+	Shards int `json:"shards,omitempty"`
+	// Pops is the number of heap pops the search cost.
+	Pops int `json:"pops"`
+	// Results is the number of results returned.
+	Results int `json:"results"`
+	// DurationUS is the server-side wall time in microseconds.
+	DurationUS int64 `json:"duration_us"`
+	// Cache is the result-cache outcome: "hit", "miss", or "bypass"
+	// (uncacheable or trace-carrying requests).
+	Cache string `json:"cache,omitempty"`
+	// Code is the typed error code on failure, empty on success.
+	Code string `json:"code,omitempty"`
+	// Truncated reports whether the search stopped early (cancellation
+	// or budget).
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// A QueryLog writes sampled QueryRecords as JSON lines with size-based
+// rotation: when the file would exceed MaxBytes it is renamed to
+// path+".1" (replacing any previous rotation) and restarted. Safe for
+// concurrent use; a nil *QueryLog discards everything.
+type QueryLog struct {
+	mu     sync.Mutex
+	path   string
+	f      *os.File
+	size   int64
+	max    int64
+	sample uint64
+	n      uint64 // queries seen, for sampling
+}
+
+// DefaultQueryLogMaxBytes is the rotation threshold used when the
+// caller passes maxBytes <= 0.
+const DefaultQueryLogMaxBytes = 64 << 20
+
+// OpenQueryLog opens (appending) a query log at path. Every sample-th
+// query is written (1 logs all; <=0 is treated as 1). maxBytes <= 0
+// uses DefaultQueryLogMaxBytes.
+func OpenQueryLog(path string, sample int, maxBytes int64) (*QueryLog, error) {
+	if sample <= 0 {
+		sample = 1
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultQueryLogMaxBytes
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open query log: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: stat query log: %w", err)
+	}
+	return &QueryLog{path: path, f: f, size: st.Size(), max: maxBytes, sample: uint64(sample)}, nil
+}
+
+// Log writes rec if it falls in the sample. Errors are swallowed: the
+// query log must never fail a query.
+func (l *QueryLog) Log(rec QueryRecord) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.n++
+	if (l.n-1)%l.sample != 0 {
+		return
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	if l.size+int64(len(line)) > l.max && l.size > 0 {
+		l.rotateLocked()
+	}
+	if l.f == nil {
+		return
+	}
+	if n, err := l.f.Write(line); err == nil {
+		l.size += int64(n)
+	}
+}
+
+// rotateLocked renames the current file to path+".1" and reopens.
+func (l *QueryLog) rotateLocked() {
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
+	os.Rename(l.path, l.path+".1")
+	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return
+	}
+	l.f = f
+	l.size = 0
+}
+
+// Close flushes and closes the log file. Safe on nil.
+func (l *QueryLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

@@ -1,0 +1,257 @@
+// Package obs is the dependency-free observability layer shared by the
+// serving stack: a small metrics registry rendered in the Prometheus
+// text exposition format, request-scoped query traces carried through
+// context, a sampled JSONL query log, and the nearest-rank percentile
+// helpers the benchmarks report with.
+//
+// Everything here is plain standard library. Metric updates on the
+// query hot path are one or two atomic adds; collection work (label
+// formatting, map walks, callback gauges) happens only at scrape time.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// A Counter is a monotonically increasing metric. The zero value is
+// ready to use, but counters are normally obtained from a Registry so
+// they appear in the exposition.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// A Histogram counts observations into fixed cumulative buckets, in
+// the Prometheus style: bucket i counts observations <= Buckets[i],
+// plus an implicit +Inf bucket. Observe is lock-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // math.Float64bits accumulator
+	count  atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds. The +Inf bucket is implicit.
+func NewHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: bounds}
+	h.counts = make([]atomic.Uint64, len(bounds)+1)
+	return h
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// A Sample is one series produced by a collector callback: a label
+// string (`k="v",k2="v2"` without braces, empty for none) and a value.
+type Sample struct {
+	Labels string
+	Value  float64
+}
+
+// metric is anything a family can expose.
+type metric interface {
+	samples() []Sample
+}
+
+type counterMetric struct {
+	labels string
+	c      *Counter
+}
+
+func (m counterMetric) samples() []Sample {
+	return []Sample{{Labels: m.labels, Value: float64(m.c.Value())}}
+}
+
+type gaugeMetric struct {
+	labels string
+	fn     func() float64
+}
+
+func (m gaugeMetric) samples() []Sample {
+	return []Sample{{Labels: m.labels, Value: m.fn()}}
+}
+
+type collectorMetric struct {
+	fn func() []Sample
+}
+
+func (m collectorMetric) samples() []Sample { return m.fn() }
+
+type histogramMetric struct {
+	labels string
+	h      *Histogram
+}
+
+// family groups all series sharing one metric name, so HELP/TYPE
+// lines are emitted exactly once per name.
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter", "gauge", "histogram"
+	metrics []metric
+	hists   []histogramMetric
+}
+
+// A Registry holds metric families and renders them in the Prometheus
+// text exposition format. Registration is typically done once at
+// startup; Write may be called concurrently with metric updates.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help, typ string) *family {
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	}
+	return f
+}
+
+// Counter registers (or fetches) the counter series name{labels}.
+// labels is a raw `k="v"` list without braces; pass "" for none.
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "counter")
+	for _, m := range f.metrics {
+		if cm, ok := m.(counterMetric); ok && cm.labels == labels {
+			return cm.c
+		}
+	}
+	c := &Counter{}
+	f.metrics = append(f.metrics, counterMetric{labels: labels, c: c})
+	return c
+}
+
+// Gauge registers a gauge series whose value is produced by fn at
+// scrape time.
+func (r *Registry) Gauge(name, labels, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "gauge")
+	f.metrics = append(f.metrics, gaugeMetric{labels: labels, fn: fn})
+}
+
+// CollectorVec registers a whole family (typ "counter" or "gauge")
+// whose series are produced fresh by collect at every scrape — used
+// for label sets not known until scrape time, such as per-shard
+// counters read from the router.
+func (r *Registry) CollectorVec(name, typ, help string, collect func() []Sample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, typ)
+	f.metrics = append(f.metrics, collectorMetric{fn: collect})
+}
+
+// Histogram registers (or fetches) the histogram series name{labels}
+// over the given bucket upper bounds.
+func (r *Registry) Histogram(name, labels, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "histogram")
+	for _, hm := range f.hists {
+		if hm.labels == labels {
+			return hm.h
+		}
+	}
+	h := NewHistogram(bounds)
+	f.hists = append(f.hists, histogramMetric{labels: labels, h: h})
+	return h
+}
+
+// Write renders every registered family in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) Write(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, m := range f.metrics {
+			for _, s := range m.samples() {
+				writeSample(bw, f.name, s.Labels, s.Value)
+			}
+		}
+		for _, hm := range f.hists {
+			writeHistogram(bw, f.name, hm.labels, hm.h)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSample(w *bufio.Writer, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, formatValue(v))
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatValue(v))
+}
+
+func writeHistogram(w *bufio.Writer, name, labels string, h *Histogram) {
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		writeSample(w, name+"_bucket", joinLabels(labels, `le="`+formatValue(b)+`"`), float64(cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeSample(w, name+"_bucket", joinLabels(labels, `le="+Inf"`), float64(cum))
+	writeSample(w, name+"_sum", labels, h.Sum())
+	writeSample(w, name+"_count", labels, float64(h.Count()))
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

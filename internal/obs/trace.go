@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// A Leg is one timed phase of a query: the single-index search, the
+// sharded fast path, an escalated home re-run, the gateway Dijkstra
+// over border tables, or one per-shard entry/path leg. Legs are
+// recorded in completion order.
+type Leg struct {
+	// Name identifies the phase: "search", "home_fast", "home_locked",
+	// "home_watched", "gateway", "enter", "path_leg".
+	Name string `json:"name"`
+	// Shard is the shard the leg ran on, or -1 for phases that are not
+	// shard-local (the single-index search, the gateway run).
+	Shard int `json:"shard"`
+	// DurationUS is the leg's wall time in microseconds.
+	DurationUS int64 `json:"duration_us"`
+	// Pops is the number of heap pops (settled nodes) the leg cost.
+	Pops int `json:"pops"`
+}
+
+// A Trace accumulates per-leg timings for one query. It is carried
+// through the search layers via context (WithTrace / FromContext); a
+// nil *Trace is valid and records nothing, so call sites need no nil
+// checks.
+type Trace struct {
+	mu   sync.Mutex
+	legs []Leg
+}
+
+type traceKey struct{}
+
+// WithTrace returns a context carrying a fresh Trace, and the trace.
+func WithTrace(ctx context.Context) (context.Context, *Trace) {
+	t := &Trace{}
+	return context.WithValue(ctx, traceKey{}, t), t
+}
+
+// FromContext returns the Trace carried by ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// noopDone is returned from StartLeg on a nil trace so the disabled
+// path allocates nothing.
+var noopDone = func(int) {}
+
+// StartLeg starts timing a leg and returns a function that finishes
+// it with the leg's pop count. On a nil trace it is a no-op.
+func (t *Trace) StartLeg(name string, shard int) func(pops int) {
+	if t == nil {
+		return noopDone
+	}
+	start := time.Now()
+	return func(pops int) {
+		leg := Leg{
+			Name:       name,
+			Shard:      shard,
+			DurationUS: time.Since(start).Microseconds(),
+			Pops:       pops,
+		}
+		t.mu.Lock()
+		t.legs = append(t.legs, leg)
+		t.mu.Unlock()
+	}
+}
+
+// Legs returns a copy of the legs recorded so far. Safe on nil.
+func (t *Trace) Legs() []Leg {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Leg, len(t.legs))
+	copy(out, t.legs)
+	return out
+}

@@ -13,6 +13,7 @@ package server
 
 import (
 	"road"
+	"road/internal/obs"
 	"road/internal/shard"
 )
 
@@ -40,7 +41,9 @@ type StatsJSON struct {
 	IOWrites       int64 `json:"io_writes,omitempty"`
 }
 
-// QueryResponse answers /knn and /within.
+// QueryResponse answers /knn and /within. Trace is present only when
+// the request asked for it (&trace=1): the query's per-leg breakdown —
+// which phases and shards it visited, and what each cost.
 type QueryResponse struct {
 	Node      road.NodeID  `json:"node"`
 	Epoch     uint64       `json:"epoch"`
@@ -48,9 +51,11 @@ type QueryResponse struct {
 	Results   []ResultJSON `json:"results"`
 	Stats     StatsJSON    `json:"stats"`
 	ElapsedUS int64        `json:"elapsed_us"`
+	Trace     []obs.Leg    `json:"trace,omitempty"`
 }
 
-// PathResponse answers /path.
+// PathResponse answers /path. Trace is present only when the request
+// asked for it (&trace=1).
 type PathResponse struct {
 	Node      road.NodeID   `json:"node"`
 	Object    road.ObjectID `json:"object"`
@@ -59,6 +64,7 @@ type PathResponse struct {
 	Path      []road.NodeID `json:"path"`
 	Stats     StatsJSON     `json:"stats"`
 	ElapsedUS int64         `json:"elapsed_us"`
+	Trace     []obs.Leg     `json:"trace,omitempty"`
 }
 
 // BatchResponse answers POST /batch: one entry per request, all computed

@@ -1,15 +1,19 @@
 package server
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"net/url"
-	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
+
+	"road/internal/obs"
 )
 
 // LoadOptions configures a load-generation run against a roadd server.
@@ -48,6 +52,7 @@ type LoadReport struct {
 	MeanUS      float64 `json:"mean_us"`
 	P50US       int64   `json:"p50_us"`
 	P90US       int64   `json:"p90_us"`
+	P95US       int64   `json:"p95_us"`
 	P99US       int64   `json:"p99_us"`
 	MaxUS       int64   `json:"max_us"`
 	// CacheHitRate covers this run only: the delta of the server's
@@ -170,15 +175,16 @@ func RunLoad(opts LoadOptions) (LoadReport, error) {
 		report.QPS = float64(len(latencies)) / elapsed.Seconds()
 	}
 	if len(latencies) > 0 {
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		obs.SortDurations(latencies)
 		var sum time.Duration
 		for _, l := range latencies {
 			sum += l
 		}
 		report.MeanUS = float64(sum.Microseconds()) / float64(len(latencies))
-		report.P50US = percentile(latencies, 0.50).Microseconds()
-		report.P90US = percentile(latencies, 0.90).Microseconds()
-		report.P99US = percentile(latencies, 0.99).Microseconds()
+		report.P50US = obs.PercentileDuration(latencies, 0.50).Microseconds()
+		report.P90US = obs.PercentileDuration(latencies, 0.90).Microseconds()
+		report.P95US = obs.PercentileDuration(latencies, 0.95).Microseconds()
+		report.P99US = obs.PercentileDuration(latencies, 0.99).Microseconds()
 		report.MaxUS = latencies[len(latencies)-1].Microseconds()
 	}
 	if after, err := fetchStats(opts.Target); err == nil {
@@ -190,10 +196,54 @@ func RunLoad(opts LoadOptions) (LoadReport, error) {
 	return report, nil
 }
 
-// percentile picks p ∈ [0,1] from sorted latencies (nearest-rank).
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	idx := int(p * float64(len(sorted)-1))
-	return sorted[idx]
+// ScrapeMetrics fetches target's /metrics endpoint and returns the
+// single-valued series as a flat map keyed by `name` or `name{labels}`.
+// Histogram bucket series (`..._bucket`) are skipped — callers wanting
+// distribution detail should read the `_sum`/`_count` pairs, which are
+// returned. Used by roadbench to fold server-side counters into its
+// reports.
+func ScrapeMetrics(target string) (map[string]float64, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(target + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Series are `name value` or `name{labels} value`; the value is
+		// always the last space-separated field.
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		key := strings.TrimSpace(line[:sp])
+		name := key
+		if b := strings.IndexByte(name, '{'); b >= 0 {
+			name = name[:b]
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[sp+1:]), 64)
+		if err != nil {
+			continue
+		}
+		out[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func fetchStats(target string) (StatsResponse, error) {

@@ -5,13 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
+	"os"
 	"strconv"
-	"sync/atomic"
+	"sync"
 	"time"
 
 	"road"
+	"road/internal/obs"
 )
 
 // Options tunes a Server. The zero value serves with a
@@ -38,6 +41,16 @@ type Options struct {
 	// wires this to an atomic write of its -snapshot file(s), followed by
 	// journal rotation.
 	SnapshotSave func() (int64, error)
+	// SlowQueryThreshold, when positive, makes every read query carry a
+	// trace (internal/obs) and logs queries at least this slow — with
+	// their per-leg timings — to SlowQueryWriter as one JSON line each.
+	SlowQueryThreshold time.Duration
+	// SlowQueryWriter receives slow-query lines (os.Stderr when nil and
+	// SlowQueryThreshold is set).
+	SlowQueryWriter io.Writer
+	// QueryLog, when non-nil, receives a sampled obs.QueryRecord for
+	// every read query served. The server does not close it.
+	QueryLog *obs.QueryLog
 }
 
 // Server serves one road.Store — a single-index road.DB or a sharded
@@ -58,20 +71,12 @@ type Server struct {
 	timeout  time.Duration         // zero = unbounded queries
 	start    time.Time
 
-	knnCount    atomic.Uint64
-	withinCount atomic.Uint64
-	pathCount   atomic.Uint64
-	batchCount  atomic.Uint64
-	maintCount  atomic.Uint64
-	errCount    atomic.Uint64
-	timeoutCnt  atomic.Uint64
+	met *metrics // request counters, latency/cost histograms, /metrics registry
 
-	nodesPopped    atomic.Int64
-	rnetsBypassed  atomic.Int64
-	rnetsDescended atomic.Int64
-	shardsSearched atomic.Int64
-	ioReads        atomic.Int64
-	ioFaults       atomic.Int64
+	slowThresh time.Duration // zero = slow-query logging off
+	slowW      io.Writer
+	slowMu     sync.Mutex
+	qlog       *obs.QueryLog // nil = query logging off
 }
 
 // New wires a serving subsystem around any road.Store: an opened
@@ -84,24 +89,24 @@ func New(store road.Store, opts Options) *Server {
 		coord = NewSelfCoordinated(store.Epoch, synced.Exclusive)
 	}
 	s := &Server{
-		b:        store,
-		coord:    coord,
-		pool:     NewSessionPool(store, opts.MaxIdleSessions),
-		snapshot: opts.SnapshotSave,
-		timeout:  opts.QueryTimeout,
-		start:    time.Now(),
+		b:          store,
+		coord:      coord,
+		pool:       NewSessionPool(store, opts.MaxIdleSessions),
+		snapshot:   opts.SnapshotSave,
+		timeout:    opts.QueryTimeout,
+		start:      time.Now(),
+		slowThresh: opts.SlowQueryThreshold,
+		slowW:      opts.SlowQueryWriter,
+		qlog:       opts.QueryLog,
+	}
+	if s.slowThresh > 0 && s.slowW == nil {
+		s.slowW = os.Stderr
 	}
 	if opts.CacheSize >= 0 {
 		s.cache = NewResultCache(opts.CacheSize)
 	}
+	s.met = newMetrics(s)
 	return s
-}
-
-// NewSharded wires a serving subsystem around a sharded database.
-//
-// Deprecated: road.ShardedDB satisfies road.Store — call New directly.
-func NewSharded(db *road.ShardedDB, opts Options) *Server {
-	return New(db, opts)
 }
 
 // Coordinator exposes the coordination layer (tests and embedders).
@@ -122,7 +127,12 @@ func (s *Server) Coordinator() *Coordinator { return s.coord }
 //	POST /maintenance/delete-object              {"object":O}
 //	POST /maintenance/set-attr                   {"object":O,"attr":A}
 //	GET  /stats                                  serving statistics
+//	GET  /metrics                                Prometheus text exposition
 //	GET  /healthz                                liveness probe
+//
+// The read endpoints (/knn, /within, /path) accept &trace=1, which
+// bypasses the result cache and returns the query's per-leg trace
+// (phase timings and settled-node counts) in the response.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /knn", s.handleKNN)
@@ -138,6 +148,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /maintenance/set-attr", s.maintenance(s.opSetAttr))
 	mux.HandleFunc("POST /admin/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
@@ -188,14 +199,14 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) writeErr(w http.ResponseWriter, code int, format string, args ...any) {
-	s.errCount.Add(1)
+	s.met.errors.Inc()
 	s.writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
 // writeQueryErr maps a typed query error to its HTTP status and wire code
 // — the error-contract half of the v1 API on the wire.
 func (s *Server) writeQueryErr(w http.ResponseWriter, err error) {
-	s.errCount.Add(1)
+	s.met.errors.Inc()
 	status, code := queryErrStatus(err)
 	s.countTimeout(code)
 	s.writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
@@ -205,7 +216,7 @@ func (s *Server) writeQueryErr(w http.ResponseWriter, err error) {
 // expiries — not client disconnects or budget stops — count.
 func (s *Server) countTimeout(code string) {
 	if code == "deadline_exceeded" {
-		s.timeoutCnt.Add(1)
+		s.met.timeouts.Inc()
 	}
 }
 
@@ -231,14 +242,30 @@ func queryErrStatus(err error) (int, string) {
 	}
 }
 
-func (s *Server) recordStats(st road.Stats) {
-	s.nodesPopped.Add(int64(st.NodesPopped))
-	s.rnetsBypassed.Add(int64(st.RnetsBypassed))
-	s.rnetsDescended.Add(int64(st.RnetsDescended))
-	s.shardsSearched.Add(int64(st.ShardsSearched))
-	s.ioReads.Add(st.IO.Reads)
-	s.ioFaults.Add(st.IO.Faults)
+func (s *Server) recordStats(st road.Stats) { s.met.record(st) }
+
+// logQuery stamps and submits one query-log record (no-op without a
+// configured query log).
+func (s *Server) logQuery(rec obs.QueryRecord) {
+	if s.qlog == nil {
+		return
+	}
+	rec.TS = time.Now().UTC().Format(time.RFC3339Nano)
+	s.qlog.Log(rec)
 }
+
+// traceCtx attaches a query trace to ctx when this request needs one:
+// the client asked for it (&trace=1) or slow-query logging is on (every
+// query carries a trace so an offender's legs can be logged).
+func (s *Server) traceCtx(ctx context.Context, wantTrace bool) (context.Context, *obs.Trace) {
+	if !wantTrace && s.slowThresh <= 0 {
+		return ctx, nil
+	}
+	return obs.WithTrace(ctx)
+}
+
+// wantTrace reports whether the client asked for the per-leg trace.
+func wantTrace(r *http.Request) bool { return r.URL.Query().Get("trace") == "1" }
 
 // queryCtx derives the context one read query runs under: the client's
 // request context (canceled when the client goes away), bounded by the
@@ -310,9 +337,9 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.knnCount.Add(1)
+	s.met.requests[epKNN].Inc()
 	req := road.KNNRequest{From: road.NodeID(node), K: int(k), Attr: attr, Budget: budget}
-	s.serveQuery(w, r, KNNKey(req.From, req.K, attr), budget == 0,
+	s.serveQuery(w, r, epKNN, KNNKey(req.From, req.K, attr), budget == 0,
 		func(ctx context.Context, sess road.Querier) ([]road.Result, road.Stats, error) {
 			return sess.KNNContext(ctx, req)
 		})
@@ -339,9 +366,9 @@ func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.withinCount.Add(1)
+	s.met.requests[epWithin].Inc()
 	req := road.WithinRequest{From: road.NodeID(node), Radius: radius, Attr: attr, Budget: budget}
-	s.serveQuery(w, r, WithinKey(req.From, radius, attr), budget == 0,
+	s.serveQuery(w, r, epWithin, WithinKey(req.From, radius, attr), budget == 0,
 		func(ctx context.Context, sess road.Querier) ([]road.Result, road.Stats, error) {
 			return sess.WithinContext(ctx, req)
 		})
@@ -355,46 +382,84 @@ func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
 // a mutation may complete mid-query; the answer is still valid (it was
 // correct at the observed epoch), but it is only admitted to the cache
 // when Read reports the epoch stayed stable across the execution.
-func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, key CacheKey, cacheable bool, run func(context.Context, road.Querier) ([]road.Result, road.Stats, error)) {
+//
+// Trace-carrying requests (&trace=1) bypass the cache entirely — both
+// probe and fill — so every leg in the returned trace reflects work this
+// request actually performed.
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, ep endpoint, key CacheKey, cacheable bool, run func(context.Context, road.Querier) ([]road.Result, road.Stats, error)) {
 	start := time.Now()
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
+	traced := wantTrace(r)
+	ctx, tr := s.traceCtx(ctx, traced)
+	useCache := cacheable && s.cache != nil && !traced
+	cacheOutcome := "bypass"
 	var resp QueryResponse
 	var queryErr error
 	var fill *CachedAnswer
+	var st road.Stats
 	stable := s.coord.Read(func(epoch uint64) {
 		resp.Epoch = epoch
-		if cacheable && s.cache != nil {
+		if useCache {
 			if ans, ok := s.cache.Get(key, epoch); ok {
+				cacheOutcome = "hit"
 				resp.Cached = true
 				resp.Results = resultsJSON(ans.Results)
 				resp.Stats = statsJSON(ans.Stats)
 				return
 			}
+			cacheOutcome = "miss"
 		}
 		sess := s.pool.Get()
-		res, st, err := run(ctx, sess)
+		res, qst, err := run(ctx, sess)
 		s.pool.Put(sess)
+		st = qst
 		if err != nil {
 			queryErr = err
 			return
 		}
 		s.recordStats(st)
-		if cacheable && s.cache != nil && !st.Truncated {
+		if useCache && !st.Truncated {
 			fill = &CachedAnswer{Results: res, Stats: st}
 		}
 		resp.Results = resultsJSON(res)
 		resp.Stats = statsJSON(st)
 	})
+	elapsed := time.Since(start)
+	s.met.latency[ep].Observe(elapsed.Seconds())
+	rec := obs.QueryRecord{
+		Op:         endpointNames[ep],
+		Node:       int64(key.Node),
+		Attr:       key.Attr,
+		Shards:     st.ShardsSearched,
+		Pops:       st.NodesPopped,
+		DurationUS: elapsed.Microseconds(),
+		Cache:      cacheOutcome,
+		Truncated:  st.Truncated,
+	}
+	switch key.Kind {
+	case 'k':
+		rec.K = key.K
+	case 'w':
+		rec.Radius = math.Float64frombits(key.RadiusBits)
+	}
 	if queryErr != nil {
+		_, rec.Code = queryErrStatus(queryErr)
+		s.logQuery(rec)
 		s.writeQueryErr(w, queryErr)
 		return
 	}
+	rec.Results = len(resp.Results)
+	s.logQuery(rec)
+	s.logSlow(rec.Op, rec.Node, elapsed, st, tr)
 	if fill != nil && stable {
 		s.cache.Put(key, resp.Epoch, *fill)
 	}
 	resp.Node = key.Node
-	resp.ElapsedUS = time.Since(start).Microseconds()
+	resp.ElapsedUS = elapsed.Microseconds()
+	if traced {
+		resp.Trace = tr.Legs()
+	}
 	if resp.Results == nil {
 		resp.Results = []ResultJSON{}
 	}
@@ -412,16 +477,20 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.pathCount.Add(1)
+	s.met.requests[epPath].Inc()
 	start := time.Now()
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
+	traced := wantTrace(r)
+	ctx, tr := s.traceCtx(ctx, traced)
 	var resp PathResponse
 	var pathErr error
+	var st road.Stats
 	s.coord.Read(func(epoch uint64) {
 		sess := s.pool.Get()
-		p, st, err := sess.PathToContext(ctx, road.PathRequest{From: road.NodeID(node), Object: road.ObjectID(obj)})
+		p, qst, err := sess.PathToContext(ctx, road.PathRequest{From: road.NodeID(node), Object: road.ObjectID(obj)})
 		s.pool.Put(sess)
+		st = qst
 		if err != nil {
 			pathErr = err
 			return
@@ -436,11 +505,29 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 			Stats:  statsJSON(st),
 		}
 	})
+	elapsed := time.Since(start)
+	s.met.latency[epPath].Observe(elapsed.Seconds())
+	rec := obs.QueryRecord{
+		Op:         endpointNames[epPath],
+		Node:       node,
+		Shards:     st.ShardsSearched,
+		Pops:       st.NodesPopped,
+		DurationUS: elapsed.Microseconds(),
+		Truncated:  st.Truncated,
+	}
 	if pathErr != nil {
+		_, rec.Code = queryErrStatus(pathErr)
+		s.logQuery(rec)
 		s.writeQueryErr(w, pathErr)
 		return
 	}
-	resp.ElapsedUS = time.Since(start).Microseconds()
+	rec.Results = len(resp.Path)
+	s.logQuery(rec)
+	s.logSlow(rec.Op, node, elapsed, st, tr)
+	resp.ElapsedUS = elapsed.Microseconds()
+	if traced {
+		resp.Trace = tr.Legs()
+	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -458,11 +545,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, "empty batch")
 		return
 	}
-	s.batchCount.Add(1)
+	s.met.requests[epBatch].Inc()
 	start := time.Now()
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
 	var resp BatchResponse
+	var totalPops, totalShards int
 	s.coord.Read(func(epoch uint64) {
 		sess := s.pool.Get()
 		answers := road.RunBatch(ctx, sess, reqs)
@@ -474,7 +562,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				Stats: statsJSON(a.Stats),
 			}
 			if a.Err != nil {
-				s.errCount.Add(1)
+				s.met.errors.Inc()
 				_, code := queryErrStatus(a.Err)
 				s.countTimeout(code)
 				item.Error = a.Err.Error()
@@ -489,10 +577,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				item.Results = []ResultJSON{}
 			}
 			s.recordStats(a.Stats)
+			totalPops += a.Stats.NodesPopped
+			totalShards += a.Stats.ShardsSearched
 			resp.Responses[i] = item
 		}
 	})
-	resp.ElapsedUS = time.Since(start).Microseconds()
+	elapsed := time.Since(start)
+	s.met.latency[epBatch].Observe(elapsed.Seconds())
+	// One record for the whole batch: Node is the entry count (a batch has
+	// no single origin), Pops/Shards the summed cost.
+	s.logQuery(obs.QueryRecord{
+		Op:         endpointNames[epBatch],
+		Node:       int64(len(reqs)),
+		Shards:     totalShards,
+		Pops:       totalPops,
+		Results:    len(resp.Responses),
+		DurationUS: elapsed.Microseconds(),
+	})
+	resp.ElapsedUS = elapsed.Microseconds()
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -506,7 +608,9 @@ func (s *Server) maintenance(op func(*MaintenanceRequest, *MaintenanceResponse) 
 			s.writeErr(w, http.StatusBadRequest, "decoding request body: %v", err)
 			return
 		}
-		s.maintCount.Add(1)
+		s.met.requests[epMaint].Inc()
+		start := time.Now()
+		defer func() { s.met.latency[epMaint].Observe(time.Since(start).Seconds()) }()
 		// IDs start at 0, so "not applicable" needs an explicit -1 marker;
 		// each op overwrites the fields it concerns.
 		resp := MaintenanceResponse{Edge: road.NoEdge, Object: -1}
@@ -611,19 +715,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	resp.UptimeSeconds = time.Since(s.start).Seconds()
-	resp.Requests.KNN = s.knnCount.Load()
-	resp.Requests.Within = s.withinCount.Load()
-	resp.Requests.Path = s.pathCount.Load()
-	resp.Requests.Batch = s.batchCount.Load()
-	resp.Requests.Maintenance = s.maintCount.Load()
-	resp.Requests.Errors = s.errCount.Load()
-	resp.Requests.Timeouts = s.timeoutCnt.Load()
-	resp.Traversal.NodesPopped = s.nodesPopped.Load()
-	resp.Traversal.RnetsBypassed = s.rnetsBypassed.Load()
-	resp.Traversal.RnetsDescended = s.rnetsDescended.Load()
-	resp.Traversal.ShardsSearched = s.shardsSearched.Load()
-	resp.Traversal.IOReads = s.ioReads.Load()
-	resp.Traversal.IOFaults = s.ioFaults.Load()
+	resp.Requests.KNN = s.met.requests[epKNN].Value()
+	resp.Requests.Within = s.met.requests[epWithin].Value()
+	resp.Requests.Path = s.met.requests[epPath].Value()
+	resp.Requests.Batch = s.met.requests[epBatch].Value()
+	resp.Requests.Maintenance = s.met.requests[epMaint].Value()
+	resp.Requests.Errors = s.met.errors.Value()
+	resp.Requests.Timeouts = s.met.timeouts.Value()
+	resp.Traversal.NodesPopped = int64(s.met.nodesPopped.Value())
+	resp.Traversal.RnetsBypassed = int64(s.met.rnetsBypassed.Value())
+	resp.Traversal.RnetsDescended = int64(s.met.rnetsDescended.Value())
+	resp.Traversal.ShardsSearched = int64(s.met.shardsSearched.Value())
+	resp.Traversal.IOReads = int64(s.met.ioReads.Value())
+	resp.Traversal.IOFaults = int64(s.met.ioFaults.Value())
 	if s.cache != nil {
 		resp.Cache = s.cache.Stats()
 	}

@@ -7,6 +7,7 @@ import (
 	"road/internal/apierr"
 	"road/internal/core"
 	"road/internal/graph"
+	"road/internal/obs"
 )
 
 // gatewayPred records how a border was best reached during a
@@ -74,7 +75,7 @@ func (s *Session) pathToLocked(from graph.NodeID, gid graph.ObjectID, lim core.L
 		}
 		gs := s.search(h)
 		lf := target.localNode[from]
-		if err := s.runLeg(gs, &stats, lim, func(opt graph.Options) {
+		if err := s.runLeg(h, gs, &stats, lim, func(opt graph.Options) {
 			gs.Run(lf, opt)
 		}, graph.Options{Targets: []graph.NodeID{le.U, le.V}}); err != nil {
 			return nil, 0, stats, err
@@ -100,7 +101,7 @@ func (s *Session) pathToLocked(from graph.NodeID, gid graph.ObjectID, lim core.L
 		for i, b := range sh.borders {
 			targets[i] = sh.localNode[b]
 		}
-		if err := s.runLeg(gs, &stats, lim, func(opt graph.Options) {
+		if err := s.runLeg(h, gs, &stats, lim, func(opt graph.Options) {
 			gs.Run(sh.localNode[from], opt)
 		}, graph.Options{Targets: targets}); err != nil {
 			return nil, 0, stats, err
@@ -134,7 +135,7 @@ func (s *Session) pathToLocked(from graph.NodeID, gid graph.ObjectID, lim core.L
 	}
 	if len(seeds) > 0 {
 		gs := s.search(target.ID)
-		if err := s.runLeg(gs, &stats, lim, func(opt graph.Options) {
+		if err := s.runLeg(target.ID, gs, &stats, lim, func(opt graph.Options) {
 			gs.RunSeeded(seeds, opt)
 		}, graph.Options{Targets: []graph.NodeID{le.U, le.V}}); err != nil {
 			return nil, 0, stats, err
@@ -160,9 +161,11 @@ func (s *Session) pathToLocked(from graph.NodeID, gid graph.ObjectID, lim core.L
 
 // runLeg executes one per-shard Dijkstra leg (run receives the final
 // options) with cooperative cancellation and records its cost: settled
-// nodes into stats.NodesPopped, one more searched shard, and the
-// traversal budget shared with the rest of the query.
-func (s *Session) runLeg(gs *graph.Search, stats *core.QueryStats, lim core.Limits, run func(graph.Options), opt graph.Options) error {
+// nodes into stats.NodesPopped, one more searched shard, the traversal
+// budget shared with the rest of the query, and — when the query
+// carries a trace — a timed "path_leg" record for shard sid.
+func (s *Session) runLeg(sid ID, gs *graph.Search, stats *core.QueryStats, lim core.Limits, run func(graph.Options), opt graph.Options) error {
+	done := obs.FromContext(lim.Ctx).StartLeg("path_leg", int(sid))
 	aborted := false
 	if lim.Ctx != nil || lim.Budget > 0 {
 		settled := 0
@@ -179,6 +182,7 @@ func (s *Session) runLeg(gs *graph.Search, stats *core.QueryStats, lim core.Limi
 	run(opt)
 	stats.NodesPopped += gs.Visited
 	stats.ShardsSearched++
+	done(gs.Visited)
 	if aborted {
 		stats.Truncated = true
 		if lim.Ctx != nil {
@@ -268,7 +272,7 @@ func (s *Session) legPath(sid ID, a, b graph.NodeID, stats *core.QueryStats, lim
 		return nil, fmt.Errorf("shard: leg %d->%d not inside shard %d", a, b, sid)
 	}
 	gs := s.search(sid)
-	if err := s.runLeg(gs, stats, lim, func(opt graph.Options) {
+	if err := s.runLeg(sid, gs, stats, lim, func(opt graph.Options) {
 		gs.Run(la, opt)
 	}, graph.Options{Targets: []graph.NodeID{lb}}); err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 
 	"road/internal/core"
 	"road/internal/graph"
+	"road/internal/obs"
 	"road/internal/pqueue"
 )
 
@@ -173,6 +174,7 @@ func (s *Session) KNNLimited(from graph.NodeID, k int, attr int32, lim core.Limi
 		if final {
 			return res, st, err
 		}
+		s.r.shards[homes[0]].escalations.Add(1)
 		carried = st.NodesPopped
 	}
 	s.r.rlockAll()
@@ -197,8 +199,10 @@ func (s *Session) knnFast(h ID, from graph.NodeID, k int, attr int32, lim core.L
 	sh := s.r.shards[h]
 	sh.homeQueries.Add(1)
 	lf := sh.localNode[from]
+	done := obs.FromContext(lim.Ctx).StartLeg("home_fast", int(h))
 	res, st, err := s.sess[h].SearchSeededLimited(s.seed1(lf), attr, k, 0, nil, nil, s.sub(lim, &stats))
 	accumulate(&stats, st)
+	done(st.NodesPopped)
 	if err != nil {
 		return translateInPlace(sh, res), stats, err, true
 	}
@@ -220,8 +224,11 @@ func (s *Session) knnHomeLocked(h ID, from graph.NodeID, k int, attr int32, lim 
 	stats.NodesPopped = carried
 	sh := s.r.shards[h]
 	lf := sh.localNode[from]
+	tr := obs.FromContext(lim.Ctx)
+	done := tr.StartLeg("home_locked", int(h))
 	res, st, err := s.sess[h].SearchSeededLimited(s.seed1(lf), attr, k, 0, nil, nil, s.sub(lim, &stats))
 	accumulate(&stats, st)
+	done(st.NodesPopped)
 	if err != nil {
 		return translateInPlace(sh, res), stats, err
 	}
@@ -240,9 +247,11 @@ func (s *Session) knnHomeLocked(h ID, from graph.NodeID, k int, attr int32, lim 
 		stopAt = res[k-1].Dist * (1 + 1e-12)
 	}
 	s.clearWatch()
+	done = tr.StartLeg("home_watched", int(h))
 	_, st, err = s.sess[h].SearchSeededLimited(
 		s.seed1(lf), attr, k, stopAt, sh.watch, s.wdist, s.sub(lim, &stats))
 	accumulate(&stats, st)
+	done(st.NodesPopped)
 	// The watched re-run revisits the SAME home shard (its pops are
 	// real cost and stay counted); only distinct shards entered count
 	// toward ShardsSearched, so a query that never leaves its home
@@ -307,13 +316,16 @@ func (s *Session) knnSlowMulti(homes []ID, from graph.NodeID, k int, attr int32,
 	m := &s.m
 	m.reset()
 	clear(s.gdist)
+	tr := obs.FromContext(lim.Ctx)
 	for _, h := range homes {
 		sh := s.r.shards[h]
 		sh.homeQueries.Add(1)
 		s.clearWatch()
+		done := tr.StartLeg("home_watched", int(h))
 		res, st, err := s.sess[h].SearchSeededLimited(
 			s.seed1(sh.localNode[from]), attr, k, 0, sh.watch, s.wdist, s.sub(lim, &stats))
 		accumulate(&stats, st)
+		done(st.NodesPopped)
 		m.addFrom(sh, res)
 		if err != nil {
 			return m.take(k), stats, err
@@ -342,6 +354,7 @@ func (s *Session) knnSlowMulti(homes []ID, from graph.NodeID, k int, attr int32,
 // still improve the candidate set.
 func (s *Session) knnFinish(k int, attr int32, stats core.QueryStats, lim core.Limits) ([]core.Result, core.QueryStats, error) {
 	m := &s.m
+	tr := obs.FromContext(lim.Ctx)
 	for _, en := range s.entryOrder() {
 		bound := m.kth(k)
 		if en.dist >= bound {
@@ -359,8 +372,10 @@ func (s *Session) knnFinish(k int, attr int32, stats core.QueryStats, lim core.L
 			stopAt = bound
 		}
 		sh.remoteEntries.Add(1)
+		done := tr.StartLeg("enter", int(en.id))
 		res, st, err := s.sess[en.id].SearchSeededLimited(seeds, attr, k, stopAt, nil, nil, s.sub(lim, &stats))
 		accumulate(&stats, st)
+		done(st.NodesPopped)
 		m.addFrom(sh, res)
 		if err != nil {
 			return m.take(k), stats, err
@@ -398,6 +413,7 @@ func (s *Session) WithinLimited(from graph.NodeID, radius float64, attr int32, l
 		if final {
 			return res, st, err
 		}
+		s.r.shards[homes[0]].escalations.Add(1)
 	}
 	s.r.rlockAll()
 	defer s.r.runlockAll()
@@ -419,8 +435,10 @@ func (s *Session) withinFast(h ID, from graph.NodeID, radius float64, attr int32
 		return nil, stats, nil, false
 	}
 	sh.homeQueries.Add(1)
+	done := obs.FromContext(lim.Ctx).StartLeg("home_fast", int(h))
 	res, st, err := s.sess[h].SearchSeededLimited(s.seed1(lf), attr, 0, radius, nil, nil, s.sub(lim, &stats))
 	accumulate(&stats, st)
+	done(st.NodesPopped)
 	return translateInPlace(sh, res), stats, err, true
 }
 
@@ -433,15 +451,20 @@ func (s *Session) withinHomeLocked(h ID, from graph.NodeID, radius float64, attr
 	sh := s.r.shards[h]
 	sh.homeQueries.Add(1)
 	lf := sh.localNode[from]
+	tr := obs.FromContext(lim.Ctx)
 	if sh.borderDist[lf] > radius {
+		done := tr.StartLeg("home_locked", int(h))
 		res, st, err := s.sess[h].SearchSeededLimited(s.seed1(lf), attr, 0, radius, nil, nil, s.sub(lim, &stats))
 		accumulate(&stats, st)
+		done(st.NodesPopped)
 		return translateInPlace(sh, res), stats, err
 	}
 	s.clearWatch()
+	done := tr.StartLeg("home_watched", int(h))
 	res, st, err := s.sess[h].SearchSeededLimited(
 		s.seed1(lf), attr, 0, radius, sh.watch, s.wdist, s.sub(lim, &stats))
 	accumulate(&stats, st)
+	done(st.NodesPopped)
 	if err != nil {
 		return translateInPlace(sh, res), stats, err
 	}
@@ -462,13 +485,16 @@ func (s *Session) withinSlowMulti(homes []ID, from graph.NodeID, radius float64,
 	m := &s.m
 	m.reset()
 	clear(s.gdist)
+	tr := obs.FromContext(lim.Ctx)
 	for _, h := range homes {
 		sh := s.r.shards[h]
 		sh.homeQueries.Add(1)
 		s.clearWatch()
+		done := tr.StartLeg("home_watched", int(h))
 		res, st, err := s.sess[h].SearchSeededLimited(
 			s.seed1(sh.localNode[from]), attr, 0, radius, sh.watch, s.wdist, s.sub(lim, &stats))
 		accumulate(&stats, st)
+		done(st.NodesPopped)
 		m.addFrom(sh, res)
 		if err != nil {
 			return m.take(-1), stats, err
@@ -494,6 +520,7 @@ func (s *Session) withinFinish(radius float64, attr int32, stats core.QueryStats
 		stats.Truncated = true
 		return m.take(-1), stats, err
 	}
+	tr := obs.FromContext(lim.Ctx)
 	for _, en := range s.entryOrder() {
 		if en.dist > radius {
 			break
@@ -504,8 +531,10 @@ func (s *Session) withinFinish(radius float64, attr int32, stats core.QueryStats
 			continue
 		}
 		sh.remoteEntries.Add(1)
+		done := tr.StartLeg("enter", int(en.id))
 		res, st, err := s.sess[en.id].SearchSeededLimited(seeds, attr, 0, radius, nil, nil, s.sub(lim, &stats))
 		accumulate(&stats, st)
+		done(st.NodesPopped)
 		m.addFrom(sh, res)
 		if err != nil {
 			return m.take(-1), stats, err
@@ -545,6 +574,10 @@ func (s *Session) gateway(cap float64, pred map[graph.NodeID]gatewayPred, lim co
 		}
 	}
 	pops := 0
+	if tr := obs.FromContext(lim.Ctx); tr != nil {
+		done := tr.StartLeg("gateway", -1)
+		defer func() { done(pops) }()
+	}
 	for s.gpq.Len() > 0 {
 		item, _ := s.gpq.Pop()
 		d := item.Priority

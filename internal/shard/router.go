@@ -264,6 +264,7 @@ func (r *Router) Mutate(encode func() (ID, snapshot.Op, error), apply func(ID, s
 		r.shards[sid].F.WarmTrees()
 		return op, err
 	}
+	r.shards[sid].mutations.Add(1)
 	return op, nil
 }
 
@@ -667,6 +668,8 @@ type Info struct {
 	IndexKB       int64  `json:"index_kb"`
 	HomeQueries   uint64 `json:"home_queries"`
 	RemoteEntries uint64 `json:"remote_entries"`
+	Escalations   uint64 `json:"escalations"`
+	Mutations     uint64 `json:"mutations"`
 }
 
 // Infos snapshots per-shard state and load counters. Safe to call
@@ -685,6 +688,8 @@ func (r *Router) Infos() []Info {
 			IndexKB:       s.F.IndexSizeBytes() / 1024,
 			HomeQueries:   s.homeQueries.Load(),
 			RemoteEntries: s.remoteEntries.Load(),
+			Escalations:   s.escalations.Load(),
+			Mutations:     s.mutations.Load(),
 		}
 		r.shardMu[i].RUnlock()
 	}

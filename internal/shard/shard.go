@@ -103,9 +103,13 @@ type Shard struct {
 	fullRefresh bool
 
 	// Load counters (read path, hence atomic): queries whose query node
-	// lives in this shard, and cross-shard expansions entering it.
+	// lives in this shard, cross-shard expansions entering it, home
+	// queries that escalated past the nearest-border fast path, and
+	// mutations applied to it.
 	homeQueries   atomic.Uint64
 	remoteEntries atomic.Uint64
+	escalations   atomic.Uint64
+	mutations     atomic.Uint64
 }
 
 // GlobalNodes returns the shard's local-to-global node map (owned by the

@@ -38,8 +38,8 @@ func TestSnapshotStreamRoundTrip(t *testing.T) {
 		t.Fatalf("epoch diverged: %d vs %d", db.Epoch(), db2.Epoch())
 	}
 	for _, n := range nodes {
-		want, _ := db.KNN(n, 2, AnyAttr)
-		got, _ := db2.KNN(n, 2, AnyAttr)
+		want, _ := testKNN(db, n, 2, AnyAttr)
+		got, _ := testKNN(db2, n, 2, AnyAttr)
 		if len(want) != len(got) {
 			t.Fatalf("KNN(%d) length diverged", n)
 		}
@@ -49,11 +49,11 @@ func TestSnapshotStreamRoundTrip(t *testing.T) {
 			}
 		}
 	}
-	wantPath, wantDist, err := db.PathTo(nodes[0], o.ID)
+	wantPath, wantDist, err := testPathTo(db, nodes[0], o.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotPath, gotDist, err := db2.PathTo(nodes[0], o.ID)
+	gotPath, gotDist, err := testPathTo(db2, nodes[0], o.ID)
 	if err != nil {
 		t.Fatalf("PathTo after reopen: %v", err)
 	}
@@ -190,8 +190,8 @@ func TestJournalWriteAhead(t *testing.T) {
 	if db.Epoch() != db2.Epoch() {
 		t.Fatalf("epoch diverged: %d vs %d", db.Epoch(), db2.Epoch())
 	}
-	want, _ := db.KNN(0, 1, AnyAttr)
-	got, _ := db2.KNN(0, 1, AnyAttr)
+	want, _ := testKNN(db, 0, 1, AnyAttr)
+	got, _ := testKNN(db2, 0, 1, AnyAttr)
 	if len(want) != 1 || len(got) != 1 || want[0].Object != got[0].Object || want[0].Dist != got[0].Dist {
 		t.Fatalf("answers diverged: %+v vs %+v", want, got)
 	}

@@ -1,0 +1,23 @@
+package road
+
+import "context"
+
+// Test shorthands matching the shape of the removed v0 wrappers, so the
+// assertions below stay focused on search semantics rather than request
+// plumbing. They deliberately drop the error like v0 did; tests that
+// care about errors call the Context methods directly.
+
+func testKNN(q Querier, from NodeID, k int, attr int32) ([]Result, Stats) {
+	res, stats, _ := q.KNNContext(context.Background(), NewKNN(from, k, WithAttr(attr)))
+	return res, stats
+}
+
+func testWithin(q Querier, from NodeID, radius float64, attr int32) ([]Result, Stats) {
+	res, stats, _ := q.WithinContext(context.Background(), NewWithin(from, radius, WithAttr(attr)))
+	return res, stats
+}
+
+func testPathTo(q Querier, from NodeID, obj ObjectID) ([]NodeID, float64, error) {
+	p, _, err := q.PathToContext(context.Background(), NewPath(from, obj))
+	return p.Nodes, p.Dist, err
+}

@@ -210,23 +210,6 @@ func (db *DB) SetObjectAttr(id ObjectID, attr int32) error {
 	return db.f.UpdateObjectAttr(id, attr)
 }
 
-// KNN returns the k objects with attribute attr (AnyAttr for all) nearest
-// to the given intersection, closest first.
-//
-// Deprecated: use KNNContext, the context-aware, option-driven v1 entry
-// point (see MIGRATION.md). This wrapper stays until the v1 removal PR.
-func (db *DB) KNN(from NodeID, k int, attr int32) ([]Result, Stats) {
-	return db.f.KNN(core.Query{Node: from, Attr: attr}, k)
-}
-
-// Within returns all matching objects within network distance radius of
-// the given intersection, closest first.
-//
-// Deprecated: use WithinContext (see MIGRATION.md).
-func (db *DB) Within(from NodeID, radius float64, attr int32) ([]Result, Stats) {
-	return db.f.Range(core.Query{Node: from, Attr: attr}, radius)
-}
-
 // SetRoadDistance changes a road's distance metric (e.g. travel time under
 // new traffic conditions); the index repairs itself incrementally.
 func (db *DB) SetRoadDistance(e EdgeID, dist float64) error {
@@ -273,16 +256,6 @@ func (db *DB) IndexSizeBytes() int64 { return db.f.IndexSizeBytes() }
 // were computed under is still current; roadd's result cache is built on
 // this. The counter is safe to read concurrently.
 func (db *DB) Epoch() uint64 { return db.f.Epoch() }
-
-// PathTo returns the detailed shortest route (as a node sequence) from an
-// intersection to an object, plus its network distance. Requires the DB to
-// have been opened with Options.StorePaths; shortcut hops taken during the
-// search are expanded recursively into physical intersections.
-//
-// Deprecated: use PathToContext (see MIGRATION.md).
-func (db *DB) PathTo(from NodeID, obj ObjectID) ([]NodeID, float64, error) {
-	return db.f.PathTo(core.Query{Node: from}, obj)
-}
 
 // --- Persistence (snapshots + write-ahead journal) ---
 
@@ -441,28 +414,6 @@ type Session struct {
 
 // NewSession returns a concurrent query context.
 func (db *DB) NewSession() *Session { return &Session{s: db.f.NewSession(), db: db} }
-
-// KNN is the session variant of DB.KNN.
-//
-// Deprecated: use KNNContext (see MIGRATION.md).
-func (s *Session) KNN(from NodeID, k int, attr int32) ([]Result, Stats) {
-	return s.s.KNN(core.Query{Node: from, Attr: attr}, k)
-}
-
-// Within is the session variant of DB.Within.
-//
-// Deprecated: use WithinContext (see MIGRATION.md).
-func (s *Session) Within(from NodeID, radius float64, attr int32) ([]Result, Stats) {
-	return s.s.Range(core.Query{Node: from, Attr: attr}, radius)
-}
-
-// PathTo is the session variant of DB.PathTo; unlike the DB variant it is
-// safe to call from many sessions concurrently.
-//
-// Deprecated: use PathToContext (see MIGRATION.md).
-func (s *Session) PathTo(from NodeID, obj ObjectID) ([]NodeID, float64, error) {
-	return s.s.PathTo(core.Query{Node: from}, obj)
-}
 
 // Epoch returns the DB's maintenance epoch as seen by this session.
 func (s *Session) Epoch() uint64 { return s.s.Epoch() }

@@ -45,18 +45,18 @@ func TestQuickstartFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, _ := db.KNN(nodes[0], 1, AnyAttr)
+	hits, _ := testKNN(db, nodes[0], 1, AnyAttr)
 	if len(hits) != 1 || hits[0].Object.ID != o.ID {
 		t.Fatalf("KNN = %v", hits)
 	}
 	if math.Abs(hits[0].Dist-2.5) > 1e-12 {
 		t.Fatalf("dist = %g, want 2.5", hits[0].Dist)
 	}
-	within, _ := db.Within(nodes[0], 2.0, AnyAttr)
+	within, _ := testWithin(db, nodes[0], 2.0, AnyAttr)
 	if len(within) != 0 {
 		t.Fatal("object at 2.5 returned for radius 2.0")
 	}
-	within, _ = db.Within(nodes[0], 3.0, AnyAttr)
+	within, _ = testWithin(db, nodes[0], 3.0, AnyAttr)
 	if len(within) != 1 {
 		t.Fatal("object at 2.5 missing for radius 3.0")
 	}
@@ -70,7 +70,7 @@ func TestAttributeQueries(t *testing.T) {
 	}
 	db.AddObject(edges[0], 0.5, 1) // nearer, wrong type
 	want, _ := db.AddObject(edges[3], 0.5, 2)
-	hits, _ := db.KNN(nodes[0], 1, 2)
+	hits, _ := testKNN(db, nodes[0], 1, 2)
 	if len(hits) != 1 || hits[0].Object.ID != want.ID {
 		t.Fatalf("typed KNN = %v", hits)
 	}
@@ -87,7 +87,7 @@ func TestRoadMaintenanceFlow(t *testing.T) {
 	if err := db.SetRoadDistance(edges[0], 10); err != nil {
 		t.Fatal(err)
 	}
-	hits, _ := db.KNN(nodes[0], 1, AnyAttr)
+	hits, _ := testKNN(db, nodes[0], 1, AnyAttr)
 	if math.Abs(hits[0].Dist-13.5) > 1e-12 {
 		t.Fatalf("dist after jam = %g, want 13.5", hits[0].Dist)
 	}
@@ -95,7 +95,7 @@ func TestRoadMaintenanceFlow(t *testing.T) {
 	if _, err := db.AddRoad(nodes[0], nodes[2], 1); err != nil {
 		t.Fatal(err)
 	}
-	hits, _ = db.KNN(nodes[0], 1, AnyAttr)
+	hits, _ = testKNN(db, nodes[0], 1, AnyAttr)
 	if math.Abs(hits[0].Dist-3.5) > 1e-12 {
 		t.Fatalf("dist via bypass = %g, want 3.5", hits[0].Dist)
 	}
@@ -103,7 +103,7 @@ func TestRoadMaintenanceFlow(t *testing.T) {
 	if err := db.CloseRoad(edges[4]); err != nil {
 		t.Fatal(err)
 	}
-	hits, _ = db.KNN(nodes[0], 1, AnyAttr)
+	hits, _ = testKNN(db, nodes[0], 1, AnyAttr)
 	if len(hits) != 0 {
 		t.Fatalf("object survived CloseRoad: %v", hits)
 	}
@@ -116,7 +116,7 @@ func TestRoadMaintenanceFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, _ = db.KNN(nodes[5], 1, AnyAttr)
+	hits, _ = testKNN(db, nodes[5], 1, AnyAttr)
 	if len(hits) != 1 || hits[0].Object.ID != o2.ID {
 		t.Fatalf("KNN after reopen = %v", hits)
 	}
@@ -132,14 +132,14 @@ func TestObjectLifecycle(t *testing.T) {
 	if err := db.SetObjectAttr(o.ID, 9); err != nil {
 		t.Fatal(err)
 	}
-	hits, _ := db.KNN(nodes[0], 1, 9)
+	hits, _ := testKNN(db, nodes[0], 1, 9)
 	if len(hits) != 1 {
 		t.Fatal("attr change not visible")
 	}
 	if err := db.RemoveObject(o.ID); err != nil {
 		t.Fatal(err)
 	}
-	hits, _ = db.KNN(nodes[0], 1, AnyAttr)
+	hits, _ = testKNN(db, nodes[0], 1, AnyAttr)
 	if len(hits) != 0 {
 		t.Fatal("object survived removal")
 	}
@@ -156,7 +156,7 @@ func TestOpenWithObjects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, stats := db.KNN(0, 5, AnyAttr)
+	hits, stats := testKNN(db, 0, 5, AnyAttr)
 	if len(hits) != 5 {
 		t.Fatalf("KNN returned %d", len(hits))
 	}
@@ -185,11 +185,11 @@ func TestPathToFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	from := dataset.RandomNodes(g, 1, 7)[0]
-	hits, _ := db.KNN(from, 1, AnyAttr)
+	hits, _ := testKNN(db, from, 1, AnyAttr)
 	if len(hits) == 0 {
 		t.Fatal("no result")
 	}
-	path, dist, err := db.PathTo(from, hits[0].Object.ID)
+	path, dist, err := testPathTo(db, from, hits[0].Object.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestPathToFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := db2.PathTo(from, hits[0].Object.ID); err == nil {
+	if _, _, err := testPathTo(db2, from, hits[0].Object.ID); err == nil {
 		t.Fatal("PathTo without StorePaths accepted")
 	}
 }
@@ -218,9 +218,9 @@ func TestSessionFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	from := dataset.RandomNodes(g, 1, 10)[0]
-	want, _ := db.KNN(from, 3, AnyAttr)
+	want, _ := testKNN(db, from, 3, AnyAttr)
 	s := db.NewSession()
-	got, _ := s.KNN(from, 3, AnyAttr)
+	got, _ := testKNN(s, from, 3, AnyAttr)
 	if len(got) != len(want) {
 		t.Fatalf("session KNN %d results, want %d", len(got), len(want))
 	}
@@ -229,8 +229,8 @@ func TestSessionFacade(t *testing.T) {
 			t.Fatalf("session result %d differs", i)
 		}
 	}
-	within, _ := s.Within(from, g.EstimateDiameter()*0.1, AnyAttr)
-	wantW, _ := db.Within(from, g.EstimateDiameter()*0.1, AnyAttr)
+	within, _ := testWithin(s, from, g.EstimateDiameter()*0.1, AnyAttr)
+	wantW, _ := testWithin(db, from, g.EstimateDiameter()*0.1, AnyAttr)
 	if len(within) != len(wantW) {
 		t.Fatal("session Within mismatch")
 	}
@@ -243,7 +243,7 @@ func TestDisableIOSim(t *testing.T) {
 		t.Fatal(err)
 	}
 	db.AddObject(edges[2], 0.5, 0)
-	_, stats := db.KNN(nodes[0], 1, AnyAttr)
+	_, stats := testKNN(db, nodes[0], 1, AnyAttr)
 	if stats.IO.Reads != 0 {
 		t.Fatal("I/O recorded with simulation disabled")
 	}

@@ -139,31 +139,6 @@ func (db *ShardedDB) session() *shard.Session {
 	return db.sess
 }
 
-// KNN returns the k objects with attribute attr (AnyAttr for all) nearest
-// to the given intersection, closest first, searching across shards.
-//
-// Deprecated: use KNNContext (see MIGRATION.md).
-func (db *ShardedDB) KNN(from NodeID, k int, attr int32) ([]Result, Stats) {
-	return db.session().KNN(from, k, attr)
-}
-
-// Within returns all matching objects within network distance radius of
-// the given intersection, closest first, searching across shards.
-//
-// Deprecated: use WithinContext (see MIGRATION.md).
-func (db *ShardedDB) Within(from NodeID, radius float64, attr int32) ([]Result, Stats) {
-	return db.session().Within(from, radius, attr)
-}
-
-// PathTo returns the detailed shortest route from an intersection to an
-// object, plus its network distance — crossing shard boundaries as
-// needed. Unlike DB.PathTo it does not require Options.StorePaths.
-//
-// Deprecated: use PathToContext (see MIGRATION.md).
-func (db *ShardedDB) PathTo(from NodeID, obj ObjectID) ([]NodeID, float64, error) {
-	return db.session().PathTo(from, obj)
-}
-
 // ShardedSession is an independent cross-shard read-only query context;
 // any number may query concurrently. The same discipline as Session
 // applies: sessions must not overlap with maintenance calls, and the
@@ -176,27 +151,6 @@ type ShardedSession struct {
 // NewSession returns a concurrent cross-shard query context.
 func (db *ShardedDB) NewSession() *ShardedSession {
 	return &ShardedSession{s: db.r.NewSession(), db: db}
-}
-
-// KNN is the session variant of ShardedDB.KNN.
-//
-// Deprecated: use KNNContext (see MIGRATION.md).
-func (s *ShardedSession) KNN(from NodeID, k int, attr int32) ([]Result, Stats) {
-	return s.s.KNN(from, k, attr)
-}
-
-// Within is the session variant of ShardedDB.Within.
-//
-// Deprecated: use WithinContext (see MIGRATION.md).
-func (s *ShardedSession) Within(from NodeID, radius float64, attr int32) ([]Result, Stats) {
-	return s.s.Within(from, radius, attr)
-}
-
-// PathTo is the session variant of ShardedDB.PathTo.
-//
-// Deprecated: use PathToContext (see MIGRATION.md).
-func (s *ShardedSession) PathTo(from NodeID, obj ObjectID) ([]NodeID, float64, error) {
-	return s.s.PathTo(from, obj)
 }
 
 // Epoch returns the ShardedDB's maintenance epoch as seen by this session.

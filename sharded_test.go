@@ -409,11 +409,11 @@ func TestShardedPersistenceRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for i := 0; i < 40; i++ {
 		n := NodeID(rng.Intn(sdb.NumNodes()))
-		want, _ := sdb.KNN(n, 5, AnyAttr)
-		got, _ := sdb2.KNN(n, 5, AnyAttr)
+		want, _ := testKNN(sdb, n, 5, AnyAttr)
+		got, _ := testKNN(sdb2, n, 5, AnyAttr)
 		assertSameResults(t, "reopened knn", want, got)
-		wantW, _ := sdb.Within(n, 4, AnyAttr)
-		gotW, _ := sdb2.Within(n, 4, AnyAttr)
+		wantW, _ := testWithin(sdb, n, 4, AnyAttr)
+		gotW, _ := testWithin(sdb2, n, 4, AnyAttr)
 		assertSameResults(t, "reopened within", wantW, gotW)
 	}
 

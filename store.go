@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"road/internal/core"
+	"road/internal/obs"
 )
 
 // Store is the v1 contract of one logical ROAD search service: queries,
@@ -129,14 +130,25 @@ var (
 )
 
 // searchLimits folds a request context and budget into core.Limits. A
-// context that can never be canceled (Background, TODO) is dropped so the
-// hot loop skips the poll entirely.
+// context that can never be canceled (Background, TODO) is dropped so
+// the hot loop skips the poll entirely — unless it carries a query
+// trace (internal/obs), which the search layers read back off
+// Limits.Ctx to record per-leg timings.
 func searchLimits(ctx context.Context, budget int) core.Limits {
 	lim := core.Limits{Budget: budget}
-	if ctx != nil && ctx.Done() != nil {
+	if ctx != nil && (ctx.Done() != nil || obs.FromContext(ctx) != nil) {
 		lim.Ctx = ctx
 	}
 	return lim
+}
+
+// traceSearch starts the single "search" trace leg a single-index query
+// records when its context carries a query trace; the sharded router
+// records finer-grained per-phase legs instead. The returned func is
+// called with the query's settled-node count; without a trace it is a
+// shared no-op.
+func traceSearch(ctx context.Context) func(pops int) {
+	return obs.FromContext(ctx).StartLeg("search", -1)
 }
 
 // --- DB: single-index Store implementation ---
@@ -156,7 +168,10 @@ func (db *DB) KNNContext(ctx context.Context, req KNNRequest) ([]Result, Stats, 
 	if err := validateKNN(req, db.NumNodes()); err != nil {
 		return nil, Stats{}, err
 	}
-	return db.f.KNNLimited(core.Query{Node: req.From, Attr: req.Attr}, req.K, req.MaxRadius, searchLimits(ctx, req.Budget))
+	done := traceSearch(ctx)
+	res, stats, err := db.f.KNNLimited(core.Query{Node: req.From, Attr: req.Attr}, req.K, req.MaxRadius, searchLimits(ctx, req.Budget))
+	done(stats.NodesPopped)
+	return res, stats, err
 }
 
 // WithinContext answers a range request; see KNNContext.
@@ -164,7 +179,10 @@ func (db *DB) WithinContext(ctx context.Context, req WithinRequest) ([]Result, S
 	if err := validateWithin(req, db.NumNodes()); err != nil {
 		return nil, Stats{}, err
 	}
-	return db.f.RangeLimited(core.Query{Node: req.From, Attr: req.Attr}, req.Radius, searchLimits(ctx, req.Budget))
+	done := traceSearch(ctx)
+	res, stats, err := db.f.RangeLimited(core.Query{Node: req.From, Attr: req.Attr}, req.Radius, searchLimits(ctx, req.Budget))
+	done(stats.NodesPopped)
+	return res, stats, err
 }
 
 // PathToContext answers a detailed-route request; see KNNContext.
@@ -173,7 +191,9 @@ func (db *DB) PathToContext(ctx context.Context, req PathRequest) (Path, Stats, 
 	if err := validatePath(req, db.NumNodes()); err != nil {
 		return Path{}, Stats{}, err
 	}
+	done := traceSearch(ctx)
 	nodes, dist, stats, err := db.f.PathToLimited(core.Query{Node: req.From, Attr: req.Attr}, req.Object, searchLimits(ctx, req.Budget))
+	done(stats.NodesPopped)
 	return Path{Nodes: nodes, Dist: dist}, stats, err
 }
 
@@ -208,7 +228,10 @@ func (s *Session) KNNContext(ctx context.Context, req KNNRequest) ([]Result, Sta
 	if err := validateKNN(req, s.db.NumNodes()); err != nil {
 		return nil, Stats{}, err
 	}
-	return s.s.KNNLimited(core.Query{Node: req.From, Attr: req.Attr}, req.K, req.MaxRadius, searchLimits(ctx, req.Budget))
+	done := traceSearch(ctx)
+	res, stats, err := s.s.KNNLimited(core.Query{Node: req.From, Attr: req.Attr}, req.K, req.MaxRadius, searchLimits(ctx, req.Budget))
+	done(stats.NodesPopped)
+	return res, stats, err
 }
 
 // WithinContext is the session variant of DB.WithinContext.
@@ -216,7 +239,10 @@ func (s *Session) WithinContext(ctx context.Context, req WithinRequest) ([]Resul
 	if err := validateWithin(req, s.db.NumNodes()); err != nil {
 		return nil, Stats{}, err
 	}
-	return s.s.RangeLimited(core.Query{Node: req.From, Attr: req.Attr}, req.Radius, searchLimits(ctx, req.Budget))
+	done := traceSearch(ctx)
+	res, stats, err := s.s.RangeLimited(core.Query{Node: req.From, Attr: req.Attr}, req.Radius, searchLimits(ctx, req.Budget))
+	done(stats.NodesPopped)
+	return res, stats, err
 }
 
 // PathToContext is the session variant of DB.PathToContext.
@@ -224,7 +250,9 @@ func (s *Session) PathToContext(ctx context.Context, req PathRequest) (Path, Sta
 	if err := validatePath(req, s.db.NumNodes()); err != nil {
 		return Path{}, Stats{}, err
 	}
+	done := traceSearch(ctx)
 	nodes, dist, stats, err := s.s.PathToLimited(core.Query{Node: req.From, Attr: req.Attr}, req.Object, searchLimits(ctx, req.Budget))
+	done(stats.NodesPopped)
 	return Path{Nodes: nodes, Dist: dist}, stats, err
 }
 
