@@ -31,9 +31,18 @@ import (
 	"road/internal/bench"
 	"road/internal/dataset"
 	"road/internal/server"
+	"road/internal/version"
 )
 
 func main() {
+	// Re-exec'd as a shard-host child of the -remote scenario?
+	if os.Getenv(hostEnvAddr) != "" {
+		if err := shardHostMain(); err != nil {
+			fmt.Fprintln(os.Stderr, "roadbench(host):", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		fig     = flag.String("fig", "", "experiment ID to run (default: all)")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
@@ -56,8 +65,32 @@ func main() {
 
 		maintainM = flag.Bool("maintain", false, "benchmark incremental border-table maintenance (filter-and-refresh) against whole-shard rebuild under a mixed read/write load on the CA network -> BENCH_maintain.json")
 		mutations = flag.Int("mutations", 120, "maintain mode: network mutations per side")
+
+		remoteM = flag.Bool("remote", false, "benchmark an out-of-process fleet (2 spawned shard-host processes behind a router) against single-process serving, including a kill-one-host recovery experiment -> BENCH_remote.json")
+
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("roadbench"))
+		return
+	}
+
+	if *remoteM {
+		outPath := *out
+		if outPath == "" {
+			outPath = "BENCH_remote.json"
+		}
+		fleetShards := *shardsM
+		if fleetShards < 2 {
+			fleetShards = 2
+		}
+		if err := runRemoteBench(*scale, *objects, *concurrency, *duration, *cacheSize, fleetShards, outPath); err != nil {
+			fmt.Fprintln(os.Stderr, "roadbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *maintainM {
 		outPath := *out

@@ -1,0 +1,587 @@
+package main
+
+// The -remote scenario: an out-of-process fleet benchmark. roadbench
+// builds the deployment files, re-execs itself twice as shard-host
+// processes (the same internal/shard/remote.Host that cmd/roadshard
+// runs), assembles a router over them, verifies the fleet answers
+// rank-for-rank like a single-process index, drives the load mixes at
+// both, SIGKILLs one host mid-load to measure graceful degradation and
+// recovery, and writes BENCH_remote.json.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"road"
+	"road/internal/dataset"
+	"road/internal/graph"
+	"road/internal/obs"
+	"road/internal/server"
+	"road/internal/shard"
+	"road/internal/shard/remote"
+)
+
+// hostEnvAddr marks a re-exec'd roadbench process as a shard host; the
+// companion variables carry its configuration. Checked in main before
+// flag parsing.
+const (
+	hostEnvAddr    = "ROADBENCH_SHARD_HOST"
+	hostEnvIDs     = "ROADBENCH_SHARD_IDS"
+	hostEnvSnap    = "ROADBENCH_SHARD_SNAP"
+	hostEnvJournal = "ROADBENCH_SHARD_JOURNAL"
+)
+
+// shardHostMain is the child side of the re-exec: one shard-host process
+// serving the shard IDs named in the environment, exactly as a
+// standalone roadshard would.
+func shardHostMain() error {
+	addr := os.Getenv(hostEnvAddr)
+	var ids []int
+	for _, p := range strings.Split(os.Getenv(hostEnvIDs), ",") {
+		id, err := strconv.Atoi(p)
+		if err != nil {
+			return fmt.Errorf("bad shard id %q", p)
+		}
+		ids = append(ids, id)
+	}
+	host, err := remote.OpenHost(ids, remote.HostConfig{
+		SnapshotPrefix: os.Getenv(hostEnvSnap),
+		JournalPrefix:  os.Getenv(hostEnvJournal),
+	})
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: host.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		host.Close()
+		return err
+	case <-sigc:
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			httpSrv.Close()
+		}
+		if err := host.SnapshotAll(); err != nil {
+			host.Close()
+			return err
+		}
+		return host.Close()
+	}
+}
+
+// remoteBenchRun pairs one mix's load reports: the fleet versus the
+// single-process index serving the identical network.
+type remoteBenchRun struct {
+	Mix    string            `json:"mix"`
+	Remote server.LoadReport `json:"remote"`
+	Mono   server.LoadReport `json:"mono"`
+	// Overhead is mono QPS / remote QPS (≥ 1; the price of the wire).
+	Overhead float64 `json:"overhead"`
+}
+
+// remoteKillPhase reports the SIGKILL-one-host experiment.
+type remoteKillPhase struct {
+	KilledHost   string `json:"killed_host"`
+	KilledShards []int  `json:"killed_shards"`
+	// Load is the uncached mixed run during which the host was killed:
+	// Errors counts the failed calls (the killed shards' share), Requests
+	// the traffic the surviving shards kept serving.
+	Load server.LoadReport `json:"load"`
+	// DeadTyped confirms queries homed in a killed shard failed with the
+	// typed shard-unavailable error (not a timeout or a wrong answer).
+	DeadTyped bool `json:"dead_typed_errors"`
+	// AliveServed confirms queries homed in surviving shards kept
+	// answering while the host was dead.
+	AliveServed bool `json:"alive_served"`
+	// RecoveryMS is restart-to-first-correct-answer: process spawn,
+	// journal replay, health probe, router re-adoption.
+	RecoveryMS int64 `json:"recovery_ms"`
+	// Reverified confirms the full verification sample matched the mono
+	// index again after recovery, without a router restart.
+	Reverified bool `json:"reverified_after_recovery"`
+}
+
+// remoteBenchResult is the schema of BENCH_remote.json.
+type remoteBenchResult struct {
+	GeneratedUnix  int64   `json:"generated_unix"`
+	Network        string  `json:"network"`
+	Scale          float64 `json:"scale"`
+	Nodes          int     `json:"nodes"`
+	Edges          int     `json:"edges"`
+	Objects        int     `json:"objects"`
+	Shards         int     `json:"shards"`
+	Hosts          int     `json:"hosts"`
+	Concurrency    int     `json:"concurrency"`
+	MonoBuildMS    int64   `json:"mono_build_ms"`
+	ShardedBuildMS int64   `json:"sharded_build_ms"`
+	SaveMS         int64   `json:"save_ms"`
+	HostBootMS     int64   `json:"host_boot_ms"`
+	ConnectMS      int64   `json:"connect_ms"`
+	// Verified confirms the fleet answered the query sample rank-for-rank
+	// (object IDs in order, distances to 1e-9) like the mono index.
+	Verified bool `json:"verified"`
+	// MutationsVerified confirms identical mutations applied to both
+	// deployments left them answering identically.
+	MutationsVerified bool             `json:"mutations_verified"`
+	Runs              []remoteBenchRun `json:"runs"`
+	Kill              remoteKillPhase  `json:"kill"`
+	// RouterMetrics is the router's /metrics scrape after everything ran,
+	// including the road_remote_* families (RPC latency, errors, hedges,
+	// host up/down, re-adoptions).
+	RouterMetrics map[string]float64 `json:"router_metrics,omitempty"`
+}
+
+func runRemoteBench(scale float64, objects, concurrency int, duration time.Duration, cacheSize, shards int, outPath string) error {
+	if shards < 2 {
+		shards = 2
+	}
+	spec := dataset.Scaled(dataset.CA(), scale)
+	fmt.Printf("remote bench: generating %s ×%.2f (%d nodes)...\n", spec.Name, scale, spec.Nodes)
+	g := dataset.MustGenerate(spec)
+	set := dataset.PlaceUniform(g, objects, 1, 0, 1, 2, 3)
+	radius := g.EstimateDiameter() * 0.02
+	gSharded := g.Clone()
+	setSharded := set.Clone(gSharded)
+
+	result := remoteBenchResult{
+		GeneratedUnix: time.Now().Unix(),
+		Network:       spec.Name,
+		Scale:         scale,
+		Nodes:         g.NumNodes(),
+		Edges:         g.NumEdges(),
+		Objects:       objects,
+		Shards:        shards,
+		Hosts:         2,
+		Concurrency:   concurrency,
+	}
+
+	// Reference single-process index (StorePaths so /path is comparable).
+	start := time.Now()
+	mono, err := road.OpenWithObjects(road.FromGraph(g), set, road.Options{Seed: 1, StorePaths: true})
+	if err != nil {
+		return err
+	}
+	result.MonoBuildMS = time.Since(start).Milliseconds()
+
+	// Deployment files the hosts boot from.
+	start = time.Now()
+	sharded, err := road.OpenShardedWithObjects(road.FromGraph(gSharded), setSharded, road.Options{Seed: 1}, shards)
+	if err != nil {
+		return err
+	}
+	result.ShardedBuildMS = time.Since(start).Milliseconds()
+	dir, err := os.MkdirTemp("", "roadbench-remote-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	snapPrefix := filepath.Join(dir, "fleet")
+	jourPrefix := filepath.Join(dir, "wal")
+	start = time.Now()
+	if err := sharded.SaveSnapshotFiles(snapPrefix); err != nil {
+		return err
+	}
+	result.SaveMS = time.Since(start).Milliseconds()
+	manifest := &shard.Manifest{}
+	if err := readJSONInto(road.ShardManifestPath(snapPrefix), manifest); err != nil {
+		return err
+	}
+	sharded = nil // hosts own the deployment from here
+
+	// Two host processes, shards split evenly.
+	split := shards / 2
+	hostA, err := spawnHost(rangeIDs(0, split), snapPrefix, jourPrefix)
+	if err != nil {
+		return err
+	}
+	defer hostA.stop()
+	hostB, err := spawnHost(rangeIDs(split, shards), snapPrefix, jourPrefix)
+	if err != nil {
+		return err
+	}
+	defer hostB.stop()
+	start = time.Now()
+	for _, h := range []*benchHost{hostA, hostB} {
+		if err := waitHealthy(h.addr, 60*time.Second); err != nil {
+			return err
+		}
+	}
+	result.HostBootMS = time.Since(start).Milliseconds()
+	fmt.Printf("remote bench: 2 hosts up in %dms (shards %v + %v)\n", result.HostBootMS, hostA.ids, hostB.ids)
+
+	// Router over the fleet.
+	reg := obs.NewRegistry()
+	start = time.Now()
+	fleet, err := road.OpenRemote(context.Background(), []string{hostA.addr, hostB.addr}, road.RemoteOptions{
+		Registry: reg,
+		Logf:     func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+	})
+	if err != nil {
+		return err
+	}
+	defer fleet.Close()
+	result.ConnectMS = time.Since(start).Milliseconds()
+
+	// Rank-for-rank equivalence before any load.
+	verify := func() bool {
+		sess := fleet.OpenSession()
+		for _, n := range dataset.RandomNodes(g, 50, 7) {
+			want, _, werr := mono.KNNContext(context.Background(), road.NewKNN(n, 5))
+			got, _, gerr := sess.KNNContext(context.Background(), road.NewKNN(n, 5))
+			if werr != nil || gerr != nil || !sameResults(want, got) {
+				return false
+			}
+			want, _, werr = mono.WithinContext(context.Background(), road.NewWithin(n, radius))
+			got, _, gerr = sess.WithinContext(context.Background(), road.NewWithin(n, radius))
+			if werr != nil || gerr != nil || !sameResults(want, got) {
+				return false
+			}
+		}
+		return true
+	}
+	result.Verified = verify()
+	if !result.Verified {
+		return fmt.Errorf("fleet diverged from the single-process index on the verification sample")
+	}
+	fmt.Println("remote bench: verified fleet answers rank-for-rank with the mono index")
+
+	// Identical mutations against both deployments (journaled host-side),
+	// then re-verify: the maintenance path crosses the wire too.
+	result.MutationsVerified = true
+	for i := 0; i < 20; i++ {
+		e := road.EdgeID(int64(i*17) % int64(g.NumEdges()))
+		w := g.Edge(e).Weight
+		if w <= 0 || math.IsInf(w, 1) {
+			continue
+		}
+		if err := mono.SetRoadDistance(e, w*1.1); err != nil {
+			continue // e.g. edge closed on both sides identically
+		}
+		if err := fleet.SetRoadDistance(e, w*1.1); err != nil {
+			return fmt.Errorf("fleet rejected mutation the mono index accepted: %w", err)
+		}
+	}
+	mo, err := mono.AddObject(road.EdgeID(1), 0.5, 2)
+	if err == nil {
+		fo, ferr := fleet.AddObject(road.EdgeID(1), 0.5, 2)
+		if ferr != nil || fo.ID != mo.ID {
+			return fmt.Errorf("fleet AddObject diverged (mono ID %d): %v", mo.ID, ferr)
+		}
+	}
+	if !verify() {
+		result.MutationsVerified = false
+		return fmt.Errorf("fleet diverged after identical mutations")
+	}
+	fmt.Println("remote bench: verified fleet still matches after identical mutations on both")
+
+	// Serve both deployments and drive the mixes.
+	startServer := func(store road.Store, cache int, aux ...*obs.Registry) (string, func(), error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", nil, err
+		}
+		srv := server.New(store, server.Options{CacheSize: cache, AuxMetrics: aux})
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)
+		return "http://" + ln.Addr().String(), func() { httpSrv.Close() }, nil
+	}
+	monoTarget, stopMono, err := startServer(mono, cacheSize)
+	if err != nil {
+		return err
+	}
+	defer stopMono()
+	fleetTarget, stopFleet, err := startServer(fleet, cacheSize, reg)
+	if err != nil {
+		return err
+	}
+	defer stopFleet()
+
+	for _, mix := range []string{"knn", "within", "mixed"} {
+		run := remoteBenchRun{Mix: mix}
+		opts := server.LoadOptions{
+			Concurrency: concurrency, Duration: duration, Mix: mix,
+			K: 5, Radius: radius, Seed: 1,
+		}
+		opts.Target = monoTarget
+		if run.Mono, err = server.RunLoad(opts); err != nil {
+			return fmt.Errorf("mono load %q: %w", mix, err)
+		}
+		opts.Target = fleetTarget
+		if run.Remote, err = server.RunLoad(opts); err != nil {
+			return fmt.Errorf("remote load %q: %w", mix, err)
+		}
+		if run.Remote.QPS > 0 {
+			run.Overhead = run.Mono.QPS / run.Remote.QPS
+		}
+		fmt.Printf("remote bench: %-6s fleet %8.0f qps p99 %6dµs | mono %8.0f qps p99 %6dµs | wire cost ×%.2f\n",
+			mix, run.Remote.QPS, run.Remote.P99US, run.Mono.QPS, run.Mono.P99US, run.Overhead)
+		result.Runs = append(result.Runs, run)
+	}
+
+	// Kill phase: SIGKILL host B mid-load. The killed shards' in-flight
+	// and subsequent calls must fail with the typed unavailable error;
+	// the surviving shards must keep answering; the restarted host must
+	// be re-adopted without touching the router.
+	kill := &result.Kill
+	kill.KilledHost = hostB.addr
+	kill.KilledShards = hostB.ids
+	deadNodes := interiorNodes(manifest, hostB.ids[0])
+	aliveNodes := interiorNodes(manifest, hostA.ids[0])
+	if len(deadNodes) == 0 || len(aliveNodes) == 0 {
+		return fmt.Errorf("no interior nodes to probe (shards too small for the kill experiment)")
+	}
+
+	// The kill-phase load drives an UNCACHED server over the same fleet:
+	// the main runs warmed the fleet server's result cache over the whole
+	// node space, and cached answers would absorb the outage and hide the
+	// failure split this phase exists to measure.
+	killTarget, stopKill, err := startServer(fleet, -1, reg)
+	if err != nil {
+		return err
+	}
+	defer stopKill()
+
+	loadDone := make(chan error, 1)
+	loadDur := max64(duration, 3*time.Second)
+	go func() {
+		rep, lerr := server.RunLoad(server.LoadOptions{
+			Target: killTarget, Concurrency: concurrency, Duration: loadDur,
+			Mix: "mixed", K: 5, Radius: radius, Seed: 2,
+		})
+		kill.Load = rep
+		loadDone <- lerr
+	}()
+	time.Sleep(loadDur / 3)
+	if err := hostB.cmd.Process.Kill(); err != nil {
+		return fmt.Errorf("killing host B: %w", err)
+	}
+	fmt.Printf("remote bench: SIGKILLed host %s (shards %v) mid-load\n", hostB.addr, hostB.ids)
+
+	// Probe typed failure and graceful degradation while the host is dead.
+	probe := fleet.OpenSession()
+	for _, n := range sampleNodes(deadNodes, 10) {
+		_, _, perr := probe.KNNContext(context.Background(), road.NewKNN(n, 3))
+		if perr != nil && errors.Is(perr, road.ErrShardUnavailable) {
+			kill.DeadTyped = true
+			break
+		}
+	}
+	for _, n := range sampleNodes(aliveNodes, 30) {
+		if _, _, perr := probe.KNNContext(context.Background(), road.NewKNN(n, 3)); perr == nil {
+			kill.AliveServed = true
+			break
+		}
+	}
+	if err := <-loadDone; err != nil {
+		return fmt.Errorf("kill-phase load: %w", err)
+	}
+	if !kill.DeadTyped {
+		return fmt.Errorf("killed shards did not fail with the typed shard-unavailable error")
+	}
+	if !kill.AliveServed {
+		return fmt.Errorf("surviving shards stopped answering while one host was dead")
+	}
+	if kill.Load.Errors == 0 {
+		return fmt.Errorf("kill-phase load saw no failed calls despite a dead host")
+	}
+	if kill.Load.Requests == 0 {
+		return fmt.Errorf("kill-phase load saw no successful calls: surviving shards wedged")
+	}
+	fmt.Printf("remote bench: degradation confirmed — %d kill-phase calls failed (dead shards' share), %d kept being served\n",
+		kill.Load.Errors, kill.Load.Requests)
+
+	// Restart the host on the same address; the fleet's health loop must
+	// re-adopt it (journal-replayed state) without a router restart.
+	start = time.Now()
+	hostB2, err := spawnHostAt(hostB.addr, hostB.ids, snapPrefix, jourPrefix)
+	if err != nil {
+		return err
+	}
+	defer hostB2.stop()
+	recovered := false
+	recoverDeadline := time.Now().Add(90 * time.Second)
+	for time.Now().Before(recoverDeadline) {
+		want, _, werr := mono.KNNContext(context.Background(), road.NewKNN(deadNodes[0], 5))
+		got, _, gerr := probe.KNNContext(context.Background(), road.NewKNN(deadNodes[0], 5))
+		if werr == nil && gerr == nil && sameResults(want, got) {
+			recovered = true
+			break
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	if !recovered {
+		return fmt.Errorf("fleet did not recover within 90s of the host restart")
+	}
+	kill.RecoveryMS = time.Since(start).Milliseconds()
+	kill.Reverified = verify()
+	if !kill.Reverified {
+		return fmt.Errorf("fleet diverged from the mono index after recovery")
+	}
+	fmt.Printf("remote bench: host re-adopted and reverified in %dms, no router restart\n", kill.RecoveryMS)
+
+	if m, err := server.ScrapeMetrics(fleetTarget); err == nil {
+		result.RouterMetrics = m
+	}
+	if err := writeJSONFile(outPath, result); err != nil {
+		return err
+	}
+	fmt.Printf("remote bench: wrote %s\n", outPath)
+	return nil
+}
+
+// benchHost is one spawned shard-host child process.
+type benchHost struct {
+	cmd  *exec.Cmd
+	addr string
+	ids  []int
+}
+
+func (h *benchHost) stop() {
+	if h.cmd.Process != nil {
+		h.cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { h.cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			h.cmd.Process.Kill()
+			<-done
+		}
+	}
+}
+
+func spawnHost(ids []int, snapPrefix, jourPrefix string) (*benchHost, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return spawnHostAt(addr, ids, snapPrefix, jourPrefix)
+}
+
+func spawnHostAt(addr string, ids []int, snapPrefix, jourPrefix string) (*benchHost, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	idStrs := make([]string, len(ids))
+	for i, id := range ids {
+		idStrs[i] = strconv.Itoa(id)
+	}
+	cmd := exec.Command(self)
+	cmd.Env = append(os.Environ(),
+		hostEnvAddr+"="+addr,
+		hostEnvIDs+"="+strings.Join(idStrs, ","),
+		hostEnvSnap+"="+snapPrefix,
+		hostEnvJournal+"="+jourPrefix,
+	)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return &benchHost{cmd: cmd, addr: addr, ids: ids}, nil
+}
+
+func waitHealthy(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("host %s not healthy after %v", addr, timeout)
+}
+
+// interiorNodes returns shard id's nodes that belong to no other shard:
+// queries from them are homed in that shard, so they fail determin-
+// istically when its host dies and succeed only once it is re-adopted.
+func interiorNodes(m *shard.Manifest, id int) []graph.NodeID {
+	other := make(map[graph.NodeID]bool)
+	for j := range m.PerShard {
+		if j == id {
+			continue
+		}
+		for _, n := range m.PerShard[j].GlobalNode {
+			other[n] = true
+		}
+	}
+	var out []graph.NodeID
+	for _, n := range m.PerShard[id].GlobalNode {
+		if !other[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func rangeIDs(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func sampleNodes(nodes []graph.NodeID, n int) []graph.NodeID {
+	if len(nodes) <= n {
+		return nodes
+	}
+	step := len(nodes) / n
+	out := make([]graph.NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, nodes[i*step])
+	}
+	return out
+}
+
+func sameResults(a, b []road.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Object.ID != b[i].Object.ID || math.Abs(a[i].Dist-b[i].Dist) > 1e-9*math.Max(1, a[i].Dist) {
+			return false
+		}
+	}
+	return true
+}
+
+func readJSONInto(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+func max64(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

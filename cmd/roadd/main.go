@@ -30,6 +30,18 @@
 //	                                            # the journal) once it
 //	                                            # outgrows 1 MiB
 //
+// With -shard-hosts the shards live in other processes entirely: roadd
+// becomes a router over a fleet of roadshard hosts, keeping only the
+// global mirror (identity maps, border tables) and shipping all shard
+// compute over HTTP/JSON with pooled connections, bounded retries and
+// hedged duplicates for straggling cross-shard reads. Hosts are health-
+// checked continuously; a dead host fails only its own shards' calls
+// (HTTP 503, code "shard_unavailable") and is re-adopted on return
+// without a router restart. Persistence is host-owned in this mode:
+// /admin/snapshot fans out to the fleet.
+//
+//	roadd -shard-hosts localhost:7071,localhost:7072
+//
 // With -query-timeout every read query runs under a per-request deadline
 // plumbed through the road.Store context machinery: an expired search
 // aborts cooperatively mid-expansion and the client receives HTTP 503
@@ -71,6 +83,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -79,6 +92,7 @@ import (
 	"road/internal/graph"
 	"road/internal/obs"
 	"road/internal/server"
+	"road/internal/version"
 )
 
 // config collects the daemon's flag values; a struct rather than a
@@ -95,6 +109,7 @@ type config struct {
 	cacheSize       int
 	storePaths      bool
 	shards          int
+	shardHosts      string
 	queryTimeout    time.Duration
 	snapPath        string
 	journalPath     string
@@ -131,6 +146,7 @@ func main() {
 	flag.IntVar(&cfg.cacheSize, "cache", 0, "result cache entries (0 = default, negative disables)")
 	flag.BoolVar(&cfg.storePaths, "paths", true, "retain shortcut waypoints so /path works (costs memory; sharded serving reconstructs paths without them)")
 	flag.IntVar(&cfg.shards, "shards", 1, "serve K region shards behind a query router (power of two ≥ 2; 1 = single index)")
+	flag.StringVar(&cfg.shardHosts, "shard-hosts", "", "serve as a router over out-of-process roadshard hosts (comma-separated addresses); every shard of the deployment must be served by exactly one host")
 	flag.DurationVar(&cfg.queryTimeout, "query-timeout", 0, "per-request deadline for read queries; an expired query aborts mid-search and answers HTTP 503 with code \"deadline_exceeded\" (0 disables)")
 	flag.StringVar(&cfg.snapPath, "snapshot", "", "snapshot file: load it if present (skipping the build), create it otherwise; enables /admin/snapshot and snapshot-on-SIGTERM. With -shards this is a path prefix (prefix.N per shard + prefix.manifest)")
 	flag.StringVar(&cfg.journalPath, "journal", "", "write-ahead journal file: maintenance ops are logged before they apply and replayed over the snapshot on startup. With -shards this is a path prefix (prefix.N per shard)")
@@ -140,7 +156,12 @@ func main() {
 	flag.StringVar(&cfg.queryLogPath, "query-log", "", "append a sampled structured query log (JSON lines) to this file")
 	flag.IntVar(&cfg.queryLogSample, "query-log-sample", 1, "log every Nth query (1 logs all)")
 	flag.Int64Var(&cfg.queryLogMax, "query-log-max-bytes", 0, "rotate the query log to FILE.1 when it exceeds this many bytes (0 = 64 MiB)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("roadd"))
+		return
+	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "roadd:", err)
 		os.Exit(1)
@@ -160,9 +181,12 @@ func run(cfg config) error {
 	var journalSize func() int64
 	var closeJournals func() error
 	var err error
-	if cfg.shards > 1 {
+	switch {
+	case cfg.shardHosts != "":
+		srv, journalSize, closeJournals, err = setupRemote(cfg)
+	case cfg.shards > 1:
 		srv, journalSize, closeJournals, err = setupSharded(cfg)
-	} else {
+	default:
 		srv, journalSize, closeJournals, err = setupSingle(cfg)
 	}
 	if err != nil {
@@ -210,7 +234,15 @@ func serve(cfg config, srv *server.Server, journalSize func() int64) error {
 		fmt.Printf("roadd: %v: shutting down\n", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		httpSrv.Shutdown(ctx)
+		// Drain in-flight requests before the final snapshot: an apply
+		// still running while the snapshot rotates (and the deferred
+		// close closes) the journals could be acknowledged but lost. If
+		// the drain deadline expires, hard-close the stragglers so
+		// nothing races the persistence below.
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Printf("roadd: drain incomplete (%v), closing connections\n", err)
+			httpSrv.Close()
+		}
 		if cfg.snapPath != "" {
 			epoch, seq, bytes, err := srv.TakeSnapshot()
 			if err != nil {
@@ -404,6 +436,39 @@ func setupSharded(cfg config) (*server.Server, func() int64, func() error, error
 		}
 	}
 	return server.New(db, opts), db.JournalSizeBytes, db.CloseJournals, nil
+}
+
+// --- Remote deployment (router over roadshard hosts) ---
+
+// setupRemote connects the router to a fleet of out-of-process roadshard
+// hosts. Persistence is host-owned: /admin/snapshot fans out to every
+// host (each snapshots its shards and rotates its journals), and
+// snapshot-on-shutdown is skipped — hosts persist on their own SIGTERM.
+func setupRemote(cfg config) (*server.Server, func() int64, func() error, error) {
+	reg := obs.NewRegistry()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	hosts := strings.Split(cfg.shardHosts, ",")
+	for i := range hosts {
+		hosts[i] = strings.TrimSpace(hosts[i])
+	}
+	start := time.Now()
+	db, err := road.OpenRemote(ctx, hosts, road.RemoteOptions{Registry: reg})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	fmt.Printf("roadd: assembled router over %d hosts serving %d shards in %v (%d nodes, %d edges, %d objects)\n",
+		len(hosts), db.NumShards(), time.Since(start).Round(time.Millisecond),
+		db.NumNodes(), db.NumRoads(), db.NumObjects())
+
+	opts := cfg.serverOptions()
+	opts.AuxMetrics = []*obs.Registry{reg}
+	opts.SnapshotSave = func() (int64, error) {
+		// Size is host-local; report 0 rather than guessing.
+		return 0, db.Save("")
+	}
+	closeFleet := func() error { db.Close(); return nil }
+	return server.New(db, opts), db.JournalSizeBytes, closeFleet, nil
 }
 
 // --- Shared helpers ---

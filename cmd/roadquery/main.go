@@ -27,6 +27,7 @@ import (
 	"road/internal/dataset"
 	"road/internal/graph"
 	"road/internal/server"
+	"road/internal/version"
 )
 
 // logf writes progress chatter; in -json mode it goes to stderr so stdout
@@ -54,8 +55,14 @@ func main() {
 		requests    = flag.Int("requests", 0, "load generator: total request cap (overrides -duration)")
 		mix         = flag.String("mix", "mixed", "load generator: knn, within or mixed")
 		radius      = flag.Float64("radius", 0.05, "load generator: within-query radius (network units)")
+
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("roadquery"))
+		return
+	}
 
 	if *target != "" {
 		report, err := server.RunLoad(server.LoadOptions{

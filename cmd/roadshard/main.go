@@ -1,0 +1,236 @@
+// Command roadshard hosts a subset of a sharded ROAD deployment's region
+// shards in its own process, serving the shard compute surface over
+// HTTP/JSON to a roadd router running with -shard-hosts: watched searches
+// with entry-distance bounds, per-shard path legs, journaled mutation
+// applies, routing-state export for router (re-)adoption, and snapshot
+// administration.
+//
+// A host boots from the same on-disk layout the in-process sharded
+// deployment writes (prefix.N snapshots + prefix.manifest), replays its
+// write-ahead journals over the loaded snapshots, and serves only the
+// shard IDs named by -shards. Mutations are journaled BEFORE they are
+// applied or acknowledged, so a crashed host recovers every op it
+// acknowledged — the router re-adopts it without restarting.
+//
+// Usage:
+//
+//	# Bootstrap: first host builds the 4-shard deployment files, serves 0,1.
+//	roadshard -snapshot /data/ca -journal /data/ca.wal -net CA \
+//	          -fleet-shards 4 -shards 0,1 -addr :7071
+//	# Second host serves 2,3 off the same files.
+//	roadshard -snapshot /data/ca -journal /data/ca.wal -shards 2,3 -addr :7072
+//	# Router over both.
+//	roadd -shard-hosts localhost:7071,localhost:7072
+//
+// Endpoints (see internal/shard/remote for the wire contract):
+//
+//	GET  /healthz               served shard IDs + journal seqs + version
+//	GET  /state/{id}            exported routing state (borders, btable, ids)
+//	POST /shard/{id}/search     watched search (entry-distance bounded)
+//	POST /shard/{id}/leg        path leg reconstruction
+//	POST /shard/{id}/apply      journaled mutation apply
+//	GET  /shard/{id}/object/{lo}
+//	POST /admin/snapshot        snapshot all served shards, rotate journals
+//	GET  /metrics
+//
+// On SIGTERM/SIGINT the host drains in-flight requests, persists a final
+// snapshot of every served shard, and closes its journals.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"road"
+	"road/internal/dataset"
+	"road/internal/graph"
+	"road/internal/obs"
+	"road/internal/shard/remote"
+	"road/internal/version"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7071", "listen address")
+		shards      = flag.String("shards", "", "comma-separated shard IDs this host serves (required), e.g. 0,1")
+		snapPrefix  = flag.String("snapshot", "", "deployment snapshot path prefix (required): prefix.N per shard + prefix.manifest")
+		jourPrefix  = flag.String("journal", "", "write-ahead journal path prefix: prefix.N per served shard (default: <snapshot>.wal)")
+		jourSync    = flag.Bool("journal-sync", false, "fsync the journal after every op before acknowledging")
+		netName     = flag.String("net", "", "bootstrap: if the manifest is absent, build this synthetic network (CA, NA or SF) and write the deployment files first")
+		load        = flag.String("load", "", "bootstrap from a roadgen CSV file instead of a synthetic network")
+		scale       = flag.Float64("scale", 1, "bootstrap network scale factor (0,1]")
+		objects     = flag.Int("objects", 1000, "bootstrap objects placed uniformly")
+		levels      = flag.Int("levels", 0, "bootstrap Rnet hierarchy depth (0 = default)")
+		seed        = flag.Int64("seed", 1, "bootstrap placement seed")
+		fleetShards = flag.Int("fleet-shards", 2, "bootstrap: total shards in the deployment (power of two ≥ 2)")
+		showVersion = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("roadshard"))
+		return
+	}
+	if err := run(*addr, *shards, *snapPrefix, *jourPrefix, *jourSync,
+		*netName, *load, *scale, *objects, *levels, *seed, *fleetShards); err != nil {
+		fmt.Fprintln(os.Stderr, "roadshard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, shards, snapPrefix, jourPrefix string, jourSync bool,
+	netName, load string, scale float64, objects, levels int, seed int64, fleetShards int) error {
+	if snapPrefix == "" {
+		return fmt.Errorf("-snapshot is required")
+	}
+	ids, err := parseShardIDs(shards)
+	if err != nil {
+		return err
+	}
+	if jourPrefix == "" {
+		jourPrefix = snapPrefix + ".wal"
+	}
+
+	if netName != "" || load != "" {
+		if err := bootstrap(snapPrefix, netName, load, scale, objects, levels, seed, fleetShards); err != nil {
+			return err
+		}
+	}
+
+	reg := obs.NewRegistry()
+	start := time.Now()
+	host, err := remote.OpenHost(ids, remote.HostConfig{
+		SnapshotPrefix: snapPrefix,
+		JournalPrefix:  jourPrefix,
+		SyncJournal:    jourSync,
+		Registry:       reg,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("roadshard: serving shards %v of %s on %s (loaded in %v)\n",
+		host.ShardIDs(), snapPrefix, addr, time.Since(start).Round(time.Millisecond))
+
+	httpSrv := &http.Server{Addr: addr, Handler: host.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		host.Close()
+		return err
+	case sig := <-sigc:
+		fmt.Printf("roadshard: %v: shutting down\n", sig)
+		// Drain in-flight RPCs before the final snapshot closes the
+		// journals; if the drain deadline expires, hard-close the
+		// remaining connections so no apply can race the close.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Printf("roadshard: drain incomplete (%v), closing connections\n", err)
+			httpSrv.Close()
+		}
+		if err := host.SnapshotAll(); err != nil {
+			host.Close()
+			return fmt.Errorf("final snapshot: %w", err)
+		}
+		fmt.Printf("roadshard: final snapshot under %s\n", snapPrefix)
+		return host.Close()
+	}
+}
+
+func parseShardIDs(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-shards is required (comma-separated IDs, e.g. 0,1)")
+	}
+	parts := strings.Split(s, ",")
+	ids := make([]int, 0, len(parts))
+	seen := make(map[int]bool)
+	for _, p := range parts {
+		id, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("bad shard ID %q", p)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("shard ID %d listed twice", id)
+		}
+		seen[id] = true
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// bootstrap builds the full sharded deployment in-process and writes its
+// snapshot files under the prefix — but only when the manifest is absent,
+// so restarting a bootstrap host is a plain load.
+func bootstrap(prefix, netName, load string, scale float64, objects, levels int, seed int64, fleetShards int) error {
+	switch _, err := os.Stat(road.ShardManifestPath(prefix)); {
+	case err == nil:
+		return nil // already deployed; boot from the files
+	case !os.IsNotExist(err):
+		return fmt.Errorf("manifest: %w", err)
+	}
+	g, set, err := loadOrGenerate(load, netName, scale, objects, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("roadshard: bootstrapping %d-shard deployment over %d nodes, %d edges, %d objects...\n",
+		fleetShards, g.NumNodes(), g.NumEdges(), set.Len())
+	start := time.Now()
+	db, err := road.OpenShardedWithObjects(road.FromGraph(g), set, road.Options{
+		Levels: levels,
+		Seed:   seed,
+	}, fleetShards)
+	if err != nil {
+		return err
+	}
+	if err := db.SaveSnapshotFiles(prefix); err != nil {
+		return err
+	}
+	fmt.Printf("roadshard: wrote deployment files under %s in %v\n",
+		prefix, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func loadOrGenerate(load, netName string, scale float64, objects int, seed int64) (*graph.Graph, *graph.ObjectSet, error) {
+	if load != "" {
+		file, err := os.Open(load)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer file.Close()
+		g, set, err := dataset.ReadCSV(file)
+		if err != nil {
+			return nil, nil, err
+		}
+		if set.Len() == 0 {
+			set = dataset.PlaceUniform(g, objects, seed, 0, 1, 2, 3)
+		}
+		return g, set, nil
+	}
+	var spec dataset.Spec
+	switch netName {
+	case "CA":
+		spec = dataset.CA()
+	case "NA":
+		spec = dataset.NA()
+	case "SF":
+		spec = dataset.SF()
+	default:
+		return nil, nil, fmt.Errorf("unknown network %q (want CA, NA or SF)", netName)
+	}
+	if scale != 1 {
+		spec = dataset.Scaled(spec, scale)
+	}
+	g := dataset.MustGenerate(spec)
+	return g, dataset.PlaceUniform(g, objects, seed, 0, 1, 2, 3), nil
+}

@@ -35,4 +35,8 @@ var (
 	ErrPathsNotStored = apierr.ErrPathsNotStored
 	// ErrCrossShardRoad marks an AddRoad whose endpoints share no shard.
 	ErrCrossShardRoad = apierr.ErrCrossShardRoad
+	// ErrShardUnavailable marks a call that needed an out-of-process
+	// shard host currently unreachable or marked down (RemoteDB only).
+	// The serving layer answers it with HTTP 503.
+	ErrShardUnavailable = apierr.ErrShardUnavailable
 )

@@ -66,4 +66,10 @@ var (
 	// shard boundaries are fixed at build time, so such roads are
 	// rejected by sharded stores.
 	ErrCrossShardRoad = errors.New("endpoints share no shard")
+
+	// ErrShardUnavailable marks a call that needed a shard host currently
+	// marked down (or that failed talking to one). Queries that never
+	// touch the dead shard are unaffected; the fleet health loop re-adopts
+	// the host when it comes back.
+	ErrShardUnavailable = errors.New("shard host unavailable")
 )

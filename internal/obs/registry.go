@@ -71,6 +71,46 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// Quantile estimates the q-th quantile (0 < q < 1) of the observations
+// by linear interpolation inside the bucket the rank falls in — the
+// standard Prometheus histogram_quantile estimate. With no observations
+// it returns 0; a rank landing in the +Inf bucket returns the largest
+// finite bound. The remote shard client derives its hedging delay from
+// this (duplicate a straggler read after the p99 of observed RPC
+// latencies).
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (h.bounds[i]-lo)*frac
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 

@@ -21,6 +21,13 @@ type Leg struct {
 	DurationUS int64 `json:"duration_us"`
 	// Pops is the number of heap pops (settled nodes) the leg cost.
 	Pops int `json:"pops"`
+	// Host names the shard host an RPC leg talked to; empty for
+	// in-process legs.
+	Host string `json:"host,omitempty"`
+	// WireUS is the part of an RPC leg's duration NOT spent computing on
+	// the host — serialization, network and queueing — so cross-process
+	// latency is attributable separately from shard compute time.
+	WireUS int64 `json:"wire_us,omitempty"`
 }
 
 // A Trace accumulates per-leg timings for one query. It is carried
@@ -71,6 +78,17 @@ func (t *Trace) StartLeg(name string, shard int) func(pops int) {
 		t.legs = append(t.legs, leg)
 		t.mu.Unlock()
 	}
+}
+
+// Add records a fully-formed leg — the remote shard client uses it to
+// attach RPC-hop legs (host, wire time) it timed itself. Safe on nil.
+func (t *Trace) Add(leg Leg) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.legs = append(t.legs, leg)
+	t.mu.Unlock()
 }
 
 // Legs returns a copy of the legs recorded so far. Safe on nil.

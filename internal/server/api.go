@@ -114,7 +114,8 @@ type MaintenanceResponse struct {
 // ErrorResponse is the uniform error envelope. Code, when present,
 // classifies typed query failures machine-readably: "deadline_exceeded",
 // "canceled" (client went away mid-search), "budget_exhausted",
-// "no_such_node", "no_such_object", "invalid_request" or "query_failed".
+// "no_such_node", "no_such_object", "invalid_request",
+// "shard_unavailable" (a remote shard host is down) or "query_failed".
 type ErrorResponse struct {
 	Error string `json:"error"`
 	Code  string `json:"code,omitempty"`

@@ -11,6 +11,7 @@ import (
 	"road"
 	"road/internal/obs"
 	"road/internal/shard"
+	"road/internal/version"
 )
 
 // endpoint indexes the hot-path metric arrays; endpointNames supplies
@@ -71,6 +72,7 @@ func newMetrics(s *Server) *metrics {
 	m := &metrics{reg: obs.NewRegistry()}
 	r := m.reg
 
+	version.Register(r)
 	r.Gauge("road_uptime_seconds", "", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
 	r.Gauge("road_epoch", "", "Store maintenance epoch; every successful mutation bumps it.",
@@ -196,7 +198,14 @@ func (m *metrics) record(st road.Stats) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var buf bytes.Buffer
 	var werr error
-	s.coord.Read(func(uint64) { werr = s.met.reg.Write(&buf) })
+	s.coord.Read(func(uint64) {
+		werr = s.met.reg.Write(&buf)
+		for _, aux := range s.auxMet {
+			if werr == nil {
+				werr = aux.Write(&buf)
+			}
+		}
+	})
 	if werr != nil {
 		s.writeErr(w, http.StatusInternalServerError, "rendering metrics: %v", werr)
 		return

@@ -51,6 +51,11 @@ type Options struct {
 	// QueryLog, when non-nil, receives a sampled obs.QueryRecord for
 	// every read query served. The server does not close it.
 	QueryLog *obs.QueryLog
+	// AuxMetrics registries are rendered after the server's own on GET
+	// /metrics. roadd's -shard-hosts mode passes the fleet registry here
+	// so the road_remote_* families (per-host RPC latency, errors,
+	// hedges, up/down) ride the same scrape.
+	AuxMetrics []*obs.Registry
 }
 
 // Server serves one road.Store — a single-index road.DB or a sharded
@@ -71,7 +76,8 @@ type Server struct {
 	timeout  time.Duration         // zero = unbounded queries
 	start    time.Time
 
-	met *metrics // request counters, latency/cost histograms, /metrics registry
+	met    *metrics        // request counters, latency/cost histograms, /metrics registry
+	auxMet []*obs.Registry // extra registries appended to /metrics (fleet RPC metrics)
 
 	slowThresh time.Duration // zero = slow-query logging off
 	slowW      io.Writer
@@ -98,6 +104,7 @@ func New(store road.Store, opts Options) *Server {
 		slowThresh: opts.SlowQueryThreshold,
 		slowW:      opts.SlowQueryWriter,
 		qlog:       opts.QueryLog,
+		auxMet:     opts.AuxMetrics,
 	}
 	if s.slowThresh > 0 && s.slowW == nil {
 		s.slowW = os.Stderr
@@ -231,6 +238,8 @@ func queryErrStatus(err error) (int, string) {
 		return http.StatusServiceUnavailable, "canceled"
 	case errors.Is(err, road.ErrBudgetExhausted):
 		return http.StatusServiceUnavailable, "budget_exhausted"
+	case errors.Is(err, road.ErrShardUnavailable):
+		return http.StatusServiceUnavailable, "shard_unavailable"
 	case errors.Is(err, road.ErrNoSuchNode):
 		return http.StatusNotFound, "no_such_node"
 	case errors.Is(err, road.ErrNoSuchObject):

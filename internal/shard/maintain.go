@@ -71,6 +71,16 @@ const refreshTol = 1e-9
 // network mutation: the filter-and-refresh counterpart of a full
 // refreshDerived. Must run while readers of this shard are excluded.
 func (s *Shard) maintainDerived(chg netChange) {
+	s.maintainDerivedEmit(chg, false)
+}
+
+// maintainDerivedEmit is maintainDerived with an optional wire recipe:
+// when emit is set (shard hosts) it returns the DerivedUpdate a remote
+// mirror needs to repair its copy of btable/borderDist — the decrease
+// case ships the two endpoint-distance arrays the repair arithmetic runs
+// on (computed here anyway), the increase case ships the rows this
+// refresh recomputed.
+func (s *Shard) maintainDerivedEmit(chg netChange, emit bool) *DerivedUpdate {
 	if chg.topology || s.watch == nil {
 		local := make([]graph.NodeID, len(s.borders))
 		for i, b := range s.borders {
@@ -83,16 +93,51 @@ func (s *Shard) maintainDerived(chg netChange) {
 		// pre-filter behaviour roadbench -maintain compares against).
 		s.rebuildBTable()
 		s.rebuildBorderDist()
-		return
+		if emit {
+			return s.emitAllRows()
+		}
+		return nil
 	}
 	if len(s.borders) == 0 {
-		return // no borders: btable empty, borderDist all +Inf, nothing derived from the network
+		return nil // no borders: btable empty, borderDist all +Inf, nothing derived from the network
 	}
 	if chg.wNew <= chg.wOld {
-		s.refreshDecrease(chg)
-	} else {
-		s.refreshIncrease(chg)
+		du := s.endpointDists(&s.du, chg.u, graph.NoEdge)
+		dv := s.endpointDists(&s.dv, chg.v, graph.NoEdge)
+		s.applyDecrease(du, dv, chg.wNew)
+		if emit {
+			return &DerivedUpdate{
+				Kind: DerivedDecrease,
+				W:    chg.wNew,
+				DU:   append([]float64(nil), du...),
+				DV:   append([]float64(nil), dv...),
+			}
+		}
+		return nil
 	}
+	stale, bdRebuilt := s.refreshIncrease(chg)
+	if emit {
+		u := &DerivedUpdate{Kind: DerivedRows}
+		for _, i := range stale {
+			b := s.borders[i]
+			u.Rows = append(u.Rows, BorderRow{Border: b, Arcs: append([]BorderArc(nil), s.btable[b]...)})
+		}
+		if bdRebuilt {
+			u.BorderDist = append([]float64(nil), s.borderDist...)
+		}
+		return u
+	}
+	return nil
+}
+
+// emitAllRows snapshots the whole derived state as a DerivedRows update
+// (the fullRefresh baseline's wire form).
+func (s *Shard) emitAllRows() *DerivedUpdate {
+	u := &DerivedUpdate{Kind: DerivedRows, BorderDist: append([]float64(nil), s.borderDist...)}
+	for _, b := range s.borders {
+		u.Rows = append(u.Rows, BorderRow{Border: b, Arcs: append([]BorderArc(nil), s.btable[b]...)})
+	}
+	return u
 }
 
 // endpointDists runs one Dijkstra from src over the live local graph
@@ -126,16 +171,15 @@ func (s *Shard) nearestBorder(d []float64) float64 {
 	return best
 }
 
-// refreshDecrease repairs btable and borderDist after a weight decrease
-// on chg.edge (reopen and AddRoad are decreases from +Inf). With du/dv
+// applyDecrease repairs btable and borderDist after a weight decrease
+// on an edge (reopen and AddRoad are decreases from +Inf). With du/dv
 // the new-graph distances from the endpoints, every repaired entry is
 // min(old, through-e candidate) — exact, by the decomposition above —
-// so the whole repair is two Dijkstras plus O(B² + N) arithmetic.
-func (s *Shard) refreshDecrease(chg netChange) {
-	du := s.endpointDists(&s.du, chg.u, graph.NoEdge)
-	dv := s.endpointDists(&s.dv, chg.v, graph.NoEdge)
-	w := chg.wNew
-
+// so the whole repair is pure O(B² + N) arithmetic over the arrays. It
+// runs identically on a full local shard (which computed du/dv with two
+// Dijkstras) and on a remote mirror (which received them on the wire):
+// everything it touches is identity-map and derived state.
+func (s *Shard) applyDecrease(du, dv []float64, w float64) {
 	// borderDist: a node's nearest border may now be cheaper through e.
 	minBu, minBv := s.nearestBorder(du), s.nearestBorder(dv)
 	for i := range s.borderDist {
@@ -210,7 +254,9 @@ func (s *Shard) spliceRow(a graph.NodeID, next func(lb graph.NodeID, old float64
 // cost; entries that could not have crossed e are provably unchanged and
 // skipped, the rest are recomputed from scratch (one bounded Dijkstra per
 // stale border row, one multi-source Dijkstra if borderDist went stale).
-func (s *Shard) refreshIncrease(chg netChange) {
+// It reports which border rows it recomputed and whether borderDist was
+// rebuilt, so hosts can ship exactly those to their router's mirror.
+func (s *Shard) refreshIncrease(chg netChange) (stale []int, bdRebuilt bool) {
 	// For a closure the edge is already detached from the adjacency
 	// lists; for a re-weight it is live at the new weight and must be
 	// excluded explicitly.
@@ -235,6 +281,7 @@ func (s *Shard) refreshIncrease(chg netChange) {
 		}
 		if !isInf(lo) && lo <= bd*(1+refreshTol) {
 			s.rebuildBorderDist()
+			bdRebuilt = true
 			break
 		}
 	}
@@ -260,8 +307,10 @@ func (s *Shard) refreshIncrease(chg netChange) {
 					targets = s.borderTargets()
 				}
 				s.refreshBTableRow(i, targets)
+				stale = append(stale, i)
 				break
 			}
 		}
 	}
+	return stale, bdRebuilt
 }

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -54,8 +55,6 @@ func (s *Session) pathToLocked(from graph.NodeID, gid graph.ObjectID, lim core.L
 		return nil, 0, stats, err
 	}
 	lo := target.localObj[gid]
-	o, _ := target.F.Objects().Get(lo)
-	le := target.F.Graph().Edge(o.Edge)
 
 	if int(from) < 0 || int(from) >= len(s.r.shardsOf) {
 		return nil, 0, stats, fmt.Errorf("shard: node %d: %w", from, apierr.ErrNoSuchNode)
@@ -68,21 +67,25 @@ func (s *Session) pathToLocked(from graph.NodeID, gid graph.ObjectID, lim core.L
 	bestDist := math.Inf(1)
 	var bestPath []graph.NodeID
 
-	// Direct candidate: from and the object share a shard.
+	// Direct candidate: from and the object share a shard. The object's
+	// edge endpoints are resolved shard-side (the mirror tracks object
+	// identities, not payloads), and the returned distance includes the
+	// along-edge offset.
 	for _, h := range homes {
 		if h != target.ID {
 			continue
 		}
-		gs := s.search(h)
-		lf := target.localNode[from]
-		if err := s.runLeg(h, gs, &stats, lim, func(opt graph.Options) {
-			gs.Run(lf, opt)
-		}, graph.Options{Targets: []graph.NodeID{le.U, le.V}}); err != nil {
+		resp, err := s.legCall(h, LegReq{
+			Seeds:  s.seed1(target.localNode[from]),
+			PathTo: graph.NoNode,
+			Object: lo,
+		}, &stats, lim)
+		if err != nil {
 			return nil, 0, stats, err
 		}
-		if end, d := closerEnd(gs.Dist(le.U)+o.DU, gs.Dist(le.V)+o.DV, le); d < bestDist {
-			bestDist = d
-			bestPath = s.translatePath(target, gs.Path(end))
+		if resp.Dist < bestDist {
+			bestDist = resp.Dist
+			bestPath = s.translatePath(target, resp.Path)
 		}
 	}
 
@@ -96,18 +99,17 @@ func (s *Session) pathToLocked(from graph.NodeID, gid graph.ObjectID, lim core.L
 		if len(sh.borders) == 0 {
 			continue
 		}
-		gs := s.search(h)
-		targets := make([]graph.NodeID, len(sh.borders))
-		for i, b := range sh.borders {
-			targets[i] = sh.localNode[b]
-		}
-		if err := s.runLeg(h, gs, &stats, lim, func(opt graph.Options) {
-			gs.Run(sh.localNode[from], opt)
-		}, graph.Options{Targets: targets}); err != nil {
+		resp, err := s.legCall(h, LegReq{
+			Seeds:   s.seed1(sh.localNode[from]),
+			Targets: sh.borderTargets(),
+			PathTo:  graph.NoNode,
+			Object:  -1,
+		}, &stats, lim)
+		if err != nil {
 			return nil, 0, stats, err
 		}
 		for i, b := range sh.borders {
-			if d := gs.Dist(targets[i]); !isInf(d) {
+			if d := resp.Dists[i]; !isInf(d) {
 				if cur, ok := s.gdist[b]; !ok || d < cur {
 					s.gdist[b] = d
 					homeOf[b] = h
@@ -127,28 +129,29 @@ func (s *Session) pathToLocked(from graph.NodeID, gid graph.ObjectID, lim core.L
 		return nil, 0, stats, err
 	}
 
-	seeds := make([]graph.Seed, 0, len(target.borders))
+	seeds := make([]core.Seed, 0, len(target.borders))
 	for _, b := range target.borders {
 		if d, ok := s.gdist[b]; ok && d < bestDist {
-			seeds = append(seeds, graph.Seed{Node: target.localNode[b], Dist: d})
+			seeds = append(seeds, core.Seed{Node: target.localNode[b], Dist: d})
 		}
 	}
 	if len(seeds) > 0 {
-		gs := s.search(target.ID)
-		if err := s.runLeg(target.ID, gs, &stats, lim, func(opt graph.Options) {
-			gs.RunSeeded(seeds, opt)
-		}, graph.Options{Targets: []graph.NodeID{le.U, le.V}}); err != nil {
+		resp, err := s.legCall(target.ID, LegReq{
+			Seeds:  seeds,
+			PathTo: graph.NoNode,
+			Object: lo,
+		}, &stats, lim)
+		if err != nil {
 			return nil, 0, stats, err
 		}
-		if end, d := closerEnd(gs.Dist(le.U)+o.DU, gs.Dist(le.V)+o.DV, le); d < bestDist {
-			// Tail leg first (the workspace is reused per leg below).
-			tail := gs.Path(end)
+		if resp.Dist < bestDist {
+			tail := resp.Path
 			entry := tail[0] // local ID of the winning seed border
 			route, err := s.assemble(target, entry, tail, pred, homeOf, from, &stats, lim)
 			if err != nil {
 				return nil, 0, stats, err
 			}
-			bestDist = d
+			bestDist = resp.Dist
 			bestPath = route
 		}
 	}
@@ -159,50 +162,27 @@ func (s *Session) pathToLocked(from graph.NodeID, gid graph.ObjectID, lim core.L
 	return bestPath, bestDist, stats, nil
 }
 
-// runLeg executes one per-shard Dijkstra leg (run receives the final
-// options) with cooperative cancellation and records its cost: settled
-// nodes into stats.NodesPopped, one more searched shard, the traversal
-// budget shared with the rest of the query, and — when the query
-// carries a trace — a timed "path_leg" record for shard sid.
-func (s *Session) runLeg(sid ID, gs *graph.Search, stats *core.QueryStats, lim core.Limits, run func(graph.Options), opt graph.Options) error {
+// legCall runs one per-shard Dijkstra leg through the shard's Searcher,
+// passing down the remaining traversal budget and recording its cost:
+// settled nodes into stats.NodesPopped, one more searched shard, and —
+// when the query carries a trace — a timed "path_leg" record for the
+// shard. Budget exhaustion and cancellation mark the stats truncated;
+// other errors (a vanished object, an unreachable host) pass through
+// untouched.
+func (s *Session) legCall(sid ID, req LegReq, stats *core.QueryStats, lim core.Limits) (LegResp, error) {
+	req.Budget = remainingBudget(lim, stats)
 	done := obs.FromContext(lim.Ctx).StartLeg("path_leg", int(sid))
-	aborted := false
-	if lim.Ctx != nil || lim.Budget > 0 {
-		settled := 0
-		base := stats.NodesPopped
-		opt.OnSettle = func(graph.NodeID, float64) bool {
-			settled++
-			if err := lim.Stop(base + settled); err != nil {
-				aborted = true
-				return false
-			}
-			return true
-		}
-	}
-	run(opt)
-	stats.NodesPopped += gs.Visited
+	resp, err := s.q[sid].Leg(lim.Ctx, req)
+	stats.NodesPopped += resp.Pops
 	stats.ShardsSearched++
-	done(gs.Visited)
-	if aborted {
-		stats.Truncated = true
-		if lim.Ctx != nil {
-			if err := lim.Ctx.Err(); err != nil {
-				return fmt.Errorf("%w: %w", apierr.ErrCanceled, err)
-			}
+	done(resp.Pops)
+	if err != nil {
+		if errors.Is(err, apierr.ErrBudgetExhausted) || errors.Is(err, apierr.ErrCanceled) {
+			stats.Truncated = true
 		}
-		return apierr.ErrBudgetExhausted
+		return resp, err
 	}
-	return nil
-}
-
-// closerEnd picks the object-edge endpoint through which the object is
-// cheaper to reach. Ties and the degenerate single-endpoint case resolve
-// toward U, matching the single-framework search's settling order.
-func closerEnd(viaU, viaV float64, e graph.Edge) (graph.NodeID, float64) {
-	if viaU <= viaV {
-		return e.U, viaU
-	}
-	return e.V, viaV
+	return resp, nil
 }
 
 // assemble stitches the full global route: head leg (query node to the
@@ -271,26 +251,18 @@ func (s *Session) legPath(sid ID, a, b graph.NodeID, stats *core.QueryStats, lim
 	if !okA || !okB {
 		return nil, fmt.Errorf("shard: leg %d->%d not inside shard %d", a, b, sid)
 	}
-	gs := s.search(sid)
-	if err := s.runLeg(sid, gs, stats, lim, func(opt graph.Options) {
-		gs.Run(la, opt)
-	}, graph.Options{Targets: []graph.NodeID{lb}}); err != nil {
+	resp, err := s.legCall(sid, LegReq{
+		Seeds:  s.seed1(la),
+		PathTo: lb,
+		Object: -1,
+	}, stats, lim)
+	if err != nil {
 		return nil, err
 	}
-	path, d := gs.Path(lb), gs.Dist(lb)
-	if isInf(d) {
+	if isInf(resp.Dist) {
 		return nil, fmt.Errorf("shard: leg %d->%d no longer connected inside shard %d", a, b, sid)
 	}
-	return s.translatePath(sh, path), nil
-}
-
-// search returns the session's plain Dijkstra workspace for shard sid,
-// creating it on first use.
-func (s *Session) search(sid ID) *graph.Search {
-	if s.gs[sid] == nil {
-		s.gs[sid] = graph.NewSearch(s.r.shards[sid].F.Graph())
-	}
-	return s.gs[sid]
+	return s.translatePath(sh, resp.Path), nil
 }
 
 // translatePath converts a shard-local node sequence to global IDs.

@@ -10,7 +10,7 @@ import (
 	"road/internal/pqueue"
 )
 
-// Session is a read-only cross-shard query context: one core.Session per
+// Session is a read-only cross-shard query context: one Searcher per
 // shard plus the gateway scratch state. Any number of Sessions may query
 // concurrently, and queries may overlap Router mutations: each query
 // synchronizes itself against them with the router's per-shard read
@@ -18,35 +18,36 @@ import (
 // the cross-shard path), so a mutation stalls only readers of its own
 // shard plus cross-shard readers. One Session still serves one goroutine
 // at a time — its scratch state is not shared.
+//
+// The Session never touches shard compute directly: every expansion goes
+// through the shard's Searcher (in-process core.Session or an RPC to the
+// shard's host), while all identity translation and the gateway Dijkstra
+// stay here, on the router side.
 type Session struct {
 	r       *Router
-	sess    []*core.Session
-	wdist   map[graph.NodeID]float64 // per-query: home watch output, LOCAL IDs
+	q       []Searcher               // per-shard compute handles
 	gdist   map[graph.NodeID]float64 // per-query: gateway distances, GLOBAL IDs
 	gpq     pqueue.Queue
-	gs      []*graph.Search // lazy per-shard plain Dijkstra (PathTo legs)
-	m       merger          // per-query candidate merge (scratch reused)
-	entry   []shardEntry    // per-query entry-order scratch
-	oneSeed []core.Seed     // single-seed scratch for home searches
+	m       merger       // per-query candidate merge (scratch reused)
+	entry   []shardEntry // per-query entry-order scratch
+	oneSeed []core.Seed  // single-seed scratch for home searches
 }
 
 // NewSession returns an independent concurrent query context. Safe to
 // call while other sessions query and mutations run: each shard's
-// session is constructed under that shard's read lock (the first
+// searcher is constructed under that shard's read lock (the first
 // construction per framework materializes shortcut trees).
 func (r *Router) NewSession() *Session {
-	sess := make([]*core.Session, len(r.shards))
+	q := make([]Searcher, len(r.shards))
 	for i, s := range r.shards {
 		r.shardMu[i].RLock()
-		sess[i] = s.F.NewSession()
+		q[i] = s.newSearcher()
 		r.shardMu[i].RUnlock()
 	}
 	return &Session{
 		r:     r,
-		sess:  sess,
-		wdist: make(map[graph.NodeID]float64),
+		q:     q,
 		gdist: make(map[graph.NodeID]float64),
-		gs:    make([]*graph.Search, len(r.shards)),
 		m:     merger{at: make(map[graph.ObjectID]int)},
 	}
 }
@@ -125,6 +126,45 @@ func (m *merger) kth(k int) float64 {
 	return m.dists[k-1]
 }
 
+// searchShard runs one per-shard expansion through the shard's Searcher,
+// passing down whatever traversal budget the nodes already settled leave
+// over, timing it as a trace leg, and folding its stats into the query's.
+func (s *Session) searchShard(h ID, leg string, req SearchReq, lim core.Limits, stats *core.QueryStats) (SearchResp, error) {
+	req.Budget = remainingBudget(lim, stats)
+	done := obs.FromContext(lim.Ctx).StartLeg(leg, int(h))
+	resp, err := s.q[h].Search(lim.Ctx, req)
+	accumulate(stats, resp.Stats)
+	done(resp.Stats.NodesPopped)
+	return resp, err
+}
+
+// remainingBudget derives the node-settlement budget for the next
+// per-shard sub-search from the query-wide budget and the work done so
+// far. Zero means "unlimited", so an exhausted budget is represented as
+// the smallest positive bound — the sub-search stops on its first pop
+// and reports ErrBudgetExhausted.
+func remainingBudget(lim core.Limits, stats *core.QueryStats) int {
+	if lim.Budget <= 0 {
+		return 0
+	}
+	remaining := lim.Budget - stats.NodesPopped
+	if remaining < 1 {
+		remaining = 1
+	}
+	return remaining
+}
+
+// mergeWatched folds one shard's watched border distances (local IDs)
+// into the global gateway seed map, keeping the minimum per border.
+func (s *Session) mergeWatched(sh *Shard, watched []WatchDist) {
+	for _, wd := range watched {
+		gb := sh.globalNode[wd.Node]
+		if cur, ok := s.gdist[gb]; !ok || wd.Dist < cur {
+			s.gdist[gb] = wd.Dist
+		}
+	}
+}
+
 // KNN answers a cross-shard k-nearest-neighbour query from a global node.
 //
 // Phase 1 searches the query node's home shard(s) directly, watching
@@ -199,10 +239,8 @@ func (s *Session) knnFast(h ID, from graph.NodeID, k int, attr int32, lim core.L
 	sh := s.r.shards[h]
 	sh.homeQueries.Add(1)
 	lf := sh.localNode[from]
-	done := obs.FromContext(lim.Ctx).StartLeg("home_fast", int(h))
-	res, st, err := s.sess[h].SearchSeededLimited(s.seed1(lf), attr, k, 0, nil, nil, s.sub(lim, &stats))
-	accumulate(&stats, st)
-	done(st.NodesPopped)
+	resp, err := s.searchShard(h, "home_fast", SearchReq{Seeds: s.seed1(lf), Attr: attr, K: k}, lim, &stats)
+	res := resp.Results
 	if err != nil {
 		return translateInPlace(sh, res), stats, err, true
 	}
@@ -224,11 +262,8 @@ func (s *Session) knnHomeLocked(h ID, from graph.NodeID, k int, attr int32, lim 
 	stats.NodesPopped = carried
 	sh := s.r.shards[h]
 	lf := sh.localNode[from]
-	tr := obs.FromContext(lim.Ctx)
-	done := tr.StartLeg("home_locked", int(h))
-	res, st, err := s.sess[h].SearchSeededLimited(s.seed1(lf), attr, k, 0, nil, nil, s.sub(lim, &stats))
-	accumulate(&stats, st)
-	done(st.NodesPopped)
+	resp, err := s.searchShard(h, "home_locked", SearchReq{Seeds: s.seed1(lf), Attr: attr, K: k}, lim, &stats)
+	res := resp.Results
 	if err != nil {
 		return translateInPlace(sh, res), stats, err
 	}
@@ -246,12 +281,8 @@ func (s *Session) knnHomeLocked(h ID, from graph.NodeID, k int, attr int32, lim 
 	if len(res) >= k {
 		stopAt = res[k-1].Dist * (1 + 1e-12)
 	}
-	s.clearWatch()
-	done = tr.StartLeg("home_watched", int(h))
-	_, st, err = s.sess[h].SearchSeededLimited(
-		s.seed1(lf), attr, k, stopAt, sh.watch, s.wdist, s.sub(lim, &stats))
-	accumulate(&stats, st)
-	done(st.NodesPopped)
+	wresp, err := s.searchShard(h, "home_watched",
+		SearchReq{Seeds: s.seed1(lf), Attr: attr, K: k, Radius: stopAt, Watch: true}, lim, &stats)
 	// The watched re-run revisits the SAME home shard (its pops are
 	// real cost and stay counted); only distinct shards entered count
 	// toward ShardsSearched, so a query that never leaves its home
@@ -260,37 +291,21 @@ func (s *Session) knnHomeLocked(h ID, from graph.NodeID, k int, attr int32, lim 
 	if err != nil {
 		return translateInPlace(sh, res), stats, err
 	}
-	if len(s.wdist) == 0 {
+	if len(wresp.Watched) == 0 {
 		return translateInPlace(sh, res), stats, nil
 	}
-	return s.knnSlow(sh, res, k, attr, stats, lim)
-}
-
-// sub derives the limits for the next per-shard sub-search: the same
-// context, with whatever budget the nodes already settled (accumulated in
-// stats) leave over. A nil result would mean "unlimited", so an exhausted
-// budget is represented as the smallest positive bound — the sub-search
-// stops on its first pop and reports ErrBudgetExhausted.
-func (s *Session) sub(lim core.Limits, stats *core.QueryStats) core.Limits {
-	if lim.Budget <= 0 {
-		return lim
-	}
-	remaining := lim.Budget - stats.NodesPopped
-	if remaining < 1 {
-		remaining = 1
-	}
-	return core.Limits{Ctx: lim.Ctx, Budget: remaining}
+	return s.knnSlow(sh, res, wresp.Watched, k, attr, stats, lim)
 }
 
 // knnSlow is the cross-shard continuation for a single home shard: the
-// watched home search already ran (preRes; s.wdist holds the border
+// watched home search already ran (preRes plus the watched border
 // distances). The gateway runs first — if no shard's entry distance
 // beats the local kth bound, the home answer is final without touching
 // the merge machinery (the usual outcome when a border is merely near).
-func (s *Session) knnSlow(sh *Shard, preRes []core.Result, k int, attr int32, stats core.QueryStats, lim core.Limits) ([]core.Result, core.QueryStats, error) {
+func (s *Session) knnSlow(sh *Shard, preRes []core.Result, watched []WatchDist, k int, attr int32, stats core.QueryStats, lim core.Limits) ([]core.Result, core.QueryStats, error) {
 	clear(s.gdist)
-	for ln, d := range s.wdist {
-		s.gdist[sh.globalNode[ln]] = d
+	for _, wd := range watched {
+		s.gdist[sh.globalNode[wd.Node]] = wd.Dist
 	}
 	bound := math.Inf(1)
 	if len(preRes) >= k {
@@ -316,26 +331,16 @@ func (s *Session) knnSlowMulti(homes []ID, from graph.NodeID, k int, attr int32,
 	m := &s.m
 	m.reset()
 	clear(s.gdist)
-	tr := obs.FromContext(lim.Ctx)
 	for _, h := range homes {
 		sh := s.r.shards[h]
 		sh.homeQueries.Add(1)
-		s.clearWatch()
-		done := tr.StartLeg("home_watched", int(h))
-		res, st, err := s.sess[h].SearchSeededLimited(
-			s.seed1(sh.localNode[from]), attr, k, 0, sh.watch, s.wdist, s.sub(lim, &stats))
-		accumulate(&stats, st)
-		done(st.NodesPopped)
-		m.addFrom(sh, res)
+		resp, err := s.searchShard(h, "home_watched",
+			SearchReq{Seeds: s.seed1(sh.localNode[from]), Attr: attr, K: k, Watch: true}, lim, &stats)
+		m.addFrom(sh, resp.Results)
 		if err != nil {
 			return m.take(k), stats, err
 		}
-		for ln, d := range s.wdist {
-			gb := sh.globalNode[ln]
-			if cur, ok := s.gdist[gb]; !ok || d < cur {
-				s.gdist[gb] = d
-			}
-		}
+		s.mergeWatched(sh, resp.Watched)
 	}
 	if len(s.gdist) == 0 {
 		// No border reachable: the merged home answers are final.
@@ -354,7 +359,6 @@ func (s *Session) knnSlowMulti(homes []ID, from graph.NodeID, k int, attr int32,
 // still improve the candidate set.
 func (s *Session) knnFinish(k int, attr int32, stats core.QueryStats, lim core.Limits) ([]core.Result, core.QueryStats, error) {
 	m := &s.m
-	tr := obs.FromContext(lim.Ctx)
 	for _, en := range s.entryOrder() {
 		bound := m.kth(k)
 		if en.dist >= bound {
@@ -372,11 +376,9 @@ func (s *Session) knnFinish(k int, attr int32, stats core.QueryStats, lim core.L
 			stopAt = bound
 		}
 		sh.remoteEntries.Add(1)
-		done := tr.StartLeg("enter", int(en.id))
-		res, st, err := s.sess[en.id].SearchSeededLimited(seeds, attr, k, stopAt, nil, nil, s.sub(lim, &stats))
-		accumulate(&stats, st)
-		done(st.NodesPopped)
-		m.addFrom(sh, res)
+		resp, err := s.searchShard(en.id, "enter",
+			SearchReq{Seeds: seeds, Attr: attr, K: k, Radius: stopAt}, lim, &stats)
+		m.addFrom(sh, resp.Results)
 		if err != nil {
 			return m.take(k), stats, err
 		}
@@ -435,11 +437,9 @@ func (s *Session) withinFast(h ID, from graph.NodeID, radius float64, attr int32
 		return nil, stats, nil, false
 	}
 	sh.homeQueries.Add(1)
-	done := obs.FromContext(lim.Ctx).StartLeg("home_fast", int(h))
-	res, st, err := s.sess[h].SearchSeededLimited(s.seed1(lf), attr, 0, radius, nil, nil, s.sub(lim, &stats))
-	accumulate(&stats, st)
-	done(st.NodesPopped)
-	return translateInPlace(sh, res), stats, err, true
+	resp, err := s.searchShard(h, "home_fast",
+		SearchReq{Seeds: s.seed1(lf), Attr: attr, Radius: radius}, lim, &stats)
+	return translateInPlace(sh, resp.Results), stats, err, true
 }
 
 // withinHomeLocked is the single-home range path under the whole-router
@@ -451,29 +451,23 @@ func (s *Session) withinHomeLocked(h ID, from graph.NodeID, radius float64, attr
 	sh := s.r.shards[h]
 	sh.homeQueries.Add(1)
 	lf := sh.localNode[from]
-	tr := obs.FromContext(lim.Ctx)
 	if sh.borderDist[lf] > radius {
-		done := tr.StartLeg("home_locked", int(h))
-		res, st, err := s.sess[h].SearchSeededLimited(s.seed1(lf), attr, 0, radius, nil, nil, s.sub(lim, &stats))
-		accumulate(&stats, st)
-		done(st.NodesPopped)
-		return translateInPlace(sh, res), stats, err
+		resp, err := s.searchShard(h, "home_locked",
+			SearchReq{Seeds: s.seed1(lf), Attr: attr, Radius: radius}, lim, &stats)
+		return translateInPlace(sh, resp.Results), stats, err
 	}
-	s.clearWatch()
-	done := tr.StartLeg("home_watched", int(h))
-	res, st, err := s.sess[h].SearchSeededLimited(
-		s.seed1(lf), attr, 0, radius, sh.watch, s.wdist, s.sub(lim, &stats))
-	accumulate(&stats, st)
-	done(st.NodesPopped)
+	resp, err := s.searchShard(h, "home_watched",
+		SearchReq{Seeds: s.seed1(lf), Attr: attr, Radius: radius, Watch: true}, lim, &stats)
+	res := resp.Results
 	if err != nil {
 		return translateInPlace(sh, res), stats, err
 	}
-	if len(s.wdist) == 0 {
+	if len(resp.Watched) == 0 {
 		return translateInPlace(sh, res), stats, nil
 	}
 	clear(s.gdist)
-	for ln, d := range s.wdist {
-		s.gdist[sh.globalNode[ln]] = d
+	for _, wd := range resp.Watched {
+		s.gdist[sh.globalNode[wd.Node]] = wd.Dist
 	}
 	s.m.reset()
 	s.m.addFrom(sh, res)
@@ -485,26 +479,16 @@ func (s *Session) withinSlowMulti(homes []ID, from graph.NodeID, radius float64,
 	m := &s.m
 	m.reset()
 	clear(s.gdist)
-	tr := obs.FromContext(lim.Ctx)
 	for _, h := range homes {
 		sh := s.r.shards[h]
 		sh.homeQueries.Add(1)
-		s.clearWatch()
-		done := tr.StartLeg("home_watched", int(h))
-		res, st, err := s.sess[h].SearchSeededLimited(
-			s.seed1(sh.localNode[from]), attr, 0, radius, sh.watch, s.wdist, s.sub(lim, &stats))
-		accumulate(&stats, st)
-		done(st.NodesPopped)
-		m.addFrom(sh, res)
+		resp, err := s.searchShard(h, "home_watched",
+			SearchReq{Seeds: s.seed1(sh.localNode[from]), Attr: attr, Radius: radius, Watch: true}, lim, &stats)
+		m.addFrom(sh, resp.Results)
 		if err != nil {
 			return m.take(-1), stats, err
 		}
-		for ln, d := range s.wdist {
-			gb := sh.globalNode[ln]
-			if cur, ok := s.gdist[gb]; !ok || d < cur {
-				s.gdist[gb] = d
-			}
-		}
+		s.mergeWatched(sh, resp.Watched)
 	}
 	if len(s.gdist) == 0 {
 		return m.take(-1), stats, nil
@@ -520,7 +504,6 @@ func (s *Session) withinFinish(radius float64, attr int32, stats core.QueryStats
 		stats.Truncated = true
 		return m.take(-1), stats, err
 	}
-	tr := obs.FromContext(lim.Ctx)
 	for _, en := range s.entryOrder() {
 		if en.dist > radius {
 			break
@@ -531,11 +514,9 @@ func (s *Session) withinFinish(radius float64, attr int32, stats core.QueryStats
 			continue
 		}
 		sh.remoteEntries.Add(1)
-		done := tr.StartLeg("enter", int(en.id))
-		res, st, err := s.sess[en.id].SearchSeededLimited(seeds, attr, 0, radius, nil, nil, s.sub(lim, &stats))
-		accumulate(&stats, st)
-		done(st.NodesPopped)
-		m.addFrom(sh, res)
+		resp, err := s.searchShard(en.id, "enter",
+			SearchReq{Seeds: seeds, Attr: attr, Radius: radius}, lim, &stats)
+		m.addFrom(sh, resp.Results)
 		if err != nil {
 			return m.take(-1), stats, err
 		}
@@ -565,6 +546,8 @@ func (s *Session) withinFinish(radius float64, attr int32, stats core.QueryStats
 // but it still honours lim's context so a canceled query cannot stall in
 // a pathological border mesh; the traversal budget does not apply here —
 // gateway pops are border-table lookups, not network-node settlements.
+// The border tables it reads live router-side for remote shards too, so
+// the gateway never blocks on the network.
 func (s *Session) gateway(cap float64, pred map[graph.NodeID]gatewayPred, lim core.Limits) error {
 	s.gpq.Reset()
 	for b, d := range s.gdist {
@@ -660,14 +643,6 @@ func (s *Session) borderSeeds(sh *Shard, bound float64) []core.Seed {
 		}
 	}
 	return seeds
-}
-
-// clearWatch empties the watch-output scratch; skipped entirely when the
-// previous query left it empty (the common fast-path case).
-func (s *Session) clearWatch() {
-	if len(s.wdist) != 0 {
-		clear(s.wdist)
-	}
 }
 
 // seed1 returns the session's single-seed scratch holding just node n.

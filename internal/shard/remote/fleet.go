@@ -1,0 +1,217 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"road/internal/obs"
+	"road/internal/shard"
+)
+
+// FleetConfig configures the router side of an out-of-process
+// deployment.
+type FleetConfig struct {
+	// Registry receives the road_remote_* metric families (nil: private).
+	Registry *obs.Registry
+	// HealthInterval is the per-host probe period (default 1s).
+	HealthInterval time.Duration
+	// DownAfter is the number of consecutive failed probes that mark a
+	// host down (default 2).
+	DownAfter int
+	// Logf receives health transitions (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Fleet is a set of shard hosts assembled into one Router of mirror
+// shards, plus the health checker that marks hosts down on sustained
+// probe failure and re-adopts them — snapshot-fingerprint and journal-seq
+// checked — when they come back, without losing the rest of the fleet.
+type Fleet struct {
+	cfg    FleetConfig
+	r      *shard.Router
+	hosts  []*HostClient
+	owners map[int]*HostClient // shard ID -> serving host
+	m      *clientMetrics
+
+	stopc    chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// ConnectFleet discovers which host serves which shard (via /healthz),
+// fetches every shard's exported state, assembles the mirror router and
+// starts the health loops. Every shard of the deployment must be served
+// by exactly one host.
+func ConnectFleet(ctx context.Context, addrs []string, cfg FleetConfig) (*Fleet, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("remote: no shard hosts given")
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = time.Second
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 2
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	m := newClientMetrics(cfg.Registry)
+	f := &Fleet{
+		cfg:    cfg,
+		owners: make(map[int]*HostClient),
+		m:      m,
+		stopc:  make(chan struct{}),
+	}
+	for _, addr := range addrs {
+		c := NewHostClient(addr, m)
+		hr, err := c.Health(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("remote: host %s: %w", addr, err)
+		}
+		for _, id := range hr.Shards {
+			if prev, dup := f.owners[id]; dup {
+				return nil, fmt.Errorf("remote: shard %d served by both %s and %s", id, prev.Addr(), addr)
+			}
+			f.owners[id] = c
+		}
+		f.hosts = append(f.hosts, c)
+	}
+	if len(f.owners) == 0 {
+		return nil, fmt.Errorf("remote: hosts serve no shards")
+	}
+
+	states := make([]*shard.ShardState, len(f.owners))
+	remotes := make([]shard.RemoteShard, len(f.owners))
+	for id := 0; id < len(f.owners); id++ {
+		c, ok := f.owners[id]
+		if !ok {
+			return nil, fmt.Errorf("remote: shard %d served by no host (%d shards discovered)", id, len(f.owners))
+		}
+		st, err := c.State(ctx, id)
+		if err != nil {
+			return nil, fmt.Errorf("remote: shard %d state from %s: %w", id, c.Addr(), err)
+		}
+		states[id] = st
+		remotes[id] = &remoteShard{id: id, c: c}
+	}
+	r, err := shard.AssembleRemote(states, remotes)
+	if err != nil {
+		return nil, err
+	}
+	f.r = r
+
+	for _, c := range f.hosts {
+		c := c
+		m.reg.Gauge("road_remote_host_up", hostLabel(c.Addr()),
+			"1 when the shard host answers health probes, 0 while marked down.",
+			func() float64 {
+				if c.Down() {
+					return 0
+				}
+				return 1
+			})
+		f.wg.Add(1)
+		go f.watch(c)
+	}
+	return f, nil
+}
+
+// Router returns the assembled mirror router. Safe for the same
+// concurrent use as an in-process router.
+func (f *Fleet) Router() *shard.Router { return f.r }
+
+// Hosts returns the fleet's host clients.
+func (f *Fleet) Hosts() []*HostClient { return f.hosts }
+
+// ShardsOf returns the shard IDs host c serves, ascending.
+func (f *Fleet) ShardsOf(c *HostClient) []int {
+	var ids []int
+	for id := 0; id < len(f.owners); id++ {
+		if f.owners[id] == c {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Snapshot asks every host to snapshot its shards and rotate journals.
+func (f *Fleet) Snapshot(ctx context.Context) error {
+	for _, c := range f.hosts {
+		if err := c.Snapshot(ctx); err != nil {
+			return fmt.Errorf("remote: snapshot on %s: %w", c.Addr(), err)
+		}
+	}
+	return nil
+}
+
+// Close stops the health loops. In-flight RPCs finish on their own
+// timeouts.
+func (f *Fleet) Close() {
+	f.stopOnce.Do(func() { close(f.stopc) })
+	f.wg.Wait()
+}
+
+// watch is one host's health loop: DownAfter consecutive probe failures
+// mark the host down (callers fail fast with ErrShardUnavailable instead
+// of burning timeouts); the first successful probe afterwards triggers
+// re-adoption, and only a fully reconciled host serves again.
+func (f *Fleet) watch(c *HostClient) {
+	defer f.wg.Done()
+	fails := 0
+	t := time.NewTicker(f.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stopc:
+			return
+		case <-t.C:
+		}
+		_, err := c.Health(context.Background())
+		if err != nil {
+			fails++
+			if fails >= f.cfg.DownAfter && !c.Down() {
+				c.down.Store(true)
+				f.cfg.Logf("road: shard host %s marked down after %d failed probes: %v", c.Addr(), fails, err)
+			}
+			continue
+		}
+		fails = 0
+		if !c.Down() {
+			continue
+		}
+		if err := f.readopt(c); err != nil {
+			f.cfg.Logf("road: shard host %s answered probes but re-adoption failed: %v", c.Addr(), err)
+			continue
+		}
+		c.down.Store(false)
+		f.m.readopts.Inc()
+		f.cfg.Logf("road: shard host %s re-adopted", c.Addr())
+	}
+}
+
+// readopt reconciles a recovered host's shards into the router: fetch
+// each shard's exported state (the host has replayed its journal, so the
+// state reflects every op it durably logged — including ones whose acks
+// the router never saw) and fold it into the mirror under full exclusion.
+func (f *Fleet) readopt(c *HostClient) error {
+	ids := f.ShardsOf(c)
+	states := make([]*shard.ShardState, 0, len(ids))
+	for _, id := range ids {
+		st, err := c.State(context.Background(), id)
+		if err != nil {
+			return fmt.Errorf("shard %d state: %w", id, err)
+		}
+		states = append(states, st)
+	}
+	return f.r.Exclusive(func() error {
+		for i, id := range ids {
+			if err := f.r.Readopt(id, states[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,69 @@
+package remote
+
+import (
+	"context"
+
+	"road/internal/graph"
+	"road/internal/obs"
+	"road/internal/shard"
+	"road/internal/snapshot"
+)
+
+// remoteShard implements shard.RemoteShard over a HostClient: the
+// router-side handle backing one mirror shard.
+type remoteShard struct {
+	id int
+	c  *HostClient
+}
+
+func (rs *remoteShard) NewSearcher() shard.Searcher { return &remoteSearcher{rs: rs} }
+
+func (rs *remoteShard) Apply(op snapshot.Op) (shard.ApplyReply, error) {
+	return rs.c.Apply(context.Background(), rs.id, op)
+}
+
+func (rs *remoteShard) Object(lo graph.ObjectID) (graph.Object, bool, error) {
+	return rs.c.Object(context.Background(), rs.id, lo)
+}
+
+func (rs *remoteShard) Host() string { return rs.c.Addr() }
+
+// remoteSearcher implements shard.Searcher as RPCs. The Session-side
+// machinery already records the semantic leg (home_fast, enter,
+// path_leg, …); on traced queries the searcher adds one "rpc" leg per
+// call, labelled with the host and the wire share of the wall time, so
+// cross-process latency is attributable separately from shard compute.
+type remoteSearcher struct {
+	rs *remoteShard
+}
+
+func (q *remoteSearcher) traceRPC(ctx context.Context, ri rpcInfo, pops int) {
+	tr := obs.FromContext(ctx)
+	if tr == nil {
+		return
+	}
+	wire := ri.wallUS - ri.computeUS
+	if wire < 0 {
+		wire = 0
+	}
+	tr.Add(obs.Leg{
+		Name:       "rpc",
+		Shard:      q.rs.id,
+		DurationUS: ri.wallUS,
+		Pops:       pops,
+		Host:       q.rs.c.Addr(),
+		WireUS:     wire,
+	})
+}
+
+func (q *remoteSearcher) Search(ctx context.Context, req shard.SearchReq) (shard.SearchResp, error) {
+	resp, ri, err := q.rs.c.Search(ctx, q.rs.id, req)
+	q.traceRPC(ctx, ri, resp.Stats.NodesPopped)
+	return resp, err
+}
+
+func (q *remoteSearcher) Leg(ctx context.Context, req shard.LegReq) (shard.LegResp, error) {
+	resp, ri, err := q.rs.c.Leg(ctx, q.rs.id, req)
+	q.traceRPC(ctx, ri, resp.Pops)
+	return resp, err
+}

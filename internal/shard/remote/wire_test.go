@@ -1,0 +1,86 @@
+package remote
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"road/internal/apierr"
+)
+
+// TestWireErrorRoundTrip checks that every typed sentinel survives the
+// encode/decode cycle with its errors.Is identity AND its message
+// intact — the property the serving layer's status mapping and the
+// Router's divergence checks both depend on.
+func TestWireErrorRoundTrip(t *testing.T) {
+	for _, wc := range wireCodes {
+		wrapped := errors.Join(errors.New("context"), wc.err)
+		code, msg := encodeErr(wrapped)
+		if code != wc.code {
+			t.Fatalf("%v encoded as %q, want %q", wc.err, code, wc.code)
+		}
+		dec := decodeErr(code, msg)
+		if !errors.Is(dec, wc.err) {
+			t.Fatalf("decoded %q lost identity of %v", code, wc.err)
+		}
+		if dec.Error() != wrapped.Error() {
+			t.Fatalf("decoded message %q, want %q", dec.Error(), wrapped.Error())
+		}
+	}
+}
+
+// TestWireErrorUnknown checks that an error with no sentinel identity
+// crosses the wire as a plain error that is NOT errors.Is any sentinel.
+func TestWireErrorUnknown(t *testing.T) {
+	code, msg := encodeErr(errors.New("something host-specific"))
+	if code != codeOther {
+		t.Fatalf("untyped error encoded as %q, want %q", code, codeOther)
+	}
+	dec := decodeErr(code, msg)
+	if dec.Error() != "something host-specific" {
+		t.Fatalf("decoded message %q", dec.Error())
+	}
+	if errors.Is(dec, apierr.ErrShardUnavailable) || errors.Is(dec, apierr.ErrNoSuchObject) {
+		t.Fatal("untyped error gained a sentinel identity")
+	}
+}
+
+// TestWireDistRoundTrip checks the ±Inf translation: border-distance
+// arrays ship +Inf (unreachable border) as -1 because JSON has no Inf.
+func TestWireDistRoundTrip(t *testing.T) {
+	in := []float64{0, 1.5, math.Inf(1), 2.25, math.Inf(1)}
+	d := append([]float64(nil), in...)
+	encDists(d)
+	for _, v := range d {
+		if math.IsInf(v, 0) {
+			t.Fatalf("encoded slice still contains Inf: %v", d)
+		}
+	}
+	decDists(d)
+	for i := range in {
+		if d[i] != in[i] && !(math.IsInf(d[i], 1) && math.IsInf(in[i], 1)) {
+			t.Fatalf("round trip [%d]: %v, want %v", i, d[i], in[i])
+		}
+	}
+}
+
+// TestHedgeDelayBounds checks the hedging trigger: no hedge until the
+// histogram has enough samples, then a p99-derived delay clamped to
+// [1ms, 2s].
+func TestHedgeDelayBounds(t *testing.T) {
+	c := NewHostClient("127.0.0.1:1", nil)
+	if _, ok := c.hedgeDelay(); ok {
+		t.Fatal("hedge armed with an empty latency histogram")
+	}
+	// Fill with microsecond-scale samples: the clamp must floor at 1ms.
+	for i := 0; i < 200; i++ {
+		c.hist.Observe(50e-6)
+	}
+	d, ok := c.hedgeDelay()
+	if !ok {
+		t.Fatal("hedge not armed after 200 samples")
+	}
+	if d < hedgeMinDelay || d > hedgeMaxDelay {
+		t.Fatalf("hedge delay %v outside [%v, %v]", d, hedgeMinDelay, hedgeMaxDelay)
+	}
+}

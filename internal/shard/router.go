@@ -167,15 +167,21 @@ func Build(g *graph.Graph, objects *graph.ObjectSet, opt Options) (*Router, erro
 	return r, nil
 }
 
-// wireTopology recomputes shardsOf and every shard's border set from the
-// shards' node lists, then refreshes per-shard derived state.
-func (r *Router) wireTopology() {
+// computeShardsOf rebuilds the global-node → shards index from the
+// shards' node lists.
+func (r *Router) computeShardsOf() {
 	r.shardsOf = make([][]ID, r.g.NumNodes())
 	for _, s := range r.shards {
 		for _, gn := range s.globalNode {
 			r.shardsOf[gn] = append(r.shardsOf[gn], s.ID)
 		}
 	}
+}
+
+// wireTopology recomputes shardsOf and every shard's border set from the
+// shards' node lists, then refreshes per-shard derived state.
+func (r *Router) wireTopology() {
+	r.computeShardsOf()
 	for _, s := range r.shards {
 		var borders []graph.NodeID
 		for _, gn := range s.globalNode {
@@ -261,7 +267,7 @@ func (r *Router) Mutate(encode func() (ID, snapshot.Op, error), apply func(ID, s
 		// Even a failed op can have invalidated shortcut trees (a road
 		// addition whose global mirror rejected it, say); re-materialize
 		// before this shard's readers resume.
-		r.shards[sid].F.WarmTrees()
+		r.shards[sid].warmTrees()
 		return op, err
 	}
 	r.shards[sid].mutations.Add(1)
@@ -293,18 +299,19 @@ func (r *Router) Exclusive(fn func() error) error {
 func (r *Router) Epoch() uint64 {
 	var sum uint64
 	for _, s := range r.shards {
-		sum += s.F.Epoch()
+		sum += s.epoch()
 	}
 	return sum
 }
 
-// IndexSizeBytes sums the shard frameworks' index sizes. Safe to call
-// concurrently with queries and mutations (per-shard read locks).
+// IndexSizeBytes sums the shard frameworks' index sizes (host-reported
+// for mirror shards). Safe to call concurrently with queries and
+// mutations (per-shard read locks).
 func (r *Router) IndexSizeBytes() int64 {
 	var sum int64
 	for i, s := range r.shards {
 		r.shardMu[i].RLock()
-		sum += s.F.IndexSizeBytes()
+		sum += s.indexSizeBytes()
 		r.shardMu[i].RUnlock()
 	}
 	return sum
@@ -316,7 +323,7 @@ func (r *Router) IndexSizeBytes() int64 {
 // under its write lock.
 func (r *Router) WarmTrees() {
 	for _, s := range r.shards {
-		s.F.WarmTrees()
+		s.warmTrees()
 	}
 }
 
@@ -379,153 +386,9 @@ func (r *Router) ShardForNewRoad(u, v graph.NodeID) (*Shard, error) {
 // exactly the live state: the same translations, the same map updates,
 // the same failure modes.
 
-// ApplyOp applies one journal-encoded mutation to shard id, updating the
-// router's global bookkeeping. When refresh is false (bulk replay), the
-// shard's derived state is NOT rebuilt; the caller must RefreshAll at the
-// end.
-func (r *Router) ApplyOp(id ID, op snapshot.Op, refresh bool) error {
-	s := r.shards[id]
-	checkEdge := func(le graph.EdgeID) error {
-		if le < 0 || int(le) >= len(s.globalEdge) {
-			return fmt.Errorf("shard %d: edge %d outside shard state (%d edges)", id, le, len(s.globalEdge))
-		}
-		return nil
-	}
-	network := false // weights or topology changed: derived routing state stale
-	var chg netChange
-	switch op.Kind {
-	case snapshot.OpSetDistance:
-		if err := checkEdge(op.Edge); err != nil {
-			return err
-		}
-		ed := s.F.Graph().Edge(op.Edge)
-		if _, err := s.F.SetEdgeWeight(op.Edge, op.Value); err != nil {
-			return err
-		}
-		r.mutateMeta(func() { r.g.SetWeight(s.globalEdge[op.Edge], op.Value) })
-		network = true
-		chg = netChange{u: ed.U, v: ed.V, edge: op.Edge, wOld: ed.Weight, wNew: op.Value}
-
-	case snapshot.OpClose:
-		if err := checkEdge(op.Edge); err != nil {
-			return err
-		}
-		ed := s.F.Graph().Edge(op.Edge)
-		// The framework drops objects on the edge; drop their global
-		// identities alongside.
-		doomed := s.F.Objects().OnEdge(op.Edge)
-		if _, err := s.F.DeleteEdge(op.Edge); err != nil {
-			return err
-		}
-		r.mutateMeta(func() {
-			for _, lo := range doomed {
-				gid := s.globalObj[lo]
-				delete(r.objLoc, gid)
-				delete(s.localObj, gid)
-				s.globalObj[lo] = -1
-			}
-			r.g.RemoveEdge(s.globalEdge[op.Edge])
-		})
-		network = true
-		chg = netChange{u: ed.U, v: ed.V, edge: op.Edge, wOld: ed.Weight, wNew: inf, topology: true}
-
-	case snapshot.OpReopen:
-		if err := checkEdge(op.Edge); err != nil {
-			return err
-		}
-		if _, err := s.F.RestoreEdge(op.Edge); err != nil {
-			return err
-		}
-		r.mutateMeta(func() { r.g.RestoreEdge(s.globalEdge[op.Edge]) })
-		network = true
-		ed := s.F.Graph().Edge(op.Edge)
-		chg = netChange{u: ed.U, v: ed.V, edge: op.Edge, wOld: inf, wNew: ed.Weight, topology: true}
-
-	case snapshot.OpAddRoad:
-		le, _, err := s.F.AddEdge(op.U, op.V, op.Value)
-		if err != nil {
-			return err
-		}
-		var ge graph.EdgeID
-		var addErr error
-		r.mutateMeta(func() {
-			ge, addErr = r.g.AddEdge(s.globalNode[op.U], s.globalNode[op.V], op.Value)
-			if addErr == nil && ge == op.Edge {
-				s.localEdge[ge] = le
-				s.globalEdge = append(s.globalEdge, ge)
-				r.edgeShard = append(r.edgeShard, id)
-			}
-		})
-		if addErr != nil {
-			return fmt.Errorf("%w: shard %d: global mirror rejected road: %v", ErrIntegrity, id, addErr)
-		}
-		if ge != op.Edge {
-			return fmt.Errorf("%w: shard %d: replayed road got global edge %d, journal says %d", ErrIntegrity, id, ge, op.Edge)
-		}
-		network = true
-		chg = netChange{u: op.U, v: op.V, edge: le, wOld: inf, wNew: op.Value, topology: true}
-
-	case snapshot.OpInsertObject:
-		if err := checkEdge(op.Edge); err != nil {
-			return err
-		}
-		if _, dup := r.objLoc[op.Object]; dup {
-			return fmt.Errorf("%w: shard %d: global object %d already exists", ErrIntegrity, id, op.Object)
-		}
-		o, err := s.F.InsertObject(op.Edge, op.Value, op.Attr)
-		if err != nil {
-			return err
-		}
-		r.mutateMeta(func() {
-			s.setGlobalObj(o.ID, op.Object)
-			s.localObj[op.Object] = o.ID
-			r.objLoc[op.Object] = id
-			if op.Object >= r.nextObj {
-				r.nextObj = op.Object + 1
-			}
-		})
-
-	case snapshot.OpDeleteObject:
-		lo, ok := s.localObj[op.Object]
-		if !ok {
-			return fmt.Errorf("shard %d: object %d: %w", id, op.Object, apierr.ErrNoSuchObject)
-		}
-		if err := s.F.DeleteObject(lo); err != nil {
-			return err
-		}
-		r.mutateMeta(func() {
-			delete(r.objLoc, op.Object)
-			delete(s.localObj, op.Object)
-			s.globalObj[lo] = -1
-		})
-
-	case snapshot.OpSetObjectAttr:
-		lo, ok := s.localObj[op.Object]
-		if !ok {
-			return fmt.Errorf("shard %d: object %d: %w", id, op.Object, apierr.ErrNoSuchObject)
-		}
-		if err := s.F.UpdateObjectAttr(lo, op.Attr); err != nil {
-			return err
-		}
-
-	default:
-		return fmt.Errorf("shard %d: %w: %d", id, snapshot.ErrUnknownOp, op.Kind)
-	}
-
-	if refresh {
-		// Object churn leaves the routing state intact: border tables and
-		// nearest-border distances depend only on the network, so only
-		// network mutations pay a derived-state refresh — and that refresh
-		// is incremental (maintain.go): filter the border arcs whose
-		// shortest path could have crossed the touched edge, recompute
-		// only those.
-		if network {
-			s.maintainDerived(chg)
-		}
-		s.F.WarmTrees()
-	}
-	return nil
-}
+// ApplyOp itself lives in apply.go, split into the shard-side half
+// (Shard.applyLocal — which also runs on shard hosts) and the
+// router-side global bookkeeping.
 
 // --- Op encoding (the live-mutation side of the unified apply path) ---
 //
@@ -618,40 +481,66 @@ func (r *Router) EncodeSetObjectAttr(gid graph.ObjectID, attr int32) (ID, snapsh
 // is resolved under the bookkeeping lock, then re-verified under that
 // shard's read lock (the object may be deleted between the two).
 func (r *Router) Object(gid graph.ObjectID) (graph.Object, bool) {
+	o, ok, _ := r.ObjectErr(gid)
+	return o, ok
+}
+
+// ObjectErr is Object with the transport error surfaced: for a mirror
+// shard the payload lives on the host, and "not found" must stay
+// distinguishable from "host unreachable".
+func (r *Router) ObjectErr(gid graph.ObjectID) (graph.Object, bool, error) {
 	r.metaMu.RLock()
 	sid, ok := r.objLoc[gid]
 	r.metaMu.RUnlock()
 	if !ok {
-		return graph.Object{}, false
+		return graph.Object{}, false, nil
 	}
 	r.shardMu[sid].RLock()
 	defer r.shardMu[sid].RUnlock()
-	return r.ObjectInShard(sid, gid)
+	return r.objectInShard(sid, gid)
 }
 
 // ObjectInShard resolves a global object known to live in shard sid,
 // taking no locks: for callers already inside that shard's lock — a
 // Mutate apply callback reading back the object it just inserted, say.
 func (r *Router) ObjectInShard(sid ID, gid graph.ObjectID) (graph.Object, bool) {
+	o, ok, _ := r.objectInShard(sid, gid)
+	return o, ok
+}
+
+func (r *Router) objectInShard(sid ID, gid graph.ObjectID) (graph.Object, bool, error) {
 	s := r.shards[sid]
 	lo, ok := s.localObj[gid]
 	if !ok {
-		return graph.Object{}, false
+		return graph.Object{}, false, nil
 	}
-	o, ok := s.F.Objects().Get(lo)
+	var o graph.Object
+	if s.F != nil {
+		o, ok = s.F.Objects().Get(lo)
+	} else {
+		var err error
+		o, ok, err = s.remote.Object(lo)
+		if err != nil {
+			return graph.Object{}, false, err
+		}
+	}
 	if !ok {
-		return graph.Object{}, false
+		return graph.Object{}, false, nil
 	}
 	o.ID = gid
 	o.Edge = s.globalEdge[o.Edge]
-	return o, true
+	return o, true, nil
 }
 
 // RefreshAll rebuilds every shard's derived routing state (watch sets and
 // border tables) and re-warms shortcut trees — the bulk counterpart of
-// per-op refresh, for after journal replay.
+// per-op refresh, for after journal replay. Mirror shards are skipped:
+// their derived state arrives from the host (adoption and ApplyReply).
 func (r *Router) RefreshAll() {
 	for _, s := range r.shards {
+		if s.F == nil {
+			continue
+		}
 		s.refreshDerived(true)
 		s.F.WarmTrees()
 	}
@@ -666,6 +555,7 @@ type Info struct {
 	Borders       int    `json:"borders"`
 	Epoch         uint64 `json:"epoch"`
 	IndexKB       int64  `json:"index_kb"`
+	Host          string `json:"host,omitempty"` // serving host (mirror shards)
 	HomeQueries   uint64 `json:"home_queries"`
 	RemoteEntries uint64 `json:"remote_entries"`
 	Escalations   uint64 `json:"escalations"`
@@ -680,16 +570,19 @@ func (r *Router) Infos() []Info {
 		r.shardMu[i].RLock()
 		out[i] = Info{
 			ID:            s.ID,
-			Nodes:         s.F.Graph().NumNodes(),
-			Edges:         s.F.Graph().NumEdges(),
-			Objects:       s.F.Objects().Len(),
+			Nodes:         s.numNodes(),
+			Edges:         s.numEdges(),
+			Objects:       s.numObjects(),
 			Borders:       len(s.borders),
-			Epoch:         s.F.Epoch(),
-			IndexKB:       s.F.IndexSizeBytes() / 1024,
+			Epoch:         s.epoch(),
+			IndexKB:       s.indexSizeBytes() / 1024,
 			HomeQueries:   s.homeQueries.Load(),
 			RemoteEntries: s.remoteEntries.Load(),
 			Escalations:   s.escalations.Load(),
 			Mutations:     s.mutations.Load(),
+		}
+		if s.F == nil {
+			out[i].Host = s.remote.Host()
 		}
 		r.shardMu[i].RUnlock()
 	}

@@ -1,0 +1,227 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"road/internal/apierr"
+	"road/internal/core"
+	"road/internal/graph"
+)
+
+// A Searcher is one query session's handle onto one shard's compute
+// surface, in SHARD-LOCAL coordinates. The cross-shard Session machinery
+// (query.go, path.go) runs entirely against this seam: for an in-process
+// shard it is backed by a core.Session plus a plain Dijkstra workspace;
+// for an out-of-process shard (internal/shard/remote) every call is an
+// RPC to the host that owns the shard. A Searcher serves one goroutine
+// at a time, like the Session that owns it.
+//
+// All identity translation (local↔global) stays on the router side: the
+// Session owns the shard's identity maps whether the compute is local or
+// remote, so only search work crosses the process boundary.
+type Searcher interface {
+	// Search runs one watched or plain framework search (the kNN/range
+	// building block). Partial results may accompany a budget or
+	// cancellation error, exactly like core.Session.SearchSeededLimited.
+	Search(ctx context.Context, req SearchReq) (SearchResp, error)
+	// Leg runs one plain Dijkstra leg on the shard's live local graph
+	// (the PathTo building block).
+	Leg(ctx context.Context, req LegReq) (LegResp, error)
+}
+
+// SearchReq describes one per-shard framework search. Seeds are
+// shard-local nodes with the global distance already accumulated to
+// reach them (a single zero-distance seed for home searches).
+type SearchReq struct {
+	Seeds []core.Seed `json:"seeds"`
+	Attr  int32       `json:"attr,omitempty"`
+	// K caps the result count (0 for range queries).
+	K int `json:"k,omitempty"`
+	// Radius bounds the expansion (0 = unbounded): the range-query radius,
+	// or a kNN re-run's stop-at cap.
+	Radius float64 `json:"radius,omitempty"`
+	// Watch asks for the exact distance to every border node settled
+	// below the search's stopping distance (the gateway's seed data).
+	Watch bool `json:"watch,omitempty"`
+	// Budget is the remaining node-settlement budget for this sub-search
+	// (0 = unlimited). The caller tracks the query-wide budget across
+	// shards and passes down what is left.
+	Budget int `json:"budget,omitempty"`
+}
+
+// SearchResp is a Search result in shard-local coordinates.
+//
+// Watched may alias searcher-owned scratch: it is valid until the next
+// Search call on the same Searcher, so consume (or serialize) it first.
+type SearchResp struct {
+	Results []core.Result   `json:"results,omitempty"`
+	Watched []WatchDist     `json:"watched,omitempty"`
+	Stats   core.QueryStats `json:"stats"`
+}
+
+// WatchDist is one watched border's exact distance from the query seeds
+// (shard-local node ID). A slice, not a map, so the order-independent
+// min-merge on the router side works the same locally and over the wire.
+type WatchDist struct {
+	Node graph.NodeID `json:"node"`
+	Dist float64      `json:"dist"`
+}
+
+// LegReq describes one plain Dijkstra leg. Exactly one of three shapes:
+//
+//   - Targets only: distances to each target (head-borders leg).
+//   - PathTo (with Targets = {PathTo}): distances plus the shortest path
+//     to that node (gateway hop legs).
+//   - Object ≥ 0: the leg targets the object's edge endpoints, resolved
+//     shard-side, and returns the path to the cheaper endpoint plus the
+//     full object distance (direct and tail legs).
+//
+// Constructors must set PathTo to graph.NoNode and Object to -1 when
+// unused: the zero values are valid IDs.
+type LegReq struct {
+	Seeds   []core.Seed    `json:"seeds"`
+	Targets []graph.NodeID `json:"targets,omitempty"`
+	PathTo  graph.NodeID   `json:"path_to"`
+	Object  graph.ObjectID `json:"object"`
+	Budget  int            `json:"budget,omitempty"`
+}
+
+// LegResp is a Leg result in shard-local coordinates. Dist is +Inf when
+// the requested path target (or object) is unreachable; the wire layer
+// encodes +Inf as -1, but in-process values are real infinities.
+type LegResp struct {
+	// Dists is aligned with LegReq.Targets (+Inf = unreachable).
+	Dists []float64 `json:"dists,omitempty"`
+	// Path is the node sequence (local IDs) to PathTo or to the object's
+	// cheaper edge endpoint; Path[0] is the seed it was reached from.
+	Path []graph.NodeID `json:"path,omitempty"`
+	// Dist is the distance Path realizes — for Object legs, including the
+	// along-edge offset to the object itself.
+	Dist float64 `json:"dist"`
+	// Pops is the number of nodes the leg settled.
+	Pops int `json:"pops"`
+}
+
+// localSearcher is the in-process Searcher: the pre-RPC query machinery
+// folded behind the seam. Shard hosts use it too — their HTTP handlers
+// drive the exact same code the in-process router runs.
+type localSearcher struct {
+	sh      *Shard
+	sess    *core.Session
+	gs      *graph.Search // lazy: only path legs need it
+	wdist   map[graph.NodeID]float64
+	watched []WatchDist
+}
+
+// newLocalSearcher builds a Searcher over a full local shard. Callers
+// must hold the shard's read exclusion: the first session per framework
+// materializes shortcut trees.
+func (s *Shard) newLocalSearcher() *localSearcher {
+	return &localSearcher{sh: s, sess: s.F.NewSession()}
+}
+
+// NewLocalSearcher is newLocalSearcher for shard hosts (package remote),
+// which pool searchers per shard for their search handlers.
+func (s *Shard) NewLocalSearcher() Searcher { return s.newLocalSearcher() }
+
+func (ls *localSearcher) Search(ctx context.Context, req SearchReq) (SearchResp, error) {
+	lim := core.Limits{Ctx: ctx, Budget: req.Budget}
+	var watch *core.WatchSet
+	var wdist map[graph.NodeID]float64
+	if req.Watch {
+		watch = ls.sh.watch
+		if ls.wdist == nil {
+			ls.wdist = make(map[graph.NodeID]float64)
+		} else {
+			clear(ls.wdist)
+		}
+		wdist = ls.wdist
+	}
+	res, st, err := ls.sess.SearchSeededLimited(req.Seeds, req.Attr, req.K, req.Radius, watch, wdist, lim)
+	resp := SearchResp{Results: res, Stats: st}
+	if len(wdist) > 0 {
+		ls.watched = ls.watched[:0]
+		for n, d := range wdist {
+			ls.watched = append(ls.watched, WatchDist{Node: n, Dist: d})
+		}
+		resp.Watched = ls.watched
+	}
+	return resp, err
+}
+
+func (ls *localSearcher) Leg(ctx context.Context, req LegReq) (LegResp, error) {
+	if ls.gs == nil {
+		ls.gs = graph.NewSearch(ls.sh.F.Graph())
+	}
+	gs := ls.gs
+	resp := LegResp{Dist: inf}
+
+	targets := req.Targets
+	var o graph.Object
+	var le graph.Edge
+	if req.Object >= 0 {
+		var ok bool
+		o, ok = ls.sh.F.Objects().Get(req.Object)
+		if !ok {
+			return resp, fmt.Errorf("shard %d: object %d: %w", ls.sh.ID, req.Object, apierr.ErrNoSuchObject)
+		}
+		le = ls.sh.F.Graph().Edge(o.Edge)
+		targets = []graph.NodeID{le.U, le.V}
+	}
+
+	opt := graph.Options{Targets: targets}
+	lim := core.Limits{Ctx: ctx, Budget: req.Budget}
+	aborted := false
+	if ctx != nil || req.Budget > 0 {
+		settled := 0
+		opt.OnSettle = func(graph.NodeID, float64) bool {
+			settled++
+			if err := lim.Stop(settled); err != nil {
+				aborted = true
+				return false
+			}
+			return true
+		}
+	}
+	gs.RunSeeded(req.Seeds, opt)
+	resp.Pops = gs.Visited
+	if aborted {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return resp, fmt.Errorf("%w: %w", apierr.ErrCanceled, err)
+			}
+		}
+		return resp, apierr.ErrBudgetExhausted
+	}
+
+	switch {
+	case req.Object >= 0:
+		if end, d := closerEnd(gs.Dist(le.U)+o.DU, gs.Dist(le.V)+o.DV, le); !isInf(d) {
+			resp.Dist = d
+			resp.Path = gs.Path(end)
+		}
+	case req.PathTo != graph.NoNode:
+		if d := gs.Dist(req.PathTo); !isInf(d) {
+			resp.Dist = d
+			resp.Path = gs.Path(req.PathTo)
+		}
+	}
+	if len(req.Targets) > 0 {
+		resp.Dists = make([]float64, len(req.Targets))
+		for i, t := range req.Targets {
+			resp.Dists[i] = gs.Dist(t)
+		}
+	}
+	return resp, nil
+}
+
+// closerEnd picks the object-edge endpoint through which the object is
+// cheaper to reach. Ties and the degenerate single-endpoint case resolve
+// toward U, matching the single-framework search's settling order.
+func closerEnd(viaU, viaV float64, e graph.Edge) (graph.NodeID, float64) {
+	if viaU <= viaV {
+		return e.U, viaU
+	}
+	return e.V, viaV
+}

@@ -46,7 +46,20 @@ type BorderArc struct {
 // IDs.
 type Shard struct {
 	ID ID
-	F  *core.Framework
+	// F is the shard's framework — non-nil for in-process shards. A nil F
+	// marks a MIRROR of an out-of-process shard: identity maps, borders,
+	// btable and borderDist are kept here (queries and op encoding read
+	// them constantly), while all compute goes through remote.
+	F *core.Framework
+
+	// remote is the out-of-process handle backing a mirror shard.
+	remote RemoteShard
+	// Freshness header cached from the host's last ApplyReply / adopted
+	// state (mirror shards only; atomics — the read paths take no locks).
+	repoch  atomic.Uint64
+	rbytes  atomic.Int64
+	rseq    atomic.Uint64
+	rjbytes atomic.Int64
 
 	// Identity maps. Node sets are fixed at build time (roads may be
 	// added, but only between existing intersections); edge and object
@@ -127,6 +140,56 @@ func (s *Shard) Borders() []graph.NodeID { return s.borders }
 func (s *Shard) LocalNode(g graph.NodeID) (graph.NodeID, bool) {
 	l, ok := s.localNode[g]
 	return l, ok
+}
+
+// IsRemote reports whether this Shard is a mirror of an out-of-process
+// shard (compute lives on a host, reached through Remote()).
+func (s *Shard) IsRemote() bool { return s.F == nil }
+
+// Remote returns the out-of-process handle backing a mirror shard (nil
+// for in-process shards).
+func (s *Shard) Remote() RemoteShard { return s.remote }
+
+// The accessors below paper over the local/mirror split for the router's
+// aggregate surfaces (Epoch, Infos, sizes).
+
+func (s *Shard) epoch() uint64 {
+	if s.F != nil {
+		return s.F.Epoch()
+	}
+	return s.repoch.Load()
+}
+
+func (s *Shard) indexSizeBytes() int64 {
+	if s.F != nil {
+		return s.F.IndexSizeBytes()
+	}
+	return s.rbytes.Load()
+}
+
+func (s *Shard) warmTrees() {
+	if s.F != nil {
+		s.F.WarmTrees()
+	}
+}
+
+func (s *Shard) numNodes() int { return len(s.globalNode) }
+func (s *Shard) numEdges() int { return len(s.globalEdge) }
+
+func (s *Shard) numObjects() int {
+	if s.F != nil {
+		return s.F.Objects().Len()
+	}
+	return len(s.localObj)
+}
+
+// newSearcher returns the shard's per-session query handle: in-process
+// compute, or the remote client's RPC-backed searcher.
+func (s *Shard) newSearcher() Searcher {
+	if s.F != nil {
+		return s.newLocalSearcher()
+	}
+	return s.remote.NewSearcher()
 }
 
 // newShard assembles one shard from its slice of the global network.

@@ -1,0 +1,30 @@
+// Package version centralizes the build identity every binary reports:
+// the -version flag, the /healthz payload of shard hosts, and the
+// road_build_info metric families expose the same strings.
+package version
+
+import (
+	"fmt"
+	"runtime"
+
+	"road/internal/obs"
+)
+
+// Version is the release identity. Overridable at link time:
+//
+//	go build -ldflags "-X road/internal/version.Version=v1.2.3"
+var Version = "0.6.0-dev"
+
+// String renders the full identity line binaries print for -version.
+func String(binary string) string {
+	return fmt.Sprintf("%s %s (%s, %s/%s)", binary, Version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}
+
+// Register adds the road_build_info gauge to reg: constant 1, with the
+// build identity carried in labels (the Prometheus info-metric idiom).
+func Register(reg *obs.Registry) {
+	labels := fmt.Sprintf("version=%q,go=%q", Version, runtime.Version())
+	reg.Gauge("road_build_info", labels,
+		"Build identity (constant 1; version and Go runtime in labels).",
+		func() float64 { return 1 })
+}
