@@ -55,7 +55,18 @@
 // DUR — with their traces — as JSON lines on stderr, and -query-log
 // FILE records a sampled structured log of every query served (one
 // JSON line each, size-rotated; see -query-log-sample and
-// -query-log-max-bytes).
+// -query-log-max-bytes). Every query is stamped with a request ID that
+// appears in the response, the query log and any slow-query line, so
+// the three views of one request join trivially. GET /admin/workload
+// reports the live workload model (query mix, per-shard heat, hot
+// nodes, repeat-query clusters) over an in-memory rolling window of
+// recent queries (-workload-window); the roadlog tool computes the
+// same model offline from a -query-log file. On a -shard-hosts router,
+// GET /fleet reports per-host health, RPC latency percentiles and
+// hedging counters, and &trace=1 traces continue across process
+// boundaries: each rpc leg nests the host-side legs (queue wait,
+// search compute, journal fsync) under sub, with wire time separated.
+// -pprof additionally mounts net/http/pprof under /debug/pprof/.
 //
 // Endpoints (see internal/server for the full reference):
 //
@@ -66,8 +77,10 @@
 //	POST /maintenance/{set-distance,close,reopen,add-road,
 //	                   insert-object,delete-object,set-attr}
 //	POST /admin/snapshot
+//	GET  /admin/workload
 //	GET  /stats
 //	GET  /metrics
+//	GET  /fleet                      (remote deployments)
 //	GET  /healthz
 //
 // On SIGTERM/SIGINT a -snapshot daemon persists a final snapshot (with
@@ -119,6 +132,8 @@ type config struct {
 	queryLogPath    string
 	queryLogSample  int
 	queryLogMax     int64
+	workloadWindow  int
+	pprof           bool
 
 	qlog *obs.QueryLog // opened from queryLogPath before the server starts
 }
@@ -131,6 +146,8 @@ func (c config) serverOptions() server.Options {
 		QueryTimeout:       c.queryTimeout,
 		SlowQueryThreshold: c.slowQuery,
 		QueryLog:           c.qlog,
+		WorkloadWindow:     c.workloadWindow,
+		Pprof:              c.pprof,
 	}
 }
 
@@ -156,6 +173,8 @@ func main() {
 	flag.StringVar(&cfg.queryLogPath, "query-log", "", "append a sampled structured query log (JSON lines) to this file")
 	flag.IntVar(&cfg.queryLogSample, "query-log-sample", 1, "log every Nth query (1 logs all)")
 	flag.Int64Var(&cfg.queryLogMax, "query-log-max-bytes", 0, "rotate the query log to FILE.1 when it exceeds this many bytes (0 = 64 MiB)")
+	flag.IntVar(&cfg.workloadWindow, "workload-window", 0, "queries kept in the in-memory rolling window behind /admin/workload (0 = default 4096, negative disables the endpoint)")
+	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {

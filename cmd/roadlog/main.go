@@ -1,0 +1,85 @@
+// Command roadlog analyzes roadd's sampled JSONL query log (-query-log)
+// into a workload model: query mix, per-shard heat, top hot source
+// nodes (space-saving counters), latency and inter-arrival
+// distributions, cache behaviour, and concrete follow-up actions (hot
+// shards → replication/repartition candidates, repeat-query clusters →
+// semantic-cache candidates).
+//
+// Usage:
+//
+//	roadlog -log queries.jsonl [-json workload.json] [-top 20] [-hot-factor 2]
+//	roadlog file1.jsonl file2.jsonl ...
+//
+// -log reads the named log plus its rotated segment (<path>.1) when one
+// exists, oldest first; positional arguments name further segments.
+// Malformed lines (torn by a crash, corrupted on disk) are counted and
+// skipped, never fatal. The human report goes to stdout; -json writes
+// the machine-readable model. Exits 1 when no records parse.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"road/internal/obs/analytics"
+	"road/internal/version"
+)
+
+func main() {
+	var (
+		logPath   = flag.String("log", "", "query log file; its rotated segment <path>.1 is read too")
+		jsonOut   = flag.String("json", "", "write the machine-readable workload model to this file")
+		topK      = flag.Int("top", 20, "entries in the hot-node and repeat-query lists")
+		hotFactor = flag.Float64("hot-factor", 2.0, "load multiple of the mean that flags a shard as hot")
+		repeatMin = flag.Uint64("repeat-min", 10, "minimum identical-query count for a semantic-cache candidate")
+		showVer   = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String("roadlog"))
+		return
+	}
+
+	var paths []string
+	if *logPath != "" {
+		paths = analytics.LogSegments(*logPath)
+	}
+	paths = append(paths, flag.Args()...)
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "roadlog: no input; pass -log FILE or positional log files")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	b := analytics.NewBuilder(analytics.Config{
+		TopK:      *topK,
+		HotFactor: *hotFactor,
+		RepeatMin: *repeatMin,
+	})
+	if err := analytics.ScanFiles(b, paths...); err != nil {
+		fmt.Fprintf(os.Stderr, "roadlog: %v\n", err)
+		os.Exit(1)
+	}
+	m := b.Build()
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "roadlog: encoding model: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "roadlog: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	analytics.Report(os.Stdout, m)
+	if m.Queries == 0 {
+		fmt.Fprintln(os.Stderr, "roadlog: no query records parsed")
+		os.Exit(1)
+	}
+}

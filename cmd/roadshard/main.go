@@ -42,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -71,6 +72,7 @@ func main() {
 		levels      = flag.Int("levels", 0, "bootstrap Rnet hierarchy depth (0 = default)")
 		seed        = flag.Int64("seed", 1, "bootstrap placement seed")
 		fleetShards = flag.Int("fleet-shards", 2, "bootstrap: total shards in the deployment (power of two ≥ 2)")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -79,14 +81,14 @@ func main() {
 		return
 	}
 	if err := run(*addr, *shards, *snapPrefix, *jourPrefix, *jourSync,
-		*netName, *load, *scale, *objects, *levels, *seed, *fleetShards); err != nil {
+		*netName, *load, *scale, *objects, *levels, *seed, *fleetShards, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "roadshard:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, shards, snapPrefix, jourPrefix string, jourSync bool,
-	netName, load string, scale float64, objects, levels int, seed int64, fleetShards int) error {
+	netName, load string, scale float64, objects, levels int, seed int64, fleetShards int, pprofOn bool) error {
 	if snapPrefix == "" {
 		return fmt.Errorf("-snapshot is required")
 	}
@@ -118,7 +120,20 @@ func run(addr, shards, snapPrefix, jourPrefix string, jourSync bool,
 	fmt.Printf("roadshard: serving shards %v of %s on %s (loaded in %v)\n",
 		host.ShardIDs(), snapPrefix, addr, time.Since(start).Round(time.Millisecond))
 
-	httpSrv := &http.Server{Addr: addr, Handler: host.Handler()}
+	handler := host.Handler()
+	if pprofOn {
+		// The host's mux is private, so profiling mounts on a wrapper:
+		// /debug/pprof/ is answered here, everything else falls through.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 

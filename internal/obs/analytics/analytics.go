@@ -1,0 +1,417 @@
+// Package analytics turns the sampled JSONL query log (obs.QueryRecord
+// lines) into a compact workload model: the query mix, per-shard heat,
+// top hot source nodes, latency and inter-arrival distributions, and
+// cache behaviour — plus concrete follow-up actions (shards loaded past
+// a configurable multiple of the mean are replication/repartition
+// candidates; heavily repeated identical queries are semantic-cache
+// candidates). The same model backs the offline roadlog binary and
+// roadd's live /admin/workload endpoint.
+package analytics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"road/internal/obs"
+)
+
+// SpaceSaving is the Metwally/Agrawal/El Abbadi stream-summary sketch:
+// at most k counters track the heavy hitters of an unbounded key
+// stream. When a new key arrives with all counters taken, it replaces
+// the minimum counter and inherits its count as overestimation error —
+// any key with true frequency above n/k is guaranteed to be present,
+// and Count-Err is a lower bound on its true frequency.
+type SpaceSaving[K comparable] struct {
+	k       int
+	entries map[K]*ssCell
+}
+
+type ssCell struct {
+	count uint64
+	err   uint64
+}
+
+// TopEntry is one retained heavy hitter. Count overestimates the true
+// frequency by at most Err.
+type TopEntry[K comparable] struct {
+	Key   K      `json:"key"`
+	Count uint64 `json:"count"`
+	Err   uint64 `json:"err,omitempty"`
+}
+
+// NewSpaceSaving returns a sketch holding at most k counters (k <= 0
+// is treated as 1).
+func NewSpaceSaving[K comparable](k int) *SpaceSaving[K] {
+	if k <= 0 {
+		k = 1
+	}
+	return &SpaceSaving[K]{k: k, entries: make(map[K]*ssCell, k+1)}
+}
+
+// Add counts one occurrence of key.
+func (s *SpaceSaving[K]) Add(key K) {
+	if c, ok := s.entries[key]; ok {
+		c.count++
+		return
+	}
+	if len(s.entries) < s.k {
+		s.entries[key] = &ssCell{count: 1}
+		return
+	}
+	// Evict the minimum counter; the newcomer inherits its count as
+	// error bound.
+	var minKey K
+	var minCell *ssCell
+	for k, c := range s.entries {
+		if minCell == nil || c.count < minCell.count {
+			minKey, minCell = k, c
+		}
+	}
+	delete(s.entries, minKey)
+	s.entries[key] = &ssCell{count: minCell.count + 1, err: minCell.count}
+}
+
+// Top returns up to n entries by descending count (ties by ascending
+// error, so exactly-counted keys rank first).
+func (s *SpaceSaving[K]) Top(n int) []TopEntry[K] {
+	out := make([]TopEntry[K], 0, len(s.entries))
+	for k, c := range s.entries {
+		out = append(out, TopEntry[K]{Key: k, Count: c.count, Err: c.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Err < out[j].Err
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Config tunes model construction.
+type Config struct {
+	// TopK bounds the hot-node and repeat-query lists (default 20).
+	TopK int
+	// HotFactor is the per-shard load multiple of the mean beyond which
+	// a shard is flagged as a replication/repartition candidate
+	// (default 2.0).
+	HotFactor float64
+	// RepeatMin is the minimum identical-query count for a semantic
+	// cache candidate (default 10).
+	RepeatMin uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.TopK <= 0 {
+		c.TopK = 20
+	}
+	if c.HotFactor <= 0 {
+		c.HotFactor = 2.0
+	}
+	if c.RepeatMin == 0 {
+		c.RepeatMin = 10
+	}
+	return c
+}
+
+// DistSummary describes one latency-like distribution in microseconds.
+type DistSummary struct {
+	Count  int64 `json:"count"`
+	MeanUS int64 `json:"mean_us"`
+	P50US  int64 `json:"p50_us"`
+	P95US  int64 `json:"p95_us"`
+	P99US  int64 `json:"p99_us"`
+	MaxUS  int64 `json:"max_us"`
+}
+
+// CacheSummary aggregates the log's cache outcomes. HitRate is over
+// hits+misses only (bypasses never consulted the cache).
+type CacheSummary struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	Bypass  int64   `json:"bypass"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// ShardHeat is one shard's share of the workload. Heat is the shard's
+// query load as a multiple of the mean per-shard load; >= the
+// configured HotFactor flags it for replication/repartitioning.
+type ShardHeat struct {
+	Shard         int     `json:"shard"`
+	Queries       int64   `json:"queries"`
+	Share         float64 `json:"share"`
+	Heat          float64 `json:"heat"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	MeanLatencyUS int64   `json:"mean_latency_us"`
+}
+
+// Action is one concrete follow-up the model's numbers justify.
+type Action struct {
+	// Kind is "replicate-or-repartition" or "semantic-cache".
+	Kind   string `json:"kind"`
+	Target string `json:"target"`
+	Detail string `json:"detail"`
+}
+
+// Model is the machine-readable workload summary (workload.json).
+type Model struct {
+	GeneratedAt string `json:"generated_at"`
+	// Queries counts parsed records; the log is sampled, so multiply by
+	// the server's -query-log-sample to estimate true traffic.
+	Queries     int64            `json:"queries"`
+	Malformed   int64            `json:"malformed,omitempty"`
+	WindowStart string           `json:"window_start,omitempty"`
+	WindowEnd   string           `json:"window_end,omitempty"`
+	SpanSeconds float64          `json:"span_seconds"`
+	QPS         float64          `json:"qps"`
+	Mix         map[string]int64 `json:"mix"`
+	Errors      map[string]int64 `json:"errors,omitempty"`
+	Truncated   int64            `json:"truncated,omitempty"`
+
+	Cache          CacheSummary           `json:"cache"`
+	Latency        map[string]DistSummary `json:"latency_us"`
+	InterarrivalUS DistSummary            `json:"interarrival_us"`
+
+	Shards   []ShardHeat       `json:"shards,omitempty"`
+	HotNodes []TopEntry[int64] `json:"hot_nodes,omitempty"`
+	// RepeatQueries are identical (op, node, k/radius, attr) clusters.
+	RepeatQueries []TopEntry[string] `json:"repeat_queries,omitempty"`
+	Actions       []Action           `json:"actions,omitempty"`
+}
+
+type shardAgg struct {
+	queries   int64
+	hits      int64
+	lookups   int64 // hits + misses
+	durSumUS  int64
+	durCount  int64
+	durScaled bool
+}
+
+// Builder folds QueryRecords into a Model one at a time. Not safe for
+// concurrent use; wrap it (or use Window) for live aggregation.
+type Builder struct {
+	cfg Config
+
+	queries   int64
+	malformed int64
+	truncated int64
+	mix       map[string]int64
+	errors    map[string]int64
+
+	hits, misses, bypass int64
+
+	durations    map[string][]float64 // per-op, µs
+	interarrival []float64            // µs between consecutive records
+	lastTS       time.Time
+	firstTS      time.Time
+	haveTS       bool
+
+	shards  map[int]*shardAgg
+	hot     *SpaceSaving[int64]
+	repeats *SpaceSaving[string]
+}
+
+// NewBuilder returns a Builder with cfg's defaults applied.
+func NewBuilder(cfg Config) *Builder {
+	cfg = cfg.withDefaults()
+	return &Builder{
+		cfg:       cfg,
+		mix:       make(map[string]int64),
+		errors:    make(map[string]int64),
+		durations: make(map[string][]float64),
+		shards:    make(map[int]*shardAgg),
+		// 4× headroom keeps the top-K ranking exact under realistic
+		// skew: only keys pushed out of the extended sketch can disturb
+		// the first K positions.
+		hot:     NewSpaceSaving[int64](cfg.TopK * 4),
+		repeats: NewSpaceSaving[string](cfg.TopK * 4),
+	}
+}
+
+// Add folds one parsed record into the model.
+func (b *Builder) Add(rec obs.QueryRecord) {
+	b.queries++
+	b.mix[rec.Op]++
+	if rec.Code != "" {
+		b.errors[rec.Code]++
+	}
+	if rec.Truncated {
+		b.truncated++
+	}
+	switch rec.Cache {
+	case "hit":
+		b.hits++
+	case "miss":
+		b.misses++
+	default:
+		b.bypass++
+	}
+	b.durations[rec.Op] = append(b.durations[rec.Op], float64(rec.DurationUS))
+
+	if ts, err := time.Parse(time.RFC3339Nano, rec.TS); err == nil {
+		if !b.haveTS {
+			b.firstTS, b.haveTS = ts, true
+		} else if d := ts.Sub(b.lastTS); d >= 0 {
+			b.interarrival = append(b.interarrival, float64(d.Microseconds()))
+		}
+		b.lastTS = ts
+	}
+
+	if rec.Home >= 0 {
+		sa := b.shards[rec.Home]
+		if sa == nil {
+			sa = &shardAgg{}
+			b.shards[rec.Home] = sa
+		}
+		sa.queries++
+		switch rec.Cache {
+		case "hit":
+			sa.hits++
+			sa.lookups++
+		case "miss":
+			sa.lookups++
+		}
+		sa.durSumUS += rec.DurationUS
+		sa.durCount++
+	}
+
+	b.hot.Add(rec.Node)
+	b.repeats.Add(signature(rec))
+}
+
+// AddMalformed counts n unparseable log lines (reported, not modeled).
+func (b *Builder) AddMalformed(n int64) { b.malformed += n }
+
+// signature identifies a repeatable query: same op, node and bounds —
+// exactly the identity the result cache (or a semantic cache) can
+// answer without a search.
+func signature(rec obs.QueryRecord) string {
+	switch rec.Op {
+	case "within":
+		return fmt.Sprintf("within n=%d r=%g a=%d", rec.Node, rec.Radius, rec.Attr)
+	case "path":
+		return fmt.Sprintf("path n=%d", rec.Node)
+	default:
+		return fmt.Sprintf("%s n=%d k=%d a=%d", rec.Op, rec.Node, rec.K, rec.Attr)
+	}
+}
+
+func summarize(vals []float64) DistSummary {
+	if len(vals) == 0 {
+		return DistSummary{}
+	}
+	sort.Float64s(vals)
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return DistSummary{
+		Count:  int64(len(vals)),
+		MeanUS: int64(sum / float64(len(vals))),
+		P50US:  int64(obs.Percentile(vals, 0.50)),
+		P95US:  int64(obs.Percentile(vals, 0.95)),
+		P99US:  int64(obs.Percentile(vals, 0.99)),
+		MaxUS:  int64(vals[len(vals)-1]),
+	}
+}
+
+// Build assembles the Model from everything added so far. The Builder
+// may keep accumulating afterwards; Build is a snapshot.
+func (b *Builder) Build() *Model {
+	m := &Model{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Queries:     b.queries,
+		Malformed:   b.malformed,
+		Truncated:   b.truncated,
+		Mix:         make(map[string]int64, len(b.mix)),
+		Latency:     make(map[string]DistSummary, len(b.durations)),
+	}
+	for op, n := range b.mix {
+		m.Mix[op] = n
+	}
+	if len(b.errors) > 0 {
+		m.Errors = make(map[string]int64, len(b.errors))
+		for code, n := range b.errors {
+			m.Errors[code] = n
+		}
+	}
+
+	m.Cache = CacheSummary{Hits: b.hits, Misses: b.misses, Bypass: b.bypass}
+	if lookups := b.hits + b.misses; lookups > 0 {
+		m.Cache.HitRate = float64(b.hits) / float64(lookups)
+	}
+
+	for op, durs := range b.durations {
+		m.Latency[op] = summarize(append([]float64(nil), durs...))
+	}
+	m.InterarrivalUS = summarize(append([]float64(nil), b.interarrival...))
+
+	if b.haveTS {
+		m.WindowStart = b.firstTS.UTC().Format(time.RFC3339Nano)
+		m.WindowEnd = b.lastTS.UTC().Format(time.RFC3339Nano)
+		m.SpanSeconds = b.lastTS.Sub(b.firstTS).Seconds()
+		if m.SpanSeconds > 0 {
+			m.QPS = float64(b.queries) / m.SpanSeconds
+		}
+	}
+
+	if len(b.shards) > 0 {
+		mean := float64(0)
+		for _, sa := range b.shards {
+			mean += float64(sa.queries)
+		}
+		mean /= float64(len(b.shards))
+		for id, sa := range b.shards {
+			sh := ShardHeat{Shard: id, Queries: sa.queries}
+			if b.queries > 0 {
+				sh.Share = float64(sa.queries) / float64(b.queries)
+			}
+			if mean > 0 {
+				sh.Heat = float64(sa.queries) / mean
+			}
+			if sa.lookups > 0 {
+				sh.CacheHitRate = float64(sa.hits) / float64(sa.lookups)
+			}
+			if sa.durCount > 0 {
+				sh.MeanLatencyUS = sa.durSumUS / sa.durCount
+			}
+			m.Shards = append(m.Shards, sh)
+		}
+		sort.Slice(m.Shards, func(i, j int) bool {
+			if m.Shards[i].Queries != m.Shards[j].Queries {
+				return m.Shards[i].Queries > m.Shards[j].Queries
+			}
+			return m.Shards[i].Shard < m.Shards[j].Shard
+		})
+	}
+
+	m.HotNodes = b.hot.Top(b.cfg.TopK)
+	for _, e := range b.repeats.Top(b.cfg.TopK) {
+		if e.Count-e.Err >= b.cfg.RepeatMin {
+			m.RepeatQueries = append(m.RepeatQueries, e)
+		}
+	}
+
+	for _, sh := range m.Shards {
+		if len(m.Shards) >= 2 && sh.Heat >= b.cfg.HotFactor {
+			m.Actions = append(m.Actions, Action{
+				Kind:   "replicate-or-repartition",
+				Target: fmt.Sprintf("shard %d", sh.Shard),
+				Detail: fmt.Sprintf("%.1f× mean load (%.0f%% of queries); replicate it or split its region",
+					sh.Heat, sh.Share*100),
+			})
+		}
+	}
+	for _, e := range m.RepeatQueries {
+		m.Actions = append(m.Actions, Action{
+			Kind:   "semantic-cache",
+			Target: e.Key,
+			Detail: fmt.Sprintf("repeated ≥%d times; a semantic cache (or longer TTL) would absorb it", e.Count-e.Err),
+		})
+	}
+	return m
+}

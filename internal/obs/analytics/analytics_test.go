@@ -1,0 +1,305 @@
+package analytics
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"road/internal/obs"
+)
+
+// --- Space-saving sketch ---
+
+func TestSpaceSavingExactWhenUnderCapacity(t *testing.T) {
+	s := NewSpaceSaving[int64](8)
+	for i := 0; i < 5; i++ {
+		for j := 0; j <= i; j++ {
+			s.Add(int64(i))
+		}
+	}
+	top := s.Top(0)
+	if len(top) != 5 {
+		t.Fatalf("got %d entries, want 5", len(top))
+	}
+	// Under capacity nothing is ever evicted: counts exact, errors zero.
+	for rank, e := range top {
+		wantKey := int64(4 - rank)
+		wantCount := uint64(wantKey + 1)
+		if e.Key != wantKey || e.Count != wantCount || e.Err != 0 {
+			t.Errorf("rank %d: got key=%d count=%d err=%d, want key=%d count=%d err=0",
+				rank, e.Key, e.Count, e.Err, wantKey, wantCount)
+		}
+	}
+}
+
+func TestSpaceSavingHeavyHittersSurviveSkew(t *testing.T) {
+	// 4 heavy keys in a stream of 400 distinct light keys, sketch of 16:
+	// every heavy key must be retained and rank in the top 4, and
+	// Count-Err must lower-bound its true frequency.
+	s := NewSpaceSaving[int64](16)
+	const heavyCount = 200
+	for round := 0; round < heavyCount; round++ {
+		for heavy := int64(0); heavy < 4; heavy++ {
+			s.Add(heavy)
+		}
+		s.Add(int64(1000 + round*2))
+		s.Add(int64(1001 + round*2))
+	}
+	top := s.Top(4)
+	seen := map[int64]TopEntry[int64]{}
+	for _, e := range top {
+		seen[e.Key] = e
+	}
+	for heavy := int64(0); heavy < 4; heavy++ {
+		e, ok := seen[heavy]
+		if !ok {
+			t.Fatalf("heavy key %d missing from top-4: %v", heavy, top)
+		}
+		if e.Count < heavyCount {
+			t.Errorf("key %d: count %d underestimates true frequency %d", heavy, e.Count, heavyCount)
+		}
+		if e.Count-e.Err > heavyCount {
+			t.Errorf("key %d: guaranteed count %d exceeds true frequency %d", heavy, e.Count-e.Err, heavyCount)
+		}
+	}
+}
+
+// --- Model construction ---
+
+// rec builds a minimal successful query record.
+func rec(op string, node int64, home int, durUS int64, cache string) obs.QueryRecord {
+	return obs.QueryRecord{Op: op, Node: node, Home: home, K: 4, DurationUS: durUS, Cache: cache}
+}
+
+func TestHeatRankingMatchesKnownDistribution(t *testing.T) {
+	// 1000 queries over 4 shards with shares 0.6/0.2/0.1/0.1: the mean
+	// per-shard load is 250, so shard 0's heat is exactly 2.4 and only
+	// shard 0 crosses the 2.0 hot factor.
+	b := NewBuilder(Config{})
+	shares := map[int]int{0: 600, 1: 200, 2: 100, 3: 100}
+	for shardID, n := range shares {
+		for i := 0; i < n; i++ {
+			b.Add(rec("knn", int64(shardID*10000+i), shardID, 100, "miss"))
+		}
+	}
+	m := b.Build()
+
+	if m.Queries != 1000 {
+		t.Fatalf("queries = %d, want 1000", m.Queries)
+	}
+	if len(m.Shards) != 4 {
+		t.Fatalf("got %d shard entries, want 4", len(m.Shards))
+	}
+	// Sorted by load: shard 0 first, with the known share and heat.
+	if m.Shards[0].Shard != 0 || m.Shards[0].Queries != 600 {
+		t.Fatalf("hottest shard = %+v, want shard 0 with 600 queries", m.Shards[0])
+	}
+	if got := m.Shards[0].Heat; got < 2.39 || got > 2.41 {
+		t.Errorf("shard 0 heat = %g, want 2.4", got)
+	}
+	if got := m.Shards[0].Share; got < 0.59 || got > 0.61 {
+		t.Errorf("shard 0 share = %g, want 0.6", got)
+	}
+
+	var hotActions []Action
+	for _, a := range m.Actions {
+		if a.Kind == "replicate-or-repartition" {
+			hotActions = append(hotActions, a)
+		}
+	}
+	if len(hotActions) != 1 || hotActions[0].Target != "shard 0" {
+		t.Errorf("hot-shard actions = %+v, want exactly one targeting shard 0", hotActions)
+	}
+}
+
+func TestRepeatQueryClusterAction(t *testing.T) {
+	b := NewBuilder(Config{RepeatMin: 10})
+	// One query repeated 50 times, plus unique noise below the threshold.
+	for i := 0; i < 50; i++ {
+		b.Add(rec("knn", 7, 0, 100, "hit"))
+	}
+	for i := int64(0); i < 20; i++ {
+		b.Add(rec("knn", 100+i, 0, 100, "miss"))
+	}
+	m := b.Build()
+
+	if len(m.RepeatQueries) == 0 {
+		t.Fatal("no repeat-query clusters detected")
+	}
+	if top := m.RepeatQueries[0]; top.Count != 50 || !strings.Contains(top.Key, "n=7") {
+		t.Errorf("top repeat cluster = %+v, want the node-7 query with count 50", top)
+	}
+	var cacheActions int
+	for _, a := range m.Actions {
+		if a.Kind == "semantic-cache" {
+			cacheActions++
+		}
+	}
+	if cacheActions != 1 {
+		t.Errorf("semantic-cache actions = %d, want 1 (noise queries are below RepeatMin)", cacheActions)
+	}
+}
+
+func TestBuilderAggregates(t *testing.T) {
+	b := NewBuilder(Config{})
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		r := rec("knn", int64(i), -1, int64(100+i), "hit")
+		if i%2 == 1 {
+			r = rec("within", int64(i), -1, int64(200+i), "miss")
+			r.Radius = 50
+		}
+		r.TS = base.Add(time.Duration(i) * 10 * time.Millisecond).Format(time.RFC3339Nano)
+		b.Add(r)
+	}
+	errRec := rec("knn", 99, -1, 5, "")
+	errRec.Code = "no_such_node"
+	errRec.Truncated = true
+	b.Add(errRec)
+	b.AddMalformed(3)
+	m := b.Build()
+
+	if m.Queries != 11 || m.Malformed != 3 || m.Truncated != 1 {
+		t.Errorf("queries/malformed/truncated = %d/%d/%d, want 11/3/1", m.Queries, m.Malformed, m.Truncated)
+	}
+	if m.Mix["knn"] != 6 || m.Mix["within"] != 5 {
+		t.Errorf("mix = %v, want knn:6 within:5", m.Mix)
+	}
+	if m.Errors["no_such_node"] != 1 {
+		t.Errorf("errors = %v, want no_such_node:1", m.Errors)
+	}
+	if m.Cache.Hits != 5 || m.Cache.Misses != 5 || m.Cache.Bypass != 1 {
+		t.Errorf("cache = %+v, want 5 hits / 5 misses / 1 bypass", m.Cache)
+	}
+	if m.Cache.HitRate != 0.5 {
+		t.Errorf("hit rate = %g, want 0.5", m.Cache.HitRate)
+	}
+	// 10 timestamped records 10ms apart: 90ms span, 9 inter-arrival gaps.
+	if m.SpanSeconds < 0.089 || m.SpanSeconds > 0.091 {
+		t.Errorf("span = %gs, want 0.09", m.SpanSeconds)
+	}
+	if m.InterarrivalUS.Count != 9 || m.InterarrivalUS.P50US != 10000 {
+		t.Errorf("interarrival = %+v, want 9 gaps with p50 10000µs", m.InterarrivalUS)
+	}
+	if len(m.Shards) != 0 {
+		t.Errorf("shards = %+v, want none (all homes unknown)", m.Shards)
+	}
+	if m.Latency["knn"].Count != 6 {
+		t.Errorf("knn latency count = %d, want 6", m.Latency["knn"].Count)
+	}
+}
+
+// --- Scanning ---
+
+func TestScanReaderSkipsMalformed(t *testing.T) {
+	input := strings.Join([]string{
+		`{"ts":"2026-08-07T12:00:00Z","op":"knn","node":1,"home":0,"duration_us":100}`,
+		`{"ts":"2026-08-07T12:00:01Z","op":"knn","node":2,"home"`, // torn line
+		`not json at all`,
+		``,           // blank lines are not malformed
+		`{"node":3}`, // parses but has no op
+		`{"ts":"2026-08-07T12:00:02Z","op":"within","node":4,"home":1,"radius":5,"duration_us":200}`,
+	}, "\n") + "\n"
+
+	var got []obs.QueryRecord
+	bad, err := ScanReader(strings.NewReader(input), func(r obs.QueryRecord) { got = append(got, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 3 {
+		t.Errorf("malformed = %d, want 3", bad)
+	}
+	if len(got) != 2 || got[0].Node != 1 || got[1].Op != "within" {
+		t.Errorf("parsed records = %+v, want nodes 1 and 4", got)
+	}
+}
+
+func TestLogSegments(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.jsonl")
+	if got := LogSegments(path); len(got) != 1 || got[0] != path {
+		t.Errorf("without rotation: %v, want [%s]", got, path)
+	}
+	if err := os.WriteFile(path+".1", []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := LogSegments(path); len(got) != 2 || got[0] != path+".1" || got[1] != path {
+		t.Errorf("with rotation: %v, want [.1 then current]", got)
+	}
+}
+
+func TestScanFilesAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.jsonl")
+	old := `{"ts":"2026-08-07T11:00:00Z","op":"knn","node":1,"home":0,"duration_us":10}` + "\n"
+	cur := `{"ts":"2026-08-07T12:00:00Z","op":"knn","node":2,"home":0,"duration_us":20}` + "\ngarbage\n"
+	if err := os.WriteFile(path+".1", []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(cur), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(Config{})
+	if err := ScanFiles(b, LogSegments(path)...); err != nil {
+		t.Fatal(err)
+	}
+	m := b.Build()
+	if m.Queries != 2 || m.Malformed != 1 {
+		t.Errorf("queries/malformed = %d/%d, want 2/1", m.Queries, m.Malformed)
+	}
+}
+
+// --- Rolling window ---
+
+func TestWindowRollsOldestOut(t *testing.T) {
+	w := NewWindow(8)
+	for i := int64(0); i < 20; i++ {
+		w.Add(rec("knn", i, 0, 100, "miss"))
+	}
+	if w.Len() != 8 {
+		t.Fatalf("len = %d, want 8", w.Len())
+	}
+	m := w.Model(Config{})
+	if m.Queries != 8 {
+		t.Fatalf("model queries = %d, want 8 (window bound)", m.Queries)
+	}
+	// Only the last 8 nodes (12..19) survive; each appears exactly once.
+	for _, e := range m.HotNodes {
+		if e.Key < 12 || e.Key > 19 {
+			t.Errorf("evicted node %d still in the model", e.Key)
+		}
+	}
+}
+
+func TestWindowNilSafe(t *testing.T) {
+	var w *Window
+	w.Add(rec("knn", 1, 0, 100, "miss")) // must not panic
+	if w.Len() != 0 {
+		t.Errorf("nil window len = %d", w.Len())
+	}
+	if m := w.Model(Config{}); m.Queries != 0 {
+		t.Errorf("nil window model queries = %d", m.Queries)
+	}
+	if NewWindow(0) != nil || NewWindow(-1) != nil {
+		t.Error("NewWindow(<=0) must return nil")
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	b := NewBuilder(Config{})
+	for i := 0; i < 30; i++ {
+		b.Add(rec("knn", 7, 0, 100, "hit"))
+		b.Add(rec("within", int64(i), 1, 300, "miss"))
+	}
+	var sb strings.Builder
+	Report(&sb, b.Build())
+	out := sb.String()
+	for _, want := range []string{"knn", "within", "shard", fmt.Sprint(60)} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package analytics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Report renders m as a human-readable workload report.
+func Report(w io.Writer, m *Model) {
+	fmt.Fprintf(w, "workload report — %d queries", m.Queries)
+	if m.Malformed > 0 {
+		fmt.Fprintf(w, " (%d malformed lines skipped)", m.Malformed)
+	}
+	fmt.Fprintln(w)
+	if m.SpanSeconds > 0 {
+		fmt.Fprintf(w, "window: %s .. %s (%.1fs, %.1f logged qps)\n",
+			m.WindowStart, m.WindowEnd, m.SpanSeconds, m.QPS)
+	}
+
+	if len(m.Mix) > 0 {
+		fmt.Fprintln(w, "\nquery mix:")
+		ops := make([]string, 0, len(m.Mix))
+		for op := range m.Mix {
+			ops = append(ops, op)
+		}
+		sort.Slice(ops, func(i, j int) bool { return m.Mix[ops[i]] > m.Mix[ops[j]] })
+		for _, op := range ops {
+			n := m.Mix[op]
+			fmt.Fprintf(w, "  %-8s %8d  (%5.1f%%)", op, n, pct(n, m.Queries))
+			if d, ok := m.Latency[op]; ok && d.Count > 0 {
+				fmt.Fprintf(w, "  p50=%dµs p95=%dµs p99=%dµs max=%dµs", d.P50US, d.P95US, d.P99US, d.MaxUS)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	lookups := m.Cache.Hits + m.Cache.Misses
+	fmt.Fprintf(w, "\ncache: %d hits / %d lookups (%.1f%% hit rate), %d bypassed\n",
+		m.Cache.Hits, lookups, m.Cache.HitRate*100, m.Cache.Bypass)
+	if m.InterarrivalUS.Count > 0 {
+		fmt.Fprintf(w, "inter-arrival: p50=%dµs p95=%dµs p99=%dµs\n",
+			m.InterarrivalUS.P50US, m.InterarrivalUS.P95US, m.InterarrivalUS.P99US)
+	}
+	if len(m.Errors) > 0 {
+		fmt.Fprintln(w, "\nerrors:")
+		codes := make([]string, 0, len(m.Errors))
+		for c := range m.Errors {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "  %-20s %d\n", c, m.Errors[c])
+		}
+	}
+
+	if len(m.Shards) > 0 {
+		fmt.Fprintln(w, "\nper-shard heat (load as multiple of mean):")
+		for _, sh := range m.Shards {
+			mark := ""
+			if sh.Heat >= 2 {
+				mark = "  ← HOT"
+			}
+			fmt.Fprintf(w, "  shard %-3d %8d queries  share=%5.1f%%  heat=%.2f  cache-hit=%5.1f%%  mean=%dµs%s\n",
+				sh.Shard, sh.Queries, sh.Share*100, sh.Heat, sh.CacheHitRate*100, sh.MeanLatencyUS, mark)
+		}
+	}
+
+	if len(m.HotNodes) > 0 {
+		fmt.Fprintln(w, "\ntop hot source nodes (space-saving; count may overestimate by err):")
+		for _, e := range m.HotNodes {
+			fmt.Fprintf(w, "  node %-10d %8d", e.Key, e.Count)
+			if e.Err > 0 {
+				fmt.Fprintf(w, " (±%d)", e.Err)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	if len(m.RepeatQueries) > 0 {
+		fmt.Fprintln(w, "\nrepeat-query clusters:")
+		for _, e := range m.RepeatQueries {
+			fmt.Fprintf(w, "  %-40s ×%d\n", e.Key, e.Count)
+		}
+	}
+
+	if len(m.Actions) > 0 {
+		fmt.Fprintln(w, "\nsuggested actions:")
+		for _, a := range m.Actions {
+			fmt.Fprintf(w, "  [%s] %s — %s\n", a.Kind, a.Target, a.Detail)
+		}
+	} else {
+		fmt.Fprintln(w, "\nno actions suggested (no hot shards or dominant repeat clusters)")
+	}
+}
+
+func pct(n, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(n) / float64(total) * 100
+}

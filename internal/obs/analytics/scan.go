@@ -1,0 +1,67 @@
+package analytics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+
+	"road/internal/obs"
+)
+
+// maxLineBytes bounds one JSONL line; records are a few hundred bytes,
+// so 1 MiB only guards against a corrupted segment.
+const maxLineBytes = 1 << 20
+
+// ScanReader streams JSONL query records from r into fn. Malformed
+// lines — torn by a crash mid-write, truncated by rotation on an old
+// build, or plain corruption — are counted and skipped, never fatal:
+// an analytics pass must survive an imperfect log. Returns the count
+// of malformed lines; err is only an underlying read error.
+func ScanReader(r io.Reader, fn func(obs.QueryRecord)) (malformed int64, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec obs.QueryRecord
+		if json.Unmarshal(line, &rec) != nil || rec.Op == "" {
+			malformed++
+			continue
+		}
+		fn(rec)
+	}
+	return malformed, sc.Err()
+}
+
+// LogSegments returns the on-disk segments of a rotated query log in
+// chronological order: path+".1" (the previous generation) if it
+// exists, then path itself.
+func LogSegments(path string) []string {
+	var segs []string
+	if _, err := os.Stat(path + ".1"); err == nil {
+		segs = append(segs, path+".1")
+	}
+	return append(segs, path)
+}
+
+// ScanFiles streams every record in paths (in order) into b,
+// accounting malformed lines. A missing file is an error; a malformed
+// line is not.
+func ScanFiles(b *Builder, paths ...string) error {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		bad, err := ScanReader(f, b.Add)
+		f.Close()
+		b.AddMalformed(bad)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

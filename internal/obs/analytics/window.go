@@ -1,0 +1,73 @@
+package analytics
+
+import (
+	"sync"
+
+	"road/internal/obs"
+)
+
+// A Window keeps the most recent n query records in a ring so a live
+// server can answer /admin/workload without re-reading its own log
+// file. Safe for concurrent use; a nil *Window discards everything.
+type Window struct {
+	mu   sync.Mutex
+	buf  []obs.QueryRecord
+	next int
+	full bool
+}
+
+// NewWindow returns a rolling window over the last n records (n <= 0
+// returns nil, which is a valid no-op window).
+func NewWindow(n int) *Window {
+	if n <= 0 {
+		return nil
+	}
+	return &Window{buf: make([]obs.QueryRecord, n)}
+}
+
+// Add appends one record, evicting the oldest when full. Safe on nil.
+func (w *Window) Add(rec obs.QueryRecord) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.buf[w.next] = rec
+	w.next++
+	if w.next == len(w.buf) {
+		w.next, w.full = 0, true
+	}
+	w.mu.Unlock()
+}
+
+// Len reports how many records the window currently holds. Safe on nil.
+func (w *Window) Len() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.full {
+		return len(w.buf)
+	}
+	return w.next
+}
+
+// Model builds a workload model over the window's current contents,
+// oldest record first. Safe on nil (returns an empty model).
+func (w *Window) Model(cfg Config) *Model {
+	b := NewBuilder(cfg)
+	if w == nil {
+		return b.Build()
+	}
+	w.mu.Lock()
+	recs := make([]obs.QueryRecord, 0, len(w.buf))
+	if w.full {
+		recs = append(recs, w.buf[w.next:]...)
+	}
+	recs = append(recs, w.buf[:w.next]...)
+	w.mu.Unlock()
+	for _, rec := range recs {
+		b.Add(rec)
+	}
+	return b.Build()
+}

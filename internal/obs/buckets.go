@@ -1,0 +1,19 @@
+package obs
+
+// Shared histogram bucket layouts, so the router's /metrics and the
+// shard hosts' /metrics bin identical quantities identically and the
+// two expositions can be compared or aggregated series-for-series.
+// Latencies are in seconds (the Prometheus convention); pops and page
+// reads are raw per-query counts in roughly-doubling buckets so the
+// paper's cost metrics are readable off /metrics.
+var (
+	// LatencyBuckets bins request/RPC wall times from 100µs to 2.5s.
+	LatencyBuckets = []float64{
+		100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3, 10e-3,
+		25e-3, 50e-3, 100e-3, 250e-3, 500e-3, 1, 2.5,
+	}
+	// PopsBuckets bins heap pops (settled nodes) per query.
+	PopsBuckets = []float64{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 65536}
+	// ReadsBuckets bins simulated page reads per query.
+	ReadsBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}
+)

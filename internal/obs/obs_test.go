@@ -3,9 +3,11 @@ package obs
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -226,6 +228,144 @@ func TestQueryLogRotation(t *testing.T) {
 				t.Errorf("%s: malformed line %q", p, ln)
 			}
 		}
+	}
+}
+
+func TestTraceSubLegsAndID(t *testing.T) {
+	_, tr := WithTrace(context.Background())
+	tr.SetID("abc-000001")
+	if tr.ID() != "abc-000001" {
+		t.Errorf("ID = %q, want abc-000001", tr.ID())
+	}
+	tr.Add(Leg{
+		Name: "rpc", Shard: 1, DurationUS: 100, WireUS: 40,
+		Sub: []Leg{
+			{Name: "host_queue", Shard: 1, DurationUS: 5},
+			{Name: "host_search", Shard: 1, DurationUS: 55, Pops: 9, Reads: 3},
+		},
+	})
+	legs := tr.Legs()
+	if len(legs) != 1 || len(legs[0].Sub) != 2 {
+		t.Fatalf("legs = %+v, want one rpc leg with two sub legs", legs)
+	}
+	// Sub legs and Reads must survive a JSON round trip (the wire path).
+	data, err := json.Marshal(legs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Leg
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back[0].Sub[1].Name != "host_search" || back[0].Sub[1].Reads != 3 {
+		t.Errorf("round-tripped sub leg = %+v", back[0].Sub[1])
+	}
+
+	// Nil safety.
+	var nilTr *Trace
+	nilTr.SetID("x")
+	if nilTr.ID() != "" {
+		t.Error("nil trace must report an empty ID")
+	}
+}
+
+func TestNewRequestIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewRequestID()
+		if seen[id] {
+			t.Fatalf("duplicate request ID %q", id)
+		}
+		seen[id] = true
+		if len(id) < 10 || !strings.Contains(id, "-") {
+			t.Fatalf("malformed request ID %q", id)
+		}
+	}
+}
+
+// TestQueryLogConcurrentRotation hammers a tiny-rotation log from many
+// goroutines and then verifies no line in either segment was torn or
+// lost: rotation is serialized against writes under the log's mutex.
+func TestQueryLogConcurrentRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.jsonl")
+	l, err := OpenQueryLog(path, 1, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				l.Log(QueryRecord{
+					TS: "2026-08-07T00:00:00.000000000Z", Op: "knn",
+					Node: int64(w*perWriter + i), K: 8, DurationUS: 123,
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Seen != writers*perWriter {
+		t.Errorf("seen = %d, want %d", st.Seen, writers*perWriter)
+	}
+	if st.Rotations == 0 {
+		t.Error("no rotations happened; shrink the max size")
+	}
+	if st.Dropped != 0 {
+		t.Errorf("dropped = %d, want 0", st.Dropped)
+	}
+
+	// Count the surviving lines across both segments; every one must be
+	// complete valid JSON. Lines rotated out of .1 are gone by design,
+	// but nothing the final two segments hold may be torn.
+	var lines int
+	for _, p := range []string{path + ".1", path} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ln := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			if ln == "" {
+				continue
+			}
+			var rec QueryRecord
+			if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+				t.Fatalf("%s: torn line %q: %v", p, ln, err)
+			}
+			if rec.Op != "knn" {
+				t.Fatalf("%s: wrong record %+v", p, rec)
+			}
+			lines++
+		}
+	}
+	if lines == 0 {
+		t.Error("no lines survived")
+	}
+}
+
+func TestQueryLogStats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.jsonl")
+	l, err := OpenQueryLog(path, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		l.Log(QueryRecord{Op: "knn", Node: int64(i)})
+	}
+	st := l.Stats()
+	l.Close()
+	if st.Seen != 10 || st.Rotations != 0 || st.Dropped != 0 {
+		t.Errorf("stats = %+v, want seen=10 rotations=0 dropped=0", st)
+	}
+	var nilLog *QueryLog
+	if nilLog.Stats() != (QueryLogStats{}) {
+		t.Error("nil log stats must be zero")
 	}
 }
 

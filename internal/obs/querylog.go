@@ -13,10 +13,16 @@ import (
 type QueryRecord struct {
 	// TS is the completion time, RFC3339 with nanoseconds.
 	TS string `json:"ts"`
+	// ID is the query's request ID, the join key against its trace and
+	// any slow-query line it produced.
+	ID string `json:"id,omitempty"`
 	// Op is the operation: "knn", "within", "path", or "batch".
 	Op string `json:"op"`
 	// Node is the query's origin intersection.
 	Node int64 `json:"node"`
+	// Home is the shard holding the query node, or -1 when unknown
+	// (single-index deployments). Always emitted: shard IDs start at 0.
+	Home int `json:"home"`
 	// K is the kNN result bound (kNN only).
 	K int `json:"k,omitempty"`
 	// Radius is the range bound (within only).
@@ -46,13 +52,22 @@ type QueryRecord struct {
 // path+".1" (replacing any previous rotation) and restarted. Safe for
 // concurrent use; a nil *QueryLog discards everything.
 type QueryLog struct {
-	mu     sync.Mutex
-	path   string
-	f      *os.File
-	size   int64
-	max    int64
-	sample uint64
-	n      uint64 // queries seen, for sampling
+	mu        sync.Mutex
+	path      string
+	f         *os.File
+	size      int64
+	max       int64
+	sample    uint64
+	n         uint64 // queries seen, for sampling
+	rotations uint64
+	dropped   uint64 // sampled-in records lost to write/rotate failures
+}
+
+// QueryLogStats reports a log's lifetime write behaviour.
+type QueryLogStats struct {
+	Seen      uint64 // queries offered to the log
+	Rotations uint64 // completed .1 rotations
+	Dropped   uint64 // sampled-in records lost to write or rotate failures
 }
 
 // DefaultQueryLogMaxBytes is the rotation threshold used when the
@@ -102,26 +117,56 @@ func (l *QueryLog) Log(rec QueryRecord) {
 		l.rotateLocked()
 	}
 	if l.f == nil {
+		l.dropped++
 		return
 	}
+	// One whole line per Write call, under l.mu: rotation can never
+	// observe (or shift into .1) a torn JSONL line, and readers of the
+	// rotated segment see only complete records.
 	if n, err := l.f.Write(line); err == nil {
 		l.size += int64(n)
+	} else {
+		l.dropped++
 	}
 }
 
-// rotateLocked renames the current file to path+".1" and reopens.
+// rotateLocked renames the current file to path+".1" and reopens. It
+// runs under l.mu — concurrent Log calls are serialized against the
+// shift, so no writer can land a line across the rename boundary. If
+// the rename fails the current file is reopened in append mode (never
+// O_TRUNC, which would destroy the lines already logged).
 func (l *QueryLog) rotateLocked() {
 	if l.f != nil {
 		l.f.Close()
 		l.f = nil
 	}
-	os.Rename(l.path, l.path+".1")
-	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	flags := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	if err := os.Rename(l.path, l.path+".1"); err != nil {
+		flags = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	} else {
+		l.rotations++
+	}
+	f, err := os.OpenFile(l.path, flags, 0o644)
 	if err != nil {
+		return // l.f stays nil; Log counts the drops
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
 		return
 	}
 	l.f = f
-	l.size = 0
+	l.size = st.Size()
+}
+
+// Stats returns the log's lifetime counters. Safe on nil.
+func (l *QueryLog) Stats() QueryLogStats {
+	if l == nil {
+		return QueryLogStats{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return QueryLogStats{Seen: l.n, Rotations: l.rotations, Dropped: l.dropped}
 }
 
 // Close flushes and closes the log file. Safe on nil.

@@ -2,7 +2,11 @@ package obs
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -28,6 +32,13 @@ type Leg struct {
 	// the host — serialization, network and queueing — so cross-process
 	// latency is attributable separately from shard compute time.
 	WireUS int64 `json:"wire_us,omitempty"`
+	// Reads is the number of simulated page reads the leg cost, when the
+	// recording layer tracks them (host-side search legs do).
+	Reads int64 `json:"reads,omitempty"`
+	// Sub holds legs recorded inside this one on another process: a
+	// shard host returns its own timing legs with each traced RPC and
+	// the client nests them here, under the rpc hop that carried them.
+	Sub []Leg `json:"sub,omitempty"`
 }
 
 // A Trace accumulates per-leg timings for one query. It is carried
@@ -36,6 +47,7 @@ type Leg struct {
 // checks.
 type Trace struct {
 	mu   sync.Mutex
+	id   string
 	legs []Leg
 }
 
@@ -91,6 +103,27 @@ func (t *Trace) Add(leg Leg) {
 	t.mu.Unlock()
 }
 
+// SetID attaches a request ID to the trace so cross-process legs and
+// log lines can be joined back to it. Safe on nil.
+func (t *Trace) SetID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.id = id
+	t.mu.Unlock()
+}
+
+// ID returns the trace's request ID, or "" if none was set. Safe on nil.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.id
+}
+
 // Legs returns a copy of the legs recorded so far. Safe on nil.
 func (t *Trace) Legs() []Leg {
 	if t == nil {
@@ -101,4 +134,21 @@ func (t *Trace) Legs() []Leg {
 	out := make([]Leg, len(t.legs))
 	copy(out, t.legs)
 	return out
+}
+
+// Request IDs are a random per-process prefix plus a counter: unique
+// across a fleet without coordination, cheap enough to stamp on every
+// query (no syscall or allocation beyond the formatted string).
+var (
+	ridPrefix = func() string {
+		var b [4]byte
+		rand.Read(b[:])
+		return hex.EncodeToString(b[:])
+	}()
+	ridSeq atomic.Uint64
+)
+
+// NewRequestID returns a fleet-unique request ID like "3fa9c1d2-000042".
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%06x", ridPrefix, ridSeq.Add(1))
 }

@@ -41,11 +41,15 @@ type StatsJSON struct {
 	IOWrites       int64 `json:"io_writes,omitempty"`
 }
 
-// QueryResponse answers /knn and /within. Trace is present only when
-// the request asked for it (&trace=1): the query's per-leg breakdown —
-// which phases and shards it visited, and what each cost.
+// QueryResponse answers /knn and /within. ID is the server-assigned
+// request ID — the join key against the query log and any slow-query
+// line. Trace is present only when the request asked for it (&trace=1):
+// the query's per-leg breakdown — which phases and shards it visited,
+// and what each cost; on remote deployments each rpc leg nests the
+// host-side legs under sub.
 type QueryResponse struct {
 	Node      road.NodeID  `json:"node"`
+	ID        string       `json:"id,omitempty"`
 	Epoch     uint64       `json:"epoch"`
 	Cached    bool         `json:"cached"`
 	Results   []ResultJSON `json:"results"`
@@ -58,6 +62,7 @@ type QueryResponse struct {
 // asked for it (&trace=1).
 type PathResponse struct {
 	Node      road.NodeID   `json:"node"`
+	ID        string        `json:"id,omitempty"`
 	Object    road.ObjectID `json:"object"`
 	Epoch     uint64        `json:"epoch"`
 	Dist      float64       `json:"dist"`

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"road"
+	"road/internal/shard/remote"
+)
+
+// startFleetServer builds a sharded deployment, persists it, boots each
+// half of its shards in a separate remote.Host behind a real TCP
+// listener, assembles a RemoteDB router over the two hosts and serves it
+// — the full multi-process topology (router process + 2 shard-host
+// processes), minus fork/exec.
+func startFleetServer(t *testing.T, opts Options) (*httptest.Server, []road.ObjectID) {
+	t.Helper()
+	sdb, objs := buildShardedGrid(t, 8, 4)
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "fleet")
+	wal := filepath.Join(dir, "wal")
+	if err := sdb.SaveSnapshotFiles(snap); err != nil {
+		t.Fatalf("SaveSnapshotFiles: %v", err)
+	}
+
+	var addrs []string
+	for _, ids := range [][]int{{0, 1}, {2, 3}} {
+		host, err := remote.OpenHost(ids, remote.HostConfig{
+			SnapshotPrefix: snap,
+			JournalPrefix:  wal,
+		})
+		if err != nil {
+			t.Fatalf("OpenHost %v: %v", ids, err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			host.Close()
+			t.Fatalf("listen: %v", err)
+		}
+		srv := &http.Server{Handler: host.Handler()}
+		go srv.Serve(ln)
+		t.Cleanup(func() { srv.Close(); host.Close() })
+		addrs = append(addrs, ln.Addr().String())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rdb, err := road.OpenRemote(ctx, addrs, road.RemoteOptions{})
+	if err != nil {
+		t.Fatalf("OpenRemote: %v", err)
+	}
+	t.Cleanup(rdb.Close)
+
+	ts := httptest.NewServer(New(rdb, opts).Handler())
+	t.Cleanup(ts.Close)
+	return ts, objs
+}
+
+// TestFleetTraceStitching is the cross-process acceptance check: a
+// traced query through a router over two real shard-host processes must
+// come back with the host-side compute legs nested under the rpc hops
+// that carried them, with wire time separated from host compute and the
+// nested legs fitting inside their hop's wall time.
+func TestFleetTraceStitching(t *testing.T) {
+	ts, objs := startFleetServer(t, Options{})
+
+	// Every object forces cross-shard fan-out: several rpc hops.
+	got := getJSON[QueryResponse](t, ts, fmt.Sprintf("/knn?node=0&k=%d&trace=1", len(objs)), http.StatusOK)
+	if len(got.Results) != len(objs) {
+		t.Fatalf("got %d results, want %d", len(got.Results), len(objs))
+	}
+	if got.ID == "" {
+		t.Fatal("traced response missing request ID")
+	}
+	var rpcs, stitched int
+	for _, leg := range got.Trace {
+		switch leg.Name {
+		case "rpc":
+			rpcs++
+			if leg.Host == "" {
+				t.Errorf("rpc leg without a host: %+v", leg)
+			}
+			if leg.WireUS < 0 || leg.WireUS > leg.DurationUS {
+				t.Errorf("rpc wire time %dµs outside [0, wall %dµs]", leg.WireUS, leg.DurationUS)
+			}
+			if len(leg.Sub) == 0 {
+				t.Errorf("rpc leg has no nested host legs: %+v", leg)
+				continue
+			}
+			stitched++
+			var subSum int64
+			var sawSearch bool
+			for _, sub := range leg.Sub {
+				subSum += sub.DurationUS
+				switch sub.Name {
+				case "host_queue":
+				case "host_search":
+					sawSearch = true
+					if sub.Pops <= 0 {
+						t.Errorf("host_search leg reports no pops: %+v", sub)
+					}
+				case "host_leg", "host_journal", "host_apply":
+				default:
+					t.Errorf("unexpected host leg %q under rpc hop: %+v", sub.Name, leg.Sub)
+				}
+				if sub.Host != leg.Host {
+					t.Errorf("nested leg host %q != rpc hop host %q", sub.Host, leg.Host)
+				}
+				if sub.Shard != leg.Shard {
+					t.Errorf("nested leg shard %d != rpc hop shard %d", sub.Shard, leg.Shard)
+				}
+			}
+			if !sawSearch {
+				t.Errorf("rpc search hop carries no host_search leg: %+v", leg.Sub)
+			}
+			// Host-measured time fits inside the hop's wall time (+1µs
+			// truncation slack): the host cannot have computed for longer
+			// than the client waited.
+			if subSum > leg.DurationUS+1 {
+				t.Errorf("host legs sum to %dµs, exceeding rpc wall %dµs", subSum, leg.DurationUS)
+			}
+		case "home_fast", "home_locked", "home_watched", "gateway", "enter":
+		default:
+			t.Errorf("unexpected leg %q in fleet trace", leg.Name)
+		}
+	}
+	if rpcs < 2 {
+		t.Fatalf("cross-shard traced query produced %d rpc hops, want >= 2\nlegs: %+v", rpcs, got.Trace)
+	}
+	if stitched != rpcs {
+		t.Fatalf("%d of %d rpc hops carry nested host legs", stitched, rpcs)
+	}
+
+	// Untraced queries must come back bare: the host only computes and
+	// returns legs when the trace header rode in.
+	plain := getJSON[QueryResponse](t, ts, "/knn?node=0&k=2", http.StatusOK)
+	if len(plain.Trace) != 0 {
+		t.Fatalf("untraced fleet query returned trace %+v", plain.Trace)
+	}
+}
+
+// TestFleetEndpoint checks GET /fleet on a router deployment: both hosts
+// up with their shard assignments and RPC counters moving, and 404 on a
+// deployment without shard hosts.
+func TestFleetEndpoint(t *testing.T) {
+	ts, objs := startFleetServer(t, Options{})
+	for i := 0; i < 4; i++ {
+		getJSON[QueryResponse](t, ts, fmt.Sprintf("/knn?node=%d&k=%d&trace=1", i*7, len(objs)), http.StatusOK)
+	}
+
+	fs := getJSON[remote.FleetStatus](t, ts, "/fleet", http.StatusOK)
+	if len(fs.Hosts) != 2 {
+		t.Fatalf("fleet reports %d hosts, want 2: %+v", len(fs.Hosts), fs)
+	}
+	shardsSeen := make(map[int]bool)
+	var rpcs uint64
+	for _, h := range fs.Hosts {
+		if !h.Up {
+			t.Errorf("host %s reported down", h.Addr)
+		}
+		if h.Addr == "" {
+			t.Error("host with empty address")
+		}
+		for _, id := range h.Shards {
+			if shardsSeen[id] {
+				t.Errorf("shard %d served by two hosts", id)
+			}
+			shardsSeen[id] = true
+		}
+		rpcs += h.RPCs
+	}
+	if len(shardsSeen) != 4 {
+		t.Errorf("fleet serves shards %v, want all of 0..3", shardsSeen)
+	}
+	if rpcs == 0 {
+		t.Error("no RPCs recorded across the fleet after traffic")
+	}
+
+	// A plain single-index deployment is not a fleet.
+	db, _, _, _ := buildSquare(t, road.Options{})
+	single := httptest.NewServer(New(db, Options{}).Handler())
+	defer single.Close()
+	getJSON[ErrorResponse](t, single, "/fleet", http.StatusNotFound)
+}

@@ -29,17 +29,8 @@ const (
 
 var endpointNames = [epCount]string{"knn", "within", "path", "batch", "maintenance"}
 
-// Bucket layouts. Latencies are in seconds (the Prometheus convention);
-// pops and page reads are raw per-query counts in roughly-doubling
-// buckets so the paper's cost metrics are readable off /metrics.
-var (
-	latencyBuckets = []float64{
-		100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3, 10e-3,
-		25e-3, 50e-3, 100e-3, 250e-3, 500e-3, 1, 2.5,
-	}
-	popsBuckets  = []float64{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 65536}
-	readsBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}
-)
+// Bucket layouts live in obs (LatencyBuckets and friends) so the shard
+// hosts' /metrics bin the same quantities identically.
 
 // metrics bundles the server's obs registry and the instruments updated
 // on the request hot path: per-endpoint request counters and latency
@@ -95,13 +86,13 @@ func newMetrics(s *Server) *metrics {
 	for ep := epKNN; ep < epCount; ep++ {
 		lbl := `endpoint="` + endpointNames[ep] + `"`
 		m.latency[ep] = r.Histogram("road_request_duration_seconds", lbl,
-			"Request wall time in seconds, by endpoint.", latencyBuckets)
+			"Request wall time in seconds, by endpoint.", obs.LatencyBuckets)
 	}
 
 	m.queryPops = r.Histogram("road_query_node_pops", "",
-		"Heap pops (settled nodes) per uncached query — the paper's CPU cost metric.", popsBuckets)
+		"Heap pops (settled nodes) per uncached query — the paper's CPU cost metric.", obs.PopsBuckets)
 	m.queryReads = r.Histogram("road_query_page_reads", "",
-		"Simulated page reads per uncached query — the paper's I/O cost metric.", readsBuckets)
+		"Simulated page reads per uncached query — the paper's I/O cost metric.", obs.ReadsBuckets)
 
 	m.nodesPopped = r.Counter("road_traversal_nodes_popped_total", "", "Total heap pops across all queries.")
 	m.rnetsBypassed = r.Counter("road_traversal_rnets_bypassed_total", "", "Total Rnet shortcut hops taken.")
@@ -214,10 +205,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Write(buf.Bytes())
 }
 
-// slowQueryEntry is one line of the slow-query log: the request identity
-// plus the per-leg trace, JSON-encoded to the configured writer.
+// slowQueryEntry is one line of the slow-query log: the request
+// identity — including the request ID that joins it to the query log
+// and the client-visible response — plus the per-leg trace,
+// JSON-encoded to the configured writer.
 type slowQueryEntry struct {
 	TS         string    `json:"ts"`
+	ID         string    `json:"id,omitempty"`
 	Op         string    `json:"op"`
 	Node       int64     `json:"node"`
 	DurationUS int64     `json:"duration_us"`
@@ -228,12 +222,13 @@ type slowQueryEntry struct {
 
 // logSlow emits a slow-query line when the threshold is configured and
 // exceeded. The write is best-effort and serialized by the writer.
-func (s *Server) logSlow(op string, node int64, elapsed time.Duration, st road.Stats, tr *obs.Trace) {
+func (s *Server) logSlow(id, op string, node int64, elapsed time.Duration, st road.Stats, tr *obs.Trace) {
 	if s.slowThresh <= 0 || elapsed < s.slowThresh || s.slowW == nil {
 		return
 	}
 	entry := slowQueryEntry{
 		TS:         time.Now().UTC().Format(time.RFC3339Nano),
+		ID:         id,
 		Op:         op,
 		Node:       node,
 		DurationUS: elapsed.Microseconds(),

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"sync"
@@ -15,6 +16,8 @@ import (
 
 	"road"
 	"road/internal/obs"
+	"road/internal/obs/analytics"
+	"road/internal/shard/remote"
 )
 
 // Options tunes a Server. The zero value serves with a
@@ -56,7 +59,18 @@ type Options struct {
 	// so the road_remote_* families (per-host RPC latency, errors,
 	// hedges, up/down) ride the same scrape.
 	AuxMetrics []*obs.Registry
+	// WorkloadWindow sizes the in-memory rolling window of query records
+	// behind GET /admin/workload (DefaultWorkloadWindow when 0); negative
+	// disables the endpoint. The window sees every read query — it is
+	// independent of the query log and its sampling.
+	WorkloadWindow int
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the API mux.
+	Pprof bool
 }
+
+// DefaultWorkloadWindow is the /admin/workload rolling-window size used
+// when Options.WorkloadWindow is 0.
+const DefaultWorkloadWindow = 4096
 
 // Server serves one road.Store — a single-index road.DB or a sharded
 // road.ShardedDB, the two deployment shapes behind the same interface —
@@ -82,7 +96,23 @@ type Server struct {
 	slowThresh time.Duration // zero = slow-query logging off
 	slowW      io.Writer
 	slowMu     sync.Mutex
-	qlog       *obs.QueryLog // nil = query logging off
+	qlog       *obs.QueryLog     // nil = query logging off
+	window     *analytics.Window // nil = /admin/workload disabled
+	homes      homeShardProvider // nil on single-index stores
+	pprof      bool
+}
+
+// homeShardProvider is the optional road.Store extension sharded stores
+// implement; query-log records and the workload model use it to
+// attribute each query to its home shard.
+type homeShardProvider interface {
+	HomeShardOf(road.NodeID) int
+}
+
+// fleetStatusProvider is the optional road.Store extension a
+// remote-fleet store implements; GET /fleet surfaces it.
+type fleetStatusProvider interface {
+	FleetStatus() remote.FleetStatus
 }
 
 // New wires a serving subsystem around any road.Store: an opened
@@ -105,10 +135,19 @@ func New(store road.Store, opts Options) *Server {
 		slowW:      opts.SlowQueryWriter,
 		qlog:       opts.QueryLog,
 		auxMet:     opts.AuxMetrics,
+		pprof:      opts.Pprof,
 	}
 	if s.slowThresh > 0 && s.slowW == nil {
 		s.slowW = os.Stderr
 	}
+	if opts.WorkloadWindow >= 0 {
+		n := opts.WorkloadWindow
+		if n == 0 {
+			n = DefaultWorkloadWindow
+		}
+		s.window = analytics.NewWindow(n)
+	}
+	s.homes, _ = store.(homeShardProvider)
 	if opts.CacheSize >= 0 {
 		s.cache = NewResultCache(opts.CacheSize)
 	}
@@ -135,11 +174,15 @@ func (s *Server) Coordinator() *Coordinator { return s.coord }
 //	POST /maintenance/set-attr                   {"object":O,"attr":A}
 //	GET  /stats                                  serving statistics
 //	GET  /metrics                                Prometheus text exposition
+//	GET  /fleet                                  shard-host fleet summary (remote deployments)
+//	GET  /admin/workload[?top=N]                 live workload model over recent queries
 //	GET  /healthz                                liveness probe
 //
 // The read endpoints (/knn, /within, /path) accept &trace=1, which
 // bypasses the result cache and returns the query's per-leg trace
-// (phase timings and settled-node counts) in the response.
+// (phase timings and settled-node counts) in the response; on a remote
+// deployment each rpc hop nests the host-side legs under sub. With
+// Options.Pprof the /debug/pprof/ endpoints are mounted too.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /knn", s.handleKNN)
@@ -154,10 +197,51 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /maintenance/delete-object", s.maintenance(s.opDeleteObject))
 	mux.HandleFunc("POST /maintenance/set-attr", s.maintenance(s.opSetAttr))
 	mux.HandleFunc("POST /admin/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /admin/workload", s.handleWorkload)
+	mux.HandleFunc("GET /fleet", s.handleFleet)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// handleWorkload serves the live workload model built over the rolling
+// window of recent queries — the same shape roadlog emits offline.
+// ?top=N bounds the hot-node and repeat-query lists.
+func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	if s.window == nil {
+		s.writeErr(w, http.StatusNotImplemented, "workload window disabled (-workload-window < 0)")
+		return
+	}
+	var cfg analytics.Config
+	if raw := r.URL.Query().Get("top"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			s.writeErr(w, http.StatusBadRequest, "parameter \"top\" must be a positive integer")
+			return
+		}
+		cfg.TopK = n
+	}
+	s.writeJSON(w, http.StatusOK, s.window.Model(cfg))
+}
+
+// handleFleet summarizes the shard-host fleet: per-host health, RPC
+// latency percentiles, hedge and re-adoption counters. 404 on
+// deployments without remote shard hosts.
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	fp, ok := s.b.(fleetStatusProvider)
+	if !ok {
+		s.writeErr(w, http.StatusNotFound, "not a fleet deployment (no shard hosts)")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, fp.FleetStatus())
 }
 
 // TakeSnapshot persists the index through the configured SnapshotSave
@@ -253,14 +337,25 @@ func queryErrStatus(err error) (int, string) {
 
 func (s *Server) recordStats(st road.Stats) { s.met.record(st) }
 
-// logQuery stamps and submits one query-log record (no-op without a
-// configured query log).
+// logQuery stamps one query record and submits it to the sampled query
+// log and the /admin/workload rolling window (each nil-safe; the window
+// sees every query, the log only its sample).
 func (s *Server) logQuery(rec obs.QueryRecord) {
-	if s.qlog == nil {
+	if s.qlog == nil && s.window == nil {
 		return
 	}
 	rec.TS = time.Now().UTC().Format(time.RFC3339Nano)
+	s.window.Add(rec)
 	s.qlog.Log(rec)
+}
+
+// homeOf resolves a query node's home shard, or -1 when the store
+// cannot say (single-index deployments).
+func (s *Server) homeOf(node road.NodeID) int {
+	if s.homes == nil {
+		return -1
+	}
+	return s.homes.HomeShardOf(node)
 }
 
 // traceCtx attaches a query trace to ctx when this request needs one:
@@ -401,6 +496,8 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, ep endpoint,
 	defer cancel()
 	traced := wantTrace(r)
 	ctx, tr := s.traceCtx(ctx, traced)
+	id := obs.NewRequestID()
+	tr.SetID(id)
 	useCache := cacheable && s.cache != nil && !traced
 	cacheOutcome := "bypass"
 	var resp QueryResponse
@@ -437,8 +534,10 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, ep endpoint,
 	elapsed := time.Since(start)
 	s.met.latency[ep].Observe(elapsed.Seconds())
 	rec := obs.QueryRecord{
+		ID:         id,
 		Op:         endpointNames[ep],
 		Node:       int64(key.Node),
+		Home:       s.homeOf(key.Node),
 		Attr:       key.Attr,
 		Shards:     st.ShardsSearched,
 		Pops:       st.NodesPopped,
@@ -460,11 +559,12 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, ep endpoint,
 	}
 	rec.Results = len(resp.Results)
 	s.logQuery(rec)
-	s.logSlow(rec.Op, rec.Node, elapsed, st, tr)
+	s.logSlow(id, rec.Op, rec.Node, elapsed, st, tr)
 	if fill != nil && stable {
 		s.cache.Put(key, resp.Epoch, *fill)
 	}
 	resp.Node = key.Node
+	resp.ID = id
 	resp.ElapsedUS = elapsed.Microseconds()
 	if traced {
 		resp.Trace = tr.Legs()
@@ -492,6 +592,8 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	traced := wantTrace(r)
 	ctx, tr := s.traceCtx(ctx, traced)
+	id := obs.NewRequestID()
+	tr.SetID(id)
 	var resp PathResponse
 	var pathErr error
 	var st road.Stats
@@ -517,8 +619,10 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	s.met.latency[epPath].Observe(elapsed.Seconds())
 	rec := obs.QueryRecord{
+		ID:         id,
 		Op:         endpointNames[epPath],
 		Node:       node,
+		Home:       s.homeOf(road.NodeID(node)),
 		Shards:     st.ShardsSearched,
 		Pops:       st.NodesPopped,
 		DurationUS: elapsed.Microseconds(),
@@ -532,7 +636,8 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 	}
 	rec.Results = len(resp.Path)
 	s.logQuery(rec)
-	s.logSlow(rec.Op, node, elapsed, st, tr)
+	s.logSlow(id, rec.Op, node, elapsed, st, tr)
+	resp.ID = id
 	resp.ElapsedUS = elapsed.Microseconds()
 	if traced {
 		resp.Trace = tr.Legs()
@@ -596,8 +701,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// One record for the whole batch: Node is the entry count (a batch has
 	// no single origin), Pops/Shards the summed cost.
 	s.logQuery(obs.QueryRecord{
+		ID:         obs.NewRequestID(),
 		Op:         endpointNames[epBatch],
 		Node:       int64(len(reqs)),
+		Home:       -1,
 		Shards:     totalShards,
 		Pops:       totalPops,
 		Results:    len(resp.Responses),

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"road"
+	"road/internal/obs"
+	"road/internal/obs/analytics"
+)
+
+// TestWorkloadEndpoint drives a sharded server and checks /admin/workload
+// reports the live model: query counts, mix, per-shard attribution and
+// hot nodes — all without any query log configured (the window is
+// independent of log sampling).
+func TestWorkloadEndpoint(t *testing.T) {
+	sdb, objs := buildShardedGrid(t, 8, 4)
+	ts := httptest.NewServer(New(sdb, Options{}).Handler())
+	defer ts.Close()
+
+	// A hot node queried repeatedly plus scattered traffic.
+	for i := 0; i < 12; i++ {
+		getJSON[QueryResponse](t, ts, "/knn?node=0&k=2", http.StatusOK)
+	}
+	for n := 1; n < 8; n++ {
+		getJSON[QueryResponse](t, ts, fmt.Sprintf("/within?node=%d&radius=2.0", n*8), http.StatusOK)
+	}
+	getJSON[PathResponse](t, ts, fmt.Sprintf("/path?node=0&object=%d", objs[0]), http.StatusOK)
+
+	m := getJSON[analytics.Model](t, ts, "/admin/workload", http.StatusOK)
+	if m.Queries != 20 {
+		t.Fatalf("workload queries = %d, want 20", m.Queries)
+	}
+	if m.Mix["knn"] != 12 || m.Mix["within"] != 7 || m.Mix["path"] != 1 {
+		t.Errorf("mix = %v, want knn:12 within:7 path:1", m.Mix)
+	}
+	// 11 of the 12 identical kNNs hit the result cache.
+	if m.Cache.Hits != 11 {
+		t.Errorf("cache hits = %d, want 11", m.Cache.Hits)
+	}
+	// Every query node belongs to some shard on a sharded store.
+	if len(m.Shards) == 0 {
+		t.Fatal("workload model has no per-shard attribution")
+	}
+	var shardTotal int64
+	for _, sh := range m.Shards {
+		shardTotal += sh.Queries
+	}
+	if shardTotal != m.Queries {
+		t.Errorf("per-shard queries sum to %d, want %d (every node has a home shard)", shardTotal, m.Queries)
+	}
+	if len(m.HotNodes) == 0 || m.HotNodes[0].Key != 0 || m.HotNodes[0].Count != 13 {
+		t.Errorf("hot nodes = %+v, want node 0 first with 13 queries (12 knn + 1 path)", m.HotNodes)
+	}
+	// The repeated kNN is a semantic-cache candidate.
+	var cacheAction bool
+	for _, a := range m.Actions {
+		if a.Kind == "semantic-cache" && strings.Contains(a.Target, "n=0") {
+			cacheAction = true
+		}
+	}
+	if !cacheAction {
+		t.Errorf("no semantic-cache action for the repeated query: %+v", m.Actions)
+	}
+
+	// ?top bounds the lists; bad values are rejected.
+	if m := getJSON[analytics.Model](t, ts, "/admin/workload?top=1", http.StatusOK); len(m.HotNodes) > 1 {
+		t.Errorf("top=1 returned %d hot nodes", len(m.HotNodes))
+	}
+	getJSON[ErrorResponse](t, ts, "/admin/workload?top=zero", http.StatusBadRequest)
+	getJSON[ErrorResponse](t, ts, "/admin/workload?top=-3", http.StatusBadRequest)
+}
+
+// TestWorkloadWindowDisabled checks WorkloadWindow < 0 turns the
+// endpoint off (501) without touching anything else.
+func TestWorkloadWindowDisabled(t *testing.T) {
+	db, _, _, _ := buildSquare(t, road.Options{})
+	ts := httptest.NewServer(New(db, Options{WorkloadWindow: -1}).Handler())
+	defer ts.Close()
+	getJSON[QueryResponse](t, ts, "/knn?node=0&k=1", http.StatusOK)
+	getJSON[ErrorResponse](t, ts, "/admin/workload", http.StatusNotImplemented)
+}
+
+// TestWorkloadWindowBound checks the rolling window evicts the oldest
+// queries once it is full.
+func TestWorkloadWindowBound(t *testing.T) {
+	db, _, _, _ := buildSquare(t, road.Options{})
+	ts := httptest.NewServer(New(db, Options{WorkloadWindow: 5, CacheSize: -1}).Handler())
+	defer ts.Close()
+	for i := 0; i < 9; i++ {
+		getJSON[QueryResponse](t, ts, fmt.Sprintf("/knn?node=%d&k=1", i%4), http.StatusOK)
+	}
+	m := getJSON[analytics.Model](t, ts, "/admin/workload", http.StatusOK)
+	if m.Queries != 5 {
+		t.Fatalf("window of 5 reports %d queries after 9", m.Queries)
+	}
+}
+
+// TestRequestIDJoin checks the request ID is one join key across all
+// three views of a query: the client response, the query-log record and
+// the slow-query line.
+func TestRequestIDJoin(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "q.jsonl")
+	qlog, err := obs.OpenQueryLog(logPath, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slow bytes.Buffer
+	db, _, bID, _ := buildSquare(t, road.Options{StorePaths: true})
+	ts := httptest.NewServer(New(db, Options{
+		QueryLog:           qlog,
+		SlowQueryThreshold: time.Nanosecond, // every query is "slow"
+		SlowQueryWriter:    &slow,
+	}).Handler())
+
+	qr := getJSON[QueryResponse](t, ts, "/knn?node=0&k=1", http.StatusOK)
+	pr := getJSON[PathResponse](t, ts, fmt.Sprintf("/path?node=0&object=%d", bID), http.StatusOK)
+	ts.Close()
+	if err := qlog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if qr.ID == "" || pr.ID == "" {
+		t.Fatalf("responses missing request IDs: knn=%q path=%q", qr.ID, pr.ID)
+	}
+	if qr.ID == pr.ID {
+		t.Fatalf("two queries share request ID %q", qr.ID)
+	}
+
+	// Query log: one record per query, carrying the same IDs.
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logIDs := make(map[string]string) // id -> op
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var rec obs.QueryRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad query log line %q: %v", line, err)
+		}
+		logIDs[rec.ID] = rec.Op
+	}
+	if logIDs[qr.ID] != "knn" || logIDs[pr.ID] != "path" {
+		t.Fatalf("query log IDs %v don't join to responses (knn=%s path=%s)", logIDs, qr.ID, pr.ID)
+	}
+
+	// Slow log: same IDs again.
+	slowIDs := make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimSpace(slow.String()), "\n") {
+		var entry slowQueryEntry
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "slow query: ")), &entry); err != nil {
+			t.Fatalf("bad slow-query line %q: %v", line, err)
+		}
+		slowIDs[entry.ID] = true
+	}
+	if !slowIDs[qr.ID] || !slowIDs[pr.ID] {
+		t.Fatalf("slow-query IDs %v don't join to responses (%s, %s)", slowIDs, qr.ID, pr.ID)
+	}
+}

@@ -172,6 +172,13 @@ func (c *HostClient) roundTrip(ctx context.Context, method, path string, body []
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if tr := obs.FromContext(ctx); tr != nil {
+		id := tr.ID()
+		if id == "" {
+			id = "1"
+		}
+		req.Header.Set(TraceHeader, id)
+	}
 	start := time.Now()
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -317,14 +324,16 @@ func (c *HostClient) call(ctx context.Context, method, path string, body []byte,
 	return envelope{}, 0, c.unavailable(lastErr)
 }
 
-// rpcInfo carries a call's timing split for trace legs.
+// rpcInfo carries a call's timing split (and, when the call was traced,
+// the host-side legs) for trace stitching.
 type rpcInfo struct {
 	wallUS    int64
 	computeUS int64
+	legs      []obs.Leg
 }
 
 func info(dur time.Duration, env envelope) rpcInfo {
-	return rpcInfo{wallUS: dur.Microseconds(), computeUS: env.ComputeUS}
+	return rpcInfo{wallUS: dur.Microseconds(), computeUS: env.ComputeUS, legs: env.Legs}
 }
 
 // decodeEnvelope unmarshals the typed response (when present) and

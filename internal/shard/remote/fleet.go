@@ -137,6 +137,56 @@ func (f *Fleet) ShardsOf(c *HostClient) []int {
 	return ids
 }
 
+// HostStatus is one host's health and RPC-latency summary for /fleet.
+type HostStatus struct {
+	Addr   string `json:"addr"`
+	Up     bool   `json:"up"`
+	Shards []int  `json:"shards"`
+	RPCs   uint64 `json:"rpcs"`
+	Errors uint64 `json:"errors"`
+	P50US  int64  `json:"p50_us"`
+	P95US  int64  `json:"p95_us"`
+	P99US  int64  `json:"p99_us"`
+}
+
+// FleetStatus summarizes the fleet for roadd's /fleet endpoint.
+type FleetStatus struct {
+	Hosts     []HostStatus `json:"hosts"`
+	Hedges    uint64       `json:"hedges"`
+	HedgeWins uint64       `json:"hedge_wins"`
+	Readopts  uint64       `json:"readopts"`
+}
+
+// Status reports per-host health, RPC volume, error counts and latency
+// percentiles (from the same histograms that calibrate hedging), plus
+// fleet-wide hedge and re-adoption counters.
+func (f *Fleet) Status() FleetStatus {
+	st := FleetStatus{
+		Hedges:    f.m.hedges.Value(),
+		HedgeWins: f.m.hedgeWins.Value(),
+		Readopts:  f.m.readopts.Value(),
+	}
+	usOf := func(h *obs.Histogram, q float64) int64 {
+		return int64(h.Quantile(q) * 1e6)
+	}
+	for _, c := range f.hosts {
+		hs := HostStatus{
+			Addr:   c.Addr(),
+			Up:     !c.Down(),
+			Shards: f.ShardsOf(c),
+			RPCs:   c.hist.Count(),
+			Errors: c.errs.Value(),
+		}
+		if hs.RPCs > 0 {
+			hs.P50US = usOf(c.hist, 0.50)
+			hs.P95US = usOf(c.hist, 0.95)
+			hs.P99US = usOf(c.hist, 0.99)
+		}
+		st.Hosts = append(st.Hosts, hs)
+	}
+	return st
+}
+
 // Snapshot asks every host to snapshot its shards and rotate journals.
 func (f *Fleet) Snapshot(ctx context.Context) error {
 	for _, c := range f.hosts {

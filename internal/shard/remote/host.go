@@ -63,9 +63,20 @@ type Host struct {
 	ids    []int // sorted owned shard IDs
 	mux    *http.ServeMux
 	reg    *obs.Registry
+	start  time.Time
 
 	applied  *obs.Counter
 	searches *obs.Counter
+
+	// Host-side cost breakdown, binned with the same layouts the router
+	// uses so the two /metrics expositions compare series-for-series.
+	rpcSearch     *obs.Histogram // compute inside Search RPCs
+	rpcLeg        *obs.Histogram // compute inside Leg RPCs
+	rpcApply      *obs.Histogram // compute inside Apply RPCs (post-journal)
+	queueWait     *obs.Histogram // wait for the shard lock + a searcher
+	journalAppend *obs.Histogram // journal append incl. fsync when enabled
+	searchPops    *obs.Histogram
+	snapshots     *obs.Counter
 }
 
 func sidecarPath(prefix string, i int) string { return fmt.Sprintf("%s.%d.ids", prefix, i) }
@@ -128,11 +139,27 @@ func OpenHost(ids []int, cfg HostConfig) (*Host, error) {
 		shards:   make(map[int]*hostShard, len(ids)),
 		ids:      append([]int(nil), ids...),
 		reg:      reg,
+		start:    time.Now(),
 		applied:  reg.Counter("road_host_ops_applied_total", "", "Mutations applied by this shard host."),
 		searches: reg.Counter("road_host_searches_total", "", "Search/leg RPCs served by this shard host."),
+		rpcSearch: reg.Histogram("road_host_rpc_seconds", `rpc="search"`,
+			"Host-side compute per RPC, by RPC kind.", obs.LatencyBuckets),
+		rpcLeg: reg.Histogram("road_host_rpc_seconds", `rpc="leg"`,
+			"Host-side compute per RPC, by RPC kind.", obs.LatencyBuckets),
+		rpcApply: reg.Histogram("road_host_rpc_seconds", `rpc="apply"`,
+			"Host-side compute per RPC, by RPC kind.", obs.LatencyBuckets),
+		queueWait: reg.Histogram("road_host_queue_seconds", "",
+			"Wait for the shard lock and a pooled searcher before compute starts.", obs.LatencyBuckets),
+		journalAppend: reg.Histogram("road_host_journal_append_seconds", "",
+			"Write-ahead journal append time (includes fsync when -journal-sync).", obs.LatencyBuckets),
+		searchPops: reg.Histogram("road_host_search_pops", "",
+			"Heap pops (settled nodes) per search RPC.", obs.PopsBuckets),
+		snapshots: reg.Counter("road_host_snapshots_total", "", "Per-shard snapshots written by this host."),
 	}
 	sort.Ints(h.ids)
 	version.Register(reg)
+	reg.Gauge("road_host_uptime_seconds", "", "Seconds since the shard host started.",
+		func() float64 { return time.Since(h.start).Seconds() })
 
 	for _, id := range h.ids {
 		s := assembled[id]
@@ -184,8 +211,41 @@ func OpenHost(ids []int, cfg HostConfig) (*Host, error) {
 		hs := h.shards[id]
 		hs.searchers.New = func() any { return hs.s.NewLocalSearcher() }
 	}
+	h.registerJournalGauges()
 	h.buildMux()
 	return h, nil
+}
+
+// registerJournalGauges exposes per-shard journal and snapshot-base
+// series. Closures read under the shard lock so a scrape racing
+// shutdown (Close nils the journal) stays safe.
+func (h *Host) registerJournalGauges() {
+	journalVec := func(get func(*hostShard) float64) func() []obs.Sample {
+		return func() []obs.Sample {
+			out := make([]obs.Sample, 0, len(h.ids))
+			for _, id := range h.ids {
+				hs := h.shards[id]
+				hs.mu.RLock()
+				if hs.j != nil {
+					out = append(out, obs.Sample{
+						Labels: `shard="` + strconv.Itoa(id) + `"`,
+						Value:  get(hs),
+					})
+				}
+				hs.mu.RUnlock()
+			}
+			return out
+		}
+	}
+	h.reg.CollectorVec("road_host_journal_seq", "gauge",
+		"Write-ahead journal sequence per served shard.",
+		journalVec(func(hs *hostShard) float64 { return float64(hs.j.LastSeq()) }))
+	h.reg.CollectorVec("road_host_journal_bytes", "gauge",
+		"Write-ahead journal size in bytes per served shard.",
+		journalVec(func(hs *hostShard) float64 { return float64(hs.j.Size()) }))
+	h.reg.CollectorVec("road_host_snapshot_base_seq", "gauge",
+		"Journal sequence the on-disk snapshot covers, per served shard.",
+		journalVec(func(hs *hostShard) float64 { return float64(hs.baseSeq) }))
 }
 
 // Handler returns the host's HTTP surface.
@@ -200,12 +260,14 @@ func (h *Host) Close() error { return h.closeJournals() }
 func (h *Host) closeJournals() error {
 	var first error
 	for _, hs := range h.shards {
+		hs.mu.Lock() // excludes metric scrapes reading hs.j
 		if hs.j != nil {
 			if err := hs.j.Close(); err != nil && first == nil {
 				first = err
 			}
 			hs.j = nil
 		}
+		hs.mu.Unlock()
 	}
 	return first
 }
@@ -230,24 +292,39 @@ func (h *Host) buildMux() {
 // (a non-200 status is a transport-level error to the client, which is
 // right: a request for a shard this host does not own means the fleet's
 // ownership map and the host disagree).
-func (h *Host) shardOf(w http.ResponseWriter, r *http.Request) *hostShard {
+func (h *Host) shardOf(w http.ResponseWriter, r *http.Request) (*hostShard, int) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
 		http.Error(w, "bad shard id", http.StatusBadRequest)
-		return nil
+		return nil, 0
 	}
 	hs := h.shards[id]
 	if hs == nil {
 		http.Error(w, fmt.Sprintf("shard %d not served by this host", id), http.StatusNotFound)
-		return nil
+		return nil, 0
 	}
-	return hs
+	return hs, id
+}
+
+// traced reports whether the RPC carries trace context (the client sets
+// TraceHeader only when its own context does).
+func traced(r *http.Request) bool { return r.Header.Get(TraceHeader) != "" }
+
+// hostLeg builds one host-side trace leg.
+func hostLeg(name string, shard int, d time.Duration) obs.Leg {
+	return obs.Leg{Name: name, Shard: shard, DurationUS: d.Microseconds()}
 }
 
 // writeEnvelope answers one RPC: the typed response (already wire-encoded
 // — no ±Inf), the error mapped to its wire code, and the compute time.
 func writeEnvelope(w http.ResponseWriter, resp any, err error, compute time.Duration) {
-	env := envelope{ComputeUS: compute.Microseconds()}
+	writeEnvelopeLegs(w, resp, err, compute, nil)
+}
+
+// writeEnvelopeLegs is writeEnvelope plus the host-side trace legs of a
+// traced call.
+func writeEnvelopeLegs(w http.ResponseWriter, resp any, err error, compute time.Duration, legs []obs.Leg) {
+	env := envelope{ComputeUS: compute.Microseconds(), Legs: legs}
 	if resp != nil {
 		raw, mErr := json.Marshal(resp)
 		if mErr != nil {
@@ -281,7 +358,7 @@ func (h *Host) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Host) handleState(w http.ResponseWriter, r *http.Request) {
-	hs := h.shardOf(w, r)
+	hs, _ := h.shardOf(w, r)
 	if hs == nil {
 		return
 	}
@@ -301,7 +378,7 @@ func (h *Host) handleState(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Host) handleSearch(w http.ResponseWriter, r *http.Request) {
-	hs := h.shardOf(w, r)
+	hs, id := h.shardOf(w, r)
 	if hs == nil {
 		return
 	}
@@ -310,8 +387,10 @@ func (h *Host) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.searches.Inc()
+	arrive := time.Now()
 	hs.mu.RLock()
 	q := hs.searchers.Get().(shard.Searcher)
+	queue := time.Since(arrive)
 	start := time.Now()
 	resp, err := q.Search(r.Context(), req)
 	compute := time.Since(start)
@@ -324,11 +403,20 @@ func (h *Host) handleSearch(w http.ResponseWriter, r *http.Request) {
 	raw, mErr := json.Marshal(env.resp)
 	hs.searchers.Put(q)
 	hs.mu.RUnlock()
+	h.queueWait.Observe(queue.Seconds())
+	h.rpcSearch.Observe(compute.Seconds())
+	h.searchPops.Observe(float64(resp.Stats.NodesPopped))
 	if mErr != nil {
 		http.Error(w, mErr.Error(), http.StatusInternalServerError)
 		return
 	}
 	out := envelope{Resp: raw, ComputeUS: compute.Microseconds()}
+	if traced(r) {
+		searchLeg := hostLeg("host_search", id, compute)
+		searchLeg.Pops = resp.Stats.NodesPopped
+		searchLeg.Reads = resp.Stats.IO.Reads
+		out.Legs = []obs.Leg{hostLeg("host_queue", id, queue), searchLeg}
+	}
 	if env.err != nil {
 		out.Err, out.Msg = encodeErr(env.err)
 	}
@@ -337,7 +425,7 @@ func (h *Host) handleSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Host) handleLeg(w http.ResponseWriter, r *http.Request) {
-	hs := h.shardOf(w, r)
+	hs, id := h.shardOf(w, r)
 	if hs == nil {
 		return
 	}
@@ -346,19 +434,29 @@ func (h *Host) handleLeg(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.searches.Inc()
+	arrive := time.Now()
 	hs.mu.RLock()
 	q := hs.searchers.Get().(shard.Searcher)
+	queue := time.Since(arrive)
 	start := time.Now()
 	resp, err := q.Leg(r.Context(), req)
 	compute := time.Since(start)
 	hs.searchers.Put(q)
 	hs.mu.RUnlock()
+	h.queueWait.Observe(queue.Seconds())
+	h.rpcLeg.Observe(compute.Seconds())
 	encLegResp(&resp)
-	writeEnvelope(w, &resp, err, compute)
+	var legs []obs.Leg
+	if traced(r) {
+		legLeg := hostLeg("host_leg", id, compute)
+		legLeg.Pops = resp.Pops
+		legs = []obs.Leg{hostLeg("host_queue", id, queue), legLeg}
+	}
+	writeEnvelopeLegs(w, &resp, err, compute, legs)
 }
 
 func (h *Host) handleApply(w http.ResponseWriter, r *http.Request) {
-	hs := h.shardOf(w, r)
+	hs, id := h.shardOf(w, r)
 	if hs == nil {
 		return
 	}
@@ -366,15 +464,19 @@ func (h *Host) handleApply(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &op) {
 		return
 	}
+	arrive := time.Now()
 	hs.mu.Lock()
+	queue := time.Since(arrive)
 	// Write-ahead: the op is durable before it is applied or
 	// acknowledged, so a host crash between journal and reply replays it
 	// on boot and the router's Readopt reconciles the lost ack.
+	jStart := time.Now()
 	if _, err := hs.j.Append(op); err != nil {
 		hs.mu.Unlock()
 		http.Error(w, "journal append: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
+	journal := time.Since(jStart)
 	start := time.Now()
 	rep, err := hs.s.HostApply(op)
 	compute := time.Since(start)
@@ -382,16 +484,27 @@ func (h *Host) handleApply(w http.ResponseWriter, r *http.Request) {
 	rep.JournalBytes = hs.j.Size()
 	hs.mu.Unlock()
 	h.applied.Inc()
+	h.queueWait.Observe(queue.Seconds())
+	h.journalAppend.Observe(journal.Seconds())
+	h.rpcApply.Observe(compute.Seconds())
+	var legs []obs.Leg
+	if traced(r) {
+		legs = []obs.Leg{
+			hostLeg("host_queue", id, queue),
+			hostLeg("host_journal", id, journal),
+			hostLeg("host_apply", id, compute),
+		}
+	}
 	if err != nil {
-		writeEnvelope(w, nil, err, compute)
+		writeEnvelopeLegs(w, nil, err, compute, legs)
 		return
 	}
 	encDerived(rep.Derived)
-	writeEnvelope(w, &rep, nil, compute)
+	writeEnvelopeLegs(w, &rep, nil, compute, legs)
 }
 
 func (h *Host) handleObject(w http.ResponseWriter, r *http.Request) {
-	hs := h.shardOf(w, r)
+	hs, _ := h.shardOf(w, r)
 	if hs == nil {
 		return
 	}
@@ -419,6 +532,7 @@ func (h *Host) SnapshotAll() error {
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", id, err)
 		}
+		h.snapshots.Inc()
 	}
 	return nil
 }

@@ -46,6 +46,13 @@ func (q *remoteSearcher) traceRPC(ctx context.Context, ri rpcInfo, pops int) {
 	if wire < 0 {
 		wire = 0
 	}
+	// Host-side legs (queue wait, search compute) ride back in the
+	// envelope; stamp them with the host and nest them under this hop so
+	// the trace shows the full cross-process tree.
+	sub := ri.legs
+	for i := range sub {
+		sub[i].Host = q.rs.c.Addr()
+	}
 	tr.Add(obs.Leg{
 		Name:       "rpc",
 		Shard:      q.rs.id,
@@ -53,6 +60,7 @@ func (q *remoteSearcher) traceRPC(ctx context.Context, ri rpcInfo, pops int) {
 		Pops:       pops,
 		Host:       q.rs.c.Addr(),
 		WireUS:     wire,
+		Sub:        sub,
 	})
 }
 

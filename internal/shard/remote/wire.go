@@ -28,9 +28,15 @@ import (
 
 	"road/internal/apierr"
 	"road/internal/graph"
+	"road/internal/obs"
 	"road/internal/shard"
 	"road/internal/snapshot"
 )
+
+// TraceHeader is the request header that carries trace context across
+// the wire. Its value is the request ID (or "1" for an anonymous
+// trace); presence alone tells the host to time its legs.
+const TraceHeader = "X-Road-Trace"
 
 // envelope is the uniform RPC response wrapper.
 type envelope struct {
@@ -40,6 +46,10 @@ type envelope struct {
 	// ComputeUS is the host-side time spent inside the shard call, so the
 	// client can attribute wire time (total − compute) separately.
 	ComputeUS int64 `json:"compute_us,omitempty"`
+	// Legs is the host-side timing breakdown of a traced call (queue
+	// wait, search compute, journal append …); the client nests it under
+	// the rpc hop's Sub so &trace=1 shows the cross-process tree.
+	Legs []obs.Leg `json:"legs,omitempty"`
 }
 
 // healthResponse is GET /healthz: the shards this host serves and their

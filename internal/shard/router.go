@@ -203,6 +203,18 @@ func (r *Router) Graph() *graph.Graph { return r.g }
 // NumShards returns the number of shards.
 func (r *Router) NumShards() int { return len(r.shards) }
 
+// HomeOf returns the lowest shard containing global node gn, or -1 for
+// an unknown node. Lock-free: shardsOf is immutable after assembly (the
+// node set is fixed for the deployment's lifetime), so this is safe on
+// the query hot path — the server uses it to label query-log records
+// with their home shard.
+func (r *Router) HomeOf(gn graph.NodeID) ID {
+	if int(gn) < 0 || int(gn) >= len(r.shardsOf) || len(r.shardsOf[gn]) == 0 {
+		return -1
+	}
+	return r.shardsOf[gn][0]
+}
+
 // Shard returns shard id.
 func (r *Router) Shard(id ID) *Shard { return r.shards[id] }
 

@@ -105,6 +105,15 @@ func (db *RemoteDB) IndexSizeBytes() int64 { return db.r.IndexSizeBytes() }
 // serving layer's /stats and per-shard metrics read these.
 func (db *RemoteDB) ShardInfos() []shard.Info { return db.r.Infos() }
 
+// HomeShardOf returns the shard holding node n, or -1 for an unknown
+// node. Safe on the query hot path (the topology is fixed after build).
+func (db *RemoteDB) HomeShardOf(n NodeID) int { return int(db.r.HomeOf(n)) }
+
+// FleetStatus reports per-host health, RPC latency percentiles and
+// hedge/re-adoption counters; the serving layer's /fleet endpoint
+// surfaces it.
+func (db *RemoteDB) FleetStatus() remote.FleetStatus { return db.fleet.Status() }
+
 // NumNodes returns the global intersection count (fixed at build time).
 func (db *RemoteDB) NumNodes() int { return db.r.Graph().NumNodes() }
 

@@ -119,6 +119,10 @@ func (db *ShardedDB) IndexSizeBytes() int64 { return db.r.IndexSizeBytes() }
 // ShardInfos reports per-shard size, epoch and load counters.
 func (db *ShardedDB) ShardInfos() []shard.Info { return db.r.Infos() }
 
+// HomeShardOf returns the shard holding node n, or -1 for an unknown
+// node. Safe on the query hot path (the topology is fixed after build).
+func (db *ShardedDB) HomeShardOf(n NodeID) int { return int(db.r.HomeOf(n)) }
+
 // NumNodes returns the global intersection count (fixed at build time).
 func (db *ShardedDB) NumNodes() int { return db.r.Graph().NumNodes() }
 
