@@ -1,0 +1,155 @@
+// Package analysis is the project's static-analysis framework: the
+// substrate under cmd/roadvet and the five road-specific analyzers that
+// mechanically enforce invariants the design docs state in prose — the
+// lock hierarchy, write-ahead journaling, typed-error wire fidelity,
+// context discipline and observability naming.
+//
+// It deliberately mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) so the analyzers could be ported to the
+// upstream framework mechanically, but it is built on the standard
+// library alone: this module serves traffic dependency-free, and its
+// tooling stays dependency-free too. Packages are loaded offline with
+// `go list -export` (compiled export data from the build cache) and
+// type-checked with go/types, so a roadvet run needs no network and no
+// third-party code.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// An Analyzer is one named, self-contained check. Run inspects a single
+// type-checked package through its Pass and reports findings with
+// Pass.Report.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -list output; it
+	// must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description printed by `roadvet -list`:
+	// the invariant enforced and the design doc it encodes.
+	Doc string
+	// Run performs the check. It is called once per loaded package.
+	Run func(*Pass)
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// A Diagnostic is one finding, anchored to a position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Position token.Position
+	Message  string
+	// Suppressed marks a finding covered by a //roadvet:ignore directive;
+	// the driver counts these instead of failing on them.
+	Suppressed bool
+	// IgnoreReason is the directive's reason when Suppressed.
+	IgnoreReason string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether pos lies in a _test.go file. The roadvet
+// analyzers enforce library invariants; test scaffolding is exempt.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// ignoreDirective matches the escape hatch: `//roadvet:ignore <reason>`
+// on the flagged line or the line above suppresses a finding, and the
+// driver reports the suppression count. The reason is mandatory: an
+// empty one is itself a diagnostic, so every suppression records WHY
+// the invariant does not apply.
+var ignoreDirective = regexp.MustCompile(`^//roadvet:ignore(.*)$`)
+
+// ignoreIndex maps "file:line" to the directive's reason for one package.
+type ignoreIndex map[string]string
+
+// buildIgnoreIndex scans a package's comments for //roadvet:ignore
+// directives. Empty-reason directives are reported as findings of the
+// pseudo-analyzer "ignore" (they fail the run like any other finding).
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) ignoreIndex {
+	idx := make(ignoreIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreDirective.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				reason := strings.TrimSpace(m[1])
+				pos := fset.Position(c.Pos())
+				if reason == "" {
+					*diags = append(*diags, Diagnostic{
+						Analyzer: "ignore",
+						Pos:      c.Pos(),
+						Position: pos,
+						Message:  "//roadvet:ignore requires a reason explaining why the invariant does not apply here",
+					})
+					continue
+				}
+				// The directive covers its own line and the next one, so
+				// it works both inline and as a preceding comment line.
+				idx[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = reason
+				idx[fmt.Sprintf("%s:%d", pos.Filename, pos.Line+1)] = reason
+			}
+		}
+	}
+	return idx
+}
+
+// applyIgnores marks findings on directive-covered lines suppressed.
+func applyIgnores(diags []Diagnostic, idx ignoreIndex) {
+	for i := range diags {
+		if diags[i].Analyzer == "ignore" {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d", diags[i].Position.Filename, diags[i].Position.Line)
+		if reason, ok := idx[key]; ok {
+			diags[i].Suppressed = true
+			diags[i].IgnoreReason = reason
+		}
+	}
+}
+
+// RunAnalyzers applies every analyzer to one loaded package and returns
+// its findings, with //roadvet:ignore suppressions resolved.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	idx := buildIgnoreIndex(pkg.Fset, pkg.Files, &diags)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			analyzer: a,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	applyIgnores(diags, idx)
+	return diags
+}

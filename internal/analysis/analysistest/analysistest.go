@@ -1,0 +1,117 @@
+// Package analysistest runs a road analyzer over fixture packages under
+// a testdata/src root and checks its findings against expectations
+// written in the fixtures themselves — the same contract as
+// golang.org/x/tools/go/analysis/analysistest, rebuilt on the project's
+// dependency-free analysis framework.
+//
+// An expectation is a comment on the flagged line:
+//
+//	x.metaMu.Lock() // want `lock order`
+//
+// The backquoted text is a regexp that must match a diagnostic reported
+// on that line. Every expectation must be matched and every diagnostic
+// must be expected; fixtures therefore document both the flagged and the
+// clean form of each invariant.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+
+	"road/internal/analysis"
+)
+
+// wantRe locates the expectation list in a `// want ...` comment;
+// patternRe then extracts each backquoted pattern from the remainder,
+// so one comment can carry several expectations:
+//
+//	x() // want `first` `second`
+var (
+	wantRe    = regexp.MustCompile("// want (`.*)$")
+	patternRe = regexp.MustCompile("`([^`]*)`")
+)
+
+// expectation is one `// want` comment: a position and a pattern.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package at <srcRoot>/<path>, applies the
+// analyzer, and reports any mismatch between findings and `// want`
+// expectations as test failures. Suppressed findings (//roadvet:ignore)
+// are treated as absent, so fixtures can exercise the escape hatch too.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	for _, path := range paths {
+		pkg, err := analysis.LoadFixture(srcRoot, path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+		checkExpectations(t, pkg, path, diags)
+	}
+}
+
+func checkExpectations(t *testing.T, pkg *analysis.Package, path string, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				wants = append(wants, parseWants(pkg, c)...)
+			}
+		}
+	}
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		if !matchWant(wants, d) {
+			t.Errorf("%s: unexpected diagnostic [%s] %s", d.Position, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s/%s:%d: expected diagnostic matching %q, got none", path, w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func parseWants(pkg *analysis.Package, c *ast.Comment) []*expectation {
+	if !strings.Contains(c.Text, "// want ") {
+		return nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	tail := wantRe.FindStringSubmatch(c.Text)
+	if tail == nil {
+		panic(fmt.Sprintf("%s: malformed want comment %q: no backquoted pattern", pos, c.Text))
+	}
+	var out []*expectation
+	for _, m := range patternRe.FindAllStringSubmatch(tail[1], -1) {
+		re, err := regexp.Compile(m[1])
+		if err != nil {
+			panic(fmt.Sprintf("%s: bad want pattern %q: %v", pos, m[1], err))
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+	}
+	return out
+}
+
+func matchWant(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.line != d.Position.Line || w.file != d.Position.Filename {
+			continue
+		}
+		if w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

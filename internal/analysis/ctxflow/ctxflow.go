@@ -1,0 +1,126 @@
+// Package ctxflow enforces the query path's context discipline:
+//
+//   - A function that takes a context.Context takes it as its FIRST
+//     parameter (the Go convention the whole v1 API follows).
+//   - Library code (any non-main package) never calls
+//     context.Background() or context.TODO(): those sever the caller's
+//     cancellation, deadline and trace baggage exactly where the v1 API
+//     promises cooperative cancellation. Contexts enter at the binary
+//     edge (package main) and flow down.
+//   - In the search engine (packages core and shard), a heap-drain loop
+//     — one that pops a priority queue — must poll its Limits (Stop) or
+//     context (Err) inside the loop, so no hot loop is unpollable.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"road/internal/analysis"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "context.Context first parameter, no context.Background()/TODO() in library code, " +
+		"and every heap-drain loop in the search engine polls Limits.Stop/ctx.Err",
+	Run: run,
+}
+
+// hotPackages are the search-engine packages whose pop loops must poll.
+var hotPackages = map[string]bool{"core": true, "shard": true}
+
+func run(pass *analysis.Pass) {
+	libCode := pass.Pkg.Name() != "main"
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkCtxFirst(pass, n.Type)
+			case *ast.FuncLit:
+				checkCtxFirst(pass, n.Type)
+			case *ast.CallExpr:
+				if libCode {
+					checkNoBackground(pass, n)
+				}
+			case *ast.ForStmt:
+				if hotPackages[pass.Pkg.Name()] {
+					checkPollable(pass, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isContextType reports whether the parameter type is context.Context.
+func isContextType(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.Info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func checkCtxFirst(pass *analysis.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pass, field.Type) && pos > 0 {
+			pass.Reportf(field.Pos(), "context.Context must be the first parameter so call sites read uniformly")
+		}
+		pos += n
+	}
+}
+
+func checkNoBackground(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		pass.Reportf(call.Pos(), "context.%s() in library code severs the caller's cancellation and trace context: accept a ctx and flow it down", fn.Name())
+	}
+}
+
+// checkPollable flags a for-loop that pops a priority queue but never
+// consults Limits.Stop or a context's Err inside its body.
+func checkPollable(pass *analysis.Pass, loop *ast.ForStmt) {
+	pops, polls := false, false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Pop":
+				pops = true
+			case "Stop", "Err":
+				polls = true
+			}
+		}
+		return true
+	})
+	if pops && !polls {
+		pass.Reportf(loop.Pos(), "heap-drain loop never polls Limits.Stop or ctx.Err: the hot path must stay cancellable (core.Limits)")
+	}
+}

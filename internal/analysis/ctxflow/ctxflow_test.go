@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"road/internal/analysis/analysistest"
+	"road/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata/src", ctxflow.Analyzer, "lib", "mainpkg", "core")
+}

@@ -1,0 +1,56 @@
+// Package core is the ctxflow hot-loop fixture: heap-drain loops in the
+// search engine must poll their limits.
+package core
+
+import "context"
+
+// Limits mirrors the real core.Limits poll surface.
+type Limits struct {
+	Ctx    context.Context
+	Budget int
+}
+
+// Stop is the cooperative poll.
+func (l Limits) Stop(popped int) error { return nil }
+
+type pq struct{ items []int }
+
+func (q *pq) Len() int { return len(q.items) }
+func (q *pq) Pop() int {
+	v := q.items[len(q.items)-1]
+	q.items = q.items[:len(q.items)-1]
+	return v
+}
+
+// drainPolled polls Limits.Stop every pop — clean.
+func drainPolled(q *pq, lim Limits) error {
+	pops := 0
+	for q.Len() > 0 {
+		_ = q.Pop()
+		pops++
+		if err := lim.Stop(pops); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drainUnpollable pops forever without consulting limits or context.
+func drainUnpollable(q *pq) int {
+	sum := 0
+	for q.Len() > 0 { // want `heap-drain loop never polls Limits.Stop or ctx.Err`
+		sum += q.Pop()
+	}
+	return sum
+}
+
+// drainCtx polls the context directly — also acceptable.
+func drainCtx(ctx context.Context, q *pq) error {
+	for q.Len() > 0 {
+		_ = q.Pop()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

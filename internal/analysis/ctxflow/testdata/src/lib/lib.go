@@ -1,0 +1,28 @@
+// Package lib is the ctxflow fixture for library code: contexts flow
+// in as first parameters and are never minted internally.
+package lib
+
+import "context"
+
+// Query takes ctx first — clean.
+func Query(ctx context.Context, node int) error {
+	return ctx.Err()
+}
+
+// Misplaced takes ctx second.
+func Misplaced(node int, ctx context.Context) error { // want `context.Context must be the first parameter`
+	return ctx.Err()
+}
+
+// Severed mints its own context.
+func Severed(node int) error {
+	ctx := context.Background() // want `context.Background\(\) in library code`
+	return ctxErr(ctx, node)
+}
+
+// Undecided punts with TODO.
+func Undecided(node int) error {
+	return ctxErr(context.TODO(), node) // want `context.TODO\(\) in library code`
+}
+
+func ctxErr(ctx context.Context, _ int) error { return ctx.Err() }

@@ -1,0 +1,10 @@
+// The binary edge is where contexts are born: package main may call
+// context.Background freely.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,211 @@
+// Package errwire guards the typed-error contract that lets errors.Is
+// work identically in-process and across the RPC wire:
+//
+//   - Wherever a `wireCodes` translation table is declared (the remote
+//     package's wire.go), every apierr sentinel must have exactly one
+//     stable snake_case wire code, no code may repeat, and the reserved
+//     fallback code "error" may not be claimed — otherwise a sentinel
+//     silently decodes to an untyped error on the far side.
+//   - On the public Store surface (methods in package road), errors must
+//     wrap a sentinel: a bare errors.New or a fmt.Errorf without %w
+//     produces an error no caller, cache layer or wire codec can
+//     classify.
+package errwire
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"path"
+	"regexp"
+	"strings"
+
+	"road/internal/analysis"
+)
+
+// Analyzer is the errwire check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwire",
+	Doc: "every apierr sentinel has exactly one stable wire code in the wireCodes table and no untyped error " +
+		"escapes a road.Store method (wrap a sentinel with %w)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) {
+	if pass.Pkg.Name() == "road" {
+		checkStoreSurface(pass)
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name == "wireCodes" && i < len(vs.Values) {
+						if lit, ok := vs.Values[i].(*ast.CompositeLit); ok {
+							checkWireTable(pass, name, lit)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// codePattern is the stable wire-code shape: lower snake_case, starting
+// with a letter.
+var codePattern = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// codeOther is the reserved fallback for errors with no sentinel
+// identity (see internal/shard/remote/wire.go); the table may not claim
+// it, or typed and untyped errors become indistinguishable.
+const codeOther = "error"
+
+func checkWireTable(pass *analysis.Pass, name *ast.Ident, lit *ast.CompositeLit) {
+	codes := map[string]ast.Expr{}
+	sentinels := map[string]ast.Expr{}
+	for _, elt := range lit.Elts {
+		row, ok := elt.(*ast.CompositeLit)
+		if !ok || len(row.Elts) != 2 {
+			continue
+		}
+		errExpr, codeExpr := row.Elts[0], row.Elts[1]
+
+		sentinel := sentinelKey(pass, errExpr)
+		if sentinel == "" {
+			pass.Reportf(errExpr.Pos(), "wireCodes entry is not a reference to an error sentinel variable")
+		} else if _, dup := sentinels[sentinel]; dup {
+			pass.Reportf(errExpr.Pos(), "sentinel %s has more than one wire code: codes must be stable and unique", sentinel)
+		} else {
+			sentinels[sentinel] = errExpr
+		}
+
+		code, ok := constString(pass, codeExpr)
+		switch {
+		case !ok:
+			pass.Reportf(codeExpr.Pos(), "wire code must be a compile-time string constant")
+		case !codePattern.MatchString(code):
+			pass.Reportf(codeExpr.Pos(), "wire code %q is not lower snake_case: codes are a public wire contract", code)
+		case code == codeOther:
+			pass.Reportf(codeExpr.Pos(), "wire code %q is reserved for errors with no sentinel identity", code)
+		default:
+			if _, dup := codes[code]; dup {
+				pass.Reportf(codeExpr.Pos(), "wire code %q assigned to more than one sentinel: decode would be ambiguous", code)
+			}
+			codes[code] = codeExpr
+		}
+	}
+
+	// Coverage: every exported error sentinel of an imported apierr
+	// package must appear in the table — a missing one round-trips the
+	// wire as an untyped "error" and breaks errors.Is on the client.
+	for _, imp := range pass.Pkg.Imports() {
+		if path.Base(imp.Path()) != "apierr" {
+			continue
+		}
+		scope := imp.Scope()
+		for _, n := range scope.Names() {
+			v, ok := scope.Lookup(n).(*types.Var)
+			if !ok || !v.Exported() || !isErrorType(v.Type()) {
+				continue
+			}
+			key := imp.Path() + "." + n
+			if _, ok := sentinels[key]; !ok {
+				pass.Reportf(name.Pos(), "apierr sentinel %s has no wire code: it would decode as an untyped error across the RPC boundary", n)
+			}
+		}
+	}
+}
+
+// sentinelKey resolves a wireCodes err expression to "pkgpath.Name", or
+// "" when it is not a reference to an error-typed variable.
+func sentinelKey(pass *analysis.Pass, e ast.Expr) string {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return ""
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || !isErrorType(v.Type()) {
+		return ""
+	}
+	pkgPath := ""
+	if v.Pkg() != nil {
+		pkgPath = v.Pkg().Path()
+	}
+	return pkgPath + "." + v.Name()
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// checkStoreSurface flags untyped error construction inside methods of
+// the public road package.
+func checkStoreSurface(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || pass.IsTestFile(fd.Pos()) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch calleeFullName(pass, call) {
+				case "errors.New":
+					pass.Reportf(call.Pos(), "errors.New on the Store surface: wrap an apierr sentinel with fmt.Errorf(%%w) so errors.Is works across layers and the wire")
+				case "fmt.Errorf":
+					if fstr, ok := formatString(pass, call); ok && !strings.Contains(fstr, "%w") {
+						pass.Reportf(call.Pos(), "fmt.Errorf without %%w on the Store surface: wrap an apierr sentinel so the error stays typed")
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func calleeFullName(pass *analysis.Pass, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+func formatString(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	return constString(pass, call.Args[0])
+}

@@ -1,0 +1,12 @@
+package errwire_test
+
+import (
+	"testing"
+
+	"road/internal/analysis/analysistest"
+	"road/internal/analysis/errwire"
+)
+
+func TestErrWire(t *testing.T) {
+	analysistest.Run(t, "testdata/src", errwire.Analyzer, "wire", "wirebad", "road")
+}

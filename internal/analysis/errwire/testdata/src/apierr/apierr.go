@@ -1,0 +1,14 @@
+// Package apierr is the errwire fixture's sentinel package, mirroring
+// the real internal/apierr leaf.
+package apierr
+
+import "errors"
+
+var (
+	// ErrAlpha is a fixture sentinel.
+	ErrAlpha = errors.New("alpha")
+	// ErrBeta is a fixture sentinel.
+	ErrBeta = errors.New("beta")
+	// ErrGamma is a fixture sentinel the bad wire table forgets.
+	ErrGamma = errors.New("gamma")
+)

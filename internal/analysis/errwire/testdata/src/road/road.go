@@ -1,0 +1,41 @@
+// Package road is the errwire fixture for the public-surface rule: no
+// untyped error may escape a Store method.
+package road
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is the fixture sentinel methods should wrap.
+var ErrBad = errors.New("bad request")
+
+// DB stands in for the real road.DB.
+type DB struct{}
+
+// Lookup wraps the sentinel — clean.
+func (db *DB) Lookup(id int) error {
+	if id < 0 {
+		return fmt.Errorf("road: id %d: %w", id, ErrBad)
+	}
+	return nil
+}
+
+// NakedNew constructs an untyped error on the Store surface.
+func (db *DB) NakedNew() error {
+	return errors.New("something went wrong") // want `errors.New on the Store surface`
+}
+
+// NakedErrorf formats without wrapping.
+func (db *DB) NakedErrorf(id int) error {
+	return fmt.Errorf("road: id %d is broken", id) // want `fmt.Errorf without %w on the Store surface`
+}
+
+// Open is a package function, not a Store method: config errors at the
+// module boundary may stay untyped.
+func Open(path string) error {
+	if path == "" {
+		return errors.New("road: empty path")
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+// Package wire is the clean errwire fixture: a complete, unambiguous
+// translation table.
+package wire
+
+import (
+	"errors"
+
+	"apierr"
+)
+
+// ErrLocal is a package-local sentinel; non-apierr sentinels may appear
+// in the table freely.
+var ErrLocal = errors.New("local")
+
+var wireCodes = []struct {
+	err  error
+	code string
+}{
+	{apierr.ErrAlpha, "alpha"},
+	{apierr.ErrBeta, "beta_2"},
+	{apierr.ErrGamma, "gamma"},
+	{ErrLocal, "local"},
+}
+
+var _ = wireCodes

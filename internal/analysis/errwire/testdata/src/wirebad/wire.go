@@ -1,0 +1,18 @@
+// Package wirebad is the flagged errwire fixture: every way a wire
+// table can rot.
+package wirebad
+
+import "apierr"
+
+var wireCodes = []struct { // want `apierr sentinel ErrGamma has no wire code`
+	err  error
+	code string
+}{
+	{apierr.ErrAlpha, "alpha"},
+	{apierr.ErrAlpha, "alpha_again"}, // want `sentinel apierr.ErrAlpha has more than one wire code`
+	{apierr.ErrBeta, "alpha"},        // want `wire code "alpha" assigned to more than one sentinel`
+	{apierr.ErrBeta, "NotSnake"},     // want `sentinel apierr.ErrBeta has more than one wire code` `wire code "NotSnake" is not lower snake_case`
+	{apierr.ErrBeta, "error"},        // want `sentinel apierr.ErrBeta has more than one wire code` `wire code "error" is reserved`
+}
+
+var _ = wireCodes

@@ -1,0 +1,69 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"road/internal/analysis"
+)
+
+// flagCalls reports every call to a function literal-named "flagme" — a
+// minimal analyzer used to probe the suppression machinery itself.
+var flagCalls = &analysis.Analyzer{
+	Name: "flagcalls",
+	Doc:  "test analyzer: flags calls to flagme",
+	Run: func(p *analysis.Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "flagme" {
+					p.Reportf(call.Pos(), "call to flagme")
+				}
+				return true
+			})
+		}
+	},
+}
+
+// TestIgnoreDirective pins the escape-hatch contract: a directive with a
+// reason suppresses the finding on its line and records the reason; a
+// bare directive suppresses nothing and is itself a finding, so every
+// suppression in the tree must say why.
+func TestIgnoreDirective(t *testing.T) {
+	pkg, err := analysis.LoadFixture("testdata/src", "ignorefix")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{flagCalls})
+
+	var suppressed, active, ignoreFindings int
+	var reason string
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "ignore":
+			ignoreFindings++
+		case d.Suppressed:
+			suppressed++
+			reason = d.IgnoreReason
+		default:
+			active++
+		}
+	}
+	if suppressed != 1 {
+		t.Errorf("suppressed findings = %d, want 1 (the directive with a reason)", suppressed)
+	}
+	if want := "exercised by TestIgnoreDirective"; reason != want {
+		t.Errorf("IgnoreReason = %q, want %q", reason, want)
+	}
+	// The bare directive must not suppress its line, so both the
+	// bareDirective and unsuppressed calls stay active.
+	if active != 2 {
+		t.Errorf("active findings = %d, want 2 (bare directive must not suppress)", active)
+	}
+	if ignoreFindings != 1 {
+		t.Errorf("empty-reason directive findings = %d, want 1: //roadvet:ignore requires a reason", ignoreFindings)
+	}
+}

@@ -1,0 +1,12 @@
+package journalorder_test
+
+import (
+	"testing"
+
+	"road/internal/analysis/analysistest"
+	"road/internal/analysis/journalorder"
+)
+
+func TestJournalOrder(t *testing.T) {
+	analysistest.Run(t, "testdata/src", journalorder.Analyzer, "mutator")
+}

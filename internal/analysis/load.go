@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, parsed and type-checked package, ready for
+// analyzers.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// newInfo allocates the types.Info maps every analyzer relies on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -export -deps -json` in dir over patterns and
+// returns the decoded package stream. -export populates each package's
+// compiled export data from the build cache, which is what lets the
+// loader type-check offline without compiling dependencies itself.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,CgoFiles,Export,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v: %s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup builds the gc-importer lookup over an import-path →
+// export-file map.
+func exportLookup(exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+}
+
+// checkFiles parses and type-checks one package from source, resolving
+// imports through imp.
+func checkFiles(fset *token.FileSet, importPath, dir string, fileNames []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		af, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		files = append(files, af)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		PkgPath: importPath,
+		Dir:     dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// Load lists patterns in module directory dir (e.g. "./..."), and
+// returns every matched non-dep package parsed and type-checked.
+// Dependencies are imported from compiled export data, so only the
+// matched packages themselves are re-checked from source.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []*listPkg
+	for _, p := range listed {
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("loading %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			if len(p.CgoFiles) > 0 {
+				return nil, fmt.Errorf("loading %s: cgo packages are not supported", p.ImportPath)
+			}
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	var out []*Package
+	for _, p := range targets {
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkFiles(fset, p.ImportPath, p.Dir, p.GoFiles, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// fixtureImporter resolves a fixture package's imports: paths that exist
+// as sibling directories under the testdata/src root are type-checked
+// from source (recursively, cached); everything else is expected to be
+// standard library and resolved from export data.
+type fixtureImporter struct {
+	root    string // testdata/src
+	fset    *token.FileSet
+	std     types.Importer
+	checked map[string]*Package
+	loading map[string]bool
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := fi.checked[path]; ok {
+		return pkg.Types, nil
+	}
+	dir := filepath.Join(fi.root, path)
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		pkg, err := fi.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return fi.std.Import(path)
+}
+
+func (fi *fixtureImporter) load(path, dir string) (*Package, error) {
+	if fi.loading[path] {
+		return nil, fmt.Errorf("import cycle through fixture %q", path)
+	}
+	fi.loading[path] = true
+	defer delete(fi.loading, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fixture %q has no .go files", path)
+	}
+	pkg, err := checkFiles(fi.fset, path, dir, names, fi)
+	if err != nil {
+		return nil, err
+	}
+	fi.checked[path] = pkg
+	return pkg, nil
+}
+
+// LoadFixture loads the fixture package at <srcRoot>/<path> (and,
+// transitively, fixture packages it imports from the same root).
+// Standard-library imports come from `go list -export` data, so fixture
+// loading works offline exactly like real-tree loading.
+func LoadFixture(srcRoot, path string) (*Package, error) {
+	fset := token.NewFileSet()
+	// One `go list` over std resolves every stdlib import any fixture
+	// makes; the build cache makes repeat runs cheap.
+	listed, err := goList(srcRoot, []string{"std"})
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fi := &fixtureImporter{
+		root:    srcRoot,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "gc", exportLookup(exports)),
+		checked: make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	return fi.load(path, filepath.Join(srcRoot, path))
+}
+
+// LoadFromParts type-checks one package from an explicit file list with
+// imports resolved through an import-path → export-file map (after
+// applying importMap renames). This is the entry point for the
+// `go vet -vettool` unitchecker protocol, where cmd/go supplies both
+// maps in the .cfg file.
+func LoadFromParts(importPath, dir string, goFiles []string, importMap, packageFile map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		f, ok := packageFile[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	return checkFiles(fset, importPath, dir, goFiles, imp)
+}

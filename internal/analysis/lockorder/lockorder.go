@@ -1,0 +1,391 @@
+// Package lockorder enforces the router's documented lock hierarchy
+// (internal/shard/DESIGN.md):
+//
+//	writeMu → shardMu[i] (ascending when several) → metaMu
+//
+// A function may only acquire locks in increasing hierarchy rank: taking
+// writeMu or a shard lock while holding metaMu, or writeMu while holding
+// a shard lock, is an inversion that can deadlock against the documented
+// path — exactly the class of bug the PR-3 hardening pass fixed by hand.
+// The check is a forward walk over each function body tracking the held
+// set (defer-released locks stay held to function end), plus a
+// transitive call summary so an inversion hidden behind a same-package
+// helper call is still caught.
+//
+// Repeated acquisitions of shardMu are allowed (the router takes them in
+// ascending index order); re-acquiring writeMu or metaMu is self-
+// deadlock and flagged.
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+	"math"
+
+	"road/internal/analysis"
+)
+
+// rank orders the hierarchy: locks must be acquired in increasing rank.
+var rank = map[string]int{
+	"writeMu": 0,
+	"shardMu": 1,
+	"metaMu":  2,
+}
+
+// Analyzer is the lockorder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "enforce the writeMu → shardMu[i] → metaMu acquisition order documented in internal/shard/DESIGN.md, " +
+		"including through same-package helper calls",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) {
+	// Pass 1: per-function direct summaries (min rank acquired, callees)
+	// and the declarations to walk.
+	sums := map[*types.Func]*summary{}
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.IsTestFile(fd.Pos()) {
+				continue
+			}
+			decls = append(decls, fd)
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				sums[obj] = summarize(pass, fd)
+			}
+		}
+	}
+	// Pass 2: propagate min-acquired rank through same-package calls to
+	// a fixpoint, so w.minAcq reflects transitive acquisitions.
+	for changed := true; changed; {
+		changed = false
+		for _, s := range sums {
+			for callee := range s.calls {
+				cs, ok := sums[callee]
+				if ok && cs.minAcq < s.minAcq {
+					s.minAcq = cs.minAcq
+					changed = true
+				}
+			}
+		}
+	}
+	// Pass 3: walk each body tracking the held set.
+	for _, fd := range decls {
+		w := &walker{pass: pass, sums: sums}
+		w.stmts(fd.Body.List, map[string]bool{})
+	}
+}
+
+// summary is one function's lock footprint: the minimum hierarchy rank
+// it (transitively) acquires, and the same-package functions it calls.
+type summary struct {
+	minAcq int
+	calls  map[*types.Func]bool
+}
+
+func summarize(pass *analysis.Pass, fd *ast.FuncDecl) *summary {
+	s := &summary{minAcq: math.MaxInt, calls: map[*types.Func]bool{}}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, acquire := lockEvent(call); acquire {
+			if r, ok := rank[name]; ok && r < s.minAcq {
+				s.minAcq = r
+			}
+			return true
+		}
+		if callee := calleeFunc(pass, call); callee != nil && callee.Pkg() == pass.Pkg {
+			s.calls[callee] = true
+		}
+		return true
+	})
+	return s
+}
+
+// lockEvent classifies call as a Lock/RLock (acquire=true) or
+// Unlock/RUnlock (acquire=false) on a tracked mutex and returns the
+// mutex's hierarchy name. The name is the last field in the receiver
+// chain: r.shardMu[i].RLock() → "shardMu".
+func lockEvent(call *ast.CallExpr) (name string, acquire bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return "", false
+	}
+	recv := sel.X
+	if ix, ok := recv.(*ast.IndexExpr); ok {
+		recv = ix.X
+	}
+	switch x := recv.(type) {
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	case *ast.Ident:
+		name = x.Name
+	default:
+		return "", false
+	}
+	if _, tracked := rank[name]; !tracked {
+		return "", false
+	}
+	return name, acquire
+}
+
+// calleeFunc resolves a call to its *types.Func, or nil for builtins,
+// conversions and dynamic calls.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// walker tracks the held-lock set through one function body. The walk
+// is a forward pass: sequential statements thread one held set; if/
+// switch branches get copies and fall-through results are intersected;
+// loop bodies get copies whose acquisitions are unioned back (the
+// lock-all/unlock-all loops in router.go acquire across iterations).
+type walker struct {
+	pass *analysis.Pass
+	sums map[*types.Func]*summary
+}
+
+func maxHeld(held map[string]bool) (string, int) {
+	name, r := "", -1
+	for h, on := range held {
+		if on && rank[h] > r {
+			name, r = h, rank[h]
+		}
+	}
+	return name, r
+}
+
+// event applies one lock/unlock/call event to the held set, reporting
+// inversions.
+func (w *walker) event(call *ast.CallExpr, held map[string]bool) {
+	if name, acquire := lockEvent(call); name != "" {
+		if !acquire {
+			delete(held, name)
+			return
+		}
+		hName, hRank := maxHeld(held)
+		if hRank > rank[name] {
+			w.pass.Reportf(call.Pos(), "acquires %s while holding %s: lock order is writeMu → shardMu[i] → metaMu (internal/shard/DESIGN.md)", name, hName)
+		} else if held[name] && name != "shardMu" {
+			w.pass.Reportf(call.Pos(), "reacquires %s already held: self-deadlock", name)
+		}
+		held[name] = true
+		return
+	}
+	callee := calleeFunc(w.pass, call)
+	if callee == nil || callee.Pkg() != w.pass.Pkg {
+		return
+	}
+	if s, ok := w.sums[callee]; ok && s.minAcq != math.MaxInt {
+		if hName, hRank := maxHeld(held); hRank > s.minAcq {
+			w.pass.Reportf(call.Pos(), "calls %s (which acquires a rank-%d lock) while holding %s: lock order is writeMu → shardMu[i] → metaMu", callee.Name(), s.minAcq, hName)
+		}
+	}
+}
+
+// stmtEvents applies every lock-relevant call in one statement, in
+// source order, skipping function literals (they run later, with their
+// own held set) and deferred calls (handled by the caller).
+func (w *walker) stmtEvents(n ast.Node, held map[string]bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			w.stmts(x.Body.List, map[string]bool{})
+			return false
+		case *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			w.event(x, held)
+		}
+		return true
+	})
+}
+
+// terminal reports whether a statement list definitely leaves the
+// function (return or panic as its last statement), so its branch
+// result does not constrain the post-branch held set.
+func terminal(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch s := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		if v {
+			c[k] = true
+		}
+	}
+	return c
+}
+
+// merge intersects the fall-through branch results into held.
+func merge(held map[string]bool, results []map[string]bool) {
+	if len(results) == 0 {
+		return
+	}
+	for k := range rank {
+		all := true
+		for _, r := range results {
+			if !r[k] {
+				all = false
+				break
+			}
+		}
+		if all {
+			held[k] = true
+		} else if !held[k] {
+			delete(held, k)
+		} else {
+			// Held before the branch and released on some path: assume
+			// released (under-approximating avoids false inversions).
+			delete(held, k)
+		}
+	}
+}
+
+func (w *walker) stmts(stmts []ast.Stmt, held map[string]bool) {
+	for _, st := range stmts {
+		w.stmt(st, held)
+	}
+}
+
+func (w *walker) stmt(st ast.Stmt, held map[string]bool) {
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		w.stmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmtEvents(s.Init, held)
+		}
+		w.stmtEvents(s.Cond, held)
+		var results []map[string]bool
+		thenHeld := copyHeld(held)
+		w.stmts(s.Body.List, thenHeld)
+		if !terminal(s.Body.List) {
+			results = append(results, thenHeld)
+		}
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseHeld := copyHeld(held)
+			w.stmts(e.List, elseHeld)
+			if !terminal(e.List) {
+				results = append(results, elseHeld)
+			}
+		case *ast.IfStmt:
+			elseHeld := copyHeld(held)
+			w.stmt(e, elseHeld)
+			results = append(results, elseHeld)
+		case nil:
+			results = append(results, copyHeld(held))
+		}
+		merge(held, results)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmtEvents(s.Init, held)
+		}
+		body := copyHeld(held)
+		w.stmts(s.Body.List, body)
+		// Acquisitions survive the loop (the router's lock-all loops);
+		// releases inside one iteration are iteration-local.
+		for k, v := range body {
+			if v {
+				held[k] = true
+			}
+		}
+	case *ast.RangeStmt:
+		body := copyHeld(held)
+		w.stmts(s.Body.List, body)
+		for k, v := range body {
+			if v {
+				held[k] = true
+			}
+		}
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var results []map[string]bool
+		body := switchBody(st)
+		for _, cl := range body {
+			clHeld := copyHeld(held)
+			w.stmts(caseBody(cl), clHeld)
+			if !terminal(caseBody(cl)) {
+				results = append(results, clHeld)
+			}
+		}
+		results = append(results, copyHeld(held)) // no case taken / default absent
+		merge(held, results)
+	case *ast.DeferStmt:
+		// A deferred unlock releases at return: the lock stays held for
+		// the rest of the walk, which is exactly what we want. A deferred
+		// anything-else is not executed here.
+		if _, acquire := lockEvent(s.Call); acquire {
+			w.event(s.Call, held) // defer x.Lock() — almost surely a bug; check it anyway
+		}
+	case *ast.GoStmt:
+		// The goroutine starts with its own empty held set.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, map[string]bool{})
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	default:
+		if st != nil {
+			w.stmtEvents(st, held)
+		}
+	}
+}
+
+func switchBody(st ast.Stmt) []ast.Stmt {
+	switch s := st.(type) {
+	case *ast.SwitchStmt:
+		return s.Body.List
+	case *ast.TypeSwitchStmt:
+		return s.Body.List
+	case *ast.SelectStmt:
+		return s.Body.List
+	}
+	return nil
+}
+
+func caseBody(cl ast.Stmt) []ast.Stmt {
+	switch c := cl.(type) {
+	case *ast.CaseClause:
+		return c.Body
+	case *ast.CommClause:
+		return c.Body
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+// Package locks is the lockorder fixture: a miniature of the shard
+// router's lock layout with both clean acquisitions (the documented
+// writeMu → shardMu[i] → metaMu order) and seeded inversions.
+package locks
+
+import "sync"
+
+type router struct {
+	writeMu sync.Mutex
+	shardMu []sync.RWMutex
+	metaMu  sync.RWMutex
+}
+
+// cleanMutate follows the documented order exactly.
+func (r *router) cleanMutate(sid int) {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	r.shardMu[sid].Lock()
+	defer r.shardMu[sid].Unlock()
+	r.metaMu.Lock()
+	r.metaMu.Unlock()
+}
+
+// cleanExclusive locks every shard after writeMu, ascending — the
+// router's Exclusive pattern.
+func (r *router) cleanExclusive() {
+	r.writeMu.Lock()
+	for i := range r.shardMu {
+		r.shardMu[i].Lock()
+	}
+	for i := range r.shardMu {
+		r.shardMu[i].Unlock()
+	}
+	r.writeMu.Unlock()
+}
+
+// cleanSequential releases metaMu before taking a shard lock, so no
+// inversion exists even though metaMu is touched first.
+func (r *router) cleanSequential(sid int) {
+	r.metaMu.RLock()
+	r.metaMu.RUnlock()
+	r.shardMu[sid].RLock()
+	r.shardMu[sid].RUnlock()
+}
+
+// invertedShardUnderMeta takes a shard lock while still holding metaMu —
+// the seeded inversion the analyzer exists to catch.
+func (r *router) invertedShardUnderMeta(sid int) {
+	r.metaMu.RLock()
+	defer r.metaMu.RUnlock()
+	r.shardMu[sid].RLock() // want `acquires shardMu while holding metaMu`
+	r.shardMu[sid].RUnlock()
+}
+
+// invertedWriteUnderShard acquires writeMu after a shard lock.
+func (r *router) invertedWriteUnderShard(sid int) {
+	r.shardMu[sid].Lock()
+	r.writeMu.Lock() // want `acquires writeMu while holding shardMu`
+	r.writeMu.Unlock()
+	r.shardMu[sid].Unlock()
+}
+
+// selfDeadlock reacquires a non-shard lock it already holds.
+func (r *router) selfDeadlock() {
+	r.writeMu.Lock()
+	r.writeMu.Lock() // want `reacquires writeMu already held`
+	r.writeMu.Unlock()
+}
+
+// lockMeta is a helper whose acquisition must be visible to callers.
+func (r *router) lockMeta() {
+	r.metaMu.RLock()
+	r.metaMu.RUnlock()
+}
+
+// lockShard acquires a shard lock; calling it under metaMu is an
+// inversion even though the acquisition is one call away.
+func (r *router) lockShard(sid int) {
+	r.shardMu[sid].RLock()
+	r.shardMu[sid].RUnlock()
+}
+
+// indirectClean: helper acquires a HIGHER rank than held — fine.
+func (r *router) indirectClean(sid int) {
+	r.shardMu[sid].RLock()
+	r.lockMeta()
+	r.shardMu[sid].RUnlock()
+}
+
+// indirectInversion: the shard lock hides behind a call.
+func (r *router) indirectInversion(sid int) {
+	r.metaMu.RLock()
+	r.lockShard(sid) // want `calls lockShard .* while holding metaMu`
+	r.metaMu.RUnlock()
+}
+
+// branchRelease unlocks on the error path before escalating — clean.
+func (r *router) branchRelease(sid int, bad bool) {
+	r.metaMu.RLock()
+	if bad {
+		r.metaMu.RUnlock()
+		return
+	}
+	r.metaMu.RUnlock()
+	r.shardMu[sid].RLock()
+	r.shardMu[sid].RUnlock()
+}

@@ -1,0 +1,168 @@
+// Package obsnames keeps the observability surface mechanically
+// consistent:
+//
+//   - Metric names registered on an obs.Registry are compile-time
+//     constants matching road_[a-z0-9_]+, and constant label strings use
+//     lower snake_case keys — so every series the fleet exports shares
+//     one grep-able namespace with bounded label keys.
+//   - Registration happens in constructor/init contexts (New*, Open*,
+//     Connect*, Register, init), never on the request path: the registry
+//     takes a lock per registration, and per-request registration is how
+//     unbounded series are born.
+//   - Trace leg names are drawn from the obs.LegName vocabulary
+//     constants, never ad-hoc string literals, so router legs and
+//     host legs cannot drift apart (the cross-process trace stitching
+//     of PR 8 joins on these names).
+package obsnames
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+
+	"road/internal/analysis"
+)
+
+// Analyzer is the obsnames check.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsnames",
+	Doc: "metric names are road_[a-z0-9_]+ constants registered at init, label keys are bounded snake_case, " +
+		"and trace leg names come from the obs.LegName vocabulary",
+	Run: run,
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^road_[a-z0-9_]+$`)
+	labelKeyRe   = regexp.MustCompile(`(^|,)\s*([A-Za-z0-9_]+)=`)
+	snakeKeyRe   = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+	// initContextRe matches function names allowed to register metrics.
+	initContextRe = regexp.MustCompile(`^(New|new|Open|open|Connect|connect|Register|register|init|Init)`)
+)
+
+// registration methods on a type named Registry, with the index of the
+// labels argument (-1 for none).
+var regMethods = map[string]int{
+	"Counter":      1,
+	"Gauge":        1,
+	"Histogram":    1,
+	"CollectorVec": -1,
+}
+
+func run(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				name := d.Name.Name
+				ast.Inspect(d.Body, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						checkRegistration(pass, call, name)
+					}
+					checkLegName(pass, n)
+					return true
+				})
+			case *ast.GenDecl:
+				// Package-level var initializers are init context by
+				// definition; still validate names and leg vocabulary.
+				ast.Inspect(d, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						checkRegistration(pass, call, "init")
+					}
+					checkLegName(pass, n)
+					return true
+				})
+			}
+		}
+	}
+}
+
+// isRegistryMethod reports whether call is a registration method on a
+// type named Registry, returning the labels-argument index.
+func isRegistryMethod(pass *analysis.Pass, call *ast.CallExpr) (labelsArg int, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return 0, false
+	}
+	labelsArg, isReg := regMethods[sel.Sel.Name]
+	if !isReg {
+		return 0, false
+	}
+	selection, isMethod := pass.Info.Selections[sel]
+	if !isMethod {
+		return 0, false
+	}
+	recv := selection.Recv()
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	named, isNamed := recv.(*types.Named)
+	if !isNamed || named.Obj().Name() != "Registry" {
+		return 0, false
+	}
+	return labelsArg, true
+}
+
+func checkRegistration(pass *analysis.Pass, call *ast.CallExpr, enclosing string) {
+	labelsArg, ok := isRegistryMethod(pass, call)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	if !initContextRe.MatchString(enclosing) {
+		pass.Reportf(call.Pos(), "metric registered inside %s: registration belongs in a constructor or init, not the request path", enclosing)
+	}
+	name, isConst := constString(pass, call.Args[0])
+	switch {
+	case !isConst:
+		pass.Reportf(call.Args[0].Pos(), "metric name must be a compile-time constant so the exported namespace is auditable")
+	case !metricNameRe.MatchString(name):
+		pass.Reportf(call.Args[0].Pos(), "metric name %q does not match road_[a-z0-9_]+: all fleet series share the road_ namespace", name)
+	}
+	if labelsArg > 0 && labelsArg < len(call.Args) {
+		if labels, isConst := constString(pass, call.Args[labelsArg]); isConst && labels != "" {
+			for _, m := range labelKeyRe.FindAllStringSubmatch(labels, -1) {
+				if !snakeKeyRe.MatchString(m[2]) {
+					pass.Reportf(call.Args[labelsArg].Pos(), "label key %q is not lower snake_case", m[2])
+				}
+			}
+		}
+	}
+}
+
+// checkLegName flags untyped string literals flowing into obs.LegName:
+// every leg name must reference a declared vocabulary constant, so the
+// set of leg names stays closed and greppable in one place.
+func checkLegName(pass *analysis.Pass, n ast.Node) {
+	lit, ok := n.(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	tv, ok := pass.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Name() != "LegName" {
+		return
+	}
+	// The vocabulary declaration itself (const block in the defining
+	// package) is the one legitimate literal site.
+	if pass.Pkg == named.Obj().Pkg() {
+		return
+	}
+	pass.Reportf(lit.Pos(), "trace leg name %s must be a declared obs.Leg* vocabulary constant, not an ad-hoc literal: router and host legs join on these names", lit.Value)
+}
+
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,12 @@
+package obsnames_test
+
+import (
+	"testing"
+
+	"road/internal/analysis/analysistest"
+	"road/internal/analysis/obsnames"
+)
+
+func TestObsNames(t *testing.T) {
+	analysistest.Run(t, "testdata/src", obsnames.Analyzer, "metrics")
+}

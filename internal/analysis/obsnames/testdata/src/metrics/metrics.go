@@ -1,0 +1,37 @@
+// Package metrics is the flagged+clean obsnames fixture.
+package metrics
+
+import "obs"
+
+type server struct {
+	reqs *int
+}
+
+// newMetrics registers in a constructor — the clean context.
+func newMetrics(reg *obs.Registry) *server {
+	s := &server{}
+	s.reqs = reg.Counter("road_requests_total", `endpoint="knn"`, "Requests served.")
+	reg.Gauge("road_uptime_seconds", "", "Uptime.", func() float64 { return 0 })
+	reg.Counter("requests_total", "", "Missing namespace.")         // want `metric name "requests_total" does not match road_`
+	reg.Counter("road_bad_labels_total", `Endpoint="knn"`, "Help.") // want `label key "Endpoint" is not lower snake_case`
+	name := dynamicName()
+	reg.Counter(name, "", "Dynamic.") // want `metric name must be a compile-time constant`
+	return s
+}
+
+func dynamicName() string { return "road_dynamic_total" }
+
+// handleRequest registers on the request path — flagged regardless of
+// the name being well-formed.
+func handleRequest(reg *obs.Registry) {
+	reg.Counter("road_lazy_total", "", "Registered per-request.") // want `metric registered inside handleRequest`
+}
+
+// trace exercises the leg vocabulary rule.
+func trace(t *obs.Trace) {
+	done := t.StartLeg(obs.LegSearch, -1) // vocabulary constant — clean
+	done(0)
+	t.StartLeg("adhoc", -1) // want `trace leg name "adhoc" must be a declared obs\.Leg\* vocabulary constant`
+	_ = obs.Leg{Name: obs.LegGateway}
+	_ = obs.Leg{Name: "drifted"} // want `trace leg name "drifted" must be a declared obs\.Leg\* vocabulary constant`
+}

@@ -1,0 +1,41 @@
+// Package obs is the obsnames fixture's miniature observability layer:
+// a Registry with the real registration surface and the LegName
+// vocabulary type. The analyzer matches on the type names Registry and
+// LegName, so this fixture exercises exactly the real contract.
+package obs
+
+// Registry mirrors the real obs.Registry registration surface.
+type Registry struct{}
+
+// Counter registers a counter.
+func (r *Registry) Counter(name, labels, help string) *int { return new(int) }
+
+// Gauge registers a gauge.
+func (r *Registry) Gauge(name, labels, help string, fn func() float64) {}
+
+// Histogram registers a histogram.
+func (r *Registry) Histogram(name, labels, help string, bounds []float64) *int { return new(int) }
+
+// CollectorVec registers a scrape-time family.
+func (r *Registry) CollectorVec(name, typ, help string, collect func() []float64) {}
+
+// LegName is the trace-leg vocabulary type; the constants below are its
+// only legitimate literal values.
+type LegName string
+
+// The declared vocabulary.
+const (
+	LegSearch  LegName = "search"
+	LegGateway LegName = "gateway"
+)
+
+// Leg is one timed phase.
+type Leg struct {
+	Name LegName
+}
+
+// Trace accumulates legs.
+type Trace struct{}
+
+// StartLeg begins timing a named leg.
+func (t *Trace) StartLeg(name LegName, shard int) func(int) { return func(int) {} }

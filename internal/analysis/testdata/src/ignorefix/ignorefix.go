@@ -1,0 +1,19 @@
+// Package ignorefix exercises the //roadvet:ignore escape hatch: a
+// suppression with a reason, a bare directive (itself a finding), and an
+// unsuppressed call.
+package ignorefix
+
+func flagme() {}
+
+func withReason() {
+	flagme() //roadvet:ignore exercised by TestIgnoreDirective
+}
+
+func bareDirective() {
+	//roadvet:ignore
+	flagme()
+}
+
+func unsuppressed() {
+	flagme()
+}

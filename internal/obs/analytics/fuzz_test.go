@@ -1,0 +1,49 @@
+package analytics
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"road/internal/obs"
+)
+
+// FuzzScanReader feeds arbitrary bytes through the query-log scanner:
+// whatever ends up in a JSONL segment — torn writes, truncation,
+// garbage — the scan must not panic, must never surface a record
+// without an op, and must account for every non-empty line as either
+// parsed or malformed. The only error it may return is the scanner's
+// own line-too-long guard.
+func FuzzScanReader(f *testing.F) {
+	f.Add([]byte(`{"ts":"2026-08-07T12:00:00.000000001Z","id":"3fa9c1d2-000042","op":"knn","node":7,"home":0,"k":5,"pops":120,"results":5,"duration_us":830}`))
+	f.Add([]byte("{\"op\":\"within\",\"node\":1,\"home\":-1,\"radius\":2.5,\"pops\":9,\"results\":0,\"duration_us\":77}\n{\"op\":\"path\",\"node\":3,\"home\":1,\"pops\":44,\"results\":1,\"duration_us\":910}\n"))
+	f.Add([]byte("\n\n{\"op\":\"batch\",\"node\":0,\"home\":0,\"pops\":1,\"results\":1,\"duration_us\":1}\n{\"op\":\"knn\",\"node\":2,\"ho"))
+	f.Add([]byte(`{"ts":"x","node":1}`))
+	f.Add([]byte("not json at all\r\n\r\n{}"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var parsed int64
+		malformed, err := ScanReader(bytes.NewReader(data), func(rec obs.QueryRecord) {
+			parsed++
+			if rec.Op == "" {
+				t.Error("callback received a record with empty op")
+			}
+		})
+		if err != nil {
+			if !errors.Is(err, bufio.ErrTooLong) {
+				t.Fatalf("ScanReader returned %v; only bufio.ErrTooLong is a legal read error here", err)
+			}
+			return
+		}
+		var nonEmpty int64
+		for _, line := range strings.Split(string(data), "\n") {
+			if len(strings.TrimSuffix(line, "\r")) > 0 {
+				nonEmpty++
+			}
+		}
+		if parsed+malformed != nonEmpty {
+			t.Fatalf("%d parsed + %d malformed != %d non-empty lines: scan dropped lines silently", parsed, malformed, nonEmpty)
+		}
+	})
+}

@@ -10,14 +10,51 @@ import (
 	"time"
 )
 
+// A LegName identifies one timed phase of a query. The Leg* constants
+// below are the complete vocabulary: dashboards, the query-log analyzer
+// and cross-process joins all key on these strings, so a new phase means
+// a new constant here — roadvet's obsnames analyzer rejects ad-hoc
+// literals elsewhere.
+type LegName string
+
+// The trace-leg vocabulary.
+const (
+	// LegSearch is the single-index (unsharded) search.
+	LegSearch LegName = "search"
+	// LegHomeFast is the sharded fast path: home-shard search under the
+	// shared read lock.
+	LegHomeFast LegName = "home_fast"
+	// LegHomeLocked is the escalated home re-run holding the write gate.
+	LegHomeLocked LegName = "home_locked"
+	// LegHomeWatched is the home re-run watched for epoch invalidation.
+	LegHomeWatched LegName = "home_watched"
+	// LegGateway is the cross-shard Dijkstra over border tables.
+	LegGateway LegName = "gateway"
+	// LegEnter is one foreign shard's entry search.
+	LegEnter LegName = "enter"
+	// LegPathLeg is one shard-local segment of path assembly.
+	LegPathLeg LegName = "path_leg"
+	// LegRPC is one client-side RPC hop to a shard host.
+	LegRPC LegName = "rpc"
+	// LegHostQueue is host-side time between accept and search start.
+	LegHostQueue LegName = "host_queue"
+	// LegHostSearch is a host-side shard search.
+	LegHostSearch LegName = "host_search"
+	// LegHostLeg is a host-side path-leg computation.
+	LegHostLeg LegName = "host_leg"
+	// LegHostJournal is a host-side journal append.
+	LegHostJournal LegName = "host_journal"
+	// LegHostApply is a host-side op apply.
+	LegHostApply LegName = "host_apply"
+)
+
 // A Leg is one timed phase of a query: the single-index search, the
 // sharded fast path, an escalated home re-run, the gateway Dijkstra
 // over border tables, or one per-shard entry/path leg. Legs are
 // recorded in completion order.
 type Leg struct {
-	// Name identifies the phase: "search", "home_fast", "home_locked",
-	// "home_watched", "gateway", "enter", "path_leg".
-	Name string `json:"name"`
+	// Name identifies the phase, from the LegName vocabulary above.
+	Name LegName `json:"name"`
 	// Shard is the shard the leg ran on, or -1 for phases that are not
 	// shard-local (the single-index search, the gateway run).
 	Shard int `json:"shard"`
@@ -74,7 +111,7 @@ var noopDone = func(int) {}
 
 // StartLeg starts timing a leg and returns a function that finishes
 // it with the leg's pop count. On a nil trace it is a no-op.
-func (t *Trace) StartLeg(name string, shard int) func(pops int) {
+func (t *Trace) StartLeg(name LegName, shard int) func(pops int) {
 	if t == nil {
 		return noopDone
 	}

@@ -171,7 +171,7 @@ func (s *Session) pathToLocked(from graph.NodeID, gid graph.ObjectID, lim core.L
 // untouched.
 func (s *Session) legCall(sid ID, req LegReq, stats *core.QueryStats, lim core.Limits) (LegResp, error) {
 	req.Budget = remainingBudget(lim, stats)
-	done := obs.FromContext(lim.Ctx).StartLeg("path_leg", int(sid))
+	done := obs.FromContext(lim.Ctx).StartLeg(obs.LegPathLeg, int(sid))
 	resp, err := s.q[sid].Leg(lim.Ctx, req)
 	stats.NodesPopped += resp.Pops
 	stats.ShardsSearched++

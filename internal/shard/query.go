@@ -129,7 +129,7 @@ func (m *merger) kth(k int) float64 {
 // searchShard runs one per-shard expansion through the shard's Searcher,
 // passing down whatever traversal budget the nodes already settled leave
 // over, timing it as a trace leg, and folding its stats into the query's.
-func (s *Session) searchShard(h ID, leg string, req SearchReq, lim core.Limits, stats *core.QueryStats) (SearchResp, error) {
+func (s *Session) searchShard(h ID, leg obs.LegName, req SearchReq, lim core.Limits, stats *core.QueryStats) (SearchResp, error) {
 	req.Budget = remainingBudget(lim, stats)
 	done := obs.FromContext(lim.Ctx).StartLeg(leg, int(h))
 	resp, err := s.q[h].Search(lim.Ctx, req)
@@ -239,7 +239,7 @@ func (s *Session) knnFast(h ID, from graph.NodeID, k int, attr int32, lim core.L
 	sh := s.r.shards[h]
 	sh.homeQueries.Add(1)
 	lf := sh.localNode[from]
-	resp, err := s.searchShard(h, "home_fast", SearchReq{Seeds: s.seed1(lf), Attr: attr, K: k}, lim, &stats)
+	resp, err := s.searchShard(h, obs.LegHomeFast, SearchReq{Seeds: s.seed1(lf), Attr: attr, K: k}, lim, &stats)
 	res := resp.Results
 	if err != nil {
 		return translateInPlace(sh, res), stats, err, true
@@ -262,7 +262,7 @@ func (s *Session) knnHomeLocked(h ID, from graph.NodeID, k int, attr int32, lim 
 	stats.NodesPopped = carried
 	sh := s.r.shards[h]
 	lf := sh.localNode[from]
-	resp, err := s.searchShard(h, "home_locked", SearchReq{Seeds: s.seed1(lf), Attr: attr, K: k}, lim, &stats)
+	resp, err := s.searchShard(h, obs.LegHomeLocked, SearchReq{Seeds: s.seed1(lf), Attr: attr, K: k}, lim, &stats)
 	res := resp.Results
 	if err != nil {
 		return translateInPlace(sh, res), stats, err
@@ -281,7 +281,7 @@ func (s *Session) knnHomeLocked(h ID, from graph.NodeID, k int, attr int32, lim 
 	if len(res) >= k {
 		stopAt = res[k-1].Dist * (1 + 1e-12)
 	}
-	wresp, err := s.searchShard(h, "home_watched",
+	wresp, err := s.searchShard(h, obs.LegHomeWatched,
 		SearchReq{Seeds: s.seed1(lf), Attr: attr, K: k, Radius: stopAt, Watch: true}, lim, &stats)
 	// The watched re-run revisits the SAME home shard (its pops are
 	// real cost and stay counted); only distinct shards entered count
@@ -334,7 +334,7 @@ func (s *Session) knnSlowMulti(homes []ID, from graph.NodeID, k int, attr int32,
 	for _, h := range homes {
 		sh := s.r.shards[h]
 		sh.homeQueries.Add(1)
-		resp, err := s.searchShard(h, "home_watched",
+		resp, err := s.searchShard(h, obs.LegHomeWatched,
 			SearchReq{Seeds: s.seed1(sh.localNode[from]), Attr: attr, K: k, Watch: true}, lim, &stats)
 		m.addFrom(sh, resp.Results)
 		if err != nil {
@@ -376,7 +376,7 @@ func (s *Session) knnFinish(k int, attr int32, stats core.QueryStats, lim core.L
 			stopAt = bound
 		}
 		sh.remoteEntries.Add(1)
-		resp, err := s.searchShard(en.id, "enter",
+		resp, err := s.searchShard(en.id, obs.LegEnter,
 			SearchReq{Seeds: seeds, Attr: attr, K: k, Radius: stopAt}, lim, &stats)
 		m.addFrom(sh, resp.Results)
 		if err != nil {
@@ -437,7 +437,7 @@ func (s *Session) withinFast(h ID, from graph.NodeID, radius float64, attr int32
 		return nil, stats, nil, false
 	}
 	sh.homeQueries.Add(1)
-	resp, err := s.searchShard(h, "home_fast",
+	resp, err := s.searchShard(h, obs.LegHomeFast,
 		SearchReq{Seeds: s.seed1(lf), Attr: attr, Radius: radius}, lim, &stats)
 	return translateInPlace(sh, resp.Results), stats, err, true
 }
@@ -452,11 +452,11 @@ func (s *Session) withinHomeLocked(h ID, from graph.NodeID, radius float64, attr
 	sh.homeQueries.Add(1)
 	lf := sh.localNode[from]
 	if sh.borderDist[lf] > radius {
-		resp, err := s.searchShard(h, "home_locked",
+		resp, err := s.searchShard(h, obs.LegHomeLocked,
 			SearchReq{Seeds: s.seed1(lf), Attr: attr, Radius: radius}, lim, &stats)
 		return translateInPlace(sh, resp.Results), stats, err
 	}
-	resp, err := s.searchShard(h, "home_watched",
+	resp, err := s.searchShard(h, obs.LegHomeWatched,
 		SearchReq{Seeds: s.seed1(lf), Attr: attr, Radius: radius, Watch: true}, lim, &stats)
 	res := resp.Results
 	if err != nil {
@@ -482,7 +482,7 @@ func (s *Session) withinSlowMulti(homes []ID, from graph.NodeID, radius float64,
 	for _, h := range homes {
 		sh := s.r.shards[h]
 		sh.homeQueries.Add(1)
-		resp, err := s.searchShard(h, "home_watched",
+		resp, err := s.searchShard(h, obs.LegHomeWatched,
 			SearchReq{Seeds: s.seed1(sh.localNode[from]), Attr: attr, Radius: radius, Watch: true}, lim, &stats)
 		m.addFrom(sh, resp.Results)
 		if err != nil {
@@ -514,7 +514,7 @@ func (s *Session) withinFinish(radius float64, attr int32, stats core.QueryStats
 			continue
 		}
 		sh.remoteEntries.Add(1)
-		resp, err := s.searchShard(en.id, "enter",
+		resp, err := s.searchShard(en.id, obs.LegEnter,
 			SearchReq{Seeds: seeds, Attr: attr, Radius: radius}, lim, &stats)
 		m.addFrom(sh, resp.Results)
 		if err != nil {
@@ -558,7 +558,7 @@ func (s *Session) gateway(cap float64, pred map[graph.NodeID]gatewayPred, lim co
 	}
 	pops := 0
 	if tr := obs.FromContext(lim.Ctx); tr != nil {
-		done := tr.StartLeg("gateway", -1)
+		done := tr.StartLeg(obs.LegGateway, -1)
 		defer func() { done(pops) }()
 	}
 	for s.gpq.Len() > 0 {

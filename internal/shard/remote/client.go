@@ -84,6 +84,7 @@ func (m *clientMetrics) rpcHist(host string) *obs.Histogram {
 	defer m.mu.Unlock()
 	h, ok := m.hists[host]
 	if !ok {
+		//roadvet:ignore memoized per-host family: registered once per host ever seen, and Registry dedupes by name+labels
 		h = m.reg.Histogram("road_remote_rpc_seconds", hostLabel(host),
 			"Shard RPC wall time (successful exchanges).", rpcHistBounds)
 		m.hists[host] = h
@@ -96,6 +97,7 @@ func (m *clientMetrics) errCounter(host string) *obs.Counter {
 	defer m.mu.Unlock()
 	c, ok := m.errs[host]
 	if !ok {
+		//roadvet:ignore memoized per-host family: registered once per host ever seen, and Registry dedupes by name+labels
 		c = m.reg.Counter("road_remote_errors_total", hostLabel(host),
 			"Shard RPC transport failures.")
 		m.errs[host] = c
@@ -283,6 +285,7 @@ func (c *HostClient) call(ctx context.Context, method, path string, body []byte,
 	// the in-process hot loop skips polling; the per-call timeout below
 	// still needs a parent.
 	if ctx == nil {
+		//roadvet:ignore nil means an unlimited core.Limits query: there is no caller context to sever, only a per-call timeout to anchor
 		ctx = context.Background()
 	}
 	if !opt.force && c.down.Load() {

@@ -36,6 +36,15 @@ type Fleet struct {
 	owners map[int]*HostClient // shard ID -> serving host
 	m      *clientMetrics
 
+	// lctx is the fleet's lifecycle context: derived from ConnectFleet's
+	// ctx with its cancellation severed (the connect deadline must not
+	// kill the health loops) and canceled by Close. Background RPCs the
+	// Store interface gives no per-call context for — health probes,
+	// re-adoption state fetches, interface-shaped Apply/Object — run
+	// under it so Close reliably unsticks them.
+	lctx   context.Context
+	cancel context.CancelFunc
+
 	stopc    chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -59,12 +68,21 @@ func ConnectFleet(ctx context.Context, addrs []string, cfg FleetConfig) (*Fleet,
 		cfg.Logf = log.Printf
 	}
 	m := newClientMetrics(cfg.Registry)
+	lctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
 	f := &Fleet{
 		cfg:    cfg,
 		owners: make(map[int]*HostClient),
 		m:      m,
+		lctx:   lctx,
+		cancel: cancel,
 		stopc:  make(chan struct{}),
 	}
+	connected := false
+	defer func() {
+		if !connected {
+			cancel()
+		}
+	}()
 	for _, addr := range addrs {
 		c := NewHostClient(addr, m)
 		hr, err := c.Health(ctx)
@@ -95,7 +113,7 @@ func ConnectFleet(ctx context.Context, addrs []string, cfg FleetConfig) (*Fleet,
 			return nil, fmt.Errorf("remote: shard %d state from %s: %w", id, c.Addr(), err)
 		}
 		states[id] = st
-		remotes[id] = &remoteShard{id: id, c: c}
+		remotes[id] = &remoteShard{id: id, c: c, lctx: lctx}
 	}
 	r, err := shard.AssembleRemote(states, remotes)
 	if err != nil {
@@ -116,8 +134,14 @@ func ConnectFleet(ctx context.Context, addrs []string, cfg FleetConfig) (*Fleet,
 		f.wg.Add(1)
 		go f.watch(c)
 	}
+	connected = true
 	return f, nil
 }
+
+// Context returns the fleet's lifecycle context: alive until Close,
+// carrying ConnectFleet's values but not its deadline. Use it for
+// background work on the fleet's behalf when no per-call context exists.
+func (f *Fleet) Context() context.Context { return f.lctx }
 
 // Router returns the assembled mirror router. Safe for the same
 // concurrent use as an in-process router.
@@ -197,10 +221,14 @@ func (f *Fleet) Snapshot(ctx context.Context) error {
 	return nil
 }
 
-// Close stops the health loops. In-flight RPCs finish on their own
-// timeouts.
+// Close stops the health loops and cancels the fleet's lifecycle
+// context; background RPCs abort, in-flight caller RPCs finish on their
+// own timeouts.
 func (f *Fleet) Close() {
-	f.stopOnce.Do(func() { close(f.stopc) })
+	f.stopOnce.Do(func() {
+		close(f.stopc)
+		f.cancel()
+	})
 	f.wg.Wait()
 }
 
@@ -219,7 +247,7 @@ func (f *Fleet) watch(c *HostClient) {
 			return
 		case <-t.C:
 		}
-		_, err := c.Health(context.Background())
+		_, err := c.Health(f.lctx)
 		if err != nil {
 			fails++
 			if fails >= f.cfg.DownAfter && !c.Down() {
@@ -250,7 +278,7 @@ func (f *Fleet) readopt(c *HostClient) error {
 	ids := f.ShardsOf(c)
 	states := make([]*shard.ShardState, 0, len(ids))
 	for _, id := range ids {
-		st, err := c.State(context.Background(), id)
+		st, err := c.State(f.lctx, id)
 		if err != nil {
 			return fmt.Errorf("shard %d state: %w", id, err)
 		}

@@ -1,0 +1,122 @@
+package remote
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"road/internal/shard"
+)
+
+// FuzzEnvelopeDecode throws arbitrary bytes at the client's envelope
+// path: whatever a host (or a middlebox mangling its response) sends,
+// decoding must not panic, an envelope error must surface as a non-nil
+// typed error, and a decoded known-code error must re-encode to the
+// same code — the property that keeps errors.Is stable across hops.
+func FuzzEnvelopeDecode(f *testing.F) {
+	f.Add([]byte(`{"resp":{"dists":[1.5,-1]},"compute_us":42}`))
+	f.Add([]byte(`{"err":"budget_exhausted","msg":"road: budget exhausted after 100 pops"}`))
+	f.Add([]byte(`{"resp":{"ids":[7]},"err":"canceled","msg":"partial"}`))
+	f.Add([]byte(`{"legs":[{"name":"host_search","shard":0,"duration_us":12,"pops":3}]}`))
+	f.Add([]byte(`{"err":"never_heard_of_it","msg":"future code"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var env envelope
+		if json.Unmarshal(data, &env) != nil {
+			return
+		}
+		var resp shard.SearchResp
+		err := decodeEnvelope(env, &resp)
+		if env.Err != "" && err == nil {
+			t.Fatalf("envelope err %q decoded to nil error", env.Err)
+		}
+		if err == nil {
+			return
+		}
+		code, msg := encodeErr(err)
+		for _, wc := range wireCodes {
+			if env.Err == wc.code {
+				if code != env.Err {
+					t.Fatalf("code %q re-encoded as %q", env.Err, code)
+				}
+				if !errors.Is(err, wc.err) {
+					t.Fatalf("code %q lost sentinel identity %v", env.Err, wc.err)
+				}
+				if msg != env.Msg {
+					t.Fatalf("message %q re-encoded as %q", env.Msg, msg)
+				}
+			}
+		}
+	})
+}
+
+// FuzzWireErrorRoundTrip pins the typed-error codec: decode never
+// returns nil, preserves the message byte-for-byte, restores sentinel
+// identity for known codes, and re-encodes to the original code (or
+// codeOther for unknown ones).
+func FuzzWireErrorRoundTrip(f *testing.F) {
+	for _, wc := range wireCodes {
+		f.Add(wc.code, wc.err.Error())
+	}
+	f.Add(codeOther, "opaque host failure")
+	f.Add("", "")
+	f.Add("no_such_code", "msg with \x00 and ☃")
+	f.Fuzz(func(t *testing.T, code, msg string) {
+		err := decodeErr(code, msg)
+		if err == nil {
+			t.Fatal("decodeErr returned nil")
+		}
+		if err.Error() != msg {
+			t.Fatalf("message %q decoded as %q", msg, err.Error())
+		}
+		code2, msg2 := encodeErr(err)
+		if msg2 != msg {
+			t.Fatalf("message %q re-encoded as %q", msg, msg2)
+		}
+		known := false
+		for _, wc := range wireCodes {
+			if code == wc.code {
+				known = true
+				if !errors.Is(err, wc.err) {
+					t.Fatalf("code %q did not restore sentinel %v", code, wc.err)
+				}
+			}
+		}
+		if known && code2 != code {
+			t.Fatalf("known code %q re-encoded as %q", code, code2)
+		}
+		if !known && code2 != codeOther {
+			t.Fatalf("unknown code %q re-encoded as %q, want %q", code, code2, codeOther)
+		}
+	})
+}
+
+// FuzzDistRoundTrip pins the ±Inf wire translation: every legal
+// distance (non-negative or +Inf) survives encode/decode exactly, the
+// encoded form is always JSON-representable, and the decoder is total —
+// any negative wire value means +Inf, never a negative distance.
+func FuzzDistRoundTrip(f *testing.F) {
+	f.Add(0.0)
+	f.Add(1.5)
+	f.Add(math.MaxFloat64)
+	f.Add(math.Inf(1))
+	f.Add(-1.0)
+	f.Add(-0.0)
+	f.Add(5e-324)
+	f.Fuzz(func(t *testing.T, v float64) {
+		if math.IsNaN(v) {
+			return
+		}
+		if v >= 0 || math.IsInf(v, 1) {
+			enc := encDist(v)
+			if math.IsInf(enc, 0) || math.IsNaN(enc) {
+				t.Fatalf("encDist(%v) = %v is not JSON-representable", v, enc)
+			}
+			if got := decDist(enc); got != v {
+				t.Fatalf("decDist(encDist(%v)) = %v", v, got)
+			}
+		} else if got := decDist(v); !math.IsInf(got, 1) {
+			t.Fatalf("decDist(%v) = %v, want +Inf (negative wire values all mean +Inf)", v, got)
+		}
+	})
+}

@@ -311,7 +311,7 @@ func (h *Host) shardOf(w http.ResponseWriter, r *http.Request) (*hostShard, int)
 func traced(r *http.Request) bool { return r.Header.Get(TraceHeader) != "" }
 
 // hostLeg builds one host-side trace leg.
-func hostLeg(name string, shard int, d time.Duration) obs.Leg {
+func hostLeg(name obs.LegName, shard int, d time.Duration) obs.Leg {
 	return obs.Leg{Name: name, Shard: shard, DurationUS: d.Microseconds()}
 }
 
@@ -412,10 +412,10 @@ func (h *Host) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	out := envelope{Resp: raw, ComputeUS: compute.Microseconds()}
 	if traced(r) {
-		searchLeg := hostLeg("host_search", id, compute)
+		searchLeg := hostLeg(obs.LegHostSearch, id, compute)
 		searchLeg.Pops = resp.Stats.NodesPopped
 		searchLeg.Reads = resp.Stats.IO.Reads
-		out.Legs = []obs.Leg{hostLeg("host_queue", id, queue), searchLeg}
+		out.Legs = []obs.Leg{hostLeg(obs.LegHostQueue, id, queue), searchLeg}
 	}
 	if env.err != nil {
 		out.Err, out.Msg = encodeErr(env.err)
@@ -448,9 +448,9 @@ func (h *Host) handleLeg(w http.ResponseWriter, r *http.Request) {
 	encLegResp(&resp)
 	var legs []obs.Leg
 	if traced(r) {
-		legLeg := hostLeg("host_leg", id, compute)
+		legLeg := hostLeg(obs.LegHostLeg, id, compute)
 		legLeg.Pops = resp.Pops
-		legs = []obs.Leg{hostLeg("host_queue", id, queue), legLeg}
+		legs = []obs.Leg{hostLeg(obs.LegHostQueue, id, queue), legLeg}
 	}
 	writeEnvelopeLegs(w, &resp, err, compute, legs)
 }
@@ -490,9 +490,9 @@ func (h *Host) handleApply(w http.ResponseWriter, r *http.Request) {
 	var legs []obs.Leg
 	if traced(r) {
 		legs = []obs.Leg{
-			hostLeg("host_queue", id, queue),
-			hostLeg("host_journal", id, journal),
-			hostLeg("host_apply", id, compute),
+			hostLeg(obs.LegHostQueue, id, queue),
+			hostLeg(obs.LegHostJournal, id, journal),
+			hostLeg(obs.LegHostApply, id, compute),
 		}
 	}
 	if err != nil {

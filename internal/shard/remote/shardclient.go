@@ -10,20 +10,24 @@ import (
 )
 
 // remoteShard implements shard.RemoteShard over a HostClient: the
-// router-side handle backing one mirror shard.
+// router-side handle backing one mirror shard. The interface methods
+// carry no context (the router calls them under its own locking), so
+// their RPCs run under the fleet's lifecycle context and abort when the
+// fleet closes.
 type remoteShard struct {
-	id int
-	c  *HostClient
+	id   int
+	c    *HostClient
+	lctx context.Context
 }
 
 func (rs *remoteShard) NewSearcher() shard.Searcher { return &remoteSearcher{rs: rs} }
 
 func (rs *remoteShard) Apply(op snapshot.Op) (shard.ApplyReply, error) {
-	return rs.c.Apply(context.Background(), rs.id, op)
+	return rs.c.Apply(rs.lctx, rs.id, op)
 }
 
 func (rs *remoteShard) Object(lo graph.ObjectID) (graph.Object, bool, error) {
-	return rs.c.Object(context.Background(), rs.id, lo)
+	return rs.c.Object(rs.lctx, rs.id, lo)
 }
 
 func (rs *remoteShard) Host() string { return rs.c.Addr() }
@@ -54,7 +58,7 @@ func (q *remoteSearcher) traceRPC(ctx context.Context, ri rpcInfo, pops int) {
 		sub[i].Host = q.rs.c.Addr()
 	}
 	tr.Add(obs.Leg{
-		Name:       "rpc",
+		Name:       obs.LegRPC,
 		Shard:      q.rs.id,
 		DurationUS: ri.wallUS,
 		Pops:       pops,

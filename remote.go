@@ -344,7 +344,7 @@ func (db *RemoteDB) Exclusive(fn func() error) error { return db.r.Exclusive(fn)
 // was started with. Runs under the serving layer's exclusion like any
 // Store.Save, so the per-host snapshots are epoch-consistent.
 func (db *RemoteDB) Save(string) error {
-	return db.fleet.Snapshot(context.Background())
+	return db.fleet.Snapshot(db.fleet.Context())
 }
 
 // CompactJournal is a no-op: hosts rotate their journals as part of the

@@ -179,6 +179,7 @@ func (db *ShardedDB) journalAndApply(sid shard.ID, op snapshot.Op) error {
 			return fmt.Errorf("road: journaling %s: %w", op.Kind, err)
 		}
 	}
+	//roadvet:ignore append is conditional by design: a ShardedDB without attached journals is ephemeral and applies directly
 	return db.r.ApplyOp(sid, op, true)
 }
 
@@ -420,7 +421,7 @@ func (db *ShardedDB) OpenShardJournals(prefix string, syncEach bool) ([]*Journal
 // be treated as recovered.
 func (db *ShardedDB) ReplayJournals(journals []*Journal) (int, error) {
 	if len(journals) != db.r.NumShards() {
-		return 0, fmt.Errorf("road: %d journals for %d shards", len(journals), db.r.NumShards())
+		return 0, fmt.Errorf("road: %d journals for %d shards: %w", len(journals), db.r.NumShards(), ErrInvalidRequest)
 	}
 	applied := 0
 	var lastOpErr error
@@ -464,7 +465,7 @@ func (db *ShardedDB) ReplayJournals(journals []*Journal) (int, error) {
 // DB.AttachJournal per shard.
 func (db *ShardedDB) AttachJournals(journals []*Journal) error {
 	if len(journals) != db.r.NumShards() {
-		return fmt.Errorf("road: %d journals for %d shards", len(journals), db.r.NumShards())
+		return fmt.Errorf("road: %d journals for %d shards: %w", len(journals), db.r.NumShards(), ErrInvalidRequest)
 	}
 	for i, j := range journals {
 		if j == nil {

@@ -148,7 +148,7 @@ func searchLimits(ctx context.Context, budget int) core.Limits {
 // called with the query's settled-node count; without a trace it is a
 // shared no-op.
 func traceSearch(ctx context.Context) func(pops int) {
-	return obs.FromContext(ctx).StartLeg("search", -1)
+	return obs.FromContext(ctx).StartLeg(obs.LegSearch, -1)
 }
 
 // --- DB: single-index Store implementation ---
