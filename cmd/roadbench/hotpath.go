@@ -1,0 +1,216 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"road/internal/core"
+	"road/internal/dataset"
+	"road/internal/graph"
+	"road/internal/obs"
+	"road/internal/rnet"
+)
+
+// hotpathLeg is one implementation's latency distribution over the query
+// sample (microseconds, measured per query in-process).
+type hotpathLeg struct {
+	MeanUS float64 `json:"mean_us"`
+	P50US  int64   `json:"p50_us"`
+	P90US  int64   `json:"p90_us"`
+	P99US  int64   `json:"p99_us"`
+	P999US int64   `json:"p999_us"`
+	MaxUS  int64   `json:"max_us"`
+}
+
+// hotpathComparison pits the CSR session path against the retained
+// page-store reference (same framework, same queries, same workspace
+// discipline — the only variable is the traversal implementation).
+type hotpathComparison struct {
+	CSR         hotpathLeg `json:"csr"`
+	Reference   hotpathLeg `json:"reference"`
+	SpeedupP50  float64    `json:"speedup_p50"`
+	SpeedupMean float64    `json:"speedup_mean"`
+}
+
+// hotpathNetResult is one network's section of BENCH_hotpath.json.
+type hotpathNetResult struct {
+	Network string  `json:"network"`
+	Nodes   int     `json:"nodes"`
+	Edges   int     `json:"edges"`
+	Objects int     `json:"objects"`
+	BuildMS float64 `json:"build_ms"`
+	// Radius is the derived range-query radius (the median 10-NN depth,
+	// so range answers average ~10 objects on any network scale).
+	Radius float64            `json:"radius"`
+	KNN    hotpathComparison  `json:"knn"`
+	Within hotpathComparison  `json:"within"`
+	Path   *hotpathComparison `json:"path,omitempty"`
+}
+
+// hotpathBenchResult is the schema of BENCH_hotpath.json: the CSR
+// hot-path overhaul measured against the reference implementation it
+// replaced, on the paper's CA network at full scale plus a larger one.
+type hotpathBenchResult struct {
+	GeneratedUnix int64              `json:"generated_unix"`
+	Queries       int                `json:"queries"`
+	K             int                `json:"k"`
+	MinSpeedup    float64            `json:"min_speedup,omitempty"`
+	Networks      []hotpathNetResult `json:"networks"`
+}
+
+// measureLeg times fn once per query node (after a full warm-up pass
+// that grows session scratch and materializes shortcut trees) and
+// returns the latency distribution.
+func measureLeg(starts []graph.NodeID, fn func(n graph.NodeID)) hotpathLeg {
+	for _, n := range starts {
+		fn(n)
+	}
+	lat := make([]time.Duration, 0, len(starts))
+	var sum time.Duration
+	for _, n := range starts {
+		t0 := time.Now()
+		fn(n)
+		d := time.Since(t0)
+		lat = append(lat, d)
+		sum += d
+	}
+	obs.SortDurations(lat)
+	return hotpathLeg{
+		MeanUS: float64(sum.Microseconds()) / float64(len(lat)),
+		P50US:  obs.PercentileDuration(lat, 0.50).Microseconds(),
+		P90US:  obs.PercentileDuration(lat, 0.90).Microseconds(),
+		P99US:  obs.PercentileDuration(lat, 0.99).Microseconds(),
+		P999US: obs.PercentileDuration(lat, 0.999).Microseconds(),
+		MaxUS:  lat[len(lat)-1].Microseconds(),
+	}
+}
+
+func compareLegs(starts []graph.NodeID, ref, csr func(n graph.NodeID)) hotpathComparison {
+	c := hotpathComparison{
+		Reference: measureLeg(starts, ref),
+		CSR:       measureLeg(starts, csr),
+	}
+	if c.CSR.P50US > 0 {
+		c.SpeedupP50 = float64(c.Reference.P50US) / float64(c.CSR.P50US)
+	}
+	if c.CSR.MeanUS > 0 {
+		c.SpeedupMean = c.Reference.MeanUS / c.CSR.MeanUS
+	}
+	return c
+}
+
+func runHotpathNet(spec dataset.Spec, objects, queries, k int) (hotpathNetResult, error) {
+	fmt.Printf("hotpath bench: generating %s (%d nodes)...\n", spec.Name, spec.Nodes)
+	g := dataset.MustGenerate(spec)
+	set := dataset.PlaceUniform(g, objects, 7, 0, 1, 2, 3)
+	cfg := core.Config{Rnet: rnet.DefaultConfig(g.NumNodes()), BufferPages: -1}
+	cfg.Rnet.StorePaths = true
+	buildStart := time.Now()
+	f, err := core.Build(g, set, cfg)
+	if err != nil {
+		return hotpathNetResult{}, fmt.Errorf("building %s: %w", spec.Name, err)
+	}
+	res := hotpathNetResult{
+		Network: spec.Name,
+		Nodes:   g.NumNodes(),
+		Edges:   g.NumEdges(),
+		Objects: objects,
+		BuildMS: float64(time.Since(buildStart).Microseconds()) / 1000,
+	}
+
+	csr := f.NewSession()
+	ref := f.NewSession()
+	ref.UseReferencePath(true)
+	starts := dataset.RandomNodes(g, queries, 11)
+
+	// Derive a self-scaling range radius: the median k-NN depth, so range
+	// answers average ~k objects regardless of network scale or metric.
+	probe := dataset.RandomNodes(g, 64, 13)
+	var depths []float64
+	for _, n := range probe {
+		if r, _ := csr.KNN(core.Query{Node: n}, k); len(r) == k {
+			depths = append(depths, r[k-1].Dist)
+		}
+	}
+	if len(depths) == 0 {
+		return hotpathNetResult{}, fmt.Errorf("%s: no node reaches %d objects", spec.Name, k)
+	}
+	sort.Float64s(depths)
+	res.Radius = depths[len(depths)/2]
+
+	buf := make([]core.Result, 0, 4096)
+	fmt.Printf("hotpath bench: %s kNN (k=%d, %d queries per leg)...\n", spec.Name, k, queries)
+	res.KNN = compareLegs(starts,
+		func(n graph.NodeID) { buf, _ = ref.KNNAppend(buf[:0], core.Query{Node: n}, k) },
+		func(n graph.NodeID) { buf, _ = csr.KNNAppend(buf[:0], core.Query{Node: n}, k) })
+	fmt.Printf("hotpath bench: %s range (radius=%.3f)...\n", spec.Name, res.Radius)
+	res.Within = compareLegs(starts,
+		func(n graph.NodeID) { buf, _ = ref.RangeAppend(buf[:0], core.Query{Node: n}, res.Radius) },
+		func(n graph.NodeID) { buf, _ = csr.RangeAppend(buf[:0], core.Query{Node: n}, res.Radius) })
+
+	all := set.All()
+	targets := make([]graph.ObjectID, len(starts))
+	for i := range targets {
+		targets[i] = all[(i*31)%len(all)].ID
+	}
+	fmt.Printf("hotpath bench: %s paths...\n", spec.Name)
+	idx := 0
+	pathLeg := func(s *core.Session) func(n graph.NodeID) {
+		return func(n graph.NodeID) {
+			_, _, _ = s.PathTo(core.Query{Node: n}, targets[idx%len(targets)])
+			idx++
+		}
+	}
+	p := compareLegs(starts, pathLeg(ref), pathLeg(csr))
+	res.Path = &p
+	return res, nil
+}
+
+// runHotpathBench measures the CSR hot path against the retained
+// reference implementation on the paper's CA network at full scale plus
+// a half-scale NA network, and writes BENCH_hotpath.json. When
+// minSpeedup > 0 the run fails unless every network's kNN and range p50
+// speedups reach it — the CI regression gate for the hot path.
+func runHotpathBench(specs []dataset.Spec, objects, queries, k int, minSpeedup float64, outPath string) error {
+	if queries < 100 {
+		queries = 100
+	}
+	result := hotpathBenchResult{
+		GeneratedUnix: time.Now().Unix(),
+		Queries:       queries,
+		K:             k,
+		MinSpeedup:    minSpeedup,
+	}
+	for _, spec := range specs {
+		net, err := runHotpathNet(spec, objects, queries, k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("hotpath bench: %s: kNN p50 %dus -> %dus (%.2fx), range p50 %dus -> %dus (%.2fx), path p50 %dus -> %dus (%.2fx)\n",
+			net.Network,
+			net.KNN.Reference.P50US, net.KNN.CSR.P50US, net.KNN.SpeedupP50,
+			net.Within.Reference.P50US, net.Within.CSR.P50US, net.Within.SpeedupP50,
+			net.Path.Reference.P50US, net.Path.CSR.P50US, net.Path.SpeedupP50)
+		result.Networks = append(result.Networks, net)
+	}
+	if err := writeJSONFile(outPath, result); err != nil {
+		return err
+	}
+	fmt.Printf("hotpath bench: wrote %s\n", outPath)
+	if minSpeedup > 0 {
+		for _, net := range result.Networks {
+			for _, c := range []struct {
+				kind string
+				cmp  hotpathComparison
+			}{{"knn", net.KNN}, {"within", net.Within}} {
+				if c.cmp.SpeedupP50 < minSpeedup {
+					return fmt.Errorf("%s %s p50 speedup %.2fx below required %.2fx",
+						net.Network, c.kind, c.cmp.SpeedupP50, minSpeedup)
+				}
+			}
+		}
+		fmt.Printf("hotpath bench: all p50 speedups >= %.2fx\n", minSpeedup)
+	}
+	return nil
+}

@@ -68,11 +68,43 @@ func main() {
 
 		remoteM = flag.Bool("remote", false, "benchmark an out-of-process fleet (2 spawned shard-host processes behind a router) against single-process serving, including a kill-one-host recovery experiment -> BENCH_remote.json")
 
+		hotpathM   = flag.Bool("hotpath", false, "benchmark the CSR session hot path against the retained page-store reference implementation (kNN/range/path percentiles incl. p999) on CA full + NA half scale -> BENCH_hotpath.json")
+		minSpeedup = flag.Float64("min-speedup", 0, "hotpath mode: fail unless every kNN and range p50 speedup reaches this factor (CI regression gate; 0 disables)")
+
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *showVersion {
 		fmt.Println(version.String("roadbench"))
+		return
+	}
+
+	if *hotpathM {
+		outPath := *out
+		if outPath == "" {
+			outPath = "BENCH_hotpath.json"
+		}
+		// The hot path is a scaling story: default to the paper's CA
+		// network at full scale plus a half-scale NA. An explicit -scale
+		// narrows the run to CA at that scale (the CI smoke uses this).
+		specs := []dataset.Spec{dataset.CA(), dataset.Scaled(dataset.NA(), 0.5)}
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" {
+				specs = []dataset.Spec{dataset.Scaled(dataset.CA(), *scale)}
+			}
+		})
+		// 50 queries (the paper-experiment default) is too thin for p999;
+		// sample 3000 per leg unless -queries is set explicitly.
+		hotQueries := 3000
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "queries" {
+				hotQueries = *queries
+			}
+		})
+		if err := runHotpathBench(specs, *objects, hotQueries, 10, *minSpeedup, outPath); err != nil {
+			fmt.Fprintln(os.Stderr, "roadbench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 

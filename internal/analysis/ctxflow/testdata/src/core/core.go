@@ -54,3 +54,53 @@ func drainCtx(ctx context.Context, q *pq) error {
 	}
 	return nil
 }
+
+// typedItem / typedQueue mirror the CSR hot path's pooled typed heap
+// (pqueue.SearchQueue): value returns instead of interface boxing, a
+// two-value Pop. The analyzer must see through the different Pop shape.
+type typedItem struct {
+	Prio float64
+	Node int32
+}
+
+type typedQueue struct{ items []typedItem }
+
+func (q *typedQueue) Len() int { return len(q.items) }
+func (q *typedQueue) Pop() (typedItem, bool) {
+	if len(q.items) == 0 {
+		return typedItem{}, false
+	}
+	v := q.items[len(q.items)-1]
+	q.items = q.items[:len(q.items)-1]
+	return v, true
+}
+
+// drainTypedPolled is the searchCSR shape: pop the typed heap until
+// empty, polling Limits.Stop on every settled node — clean.
+func drainTypedPolled(q *typedQueue, lim Limits) (float64, error) {
+	var sum float64
+	pops := 0
+	for q.Len() > 0 {
+		it, ok := q.Pop()
+		if !ok {
+			break
+		}
+		sum += it.Prio
+		pops++
+		if err := lim.Stop(pops); err != nil {
+			return sum, err
+		}
+	}
+	return sum, nil
+}
+
+// drainTypedUnpollable drains the typed heap without ever polling —
+// the zero-alloc refactor must not become an excuse to drop the poll.
+func drainTypedUnpollable(q *typedQueue) float64 {
+	var sum float64
+	for q.Len() > 0 { // want `heap-drain loop never polls Limits.Stop or ctx.Err`
+		it, _ := q.Pop()
+		sum += it.Prio
+	}
+	return sum
+}

@@ -73,6 +73,11 @@ func BuildApproach(name string, g *graph.Graph, objects *graph.ObjectSet, levels
 
 // --- ROAD adapter ---
 
+// roadApproach deliberately queries through the FRAMEWORK surface, not
+// a session: framework queries run the page-charging reference
+// implementation in report mode, so the Stats.IO the paper's figures
+// compare stays faithful to the 2009 evaluation. Serving latency of the
+// CSR session hot path is measured separately by roadbench -hotpath.
 type roadApproach struct {
 	f *core.Framework
 }

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"road/internal/graph"
+)
+
+// These tests pin the CSR hot path's allocation behavior: with a warmed
+// session workspace and a caller-reused result buffer, the kNN and range
+// inner loops perform zero allocations per query. A regression here —
+// a closure creeping into the loop, boxing on the heap, a map rebuilt per
+// query — fails CI.
+
+func allocFixture(t *testing.T) (*Session, graph.NodeID) {
+	t.Helper()
+	cfg := defaultCfg()
+	cfg.BufferPages = -1 // serving configuration: no simulated store at all
+	f, _, _ := fixture(t, 2000, 2600, 300, 23, cfg)
+	return f.NewSession(), 17
+}
+
+func TestKNNZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the pin only holds on plain builds")
+	}
+	s, node := allocFixture(t)
+	buf := make([]Result, 0, 64)
+	q := Query{Node: node}
+	// One warm-up query grows the workspace scratch to the network size.
+	buf, _ = s.KNNAppend(buf[:0], q, 10)
+	if len(buf) == 0 {
+		t.Fatal("warm-up query returned nothing; fixture is broken")
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		buf, _ = s.KNNAppend(buf[:0], q, 10)
+	})
+	if avg != 0 {
+		t.Fatalf("kNN inner loop allocates %v per query; want 0", avg)
+	}
+}
+
+func TestRangeZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the pin only holds on plain builds")
+	}
+	s, node := allocFixture(t)
+	buf := make([]Result, 0, 256)
+	q := Query{Node: node}
+	buf, _ = s.RangeAppend(buf[:0], q, 200)
+	avg := testing.AllocsPerRun(200, func() {
+		buf, _ = s.RangeAppend(buf[:0], q, 200)
+	})
+	if avg != 0 {
+		t.Fatalf("range inner loop allocates %v per query; want 0", avg)
+	}
+}
+
+func TestKNNZeroAllocsWithAttrFilter(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the pin only holds on plain builds")
+	}
+	s, node := allocFixture(t)
+	buf := make([]Result, 0, 64)
+	q := Query{Node: node, Attr: 2}
+	buf, _ = s.KNNAppend(buf[:0], q, 5)
+	avg := testing.AllocsPerRun(200, func() {
+		buf, _ = s.KNNAppend(buf[:0], q, 5)
+	})
+	if avg != 0 {
+		t.Fatalf("attribute-filtered kNN allocates %v per query; want 0", avg)
+	}
+}

@@ -35,15 +35,21 @@ type objAssoc struct {
 // AssocDir is the Association Directory (§3.4): a B+-tree over node IDs
 // and Rnet IDs. A node's entry holds the objects on its incident edges
 // with their distances; an Rnet's entry holds the object abstract. Nodes
-// and Rnets without objects have no entry at all — absence implies
-// emptiness — which keeps the directory proportional to the object count,
-// not the network size.
+// and Rnets without objects have an empty entry — absence implies
+// emptiness. The entries themselves live in dense arrays indexed by node
+// and Rnet ID, so the per-settled-node probes on the query hot path are
+// array loads; the simulated B+-tree and page layout exist only for the
+// paper-faithful I/O-accounting report mode.
 type AssocDir struct {
 	h    *rnet.Hierarchy
 	kind AbstractKind
 
-	byNode    map[graph.NodeID][]objAssoc
-	abstracts map[rnet.RnetID]*abstractRec
+	// byNode[n] holds node n's associations (empty = no entry);
+	// abstracts[r] holds Rnet r's abstract (nil = no entry). Both are
+	// dense — sized to the network at construction, grown on demand if
+	// nodes are added later.
+	byNode    [][]objAssoc
+	abstracts []*abstractRec
 
 	// index simulates the paged B+-tree; layout holds the entry records.
 	index  *btree.Tree[int32]
@@ -57,8 +63,8 @@ func NewAssocDir(h *rnet.Hierarchy, set *graph.ObjectSet, kind AbstractKind, sto
 	ad := &AssocDir{
 		h:         h,
 		kind:      kind,
-		byNode:    make(map[graph.NodeID][]objAssoc),
-		abstracts: make(map[rnet.RnetID]*abstractRec),
+		byNode:    make([][]objAssoc, h.Graph().NumNodes()),
+		abstracts: make([]*abstractRec, h.NumRnets()),
 		index:     btree.New[int32](btree.DefaultOrder),
 		store:     store,
 	}
@@ -87,6 +93,7 @@ func (ad *AssocDir) Insert(o graph.Object) {
 	leaf := ad.h.LeafOf(o.Edge)
 	if leaf != rnet.NoRnet {
 		for _, r := range ad.h.AncestorChain(leaf) {
+			ad.growRnets(r)
 			a := ad.abstracts[r]
 			if a == nil {
 				a = newAbstractRec(ad.kind)
@@ -99,6 +106,20 @@ func (ad *AssocDir) Insert(o graph.Object) {
 	}
 }
 
+// growNodes/growRnets extend the dense entry arrays when the network has
+// gained nodes (or, defensively, Rnets) since construction.
+func (ad *AssocDir) growNodes(n graph.NodeID) {
+	for int(n) >= len(ad.byNode) {
+		ad.byNode = append(ad.byNode, nil)
+	}
+}
+
+func (ad *AssocDir) growRnets(r rnet.RnetID) {
+	for int(r) >= len(ad.abstracts) {
+		ad.abstracts = append(ad.abstracts, nil)
+	}
+}
+
 // Remove dissociates object o from nodes and abstracts.
 func (ad *AssocDir) Remove(o graph.Object) {
 	e := ad.h.Graph().Edge(o.Edge)
@@ -107,13 +128,16 @@ func (ad *AssocDir) Remove(o graph.Object) {
 	leaf := ad.h.LeafOf(o.Edge)
 	if leaf != rnet.NoRnet {
 		for _, r := range ad.h.AncestorChain(leaf) {
+			if int(r) >= len(ad.abstracts) {
+				continue
+			}
 			a := ad.abstracts[r]
 			if a == nil {
 				continue
 			}
 			a.remove(o.Attr)
 			if a.total == 0 {
-				delete(ad.abstracts, r)
+				ad.abstracts[r] = nil
 				ad.index.Delete(rnetKey(r))
 			} else {
 				ad.touchRecord(rnetKey(r))
@@ -131,7 +155,8 @@ func (ad *AssocDir) UpdateAttr(o graph.Object, newAttr int32) {
 }
 
 func (ad *AssocDir) addNodeAssoc(n graph.NodeID, a objAssoc) {
-	if _, ok := ad.byNode[n]; !ok {
+	ad.growNodes(n)
+	if len(ad.byNode[n]) == 0 {
 		ad.indexPut(nodeKey(n))
 	}
 	ad.byNode[n] = append(ad.byNode[n], a)
@@ -140,6 +165,9 @@ func (ad *AssocDir) addNodeAssoc(n graph.NodeID, a objAssoc) {
 }
 
 func (ad *AssocDir) dropNodeAssoc(n graph.NodeID, id graph.ObjectID) {
+	if int(n) >= len(ad.byNode) {
+		return
+	}
 	list := ad.byNode[n]
 	for i := range list {
 		if list[i].obj == id {
@@ -148,7 +176,7 @@ func (ad *AssocDir) dropNodeAssoc(n graph.NodeID, id graph.ObjectID) {
 		}
 	}
 	if len(list) == 0 {
-		delete(ad.byNode, n)
+		ad.byNode[n] = nil
 		ad.index.Delete(nodeKey(n))
 	} else {
 		ad.byNode[n] = list
@@ -167,8 +195,8 @@ func (ad *AssocDir) objectsAt(n graph.NodeID, attr int32, chargeIO bool) []objAs
 	if chargeIO {
 		ad.index.Get(nodeKey(n))
 	}
-	list, ok := ad.byNode[n]
-	if !ok {
+	list := ad.assocsAt(n)
+	if len(list) == 0 {
 		return nil
 	}
 	if chargeIO {
@@ -193,12 +221,24 @@ func (ad *AssocDir) RnetMayContain(r rnet.RnetID, attr int32) bool {
 	return ad.rnetMayContain(r, attr, true)
 }
 
+// assocsAt returns node n's raw association list without I/O accounting or
+// attribute filtering — the CSR hot path's probe, a single array load.
+func (ad *AssocDir) assocsAt(n graph.NodeID) []objAssoc {
+	if int(n) >= len(ad.byNode) {
+		return nil
+	}
+	return ad.byNode[n]
+}
+
 func (ad *AssocDir) rnetMayContain(r rnet.RnetID, attr int32, chargeIO bool) bool {
 	if chargeIO {
 		ad.index.Get(rnetKey(r))
 	}
-	a, ok := ad.abstracts[r]
-	if !ok {
+	if int(r) >= len(ad.abstracts) {
+		return false
+	}
+	a := ad.abstracts[r]
+	if a == nil {
 		return false
 	}
 	if chargeIO {
@@ -210,8 +250,8 @@ func (ad *AssocDir) rnetMayContain(r rnet.RnetID, attr int32, chargeIO bool) boo
 // AbstractTotal returns the exact object count inside Rnet r (0 if absent)
 // without charging I/O; used by invariant tests.
 func (ad *AssocDir) AbstractTotal(r rnet.RnetID) int {
-	if a, ok := ad.abstracts[r]; ok {
-		return a.total
+	if int(r) < len(ad.abstracts) && ad.abstracts[r] != nil {
+		return ad.abstracts[r].total
 	}
 	return 0
 }
@@ -221,10 +261,14 @@ func (ad *AssocDir) AbstractTotal(r rnet.RnetID) int {
 func (ad *AssocDir) SizeBytes() int64 {
 	var total int64
 	for _, list := range ad.byNode {
-		total += 8 + int64(len(list))*16
+		if len(list) > 0 {
+			total += 8 + int64(len(list))*16
+		}
 	}
 	for _, a := range ad.abstracts {
-		total += 8 + int64(a.sizeBytes(ad.kind))
+		if a != nil {
+			total += 8 + int64(a.sizeBytes(ad.kind))
+		}
 	}
 	return total
 }
@@ -240,12 +284,12 @@ func (ad *AssocDir) indexPut(key int64) {
 
 func (ad *AssocDir) recordSize(key int64) int {
 	if key >= rnetKeyBase {
-		if a, ok := ad.abstracts[rnet.RnetID(key-rnetKeyBase)]; ok {
-			return a.sizeBytes(ad.kind)
+		if r := rnet.RnetID(key - rnetKeyBase); int(r) < len(ad.abstracts) && ad.abstracts[r] != nil {
+			return ad.abstracts[r].sizeBytes(ad.kind)
 		}
 		return 4
 	}
-	return 8 + 16*len(ad.byNode[graph.NodeID(key)])
+	return 8 + 16*len(ad.assocsAt(graph.NodeID(key)))
 }
 
 func (ad *AssocDir) touchRecord(key int64) {

@@ -1,0 +1,389 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"road/internal/apierr"
+	"road/internal/graph"
+	"road/internal/rnet"
+)
+
+// This file holds the CSR hot path: the query-time representation of the
+// Route Overlay as flat, int32-indexed arrays. The per-node shortcut trees
+// (rnet.TreeNode) are pointer structures built for clarity and for the
+// paper's paged storage model; every settled node of every query used to
+// chase them. The CSR index flattens each node's tree once into contiguous
+// slabs — entries in exactly the order the reference traversal visits
+// them, with a skip pointer per entry so a bypass is a single index jump —
+// and bakes shortcut distances and live edge weights in, so the inner loop
+// of kNN/range/path search touches nothing but these slabs, the dense
+// Association Directory arrays and a typed heap. storage.Store is never
+// consulted here: it remains only for snapshot persistence and the
+// paper-faithful I/O-accounting report mode (Framework-level queries).
+
+// csrEnt flags.
+const (
+	csrBorder   uint8 = 1 << 0 // node is a border of this Rnet (shortcut slab valid)
+	csrChildren uint8 = 1 << 1 // entry has child entries (descend = i++)
+)
+
+// csrEnt is one flattened shortcut-tree entry of one node.
+type csrEnt struct {
+	rnet rnet.RnetID
+	// skip is the absolute entry index just past this entry's subtree:
+	// bypassing the Rnet jumps there; descending advances one entry, which
+	// is the first child.
+	skip int32
+	// scOff/scEnd delimit this (rnet, node) pair's shortcuts in the
+	// scTo/scDist slabs (valid when csrBorder is set).
+	scOff, scEnd int32
+	// edgeOff/edgeEnd delimit a leaf entry's physical edges in the
+	// leTo/leEdge/leW slabs.
+	edgeOff, edgeEnd int32
+	flags            uint8
+}
+
+// csrIndex is the flattened Route Overlay: per-node tree slabs plus
+// shortcut and leaf-edge slabs, all indices int32. It is immutable once
+// built; topology or weight mutations are detected by comparing gen to
+// the hierarchy's topology generation, and WarmTrees rebuilds it.
+type csrIndex struct {
+	gen       uint64  // hierarchy topology generation this index reflects
+	treeStart []int32 // node -> first entry; len NumNodes+1 (suffix = end)
+	ents      []csrEnt
+
+	scTo   []int32 // shortcut target nodes
+	scDist []float64
+
+	leTo   []int32 // leaf-edge target nodes
+	leEdge []int32 // leaf-edge edge IDs (path reconstruction)
+	leW    []float64
+}
+
+// buildCSR flattens every node's shortcut tree. The entry order per node
+// is the exact order the reference stack traversal processes entries —
+// top-level entries reversed, children reversed at every level (a stack
+// pops last-first) — so the CSR walk pushes frontier entries in the same
+// sequence and FIFO tie-breaking yields identical answers.
+func buildCSR(g *graph.Graph, h *rnet.Hierarchy) *csrIndex {
+	c := &csrIndex{gen: h.TopoGen()}
+	nn := g.NumNodes()
+	c.treeStart = make([]int32, nn+1)
+	for n := 0; n < nn; n++ {
+		c.treeStart[n] = int32(len(c.ents))
+		tops := h.Tree(graph.NodeID(n))
+		for i := len(tops) - 1; i >= 0; i-- {
+			c.emit(g, h, graph.NodeID(n), tops[i])
+		}
+	}
+	c.treeStart[nn] = int32(len(c.ents))
+	return c
+}
+
+// emit appends t's entry followed by its subtree (children reversed) and
+// patches the skip pointer once the subtree's extent is known.
+func (c *csrIndex) emit(g *graph.Graph, h *rnet.Hierarchy, n graph.NodeID, t *rnet.TreeNode) {
+	idx := len(c.ents)
+	e := csrEnt{rnet: t.Rnet}
+	if t.IsBorder {
+		e.flags |= csrBorder
+		e.scOff = int32(len(c.scTo))
+		for _, sc := range h.ShortcutsFrom(t.Rnet, n) {
+			c.scTo = append(c.scTo, int32(sc.To))
+			c.scDist = append(c.scDist, sc.Dist)
+		}
+		e.scEnd = int32(len(c.scTo))
+	}
+	if len(t.Children) > 0 {
+		e.flags |= csrChildren
+	} else {
+		e.edgeOff = int32(len(c.leTo))
+		for _, half := range t.Edges {
+			c.leTo = append(c.leTo, int32(half.To))
+			c.leEdge = append(c.leEdge, int32(half.Edge))
+			c.leW = append(c.leW, g.Weight(half.Edge))
+		}
+		e.edgeEnd = int32(len(c.leTo))
+	}
+	c.ents = append(c.ents, e)
+	for i := len(t.Children) - 1; i >= 0; i-- {
+		c.emit(g, h, n, t.Children[i])
+	}
+	c.ents[idx].skip = int32(len(c.ents))
+}
+
+// csrBox holds the shared CSR index of one overlay. Frameworks produced by
+// Rebind share their network and hierarchy — and therefore the box — so a
+// rebuild through one is seen by all.
+type csrBox struct {
+	idx *csrIndex
+}
+
+// ensureCSR returns a CSR index current with the hierarchy's topology,
+// rebuilding if stale. Rebuilds mutate shared state: like lazy shortcut
+// trees, they must not race with concurrent readers, which is why serving
+// layers call WarmTrees (which calls this) after every mutation while
+// excluding readers.
+func (f *Framework) ensureCSR() *csrIndex {
+	c := f.csr.idx
+	if c == nil || c.gen != f.h.TopoGen() {
+		c = buildCSR(f.g, f.h)
+		f.csr.idx = c
+	}
+	return c
+}
+
+// csrVerdict memoizes one Rnet's bypass-vs-descend verdict in the dense
+// per-query scratch (a plain method, not a closure, so the hot loop
+// allocates nothing).
+func (f *Framework) csrVerdict(ad *AssocDir, ws *queryWorkspace, r rnet.RnetID, attr int32, watch *WatchSet) bool {
+	if ws.verdictEpoch[r] == ws.epoch {
+		return ws.verdictVal[r]
+	}
+	v := ad.rnetMayContain(r, attr, false) || (watch != nil && watch.rnets[r])
+	ws.verdictEpoch[r] = ws.epoch
+	ws.verdictVal[r] = v
+	return v
+}
+
+// searchCSR is searchRef's hot-path twin: identical traversal over the
+// flat CSR slabs with a typed heap and epoch-stamped dense visit sets, no
+// simulated I/O and no per-pop allocation. Results are appended to dst.
+// Equivalence (rank-for-rank, including FIFO tie order) is enforced by the
+// differential suite in csr_test.go and TestDifferentialStorm.
+func (f *Framework) searchCSR(ad *AssocDir, seeds []Seed, attr int32, k int, radius float64, ws *queryWorkspace, watch *WatchSet, watchDist map[graph.NodeID]float64, lim Limits, dst []Result) ([]Result, QueryStats, error) {
+	stats := QueryStats{ShardsSearched: 1}
+	var stopErr error
+	c := f.ensureCSR()
+	f.prepare(ws)
+	res := dst
+	base := len(dst)
+
+	for _, sd := range seeds {
+		ws.spq.Push(int32(sd.Node), -1, sd.Dist)
+	}
+	for ws.spq.Len() > 0 {
+		item, _ := ws.spq.Pop()
+		d := item.Prio
+		if (k == 0 || radius > 0) && d > radius {
+			break // past the range radius / the caller's stop bound
+		}
+		if item.Obj >= 0 {
+			obj := graph.ObjectID(item.Obj)
+			if ws.objEpoch[obj] == ws.epoch {
+				continue
+			}
+			ws.objEpoch[obj] = ws.epoch
+			if o, ok := f.objects.Get(obj); ok {
+				res = append(res, Result{Object: o, Dist: d})
+			}
+			if k > 0 && len(res)-base >= k {
+				break
+			}
+			continue
+		}
+		n := item.Node
+		if ws.nodeEpoch[n] == ws.epoch {
+			continue
+		}
+		ws.nodeEpoch[n] = ws.epoch
+		stats.NodesPopped++
+		if err := lim.Stop(stats.NodesPopped); err != nil {
+			// Abort with the valid prefix settled so far: by the Dijkstra
+			// settling order everything already in res is final.
+			stats.Truncated = true
+			stopErr = err
+			break
+		}
+		nid := graph.NodeID(n)
+		if watch != nil && watch.nodes[n] {
+			watchDist[nid] = d
+		}
+
+		// Object lookup at the settled node: the attribute filter is
+		// inlined so no filtered sub-slice is materialized.
+		for _, a := range ad.assocsAt(nid) {
+			if attr != 0 && a.attr != attr {
+				continue
+			}
+			if int(a.obj) >= len(ws.objEpoch) {
+				ws.growObjEpoch(a.obj)
+			}
+			if ws.objEpoch[a.obj] != ws.epoch {
+				ws.spq.Push(-1, int32(a.obj), d+a.dist)
+			}
+		}
+
+		// ChoosePath over the flattened tree slab: bypass = jump to skip,
+		// descend = advance one entry.
+		if int(n)+1 >= len(c.treeStart) {
+			continue // node added after the index was built: no live edges
+		}
+		end := c.treeStart[n+1]
+		for i := c.treeStart[n]; i < end; {
+			e := &c.ents[i]
+			if e.flags&csrBorder != 0 && !f.csrVerdict(ad, ws, e.rnet, attr, watch) {
+				stats.RnetsBypassed++
+				for j := e.scOff; j < e.scEnd; j++ {
+					if to := c.scTo[j]; ws.nodeEpoch[to] != ws.epoch {
+						ws.spq.Push(to, -1, d+c.scDist[j])
+					}
+				}
+				i = e.skip
+				continue
+			}
+			if e.flags&csrChildren != 0 {
+				stats.RnetsDescended++
+				i++
+				continue
+			}
+			for j := e.edgeOff; j < e.edgeEnd; j++ {
+				if to := c.leTo[j]; ws.nodeEpoch[to] != ws.epoch {
+					ws.spq.Push(to, -1, d+c.leW[j])
+				}
+			}
+			i++
+		}
+	}
+	return res, stats, stopErr
+}
+
+// pathVerdict memoizes pathCSR's bypass decision: an Rnet is explorable
+// when its abstract may hold a matching object or it contains the target's
+// edge.
+func (f *Framework) pathVerdict(ws *queryWorkspace, r rnet.RnetID, attr int32, target graph.EdgeID) bool {
+	if ws.verdictEpoch[r] == ws.epoch {
+		return ws.verdictVal[r]
+	}
+	v := f.ad.rnetMayContain(r, attr, false) || f.rnetContainsEdge(r, target)
+	ws.verdictEpoch[r] = ws.epoch
+	ws.verdictVal[r] = v
+	return v
+}
+
+// pathRelax mirrors pathTo's relax: record the parent link unless the node
+// already has a strictly better (or equal — keep-first-on-tie) one, then
+// push. src never has its link overwritten.
+func (f *Framework) pathRelax(ws *queryWorkspace, src, n graph.NodeID, nd float64, prev graph.NodeID, edge graph.EdgeID, r rnet.RnetID) {
+	if ws.linkEpoch[n] == ws.epoch && graph.NodeID(ws.linkPrev[n]) != graph.NoNode && ws.linkDist[n] <= nd {
+		return
+	}
+	if n != src {
+		ws.linkEpoch[n] = ws.epoch
+		ws.linkPrev[n] = int32(prev)
+		ws.linkEdge[n] = int32(edge)
+		ws.linkRnet[n] = int32(r)
+		ws.linkDist[n] = nd
+	}
+	ws.spq.Push(int32(n), -1, nd)
+}
+
+// pathCSR is pathTo's hot-path twin: the same directed search with parent
+// tracking, run over the CSR slabs with dense epoch-stamped link arrays
+// instead of per-call maps. Entries are scanned linearly (the reference
+// pre-flattens the whole tree and filters per entry, so bypassed subtrees
+// are still processed), which a linear slab walk reproduces exactly.
+func (f *Framework) pathCSR(q Query, target graph.ObjectID, ws *queryWorkspace, lim Limits) ([]graph.NodeID, float64, QueryStats, error) {
+	stats := QueryStats{ShardsSearched: 1}
+	if !f.h.Config().StorePaths {
+		return nil, 0, stats, fmt.Errorf("core: framework built without StorePaths: %w", apierr.ErrPathsNotStored)
+	}
+	o, ok := f.objects.Get(target)
+	if !ok {
+		return nil, 0, stats, fmt.Errorf("core: object %d: %w", target, apierr.ErrNoSuchObject)
+	}
+	if q.Attr != 0 && o.Attr != q.Attr {
+		return nil, 0, stats, fmt.Errorf("core: object %d does not match attribute %d: %w", target, q.Attr, apierr.ErrAttrMismatch)
+	}
+
+	c := f.ensureCSR()
+	f.prepare(ws)
+	ws.growLinks(f.g.NumNodes())
+
+	ws.linkEpoch[q.Node] = ws.epoch
+	ws.linkPrev[q.Node] = int32(graph.NoNode)
+	ws.linkEdge[q.Node] = int32(graph.NoEdge)
+	ws.spq.Push(int32(q.Node), -1, 0)
+
+	e := f.g.Edge(o.Edge)
+	bestEnd := graph.NoNode
+	bestDist := math.Inf(1)
+
+	for ws.spq.Len() > 0 {
+		item, _ := ws.spq.Pop()
+		n := item.Node
+		d := item.Prio
+		if d >= bestDist {
+			break // cannot improve the object's distance any further
+		}
+		if ws.nodeEpoch[n] == ws.epoch {
+			continue
+		}
+		ws.nodeEpoch[n] = ws.epoch
+		stats.NodesPopped++
+		if err := lim.Stop(stats.NodesPopped); err != nil {
+			stats.Truncated = true
+			return nil, 0, stats, err
+		}
+		nid := graph.NodeID(n)
+
+		if nid == e.U && d+o.DU < bestDist {
+			bestDist = d + o.DU
+			bestEnd = nid
+		}
+		if nid == e.V && d+o.DV < bestDist {
+			bestDist = d + o.DV
+			bestEnd = nid
+		}
+
+		if int(n)+1 >= len(c.treeStart) {
+			continue
+		}
+		end := c.treeStart[n+1]
+		for i := c.treeStart[n]; i < end; i++ {
+			ent := &c.ents[i]
+			if ent.flags&csrBorder != 0 && !f.pathVerdict(ws, ent.rnet, q.Attr, o.Edge) {
+				stats.RnetsBypassed++
+				for j := ent.scOff; j < ent.scEnd; j++ {
+					f.pathRelax(ws, q.Node, graph.NodeID(c.scTo[j]), d+c.scDist[j], nid, graph.NoEdge, ent.rnet)
+				}
+				continue
+			}
+			for j := ent.edgeOff; j < ent.edgeEnd; j++ {
+				f.pathRelax(ws, q.Node, graph.NodeID(c.leTo[j]), d+c.leW[j], nid, graph.EdgeID(c.leEdge[j]), rnet.NoRnet)
+			}
+		}
+	}
+	if bestEnd == graph.NoNode {
+		return nil, math.Inf(1), stats, fmt.Errorf("core: object %d unreachable from node %d: %w", target, q.Node, apierr.ErrUnreachable)
+	}
+
+	// Walk the links back to the source, expanding shortcut hops.
+	var rev []graph.NodeID
+	cur := bestEnd
+	for cur != q.Node {
+		if ws.linkEpoch[cur] != ws.epoch || graph.NodeID(ws.linkPrev[cur]) == graph.NoNode {
+			return nil, 0, stats, fmt.Errorf("core: broken parent chain at node %d", cur)
+		}
+		prev := graph.NodeID(ws.linkPrev[cur])
+		if eid := graph.EdgeID(ws.linkEdge[cur]); eid != graph.NoEdge {
+			rev = append(rev, cur)
+		} else {
+			leg, err := f.expandHop(rnet.RnetID(ws.linkRnet[cur]), prev, cur)
+			if err != nil {
+				return nil, 0, stats, err
+			}
+			// leg runs prev..cur; append in reverse, excluding prev.
+			for i := len(leg) - 1; i >= 1; i-- {
+				rev = append(rev, leg[i])
+			}
+		}
+		cur = prev
+	}
+	rev = append(rev, q.Node)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, bestDist, stats, nil
+}

@@ -1,0 +1,449 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"road/internal/apierr"
+	"road/internal/dataset"
+	"road/internal/geom"
+	"road/internal/graph"
+	"road/internal/rnet"
+)
+
+// assertIdenticalResults demands rank-for-rank identity: same order, same
+// objects, bit-identical distances. The CSR path replays the reference
+// traversal's push sequence exactly (including FIFO tie-breaking), so this
+// is stronger than resultsMatch's tie tolerance — any drift is a bug.
+func assertIdenticalResults(t *testing.T, label string, ref, got []Result) {
+	t.Helper()
+	if len(ref) != len(got) {
+		t.Fatalf("%s: reference returned %d results, CSR %d", label, len(ref), len(got))
+	}
+	for i := range ref {
+		if ref[i].Object.ID != got[i].Object.ID || ref[i].Dist != got[i].Dist {
+			t.Fatalf("%s: rank %d diverged: reference (obj %d, %v) vs CSR (obj %d, %v)",
+				label, i, ref[i].Object.ID, ref[i].Dist, got[i].Object.ID, got[i].Dist)
+		}
+	}
+}
+
+func assertIdenticalStats(t *testing.T, label string, ref, got QueryStats) {
+	t.Helper()
+	if ref.NodesPopped != got.NodesPopped || ref.RnetsBypassed != got.RnetsBypassed ||
+		ref.RnetsDescended != got.RnetsDescended || ref.Truncated != got.Truncated {
+		t.Fatalf("%s: traversal stats diverged: reference %+v vs CSR %+v", label, ref, got)
+	}
+}
+
+func assertSameError(t *testing.T, label string, ref, got error) {
+	t.Helper()
+	if (ref == nil) != (got == nil) {
+		t.Fatalf("%s: reference error %v vs CSR error %v", label, ref, got)
+	}
+	if ref == nil {
+		return
+	}
+	for _, typed := range []error{
+		apierr.ErrCanceled, apierr.ErrBudgetExhausted, apierr.ErrNoSuchObject,
+		apierr.ErrAttrMismatch, apierr.ErrUnreachable, apierr.ErrPathsNotStored,
+	} {
+		if errors.Is(ref, typed) != errors.Is(got, typed) {
+			t.Fatalf("%s: typed error mismatch for %v: reference %v vs CSR %v", label, typed, ref, got)
+		}
+	}
+}
+
+// csrAndRefSessions returns a CSR-path session and a reference-path
+// session over the same framework.
+func csrAndRefSessions(f *Framework) (*Session, *Session) {
+	csr := f.NewSession()
+	ref := f.NewSession()
+	ref.UseReferencePath(true)
+	return csr, ref
+}
+
+// TestCSRMatchesReferenceStorm interleaves randomized kNN/range/path
+// queries with object churn and network mutations, asserting the CSR hot
+// path and the retained page-store reference produce rank-for-rank
+// identical answers, distances, traversal statistics and typed errors
+// throughout.
+func TestCSRMatchesReferenceStorm(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cfg := defaultCfg()
+			cfg.Rnet.StorePaths = true
+			cfg.BufferPages = -1
+			f, g, objects := fixture(t, 700, 900, 160, seed, cfg)
+			rng := rand.New(rand.NewSource(seed))
+			csr, ref := csrAndRefSessions(f)
+
+			checkQueries := func(phase string) {
+				for i := 0; i < 12; i++ {
+					q := Query{Node: graph.NodeID(rng.Intn(g.NumNodes())), Attr: int32(rng.Intn(4))}
+					label := fmt.Sprintf("%s q%d node=%d attr=%d", phase, i, q.Node, q.Attr)
+					switch rng.Intn(4) {
+					case 0:
+						k := 1 + rng.Intn(12)
+						wantRes, wantStats := ref.KNN(q, k)
+						gotRes, gotStats := csr.KNN(q, k)
+						assertIdenticalResults(t, label+" knn", wantRes, gotRes)
+						assertIdenticalStats(t, label+" knn", wantStats, gotStats)
+					case 1:
+						r := 40 + 400*rng.Float64()
+						wantRes, wantStats := ref.Range(q, r)
+						gotRes, gotStats := csr.Range(q, r)
+						assertIdenticalResults(t, label+" range", wantRes, gotRes)
+						assertIdenticalStats(t, label+" range", wantStats, gotStats)
+					case 2:
+						// Budget-limited kNN: truncation and typed errors
+						// must agree too.
+						lim := Limits{Budget: 1 + rng.Intn(60)}
+						wantRes, wantStats, wantErr := ref.KNNLimited(q, 8, 0, lim)
+						gotRes, gotStats, gotErr := csr.KNNLimited(q, 8, 0, lim)
+						assertSameError(t, label+" knnlim", wantErr, gotErr)
+						assertIdenticalResults(t, label+" knnlim", wantRes, gotRes)
+						assertIdenticalStats(t, label+" knnlim", wantStats, gotStats)
+					case 3:
+						all := objects.All()
+						if len(all) == 0 {
+							continue
+						}
+						target := all[rng.Intn(len(all))].ID
+						wantPath, wantDist, wantStats, wantErr := ref.PathToLimited(q, target, Limits{})
+						gotPath, gotDist, gotStats, gotErr := csr.PathToLimited(q, target, Limits{})
+						assertSameError(t, label+" path", wantErr, gotErr)
+						if wantErr != nil {
+							continue
+						}
+						if wantDist != gotDist {
+							t.Fatalf("%s path: dist %v vs %v", label, wantDist, gotDist)
+						}
+						if len(wantPath) != len(gotPath) {
+							t.Fatalf("%s path: length %d vs %d", label, len(wantPath), len(gotPath))
+						}
+						for j := range wantPath {
+							if wantPath[j] != gotPath[j] {
+								t.Fatalf("%s path: hop %d: %d vs %d", label, j, wantPath[j], gotPath[j])
+							}
+						}
+						assertIdenticalStats(t, label+" path", wantStats, gotStats)
+					}
+				}
+			}
+
+			checkQueries("initial")
+			var closed []graph.EdgeID
+			for round := 0; round < 8; round++ {
+				// A burst of mutations, then WarmTrees (the serving-layer
+				// contract), then differential queries.
+				for m := 0; m < 5; m++ {
+					switch rng.Intn(5) {
+					case 0:
+						e := graph.EdgeID(rng.Intn(g.NumEdges()))
+						if !g.Edge(e).Removed {
+							_, _ = f.SetEdgeWeight(e, 1+120*rng.Float64())
+						}
+					case 1:
+						e := graph.EdgeID(rng.Intn(g.NumEdges()))
+						if !g.Edge(e).Removed {
+							if _, err := f.DeleteEdge(e); err == nil {
+								closed = append(closed, e)
+							}
+						}
+					case 2:
+						if len(closed) > 0 {
+							i := rng.Intn(len(closed))
+							if _, err := f.RestoreEdge(closed[i]); err == nil {
+								closed = append(closed[:i], closed[i+1:]...)
+							}
+						}
+					case 3:
+						e := graph.EdgeID(rng.Intn(g.NumEdges()))
+						if ed := g.Edge(e); !ed.Removed {
+							_, _ = f.InsertObject(e, ed.Weight*rng.Float64(), int32(rng.Intn(4)))
+						}
+					case 4:
+						all := objects.All()
+						if len(all) > 0 {
+							_ = f.DeleteObject(all[rng.Intn(len(all))].ID)
+						}
+					}
+				}
+				f.WarmTrees()
+				checkQueries(fmt.Sprintf("round%d", round))
+			}
+		})
+	}
+}
+
+// TestCSRTypedErrorsAgree exercises the error edges of the path and limit
+// surfaces on both implementations.
+func TestCSRTypedErrorsAgree(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.Rnet.StorePaths = true
+	f, _, objects := fixture(t, 200, 260, 30, 5, cfg)
+	csr, ref := csrAndRefSessions(f)
+
+	// Unknown object.
+	_, _, wantErr := ref.PathTo(Query{Node: 0}, 9999)
+	_, _, gotErr := csr.PathTo(Query{Node: 0}, 9999)
+	assertSameError(t, "no-such-object", wantErr, gotErr)
+
+	// Attribute mismatch.
+	var victim graph.Object
+	for _, o := range objects.All() {
+		if o.Attr != 0 {
+			victim = o
+			break
+		}
+	}
+	if victim.ID != 0 || objects.All()[0].ID == victim.ID {
+		wrong := victim.Attr%3 + 1
+		if wrong == victim.Attr {
+			wrong++
+		}
+		_, _, wantErr = ref.PathTo(Query{Node: 0, Attr: wrong}, victim.ID)
+		_, _, gotErr = csr.PathTo(Query{Node: 0, Attr: wrong}, victim.ID)
+		assertSameError(t, "attr-mismatch", wantErr, gotErr)
+	}
+
+	// Canceled context.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	lim := Limits{Ctx: ctx}
+	_, _, wantErr = ref.KNNLimited(Query{Node: 0}, 5, 0, lim)
+	_, _, gotErr = csr.KNNLimited(Query{Node: 0}, 5, 0, lim)
+	assertSameError(t, "canceled", wantErr, gotErr)
+
+	// Paths not stored.
+	f2, _, _ := fixture(t, 120, 150, 10, 6, defaultCfg())
+	csr2, ref2 := csrAndRefSessions(f2)
+	_, _, wantErr = ref2.PathTo(Query{Node: 0}, 0)
+	_, _, gotErr = csr2.PathTo(Query{Node: 0}, 0)
+	assertSameError(t, "paths-not-stored", wantErr, gotErr)
+}
+
+// TestCSRWatchedSeededAgree drives the sharding router's primitive —
+// multi-seed watched searches — through both paths.
+func TestCSRWatchedSeededAgree(t *testing.T) {
+	f, g, _ := fixture(t, 500, 650, 90, 11, defaultCfg())
+	rng := rand.New(rand.NewSource(11))
+	csr, ref := csrAndRefSessions(f)
+	watched := dataset.RandomNodes(g, 24, 3)
+	watch := f.NewWatchSet(watched)
+	for i := 0; i < 20; i++ {
+		seeds := []Seed{
+			{Node: graph.NodeID(rng.Intn(g.NumNodes())), Dist: 10 * rng.Float64()},
+			{Node: graph.NodeID(rng.Intn(g.NumNodes())), Dist: 25 * rng.Float64()},
+		}
+		attr := int32(rng.Intn(3))
+		k := 1 + rng.Intn(8)
+		wantWD := map[graph.NodeID]float64{}
+		gotWD := map[graph.NodeID]float64{}
+		wantRes, wantStats := ref.SearchSeeded(seeds, attr, k, 0, watch, wantWD)
+		gotRes, gotStats := csr.SearchSeeded(seeds, attr, k, 0, watch, gotWD)
+		label := fmt.Sprintf("seeded %d", i)
+		assertIdenticalResults(t, label, wantRes, gotRes)
+		assertIdenticalStats(t, label, wantStats, gotStats)
+		if len(wantWD) != len(gotWD) {
+			t.Fatalf("%s: watch dists %d vs %d", label, len(wantWD), len(gotWD))
+		}
+		for n, d := range wantWD {
+			if gd, ok := gotWD[n]; !ok || gd != d {
+				t.Fatalf("%s: watched node %d: %v vs %v (ok=%v)", label, n, d, gd, ok)
+			}
+		}
+	}
+}
+
+// TestCSRStructure checks the builder's invariants directly: skip pointers
+// partition each node's slab, and the leaf-edge slabs agree with the
+// graph's adjacency (every live hosted incident edge appears exactly once,
+// with its current weight).
+func TestCSRStructure(t *testing.T) {
+	f, g, _ := fixture(t, 400, 520, 60, 17, defaultCfg())
+	f.WarmTrees()
+	checkCSRAgainstAdjacency(t, f, g)
+}
+
+func checkCSRAgainstAdjacency(t *testing.T, f *Framework, g *graph.Graph) {
+	t.Helper()
+	c := f.ensureCSR()
+	if len(c.treeStart) != g.NumNodes()+1 {
+		t.Fatalf("treeStart covers %d nodes, graph has %d", len(c.treeStart)-1, g.NumNodes())
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		start, end := c.treeStart[n], c.treeStart[n+1]
+		if start > end || int(end) > len(c.ents) {
+			t.Fatalf("node %d: bad slab [%d,%d)", n, start, end)
+		}
+		type edgeRef struct {
+			to   int32
+			edge int32
+		}
+		got := map[edgeRef]float64{}
+		// Walk entries linearly, validating skip pointers and collecting
+		// leaf edges.
+		for i := start; i < end; i++ {
+			e := &c.ents[i]
+			if e.skip <= i || e.skip > end {
+				t.Fatalf("node %d entry %d: skip %d outside (%d,%d]", n, i, e.skip, i, end)
+			}
+			if e.flags&csrChildren != 0 {
+				if e.skip == i+1 {
+					t.Fatalf("node %d entry %d: children flag but empty subtree", n, i)
+				}
+				continue
+			}
+			if e.skip != i+1 {
+				t.Fatalf("node %d entry %d: leaf entry with skip %d != %d", n, i, e.skip, i+1)
+			}
+			for j := e.edgeOff; j < e.edgeEnd; j++ {
+				ref := edgeRef{to: c.leTo[j], edge: c.leEdge[j]}
+				if _, dup := got[ref]; dup {
+					t.Fatalf("node %d: duplicate leaf edge %+v", n, ref)
+				}
+				got[ref] = c.leW[j]
+			}
+		}
+		// Expected: live incident edges hosted by some leaf Rnet.
+		want := map[edgeRef]float64{}
+		for _, half := range g.Neighbors(graph.NodeID(n)) {
+			if f.h.LeafOf(half.Edge) == rnet.NoRnet {
+				continue
+			}
+			want[edgeRef{to: int32(half.To), edge: int32(half.Edge)}] = g.Weight(half.Edge)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("node %d: slab has %d edges, adjacency %d", n, len(got), len(want))
+		}
+		for ref, w := range want {
+			if gw, ok := got[ref]; !ok || gw != w {
+				t.Fatalf("node %d: edge %+v weight %v vs slab %v (ok=%v)", n, ref, w, gw, ok)
+			}
+		}
+	}
+}
+
+// FuzzCSRBuild feeds arbitrary small graphs — including isolated nodes and
+// closed edges — through the CSR builder, asserting the structural
+// adjacency invariant and differential query equality on every input.
+func FuzzCSRBuild(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 1, 10, 1, 2, 20})
+	f.Add([]byte{8, 0, 1, 5, 1, 2, 5, 2, 3, 5, 3, 0, 5, 4, 5, 9})
+	f.Add([]byte{12, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3, 4, 4, 4, 0, 5, 0, 2, 9, 1, 3, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			t.Skip("inputs beyond a small graph add nothing")
+		}
+		nodes := 2
+		if len(data) > 0 {
+			nodes = 2 + int(data[0]%14)
+		}
+		g := &graph.Graph{}
+		for i := 0; i < nodes; i++ {
+			g.AddNode(geom.Point{X: float64(i % 4), Y: float64(i / 4)})
+		}
+		// Edge triples (u, v, w); duplicates and self-loops are rejected by
+		// the graph and simply skipped. Trailing bytes close edges and
+		// place objects.
+		var edges []graph.EdgeID
+		i := 1
+		for ; i+2 < len(data) && len(edges) < 3*nodes; i += 3 {
+			u := graph.NodeID(int(data[i]) % nodes)
+			v := graph.NodeID(int(data[i+1]) % nodes)
+			w := 1 + float64(data[i+2]%50)
+			if e, err := g.AddEdge(u, v, w); err == nil {
+				edges = append(edges, e)
+			}
+		}
+		if len(edges) == 0 {
+			return
+		}
+		objects := graph.NewObjectSet(g)
+		for j := 0; j < len(data) && j < 6; j++ {
+			e := edges[int(data[j])%len(edges)]
+			du := g.Edge(e).Weight * float64(data[j]%8) / 8
+			_, _ = objects.Add(e, du, int32(data[j]%3))
+		}
+		cfg := Config{
+			Rnet:        rnet.Config{Fanout: 2, Levels: 2, KLPasses: -1, StorePaths: true},
+			BufferPages: -1,
+		}
+		fw, err := Build(g, objects, cfg)
+		if err != nil {
+			t.Skipf("unbuildable fuzz graph: %v", err)
+		}
+		// Close some edges through the framework so the CSR rebuild path
+		// sees topology churn.
+		for j := 0; j < len(data) && j < 3; j++ {
+			e := edges[int(data[len(data)-1-j])%len(edges)]
+			if !g.Edge(e).Removed {
+				_, _ = fw.DeleteEdge(e)
+			}
+		}
+		fw.WarmTrees()
+		checkCSRAgainstAdjacency(t, fw, g)
+
+		csr, ref := csrAndRefSessions(fw)
+		for n := 0; n < g.NumNodes(); n++ {
+			q := Query{Node: graph.NodeID(n)}
+			wantRes, wantStats := ref.KNN(q, 3)
+			gotRes, gotStats := csr.KNN(q, 3)
+			assertIdenticalResults(t, fmt.Sprintf("fuzz knn n%d", n), wantRes, gotRes)
+			assertIdenticalStats(t, fmt.Sprintf("fuzz knn n%d", n), wantStats, gotStats)
+			wantRes, wantStats = ref.Range(q, 60)
+			gotRes, gotStats = csr.Range(q, 60)
+			assertIdenticalResults(t, fmt.Sprintf("fuzz range n%d", n), wantRes, gotRes)
+			assertIdenticalStats(t, fmt.Sprintf("fuzz range n%d", n), wantStats, gotStats)
+		}
+		// And against ground truth, so both paths can't be wrong together.
+		for n := 0; n < g.NumNodes(); n++ {
+			q := Query{Node: graph.NodeID(n)}
+			gotRes, _ := csr.KNN(q, 3)
+			want := bruteKNN(g, objects, q, 3)
+			if len(want) != len(gotRes) {
+				t.Fatalf("fuzz brute n%d: %d vs %d results", n, len(want), len(gotRes))
+			}
+			for j := range want {
+				if math.Abs(want[j].Dist-gotRes[j].Dist) > 1e-9 {
+					t.Fatalf("fuzz brute n%d rank %d: dist %v vs %v", n, j, want[j].Dist, gotRes[j].Dist)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkSessionKNNCSR / BenchmarkSessionKNNReference measure the two
+// query paths side by side (the roadbench -hotpath mode reports the same
+// comparison on full datasets).
+func benchmarkSessionKNN(b *testing.B, ref bool) {
+	cfg := defaultCfg()
+	cfg.BufferPages = -1
+	g := dataset.MustGenerate(dataset.Spec{Name: "b", Nodes: 8000, Edges: 10400, Seed: 99})
+	objects := dataset.PlaceUniform(g, 1200, 100, 0, 7, 9)
+	fw, err := Build(g, objects, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := fw.NewSession()
+	s.UseReferencePath(ref)
+	starts := dataset.RandomNodes(g, 256, 5)
+	buf := make([]Result, 0, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, _ = s.KNNAppend(buf[:0], Query{Node: starts[i%len(starts)]}, 10)
+	}
+	_ = buf
+}
+
+func BenchmarkSessionKNNCSR(b *testing.B)       { benchmarkSessionKNN(b, false) }
+func BenchmarkSessionKNNReference(b *testing.B) { benchmarkSessionKNN(b, true) }

@@ -41,6 +41,7 @@ type Framework struct {
 	ro      *RouteOverlay
 	ad      *AssocDir
 	store   *storage.Store
+	csr     *csrBox
 	qws     *queryWorkspace
 	prewarm prewarmOnce
 	epoch   atomic.Uint64
@@ -79,6 +80,7 @@ func Build(g *graph.Graph, objects *graph.ObjectSet, cfg Config) (*Framework, er
 		h:       h,
 		objects: objects,
 		store:   store,
+		csr:     &csrBox{},
 	}
 	f.ro = NewRouteOverlay(h, store)
 	f.ad = NewAssocDir(h, objects, cfg.Abstract, store)
@@ -115,6 +117,7 @@ func Rebind(f *Framework, objects *graph.ObjectSet, kind AbstractKind) *Framewor
 		ro:        f.ro,
 		ad:        NewAssocDir(f.h, objects, kind, f.store),
 		store:     f.store,
+		csr:       f.csr, // same overlay, same flat slabs
 		BuildTime: f.BuildTime,
 	}
 }
@@ -151,18 +154,21 @@ func (f *Framework) Epoch() uint64 { return f.epoch.Load() }
 // bumpEpoch marks a completed mutation.
 func (f *Framework) bumpEpoch() { f.epoch.Add(1) }
 
-// WarmTrees materializes every node's shortcut tree. Maintenance
-// operations invalidate the trees of affected nodes, and an invalidated
-// tree is otherwise rebuilt lazily on first access — a hidden write that
-// would race with concurrent session queries. A serving layer that
-// interleaves maintenance with concurrent sessions must call WarmTrees
-// after each mutation, while still excluding readers, so the read path
-// never mutates shared state. Warm trees are skipped with a pointer
-// check, so the call is cheap when little was invalidated.
+// WarmTrees materializes every node's shortcut tree and refreshes the CSR
+// hot-path index from them. Maintenance operations invalidate the trees of
+// affected nodes (and bump the hierarchy's topology generation, staling
+// the CSR slabs); an invalidated tree is otherwise rebuilt lazily on first
+// access — a hidden write that would race with concurrent session queries.
+// A serving layer that interleaves maintenance with concurrent sessions
+// must call WarmTrees after each mutation, while still excluding readers,
+// so the read path never mutates shared state. Warm trees are skipped with
+// a pointer check and a current CSR index with a generation compare, so
+// the call is cheap when nothing was invalidated.
 func (f *Framework) WarmTrees() {
 	for n := 0; n < f.g.NumNodes(); n++ {
 		f.h.Tree(graph.NodeID(n))
 	}
+	f.ensureCSR()
 }
 
 // --- Object maintenance (§5.1) ---

@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build.
+// The allocation-regression tests skip under -race: instrumentation adds
+// its own allocations, which would fail the 0-allocs pin spuriously.
+const raceEnabled = false

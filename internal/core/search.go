@@ -143,15 +143,38 @@ func (w *WatchSet) Contains(n graph.NodeID) bool {
 }
 
 // queryWorkspace holds per-query scratch state, reused across queries so
-// steady-state searches allocate almost nothing. A Framework (and thus its
+// steady-state searches allocate nothing. A Framework (and thus its
 // workspace) is not safe for concurrent queries.
+//
+// The reference (report-mode) path uses the boxed queue plus verdict and
+// visited-object maps; the CSR hot path uses the typed queue plus the
+// dense epoch-stamped arrays, all sharing one epoch counter so clearing a
+// query is a single increment.
 type queryWorkspace struct {
 	pq        pqueue.Queue
+	spq       pqueue.SearchQueue
 	nodeEpoch []uint32
 	epoch     uint32
 	stack     []*rnet.TreeNode
 	verdicts  map[rnet.RnetID]bool
 	visObjs   map[graph.ObjectID]bool
+
+	// useRef forces the retained page-store reference implementation even
+	// without I/O charging — the differential harness and the hotpath
+	// benchmark flip it to compare the two paths in one process.
+	useRef bool
+
+	// Dense CSR-path scratch: Rnet verdict memo, visited objects, and the
+	// path search's parent links, all valid only where the stamp matches
+	// epoch.
+	verdictEpoch []uint32
+	verdictVal   []bool
+	objEpoch     []uint32
+	linkEpoch    []uint32
+	linkPrev     []int32
+	linkEdge     []int32
+	linkRnet     []int32
+	linkDist     []float64
 }
 
 func (f *Framework) workspace() *queryWorkspace {
@@ -166,23 +189,55 @@ func (f *Framework) workspace() *queryWorkspace {
 	return ws
 }
 
-// prepare readies a workspace for one query: sizes the epoch array to the
-// current node count and clears per-query state.
+// prepare readies a workspace for one query: bumps the epoch (clearing all
+// stamped arrays implicitly), sizes the dense scratch to the current
+// network, and clears per-query state. Growth only happens when the
+// network or object-ID space grew, so steady state allocates nothing.
 func (f *Framework) prepare(ws *queryWorkspace) {
-	if len(ws.nodeEpoch) < f.g.NumNodes() {
-		ws.nodeEpoch = make([]uint32, f.g.NumNodes())
-		ws.epoch = 0
-	}
 	ws.epoch++
 	if ws.epoch == 0 {
-		for i := range ws.nodeEpoch {
-			ws.nodeEpoch[i] = 0
-		}
+		// Epoch wrapped: every stamped array must be zeroed, or ancient
+		// stamps could alias the restarted counter.
+		clear(ws.nodeEpoch)
+		clear(ws.verdictEpoch)
+		clear(ws.objEpoch)
+		clear(ws.linkEpoch)
 		ws.epoch = 1
 	}
+	if n := f.g.NumNodes(); len(ws.nodeEpoch) < n {
+		ws.nodeEpoch = make([]uint32, n)
+	}
+	if r := f.h.NumRnets(); len(ws.verdictEpoch) < r {
+		ws.verdictEpoch = make([]uint32, r)
+		ws.verdictVal = make([]bool, r)
+	}
+	if o := int(f.objects.NextID()); len(ws.objEpoch) < o {
+		ws.objEpoch = make([]uint32, o)
+	}
 	ws.pq.Reset()
+	ws.spq.Reset()
 	clear(ws.verdicts)
 	clear(ws.visObjs)
+}
+
+// growObjEpoch extends the visited-object stamps to cover id (objects from
+// an attached directory can outrange the framework's own set).
+func (ws *queryWorkspace) growObjEpoch(id graph.ObjectID) {
+	grown := make([]uint32, id+1)
+	copy(grown, ws.objEpoch)
+	ws.objEpoch = grown
+}
+
+// growLinks sizes the path search's parent-link arrays to n nodes.
+func (ws *queryWorkspace) growLinks(n int) {
+	if len(ws.linkEpoch) >= n {
+		return
+	}
+	ws.linkEpoch = make([]uint32, n)
+	ws.linkPrev = make([]int32, n)
+	ws.linkEdge = make([]int32, n)
+	ws.linkRnet = make([]int32, n)
+	ws.linkDist = make([]float64, n)
 }
 
 func (ws *queryWorkspace) nodeVisited(n graph.NodeID) bool { return ws.nodeEpoch[n] == ws.epoch }
@@ -199,7 +254,7 @@ func (f *Framework) KNN(q Query, k int) ([]Result, QueryStats) {
 // optional positive maxRadius additionally stops the expansion at that
 // distance.
 func (f *Framework) KNNLimited(q Query, k int, maxRadius float64, lim Limits) ([]Result, QueryStats, error) {
-	return f.searchSeeded(f.ad, []Seed{{Node: q.Node}}, q.Attr, k, maxRadius, f.workspace(), true, nil, nil, lim)
+	return f.searchSeeded(f.ad, []Seed{{Node: q.Node}}, q.Attr, k, maxRadius, f.workspace(), true, nil, nil, lim, nil)
 }
 
 // Range returns all objects matching q.Attr within network distance radius
@@ -210,7 +265,7 @@ func (f *Framework) Range(q Query, radius float64) ([]Result, QueryStats) {
 
 // RangeLimited is Range under Limits.
 func (f *Framework) RangeLimited(q Query, radius float64, lim Limits) ([]Result, QueryStats, error) {
-	return f.searchSeeded(f.ad, []Seed{{Node: q.Node}}, q.Attr, 0, radius, f.workspace(), true, nil, nil, lim)
+	return f.searchSeeded(f.ad, []Seed{{Node: q.Node}}, q.Attr, 0, radius, f.workspace(), true, nil, nil, lim, nil)
 }
 
 // KNNOn runs a kNN query against a specific Association Directory
@@ -227,7 +282,7 @@ func (f *Framework) RangeOn(ad *AssocDir, q Query, radius float64) ([]Result, Qu
 // search is the shared expansion entry point for the Framework's own
 // single-threaded methods, with full I/O simulation.
 func (f *Framework) search(ad *AssocDir, q Query, k int, radius float64) ([]Result, QueryStats) {
-	res, stats, _ := f.searchWith(ad, q, k, radius, f.workspace(), true, Limits{})
+	res, stats, _ := f.searchWith(ad, q, k, radius, f.workspace(), true, Limits{}, nil)
 	return res, stats
 }
 
@@ -238,8 +293,8 @@ func (f *Framework) search(ad *AssocDir, q Query, k int, radius float64) ([]Resu
 // selects kNN semantics; otherwise radius bounds a range query. chargeIO
 // routes index accesses through the simulated page store; Sessions pass
 // false so concurrent queries never touch shared buffer state.
-func (f *Framework) searchWith(ad *AssocDir, q Query, k int, radius float64, ws *queryWorkspace, chargeIO bool, lim Limits) ([]Result, QueryStats, error) {
-	return f.searchSeeded(ad, []Seed{{Node: q.Node}}, q.Attr, k, radius, ws, chargeIO, nil, nil, lim)
+func (f *Framework) searchWith(ad *AssocDir, q Query, k int, radius float64, ws *queryWorkspace, chargeIO bool, lim Limits, dst []Result) ([]Result, QueryStats, error) {
+	return f.searchSeeded(ad, []Seed{{Node: q.Node}}, q.Attr, k, radius, ws, chargeIO, nil, nil, lim, dst)
 }
 
 // searchSeeded is searchWith generalized to multiple seeds and an optional
@@ -256,7 +311,24 @@ func (f *Framework) searchWith(ad *AssocDir, q Query, k int, radius float64, ws 
 // results. The sharding router passes its current global kth-best, so a
 // shard entered near the bound is not searched beyond what could still
 // improve the merged answer.
-func (f *Framework) searchSeeded(ad *AssocDir, seeds []Seed, attr int32, k int, radius float64, ws *queryWorkspace, chargeIO bool, watch *WatchSet, watchDist map[graph.NodeID]float64, lim Limits) ([]Result, QueryStats, error) {
+//
+// Two implementations serve it: report-mode queries (chargeIO, or a
+// workspace pinned to the reference path) run searchRef, the retained
+// page-store traversal; everything else — every Session, and therefore
+// every serving-layer query on all Store shapes — runs searchCSR over the
+// flat slabs. Both append results to dst (nil for a fresh slice).
+func (f *Framework) searchSeeded(ad *AssocDir, seeds []Seed, attr int32, k int, radius float64, ws *queryWorkspace, chargeIO bool, watch *WatchSet, watchDist map[graph.NodeID]float64, lim Limits, dst []Result) ([]Result, QueryStats, error) {
+	if chargeIO || ws.useRef {
+		return f.searchRef(ad, seeds, attr, k, radius, ws, chargeIO, watch, watchDist, lim, dst)
+	}
+	return f.searchCSR(ad, seeds, attr, k, radius, ws, watch, watchDist, lim, dst)
+}
+
+// searchRef is the reference expansion over the pointer-structured route
+// overlay and the simulated page store — the paper-faithful I/O-accounting
+// report mode, and the oracle the CSR hot path is differentially tested
+// against.
+func (f *Framework) searchRef(ad *AssocDir, seeds []Seed, attr int32, k int, radius float64, ws *queryWorkspace, chargeIO bool, watch *WatchSet, watchDist map[graph.NodeID]float64, lim Limits, dst []Result) ([]Result, QueryStats, error) {
 	stats := QueryStats{ShardsSearched: 1}
 	var stopErr error
 	var ioMark storage.Stats
@@ -265,7 +337,8 @@ func (f *Framework) searchSeeded(ad *AssocDir, seeds []Seed, attr int32, k int, 
 	}
 
 	f.prepare(ws)
-	var res []Result
+	res := dst
+	base := len(dst)
 
 	for _, sd := range seeds {
 		ws.pq.Push(queueEntry{node: sd.Node, obj: -1}, sd.Dist)
@@ -285,7 +358,7 @@ func (f *Framework) searchSeeded(ad *AssocDir, seeds []Seed, attr int32, k int, 
 			if o, ok := f.objects.Get(entry.obj); ok {
 				res = append(res, Result{Object: o, Dist: d})
 			}
-			if k > 0 && len(res) >= k {
+			if k > 0 && len(res)-base >= k {
 				break
 			}
 			continue

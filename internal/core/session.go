@@ -9,8 +9,10 @@ import (
 // Session is a read-only query context over a built Framework. Unlike the
 // Framework's own KNN/Range methods — which share one workspace and one
 // simulated page buffer and are therefore single-threaded — any number of
-// Sessions may run queries concurrently. Sessions skip the I/O simulation
-// (QueryStats.IO stays zero); traversal statistics are still reported.
+// Sessions may run queries concurrently. Sessions run on the CSR hot path:
+// flat slab traversal, typed heap, zero steady-state allocation, and no
+// simulated I/O (QueryStats.IO stays zero); traversal statistics are still
+// reported and match the report-mode reference exactly.
 //
 // Sessions must not run concurrently with maintenance operations (object
 // or network updates) on the same Framework: queries are reads, updates
@@ -19,6 +21,13 @@ type Session struct {
 	f  *Framework
 	ws *queryWorkspace
 }
+
+// UseReferencePath pins (or unpins) this session to the retained
+// page-store reference implementation instead of the CSR slabs, still
+// without I/O charging. The differential test harness and the hotpath
+// benchmark use it to compare both paths in one process; serving code has
+// no reason to call it.
+func (s *Session) UseReferencePath(on bool) { s.ws.useRef = on }
 
 // NewSession returns an independent concurrent query context. The first
 // session construction eagerly materializes all per-node shortcut trees
@@ -36,7 +45,15 @@ func (f *Framework) NewSession() *Session {
 
 // KNN returns the k objects matching q.Attr nearest to q.Node.
 func (s *Session) KNN(q Query, k int) ([]Result, QueryStats) {
-	res, stats, _ := s.f.searchWith(s.f.ad, q, k, 0, s.ws, false, Limits{})
+	res, stats, _ := s.f.searchWith(s.f.ad, q, k, 0, s.ws, false, Limits{}, nil)
+	return res, stats
+}
+
+// KNNAppend is KNN appending into dst — with a caller-reused buffer the
+// steady-state query performs zero allocations (pinned by the
+// allocation-regression tests).
+func (s *Session) KNNAppend(dst []Result, q Query, k int) ([]Result, QueryStats) {
+	res, stats, _ := s.f.searchWith(s.f.ad, q, k, 0, s.ws, false, Limits{}, dst)
 	return res, stats
 }
 
@@ -44,18 +61,24 @@ func (s *Session) KNN(q Query, k int) ([]Result, QueryStats) {
 // budget). The result is a valid prefix when err is non-nil. An optional
 // positive maxRadius additionally stops the expansion at that distance.
 func (s *Session) KNNLimited(q Query, k int, maxRadius float64, lim Limits) ([]Result, QueryStats, error) {
-	return s.f.searchWith(s.f.ad, q, k, maxRadius, s.ws, false, lim)
+	return s.f.searchWith(s.f.ad, q, k, maxRadius, s.ws, false, lim, nil)
 }
 
 // Range returns all matching objects within radius of q.Node.
 func (s *Session) Range(q Query, radius float64) ([]Result, QueryStats) {
-	res, stats, _ := s.f.searchWith(s.f.ad, q, 0, radius, s.ws, false, Limits{})
+	res, stats, _ := s.f.searchWith(s.f.ad, q, 0, radius, s.ws, false, Limits{}, nil)
+	return res, stats
+}
+
+// RangeAppend is Range appending into dst (see KNNAppend).
+func (s *Session) RangeAppend(dst []Result, q Query, radius float64) ([]Result, QueryStats) {
+	res, stats, _ := s.f.searchWith(s.f.ad, q, 0, radius, s.ws, false, Limits{}, dst)
 	return res, stats
 }
 
 // RangeLimited is Range under Limits.
 func (s *Session) RangeLimited(q Query, radius float64, lim Limits) ([]Result, QueryStats, error) {
-	return s.f.searchWith(s.f.ad, q, 0, radius, s.ws, false, lim)
+	return s.f.searchWith(s.f.ad, q, 0, radius, s.ws, false, lim, nil)
 }
 
 // SearchSeeded runs one multi-source search: kNN when k > 0, range search
@@ -67,29 +90,39 @@ func (s *Session) RangeLimited(q Query, radius float64, lim Limits) ([]Result, Q
 // router drives: the home shard is searched with its border nodes watched,
 // neighbouring shards are searched seeded at their borders.
 func (s *Session) SearchSeeded(seeds []Seed, attr int32, k int, radius float64, watch *WatchSet, watchDist map[graph.NodeID]float64) ([]Result, QueryStats) {
-	res, stats, _ := s.f.searchSeeded(s.f.ad, seeds, attr, k, radius, s.ws, false, watch, watchDist, Limits{})
+	res, stats, _ := s.f.searchSeeded(s.f.ad, seeds, attr, k, radius, s.ws, false, watch, watchDist, Limits{}, nil)
 	return res, stats
 }
 
 // SearchSeededLimited is SearchSeeded under Limits — the primitive the
 // sharding router drives when a per-request context or budget is in play.
 func (s *Session) SearchSeededLimited(seeds []Seed, attr int32, k int, radius float64, watch *WatchSet, watchDist map[graph.NodeID]float64, lim Limits) ([]Result, QueryStats, error) {
-	return s.f.searchSeeded(s.f.ad, seeds, attr, k, radius, s.ws, false, watch, watchDist, lim)
+	return s.f.searchSeeded(s.f.ad, seeds, attr, k, radius, s.ws, false, watch, watchDist, lim, nil)
 }
 
 // PathTo computes the detailed shortest route from q.Node to an object
-// (see Framework.PathTo). Unlike the Framework variant it bypasses the
-// simulated page store, so any number of sessions may compute paths
-// concurrently. Requires the framework to have been built with StorePaths.
+// (see Framework.PathTo). Unlike the Framework variant it runs on the CSR
+// hot path and bypasses the simulated page store, so any number of
+// sessions may compute paths concurrently. Requires the framework to have
+// been built with StorePaths.
 func (s *Session) PathTo(q Query, target graph.ObjectID) ([]graph.NodeID, float64, error) {
-	path, dist, _, err := s.f.pathTo(q, target, false, Limits{})
+	path, dist, _, err := s.path(q, target, Limits{})
 	return path, dist, err
 }
 
 // PathToLimited is PathTo under Limits, reporting traversal statistics
 // (which the plain variant predates and omits).
 func (s *Session) PathToLimited(q Query, target graph.ObjectID, lim Limits) ([]graph.NodeID, float64, QueryStats, error) {
-	return s.f.pathTo(q, target, false, lim)
+	return s.path(q, target, lim)
+}
+
+// path dispatches a session path query to the CSR implementation or, when
+// the session is pinned to the reference path, the retained one.
+func (s *Session) path(q Query, target graph.ObjectID, lim Limits) ([]graph.NodeID, float64, QueryStats, error) {
+	if s.ws.useRef {
+		return s.f.pathTo(q, target, false, lim)
+	}
+	return s.f.pathCSR(q, target, s.ws, lim)
 }
 
 // Epoch returns the owning framework's maintenance epoch at the time of

@@ -53,31 +53,28 @@ type AttrCount struct {
 // (sorted) ordering so identical directories serialize identically.
 func (ad *AssocDir) ExportState() *AssocDirState {
 	st := &AssocDirState{Kind: ad.kind}
-	nodes := make([]graph.NodeID, 0, len(ad.byNode))
-	for n := range ad.byNode {
-		nodes = append(nodes, n)
-	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-	for _, n := range nodes {
-		entry := NodeAssocState{Node: n, Assocs: make([]ObjAssocState, len(ad.byNode[n]))}
-		for i, a := range ad.byNode[n] {
+	// The dense entry arrays are indexed by ID, so ascending iteration is
+	// already the deterministic (sorted) order.
+	for n, list := range ad.byNode {
+		if len(list) == 0 {
+			continue
+		}
+		entry := NodeAssocState{Node: graph.NodeID(n), Assocs: make([]ObjAssocState, len(list))}
+		for i, a := range list {
 			entry.Assocs[i] = ObjAssocState{Obj: a.obj, Dist: a.dist, Attr: a.attr}
 		}
 		st.Nodes = append(st.Nodes, entry)
 	}
-	rnets := make([]rnet.RnetID, 0, len(ad.abstracts))
-	for r := range ad.abstracts {
-		rnets = append(rnets, r)
-	}
-	sort.Slice(rnets, func(i, j int) bool { return rnets[i] < rnets[j] })
-	for _, r := range rnets {
-		a := ad.abstracts[r]
+	for r, a := range ad.abstracts {
+		if a == nil {
+			continue
+		}
 		attrs := make([]int32, 0, len(a.counts))
 		for attr := range a.counts {
 			attrs = append(attrs, attr)
 		}
 		sort.Slice(attrs, func(i, j int) bool { return attrs[i] < attrs[j] })
-		entry := AbstractState{Rnet: r}
+		entry := AbstractState{Rnet: rnet.RnetID(r)}
 		for _, attr := range attrs {
 			entry.Counts = append(entry.Counts, AttrCount{Attr: attr, Count: int32(a.counts[attr])})
 		}
@@ -100,8 +97,8 @@ func RestoreAssocDir(h *rnet.Hierarchy, set *graph.ObjectSet, store *storage.Sto
 	ad := &AssocDir{
 		h:         h,
 		kind:      st.Kind,
-		byNode:    make(map[graph.NodeID][]objAssoc),
-		abstracts: make(map[rnet.RnetID]*abstractRec),
+		byNode:    make([][]objAssoc, h.Graph().NumNodes()),
+		abstracts: make([]*abstractRec, h.NumRnets()),
 		index:     newAssocIndex(store),
 		store:     store,
 	}
@@ -123,7 +120,7 @@ func RestoreAssocDir(h *rnet.Hierarchy, set *graph.ObjectSet, store *storage.Sto
 		if len(entry.Assocs) == 0 {
 			return nil, fmt.Errorf("core: state: empty association list for node %d", entry.Node)
 		}
-		if _, dup := ad.byNode[entry.Node]; dup {
+		if len(ad.byNode[entry.Node]) != 0 {
 			return nil, fmt.Errorf("core: state: duplicate association node %d", entry.Node)
 		}
 		list := make([]objAssoc, len(entry.Assocs))
@@ -142,7 +139,7 @@ func RestoreAssocDir(h *rnet.Hierarchy, set *graph.ObjectSet, store *storage.Sto
 		if entry.Rnet < 0 || int(entry.Rnet) >= h.NumRnets() {
 			return nil, fmt.Errorf("core: state: abstract Rnet %d out of range", entry.Rnet)
 		}
-		if _, dup := ad.abstracts[entry.Rnet]; dup {
+		if ad.abstracts[entry.Rnet] != nil {
 			return nil, fmt.Errorf("core: state: duplicate abstract for Rnet %d", entry.Rnet)
 		}
 		a := newAbstractRec(st.Kind)
@@ -166,23 +163,21 @@ func RestoreAssocDir(h *rnet.Hierarchy, set *graph.ObjectSet, store *storage.Sto
 	// live directory uses). Record pages were restored wholesale above, so
 	// only the index itself is repopulated; each key must already have its
 	// record placed.
-	nodes := make([]graph.NodeID, 0, len(ad.byNode))
-	for n := range ad.byNode {
-		nodes = append(nodes, n)
-	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-	for _, n := range nodes {
+	for i, list := range ad.byNode {
+		if len(list) == 0 {
+			continue
+		}
+		n := graph.NodeID(i)
 		if ad.layout != nil && !ad.layout.Has(nodeKey(n)) {
 			return nil, fmt.Errorf("core: state: node %d has no placed record", n)
 		}
 		ad.index.Put(nodeKey(n), 0)
 	}
-	rnets := make([]rnet.RnetID, 0, len(ad.abstracts))
-	for r := range ad.abstracts {
-		rnets = append(rnets, r)
-	}
-	sort.Slice(rnets, func(i, j int) bool { return rnets[i] < rnets[j] })
-	for _, r := range rnets {
+	for i, a := range ad.abstracts {
+		if a == nil {
+			continue
+		}
+		r := rnet.RnetID(i)
 		if ad.layout != nil && !ad.layout.Has(rnetKey(r)) {
 			return nil, fmt.Errorf("core: state: Rnet %d abstract has no placed record", r)
 		}
@@ -292,12 +287,16 @@ func Restore(spec RestoreSpec) (*Framework, error) {
 		return nil, err
 	}
 	f := &Framework{
-		g:         spec.Graph,
-		h:         spec.Hierarchy,
-		objects:   spec.Objects,
-		store:     store,
-		ad:        ad,
-		ro:        ro,
+		g:       spec.Graph,
+		h:       spec.Hierarchy,
+		objects: spec.Objects,
+		store:   store,
+		ad:      ad,
+		ro:      ro,
+		// The CSR index is derived state: snapshots don't carry it, the
+		// first WarmTrees (or session prewarm) rebuilds it from the
+		// restored hierarchy.
+		csr:       &csrBox{},
 		BuildTime: spec.BuildTime,
 	}
 	f.epoch.Store(spec.Epoch)

@@ -94,6 +94,93 @@ func (q *Queue) down(i int) {
 	}
 }
 
+// SearchItem is an entry of a SearchQueue: a network node or an object
+// (Obj >= 0) at an accumulated distance. Fields are inline values — no
+// interface boxing — so pushes and pops never allocate.
+type SearchItem struct {
+	Prio float64
+	seq  uint64
+	Node int32
+	Obj  int32
+}
+
+// SearchQueue is the search engine's frontier: a binary min-heap of
+// SearchItems ordered by priority then insertion sequence (FIFO on ties,
+// matching Queue), with typed entries so the hot loop stays free of
+// per-pop allocations. The zero value is ready to use; Reset retains
+// capacity across queries.
+type SearchQueue struct {
+	items []SearchItem
+	seq   uint64
+}
+
+// Len reports the number of queued items.
+func (q *SearchQueue) Len() int { return len(q.items) }
+
+// Push adds a node/object entry at the given priority.
+func (q *SearchQueue) Push(node, obj int32, prio float64) {
+	q.seq++
+	q.items = append(q.items, SearchItem{Prio: prio, seq: q.seq, Node: node, Obj: obj})
+	q.sup(len(q.items) - 1)
+}
+
+// Pop removes and returns the smallest-priority item; ok is false when the
+// queue is empty.
+func (q *SearchQueue) Pop() (SearchItem, bool) {
+	if len(q.items) == 0 {
+		return SearchItem{}, false
+	}
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items = q.items[:last]
+	if last > 0 {
+		q.sdown(0)
+	}
+	return top, true
+}
+
+// Reset empties the queue, retaining capacity.
+func (q *SearchQueue) Reset() { q.items = q.items[:0] }
+
+func (q *SearchQueue) sless(i, j int) bool {
+	a, b := &q.items[i], &q.items[j]
+	if a.Prio != b.Prio {
+		return a.Prio < b.Prio
+	}
+	return a.seq < b.seq
+}
+
+func (q *SearchQueue) sup(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.sless(i, parent) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *SearchQueue) sdown(i int) {
+	n := len(q.items)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && q.sless(left, smallest) {
+			smallest = left
+		}
+		if right < n && q.sless(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}
+
 // IndexedQueue is a min-heap keyed by dense int32 IDs (graph node IDs)
 // supporting DecreaseKey in O(log n). IDs must be < the capacity given to
 // NewIndexed. It is the standard Dijkstra frontier.

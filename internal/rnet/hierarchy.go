@@ -115,7 +115,20 @@ type Hierarchy struct {
 	// recreated when the graph gains nodes.
 	ws      *graph.Search
 	wsNodes int
+
+	// topoGen counts completed topology and weight mutations (edge weight
+	// changes, additions, closures, reopenings). Derived flat indexes —
+	// the core CSR slabs bake shortcut distances and edge weights in —
+	// compare generations to detect staleness without subscribing to
+	// individual invalidations.
+	topoGen uint64
 }
+
+// TopoGen returns the hierarchy's topology generation: incremented by
+// every successful SetEdgeWeight (when the weight actually changed),
+// AddEdge, DeleteEdge and RestoreEdge. A derived structure recording the
+// generation it was built at is stale iff the generations differ.
+func (h *Hierarchy) TopoGen() uint64 { return h.topoGen }
 
 // Build constructs the Rnet hierarchy for g.
 func Build(g *graph.Graph, cfg Config) (*Hierarchy, error) {

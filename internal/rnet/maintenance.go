@@ -34,6 +34,9 @@ func (h *Hierarchy) SetEdgeWeight(e graph.EdgeID, w float64) (UpdateResult, erro
 	if old == w {
 		return UpdateResult{Filtered: true}, nil
 	}
+	// The weight is already applied; even a filtered update invalidates
+	// derived indexes that bake edge weights in.
+	h.topoGen++
 	leaf := h.LeafOf(e)
 	if leaf == NoRnet {
 		return UpdateResult{Filtered: true}, nil
@@ -187,6 +190,7 @@ func (h *Hierarchy) AddEdge(u, v graph.NodeID, w float64) (graph.EdgeID, UpdateR
 	h.originLeaf[e] = host
 	h.rnets[host].Edges = append(h.rnets[host].Edges, e)
 	res := h.repairAfterIncidenceChange(u, v, host)
+	h.topoGen++
 	return e, res, nil
 }
 
@@ -204,6 +208,7 @@ func (h *Hierarchy) DeleteEdge(e graph.EdgeID) (UpdateResult, error) {
 		h.leafOf[e] = NoRnet
 	}
 	res := h.repairAfterIncidenceChange(ed.U, ed.V, leaf)
+	h.topoGen++
 	return res, nil
 }
 
@@ -236,6 +241,7 @@ func (h *Hierarchy) RestoreEdge(e graph.EdgeID) (UpdateResult, error) {
 	}
 	h.rnets[host].Edges = append(h.rnets[host].Edges, e)
 	res := h.repairAfterIncidenceChange(ed.U, ed.V, host)
+	h.topoGen++
 	return res, nil
 }
 

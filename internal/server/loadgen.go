@@ -54,6 +54,7 @@ type LoadReport struct {
 	P90US       int64   `json:"p90_us"`
 	P95US       int64   `json:"p95_us"`
 	P99US       int64   `json:"p99_us"`
+	P999US      int64   `json:"p999_us"`
 	MaxUS       int64   `json:"max_us"`
 	// CacheHitRate covers this run only: the delta of the server's
 	// /stats cache counters between run start and run end.
@@ -185,6 +186,7 @@ func RunLoad(opts LoadOptions) (LoadReport, error) {
 		report.P90US = obs.PercentileDuration(latencies, 0.90).Microseconds()
 		report.P95US = obs.PercentileDuration(latencies, 0.95).Microseconds()
 		report.P99US = obs.PercentileDuration(latencies, 0.99).Microseconds()
+		report.P999US = obs.PercentileDuration(latencies, 0.999).Microseconds()
 		report.MaxUS = latencies[len(latencies)-1].Microseconds()
 	}
 	if after, err := fetchStats(opts.Target); err == nil {

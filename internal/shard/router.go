@@ -329,10 +329,11 @@ func (r *Router) IndexSizeBytes() int64 {
 	return sum
 }
 
-// WarmTrees re-materializes invalidated shortcut trees in every shard.
-// Single-threaded bulk use only (after build or journal replay, before
-// serving): the live mutation path re-warms the mutated shard itself,
-// under its write lock.
+// WarmTrees re-materializes invalidated shortcut trees in every shard
+// and rebuilds any CSR search slabs whose topology generation went
+// stale. Single-threaded bulk use only (after build or journal replay,
+// before serving): the live mutation path re-warms the mutated shard
+// itself, under its write lock.
 func (r *Router) WarmTrees() {
 	for _, s := range r.shards {
 		s.warmTrees()

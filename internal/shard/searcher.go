@@ -105,7 +105,10 @@ type LegResp struct {
 
 // localSearcher is the in-process Searcher: the pre-RPC query machinery
 // folded behind the seam. Shard hosts use it too — their HTTP handlers
-// drive the exact same code the in-process router runs.
+// drive the exact same code the in-process router runs. The session
+// rides internal/core's CSR hot path (flat slabs, zero-alloc inner
+// loops); the sharding layer needs no awareness of it beyond the
+// post-mutation WarmTrees fence that keeps the slabs current.
 type localSearcher struct {
 	sh      *Shard
 	sess    *core.Session

@@ -1,12 +1,20 @@
-// Package storage simulates the disk environment of the paper's evaluation
-// (§6): fixed-size 4 KB pages behind an LRU buffer of 50 pages, with
-// logical-read, page-fault and write accounting. Index structures register
-// variable-size records into a Layout that packs them onto pages (in a
-// caller-chosen order — the CCAM-style connectivity clustering of [18] is
-// approximated by Hilbert ordering of node coordinates, see ClusterNodes),
-// and route every record access through a Store so the I/O metrics the
-// paper reports (pages read per query, index size in pages) come out of the
-// same machinery for every competing approach.
+// Package storage is an EVALUATION ARTIFACT: it simulates the disk
+// environment of the paper's evaluation (§6) — fixed-size 4 KB pages
+// behind an LRU buffer of 50 pages, with logical-read, page-fault and
+// write accounting. Index structures register variable-size records into
+// a Layout that packs them onto pages (in a caller-chosen order — the
+// CCAM-style connectivity clustering of [18] is approximated by Hilbert
+// ordering of node coordinates, see ClusterNodes), and route every
+// record access through a Store so the I/O metrics the paper reports
+// (pages read per query, index size in pages) come out of the same
+// machinery for every competing approach.
+//
+// The serving query path does NOT come through here: sessions traverse
+// the CSR slabs in internal/core/csr.go, which bake the same overlay
+// into flat arrays with no page indirection. Only report-mode framework
+// queries (the paper's experiments, roadbench figures) and snapshot
+// sizing still consult the simulated store — demoting it from the hot
+// path is what the CSR overhaul was for.
 package storage
 
 import (
